@@ -1,0 +1,72 @@
+// bench_energy_carbon — regenerates §6.4's energy comparison and the
+// sustainability arithmetic of §6.4/§7:
+//   * transmission vs generation (time and energy) for a large image,
+//   * embodied carbon of storage and the savings from compression,
+//   * the mobile-web fleet model (exabytes/month → tens of PB/month).
+#include <cstdio>
+
+#include "energy/carbon.hpp"
+#include "energy/device.hpp"
+#include "energy/network.hpp"
+#include "genai/model_specs.hpp"
+
+int main() {
+  using namespace sww;
+  const auto sd3 = genai::FindImageModel(genai::kSd3Medium).value();
+  constexpr std::uint64_t kLargeImageBytes = 131072;  // Table 2 large image
+
+  std::printf("=== Energy & carbon (6.4, 7) ===\n\n");
+
+  // --- time: transmission vs generation -------------------------------------
+  const double transmit_s = energy::TransmissionSeconds(kLargeImageBytes);
+  const double generate_s =
+      energy::ImageGenerationSeconds(energy::Workstation(), sd3, 15, 1024, 1024);
+  std::printf("Large image (131,072 B) on a 100 Mbps link:\n");
+  std::printf("  transmission time:        %7.1f ms  (paper: ~10 ms)\n",
+              transmit_s * 1000);
+  std::printf("  workstation generation:   %7.1f s\n", generate_s);
+  std::printf("  generation/transmission:  %7.0fx    (paper: 620x)\n\n",
+              generate_s / transmit_s);
+
+  // --- energy: transmission vs generation ------------------------------------
+  const double transmit_wh = energy::TransmissionEnergyWh(kLargeImageBytes);
+  const double generate_wh = energy::ImageGenerationEnergyWh(
+      energy::Workstation(), sd3, 15, 1024, 1024);
+  std::printf("Energy per large image (Telefonica 2024: %.3f Wh/MB):\n",
+              energy::kWhPerMegabyte);
+  std::printf("  transmission:             %7.4f Wh  (paper: ~0.005 Wh)\n",
+              transmit_wh);
+  std::printf("  workstation generation:   %7.3f Wh\n", generate_wh);
+  std::printf("  transmission/generation:  %7.1f%%    (paper: 2.5%%)\n\n",
+              100.0 * transmit_wh / generate_wh);
+
+  // Laptop-side comparison for completeness.
+  const double laptop_wh =
+      energy::ImageGenerationEnergyWh(energy::Laptop(), sd3, 15, 1024, 1024);
+  std::printf("  laptop generation:        %7.3f Wh "
+              "(transmission is %.1f%% of it)\n\n",
+              laptop_wh, 100.0 * transmit_wh / laptop_wh);
+
+  // --- embodied carbon ---------------------------------------------------------
+  std::printf("Embodied carbon (%.1f kgCO2e/TB SSD):\n", energy::kSsdKgCo2PerTB);
+  for (double factor : {2.0, 10.0, 68.0, 157.0}) {
+    std::printf("  1 EB corpus compressed %6.0fx saves %12.0f kgCO2e\n", factor,
+                energy::CarbonSavedKg(1e6, factor));
+  }
+  std::printf("  (paper: \"even modest compression can save millions of "
+              "kgCO2e\")\n\n");
+
+  // --- fleet model (§7) ----------------------------------------------------------
+  std::printf("Mobile-web fleet model (7):\n");
+  for (double exabytes : {2.0, 2.5, 3.0}) {
+    energy::FleetTraffic fleet;
+    fleet.monthly_exabytes = exabytes;
+    fleet.compression_factor = 100.0;
+    std::printf("  %.1f EB/month at 100x -> %5.1f PB/month, saving %8.0f "
+                "MWh/month of traffic energy\n",
+                exabytes, fleet.CompressedPetabytesPerMonth(),
+                fleet.MonthlyEnergySavingsMWh());
+  }
+  std::printf("  (paper: 2-3 EB/month -> tens of PB/month)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// bench_size_scaling — regenerates §6.3.1's image-size sweep:
+// "As image size is increased, generation time is increased on the
+//  workstation relative to the number of pixels, but on the laptop it
+//  grows significantly beyond that for images of 1024x1024, reaching 310
+//  seconds."  (The laptop's attention-splitting penalty.)
+#include <cstdio>
+
+#include "energy/device.hpp"
+#include "genai/model_specs.hpp"
+
+int main() {
+  using namespace sww;
+  const auto sd3 = genai::FindImageModel(genai::kSd3Medium).value();
+
+  std::printf("=== Image-size scaling (6.3.1), SD 3 Medium, 15 steps ===\n\n");
+  std::printf("%-12s %10s | %10s %12s | %10s %12s\n", "size", "pixels",
+              "laptop[s]", "vs pixels", "workst.[s]", "vs pixels");
+
+  const double lap_base =
+      energy::ImageGenerationSeconds(energy::Laptop(), sd3, 15, 256, 256);
+  const double ws_base =
+      energy::ImageGenerationSeconds(energy::Workstation(), sd3, 15, 256, 256);
+  const double px_base = 256.0 * 256.0;
+
+  for (int size : {224, 256, 384, 512, 768, 1024}) {
+    const double pixels = static_cast<double>(size) * size;
+    const double lap =
+        energy::ImageGenerationSeconds(energy::Laptop(), sd3, 15, size, size);
+    const double ws = energy::ImageGenerationSeconds(energy::Workstation(), sd3,
+                                                     15, size, size);
+    // "vs pixels": the time ratio divided by the pixel ratio — 1.0 means
+    // perfectly pixel-proportional growth.
+    std::printf("%4dx%-7d %10.0f | %10.1f %12.2f | %10.2f %12.2f\n", size, size,
+                pixels, lap, (lap / lap_base) / (pixels / px_base), ws,
+                (ws / ws_base) / (pixels / px_base));
+  }
+  std::printf("\nPaper anchors: laptop 7 s / 19 s / 310 s and workstation "
+              "1.0 s / 1.7 s / 6.2 s\nat 256/512/1024; the laptop's 1024x1024 "
+              "blow-up is the attention-splitting penalty.\n");
+  return 0;
+}

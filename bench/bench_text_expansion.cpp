@@ -1,0 +1,56 @@
+// bench_text_expansion — regenerates §6.3.2's text-to-text evaluation:
+// SBERT scores, word-length overshoot distribution, and generation time
+// for Llama 3.2 and DeepSeek-R1 1.5B/8B/14B at 50/100/150/250 words.
+#include <cstdio>
+
+#include "energy/device.hpp"
+#include "genai/llm.hpp"
+#include "metrics/sbert.hpp"
+#include "metrics/stats.hpp"
+
+int main() {
+  using namespace sww;
+  const std::vector<std::string> bullets = {
+      "regional council approved coastal transit line",
+      "construction scheduled autumn, budget two hundred million",
+      "independent review flagged drainage risks near harbor",
+      "completed line carries forty thousand passengers daily"};
+
+  std::printf("=== Text-to-text evaluation (6.3.2) ===\n");
+  std::printf("paper: SBERT means 0.82-0.91; overshoot up to 20%%, some means"
+              " ~1.3%%, IQR often >10%%;\n");
+  std::printf("       time 6.98-14.33 s (workstation), 16.06-34.04 s (laptop),"
+              " ~2.5x apart,\n");
+  std::printf("       with 50-word outputs slower than 100/150 for three "
+              "models\n\n");
+
+  std::printf("%-18s %6s | %7s %9s %9s %9s | %8s %8s\n", "Model", "words",
+              "SBERT", "over.mean", "over.p25", "over.p75", "ws[s]", "lap[s]");
+
+  for (const genai::TextModelSpec& spec : genai::TextModels()) {
+    genai::TextModel model(spec);
+    for (int words : {50, 100, 150, 250}) {
+      std::vector<double> sberts, overshoots;
+      for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        auto result = model.ExpandBullets(bullets, words, seed * 97 + 5);
+        if (!result.ok()) continue;
+        sberts.push_back(metrics::SbertScore(bullets, result.value().text));
+        overshoots.push_back(metrics::WordOvershootPercent(
+            words, result.value().actual_words));
+      }
+      const metrics::Summary sbert = metrics::Summarize(sberts);
+      const metrics::Summary over = metrics::Summarize(overshoots);
+      std::printf("%-18s %6d | %7.2f %8.1f%% %8.1f%% %8.1f%% | %8.2f %8.2f\n",
+                  spec.display_name.c_str(), words, sbert.mean, over.mean,
+                  over.p25, over.p75,
+                  energy::TextGenerationSeconds(energy::Workstation(), spec,
+                                                words),
+                  energy::TextGenerationSeconds(energy::Laptop(), spec, words));
+    }
+  }
+
+  std::printf("\nNote the non-monotonic length dependence for the DeepSeek-R1"
+              " family\n(50-word outputs pay relatively more reasoning-token"
+              " overhead).\n");
+  return 0;
+}

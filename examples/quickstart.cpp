@@ -1,0 +1,69 @@
+// quickstart — the smallest complete SWW flow (README quickstart):
+//
+//   1. author a page whose image is stored as a *prompt* (Figure 1 form),
+//   2. stand up a generative server over a ContentStore,
+//   3. connect a generative client; SETTINGS_GEN_ABILITY negotiates,
+//   4. fetch the page: the prompt crosses the wire, the image is
+//      generated on the client device, the div is rewritten,
+//   5. render the page and write the generated image to ./quickstart_out.
+#include <cstdio>
+
+#include "core/page_builder.hpp"
+#include "core/renderer.hpp"
+#include "core/session.hpp"
+#include "html/parser.hpp"
+
+int main() {
+  using namespace sww;
+
+  // 1. The baseline page: one generated-content div (Figure 1 "before").
+  const std::string page_html = core::MakeGoldfishPage();
+  std::printf("--- baseline page (stored on the server) ---\n%s\n\n",
+              page_html.c_str());
+
+  // 2-3. Server + client over an in-process connection; the handshake
+  // exchanges SETTINGS including SETTINGS_GEN_ABILITY (0x07) = 1.
+  core::ContentStore store;
+  if (auto status = store.AddPage("/", page_html); !status.ok()) {
+    std::fprintf(stderr, "AddPage: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto session = core::LocalSession::Start(&store, {});
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n", session.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("negotiated generative mode: %s\n\n",
+              session.value()->client().NegotiatedGenerative() ? "yes" : "no");
+
+  // 4. Fetch: prompts over the wire, pixels made locally.
+  auto fetch = session.value()->FetchPage("/");
+  if (!fetch.ok()) {
+    std::fprintf(stderr, "fetch: %s\n", fetch.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("--- page after client-side generation (Figure 1 'after') ---\n%s\n\n",
+              fetch.value().final_html.c_str());
+  std::printf("wire bytes: %llu (page) + %llu (assets)\n",
+              static_cast<unsigned long long>(fetch.value().page_bytes),
+              static_cast<unsigned long long>(fetch.value().asset_bytes));
+  std::printf("generated items: %zu; simulated laptop cost: %.1f s, %.3f Wh\n",
+              fetch.value().generated_items, fetch.value().generation_seconds,
+              fetch.value().generation_energy_wh);
+  std::printf("semantic digests verified: %zu ok, %zu failed\n\n",
+              fetch.value().verified_items,
+              fetch.value().failed_verification_items);
+
+  // 5. Render (the prototype's GUI stand-in) and persist artifacts.
+  auto document = html::ParseDocument(fetch.value().final_html);
+  core::PageRenderer renderer;
+  std::printf("--- rendered page ---\n%s\n",
+              renderer.RenderToText(*document.value()).c_str());
+  if (auto status = renderer.WriteFiles(fetch.value().files, "quickstart_out");
+      !status.ok()) {
+    std::fprintf(stderr, "write: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("generated files written to ./quickstart_out/\n");
+  return 0;
+}

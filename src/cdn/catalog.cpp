@@ -1,0 +1,73 @@
+#include "cdn/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sww::cdn {
+
+Catalog Catalog::MakeSynthetic(const CatalogOptions& options) {
+  Catalog catalog;
+  util::Rng rng(options.seed);
+  catalog.items_.reserve(options.item_count);
+
+  // Mixed media population: thumbnails, medium and large images.
+  static const int kImageSizes[][2] = {
+      {256, 256}, {512, 384}, {512, 512}, {1024, 768}, {1024, 1024}};
+
+  for (std::size_t i = 0; i < options.item_count; ++i) {
+    CatalogItem item;
+    item.id = i;
+    item.unique = rng.NextDouble() < options.unique_fraction;
+    item.is_image = rng.NextDouble() >= options.text_fraction;
+    if (item.is_image) {
+      const auto& size = kImageSizes[rng.NextIndex(5)];
+      item.width = size[0];
+      item.height = size[1];
+      item.content_bytes =
+          static_cast<std::size_t>(item.width) * item.height / 8;
+      // Prompt metadata: prompt (120-262 chars) + name/width/height fields,
+      // matching the paper's observed range and 428 B worst case.
+      item.prompt_bytes = 150 + rng.NextBounded(270);
+    } else {
+      item.words = 100 + static_cast<int>(rng.NextBounded(400));
+      item.content_bytes = static_cast<std::size_t>(item.words) * 5;
+      item.prompt_bytes = 200 + rng.NextBounded(450);  // bullets
+    }
+    // Zipf popularity by rank (item order is rank order).
+    item.popularity_weight =
+        1.0 / std::pow(static_cast<double>(i + 1), options.zipf_exponent);
+    catalog.items_.push_back(item);
+  }
+
+  catalog.cumulative_.resize(catalog.items_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < catalog.items_.size(); ++i) {
+    total += catalog.items_[i].popularity_weight;
+    catalog.cumulative_[i] = total;
+  }
+  for (double& c : catalog.cumulative_) c /= total;
+  return catalog;
+}
+
+std::uint64_t Catalog::TotalContentBytes() const {
+  std::uint64_t total = 0;
+  for (const CatalogItem& item : items_) total += item.content_bytes;
+  return total;
+}
+
+std::uint64_t Catalog::TotalPromptModeBytes() const {
+  std::uint64_t total = 0;
+  for (const CatalogItem& item : items_) {
+    total += item.unique ? item.content_bytes : item.prompt_bytes;
+  }
+  return total;
+}
+
+std::size_t Catalog::SampleRequest(util::Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) return items_.size() - 1;
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+}  // namespace sww::cdn

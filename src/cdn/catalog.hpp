@@ -1,0 +1,60 @@
+// catalog.hpp — the content catalog behind the CDN simulation (§2.2).
+//
+// "We identify Content Distribution Networks as a place where SWW is
+// likely to have a large impact ... By moving to storing prompts rather
+// than storing content, CDNs can reduce storage requirements."
+//
+// A catalog holds the origin's media items with both representations'
+// sizes: the prompt/metadata form and the traditional materialized form.
+// Synthetic catalogs mirror web media populations: mostly images of mixed
+// resolutions plus text blocks, with Zipf-distributed request popularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sww::cdn {
+
+struct CatalogItem {
+  std::uint64_t id = 0;
+  bool is_image = true;
+  int width = 0, height = 0;   // images
+  int words = 0;               // text
+  std::size_t prompt_bytes = 0;      ///< metadata/prompt representation
+  std::size_t content_bytes = 0;     ///< traditional materialized bytes
+  bool unique = false;               ///< unique content: no prompt form
+  double popularity_weight = 1.0;    ///< Zipf weight (normalized externally)
+};
+
+struct CatalogOptions {
+  std::size_t item_count = 10000;
+  double unique_fraction = 0.15;  ///< items that must stay traditional
+  double text_fraction = 0.25;    ///< text blocks vs images
+  double zipf_exponent = 0.9;     ///< request popularity skew
+  std::uint64_t seed = 99;
+};
+
+class Catalog {
+ public:
+  static Catalog MakeSynthetic(const CatalogOptions& options);
+
+  const std::vector<CatalogItem>& items() const { return items_; }
+  const CatalogItem& item(std::size_t index) const { return items_.at(index); }
+  std::size_t size() const { return items_.size(); }
+
+  /// Total bytes to store everything in each representation.
+  std::uint64_t TotalContentBytes() const;
+  std::uint64_t TotalPromptModeBytes() const;  ///< prompts + unique content
+
+  /// Draw a request (item index) from the Zipf popularity distribution.
+  std::size_t SampleRequest(util::Rng& rng) const;
+
+ private:
+  std::vector<CatalogItem> items_;
+  std::vector<double> cumulative_;  // popularity CDF for sampling
+};
+
+}  // namespace sww::cdn

@@ -1,0 +1,86 @@
+#include "cdn/edge.hpp"
+
+namespace sww::cdn {
+
+EdgeNode::EdgeNode(EdgeMode mode, std::uint64_t storage_budget_bytes,
+                   const genai::ImageModelSpec& image_model,
+                   const genai::TextModelSpec& text_model)
+    : mode_(mode),
+      storage_budget_(storage_budget_bytes),
+      image_model_(image_model),
+      text_model_(text_model) {}
+
+std::size_t EdgeNode::CachedSize(const CatalogItem& item) const {
+  if (item.unique || mode_ == EdgeMode::kContentMode) return item.content_bytes;
+  return item.prompt_bytes;
+}
+
+double EdgeNode::GenerateSeconds(const CatalogItem& item) const {
+  if (item.is_image) {
+    return energy::ImageGenerationSeconds(energy::Workstation(), image_model_,
+                                          image_model_.default_steps,
+                                          item.width, item.height);
+  }
+  return energy::TextGenerationSeconds(energy::Workstation(), text_model_,
+                                       item.words);
+}
+
+double EdgeNode::GenerateEnergyWh(const CatalogItem& item) const {
+  if (item.is_image) {
+    return energy::ImageGenerationEnergyWh(energy::Workstation(), image_model_,
+                                           image_model_.default_steps,
+                                           item.width, item.height);
+  }
+  return energy::TextGenerationEnergyWh(energy::Workstation(), text_model_,
+                                        item.words);
+}
+
+void EdgeNode::Touch(std::uint64_t id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+}
+
+void EdgeNode::Insert(const CatalogItem& item) {
+  const std::size_t bytes = CachedSize(item);
+  if (bytes > storage_budget_) return;  // never fits; serve pass-through
+  lru_.emplace_front(item.id, bytes);
+  index_[item.id] = lru_.begin();
+  stored_bytes_ += bytes;
+  EvictToFit();
+}
+
+void EdgeNode::EvictToFit() {
+  while (stored_bytes_ > storage_budget_ && !lru_.empty()) {
+    const auto& [id, bytes] = lru_.back();
+    stored_bytes_ -= bytes;
+    index_.erase(id);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void EdgeNode::ServeRequest(const CatalogItem& item) {
+  ++stats_.requests;
+  const bool hit = index_.find(item.id) != index_.end();
+  if (hit) {
+    ++stats_.hits;
+    Touch(item.id);
+  } else {
+    ++stats_.misses;
+    // Miss: fetch from origin in the cached representation's form.
+    stats_.bytes_from_origin += CachedSize(item);
+    Insert(item);
+  }
+  // Users always receive materialized content ("loses data transmission
+  // benefits" — the edge-to-user hop carries full bytes in prompt mode).
+  stats_.bytes_to_users += item.content_bytes;
+  // Prompt mode materializes on every user request for non-unique items.
+  if (mode_ == EdgeMode::kPromptMode && !item.unique) {
+    stats_.generation_seconds += GenerateSeconds(item);
+    stats_.generation_energy_wh += GenerateEnergyWh(item);
+  }
+}
+
+}  // namespace sww::cdn

@@ -1,0 +1,85 @@
+// edge.hpp — an edge/cache node in the CDN simulation (§2.2).
+//
+// Two operating modes, the paper's comparison:
+//   * content mode — today's CDN: the edge caches materialized bytes (LRU
+//     within a storage budget); misses fetch from the origin.
+//   * prompt mode — the SWW intermediate solution: "media is sent from the
+//     content provider to caching locations or edge servers as prompts,
+//     and only the prompts are saved at the edge.  At a request of a user,
+//     the edge server uses the prompt to generate the content and sends it
+//     to the requester.  This approach maintains the storage benefits, but
+//     loses data transmission benefits."  Plus the energy trade-off the
+//     paper flags: every prompt-mode hit pays edge generation time/energy.
+//
+// Unique items are cached as content in both modes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "cdn/catalog.hpp"
+#include "energy/device.hpp"
+#include "genai/model_specs.hpp"
+
+namespace sww::cdn {
+
+enum class EdgeMode { kContentMode, kPromptMode };
+
+struct EdgeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_to_users = 0;     ///< always materialized content
+  std::uint64_t bytes_from_origin = 0;  ///< miss traffic (mode-dependent form)
+  std::uint64_t evictions = 0;
+  double generation_seconds = 0.0;      ///< prompt-mode materialization
+  double generation_energy_wh = 0.0;
+
+  double HitRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(requests);
+  }
+};
+
+class EdgeNode {
+ public:
+  /// `storage_budget_bytes` caps cached bytes (LRU eviction).  Prompt-mode
+  /// generation runs on the workstation profile with the given image model
+  /// (the paper's edge servers are workstation-class).
+  EdgeNode(EdgeMode mode, std::uint64_t storage_budget_bytes,
+           const genai::ImageModelSpec& image_model,
+           const genai::TextModelSpec& text_model);
+
+  /// Serve one request; updates stats and cache state.
+  void ServeRequest(const CatalogItem& item);
+
+  EdgeMode mode() const { return mode_; }
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+  std::uint64_t storage_budget() const { return storage_budget_; }
+  const EdgeStats& stats() const { return stats_; }
+
+ private:
+  /// Bytes this item occupies in this edge's cache.
+  std::size_t CachedSize(const CatalogItem& item) const;
+  void Touch(std::uint64_t id);
+  void Insert(const CatalogItem& item);
+  void EvictToFit();
+  double GenerateSeconds(const CatalogItem& item) const;
+  double GenerateEnergyWh(const CatalogItem& item) const;
+
+  EdgeMode mode_;
+  std::uint64_t storage_budget_;
+  genai::ImageModelSpec image_model_;
+  genai::TextModelSpec text_model_;
+
+  // LRU: most recent at front.
+  std::list<std::pair<std::uint64_t, std::size_t>> lru_;  // (id, bytes)
+  std::unordered_map<std::uint64_t, std::list<std::pair<std::uint64_t, std::size_t>>::iterator>
+      index_;
+  std::uint64_t stored_bytes_ = 0;
+  EdgeStats stats_;
+};
+
+}  // namespace sww::cdn

@@ -1,0 +1,67 @@
+#include "cdn/simulator.hpp"
+
+#include "energy/carbon.hpp"
+#include "genai/model_specs.hpp"
+
+namespace sww::cdn {
+
+FleetResult RunFleet(const Catalog& catalog, EdgeMode mode,
+                     const SimulationOptions& options) {
+  const auto image_model = genai::FindImageModel(genai::kSd3Medium).value();
+  const auto text_model = genai::FindTextModel(genai::kDeepseek8b).value();
+
+  std::vector<EdgeNode> edges;
+  edges.reserve(static_cast<std::size_t>(options.edge_count));
+  for (int e = 0; e < options.edge_count; ++e) {
+    edges.emplace_back(mode, options.storage_budget_bytes, image_model,
+                       text_model);
+  }
+
+  // Users are sharded to edges by a stable hash of the request index; the
+  // same stream hits both modes identically.
+  util::Rng rng(options.seed);
+  for (std::uint64_t r = 0; r < options.request_count; ++r) {
+    const std::size_t item_index = catalog.SampleRequest(rng);
+    const std::size_t edge_index =
+        static_cast<std::size_t>(rng.NextBounded(
+            static_cast<std::uint64_t>(options.edge_count)));
+    edges[edge_index].ServeRequest(catalog.item(item_index));
+  }
+
+  FleetResult result;
+  result.mode = mode;
+  std::uint64_t hits = 0, requests = 0;
+  for (const EdgeNode& edge : edges) {
+    result.total_stored_bytes += edge.stored_bytes();
+    result.total_origin_bytes += edge.stats().bytes_from_origin;
+    result.total_user_bytes += edge.stats().bytes_to_users;
+    result.generation_seconds += edge.stats().generation_seconds;
+    result.generation_energy_wh += edge.stats().generation_energy_wh;
+    result.evictions += edge.stats().evictions;
+    hits += edge.stats().hits;
+    requests += edge.stats().requests;
+  }
+  result.hit_rate =
+      requests == 0 ? 0.0 : static_cast<double>(hits) / requests;
+  return result;
+}
+
+ComparisonResult RunComparison(const Catalog& catalog,
+                               const SimulationOptions& options) {
+  ComparisonResult comparison;
+  comparison.content_mode = RunFleet(catalog, EdgeMode::kContentMode, options);
+  comparison.prompt_mode = RunFleet(catalog, EdgeMode::kPromptMode, options);
+  if (comparison.prompt_mode.total_stored_bytes > 0) {
+    comparison.storage_ratio =
+        static_cast<double>(comparison.content_mode.total_stored_bytes) /
+        static_cast<double>(comparison.prompt_mode.total_stored_bytes);
+  }
+  const std::uint64_t saved =
+      comparison.content_mode.total_stored_bytes -
+      std::min(comparison.content_mode.total_stored_bytes,
+               comparison.prompt_mode.total_stored_bytes);
+  comparison.carbon_saved_kg = energy::EmbodiedCarbonKg(saved);
+  return comparison;
+}
+
+}  // namespace sww::cdn

@@ -1,0 +1,51 @@
+// simulator.hpp — whole-CDN comparison harness (§2.2).
+//
+// Runs the same Zipf request stream against a fleet of edges in content
+// mode and in prompt mode, and aggregates the quantities the paper argues
+// about: edge storage footprint, hit rates under a fixed storage budget,
+// origin traffic, user-side traffic, edge generation energy, and the
+// embodied-carbon value of the storage saved.
+#pragma once
+
+#include <vector>
+
+#include "cdn/catalog.hpp"
+#include "cdn/edge.hpp"
+
+namespace sww::cdn {
+
+struct SimulationOptions {
+  int edge_count = 4;
+  std::uint64_t storage_budget_bytes = 64ull << 20;  ///< per edge
+  std::uint64_t request_count = 200000;
+  std::uint64_t seed = 1234;
+};
+
+struct FleetResult {
+  EdgeMode mode;
+  std::uint64_t total_stored_bytes = 0;
+  std::uint64_t total_origin_bytes = 0;
+  std::uint64_t total_user_bytes = 0;
+  double hit_rate = 0.0;
+  double generation_seconds = 0.0;
+  double generation_energy_wh = 0.0;
+  std::uint64_t evictions = 0;
+};
+
+struct ComparisonResult {
+  FleetResult content_mode;
+  FleetResult prompt_mode;
+  /// Storage footprint ratio content/prompt (the paper's headline benefit).
+  double storage_ratio = 0.0;
+  /// Embodied carbon saved by the smaller footprint, kgCO2e.
+  double carbon_saved_kg = 0.0;
+};
+
+ComparisonResult RunComparison(const Catalog& catalog,
+                               const SimulationOptions& options);
+
+/// One fleet, one mode.
+FleetResult RunFleet(const Catalog& catalog, EdgeMode mode,
+                     const SimulationOptions& options);
+
+}  // namespace sww::cdn

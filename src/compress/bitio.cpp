@@ -1,0 +1,43 @@
+#include "compress/bitio.hpp"
+
+namespace sww::compress {
+
+void BitWriter::Write(std::uint32_t bits, int count) {
+  const std::uint32_t mask =
+      count >= 32 ? 0xffffffffu : ((1u << count) - 1u);
+  accumulator_ |= static_cast<std::uint64_t>(bits & mask) << pending_bits_;
+  pending_bits_ += count;
+  total_bits_ += static_cast<std::size_t>(count);
+  while (pending_bits_ >= 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(accumulator_));
+    accumulator_ >>= 8;
+    pending_bits_ -= 8;
+  }
+}
+
+util::Bytes BitWriter::Finish() && {
+  if (pending_bits_ > 0) {
+    buffer_.push_back(static_cast<std::uint8_t>(accumulator_));
+    accumulator_ = 0;
+    pending_bits_ = 0;
+  }
+  return std::move(buffer_);
+}
+
+util::Result<std::uint32_t> BitReader::Read(int count) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t byte_index = bit_position_ >> 3;
+    if (byte_index >= bytes_.size()) {
+      return util::Error(util::ErrorCode::kTruncated, "bit stream exhausted");
+    }
+    const int bit_index = static_cast<int>(bit_position_ & 7);
+    if ((bytes_[byte_index] >> bit_index) & 1) {
+      value |= (1u << i);
+    }
+    ++bit_position_;
+  }
+  return value;
+}
+
+}  // namespace sww::compress

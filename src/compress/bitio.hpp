@@ -1,0 +1,44 @@
+// bitio.hpp — LSB-first bit stream reader/writer for the swz coder.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::compress {
+
+/// Append bits LSB-first into a growing byte buffer.
+class BitWriter {
+ public:
+  /// Write the low `count` bits of `bits` (count ≤ 32).
+  void Write(std::uint32_t bits, int count);
+
+  /// Pad the final partial byte with zero bits and return the buffer.
+  util::Bytes Finish() &&;
+
+  std::size_t bit_count() const { return total_bits_; }
+
+ private:
+  util::Bytes buffer_;
+  std::uint64_t accumulator_ = 0;
+  int pending_bits_ = 0;
+  std::size_t total_bits_ = 0;
+};
+
+/// Read bits LSB-first from a byte span.
+class BitReader {
+ public:
+  explicit BitReader(util::BytesView bytes) : bytes_(bytes) {}
+
+  /// Read `count` bits (count ≤ 32); kTruncated past the end.
+  util::Result<std::uint32_t> Read(int count);
+
+  std::size_t bits_consumed() const { return bit_position_; }
+
+ private:
+  util::BytesView bytes_;
+  std::size_t bit_position_ = 0;
+};
+
+}  // namespace sww::compress

@@ -1,0 +1,242 @@
+#include "compress/huffman_coder.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace sww::compress {
+
+using util::Bytes;
+using util::BytesView;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+/// Reverse the low `length` bits (canonical codes are MSB-first by
+/// construction; our bit IO is LSB-first).
+std::uint32_t ReverseBits(std::uint32_t value, int length) {
+  std::uint32_t reversed = 0;
+  for (int i = 0; i < length; ++i) {
+    reversed = (reversed << 1) | ((value >> i) & 1);
+  }
+  return reversed;
+}
+
+}  // namespace
+
+HuffmanCode HuffmanCode::FromFrequencies(
+    const std::array<std::uint64_t, kSymbolCount>& frequencies) {
+  HuffmanCode code;
+
+  // Standard heap-based Huffman over present symbols.
+  struct Node {
+    std::uint64_t weight;
+    int index;        // tie-break for determinism
+    int left = -1;    // children into `nodes`
+    int right = -1;
+    int symbol = -1;  // leaf symbol
+  };
+  std::vector<Node> nodes;
+  auto compare = [&nodes](int a, int b) {
+    if (nodes[static_cast<std::size_t>(a)].weight !=
+        nodes[static_cast<std::size_t>(b)].weight) {
+      return nodes[static_cast<std::size_t>(a)].weight >
+             nodes[static_cast<std::size_t>(b)].weight;
+    }
+    return nodes[static_cast<std::size_t>(a)].index >
+           nodes[static_cast<std::size_t>(b)].index;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(compare)> heap(compare);
+
+  int present = 0;
+  for (int s = 0; s < kSymbolCount; ++s) {
+    if (frequencies[static_cast<std::size_t>(s)] > 0) {
+      Node node;
+      node.weight = frequencies[static_cast<std::size_t>(s)];
+      node.index = static_cast<int>(nodes.size());
+      node.symbol = s;
+      nodes.push_back(node);
+      heap.push(node.index);
+      ++present;
+    }
+  }
+  if (present == 0) return code;
+  if (present == 1) {
+    // A single-symbol alphabet still needs a 1-bit code.
+    for (int s = 0; s < kSymbolCount; ++s) {
+      if (frequencies[static_cast<std::size_t>(s)] > 0) {
+        code.lengths[static_cast<std::size_t>(s)] = 1;
+      }
+    }
+    code.AssignCanonicalCodes();
+    return code;
+  }
+
+  while (heap.size() > 1) {
+    const int a = heap.top();
+    heap.pop();
+    const int b = heap.top();
+    heap.pop();
+    Node parent;
+    parent.weight = nodes[static_cast<std::size_t>(a)].weight +
+                    nodes[static_cast<std::size_t>(b)].weight;
+    parent.index = static_cast<int>(nodes.size());
+    parent.left = a;
+    parent.right = b;
+    nodes.push_back(parent);
+    heap.push(parent.index);
+  }
+
+  // Depth-assign via explicit stack.
+  std::vector<std::pair<int, int>> stack{{heap.top(), 0}};
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(index)];
+    if (node.symbol >= 0) {
+      code.lengths[static_cast<std::size_t>(node.symbol)] =
+          static_cast<std::uint8_t>(std::max(1, depth));
+    } else {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+
+  // Length-limit to kMaxCodeLength: flatten over-deep codes and repair the
+  // Kraft sum by deepening the shallowest codes (simple, deterministic).
+  bool overflow = false;
+  for (int s = 0; s < kSymbolCount; ++s) {
+    if (code.lengths[static_cast<std::size_t>(s)] > kMaxCodeLength) {
+      code.lengths[static_cast<std::size_t>(s)] = kMaxCodeLength;
+      overflow = true;
+    }
+  }
+  if (overflow) {
+    auto kraft = [&code]() {
+      std::uint64_t sum = 0;  // in units of 2^-kMaxCodeLength
+      for (int s = 0; s < kSymbolCount; ++s) {
+        const int len = code.lengths[static_cast<std::size_t>(s)];
+        if (len > 0) sum += 1ULL << (kMaxCodeLength - len);
+      }
+      return sum;
+    };
+    const std::uint64_t budget = 1ULL << kMaxCodeLength;
+    while (kraft() > budget) {
+      // Deepen the longest code shorter than the limit.
+      int best = -1;
+      for (int s = 0; s < kSymbolCount; ++s) {
+        const int len = code.lengths[static_cast<std::size_t>(s)];
+        if (len > 0 && len < kMaxCodeLength &&
+            (best < 0 || len > code.lengths[static_cast<std::size_t>(best)])) {
+          best = s;
+        }
+      }
+      if (best < 0) break;
+      code.lengths[static_cast<std::size_t>(best)]++;
+    }
+  }
+
+  code.AssignCanonicalCodes();
+  return code;
+}
+
+void HuffmanCode::AssignCanonicalCodes() {
+  // Count codes per length, then assign increasing values per the
+  // canonical rule (as in DEFLATE).
+  std::array<int, kMaxCodeLength + 1> length_count{};
+  for (int s = 0; s < kSymbolCount; ++s) {
+    ++length_count[lengths[static_cast<std::size_t>(s)]];
+  }
+  length_count[0] = 0;
+  std::array<std::uint32_t, kMaxCodeLength + 2> next_code{};
+  std::uint32_t running = 0;
+  for (int len = 1; len <= kMaxCodeLength; ++len) {
+    running = (running + static_cast<std::uint32_t>(length_count[len - 1])) << 1;
+    next_code[len] = running;
+  }
+  for (int s = 0; s < kSymbolCount; ++s) {
+    const int len = lengths[static_cast<std::size_t>(s)];
+    if (len == 0) continue;
+    codes[static_cast<std::size_t>(s)] = ReverseBits(next_code[len]++, len);
+  }
+}
+
+Bytes HuffmanCompress(BytesView data) {
+  std::array<std::uint64_t, kSymbolCount> frequencies{};
+  for (std::uint8_t byte : data) ++frequencies[byte];
+  const HuffmanCode code = HuffmanCode::FromFrequencies(frequencies);
+
+  BitWriter writer;
+  for (int s = 0; s < kSymbolCount; ++s) {
+    writer.Write(code.lengths[static_cast<std::size_t>(s)], 4);
+  }
+  for (std::uint8_t byte : data) {
+    writer.Write(code.codes[byte], code.lengths[byte]);
+  }
+  return std::move(writer).Finish();
+}
+
+Result<Bytes> HuffmanDecompress(BytesView coded, std::size_t expected_size) {
+  BitReader reader(coded);
+  HuffmanCode code;
+  bool any = false;
+  for (int s = 0; s < kSymbolCount; ++s) {
+    auto nibble = reader.Read(4);
+    if (!nibble) return nibble.error();
+    code.lengths[static_cast<std::size_t>(s)] =
+        static_cast<std::uint8_t>(nibble.value());
+    if (nibble.value() > 0) any = true;
+  }
+  if (!any) {
+    if (expected_size != 0) {
+      return Error(ErrorCode::kMalformed, "swz: empty code, nonempty payload");
+    }
+    return Bytes{};
+  }
+  code.AssignCanonicalCodes();
+
+  // Decode table: because codes are LSB-first we walk bit by bit against
+  // candidate (code, length) pairs via a small per-length lookup.
+  struct Candidate {
+    std::uint32_t code;
+    int symbol;
+  };
+  std::array<std::vector<Candidate>, kMaxCodeLength + 1> by_length;
+  for (int s = 0; s < kSymbolCount; ++s) {
+    const int len = code.lengths[static_cast<std::size_t>(s)];
+    if (len > 0) {
+      by_length[static_cast<std::size_t>(len)].push_back(
+          Candidate{code.codes[static_cast<std::size_t>(s)], s});
+    }
+  }
+
+  Bytes out;
+  out.reserve(expected_size);
+  while (out.size() < expected_size) {
+    std::uint32_t bits = 0;
+    int length = 0;
+    int symbol = -1;
+    while (length < kMaxCodeLength && symbol < 0) {
+      auto bit = reader.Read(1);
+      if (!bit) return bit.error();
+      bits |= (bit.value() << length);
+      ++length;
+      for (const Candidate& candidate :
+           by_length[static_cast<std::size_t>(length)]) {
+        if (candidate.code == bits) {
+          symbol = candidate.symbol;
+          break;
+        }
+      }
+    }
+    if (symbol < 0) {
+      return Error(ErrorCode::kMalformed, "swz: invalid huffman code");
+    }
+    out.push_back(static_cast<std::uint8_t>(symbol));
+  }
+  return out;
+}
+
+}  // namespace sww::compress

@@ -1,0 +1,45 @@
+// huffman_coder.hpp — dynamic canonical Huffman coding over byte symbols.
+//
+// Unlike hpack/huffman.hpp (the *fixed* HPACK code), this builds a code
+// from observed frequencies, transmits it as a canonical length table
+// (256 × 4 bits), and codes the stream with it — the entropy stage of the
+// swz content coding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "compress/bitio.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::compress {
+
+inline constexpr int kMaxCodeLength = 15;
+inline constexpr int kSymbolCount = 256;
+
+/// Code lengths per symbol (0 = symbol unused), canonical assignment.
+struct HuffmanCode {
+  std::array<std::uint8_t, kSymbolCount> lengths{};
+  std::array<std::uint32_t, kSymbolCount> codes{};  // LSB-first, reversed
+
+  /// Build length-limited code lengths from frequencies, then canonical
+  /// codes.  Always succeeds (falls back to flattening over-deep trees).
+  static HuffmanCode FromFrequencies(
+      const std::array<std::uint64_t, kSymbolCount>& frequencies);
+
+  /// Recompute canonical codes from the length table (after transmit).
+  void AssignCanonicalCodes();
+};
+
+/// Encode `data` with a per-buffer code.  Output layout:
+///   [256 × 4-bit length nibbles][coded bits...]
+/// Lengths above 15 cannot occur; a nibble of 0 means unused symbol.
+util::Bytes HuffmanCompress(util::BytesView data);
+
+/// Inverse of HuffmanCompress; `expected_size` bounds the output (from the
+/// container header) so corrupt streams cannot balloon.
+util::Result<util::Bytes> HuffmanDecompress(util::BytesView coded,
+                                            std::size_t expected_size);
+
+}  // namespace sww::compress

@@ -1,0 +1,185 @@
+#include "compress/swz.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "compress/huffman_coder.hpp"
+
+namespace sww::compress {
+
+using util::Bytes;
+using util::BytesView;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+constexpr std::uint32_t kHashSize = 1 << 15;
+
+std::uint32_t HashPrefix(const std::uint8_t* p) {
+  // Multiplicative hash of a 4-byte prefix.
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 17;
+}
+
+}  // namespace
+
+Bytes Lz77Tokenize(BytesView data) {
+  Bytes ops;
+  ops.reserve(data.size() / 2 + 16);
+
+  // Hash chains over 4-byte prefixes.
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> previous(data.size(), -1);
+
+  Bytes pending_literals;
+  auto flush_literals = [&]() {
+    std::size_t offset = 0;
+    while (offset < pending_literals.size()) {
+      const std::size_t run =
+          std::min<std::size_t>(0x80, pending_literals.size() - offset);
+      ops.push_back(static_cast<std::uint8_t>(run - 1));
+      ops.insert(ops.end(), pending_literals.begin() + static_cast<std::ptrdiff_t>(offset),
+                 pending_literals.begin() + static_cast<std::ptrdiff_t>(offset + run));
+      offset += run;
+    }
+    pending_literals.clear();
+  };
+
+  std::size_t position = 0;
+  while (position < data.size()) {
+    std::size_t best_length = 0;
+    std::size_t best_distance = 0;
+    if (position + kMinMatch <= data.size()) {
+      const std::uint32_t hash = HashPrefix(&data[position]);
+      std::int64_t candidate = head[hash];
+      int chain_budget = 32;
+      while (candidate >= 0 && chain_budget-- > 0) {
+        const std::size_t distance = position - static_cast<std::size_t>(candidate);
+        if (distance > kWindowSize) break;
+        // Extend the match.
+        std::size_t length = 0;
+        const std::size_t limit =
+            std::min(kMaxMatch, data.size() - position);
+        while (length < limit &&
+               data[static_cast<std::size_t>(candidate) + length] ==
+                   data[position + length]) {
+          ++length;
+        }
+        if (length > best_length) {
+          best_length = length;
+          best_distance = distance;
+          if (length == kMaxMatch) break;
+        }
+        candidate = previous[static_cast<std::size_t>(candidate)];
+      }
+    }
+
+    if (best_length >= kMinMatch) {
+      flush_literals();
+      ops.push_back(static_cast<std::uint8_t>(0x80 + (best_length - kMinMatch)));
+      const std::uint16_t distance_field =
+          static_cast<std::uint16_t>(best_distance - 1);
+      ops.push_back(static_cast<std::uint8_t>(distance_field >> 8));
+      ops.push_back(static_cast<std::uint8_t>(distance_field));
+      // Insert hash entries for every covered position.
+      const std::size_t end = position + best_length;
+      while (position < end) {
+        if (position + kMinMatch <= data.size()) {
+          const std::uint32_t hash = HashPrefix(&data[position]);
+          previous[position] = head[hash];
+          head[hash] = static_cast<std::int64_t>(position);
+        }
+        ++position;
+      }
+    } else {
+      if (position + kMinMatch <= data.size()) {
+        const std::uint32_t hash = HashPrefix(&data[position]);
+        previous[position] = head[hash];
+        head[hash] = static_cast<std::int64_t>(position);
+      }
+      pending_literals.push_back(data[position]);
+      ++position;
+    }
+  }
+  flush_literals();
+  return ops;
+}
+
+Result<Bytes> Lz77Reconstruct(BytesView ops, std::size_t expected_size) {
+  Bytes out;
+  out.reserve(expected_size);
+  std::size_t position = 0;
+  while (position < ops.size() && out.size() < expected_size) {
+    const std::uint8_t control = ops[position++];
+    if (control < 0x80) {
+      const std::size_t run = static_cast<std::size_t>(control) + 1;
+      if (position + run > ops.size()) {
+        return Error(ErrorCode::kTruncated, "swz: literal run past end");
+      }
+      out.insert(out.end(), ops.begin() + static_cast<std::ptrdiff_t>(position),
+                 ops.begin() + static_cast<std::ptrdiff_t>(position + run));
+      position += run;
+    } else {
+      if (position + 2 > ops.size()) {
+        return Error(ErrorCode::kTruncated, "swz: match header past end");
+      }
+      const std::size_t length = (control - 0x80) + kMinMatch;
+      const std::size_t distance =
+          (static_cast<std::size_t>(ops[position]) << 8 | ops[position + 1]) + 1;
+      position += 2;
+      if (distance > out.size()) {
+        return Error(ErrorCode::kMalformed, "swz: match distance before start");
+      }
+      for (std::size_t i = 0; i < length; ++i) {
+        out.push_back(out[out.size() - distance]);  // overlapping copies OK
+      }
+    }
+  }
+  if (out.size() != expected_size) {
+    return Error(ErrorCode::kMalformed, "swz: reconstructed size mismatch");
+  }
+  return out;
+}
+
+Bytes SwzCompress(BytesView data) {
+  const Bytes ops = Lz77Tokenize(data);
+  const Bytes coded = HuffmanCompress(ops);
+
+  util::ByteWriter writer(coded.size() + 12);
+  writer.WriteString("SWZ1");
+  writer.WriteU32(static_cast<std::uint32_t>(data.size()));
+  // The op-stream length is needed to bound Huffman decode.
+  writer.WriteU32(static_cast<std::uint32_t>(ops.size()));
+  writer.WriteBytes(coded);
+  return std::move(writer).TakeBytes();
+}
+
+Result<Bytes> SwzDecompress(BytesView compressed) {
+  util::ByteReader reader(compressed);
+  auto magic = reader.ReadString(4);
+  if (!magic) return magic.error();
+  if (magic.value() != "SWZ1") {
+    return Error(ErrorCode::kMalformed, "swz: bad magic");
+  }
+  auto original_size = reader.ReadU32();
+  if (!original_size) return original_size.error();
+  auto ops_size = reader.ReadU32();
+  if (!ops_size) return ops_size.error();
+  auto ops = HuffmanDecompress(reader.Rest(), ops_size.value());
+  if (!ops) return ops.error();
+  return Lz77Reconstruct(ops.value(), original_size.value());
+}
+
+double SwzRatio(BytesView data) {
+  if (data.empty()) return 1.0;
+  const Bytes compressed = SwzCompress(data);
+  return static_cast<double>(data.size()) /
+         static_cast<double>(compressed.size());
+}
+
+}  // namespace sww::compress

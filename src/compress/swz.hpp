@@ -1,0 +1,49 @@
+// swz.hpp — the swz content coding: LZ77 + canonical Huffman.
+//
+// A self-contained DEFLATE-class compressor used as the HTTP content
+// coding for SWW pages ("accept-encoding: swz").  Prompts are text, so
+// they compress well — the coding stacks with the prompt-for-media
+// substitution itself (§2.1's "reduced network load" benefit).
+//
+// Format:
+//   magic "SWZ1" (4 bytes)
+//   original size, u32 big-endian
+//   Huffman-coded LZ77 op stream (see lz77.cpp for the op grammar)
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::compress {
+
+/// The content-coding token used in accept-encoding / content-encoding.
+inline constexpr std::string_view kContentCoding = "swz";
+
+/// Compress. Always succeeds; output may exceed input for incompressible
+/// data (callers keep the original when that happens).
+util::Bytes SwzCompress(util::BytesView data);
+
+/// Decompress. Validates magic, size and the coded stream.
+util::Result<util::Bytes> SwzDecompress(util::BytesView compressed);
+
+/// Convenience: compression ratio of `data` under swz.
+double SwzRatio(util::BytesView data);
+
+// --- LZ77 stage (exposed for tests) ----------------------------------------
+
+/// Tokenize into the op-stream grammar:
+///   control byte C:
+///     C < 0x80 → literal run of C+1 bytes (raw bytes follow)
+///     C ≥ 0x80 → match of length (C-0x80)+kMinMatch, then distance-1 as
+///                u16 big-endian (window ≤ 64 KiB)
+util::Bytes Lz77Tokenize(util::BytesView data);
+
+/// Reconstruct original bytes from an op stream.
+util::Result<util::Bytes> Lz77Reconstruct(util::BytesView ops,
+                                          std::size_t expected_size);
+
+inline constexpr std::size_t kMinMatch = 4;
+inline constexpr std::size_t kMaxMatch = 0x7f + kMinMatch;  // 131
+inline constexpr std::size_t kWindowSize = 1 << 16;
+
+}  // namespace sww::compress

@@ -1,0 +1,280 @@
+#include "core/client.hpp"
+
+#include "compress/swz.hpp"
+#include "genai/upscaler.hpp"
+#include "html/generated_content.hpp"
+#include "html/parser.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace sww::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<GenerativeClient>> GenerativeClient::Create(
+    Options options) {
+  const energy::DeviceProfile& device =
+      options.laptop ? energy::Laptop() : energy::Workstation();
+  auto generator = MediaGenerator::Create(device, options.generator);
+  if (!generator) return generator.error();
+  return std::unique_ptr<GenerativeClient>(
+      new GenerativeClient(std::move(options), std::move(generator).value()));
+}
+
+GenerativeClient::GenerativeClient(Options options, MediaGenerator generator)
+    : options_(std::move(options)),
+      generator_(std::make_unique<MediaGenerator>(std::move(generator))),
+      prompt_cache_(options_.prompt_cache_bytes) {
+  http2::Connection::Options conn_options;
+  conn_options.local_settings.set_gen_ability(options_.advertised_ability);
+  conn_options.local_settings.set_enable_push(false);
+  conn_options.local_settings.set_initial_window_size(1 << 20);
+  connection_ = std::make_unique<http2::Connection>(
+      http2::Connection::Role::kClient, conn_options);
+}
+
+void GenerativeClient::DrainEvents() {
+  for (const http2::Connection::Event& event : connection_->TakeEvents()) {
+    using Type = http2::Connection::Event::Type;
+    switch (event.type) {
+      case Type::kMessageComplete:
+        completed_streams_.insert(event.stream_id);
+        break;
+      case Type::kRemoteSettingsReceived:
+        // §5.2: the client logs the server's advertised ability.
+        util::LogInfo("sww.client",
+                      "server gen ability: " +
+                          http2::GenAbilityToString(
+                              connection_->remote_settings().gen_ability()));
+        break;
+      case Type::kStreamReset:
+        completed_streams_.insert(event.stream_id);  // surfaces as missing data
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+Status GenerativeClient::PumpUntilComplete(std::uint32_t stream_id,
+                                           const PumpFn& pump) {
+  constexpr int kMaxRounds = 1024;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    DrainEvents();
+    if (completed_streams_.count(stream_id) != 0) return Status::Ok();
+    if (Status status = pump(); !status.ok()) return status;
+  }
+  return Error(ErrorCode::kIo, "pump did not complete stream " +
+                                   std::to_string(stream_id));
+}
+
+Result<Response> GenerativeClient::FetchRaw(const std::string& path,
+                                            const PumpFn& pump) {
+  return FetchRaw(path, pump, {});
+}
+
+Result<Response> GenerativeClient::FetchRaw(
+    const std::string& path, const PumpFn& pump,
+    const hpack::HeaderList& extra_headers) {
+  if (!connection_->handshake_started()) {
+    connection_->StartHandshake();
+  }
+  Request request;
+  request.path = path;
+  request.authority = "sww.local";
+  request.extra_headers = extra_headers;
+  if (options_.accept_compression) {
+    request.extra_headers.push_back(
+        {"accept-encoding", std::string(compress::kContentCoding), false});
+  }
+  auto stream_id = connection_->SubmitRequest(request.ToHeaders(), {});
+  if (!stream_id) return stream_id.error();
+  if (Status status = PumpUntilComplete(stream_id.value(), pump); !status.ok()) {
+    return status.error();
+  }
+  const http2::Stream* stream = connection_->FindStream(stream_id.value());
+  if (stream == nullptr) {
+    return Error(ErrorCode::kInternal, "completed stream vanished");
+  }
+  auto response = ParseResponse(stream->headers, stream->body);
+  completed_streams_.erase(stream_id.value());
+  connection_->ReleaseStream(stream_id.value());
+  if (!response) return response;
+  // Transparent content decoding: body becomes the decoded entity while
+  // wire_body_bytes keeps what actually crossed the network.
+  if (response.value().Header("content-encoding").value_or("") ==
+      compress::kContentCoding) {
+    auto decoded = compress::SwzDecompress(response.value().body);
+    if (!decoded) return decoded.error();
+    response.value().body = std::move(decoded).value();
+  }
+  return response;
+}
+
+Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
+  auto document = html::ParseDocument(util::ToString(fetch.response.body));
+  if (!document) return document.error();
+
+  // Client-side generation: materialize every generated-content div.
+  html::ExtractionResult extraction =
+      html::ExtractGeneratedContent(*document.value());
+  for (html::GeneratedContentSpec& spec : extraction.specs) {
+    auto media = generator_->GenerateAndReplace(spec);
+    if (!media) return media.error();
+    fetch.generation_seconds += media.value().seconds;
+    fetch.generation_energy_wh += media.value().energy_wh;
+    if (media.value().type == html::GeneratedContentType::kImage) {
+      fetch.files[media.value().file_path] = media.value().file_bytes;
+    }
+    if (media.value().has_verification) {
+      if (media.value().verification.verified()) {
+        ++fetch.verified_items;
+      } else {
+        ++fetch.failed_verification_items;
+        util::LogWarn("sww.client",
+                      "semantic digest mismatch for generated item '" +
+                          media.value().name + "' (distance " +
+                          std::to_string(media.value().verification.distance) +
+                          ")");
+      }
+    }
+    fetch.media.push_back(std::move(media).value());
+    ++fetch.generated_items;
+  }
+
+  // Unique content files "are fetched, same as today" — follow root-
+  // relative <img> links that generation did not satisfy locally.
+  if (options_.fetch_assets) {
+    for (html::Node* img : document.value()->FindByTag("img")) {
+      const std::string src = img->GetAttribute("src").value_or("");
+      if (src.empty() || src[0] != '/') continue;  // local generated file
+      if (fetch.files.count(src) != 0) continue;
+      auto asset = FetchRaw(src, pump);
+      if (!asset) return asset.error();
+      if (asset.value().status == 200) {
+        fetch.asset_bytes += asset.value().wire_body_bytes;
+        fetch.files[src] = asset.value().body;
+      }
+    }
+  }
+
+  // §2.2 upscale-assist: restore half-resolution assets to authored size.
+  for (html::Node* img : document.value()->FindByTag("img")) {
+    const std::string factor_attr =
+        img->GetAttribute("data-sww-upscale").value_or("");
+    if (factor_attr.empty()) continue;
+    const std::string src = img->GetAttribute("src").value_or("");
+    auto file = fetch.files.find(src);
+    if (file == fetch.files.end()) continue;
+    auto small = genai::Image::FromPpm(util::ToString(file->second));
+    if (!small) continue;  // non-PPM unique asset; leave as-is
+    int width = 0, height = 0;
+    try {
+      width = std::stoi(img->GetAttribute("width").value_or("0"));
+      height = std::stoi(img->GetAttribute("height").value_or("0"));
+    } catch (...) {
+      continue;
+    }
+    if (width <= small.value().width() || height <= small.value().height()) {
+      continue;
+    }
+    auto upscaled = genai::Upscale(small.value(), width, height);
+    if (!upscaled) continue;
+    const std::string ppm = upscaled.value().image.ToPpm();
+    file->second.assign(ppm.begin(), ppm.end());
+    img->RemoveAttribute("data-sww-upscale");
+    ++fetch.upscaled_items;
+    fetch.upscale_seconds +=
+        energy::UpscaleSeconds(generator_->device(), width, height);
+    fetch.upscale_energy_wh +=
+        energy::UpscaleEnergyWh(generator_->device(), width, height);
+  }
+
+  fetch.final_html = document.value()->Serialize();
+  return Status::Ok();
+}
+
+Result<PageFetch> GenerativeClient::FetchPage(const std::string& path,
+                                              const PumpFn& pump) {
+  // Prompt-cache fast path: a cached generative page regenerates entirely
+  // on-device; the network is not touched for the page body.
+  if (options_.enable_prompt_cache) {
+    if (std::optional<std::string> cached = prompt_cache_.Get(path)) {
+      PageFetch fetch;
+      fetch.from_cache = true;
+      fetch.mode = "generative";
+      fetch.response.status = 200;
+      fetch.response.SetHeader(std::string(kSwwModeHeader), "generative");
+      fetch.response.body = util::ToBytes(*cached);
+      if (Status status = MaterializePage(fetch, pump); !status.ok()) {
+        return status.error();
+      }
+      return fetch;
+    }
+  }
+
+  auto response = FetchRaw(path, pump);
+  if (!response) return response.error();
+
+  PageFetch fetch;
+  fetch.response = std::move(response).value();
+  fetch.page_bytes = fetch.response.wire_body_bytes;
+  fetch.mode = fetch.response.Header(kSwwModeHeader).value_or("");
+  if (fetch.response.status != 200) {
+    fetch.final_html = util::ToString(fetch.response.body);
+    return fetch;
+  }
+
+  // §7 model negotiation: if the page demands more model than this client
+  // carries, re-request it materialized rather than render it badly.
+  if (fetch.mode == "generative" &&
+      RequiresStrongerModel(util::ToString(fetch.response.body))) {
+    util::LogInfo("sww.client",
+                  "page requires a stronger model; falling back to "
+                  "materialized delivery");
+    hpack::HeaderList force = {
+        {std::string(kSwwForceHeader), "traditional", false}};
+    auto forced = FetchRaw(path, pump, force);
+    if (!forced) return forced.error();
+    fetch.response = std::move(forced).value();
+    fetch.page_bytes += fetch.response.wire_body_bytes;
+    fetch.mode = fetch.response.Header(kSwwModeHeader).value_or("");
+    fetch.model_fallback = true;
+    if (Status status = MaterializePage(fetch, pump); !status.ok()) {
+      return status.error();
+    }
+    return fetch;
+  }
+
+  // Only the generative (prompt) form is cacheable: traditional and
+  // upscale-assist bodies reference ephemeral server-side assets.
+  if (options_.enable_prompt_cache && fetch.mode == "generative") {
+    prompt_cache_.Put(path, util::ToString(fetch.response.body));
+  }
+
+  if (Status status = MaterializePage(fetch, pump); !status.ok()) {
+    return status.error();
+  }
+  return fetch;
+}
+
+bool GenerativeClient::RequiresStrongerModel(const std::string& body) const {
+  auto document = html::ParseDocument(body);
+  if (!document.ok()) return false;
+  html::ExtractionResult extraction =
+      html::ExtractGeneratedContent(*document.value());
+  for (const html::GeneratedContentSpec& spec : extraction.specs) {
+    const double required = spec.metadata.GetNumber("min_fidelity", 0.0);
+    const double available =
+        spec.type == html::GeneratedContentType::kImage
+            ? generator_->pipeline().diffusion().spec().fidelity
+            : generator_->pipeline().text().spec().fidelity;
+    if (required > available) return true;
+  }
+  return false;
+}
+
+}  // namespace sww::core

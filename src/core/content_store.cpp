@@ -1,0 +1,100 @@
+#include "core/content_store.hpp"
+
+#include "html/parser.hpp"
+
+namespace sww::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+std::size_t TraditionalItemBytes(html::GeneratedContentType type,
+                                 const json::Value& metadata) {
+  switch (type) {
+    case html::GeneratedContentType::kImage: {
+      const auto width = metadata.GetInt("width", 512);
+      const auto height = metadata.GetInt("height", 512);
+      return static_cast<std::size_t>(width * height / 8);
+    }
+    case html::GeneratedContentType::kText: {
+      const auto words = metadata.GetInt("words", 100);
+      return static_cast<std::size_t>(words * 5);
+    }
+  }
+  return 0;
+}
+
+std::size_t PromptItemBytes(const json::Value& metadata) {
+  return metadata.Dump().size();
+}
+
+Status ContentStore::AddPage(std::string path, std::string html_text) {
+  auto document = html::ParseDocument(html_text);
+  if (!document) return document.error();
+  html::ExtractionResult extraction =
+      html::ExtractGeneratedContent(*document.value());
+  if (!extraction.errors.empty()) {
+    return Error(ErrorCode::kMalformed,
+                 "page has invalid generated content: " + extraction.errors.front());
+  }
+  PageEntry entry;
+  entry.html = std::move(html_text);
+  for (const html::GeneratedContentSpec& spec : extraction.specs) {
+    entry.item_types.push_back(spec.type);
+    entry.item_metadata.push_back(spec.metadata);
+  }
+  pages_[std::move(path)] = std::move(entry);
+  return Status::Ok();
+}
+
+void ContentStore::AddAsset(std::string path, util::Bytes bytes,
+                            std::string content_type) {
+  assets_[std::move(path)] = Asset{std::move(bytes), std::move(content_type)};
+}
+
+const PageEntry* ContentStore::FindPage(std::string_view path) const {
+  auto it = pages_.find(path);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+const Asset* ContentStore::FindAsset(std::string_view path) const {
+  auto it = assets_.find(path);
+  return it == assets_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ContentStore::PagePaths() const {
+  std::vector<std::string> paths;
+  paths.reserve(pages_.size());
+  for (const auto& [path, entry] : pages_) {
+    (void)entry;
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+StorageStats ContentStore::Stats() const {
+  StorageStats stats;
+  stats.page_count = pages_.size();
+  stats.asset_count = assets_.size();
+  for (const auto& [path, entry] : pages_) {
+    (void)path;
+    stats.prompt_bytes += entry.html.size();
+    std::uint64_t traditional = entry.html.size();
+    for (std::size_t i = 0; i < entry.item_types.size(); ++i) {
+      // Traditional form: the div's metadata is replaced by materialized
+      // content of typical size; the prompt bytes leave the page.
+      const std::size_t prompt = PromptItemBytes(entry.item_metadata[i]);
+      const std::size_t materialized =
+          TraditionalItemBytes(entry.item_types[i], entry.item_metadata[i]);
+      traditional = traditional - prompt + materialized;
+    }
+    stats.traditional_bytes += traditional;
+  }
+  for (const auto& [path, asset] : assets_) {
+    (void)path;
+    stats.unique_asset_bytes += asset.bytes.size();
+  }
+  return stats;
+}
+
+}  // namespace sww::core

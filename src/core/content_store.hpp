@@ -1,0 +1,88 @@
+// content_store.hpp — the generative server's storage model (§2.1, §2.2).
+//
+// "the server stores a baseline webpage with prompts that should be used
+// to generate content.  Only unique content, such as pictures from the
+// specific hike, are stored on the server and all other content is turned
+// into prompts."
+//
+// The store keeps two resource kinds:
+//   * pages — baseline HTML containing generated-content divs,
+//   * assets — unique files served verbatim (the pictures from the hike).
+//
+// It also does the storage accounting the paper's compression results rest
+// on: for every page it computes the bytes held in prompt form versus the
+// bytes a traditional copy of the same content would occupy (images at
+// their typical compressed size, text at its expanded size).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "html/generated_content.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::core {
+
+struct Asset {
+  util::Bytes bytes;
+  std::string content_type;
+};
+
+struct PageEntry {
+  std::string html;  ///< baseline page with generated-content divs
+  /// Extracted at insertion time (shared by serving and accounting).
+  std::vector<html::GeneratedContentType> item_types;
+  std::vector<json::Value> item_metadata;
+};
+
+/// Size a generated item would occupy in traditional (materialized) form:
+/// images at the paper's typical compressed size (pixels/8), text at
+/// ~5 bytes/word (250 words ≈ 1,250 B, Table 2's text row).
+std::size_t TraditionalItemBytes(html::GeneratedContentType type,
+                                 const json::Value& metadata);
+
+/// Wire/storage size of the item in prompt form: its compact metadata.
+std::size_t PromptItemBytes(const json::Value& metadata);
+
+struct StorageStats {
+  std::uint64_t page_count = 0;
+  std::uint64_t asset_count = 0;
+  std::uint64_t prompt_bytes = 0;        ///< HTML + metadata as stored
+  std::uint64_t traditional_bytes = 0;   ///< same pages, materialized
+  std::uint64_t unique_asset_bytes = 0;  ///< stored either way
+
+  double CompressionRatio() const {
+    return prompt_bytes == 0
+               ? 0.0
+               : static_cast<double>(traditional_bytes) /
+                     static_cast<double>(prompt_bytes);
+  }
+};
+
+class ContentStore {
+ public:
+  /// Add a baseline page.  The HTML is parsed; invalid generated-content
+  /// divs are an error (the store refuses to serve pages it cannot
+  /// account for).
+  util::Status AddPage(std::string path, std::string html);
+
+  /// Add a unique asset served verbatim.
+  void AddAsset(std::string path, util::Bytes bytes, std::string content_type);
+
+  const PageEntry* FindPage(std::string_view path) const;
+  const Asset* FindAsset(std::string_view path) const;
+  std::vector<std::string> PagePaths() const;
+
+  /// Aggregate accounting over everything stored.
+  StorageStats Stats() const;
+
+ private:
+  std::map<std::string, PageEntry, std::less<>> pages_;
+  std::map<std::string, Asset, std::less<>> assets_;
+};
+
+}  // namespace sww::core

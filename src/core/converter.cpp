@@ -1,0 +1,124 @@
+#include "core/converter.hpp"
+
+#include "html/generated_content.hpp"
+#include "json/json.hpp"
+#include "util/strings.hpp"
+
+namespace sww::core {
+
+using util::Result;
+
+PageConverter::PageConverter(genai::PromptInverter inverter,
+                             genai::TextModel summarizer,
+                             ConverterOptions options)
+    : inverter_(std::move(inverter)),
+      summarizer_(std::move(summarizer)),
+      options_(options) {}
+
+bool PageConverter::ShouldConvertImage(const html::Node& img) const {
+  const std::string tag = img.GetAttribute(kCmsTagAttribute).value_or("");
+  if (tag == kCmsTagUnique) return false;
+  if (tag == kCmsTagGeneratable) return true;
+  return options_.convert_untagged_images;
+}
+
+bool PageConverter::ShouldConvertText(const html::Node& block) const {
+  const std::string tag = block.GetAttribute(kCmsTagAttribute).value_or("");
+  if (tag == kCmsTagUnique) return false;
+  if (tag == kCmsTagGeneratable) return true;
+  if (!options_.convert_untagged_text) return false;
+  return util::CountWords(block.InnerText()) >= options_.min_text_words;
+}
+
+Result<ConversionReport> PageConverter::Convert(
+    html::Node& document,
+    const std::map<std::string, genai::Image>& image_payloads) {
+  ConversionReport report;
+
+  // Before size: the page itself plus every referenced image payload.
+  report.bytes_before = document.Serialize().size();
+  for (html::Node* img : document.FindByTag("img")) {
+    const std::string src = img->GetAttribute("src").value_or("");
+    auto payload = image_payloads.find(src);
+    if (payload != image_payloads.end()) {
+      report.bytes_before += payload->second.TypicalCompressedBytes();
+    }
+  }
+
+  // Images → prompts (prompt inversion).
+  for (html::Node* img : document.FindByTag("img")) {
+    const std::string src = img->GetAttribute("src").value_or("");
+    auto payload = image_payloads.find(src);
+    if (payload == image_payloads.end()) {
+      ++report.images_kept_unique;
+      report.notes.push_back("kept (no payload): " + src);
+      continue;
+    }
+    if (!ShouldConvertImage(*img)) {
+      ++report.images_kept_unique;
+      report.notes.push_back("kept (tagged unique): " + src);
+      continue;
+    }
+    const genai::InvertedPrompt inverted =
+        inverter_.Invert(payload->second, options_.max_prompt_keywords);
+    if (inverted.prompt.empty()) {
+      ++report.images_kept_unique;
+      report.notes.push_back("kept (inversion failed): " + src);
+      continue;
+    }
+    json::Value metadata{json::Object{}};
+    metadata.Set("prompt", inverted.prompt);
+    // Derive a stable name from the source path.
+    std::string name = src;
+    if (auto slash = name.rfind('/'); slash != std::string::npos) {
+      name = name.substr(slash + 1);
+    }
+    if (auto dot = name.rfind('.'); dot != std::string::npos) {
+      name = name.substr(0, dot);
+    }
+    metadata.Set("name", name);
+    metadata.Set("width", payload->second.width());
+    metadata.Set("height", payload->second.height());
+    auto replacement = html::MakeGeneratedContentDiv(
+        html::GeneratedContentType::kImage, metadata);
+    if (img->parent() != nullptr) {
+      img->parent()->ReplaceChild(img, std::move(replacement));
+      ++report.images_converted;
+    }
+  }
+
+  // Long text blocks → bullets.
+  for (html::Node* paragraph : document.FindByTag("p")) {
+    const std::string text = paragraph->InnerText();
+    const std::size_t words = util::CountWords(text);
+    if (!ShouldConvertText(*paragraph)) {
+      ++report.text_blocks_kept;
+      continue;
+    }
+    const std::vector<std::string> bullets = summarizer_.SummarizeToBullets(text);
+    if (bullets.empty()) {
+      ++report.text_blocks_kept;
+      continue;
+    }
+    json::Value metadata{json::Object{}};
+    json::Array bullet_array;
+    for (const std::string& bullet : bullets) bullet_array.emplace_back(bullet);
+    // `prompt` summarizes the task; `bullets` carry the information.
+    metadata.Set("prompt", "expand the bullet points into flowing prose");
+    metadata.Set("bullets", json::Value(std::move(bullet_array)));
+    metadata.Set("words",
+                 options_.target_words > 0 ? options_.target_words
+                                           : static_cast<int>(words));
+    auto replacement = html::MakeGeneratedContentDiv(
+        html::GeneratedContentType::kText, metadata);
+    if (paragraph->parent() != nullptr) {
+      paragraph->parent()->ReplaceChild(paragraph, std::move(replacement));
+      ++report.text_blocks_converted;
+    }
+  }
+
+  report.bytes_after = document.Serialize().size();
+  return report;
+}
+
+}  // namespace sww::core

@@ -1,0 +1,87 @@
+// converter.hpp — webpage creation & conversion (§4.2).
+//
+// "A simple script that goes over a webpage can identify content, call a
+// media converter to turn the object into a prompt, and replace the
+// existing object with a generated content object."
+//
+// Two inputs steer what converts:
+//   * CMS tags — "a dedicated feature to content management systems ...
+//     would tag every content item as generatable or unique.  This one-bit
+//     flag will be associated with every linked file."  We read it from a
+//     `data-sww` attribute ("generatable" / "unique").
+//   * defaults — untagged images convert when invertible; untagged text
+//     blocks convert when they are long enough to be worth bulleting.
+//
+// Image→prompt uses the PromptInverter (the paper's GPT-4V step); text→
+// bullets uses the text model's summarizer.  The report carries the before
+// /after sizes that §6.2's compression figures are computed from.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "genai/llm.hpp"
+#include "genai/prompt_inversion.hpp"
+#include "html/dom.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::core {
+
+/// The CMS one-bit tag attribute.
+inline constexpr std::string_view kCmsTagAttribute = "data-sww";
+inline constexpr std::string_view kCmsTagGeneratable = "generatable";
+inline constexpr std::string_view kCmsTagUnique = "unique";
+
+struct ConverterOptions {
+  /// Minimum words before an untagged text block is converted to bullets.
+  std::size_t min_text_words = 40;
+  /// Words the client should regenerate for a converted text block.
+  /// 0 = preserve the original block's word count.
+  int target_words = 0;
+  /// Image prompts aim at the paper's observed 120-262 character range.
+  std::size_t max_prompt_keywords = 8;
+  /// Convert untagged images (tagged ones always follow their tag).
+  bool convert_untagged_images = true;
+  /// Convert untagged long text blocks.
+  bool convert_untagged_text = true;
+};
+
+struct ConversionReport {
+  std::size_t images_converted = 0;
+  std::size_t images_kept_unique = 0;
+  std::size_t text_blocks_converted = 0;
+  std::size_t text_blocks_kept = 0;
+  std::size_t bytes_before = 0;  ///< page HTML + referenced image payloads
+  std::size_t bytes_after = 0;   ///< converted page HTML (prompts inline)
+  std::vector<std::string> notes;
+
+  double CompressionRatio() const {
+    return bytes_after == 0 ? 0.0
+                            : static_cast<double>(bytes_before) / bytes_after;
+  }
+};
+
+class PageConverter {
+ public:
+  PageConverter(genai::PromptInverter inverter, genai::TextModel summarizer,
+                ConverterOptions options);
+
+  /// Convert a legacy page in place.  `image_payloads` maps an <img> src to
+  /// its file bytes (needed both for inversion and for before-size
+  /// accounting); images without payloads are kept unique.
+  util::Result<ConversionReport> Convert(
+      html::Node& document,
+      const std::map<std::string, genai::Image>& image_payloads);
+
+ private:
+  bool ShouldConvertImage(const html::Node& img) const;
+  bool ShouldConvertText(const html::Node& block) const;
+
+  genai::PromptInverter inverter_;
+  genai::TextModel summarizer_;
+  ConverterOptions options_;
+};
+
+}  // namespace sww::core

@@ -1,0 +1,150 @@
+#include "core/http_semantics.hpp"
+
+#include "util/strings.hpp"
+
+namespace sww::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+hpack::HeaderList Request::ToHeaders() const {
+  hpack::HeaderList headers;
+  headers.push_back({":method", method, false});
+  headers.push_back({":scheme", scheme, false});
+  if (!authority.empty()) headers.push_back({":authority", authority, false});
+  headers.push_back({":path", path, false});
+  for (const hpack::HeaderField& field : extra_headers) headers.push_back(field);
+  return headers;
+}
+
+std::optional<std::string> Request::Header(std::string_view name) const {
+  const std::string lowered = util::ToLower(name);
+  for (const hpack::HeaderField& field : extra_headers) {
+    if (field.name == lowered) return field.value;
+  }
+  return std::nullopt;
+}
+
+hpack::HeaderList Response::ToHeaders() const {
+  hpack::HeaderList headers;
+  headers.push_back({":status", std::to_string(status), false});
+  for (const hpack::HeaderField& field : extra_headers) headers.push_back(field);
+  return headers;
+}
+
+std::optional<std::string> Response::Header(std::string_view name) const {
+  const std::string lowered = util::ToLower(name);
+  for (const hpack::HeaderField& field : extra_headers) {
+    if (field.name == lowered) return field.value;
+  }
+  return std::nullopt;
+}
+
+void Response::SetHeader(std::string_view name, std::string_view value) {
+  const std::string lowered = util::ToLower(name);
+  for (hpack::HeaderField& field : extra_headers) {
+    if (field.name == lowered) {
+      field.value = std::string(value);
+      return;
+    }
+  }
+  extra_headers.push_back({lowered, std::string(value), false});
+}
+
+namespace {
+
+/// RFC 9113 §8.3: pseudo-headers must precede regular fields and must not
+/// repeat.
+util::Status CheckPseudoHeaderOrder(const hpack::HeaderList& headers) {
+  bool seen_regular = false;
+  for (const hpack::HeaderField& field : headers) {
+    const bool pseudo = !field.name.empty() && field.name[0] == ':';
+    if (pseudo && seen_regular) {
+      return Error(ErrorCode::kProtocol, "pseudo-header after regular header");
+    }
+    if (!pseudo) seen_regular = true;
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const hpack::HeaderList& headers,
+                             util::BytesView body) {
+  if (auto status = CheckPseudoHeaderOrder(headers); !status.ok()) {
+    return status.error();
+  }
+  Request request;
+  request.method.clear();
+  request.scheme.clear();
+  request.path.clear();
+  for (const hpack::HeaderField& field : headers) {
+    if (field.name == ":method") {
+      if (!request.method.empty()) {
+        return Error(ErrorCode::kProtocol, "duplicate :method");
+      }
+      request.method = field.value;
+    } else if (field.name == ":scheme") {
+      request.scheme = field.value;
+    } else if (field.name == ":authority") {
+      request.authority = field.value;
+    } else if (field.name == ":path") {
+      if (!request.path.empty()) {
+        return Error(ErrorCode::kProtocol, "duplicate :path");
+      }
+      request.path = field.value;
+    } else if (!field.name.empty() && field.name[0] == ':') {
+      return Error(ErrorCode::kProtocol, "unknown pseudo-header " + field.name);
+    } else {
+      request.extra_headers.push_back(field);
+    }
+  }
+  if (request.method.empty() || request.path.empty()) {
+    return Error(ErrorCode::kProtocol, "request missing :method or :path");
+  }
+  request.body.assign(body.begin(), body.end());
+  return request;
+}
+
+Result<Response> ParseResponse(const hpack::HeaderList& headers,
+                               util::BytesView body) {
+  if (auto status = CheckPseudoHeaderOrder(headers); !status.ok()) {
+    return status.error();
+  }
+  Response response;
+  bool saw_status = false;
+  for (const hpack::HeaderField& field : headers) {
+    if (field.name == ":status") {
+      if (saw_status) return Error(ErrorCode::kProtocol, "duplicate :status");
+      saw_status = true;
+      try {
+        response.status = std::stoi(field.value);
+      } catch (...) {
+        return Error(ErrorCode::kProtocol, "bad :status value " + field.value);
+      }
+    } else if (!field.name.empty() && field.name[0] == ':') {
+      return Error(ErrorCode::kProtocol, "unknown pseudo-header " + field.name);
+    } else {
+      response.extra_headers.push_back(field);
+    }
+  }
+  if (!saw_status) return Error(ErrorCode::kProtocol, "response missing :status");
+  response.body.assign(body.begin(), body.end());
+  response.wire_body_bytes = response.body.size();
+  return response;
+}
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "";
+  }
+}
+
+}  // namespace sww::core

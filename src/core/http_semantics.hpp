@@ -1,0 +1,65 @@
+// http_semantics.hpp — request/response message types over HTTP/2 headers.
+//
+// HTTP/2 encodes the request line and status line as pseudo-header fields
+// (":method", ":path", ":scheme", ":authority", ":status" — RFC 9113 §8.3).
+// This module converts between those header lists and typed messages, and
+// validates the pseudo-header rules (pseudo-headers first, no unknown
+// pseudo-headers, mandatory fields present).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hpack/hpack.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::core {
+
+struct Request {
+  std::string method = "GET";
+  std::string scheme = "https";
+  std::string authority;
+  std::string path = "/";
+  hpack::HeaderList extra_headers;  // regular headers, in order
+  util::Bytes body;
+
+  hpack::HeaderList ToHeaders() const;
+  std::optional<std::string> Header(std::string_view name) const;
+};
+
+struct Response {
+  int status = 200;
+  hpack::HeaderList extra_headers;
+  util::Bytes body;
+  /// Size of the body as it crossed the wire (differs from body.size()
+  /// after a content coding was decoded).  Set by ParseResponse/FetchRaw.
+  std::size_t wire_body_bytes = 0;
+
+  hpack::HeaderList ToHeaders() const;
+  std::optional<std::string> Header(std::string_view name) const;
+  void SetHeader(std::string_view name, std::string_view value);
+};
+
+/// Parse and validate a request header list (+ accumulated body).
+util::Result<Request> ParseRequest(const hpack::HeaderList& headers,
+                                   util::BytesView body);
+
+/// Parse and validate a response header list (+ accumulated body).
+util::Result<Response> ParseResponse(const hpack::HeaderList& headers,
+                                     util::BytesView body);
+
+/// Canonical reason phrases for the handful of statuses the server emits.
+std::string_view ReasonPhrase(int status);
+
+/// The response header naming the SWW serving mode, for observability:
+/// "generative" (prompts served) or "traditional" (materialized content).
+inline constexpr std::string_view kSwwModeHeader = "x-sww-mode";
+
+/// Request header a client sends to override negotiation for one request
+/// (§7 "Negotiating models"): a client whose local model cannot satisfy a
+/// page's "min_fidelity" requirement re-requests it materialized.
+inline constexpr std::string_view kSwwForceHeader = "x-sww-force";
+
+}  // namespace sww::core

@@ -1,0 +1,178 @@
+#include "core/media_generator.hpp"
+
+#include "core/content_store.hpp"
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace sww::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<MediaGenerator> MediaGenerator::Create(
+    const energy::DeviceProfile& device, Options options) {
+  auto pipeline =
+      genai::GenerationPipeline::Load(options.image_model, options.text_model);
+  if (!pipeline) return pipeline.error();
+  return MediaGenerator(device, std::move(options),
+                        std::move(pipeline).value());
+}
+
+Result<GeneratedMedia> MediaGenerator::Generate(
+    const html::GeneratedContentSpec& spec) {
+  switch (spec.type) {
+    case html::GeneratedContentType::kImage: return GenerateImage(spec);
+    case html::GeneratedContentType::kText: return GenerateText(spec);
+  }
+  return Error(ErrorCode::kInvalidArgument, "unknown generated content type");
+}
+
+Result<GeneratedMedia> MediaGenerator::GenerateAndReplace(
+    html::GeneratedContentSpec& spec) {
+  auto media = Generate(spec);
+  if (!media) return media;
+  if (spec.node != nullptr) {
+    if (media.value().type == html::GeneratedContentType::kImage) {
+      html::ReplaceWithImage(*spec.node, media.value().file_path,
+                             media.value().width, media.value().height,
+                             media.value().prompt);
+    } else {
+      html::ReplaceWithText(*spec.node, media.value().text);
+    }
+  }
+  return media;
+}
+
+Result<GeneratedMedia> MediaGenerator::GenerateImage(
+    const html::GeneratedContentSpec& spec) {
+  std::string prompt = spec.prompt();
+  if (prompt.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "image spec has empty prompt");
+  }
+  // §2.3: on-device personalization, consent-gated and strength-capped.
+  const PersonalizedPrompt personalized =
+      PersonalizePrompt(options_.profile, prompt);
+  if (personalized.applied) {
+    audit_.Record(PersonalizationRecord{spec.name(), prompt,
+                                        personalized.prompt,
+                                        personalized.injected_tokens});
+    prompt = personalized.prompt;
+  }
+  const int width = spec.width();
+  const int height = spec.height();
+  // Seed from the prompt: re-generations of the same prompt agree, which
+  // is what makes prompt-as-content a coherent delivery mechanism.
+  const std::uint64_t seed = util::Fnv1a64(prompt);
+
+  auto generated = pipeline_.diffusion().Generate(
+      prompt, width, height, options_.inference_steps, seed);
+  if (!generated) return generated.error();
+  pipeline_.CountInvocation();
+
+  GeneratedMedia media;
+  media.type = html::GeneratedContentType::kImage;
+  media.name = spec.name().empty()
+                   ? util::Format("img-%016llx",
+                                  static_cast<unsigned long long>(seed))
+                   : spec.name();
+  media.prompt = prompt;
+  media.width = width;
+  media.height = height;
+  media.file_path = options_.output_prefix + media.name + ".ppm";
+  const std::string ppm = generated.value().image.ToPpm();
+  media.file_bytes.assign(ppm.begin(), ppm.end());
+  media.seconds = energy::ImageGenerationSeconds(
+      *device_, pipeline_.diffusion().spec(), options_.inference_steps, width,
+      height);
+  media.energy_wh = energy::ImageGenerationEnergyWh(
+      *device_, pipeline_.diffusion().spec(), options_.inference_steps, width,
+      height);
+  media.traditional_bytes = TraditionalItemBytes(spec.type, spec.metadata);
+  media.metadata_bytes = spec.MetadataBytes();
+
+  // §7 trust: when the author attached a semantic digest, verify both the
+  // integrity of the received prompt and the faithfulness of the pixels.
+  // The authored prompt is spec.prompt(); `prompt` may additionally carry
+  // the bounded personalization suffix.
+  if (const std::string digest_hex = spec.metadata.GetString("digest");
+      !digest_hex.empty()) {
+    media.has_verification = true;
+    media.verification =
+        VerifyGeneratedContent(spec.prompt(), prompt, DigestFromHex(digest_hex),
+                               generated.value().image);
+    // Draft-quality generation (fewer steps than the model's default)
+    // legitimately carries more residual noise; hold only full-quality
+    // output to the faithfulness budget.  Prompt integrity always applies.
+    if (options_.inference_steps <
+        pipeline_.diffusion().spec().default_steps) {
+      media.verification.semantically_faithful = true;
+    }
+  }
+
+  total_seconds_ += media.seconds;
+  total_energy_wh_ += media.energy_wh;
+  ++items_;
+  return media;
+}
+
+Result<GeneratedMedia> MediaGenerator::GenerateText(
+    const html::GeneratedContentSpec& spec) {
+  // Bullets come from the metadata either as an array ("bullets") or as a
+  // single prompt string.
+  std::vector<std::string> bullets;
+  if (const json::Value* array = spec.metadata.Get("bullets");
+      array != nullptr && array->is_array()) {
+    for (const json::Value& item : array->AsArray()) {
+      if (item.is_string()) bullets.push_back(item.AsString());
+    }
+  }
+  if (bullets.empty()) {
+    const std::string prompt = spec.prompt();
+    if (prompt.empty()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "text spec has neither bullets nor prompt");
+    }
+    bullets.push_back(prompt);
+  }
+  // §2.3: a consenting profile may add one bounded personalization bullet.
+  const PersonalizedPrompt personalized =
+      PersonalizePrompt(options_.profile, util::Join(bullets, "; "));
+  if (personalized.applied) {
+    audit_.Record(PersonalizationRecord{spec.name(), util::Join(bullets, "; "),
+                                        personalized.prompt,
+                                        personalized.injected_tokens});
+    bullets.push_back("mention " + util::Join(personalized.injected_tokens,
+                                              " and "));
+  }
+
+  const int words = spec.words();
+  std::uint64_t seed = 0;
+  for (const std::string& bullet : bullets) {
+    seed = util::HashCombine(seed, util::Fnv1a64(bullet));
+  }
+
+  auto expanded = pipeline_.text().ExpandBullets(bullets, words, seed);
+  if (!expanded) return expanded.error();
+  pipeline_.CountInvocation();
+
+  GeneratedMedia media;
+  media.type = html::GeneratedContentType::kText;
+  media.name = spec.name();
+  media.prompt = util::Join(bullets, "; ");
+  media.text = expanded.value().text;
+  media.words = expanded.value().actual_words;
+  media.seconds = energy::TextGenerationSeconds(*device_, pipeline_.text().spec(),
+                                                words);
+  media.energy_wh = energy::TextGenerationEnergyWh(
+      *device_, pipeline_.text().spec(), words);
+  media.traditional_bytes = TraditionalItemBytes(spec.type, spec.metadata);
+  media.metadata_bytes = spec.MetadataBytes();
+
+  total_seconds_ += media.seconds;
+  total_energy_wh_ += media.energy_wh;
+  ++items_;
+  return media;
+}
+
+}  // namespace sww::core

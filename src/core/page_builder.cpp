@@ -1,0 +1,281 @@
+#include "core/page_builder.hpp"
+
+#include "core/content_store.hpp"
+#include "core/stock_prompts.hpp"
+#include "core/verification.hpp"
+#include "genai/llm.hpp"
+#include "html/generated_content.hpp"
+#include "json/json.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace sww::core {
+
+namespace {
+
+const std::vector<std::string>& LandscapeSubjects() {
+  static const std::vector<std::string> subjects = {
+      "alpine meadow below a glacier",      "icelandic valley with a waterfall",
+      "swedish lakeside at dusk",           "volcanic ridge under heavy cloud",
+      "rainbow over an old river bridge",   "sand beach with cloud reflections",
+      "strawberry field after the rain",    "rolling farmland in morning mist",
+      "desert canyon at golden hour",       "pine forest on a mountain slope",
+      "coastal cliffs above a calm sea",    "snowfield crossed by a hiking trail",
+      "terraced hills in soft light",       "wide river delta from above",
+      "stone village under a summer sky",   "high plateau with grazing sheep",
+  };
+  return subjects;
+}
+
+const std::vector<std::string>& LandscapeDetails() {
+  static const std::vector<std::string> details = {
+      "long shadows stretch across the foreground",
+      "a narrow footpath winds toward the horizon",
+      "scattered boulders break the even grass",
+      "thin fog lifts from the lower slopes",
+      "sunlight catches the distant peaks",
+      "still water mirrors the moving clouds",
+      "wildflowers edge the gravel track",
+      "a lone tree stands against the skyline",
+      "patches of snow cling to the shaded side",
+      "warm evening light softens every ridge",
+  };
+  return details;
+}
+
+const std::vector<std::string>& LandscapeStyles() {
+  static const std::vector<std::string> styles = {
+      "wide-angle photograph, natural colors",
+      "high-resolution landscape photography",
+      "crisp daylight, deep depth of field",
+      "golden-hour photograph with soft contrast",
+      "overcast diffuse light, muted palette",
+  };
+  return styles;
+}
+
+}  // namespace
+
+std::string MakeGoldfishPage() {
+  json::Value metadata{json::Object{}};
+  metadata.Set("prompt",
+               "A cartoon goldfish with large friendly eyes swimming in a "
+               "round glass bowl, bright orange scales, simple flat colors");
+  metadata.Set("name", "goldfish");
+  metadata.Set("width", 512);
+  metadata.Set("height", 512);
+  // §7 trust: semantic digest so the client can verify what it generates.
+  metadata.Set("digest", DigestToHex(DigestOfPrompt(metadata.GetString("prompt"))));
+  auto div = html::MakeGeneratedContentDiv(html::GeneratedContentType::kImage,
+                                           metadata);
+  return "<!DOCTYPE html><html><head><title>Goldfish</title></head><body>"
+         "<h1>Meet the goldfish</h1>" +
+         div->Serialize() + "</body></html>";
+}
+
+std::string MakeLandscapePrompt(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string prompt =
+      "A " + LandscapeSubjects()[rng.NextIndex(LandscapeSubjects().size())];
+  prompt += ", " + LandscapeDetails()[rng.NextIndex(LandscapeDetails().size())];
+  prompt += ", " + LandscapeStyles()[rng.NextIndex(LandscapeStyles().size())];
+  // Stretch toward the paper's 120-262 character range (average ≈180, as
+  // in the paper's 8.92 kB / 49 prompts) by appending detail clauses.
+  while (prompt.size() < 120 + rng.NextBounded(60)) {
+    prompt += "; " + LandscapeDetails()[rng.NextIndex(LandscapeDetails().size())];
+  }
+  if (prompt.size() > 262) prompt.resize(262);
+  return prompt;
+}
+
+LandscapePage MakeLandscapeSearchPage(int image_count, int thumb_width,
+                                      int thumb_height, std::uint64_t seed,
+                                      bool with_digests) {
+  LandscapePage page;
+  std::string body = "<h1>Search results: Landscape</h1><div class=\"results\">";
+  for (int i = 0; i < image_count; ++i) {
+    const std::string prompt =
+        MakeLandscapePrompt(seed + static_cast<std::uint64_t>(i) * 977);
+    page.prompts.push_back(prompt);
+    json::Value metadata{json::Object{}};
+    metadata.Set("prompt", prompt);
+    metadata.Set("name", util::Format("landscape-%02d", i));
+    metadata.Set("width", thumb_width);
+    metadata.Set("height", thumb_height);
+    if (with_digests) {
+      metadata.Set("digest", DigestToHex(DigestOfPrompt(prompt)));
+    }
+    page.total_metadata_bytes += metadata.Dump().size();
+    page.traditional_image_bytes += page.original_bytes_per_image;
+    auto div = html::MakeGeneratedContentDiv(html::GeneratedContentType::kImage,
+                                             metadata);
+    body += div->Serialize();
+  }
+  body += "</div>";
+  page.html =
+      "<!DOCTYPE html><html><head><title>Wikimedia Commons - Landscape"
+      "</title></head><body>" +
+      body + "</body></html>";
+  return page;
+}
+
+TravelBlogPage MakeTravelBlogPage(int stock_images, int unique_photos,
+                                  std::uint64_t seed) {
+  TravelBlogPage page;
+  util::Rng rng(seed);
+  std::string body = "<h1>Three days on the high trail</h1>";
+
+  // Generic intro text: delivered as bullets, regenerated on-device.
+  json::Value text_metadata{json::Object{}};
+  json::Array bullets;
+  bullets.emplace_back("high mountain trail crosses three valleys");
+  bullets.emplace_back("spring season best, mild weather, long days");
+  bullets.emplace_back("pack light, carry water, start before sunrise");
+  bullets.emplace_back("huts available, booking recommended");
+  text_metadata.Set("prompt", "expand the bullet points into flowing prose");
+  text_metadata.Set("bullets", json::Value(std::move(bullets)));
+  text_metadata.Set("words", 180);
+  text_metadata.Set("name", "intro");
+  body += html::MakeGeneratedContentDiv(html::GeneratedContentType::kText,
+                                        text_metadata)
+              ->Serialize();
+
+  // Stock imagery: prompts.
+  for (int i = 0; i < stock_images; ++i) {
+    json::Value metadata{json::Object{}};
+    metadata.Set("prompt",
+                 MakeLandscapePrompt(seed * 31 + static_cast<std::uint64_t>(i)));
+    metadata.Set("name", util::Format("stock-%d", i));
+    metadata.Set("width", 512);
+    metadata.Set("height", 384);
+    body += html::MakeGeneratedContentDiv(html::GeneratedContentType::kImage,
+                                          metadata)
+                ->Serialize();
+  }
+
+  // Unique photos from the actual hike: fetched as files, same as today.
+  body += "<h2>Photos from the hike</h2>";
+  for (int i = 0; i < unique_photos; ++i) {
+    const std::string path = util::Format("/assets/hike-photo-%d.ppm", i);
+    page.unique_asset_paths.push_back(path);
+    body += "<img src=\"" + path +
+            "\" width=\"320\" height=\"240\" alt=\"photo from the hike\" "
+            "data-sww=\"unique\"/>";
+  }
+  (void)rng;
+  page.html =
+      "<!DOCTYPE html><html><head><title>Travel blog</title></head><body>" +
+      body + "</body></html>";
+  return page;
+}
+
+std::string MakeNewsArticleText(std::size_t target_bytes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  static const std::vector<std::string> kFacts = {
+      "The regional council approved the coastal transit line on Tuesday",
+      "construction is scheduled to begin in the autumn",
+      "the project budget stands at two hundred million",
+      "an independent review flagged drainage risks near the harbor",
+      "local businesses expect disruption during the first phase",
+      "the completed line should carry forty thousand passengers daily",
+      "officials promised quarterly public progress reports",
+      "an environmental assessment cleared the northern route",
+      "opposition members asked for a revised cost ceiling",
+      "the mayor called the vote a turning point for the district",
+  };
+  std::string text;
+  std::size_t i = 0;
+  while (text.size() < target_bytes) {
+    std::string sentence = kFacts[i % kFacts.size()];
+    if (rng.NextBool(0.5)) {
+      sentence += ", according to people familiar with the planning";
+    }
+    sentence += ". ";
+    sentence[0] =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(sentence[0])));
+    text += sentence;
+    ++i;
+  }
+  text.resize(target_bytes);
+  return text;
+}
+
+FoodMenuPage MakeFoodMenuPage(int dish_count, std::uint64_t seed) {
+  static const std::vector<std::string> kDishes = {
+      "margherita pizza", "pad thai",       "lamb kofta",    "poke bowl",
+      "mushroom risotto", "smash burger",   "falafel wrap",  "ramen",
+      "caesar salad",     "butter chicken", "fish tacos",    "gnocchi",
+  };
+  static const std::vector<std::string> kNotes = {
+      "fresh ingredients prepared daily",
+      "served with house sauce",
+      "available mild or spicy",
+      "popular with regulars",
+      "generous portion, feeds two",
+      "gluten free option available",
+  };
+  const StockPromptLibrary library = StockPromptLibrary::Builtin();
+  util::Rng rng(seed);
+  FoodMenuPage page;
+  page.dish_count = static_cast<std::size_t>(dish_count);
+
+  // Banner photo straight from the stock prompt catalog (free tier).
+  std::string body = "<h1>Tonight's menu</h1>";
+  if (auto banner = library.MakeImageMetadata("food/market-fruit", 512, 160);
+      banner.ok()) {
+    body += html::MakeGeneratedContentDiv(html::GeneratedContentType::kImage,
+                                          banner.value())
+                ->Serialize();
+  }
+  body += "<ul class=\"menu\">";
+  for (int i = 0; i < dish_count; ++i) {
+    const std::string& dish = kDishes[static_cast<std::size_t>(i) % kDishes.size()];
+    body += "<li class=\"dish\">";
+    // Dish photo: a (free-tier) stock prompt specialized with the dish name.
+    json::Value image_metadata{json::Object{}};
+    const std::string prompt =
+        "overhead photograph of " + dish + ", rustic table, soft daylight, "
+        "appetizing styling";
+    image_metadata.Set("prompt", prompt);
+    image_metadata.Set("name", util::Format("dish-%02d", i));
+    image_metadata.Set("width", 256);
+    image_metadata.Set("height", 192);
+    image_metadata.Set("digest", DigestToHex(DigestOfPrompt(prompt)));
+    body += html::MakeGeneratedContentDiv(html::GeneratedContentType::kImage,
+                                          image_metadata)
+                ->Serialize();
+    // Dish blurb: bullets expanded on-device.
+    json::Value text_metadata{json::Object{}};
+    json::Array bullets;
+    bullets.emplace_back(dish);
+    bullets.emplace_back(kNotes[rng.NextIndex(kNotes.size())]);
+    bullets.emplace_back(kNotes[rng.NextIndex(kNotes.size())]);
+    text_metadata.Set("prompt", "expand the bullet points into a dish blurb");
+    text_metadata.Set("bullets", json::Value(std::move(bullets)));
+    text_metadata.Set("words", 40);
+    text_metadata.Set("name", util::Format("blurb-%02d", i));
+    body += html::MakeGeneratedContentDiv(html::GeneratedContentType::kText,
+                                          text_metadata)
+                ->Serialize();
+    body += "</li>";
+  }
+  body += "</ul>";
+  page.html =
+      "<!DOCTYPE html><html><head><title>Delivery menu</title></head><body>" +
+      body + "</body></html>";
+  return page;
+}
+
+std::string MakeNewsArticleHtml(std::size_t target_bytes, std::uint64_t seed) {
+  // Account for the markup overhead so the body lands near target_bytes.
+  const std::string prefix =
+      "<!DOCTYPE html><html><head><title>Local news</title></head><body>"
+      "<h1>Transit line approved</h1><p>";
+  const std::string suffix = "</p></body></html>";
+  const std::size_t overhead = prefix.size() + suffix.size();
+  const std::size_t body_bytes =
+      target_bytes > overhead ? target_bytes - overhead : target_bytes;
+  return prefix + MakeNewsArticleText(body_bytes, seed) + suffix;
+}
+
+}  // namespace sww::core

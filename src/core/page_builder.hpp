@@ -1,0 +1,81 @@
+// page_builder.hpp — workload generators for the paper's experiments.
+//
+// Deterministic builders for every page the evaluation uses:
+//   * the Figure 1 goldfish div (quickstart),
+//   * the Figure 2 Wikimedia "Landscape" search-results page — 49 images
+//    whose prompts span the paper's observed 120-262 character range,
+//   * the §2.1 travel blog (generic text + stock images + unique photos),
+//   * the §6.2 newspaper article (~2,400 bytes of prose).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sww::core {
+
+/// Figure 1: one generated-content div for a cartoon goldfish image.
+std::string MakeGoldfishPage();
+
+/// A landscape prompt of 120-262 characters (the paper's GPT-4V range),
+/// deterministic in `seed`.
+std::string MakeLandscapePrompt(std::uint64_t seed);
+
+struct LandscapePage {
+  std::string html;
+  std::vector<std::string> prompts;
+  std::size_t total_metadata_bytes = 0;   ///< prompt form of all 49 images
+  std::size_t traditional_image_bytes = 0;///< the 1.4 MB the originals cost
+  /// Bytes of one original Wikimedia thumbnail file (≈640×360 JPEG); the
+  /// paper's 1.4 MB / 49 images ≈ 28.6 kB each.
+  std::size_t original_bytes_per_image = 28800;
+};
+
+/// Figure 2: the Wikimedia Commons "Landscape" search results.
+/// `image_count` defaults to the paper's 49.  The page *displays* (and the
+/// client regenerates) 256×192 results, while the traditional-size
+/// accounting uses the original ≈28.8 kB thumbnail files — matching the
+/// paper, where 1.4 MB of files were transferred for search-result-sized
+/// pictures and per-image generation cost ≈6.3 s on the laptop.
+/// `with_digests` attaches §7 semantic digests (+29 B/item); the paper's
+/// own experiment carried bare prompts, so the Figure 2 bench disables it
+/// for the data-reduction comparison.
+LandscapePage MakeLandscapeSearchPage(int image_count = 49,
+                                      int thumb_width = 256,
+                                      int thumb_height = 192,
+                                      std::uint64_t seed = 2025,
+                                      bool with_digests = true);
+
+struct TravelBlogPage {
+  std::string html;
+  /// Paths of unique assets the page references (the hike photos); the
+  /// caller stores matching assets in the ContentStore.
+  std::vector<std::string> unique_asset_paths;
+};
+
+/// §2.1's example page: generic travel text as a txt div, stock landscape
+/// images as img divs, and `unique_photos` real photo links kept as-is.
+TravelBlogPage MakeTravelBlogPage(int stock_images = 3, int unique_photos = 2,
+                                  std::uint64_t seed = 7);
+
+/// §6.2's text experiment: a newspaper article of ~`target_bytes` bytes
+/// (default 2,400) as legacy HTML (plain paragraphs, no SWW markup).
+std::string MakeNewsArticleHtml(std::size_t target_bytes = 2400,
+                                std::uint64_t seed = 11);
+/// The same article as raw prose (no markup).
+std::string MakeNewsArticleText(std::size_t target_bytes = 2400,
+                                std::uint64_t seed = 11);
+
+struct FoodMenuPage {
+  std::string html;
+  std::size_t dish_count = 0;
+};
+
+/// The paper's opening déjà-vu example: "every food delivery menu looks
+/// exactly the same."  A delivery-app menu page where every dish photo is
+/// a licensed stock prompt (from the §7 stock library) and every dish
+/// blurb is a bullet-expanded text div — i.e. the page is almost entirely
+/// generatable, which is precisely the paper's point.
+FoodMenuPage MakeFoodMenuPage(int dish_count = 8, std::uint64_t seed = 21);
+
+}  // namespace sww::core

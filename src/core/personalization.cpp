@@ -1,0 +1,63 @@
+#include "core/personalization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace sww::core {
+
+PersonalizedPrompt PersonalizePrompt(const PersonalizationProfile& profile,
+                                     std::string_view prompt) {
+  PersonalizedPrompt out;
+  out.prompt = std::string(prompt);
+  if (!profile.Active()) return out;
+
+  const std::vector<std::string> prompt_tokens = util::Tokenize(prompt);
+  if (prompt_tokens.empty()) return out;
+
+  // Echo-chamber guard: bound injected tokens by the strength cap.
+  const double strength = std::clamp(profile.max_strength, 0.0, 0.3);
+  const std::size_t budget = static_cast<std::size_t>(
+      std::floor(strength * static_cast<double>(prompt_tokens.size())));
+  if (budget == 0) return out;
+
+  // Deterministic interest selection: rank interests by a hash of
+  // (interest, prompt) so different pages personalize differently but the
+  // same page re-personalizes identically.
+  std::vector<std::pair<std::uint64_t, std::string>> ranked;
+  for (const std::string& interest : profile.interests) {
+    const std::uint64_t h = util::HashCombine(util::Fnv1a64(interest),
+                                              util::Fnv1a64(prompt));
+    ranked.emplace_back(h, interest);
+  }
+  std::sort(ranked.begin(), ranked.end());
+
+  for (std::size_t i = 0; i < std::min(budget, ranked.size()); ++i) {
+    out.injected_tokens.push_back(ranked[i].second);
+  }
+  if (out.injected_tokens.empty()) return out;
+
+  out.prompt += ", with a subtle nod to " +
+                util::Join(out.injected_tokens, " and ");
+  out.applied = true;
+  return out;
+}
+
+void PersonalizationAudit::Record(PersonalizationRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::string PersonalizationAudit::Disclosure() const {
+  if (records_.empty()) return "";
+  std::string out =
+      "This page was personalized on your device. No profile data left it.\n";
+  for (const PersonalizationRecord& record : records_) {
+    out += "  * " + record.item_name + ": used " +
+           util::Join(record.injected_tokens, ", ") + "\n";
+  }
+  return out;
+}
+
+}  // namespace sww::core

@@ -1,0 +1,80 @@
+// personalization.hpp — personalized content generation (§2.3).
+//
+// "Generating content on end-user devices also means that there is an
+// opportunity to generate personalized content ... The generation
+// algorithm can use as an input information about users' background,
+// preferences and hobbies ... This personalized approach is likely to
+// [be] very attractive, however it has a potential for harm, not only
+// from malicious actors but also by creating an echo chamber."
+//
+// The paper flags this as "a major concern as an element that needs to be
+// addressed prior to deployment" — so the implementation bakes the
+// mitigations in rather than bolting them on:
+//
+//   * consent gate — a profile only applies if the user opted in;
+//   * strength cap — personalization may contribute at most a bounded
+//     fraction of the prompt's tokens (echo-chamber guard: the authored
+//     content always dominates the personalized flavor);
+//   * audit trail — every applied personalization is recorded so the
+//     rendered page can disclose exactly what was changed and why.
+//
+// Personalization happens strictly on the client device; the profile
+// never crosses the network (that is the §2.3 privacy upside of SWW).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sww::core {
+
+struct PersonalizationProfile {
+  /// User interests as plain tokens, e.g. {"cycling", "birds"}.
+  std::vector<std::string> interests;
+  /// Explicit opt-in.  Without it the profile is inert.
+  bool consented = false;
+  /// Echo-chamber guard: personalization tokens may make up at most this
+  /// fraction of the final prompt's tokens.  Clamped to [0, 0.3].
+  double max_strength = 0.2;
+
+  bool Active() const { return consented && !interests.empty(); }
+};
+
+/// One applied personalization, for disclosure.
+struct PersonalizationRecord {
+  std::string item_name;        ///< generated-content item it applied to
+  std::string original_prompt;
+  std::string personalized_prompt;
+  std::vector<std::string> injected_tokens;
+};
+
+/// Apply a profile to a prompt.  Deterministic: token choice depends on
+/// the prompt and profile only.  Returns the prompt unchanged when the
+/// profile is inactive or the strength cap leaves no token budget.
+struct PersonalizedPrompt {
+  std::string prompt;
+  std::vector<std::string> injected_tokens;
+  bool applied = false;
+};
+
+PersonalizedPrompt PersonalizePrompt(const PersonalizationProfile& profile,
+                                     std::string_view prompt);
+
+/// A client-side ledger of applied personalizations (the transparency
+/// mechanism).  The renderer can append a disclosure section from it.
+class PersonalizationAudit {
+ public:
+  void Record(PersonalizationRecord record);
+  const std::vector<PersonalizationRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  /// Human-readable disclosure block ("content personalized using: …").
+  std::string Disclosure() const;
+
+ private:
+  std::vector<PersonalizationRecord> records_;
+};
+
+}  // namespace sww::core

@@ -1,0 +1,49 @@
+#include "core/prompt_cache.hpp"
+
+namespace sww::core {
+
+std::optional<std::string> PromptCache::Get(const std::string& path) {
+  auto it = index_.find(path);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->body;
+}
+
+void PromptCache::Put(const std::string& path, std::string body) {
+  if (body.size() > capacity_) return;
+  Invalidate(path);
+  stored_bytes_ += body.size();
+  lru_.push_front(Entry{path, std::move(body)});
+  index_[path] = lru_.begin();
+  ++stats_.insertions;
+  EvictToFit();
+}
+
+void PromptCache::Invalidate(const std::string& path) {
+  auto it = index_.find(path);
+  if (it == index_.end()) return;
+  stored_bytes_ -= it->second->body.size();
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void PromptCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  stored_bytes_ = 0;
+}
+
+void PromptCache::EvictToFit() {
+  while (stored_bytes_ > capacity_ && !lru_.empty()) {
+    stored_bytes_ -= lru_.back().body.size();
+    index_.erase(lru_.back().path);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace sww::core

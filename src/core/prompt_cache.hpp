@@ -1,0 +1,67 @@
+// prompt_cache.hpp — client-side caching of prompt-form pages.
+//
+// A consequence of SWW the paper's §7 hints at ("traffic reduction on the
+// network provides more flexibility in cache placement"): the *browser*
+// cache changes character too.  Caching the prompt form of a page costs
+// kilobytes where caching its rendered media costs megabytes — and a
+// revisit regenerates everything locally, touching the network not at
+// all.  This is an LRU byte-budgeted cache of generative-mode page bodies.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace sww::core {
+
+class PromptCache {
+ public:
+  explicit PromptCache(std::size_t capacity_bytes = 512 * 1024)
+      : capacity_(capacity_bytes) {}
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+
+    double HitRate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// Look up a cached page body; counts a hit or miss.
+  std::optional<std::string> Get(const std::string& path);
+
+  /// Insert/replace a page body.  Entries larger than the whole capacity
+  /// are not cached.
+  void Put(const std::string& path, std::string body);
+
+  /// Drop one entry (e.g. after a failed verification) or everything.
+  void Invalidate(const std::string& path);
+  void Clear();
+
+  std::size_t stored_bytes() const { return stored_bytes_; }
+  std::size_t entry_count() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void EvictToFit();
+
+  struct Entry {
+    std::string path;
+    std::string body;
+  };
+
+  std::size_t capacity_;
+  std::size_t stored_bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace sww::core

@@ -1,0 +1,152 @@
+#include "core/renderer.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace sww::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+namespace {
+
+bool IsBlockTag(const std::string& tag) {
+  return tag == "p" || tag == "div" || tag == "section" || tag == "article" ||
+         tag == "ul" || tag == "ol" || tag == "li" || tag == "body" ||
+         tag == "header" || tag == "footer" || tag == "main";
+}
+
+bool IsHeadingTag(const std::string& tag) {
+  return tag.size() == 2 && tag[0] == 'h' && tag[1] >= '1' && tag[1] <= '6';
+}
+
+}  // namespace
+
+void PageRenderer::AppendWrapped(std::string_view text, std::string& out) const {
+  int column = 0;
+  for (const std::string& word : util::SplitWhitespace(text)) {
+    if (column != 0 && column + 1 + static_cast<int>(word.size()) >
+                           options_.line_width) {
+      out += "\n";
+      column = 0;
+    }
+    if (column != 0) {
+      out += " ";
+      ++column;
+    }
+    out += word;
+    column += static_cast<int>(word.size());
+  }
+  if (column != 0) out += "\n";
+}
+
+void PageRenderer::RenderNode(const html::Node& node, std::string& out,
+                              int depth) const {
+  switch (node.type()) {
+    case html::NodeType::kDocument:
+      for (const auto& child : node.children()) RenderNode(*child, out, depth);
+      return;
+    case html::NodeType::kDoctype:
+    case html::NodeType::kComment:
+      return;
+    case html::NodeType::kText: {
+      // Inline text is gathered by the enclosing block; standalone
+      // top-level text renders directly.
+      AppendWrapped(node.text(), out);
+      return;
+    }
+    case html::NodeType::kElement:
+      break;
+  }
+
+  const std::string& tag = node.tag();
+  if (tag == "head" || tag == "script" || tag == "style") return;
+
+  if (tag == "title") {
+    const std::string title = node.InnerText();
+    out += "=== " + title + " ===\n\n";
+    return;
+  }
+  if (IsHeadingTag(tag)) {
+    const std::string text = node.InnerText();
+    out += "\n" + text + "\n";
+    out += std::string(text.size(), tag[1] == '1' ? '=' : '-') + "\n";
+    return;
+  }
+  if (tag == "img") {
+    if (options_.show_image_boxes) {
+      out += util::Format("[image %sx%s: %s <%s>]\n",
+                          node.GetAttribute("width").value_or("?").c_str(),
+                          node.GetAttribute("height").value_or("?").c_str(),
+                          node.GetAttribute("alt").value_or("").c_str(),
+                          node.GetAttribute("src").value_or("").c_str());
+    }
+    return;
+  }
+  if (tag == "p") {
+    AppendWrapped(node.InnerText(), out);
+    out += "\n";
+    return;
+  }
+  if (tag == "li") {
+    out += "  * ";
+    AppendWrapped(node.InnerText(), out);
+    return;
+  }
+  if (tag == "br") {
+    out += "\n";
+    return;
+  }
+
+  for (const auto& child : node.children()) {
+    RenderNode(*child, out, depth + (IsBlockTag(tag) ? 1 : 0));
+  }
+  if (IsBlockTag(tag) && !out.empty() && out.back() != '\n') out += "\n";
+}
+
+std::string PageRenderer::RenderToText(const html::Node& document) const {
+  std::string out;
+  RenderNode(document, out, 0);
+  return out;
+}
+
+std::string PageRenderer::RenderWithDisclosure(
+    const html::Node& document, const PersonalizationAudit& audit) const {
+  std::string out = RenderToText(document);
+  const std::string disclosure = audit.Disclosure();
+  if (!disclosure.empty()) {
+    out += "\n" + std::string(options_.line_width, '-') + "\n" + disclosure;
+  }
+  return out;
+}
+
+Status PageRenderer::WriteFiles(const std::map<std::string, util::Bytes>& files,
+                                const std::string& directory) const {
+  ::mkdir(directory.c_str(), 0755);
+  for (const auto& [path, bytes] : files) {
+    // Flatten the path: "generated/goldfish.ppm" → "generated_goldfish.ppm".
+    std::string flat = path;
+    for (char& c : flat) {
+      if (c == '/') c = '_';
+    }
+    while (!flat.empty() && flat.front() == '_') flat.erase(flat.begin());
+    const std::string full = directory + "/" + flat;
+    std::FILE* file = std::fopen(full.c_str(), "wb");
+    if (file == nullptr) {
+      return Error(ErrorCode::kIo, "cannot open " + full);
+    }
+    const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+    std::fclose(file);
+    if (written != bytes.size()) {
+      return Error(ErrorCode::kIo, "short write to " + full);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sww::core

@@ -1,0 +1,48 @@
+// renderer.hpp — page rendering (the prototype's PyQt GUI stand-in, §5.2).
+//
+// Renders the post-generation DOM to a plain-text layout (headings,
+// paragraphs, image boxes with dimensions and alt text) and optionally
+// writes every generated/fetched file to a directory so the output can be
+// inspected.  Presentation-only; see DESIGN.md §1 for the substitution
+// rationale.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/personalization.hpp"
+#include "html/dom.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::core {
+
+struct RenderOptions {
+  int line_width = 72;
+  bool show_image_boxes = true;
+};
+
+class PageRenderer {
+ public:
+  explicit PageRenderer(RenderOptions options = {}) : options_(options) {}
+
+  /// Text layout of the page.
+  std::string RenderToText(const html::Node& document) const;
+
+  /// Text layout plus the §2.3 transparency footer: when personalization
+  /// was applied, the page discloses exactly what was changed.
+  std::string RenderWithDisclosure(const html::Node& document,
+                                   const PersonalizationAudit& audit) const;
+
+  /// Write all files (e.g. generated PPMs) under `directory`, creating it.
+  util::Status WriteFiles(const std::map<std::string, util::Bytes>& files,
+                          const std::string& directory) const;
+
+ private:
+  void RenderNode(const html::Node& node, std::string& out, int depth) const;
+  void AppendWrapped(std::string_view text, std::string& out) const;
+
+  RenderOptions options_;
+};
+
+}  // namespace sww::core

@@ -1,0 +1,286 @@
+#include "core/server.hpp"
+
+#include "compress/swz.hpp"
+#include "html/parser.hpp"
+#include "util/log.hpp"
+
+namespace sww::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<GenerativeServer>> GenerativeServer::Create(
+    const ContentStore* store, Options options) {
+  const energy::DeviceProfile& device =
+      options.workstation ? energy::Workstation() : energy::Laptop();
+  auto generator = MediaGenerator::Create(device, options.generator);
+  if (!generator) return generator.error();
+  return std::unique_ptr<GenerativeServer>(new GenerativeServer(
+      store, std::move(options), std::move(generator).value()));
+}
+
+GenerativeServer::GenerativeServer(const ContentStore* store, Options options,
+                                   MediaGenerator generator)
+    : store_(store), options_(std::move(options)), generator_(std::move(generator)) {
+  http2::Connection::Options conn_options;
+  conn_options.local_settings.set_gen_ability(options_.advertised_ability);
+  conn_options.local_settings.set_enable_push(false);
+  conn_options.local_settings.set_initial_window_size(1 << 20);
+  connection_ = std::make_unique<http2::Connection>(
+      http2::Connection::Role::kServer, conn_options);
+}
+
+const char* ServeModeName(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kGenerative: return "generative";
+    case ServeMode::kUpscaleAssist: return "upscale-assist";
+    case ServeMode::kTraditional: return "traditional";
+  }
+  return "?";
+}
+
+bool GenerativeServer::ServingGenerative() const {
+  return CurrentServeMode() == ServeMode::kGenerative;
+}
+
+ServeMode GenerativeServer::CurrentServeMode() const {
+  if (options_.policy == ServePolicy::kAlwaysTraditional) {
+    return ServeMode::kTraditional;
+  }
+  if (options_.policy == ServePolicy::kAlwaysGenerative) {
+    return ServeMode::kGenerative;
+  }
+  const std::uint32_t ability = connection_->negotiated_gen_ability();
+  if (ability & http2::kGenAbilityFull) return ServeMode::kGenerative;
+  if (ability & http2::kGenAbilityUpscaleOnly) return ServeMode::kUpscaleAssist;
+  return ServeMode::kTraditional;
+}
+
+Status GenerativeServer::ProcessEvents() {
+  for (const http2::Connection::Event& event : connection_->TakeEvents()) {
+    using Type = http2::Connection::Event::Type;
+    if (event.type == Type::kRemoteSettingsReceived) {
+      util::LogInfo("sww.server",
+                    "client gen ability: " +
+                        http2::GenAbilityToString(
+                            connection_->remote_settings().gen_ability()));
+      continue;
+    }
+    if (event.type != Type::kMessageComplete) continue;
+
+    const http2::Stream* stream = connection_->FindStream(event.stream_id);
+    if (stream == nullptr) continue;
+    auto request = ParseRequest(stream->headers, stream->body);
+    Response response;
+    if (!request) {
+      response.status = 400;
+      response.SetHeader("content-type", "text/plain");
+      const std::string message = request.error().ToString();
+      response.body.assign(message.begin(), message.end());
+    } else {
+      auto handled = HandleRequest(request.value());
+      if (!handled) {
+        response.status = 500;
+        response.SetHeader("content-type", "text/plain");
+        const std::string message = handled.error().ToString();
+        response.body.assign(message.begin(), message.end());
+      } else {
+        response = std::move(handled).value();
+      }
+      MaybeCompress(request.value(), response);
+    }
+    ++stats_.requests;
+    if (Status status = SendResponse(event.stream_id, response); !status.ok()) {
+      return status;
+    }
+    connection_->ReleaseStream(event.stream_id);
+  }
+  return Status::Ok();
+}
+
+Result<Response> GenerativeServer::HandleRequest(const Request& request) {
+  if (request.method != "GET") {
+    Response response;
+    response.status = 405;
+    response.SetHeader("content-type", "text/plain");
+    response.SetHeader("allow", "GET");
+    const std::string message = "method not allowed";
+    response.body.assign(message.begin(), message.end());
+    return response;
+  }
+
+  if (const PageEntry* page = store_->FindPage(request.path); page != nullptr) {
+    // §7 model negotiation: the client may force materialized delivery
+    // when its local model cannot meet the page's fidelity requirement.
+    if (request.Header(kSwwForceHeader).value_or("") == "traditional") {
+      ++stats_.pages_served_traditional;
+      auto forced = ServePageTraditional(*page);
+      if (forced) stats_.page_bytes_sent += forced.value().body.size();
+      return forced;
+    }
+    util::Result<Response> response(Response{});
+    switch (CurrentServeMode()) {
+      case ServeMode::kGenerative:
+        ++stats_.pages_served_generative;
+        response = ServePage(*page);
+        break;
+      case ServeMode::kUpscaleAssist:
+        ++stats_.pages_served_upscale;
+        response = ServePageUpscaleAssist(*page);
+        break;
+      case ServeMode::kTraditional:
+        ++stats_.pages_served_traditional;
+        response = ServePageTraditional(*page);
+        break;
+    }
+    if (response) stats_.page_bytes_sent += response.value().body.size();
+    return response;
+  }
+
+  if (const Asset* asset = store_->FindAsset(request.path); asset != nullptr) {
+    ++stats_.assets_served;
+    stats_.asset_bytes_sent += asset->bytes.size();
+    Response response;
+    response.SetHeader("content-type", asset->content_type);
+    response.body = asset->bytes;
+    return response;
+  }
+  if (auto it = ephemeral_assets_.find(request.path);
+      it != ephemeral_assets_.end()) {
+    ++stats_.assets_served;
+    stats_.asset_bytes_sent += it->second.bytes.size();
+    Response response;
+    response.SetHeader("content-type", it->second.content_type);
+    response.body = it->second.bytes;
+    return response;
+  }
+
+  ++stats_.not_found;
+  Response response;
+  response.status = 404;
+  response.SetHeader("content-type", "text/plain");
+  const std::string message = "not found: " + request.path;
+  response.body.assign(message.begin(), message.end());
+  return response;
+}
+
+Result<Response> GenerativeServer::ServePage(const PageEntry& page) {
+  // Generative form: the baseline page, prompts and all, goes out as-is.
+  Response response;
+  response.SetHeader("content-type", "text/html");
+  response.SetHeader(std::string(kSwwModeHeader), "generative");
+  response.body.assign(page.html.begin(), page.html.end());
+  return response;
+}
+
+Result<Response> GenerativeServer::ServePageTraditional(const PageEntry& page) {
+  // "When the client does not support generative content, the server uses
+  // the prompt to generate the content before sending it to the client."
+  auto document = html::ParseDocument(page.html);
+  if (!document) return document.error();
+  html::ExtractionResult extraction =
+      html::ExtractGeneratedContent(*document.value());
+  for (html::GeneratedContentSpec& spec : extraction.specs) {
+    auto media = generator_.GenerateAndReplace(spec);
+    if (!media) return media.error();
+    stats_.generation_seconds += media.value().seconds;
+    stats_.generation_energy_wh += media.value().energy_wh;
+    if (media.value().type == html::GeneratedContentType::kImage) {
+      // Serve the materialized image on its referenced path.  Root-relative
+      // so the client's asset fetch matches.
+      ephemeral_assets_["/" + media.value().file_path] =
+          Asset{media.value().file_bytes, "image/x-portable-pixmap"};
+      // Point the img src at the absolute path.
+      if (spec.node != nullptr) {
+        if (html::Node* img = spec.node->FindFirstByTag("img"); img != nullptr) {
+          img->SetAttribute("src", "/" + media.value().file_path);
+        }
+      }
+    }
+  }
+  Response response;
+  response.SetHeader("content-type", "text/html");
+  response.SetHeader(std::string(kSwwModeHeader), "traditional");
+  const std::string serialized = document.value()->Serialize();
+  response.body.assign(serialized.begin(), serialized.end());
+  return response;
+}
+
+Result<Response> GenerativeServer::ServePageUpscaleAssist(const PageEntry& page) {
+  // §2.2 upscale-only clients: the server still materializes, but at half
+  // resolution — a ~4x byte saving on the wire — and tags each image so
+  // the client restores the authored size with its (sub-second) upscaler.
+  auto document = html::ParseDocument(page.html);
+  if (!document) return document.error();
+  html::ExtractionResult extraction =
+      html::ExtractGeneratedContent(*document.value());
+  for (html::GeneratedContentSpec& spec : extraction.specs) {
+    if (spec.type == html::GeneratedContentType::kImage) {
+      const int full_width = spec.width();
+      const int full_height = spec.height();
+      // Generate the reduced-resolution variant.
+      html::GeneratedContentSpec reduced = spec;
+      reduced.metadata.Set("width", std::max(1, full_width / 2));
+      reduced.metadata.Set("height", std::max(1, full_height / 2));
+      auto media = generator_.Generate(reduced);
+      if (!media) return media.error();
+      stats_.generation_seconds += media.value().seconds;
+      stats_.generation_energy_wh += media.value().energy_wh;
+      ephemeral_assets_["/" + media.value().file_path] =
+          Asset{media.value().file_bytes, "image/x-portable-pixmap"};
+      // Replace the div: <img> declares the authored size plus the
+      // upscale factor the client must apply.
+      html::ReplaceWithImage(*spec.node, "/" + media.value().file_path,
+                             full_width, full_height, media.value().prompt);
+      if (html::Node* img = spec.node->FindFirstByTag("img"); img != nullptr) {
+        img->SetAttribute("data-sww-upscale", "2");
+      }
+    } else {
+      // Text cannot be "upscaled"; the server expands it fully.
+      auto media = generator_.GenerateAndReplace(spec);
+      if (!media) return media.error();
+      stats_.generation_seconds += media.value().seconds;
+      stats_.generation_energy_wh += media.value().energy_wh;
+    }
+  }
+  Response response;
+  response.SetHeader("content-type", "text/html");
+  response.SetHeader(std::string(kSwwModeHeader),
+                     ServeModeName(ServeMode::kUpscaleAssist));
+  const std::string serialized = document.value()->Serialize();
+  response.body.assign(serialized.begin(), serialized.end());
+  return response;
+}
+
+void GenerativeServer::MaybeCompress(const Request& request,
+                                     Response& response) {
+  // Apply the swz content coding when the client accepts it, the entity
+  // is text, and coding actually helps.
+  if (response.body.size() < 128) return;
+  const std::string accept = request.Header("accept-encoding").value_or("");
+  if (accept.find(compress::kContentCoding) == std::string::npos) return;
+  const std::string content_type =
+      response.Header("content-type").value_or("");
+  if (content_type.rfind("text/", 0) != 0) return;
+  util::Bytes coded = compress::SwzCompress(response.body);
+  if (coded.size() >= response.body.size()) return;
+  response.body = std::move(coded);
+  response.SetHeader("content-encoding", compress::kContentCoding);
+}
+
+Status GenerativeServer::SendResponse(std::uint32_t stream_id,
+                                      const Response& response) {
+  if (Status status = connection_->SubmitHeaders(stream_id, response.ToHeaders(),
+                                                 response.body.empty());
+      !status.ok()) {
+    return status;
+  }
+  if (!response.body.empty()) {
+    return connection_->SubmitData(stream_id, response.body, /*end_stream=*/true);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sww::core

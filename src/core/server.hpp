@@ -1,0 +1,118 @@
+// server.hpp — the generative server (§5.1).
+//
+// "When clients connect, the server negotiates the generative ability
+// using the modified HTTP/2 ... If the client's generative ability is
+// confirmed, the server can serve the content in its generative form as
+// indicated by the client.  If the ability is not confirmed it will serve
+// traditional content with no client-side generation expected.  A server
+// can choose to serve traditional content even if the client supports
+// generative ability, for example to provide higher performance or based
+// on the availability of renewable energy."
+//
+// One GenerativeServer instance handles one HTTP/2 connection (the session
+// harness and the TCP examples instantiate one per accepted connection,
+// sharing the ContentStore).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/content_store.hpp"
+#include "core/http_semantics.hpp"
+#include "core/media_generator.hpp"
+#include "http2/connection.hpp"
+#include "util/error.hpp"
+
+namespace sww::core {
+
+/// Serving policy — the server-side override knob from §5.1.
+enum class ServePolicy {
+  kAuto,               ///< generative iff the client negotiated the ability
+  kAlwaysTraditional,  ///< e.g. renewable energy unavailable at the edge
+  kAlwaysGenerative,   ///< testing: fail requests from naïve clients
+};
+
+/// How a page is delivered on this connection, after negotiation+policy.
+enum class ServeMode {
+  kGenerative,   ///< prompts over the wire; client generates (ability: full)
+  kUpscaleAssist,///< half-resolution assets; client upscales (§2.2)
+  kTraditional,  ///< fully materialized on the server
+};
+
+const char* ServeModeName(ServeMode mode);
+
+class GenerativeServer {
+ public:
+  struct Options {
+    ServePolicy policy = ServePolicy::kAuto;
+    /// Ability advertised in SETTINGS_GEN_ABILITY (paper default: 1).
+    std::uint32_t advertised_ability = http2::kGenAbilityFull;
+    /// Models used for *server-side* generation (traditional fallback).
+    MediaGenerator::Options generator;
+    /// Device the server generates on (the paper's edge/workstation).
+    bool workstation = true;
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t pages_served_generative = 0;
+    std::uint64_t pages_served_upscale = 0;
+    std::uint64_t pages_served_traditional = 0;
+    std::uint64_t assets_served = 0;
+    std::uint64_t not_found = 0;
+    std::uint64_t page_bytes_sent = 0;
+    std::uint64_t asset_bytes_sent = 0;
+    /// Simulated server-side generation cost (traditional fallback path).
+    double generation_seconds = 0.0;
+    double generation_energy_wh = 0.0;
+  };
+
+  static util::Result<std::unique_ptr<GenerativeServer>> Create(
+      const ContentStore* store, Options options);
+
+  /// The underlying protocol connection (wire I/O is pumped externally).
+  http2::Connection& connection() { return *connection_; }
+
+  void StartHandshake() { connection_->StartHandshake(); }
+
+  /// Process all pending protocol events, answering completed requests.
+  util::Status ProcessEvents();
+
+  /// Whether the negotiated connection is serving generatively.
+  bool ServingGenerative() const;
+  /// The effective serve mode after negotiation and policy.
+  ServeMode CurrentServeMode() const;
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+  /// Flip policy mid-connection (e.g. renewable energy became available)
+  /// — affects subsequent requests only.
+  void SetPolicy(ServePolicy policy) { options_.policy = policy; }
+
+ private:
+  GenerativeServer(const ContentStore* store, Options options,
+                   MediaGenerator generator);
+
+  util::Result<Response> HandleRequest(const Request& request);
+  util::Result<Response> ServePage(const PageEntry& page);
+  util::Result<Response> ServePageTraditional(const PageEntry& page);
+  /// §2.2 upscale-only clients: materialize at reduced resolution, tag the
+  /// <img> with data-sww-upscale so the client restores full size locally.
+  util::Result<Response> ServePageUpscaleAssist(const PageEntry& page);
+  util::Status SendResponse(std::uint32_t stream_id, const Response& response);
+  /// Apply the swz content coding when the client accepts it and it helps.
+  void MaybeCompress(const Request& request, Response& response);
+
+  const ContentStore* store_;
+  Options options_;
+  MediaGenerator generator_;
+  std::unique_ptr<http2::Connection> connection_;
+  /// Assets materialized by server-side generation, served on follow-up
+  /// requests (traditional mode still references image files by path).
+  std::map<std::string, Asset, std::less<>> ephemeral_assets_;
+  Stats stats_;
+};
+
+}  // namespace sww::core

@@ -1,0 +1,65 @@
+#include "core/session.hpp"
+
+namespace sww::core {
+
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<LocalSession>> LocalSession::Start(
+    const ContentStore* store, Options options) {
+  auto client = GenerativeClient::Create(options.client);
+  if (!client) return client.error();
+  auto server = GenerativeServer::Create(store, options.server);
+  if (!server) return server.error();
+  auto session = std::unique_ptr<LocalSession>(new LocalSession(
+      std::move(client).value(), std::move(server).value()));
+  session->client_->StartHandshake();
+  session->server_->StartHandshake();
+  // Drive the preface/SETTINGS exchange until both sides are settled.
+  for (int round = 0; round < 8; ++round) {
+    if (Status status = session->PumpOnce(); !status.ok()) return status.error();
+    if (session->client_->connection().remote_settings_received() &&
+        session->server_->connection().remote_settings_received() &&
+        session->client_->connection().local_settings_acked() &&
+        session->server_->connection().local_settings_acked()) {
+      break;
+    }
+  }
+  return session;
+}
+
+Status LocalSession::PumpOnce() {
+  bool progress = true;
+  int rounds = 0;
+  while (progress && rounds++ < 64) {
+    progress = false;
+    if (client_->connection().HasOutput()) {
+      if (Status status = server_->connection().Receive(
+              client_->connection().TakeOutput());
+          !status.ok()) {
+        return status;
+      }
+      progress = true;
+    }
+    if (Status status = server_->ProcessEvents(); !status.ok()) return status;
+    if (server_->connection().HasOutput()) {
+      if (Status status = client_->connection().Receive(
+              server_->connection().TakeOutput());
+          !status.ok()) {
+        return status;
+      }
+      progress = true;
+    }
+  }
+  return Status::Ok();
+}
+
+GenerativeClient::PumpFn LocalSession::Pump() {
+  return [this]() { return PumpOnce(); };
+}
+
+Result<PageFetch> LocalSession::FetchPage(const std::string& path) {
+  return client_->FetchPage(path, Pump());
+}
+
+}  // namespace sww::core

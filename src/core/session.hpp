@@ -1,0 +1,49 @@
+// session.hpp — in-process client/server harness.
+//
+// Wires a GenerativeClient and a GenerativeServer back-to-back with a
+// deterministic byte shuttle (no sockets, no threads) — the workhorse for
+// tests, benchmarks and the quickstart example.  The TCP examples build
+// the same parts over net::TcpTransport instead.
+#pragma once
+
+#include <memory>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+
+namespace sww::core {
+
+class LocalSession {
+ public:
+  struct Options {
+    GenerativeClient::Options client;
+    GenerativeServer::Options server;
+  };
+
+  /// Create both endpoints over the shared store and run the connection
+  /// preface + SETTINGS exchange to completion.
+  static util::Result<std::unique_ptr<LocalSession>> Start(
+      const ContentStore* store, Options options);
+
+  GenerativeClient& client() { return *client_; }
+  GenerativeServer& server() { return *server_; }
+
+  /// The pump callable FetchPage needs: moves bytes client→server, lets the
+  /// server answer, moves bytes back.
+  GenerativeClient::PumpFn Pump();
+
+  /// Convenience: fetch and materialize a page over this session.
+  util::Result<PageFetch> FetchPage(const std::string& path);
+
+ private:
+  LocalSession(std::unique_ptr<GenerativeClient> client,
+               std::unique_ptr<GenerativeServer> server)
+      : client_(std::move(client)), server_(std::move(server)) {}
+
+  util::Status PumpOnce();
+
+  std::unique_ptr<GenerativeClient> client_;
+  std::unique_ptr<GenerativeServer> server_;
+};
+
+}  // namespace sww::core

@@ -1,0 +1,181 @@
+#include "core/stock_prompts.hpp"
+
+#include <algorithm>
+
+#include "core/verification.hpp"
+#include "util/strings.hpp"
+
+namespace sww::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+const char* PromptLicenseName(PromptLicense license) {
+  switch (license) {
+    case PromptLicense::kPublicDomain: return "public-domain";
+    case PromptLicense::kCcBy: return "cc-by";
+    case PromptLicense::kCcBySa: return "cc-by-sa";
+    case PromptLicense::kCommercial: return "commercial";
+  }
+  return "?";
+}
+
+StockPromptLibrary StockPromptLibrary::Builtin() {
+  StockPromptLibrary library;
+  struct Entry {
+    const char* id;
+    const char* category;
+    const char* prompt;
+    PromptLicense license;
+    const char* attribution;
+  };
+  static const Entry kCatalog[] = {
+      {"landscape/alpine-meadow", "landscape",
+       "an alpine meadow below a glacier, wildflowers in the foreground, "
+       "crisp morning light, wide-angle photograph",
+       PromptLicense::kCcBySa, "Stock Prompts Collective"},
+      {"landscape/volcanic-ridge", "landscape",
+       "a volcanic ridge under heavy cloud, black gravel slopes, thin fog "
+       "lifting, dramatic diffuse light",
+       PromptLicense::kCcBySa, "Stock Prompts Collective"},
+      {"landscape/river-delta", "landscape",
+       "a wide river delta seen from above, braided channels, golden hour",
+       PromptLicense::kPublicDomain, ""},
+      {"landscape/coastal-cliffs", "landscape",
+       "coastal cliffs above a calm sea, seabirds circling, late afternoon",
+       PromptLicense::kCcBy, "OpenPrompt Archive"},
+      {"food/rustic-bread", "food",
+       "a rustic sourdough loaf on a wooden board, flour dusting, warm "
+       "window light, shallow depth of field",
+       PromptLicense::kCcBy, "OpenPrompt Archive"},
+      {"food/market-fruit", "food",
+       "a market stall with stacked seasonal fruit, bright colors, candid "
+       "photograph",
+       PromptLicense::kPublicDomain, ""},
+      {"food/coffee-pour", "food",
+       "coffee being poured into a ceramic cup, steam visible, cozy cafe "
+       "background",
+       PromptLicense::kCommercial, "Premium Prompt Works"},
+      {"business/team-meeting", "business",
+       "a small team meeting around a whiteboard, natural office light, "
+       "candid working atmosphere",
+       PromptLicense::kCommercial, "Premium Prompt Works"},
+      {"business/handshake", "business",
+       "a professional handshake in a bright lobby, shallow focus",
+       PromptLicense::kCcBy, "OpenPrompt Archive"},
+      {"travel/old-bridge", "travel",
+       "a rainbow over an old stone bridge crossing a river, lush banks, "
+       "after-rain clarity",
+       PromptLicense::kCcBySa, "Stock Prompts Collective"},
+      {"travel/mountain-hut", "travel",
+       "a mountain hut at dusk with warm windows, snow patches, hikers "
+       "resting outside",
+       PromptLicense::kCcBySa, "Stock Prompts Collective"},
+      {"travel/harbor-town", "travel",
+       "a small harbor town at dusk, fishing boats, reflections in still "
+       "water",
+       PromptLicense::kPublicDomain, ""},
+      {"abstract/paper-texture", "abstract",
+       "a softly lit handmade paper texture, subtle fibers, neutral tones",
+       PromptLicense::kPublicDomain, ""},
+      {"abstract/ink-wash", "abstract",
+       "an ink wash gradient in deep blue, organic edges, high resolution",
+       PromptLicense::kCcBy, "OpenPrompt Archive"},
+      {"nature/forest-path", "nature",
+       "a pine forest path with long morning shadows, mist between trunks",
+       PromptLicense::kCcBySa, "Stock Prompts Collective"},
+      {"nature/waterfall", "nature",
+       "an icelandic waterfall in a green valley, long exposure, moss on "
+       "basalt",
+       PromptLicense::kCcBySa, "Stock Prompts Collective"},
+      {"nature/goldfish", "nature",
+       "a cartoon goldfish with large friendly eyes in a round glass bowl, "
+       "bright orange scales, simple flat colors",
+       PromptLicense::kPublicDomain, ""},
+      {"city/night-street", "city",
+       "a rain-washed city street at night, neon reflections, umbrellas",
+       PromptLicense::kCommercial, "Premium Prompt Works"},
+      {"city/rooftops", "city",
+       "terracotta rooftops of an old town from a bell tower, afternoon sun",
+       PromptLicense::kCcBy, "OpenPrompt Archive"},
+      {"city/tram", "city",
+       "a vintage tram turning through a narrow street, motion blur",
+       PromptLicense::kCcBySa, "Stock Prompts Collective"},
+  };
+  for (const Entry& entry : kCatalog) {
+    library.Add(StockPrompt{entry.id, entry.category, entry.prompt,
+                            entry.license, entry.attribution});
+  }
+  return library;
+}
+
+void StockPromptLibrary::Add(StockPrompt prompt) {
+  prompts_.push_back(std::move(prompt));
+}
+
+Result<StockPrompt> StockPromptLibrary::Find(std::string_view id) const {
+  for (const StockPrompt& prompt : prompts_) {
+    if (prompt.id == id) return prompt;
+  }
+  return Error(ErrorCode::kNotFound, "no stock prompt: " + std::string(id));
+}
+
+std::vector<StockPrompt> StockPromptLibrary::Category(
+    std::string_view category) const {
+  std::vector<StockPrompt> out;
+  for (const StockPrompt& prompt : prompts_) {
+    if (prompt.category == category) out.push_back(prompt);
+  }
+  return out;
+}
+
+std::vector<StockPrompt> StockPromptLibrary::Search(
+    const std::vector<std::string>& keywords) const {
+  std::vector<StockPrompt> out;
+  for (const StockPrompt& prompt : prompts_) {
+    const std::string haystack = util::ToLower(prompt.prompt);
+    const bool all_present = std::all_of(
+        keywords.begin(), keywords.end(), [&haystack](const std::string& kw) {
+          return haystack.find(util::ToLower(kw)) != std::string::npos;
+        });
+    if (all_present) out.push_back(prompt);
+  }
+  return out;
+}
+
+bool StockPromptLibrary::UsageAllowed(
+    const StockPrompt& prompt,
+    const std::vector<std::string>& licensed_ids) const {
+  if (prompt.license != PromptLicense::kCommercial) return true;
+  return std::find(licensed_ids.begin(), licensed_ids.end(), prompt.id) !=
+         licensed_ids.end();
+}
+
+Result<json::Value> StockPromptLibrary::MakeImageMetadata(
+    std::string_view id, int width, int height,
+    const std::vector<std::string>& licensed_ids) const {
+  auto entry = Find(id);
+  if (!entry) return entry.error();
+  if (!UsageAllowed(entry.value(), licensed_ids)) {
+    return Error(ErrorCode::kUnsupported,
+                 "stock prompt '" + std::string(id) +
+                     "' requires a commercial license grant");
+  }
+  json::Value metadata{json::Object{}};
+  metadata.Set("prompt", entry.value().prompt);
+  // Derive a file-safe name from the id.
+  std::string name = entry.value().id;
+  std::replace(name.begin(), name.end(), '/', '-');
+  metadata.Set("name", name);
+  metadata.Set("width", width);
+  metadata.Set("height", height);
+  metadata.Set("digest", DigestToHex(DigestOfPrompt(entry.value().prompt)));
+  metadata.Set("license", PromptLicenseName(entry.value().license));
+  if (!entry.value().attribution.empty()) {
+    metadata.Set("attribution", entry.value().attribution);
+  }
+  return metadata;
+}
+
+}  // namespace sww::core

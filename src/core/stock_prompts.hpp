@@ -1,0 +1,80 @@
+// stock_prompts.hpp — a stock prompt library (§7 "New Opportunities").
+//
+// "One interesting aspect is that of stock photos, as these will mostly
+// become prompts.  Possibly in a few years' time we will see stock
+// prompts companies emerge."  And under Ethics and Trust: "Another
+// question relates to copyrights, as a lot of content will be reduced to
+// prompts and then generated.  Possibly content sharing licenses will be
+// updated to allow use on SWW."
+//
+// This module models that marketplace artifact: a catalog of curated,
+// licensed prompts.  Each entry carries its license and attribution; the
+// library enforces license terms at lookup time (a proprietary prompt
+// cannot be embedded into a page without a license grant) and stamps
+// attribution into the generated-content metadata so it survives delivery
+// and appears alongside the generated media.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/error.hpp"
+
+namespace sww::core {
+
+enum class PromptLicense {
+  kPublicDomain,   ///< free for any use, no attribution required
+  kCcBy,           ///< free with attribution
+  kCcBySa,         ///< attribution + share-alike (the paper's figures' terms)
+  kCommercial,     ///< requires a purchased grant
+};
+
+const char* PromptLicenseName(PromptLicense license);
+
+struct StockPrompt {
+  std::string id;          ///< catalog key, e.g. "landscape/alpine-meadow"
+  std::string category;    ///< "landscape", "food", "business", ...
+  std::string prompt;
+  PromptLicense license = PromptLicense::kCcBy;
+  std::string attribution; ///< required credit line (empty for PD)
+};
+
+class StockPromptLibrary {
+ public:
+  /// An empty library; use Builtin() for the curated starter catalog.
+  StockPromptLibrary() = default;
+
+  /// ~20 curated entries across the categories the examples use.
+  static StockPromptLibrary Builtin();
+
+  void Add(StockPrompt prompt);
+  std::size_t size() const { return prompts_.size(); }
+
+  /// Lookup by id.
+  util::Result<StockPrompt> Find(std::string_view id) const;
+
+  /// All entries in a category.
+  std::vector<StockPrompt> Category(std::string_view category) const;
+
+  /// Entries whose prompt mentions every given keyword (case-folded).
+  std::vector<StockPrompt> Search(const std::vector<std::string>& keywords) const;
+
+  /// License gate: can this entry be embedded into a page?
+  /// `licensed_ids` holds purchased grants for kCommercial entries.
+  bool UsageAllowed(const StockPrompt& prompt,
+                    const std::vector<std::string>& licensed_ids) const;
+
+  /// Build generated-content metadata from a stock prompt: prompt, name,
+  /// dimensions, semantic digest, license and attribution fields.
+  /// Fails (kUnsupported) when the license gate rejects the use.
+  util::Result<json::Value> MakeImageMetadata(
+      std::string_view id, int width, int height,
+      const std::vector<std::string>& licensed_ids = {}) const;
+
+ private:
+  std::vector<StockPrompt> prompts_;
+};
+
+}  // namespace sww::core

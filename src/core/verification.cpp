@@ -1,0 +1,82 @@
+#include "core/verification.hpp"
+
+#include <bit>
+
+#include "util/strings.hpp"
+
+namespace sww::core {
+
+namespace {
+
+SemanticDigest SignBits(const genai::Vec& embedding) {
+  SemanticDigest digest = 0;
+  for (int i = 0; i < genai::kEmbeddingDim && i < 64; ++i) {
+    if (embedding[static_cast<std::size_t>(i)] >= 0.0) {
+      digest |= (1ULL << i);
+    }
+  }
+  return digest;
+}
+
+}  // namespace
+
+SemanticDigest DigestOfPrompt(std::string_view prompt) {
+  return SignBits(genai::TextEmbeddingOf(prompt));
+}
+
+SemanticDigest DigestOfImage(const genai::Image& image) {
+  return SignBits(genai::ImageEmbedding(image));
+}
+
+int DigestDistance(SemanticDigest a, SemanticDigest b) {
+  return std::popcount(a ^ b);
+}
+
+VerificationResult VerifyGeneratedImage(const genai::Image& image,
+                                        SemanticDigest expected, int budget) {
+  VerificationResult result;
+  result.budget = budget;
+  result.distance = DigestDistance(DigestOfImage(image), expected);
+  result.verified = result.distance <= budget;
+  return result;
+}
+
+ContentVerification VerifyGeneratedContent(std::string_view authored_prompt,
+                                           std::string_view received_prompt,
+                                           SemanticDigest expected,
+                                           const genai::Image& image,
+                                           int budget) {
+  ContentVerification result;
+  // Stage 1 — exact: the digest must be the digest of the authored prompt.
+  result.prompt_integrity = DigestOfPrompt(authored_prompt) == expected;
+  // Stage 2 — statistical: the pixels must carry the semantics of the
+  // prompt that was actually used for generation.
+  const SemanticDigest used = DigestOfPrompt(received_prompt);
+  result.distance = DigestDistance(DigestOfImage(image), used);
+  result.semantically_faithful = result.distance <= budget;
+  return result;
+}
+
+std::string DigestToHex(SemanticDigest digest) {
+  return util::Format("%016llx", static_cast<unsigned long long>(digest));
+}
+
+SemanticDigest DigestFromHex(std::string_view hex) {
+  if (hex.size() != 16) return 0;
+  SemanticDigest digest = 0;
+  for (char c : hex) {
+    digest <<= 4;
+    if (c >= '0' && c <= '9') {
+      digest |= static_cast<SemanticDigest>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digest |= static_cast<SemanticDigest>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digest |= static_cast<SemanticDigest>(c - 'A' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return digest;
+}
+
+}  // namespace sww::core

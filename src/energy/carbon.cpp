@@ -1,0 +1,23 @@
+#include "energy/carbon.hpp"
+
+namespace sww::energy {
+
+double EmbodiedCarbonKg(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / 1e12 * kSsdKgCo2PerTB;
+}
+
+double EmbodiedCarbonKgFromTB(double terabytes) {
+  return terabytes * kSsdKgCo2PerTB;
+}
+
+double CarbonSavedKg(double original_terabytes, double compression_factor) {
+  if (compression_factor <= 1.0) return 0.0;
+  const double remaining = original_terabytes / compression_factor;
+  return EmbodiedCarbonKgFromTB(original_terabytes - remaining);
+}
+
+double OperationalCarbonGrams(double energy_wh) {
+  return energy_wh / 1000.0 * kGridGramsCo2PerKwh;
+}
+
+}  // namespace sww::energy

@@ -1,0 +1,29 @@
+// carbon.hpp — embodied carbon accounting (§6.4, §7 "Sustainability").
+//
+// "Storage devices have a high environmental toll, amounting to
+// 6-7 kgCO2e per terabyte of SSD.  With exabyte scale storage, even modest
+// compression can save millions of kgCO2e."  This module does that
+// arithmetic for the CDN/storage benches.
+#pragma once
+
+#include <cstdint>
+
+namespace sww::energy {
+
+/// Mid-point of the paper's cited 6-7 kgCO2e per TB of SSD.
+inline constexpr double kSsdKgCo2PerTB = 6.5;
+
+/// Embodied carbon of `bytes` of SSD storage, kgCO2e (decimal TB).
+double EmbodiedCarbonKg(std::uint64_t bytes);
+double EmbodiedCarbonKgFromTB(double terabytes);
+
+/// Carbon saved by compressing a corpus of `original_bytes` by `factor`.
+double CarbonSavedKg(double original_terabytes, double compression_factor);
+
+/// Grams CO2e per kWh of grid electricity (world average, for converting
+/// operational energy to carbon in the benches).
+inline constexpr double kGridGramsCo2PerKwh = 436.0;
+
+double OperationalCarbonGrams(double energy_wh);
+
+}  // namespace sww::energy

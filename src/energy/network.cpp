@@ -1,0 +1,21 @@
+#include "energy/network.hpp"
+
+namespace sww::energy {
+
+double TransmissionSeconds(std::uint64_t bytes, double mbps) {
+  return static_cast<double>(bytes) * 8.0 / (mbps * 1e6);
+}
+
+double TransmissionEnergyWh(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / 1e6 * kWhPerMegabyte;
+}
+
+double FleetTraffic::MonthlyEnergySavingsMWh() const {
+  // Traffic saved per month in MB, times Wh/MB, to MWh.
+  const double saved_exabytes =
+      monthly_exabytes * (1.0 - 1.0 / compression_factor);
+  const double saved_megabytes = saved_exabytes * 1e12;
+  return saved_megabytes * kWhPerMegabyte / 1e6;
+}
+
+}  // namespace sww::energy

@@ -1,0 +1,36 @@
+// network.hpp — network transmission time and energy (§6.4).
+//
+// Constants from the paper: a "typical 100 Mbps link" for transmission
+// time, and Telefónica's 2024 consumption of 38 MWh/Petabyte
+// (= 0.038 Wh/MB) for energy per unit of traffic.  The paper notes network
+// energy today is dominated by *static* power — these figures are the
+// traffic-proportional accounting it uses for the §6.4 comparison.
+#pragma once
+
+#include <cstdint>
+
+namespace sww::energy {
+
+inline constexpr double kDefaultLinkMbps = 100.0;
+/// Telefónica 2024: 38 MWh / PB  →  0.038 Wh / MB (decimal megabytes).
+inline constexpr double kWhPerMegabyte = 0.038;
+
+/// Seconds to transmit `bytes` over a link of `mbps` megabits/second.
+double TransmissionSeconds(std::uint64_t bytes, double mbps = kDefaultLinkMbps);
+
+/// Traffic-proportional transmission energy in Wh.
+double TransmissionEnergyWh(std::uint64_t bytes);
+
+/// Mobile-web fleet model (§7): monthly exabytes of mobile web traffic and
+/// the petabytes/month it shrinks to under a given compression factor.
+struct FleetTraffic {
+  double monthly_exabytes = 2.5;      ///< paper: "2-3 Exabytes/month"
+  double compression_factor = 100.0;  ///< "approximately two orders of magnitude"
+
+  double CompressedPetabytesPerMonth() const {
+    return monthly_exabytes * 1000.0 / compression_factor;
+  }
+  double MonthlyEnergySavingsMWh() const;
+};
+
+}  // namespace sww::energy

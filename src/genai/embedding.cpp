@@ -1,0 +1,119 @@
+#include "genai/embedding.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace sww::genai {
+
+double Dot(const Vec& a, const Vec& b) {
+  double sum = 0.0;
+  for (int i = 0; i < kEmbeddingDim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const Vec& v) { return std::sqrt(Dot(v, v)); }
+
+void Normalize(Vec& v) {
+  const double norm = Norm(v);
+  if (norm < 1e-12) return;
+  for (double& x : v) x /= norm;
+}
+
+double Cosine(const Vec& a, const Vec& b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+Vec TokenEmbedding(std::string_view token) {
+  const std::string folded = util::ToLower(token);
+  util::Rng rng(util::Fnv1a64(folded, 0x7a3e8d91c5b2f064ULL));
+  Vec v;
+  for (double& x : v) x = rng.NextGaussian();
+  Normalize(v);
+  return v;
+}
+
+Vec TextEmbedding(const std::vector<std::string>& tokens) {
+  Vec sum{};
+  for (const std::string& token : tokens) {
+    const Vec e = TokenEmbedding(token);
+    for (int i = 0; i < kEmbeddingDim; ++i) sum[i] += e[i];
+  }
+  Normalize(sum);
+  return sum;
+}
+
+Vec TextEmbeddingOf(std::string_view text) {
+  return TextEmbedding(util::Tokenize(text));
+}
+
+const Vec& CellBasis(int cell_index) {
+  static std::array<Vec, kSemanticGrid * kSemanticGrid> bases;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (int c = 0; c < kSemanticGrid * kSemanticGrid; ++c) {
+      util::Rng rng(util::HashCombine(0x5eedba5e5eedba5eULL,
+                                      static_cast<std::uint64_t>(c)));
+      for (double& x : bases[static_cast<std::size_t>(c)]) {
+        x = rng.NextGaussian();
+      }
+      Normalize(bases[static_cast<std::size_t>(c)]);
+    }
+  });
+  return bases.at(static_cast<std::size_t>(cell_index));
+}
+
+std::vector<double> SemanticField(const Vec& text_embedding) {
+  std::vector<double> field(kSemanticGrid * kSemanticGrid);
+  for (int c = 0; c < kSemanticGrid * kSemanticGrid; ++c) {
+    field[static_cast<std::size_t>(c)] =
+        Dot(text_embedding, CellBasis(c)) * kPlantAmplitude *
+        std::sqrt(static_cast<double>(kEmbeddingDim));
+  }
+  return field;
+}
+
+std::vector<double> ReadCellField(const Image& image) {
+  std::vector<double> field(kSemanticGrid * kSemanticGrid, 0.0);
+  if (image.empty()) return field;
+  const double cell_w = static_cast<double>(image.width()) / kSemanticGrid;
+  const double cell_h = static_cast<double>(image.height()) / kSemanticGrid;
+  for (int cy = 0; cy < kSemanticGrid; ++cy) {
+    for (int cx = 0; cx < kSemanticGrid; ++cx) {
+      const int x0 = static_cast<int>(cx * cell_w);
+      const int y0 = static_cast<int>(cy * cell_h);
+      const int x1 = static_cast<int>((cx + 1) * cell_w);
+      const int y1 = static_cast<int>((cy + 1) * cell_h);
+      const double mean = image.MeanLuminance(x0, y0, std::max(x1, x0 + 1),
+                                              std::max(y1, y0 + 1));
+      field[static_cast<std::size_t>(cy * kSemanticGrid + cx)] = mean - 128.0;
+    }
+  }
+  return field;
+}
+
+Vec FieldToEmbedding(const std::vector<double>& field) {
+  Vec embedding{};
+  const int cells = kSemanticGrid * kSemanticGrid;
+  for (int c = 0; c < cells && c < static_cast<int>(field.size()); ++c) {
+    const Vec& basis = CellBasis(c);
+    for (int i = 0; i < kEmbeddingDim; ++i) {
+      embedding[i] += field[static_cast<std::size_t>(c)] * basis[i];
+    }
+  }
+  return embedding;
+}
+
+Vec ImageEmbedding(const Image& image) {
+  Vec embedding = FieldToEmbedding(ReadCellField(image));
+  Normalize(embedding);
+  return embedding;
+}
+
+}  // namespace sww::genai

@@ -1,0 +1,107 @@
+#include "genai/image.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sww::genai {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Image::Image(int width, int height)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) * height * 3, 0) {}
+
+Pixel Image::Get(int x, int y) const {
+  const std::size_t i = (static_cast<std::size_t>(y) * width_ + x) * 3;
+  return Pixel{data_[i], data_[i + 1], data_[i + 2]};
+}
+
+void Image::Set(int x, int y, Pixel pixel) {
+  const std::size_t i = (static_cast<std::size_t>(y) * width_ + x) * 3;
+  data_[i] = pixel.r;
+  data_[i + 1] = pixel.g;
+  data_[i + 2] = pixel.b;
+}
+
+std::uint8_t Image::Luminance(int x, int y) const {
+  const Pixel p = Get(x, y);
+  return static_cast<std::uint8_t>((299 * p.r + 587 * p.g + 114 * p.b) / 1000);
+}
+
+double Image::MeanLuminance(int x0, int y0, int x1, int y1) const {
+  x0 = std::max(0, x0);
+  y0 = std::max(0, y0);
+  x1 = std::min(width_, x1);
+  y1 = std::min(height_, y1);
+  if (x0 >= x1 || y0 >= y1) return 0.0;
+  double sum = 0.0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      sum += Luminance(x, y);
+    }
+  }
+  return sum / (static_cast<double>(x1 - x0) * (y1 - y0));
+}
+
+std::string Image::ToPpm() const {
+  char header[64];
+  std::snprintf(header, sizeof(header), "P6\n%d %d\n255\n", width_, height_);
+  std::string out(header);
+  out.append(reinterpret_cast<const char*>(data_.data()), data_.size());
+  return out;
+}
+
+Result<Image> Image::FromPpm(std::string_view ppm) {
+  // Parse "P6\n<w> <h>\n255\n" followed by raw bytes.  Whitespace-tolerant.
+  if (ppm.substr(0, 2) != "P6") {
+    return Error(ErrorCode::kMalformed, "not a P6 PPM");
+  }
+  std::size_t pos = 2;
+  auto skip_space_and_comments = [&]() {
+    while (pos < ppm.size()) {
+      if (std::isspace(static_cast<unsigned char>(ppm[pos]))) {
+        ++pos;
+      } else if (ppm[pos] == '#') {
+        while (pos < ppm.size() && ppm[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  };
+  auto read_int = [&]() -> Result<int> {
+    skip_space_and_comments();
+    int value = 0;
+    bool any = false;
+    while (pos < ppm.size() && std::isdigit(static_cast<unsigned char>(ppm[pos]))) {
+      value = value * 10 + (ppm[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) return Error(ErrorCode::kMalformed, "ppm: expected integer");
+    return value;
+  };
+  auto width = read_int();
+  if (!width) return width.error();
+  auto height = read_int();
+  if (!height) return height.error();
+  auto maxval = read_int();
+  if (!maxval) return maxval.error();
+  if (maxval.value() != 255) {
+    return Error(ErrorCode::kMalformed, "ppm: only maxval 255 supported");
+  }
+  ++pos;  // single whitespace after maxval
+  const std::size_t needed =
+      static_cast<std::size_t>(width.value()) * height.value() * 3;
+  if (ppm.size() - pos < needed) {
+    return Error(ErrorCode::kTruncated, "ppm: pixel data truncated");
+  }
+  Image image(width.value(), height.value());
+  std::copy_n(reinterpret_cast<const std::uint8_t*>(ppm.data() + pos), needed,
+              image.data_.begin());
+  return image;
+}
+
+}  // namespace sww::genai

@@ -1,0 +1,56 @@
+#include "genai/interpolator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sww::genai {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<Image> InterpolateFrames(const Image& first, const Image& second,
+                                double t) {
+  if (first.empty() || second.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "cannot interpolate empty frames");
+  }
+  if (first.width() != second.width() || first.height() != second.height()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "frame dimensions must match for interpolation");
+  }
+  if (t < 0.0 || t > 1.0) {
+    return Error(ErrorCode::kInvalidArgument, "t must be in [0,1]");
+  }
+  Image out(first.width(), first.height());
+  for (int y = 0; y < first.height(); ++y) {
+    for (int x = 0; x < first.width(); ++x) {
+      const Pixel a = first.Get(x, y);
+      const Pixel b = second.Get(x, y);
+      auto blend = [t](std::uint8_t p, std::uint8_t q) {
+        return static_cast<std::uint8_t>(
+            std::clamp(p * (1.0 - t) + q * t, 0.0, 255.0));
+      };
+      out.Set(x, y, Pixel{blend(a.r, b.r), blend(a.g, b.g), blend(a.b, b.b)});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Image>> BoostFrameRate(const std::vector<Image>& frames) {
+  if (frames.size() < 2) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "need at least two frames to boost");
+  }
+  std::vector<Image> boosted;
+  boosted.reserve(frames.size() * 2 - 1);
+  for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+    boosted.push_back(frames[i]);
+    auto middle = InterpolateFrames(frames[i], frames[i + 1], 0.5);
+    if (!middle) return middle.error();
+    boosted.push_back(std::move(middle).value());
+  }
+  boosted.push_back(frames.back());
+  return boosted;
+}
+
+}  // namespace sww::genai

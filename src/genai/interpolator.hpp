@@ -1,0 +1,27 @@
+// interpolator.hpp — frame interpolation (§3.2's frame-rate boosting).
+//
+// "frame rate boosting, e.g., from 30fps to 60fps, is a likely early use
+// case.  Client-side video upscaling, including frame rate boosting ...
+// is already available using GPU features like NVIDIA's RTX Video Super
+// Resolution or AMD's Fluid Motion Frames."  This is the synthesis
+// primitive behind the kGenAbilityFrameRateBoost capability: given two
+// consecutive frames, produce the in-between frame.
+#pragma once
+
+#include "genai/image.hpp"
+#include "util/error.hpp"
+
+namespace sww::genai {
+
+/// Interpolate between two equally-sized frames at parameter t ∈ [0,1]
+/// (0 = first frame, 1 = second).  Linear blending preserves the semantic
+/// cell field, so an interpolated frame scores between its endpoints on
+/// prompt-similarity metrics — motion-smooth, semantics-stable.
+util::Result<Image> InterpolateFrames(const Image& first, const Image& second,
+                                      double t = 0.5);
+
+/// Double the frame rate of a sequence: between every adjacent pair an
+/// interpolated frame is inserted (n frames → 2n-1 frames).
+util::Result<std::vector<Image>> BoostFrameRate(const std::vector<Image>& frames);
+
+}  // namespace sww::genai

@@ -1,0 +1,241 @@
+#include "genai/llm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace sww::genai {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+const std::vector<std::string>& FillerAdjectives() {
+  static const std::vector<std::string> words = {
+      "remarkable", "quiet",    "vivid",   "gentle",  "notable", "modern",
+      "broad",      "subtle",   "steady",  "curious", "fresh",   "distant",
+      "familiar",   "pleasant", "simple",  "rich",    "calm",    "lively",
+      "memorable",  "scenic",   "practical", "detailed", "welcoming", "open"};
+  return words;
+}
+
+const std::vector<std::string>& FillerNouns() {
+  static const std::vector<std::string> words = {
+      "journey", "detail", "surface", "moment",  "corner",  "season",
+      "story",   "view",   "path",    "visitor", "morning", "effect",
+      "feature", "place",  "texture", "light",   "pattern", "region",
+      "scene",   "guide",  "account", "impression", "setting", "experience"};
+  return words;
+}
+
+const std::vector<std::string>& FillerVerbs() {
+  static const std::vector<std::string> words = {
+      "reveals",  "offers",   "suggests", "captures", "presents", "follows",
+      "reaches",  "frames",   "invites",  "carries",  "shows",    "brings",
+      "rewards",  "combines", "holds",    "opens",    "marks",    "traces"};
+  return words;
+}
+
+const std::vector<std::string>& StopWords() {
+  static const std::vector<std::string> words = {
+      "a",   "an",  "and", "are", "as",   "at",   "be",  "by",   "for",
+      "from", "has", "he",  "in",  "is",   "it",   "its", "of",   "on",
+      "that", "the", "to",  "was", "were", "will", "with", "this", "but",
+      "or",  "not", "they", "their", "over", "into", "about"};
+  return words;
+}
+
+bool IsStopWord(std::string_view word) {
+  for (const std::string& w : StopWords()) {
+    if (w == word) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Deterministic sentence assembly: subject-verb-object templates joined
+/// with the bullet's carried content words.
+class SentenceBuilder {
+ public:
+  explicit SentenceBuilder(util::Rng& rng) : rng_(rng) {}
+
+  /// One sentence built around up to three content words.
+  std::string Build(const std::vector<std::string>& content_words) {
+    static const std::vector<std::string> kOpeners = {
+        "Along the way", "In many ways",   "From the first moment",
+        "Taken together", "At a glance",   "Throughout the visit",
+        "Time and again", "For most visitors", "In the end"};
+    std::string sentence;
+    const bool use_opener = rng_.NextBool(0.4);
+    if (use_opener) {
+      sentence += kOpeners[rng_.NextIndex(kOpeners.size())] + ", ";
+    }
+    sentence += "the " + Pick(FillerAdjectives()) + " " + Pick(FillerNouns()) +
+                " " + Pick(FillerVerbs());
+    if (!content_words.empty()) {
+      sentence += " the " + JoinContent(content_words);
+    } else {
+      sentence += " a " + Pick(FillerAdjectives()) + " " + Pick(FillerNouns());
+    }
+    if (rng_.NextBool(0.5)) {
+      sentence += " with a " + Pick(FillerAdjectives()) + " " + Pick(FillerNouns());
+    }
+    sentence += ".";
+    // Capitalize.
+    if (!sentence.empty()) {
+      sentence[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(sentence[0])));
+    }
+    return sentence;
+  }
+
+ private:
+  std::string Pick(const std::vector<std::string>& bank) {
+    return bank[rng_.NextIndex(bank.size())];
+  }
+
+  std::string JoinContent(const std::vector<std::string>& words) {
+    std::string out;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (i != 0) out += (i + 1 == words.size()) ? " and " : ", ";
+      out += words[i];
+    }
+    return out;
+  }
+
+  util::Rng& rng_;
+};
+
+}  // namespace
+
+Result<ExpandedText> TextModel::ExpandBullets(
+    const std::vector<std::string>& bullets, int target_words,
+    std::uint64_t seed) const {
+  if (target_words <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "target word count must be positive");
+  }
+  if (bullets.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "at least one bullet required");
+  }
+
+  std::uint64_t content_hash = seed;
+  for (const std::string& b : bullets) {
+    content_hash = util::HashCombine(content_hash, util::Fnv1a64(b));
+  }
+  util::Rng rng(util::HashCombine(content_hash, util::Fnv1a64(spec_.name)));
+
+  // 1. Decide the actual length: requested ± model-specific control error.
+  //    The small positive bias matches the paper's ~1.3% mean overshoot.
+  const double relative_error = rng.NextGaussian(0.013, spec_.length_sigma);
+  const double clamped = std::clamp(relative_error, -0.20, 0.20);  // §6.3.2 cap
+  const int actual_target =
+      std::max(10, static_cast<int>(std::lround(target_words * (1.0 + clamped))));
+
+  // 2. Collect content words, dropping each with probability (1-fidelity).
+  std::vector<std::string> carried;
+  std::size_t content_total = 0;
+  for (const std::string& bullet : bullets) {
+    for (const std::string& token : util::Tokenize(bullet)) {
+      if (IsStopWord(token)) continue;
+      ++content_total;
+      if (rng.NextDouble() < spec_.fidelity) {
+        carried.push_back(token);
+      } else {
+        // A hallucinated substitute: semantically unrelated bank word.
+        carried.push_back(FillerNouns()[rng.NextIndex(FillerNouns().size())]);
+      }
+    }
+  }
+
+  // 3. Assemble sentences until the word budget is met, weaving 2-3
+  //    carried words into each.
+  SentenceBuilder builder(rng);
+  std::string text;
+  int words = 0;
+  std::size_t cursor = 0;
+  while (words < actual_target) {
+    std::vector<std::string> chunk;
+    for (int k = 0; k < 3 && cursor < carried.size(); ++k) {
+      chunk.push_back(carried[cursor++]);
+    }
+    const std::string sentence = builder.Build(chunk);
+    if (!text.empty()) text += " ";
+    text += sentence;
+    words = static_cast<int>(util::CountWords(text));
+    if (cursor >= carried.size()) cursor = 0;  // recycle for long outputs
+    if (carried.empty()) break;
+  }
+  // Length control: the model trims its final sentence to land on its
+  // (noisy) internal target, keeping the overall overshoot within the
+  // ±20% band §6.3.2 reports.
+  if (words > actual_target) {
+    const std::vector<std::string> all_words = util::SplitWhitespace(text);
+    text = util::Join(
+        std::vector<std::string>(all_words.begin(),
+                                 all_words.begin() + actual_target),
+        " ");
+    if (!text.empty() && text.back() != '.') text += ".";
+  }
+
+  // 4. Measure how much of the source actually made it through.
+  std::size_t present = 0;
+  const std::string lowered = util::ToLower(text);
+  std::vector<std::string> output_tokens = util::Tokenize(lowered);
+  auto contains = [&output_tokens](const std::string& w) {
+    return std::find(output_tokens.begin(), output_tokens.end(), w) !=
+           output_tokens.end();
+  };
+  std::size_t checked = 0;
+  for (const std::string& bullet : bullets) {
+    for (const std::string& token : util::Tokenize(bullet)) {
+      if (IsStopWord(token)) continue;
+      ++checked;
+      if (contains(token)) ++present;
+    }
+  }
+
+  ExpandedText out;
+  out.text = std::move(text);
+  out.requested_words = target_words;
+  out.actual_words = static_cast<int>(util::CountWords(out.text));
+  out.carried_fraction =
+      checked == 0 ? 0.0 : static_cast<double>(present) / static_cast<double>(checked);
+  (void)content_total;
+  return out;
+}
+
+Result<ExpandedText> TextModel::ExpandPrompt(std::string_view prompt,
+                                             int target_words,
+                                             std::uint64_t seed) const {
+  return ExpandBullets({std::string(prompt)}, target_words, seed);
+}
+
+std::vector<std::string> TextModel::SummarizeToBullets(
+    std::string_view text, std::size_t max_bullets) const {
+  // Split into sentences, keep each sentence's content words.
+  std::vector<std::string> bullets;
+  std::string current;
+  auto flush = [&]() {
+    const auto tokens = util::Tokenize(current);
+    std::vector<std::string> kept;
+    for (const std::string& token : tokens) {
+      if (!IsStopWord(token)) kept.push_back(token);
+    }
+    if (kept.size() > 8) kept.resize(8);  // bullets are terse
+    if (!kept.empty() && bullets.size() < max_bullets) {
+      bullets.push_back(util::Join(kept, " "));
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    current.push_back(c);
+    if (c == '.' || c == '!' || c == '?') flush();
+  }
+  flush();
+  return bullets;
+}
+
+}  // namespace sww::genai

@@ -1,0 +1,66 @@
+// llm.hpp — the text-expansion model simulator.
+//
+// Substitutes for the Ollama-served LLMs (Llama 3.2, DeepSeek-R1 family)
+// in the paper's text pipeline (§4.1, §6.3.2).  The SWW task is *expansion
+// without loss of information*: route-specific text is "turned into bullet
+// points that can be used in a prompt to generate the relevant text"
+// (§2.1).  The simulator expands bullets into prose by:
+//
+//   * carrying each bullet's content words into the output with
+//     probability `fidelity` (missed words drift to unrelated bank words,
+//     which is exactly what depresses the SBERT score),
+//   * wrapping them in deterministic, seeded sentence templates,
+//   * targeting the requested word count with a per-model relative error
+//     (length_sigma) — reproducing §6.3.2's word-length overshoot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genai/model_specs.hpp"
+#include "util/error.hpp"
+
+namespace sww::genai {
+
+struct ExpandedText {
+  std::string text;
+  int requested_words = 0;
+  int actual_words = 0;
+  /// Fraction of bullet content words present in the output.
+  double carried_fraction = 0.0;
+};
+
+class TextModel {
+ public:
+  explicit TextModel(TextModelSpec spec) : spec_(std::move(spec)) {}
+
+  const TextModelSpec& spec() const { return spec_; }
+
+  /// Expand bullet points into ~target_words of prose.
+  util::Result<ExpandedText> ExpandBullets(const std::vector<std::string>& bullets,
+                                           int target_words,
+                                           std::uint64_t seed) const;
+
+  /// Expand a free-form prompt (treated as a single bullet).
+  util::Result<ExpandedText> ExpandPrompt(std::string_view prompt,
+                                          int target_words,
+                                          std::uint64_t seed) const;
+
+  /// Compress prose into bullet points (the server-side conversion path,
+  /// §4.2): keeps the most informative content words of each sentence.
+  std::vector<std::string> SummarizeToBullets(std::string_view text,
+                                              std::size_t max_bullets = 8) const;
+
+ private:
+  TextModelSpec spec_;
+};
+
+/// Shared generic word bank (also used by the workload generators).
+const std::vector<std::string>& FillerAdjectives();
+const std::vector<std::string>& FillerNouns();
+const std::vector<std::string>& FillerVerbs();
+const std::vector<std::string>& StopWords();
+bool IsStopWord(std::string_view word);
+
+}  // namespace sww::genai

@@ -1,0 +1,62 @@
+// model_specs.hpp — the model registry with calibrated parameters.
+//
+// The paper evaluates four text-to-image models (Stable Diffusion 2.1 Base,
+// SD 3 Medium, SD 3.5 Medium, DALLE-3) and four text-to-text models
+// (Llama 3.2, DeepSeek-R1 1.5B / 8B / 14B).  Each entry here carries the
+// parameters that calibrate the simulators to the paper's operating
+// points: fidelity (→ CLIP / SBERT scores), latent arena quality (→ ELO),
+// per-step latency on each device (→ Table 1 / Table 2 timing), and
+// word-count-control error (→ §6.3.2 overshoot).  DESIGN.md §4 documents
+// the calibration method.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sww::genai {
+
+/// Text-to-image model parameters.
+struct ImageModelSpec {
+  std::string name;            ///< registry key, e.g. "sd-3-medium"
+  std::string display_name;    ///< as printed in the paper's tables
+  double fidelity;             ///< 0..1, fraction of prompt signal planted
+  double elo_quality;          ///< latent Bradley-Terry strength (ELO scale)
+  double step_cost_laptop_s;   ///< s/step at the 224² Table 1 operating point
+  double step_cost_workstation_s;
+  bool server_only = false;    ///< DALLE-3: API model, no client-side timing
+  int default_steps = 15;      ///< the paper's evaluation step count
+};
+
+/// Text-to-text model parameters.
+struct TextModelSpec {
+  std::string name;             ///< e.g. "deepseek-r1-8b"
+  std::string display_name;
+  double fidelity;              ///< 0..1 → SBERT band (paper: 0.82–0.91)
+  double length_sigma;          ///< relative word-count error spread
+  double base_time_workstation_s;  ///< §6.3.2: 6.98–14.33 s band
+  double laptop_slowdown = 2.5;    ///< paper: "performance benefit ... only 2.5×"
+};
+
+/// Registry keys used throughout the evaluation harness.
+inline constexpr std::string_view kSd21 = "sd-2.1-base";
+inline constexpr std::string_view kSd3Medium = "sd-3-medium";
+inline constexpr std::string_view kSd35Medium = "sd-3.5-medium";
+inline constexpr std::string_view kDalle3 = "dalle-3";
+inline constexpr std::string_view kGpt4o = "gpt-4o";  // ELO reference only
+
+inline constexpr std::string_view kLlama32 = "llama-3.2";
+inline constexpr std::string_view kDeepseek15b = "deepseek-r1-1.5b";
+inline constexpr std::string_view kDeepseek8b = "deepseek-r1-8b";
+inline constexpr std::string_view kDeepseek14b = "deepseek-r1-14b";
+
+const std::vector<ImageModelSpec>& ImageModels();
+const std::vector<TextModelSpec>& TextModels();
+
+util::Result<ImageModelSpec> FindImageModel(std::string_view name);
+util::Result<TextModelSpec> FindTextModel(std::string_view name);
+
+}  // namespace sww::genai

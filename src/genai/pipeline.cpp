@@ -1,0 +1,30 @@
+#include "genai/pipeline.hpp"
+
+namespace sww::genai {
+
+using util::Result;
+
+double PipelineLoadSeconds(const ImageModelSpec& spec) {
+  // Heavier (slower-per-step) checkpoints are bigger; load time tracks the
+  // workstation step cost: SD 2.1 ≈ 4 s ... SD 3.5 ≈ 12 s from warm cache.
+  return 2.0 + spec.step_cost_workstation_s * 170.0;
+}
+
+double PipelineLoadSeconds(const TextModelSpec& spec) {
+  // LLM load scales with parameter count, proxied by base generation time.
+  return 1.0 + spec.base_time_workstation_s * 0.5;
+}
+
+Result<GenerationPipeline> GenerationPipeline::Load(std::string_view image_model,
+                                                    std::string_view text_model) {
+  auto image_spec = FindImageModel(image_model);
+  if (!image_spec) return image_spec.error();
+  auto text_spec = FindTextModel(text_model);
+  if (!text_spec) return text_spec.error();
+  const double load_s = PipelineLoadSeconds(image_spec.value()) +
+                        PipelineLoadSeconds(text_spec.value());
+  return GenerationPipeline(DiffusionModel(image_spec.value()),
+                            TextModel(text_spec.value()), load_s);
+}
+
+}  // namespace sww::genai

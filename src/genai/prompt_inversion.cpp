@@ -1,0 +1,101 @@
+#include "genai/prompt_inversion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "genai/embedding.hpp"
+
+namespace sww::genai {
+
+const std::vector<std::string>& PromptInverter::DefaultVocabulary() {
+  // Covers the domains the paper's experiments exercise (landscape search
+  // results, travel blogs, product pages) plus generic visual terms.
+  static const std::vector<std::string> vocabulary = {
+      // landscape / nature
+      "landscape", "mountain", "valley", "river", "lake", "forest", "meadow",
+      "glacier", "volcano", "cliff", "coast", "beach", "island", "waterfall",
+      "desert", "canyon", "hill", "field", "snow", "ice", "cloud", "sky",
+      "sunset", "sunrise", "rainbow", "horizon", "reflection", "pond",
+      // travel
+      "trail", "hike", "hiking", "route", "bridge", "village", "path",
+      "journey", "panorama", "viewpoint", "summit", "ridge",
+      // urban / objects
+      "city", "street", "building", "tower", "harbor", "market", "café",
+      "train", "boat", "bicycle", "lighthouse", "castle", "garden",
+      // creatures & food
+      "goldfish", "bird", "horse", "sheep", "cow", "dog", "cat", "fish",
+      "bread", "coffee", "fruit", "cheese",
+      // style words (prompt flavor)
+      "cartoon", "watercolor", "photograph", "vivid", "misty", "golden",
+      "dramatic", "aerial", "wide", "closeup", "green", "blue", "red",
+      "autumn", "winter", "spring", "summer",
+  };
+  return vocabulary;
+}
+
+PromptInverter::PromptInverter(std::vector<std::string> vocabulary)
+    : vocabulary_(std::move(vocabulary)) {}
+
+InvertedPrompt PromptInverter::Invert(const Image& image,
+                                      std::size_t max_keywords) const {
+  // Unnormalized image embedding keeps amplitude information: planted
+  // tokens project proportionally to the plant fidelity.
+  const Vec embedding = ImageEmbedding(image);
+
+  std::vector<std::pair<double, std::size_t>> ranked;
+  ranked.reserve(vocabulary_.size());
+  for (std::size_t i = 0; i < vocabulary_.size(); ++i) {
+    const Vec token = TokenEmbedding(vocabulary_[i]);
+    ranked.emplace_back(Dot(embedding, token), i);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  InvertedPrompt out;
+  for (std::size_t k = 0; k < std::min(max_keywords, ranked.size()); ++k) {
+    out.keywords.push_back(vocabulary_[ranked[k].second]);
+    out.scores.push_back(ranked[k].first);
+  }
+  // Assemble a natural prompt: "a <kw1> <kw2> with <kw3>, <kw4> ..."
+  if (!out.keywords.empty()) {
+    out.prompt = "a ";
+    for (std::size_t k = 0; k < out.keywords.size(); ++k) {
+      if (k == 0) {
+        out.prompt += out.keywords[k];
+      } else if (k == 1) {
+        out.prompt += " " + out.keywords[k];
+      } else if (k == 2) {
+        out.prompt += " with " + out.keywords[k];
+      } else {
+        out.prompt += ", " + out.keywords[k];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PromptInverter::RecoverTokens(const Image& image,
+                                                       double threshold) const {
+  const Vec embedding = ImageEmbedding(image);
+  std::vector<double> scores;
+  scores.reserve(vocabulary_.size());
+  for (const std::string& word : vocabulary_) {
+    scores.push_back(Dot(embedding, TokenEmbedding(word)));
+  }
+  const double mean =
+      std::accumulate(scores.begin(), scores.end(), 0.0) / scores.size();
+  double var = 0.0;
+  for (double s : scores) var += (s - mean) * (s - mean);
+  const double stddev = std::sqrt(var / scores.size());
+
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < vocabulary_.size(); ++i) {
+    if (stddev > 1e-12 && (scores[i] - mean) / stddev >= threshold) {
+      out.push_back(vocabulary_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sww::genai

@@ -1,0 +1,46 @@
+// prompt_inversion.hpp — image-to-prompt conversion.
+//
+// The paper's webpage-conversion pipeline (§4.2) uses "prompt inversion,
+// which generates prompts from images with the goal of maintaining high
+// fidelity in the re-generated images" (their prototype used a GPT-4V
+// image-to-text model producing 120–262-character prompts).  This
+// substitute works through the shared embedding space: it recovers the
+// image's embedding and scores every word of a vocabulary against it —
+// tokens that were planted by a prompt score far above chance and are
+// recovered as the inverted prompt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "genai/image.hpp"
+
+namespace sww::genai {
+
+struct InvertedPrompt {
+  std::string prompt;                  ///< assembled descriptive prompt
+  std::vector<std::string> keywords;   ///< recovered tokens, best first
+  std::vector<double> scores;          ///< matching per-keyword scores
+};
+
+class PromptInverter {
+ public:
+  /// `vocabulary` is the candidate token set scored against the image.
+  /// A reasonable default vocabulary is provided by DefaultVocabulary().
+  explicit PromptInverter(std::vector<std::string> vocabulary);
+
+  /// Recover a prompt from an image.  `max_keywords` bounds prompt length.
+  InvertedPrompt Invert(const Image& image, std::size_t max_keywords = 8) const;
+
+  /// Tokens whose projection score exceeds `threshold` (units of standard
+  /// deviations above the vocabulary mean).
+  std::vector<std::string> RecoverTokens(const Image& image,
+                                         double threshold = 2.5) const;
+
+  static const std::vector<std::string>& DefaultVocabulary();
+
+ private:
+  std::vector<std::string> vocabulary_;
+};
+
+}  // namespace sww::genai

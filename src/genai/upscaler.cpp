@@ -1,0 +1,76 @@
+#include "genai/upscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace sww::genai {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+Result<UpscaleResult> Upscale(const Image& input, int out_width,
+                              int out_height, std::uint64_t seed) {
+  if (input.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "cannot upscale an empty image");
+  }
+  if (out_width < input.width() || out_height < input.height()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "upscale target smaller than input");
+  }
+  Image output(out_width, out_height);
+  util::Rng detail_rng(util::HashCombine(seed, 0x5ca1eULL));
+
+  const double sx = static_cast<double>(input.width()) / out_width;
+  const double sy = static_cast<double>(input.height()) / out_height;
+  for (int y = 0; y < out_height; ++y) {
+    for (int x = 0; x < out_width; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const double fy = (y + 0.5) * sy - 0.5;
+      const int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0, input.width() - 1);
+      const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0, input.height() - 1);
+      const int x1 = std::min(x0 + 1, input.width() - 1);
+      const int y1 = std::min(y0 + 1, input.height() - 1);
+      const double tx = std::clamp(fx - x0, 0.0, 1.0);
+      const double ty = std::clamp(fy - y0, 0.0, 1.0);
+
+      const Pixel p00 = input.Get(x0, y0);
+      const Pixel p10 = input.Get(x1, y0);
+      const Pixel p01 = input.Get(x0, y1);
+      const Pixel p11 = input.Get(x1, y1);
+
+      // Zero-mean synthesized detail: sharpens perceived texture without
+      // shifting local means (which carry the semantics).
+      const double detail = detail_rng.NextRange(-3.0, 3.0);
+
+      auto blend = [&](std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                       std::uint8_t d) {
+        const double v = a * (1 - tx) * (1 - ty) + b * tx * (1 - ty) +
+                         c * (1 - tx) * ty + d * tx * ty + detail;
+        return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+      };
+      output.Set(x, y, Pixel{blend(p00.r, p10.r, p01.r, p11.r),
+                             blend(p00.g, p10.g, p01.g, p11.g),
+                             blend(p00.b, p10.b, p01.b, p11.b)});
+    }
+  }
+  UpscaleResult result;
+  result.image = std::move(output);
+  result.input_megapixels = input.pixel_count() / 1e6;
+  result.output_megapixels =
+      static_cast<double>(out_width) * out_height / 1e6;
+  return result;
+}
+
+Result<UpscaleResult> UpscaleBy(const Image& input, int factor,
+                                std::uint64_t seed) {
+  if (factor < 1) {
+    return Error(ErrorCode::kInvalidArgument, "upscale factor must be >= 1");
+  }
+  return Upscale(input, input.width() * factor, input.height() * factor, seed);
+}
+
+}  // namespace sww::genai

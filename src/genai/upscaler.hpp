@@ -1,0 +1,32 @@
+// upscaler.hpp — content upscaling (§2.2 of the paper).
+//
+// "another option is content upscaling, such as turning small images into
+// large, high resolution ones ... Content upscaling is also usually faster
+// than content generation, with sub-second inference."  The upscaler is the
+// capability behind the GEN_ABILITY kGenAbilityUpscaleOnly bit: a server can
+// ship a small image and let the client enlarge it, cutting transmission
+// bytes quadratically while preserving the semantic field exactly
+// (bilinear interpolation preserves cell means).
+#pragma once
+
+#include "genai/image.hpp"
+#include "util/error.hpp"
+
+namespace sww::genai {
+
+struct UpscaleResult {
+  Image image;
+  double input_megapixels = 0.0;
+  double output_megapixels = 0.0;
+};
+
+/// Bilinear upscale with deterministic detail synthesis (seeded high-pass
+/// texture so the output is not just blurry).
+util::Result<UpscaleResult> Upscale(const Image& input, int out_width,
+                                    int out_height, std::uint64_t seed = 1);
+
+/// Convenience: integral scale factor.
+util::Result<UpscaleResult> UpscaleBy(const Image& input, int factor,
+                                      std::uint64_t seed = 1);
+
+}  // namespace sww::genai

@@ -1,0 +1,55 @@
+#include "hpack/dynamic_table.hpp"
+
+#include <stdexcept>
+
+namespace sww::hpack {
+
+void DynamicTable::Insert(std::string name, std::string value) {
+  DynamicEntry entry{std::move(name), std::move(value)};
+  const std::size_t entry_size = entry.Size();
+  if (entry_size > max_size_) {
+    // RFC 7541 §4.4: an entry larger than the table empties it; the entry
+    // itself is not inserted.
+    entries_.clear();
+    size_ = 0;
+    return;
+  }
+  size_ += entry_size;
+  entries_.push_front(std::move(entry));
+  EvictToFit();
+}
+
+const DynamicEntry& DynamicTable::At(std::size_t index) const {
+  if (index >= entries_.size()) {
+    throw std::out_of_range("hpack dynamic table index out of range");
+  }
+  return entries_[index];
+}
+
+std::size_t DynamicTable::Find(std::string_view name, std::string_view value) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name && entries_[i].value == value) return i;
+  }
+  return npos;
+}
+
+std::size_t DynamicTable::FindName(std::string_view name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return i;
+  }
+  return npos;
+}
+
+void DynamicTable::SetMaxSize(std::size_t max_size) {
+  max_size_ = max_size;
+  EvictToFit();
+}
+
+void DynamicTable::EvictToFit() {
+  while (size_ > max_size_ && !entries_.empty()) {
+    size_ -= entries_.back().Size();
+    entries_.pop_back();
+  }
+}
+
+}  // namespace sww::hpack

@@ -1,0 +1,58 @@
+// dynamic_table.hpp — the HPACK dynamic table (RFC 7541 §2.3.2, §4).
+//
+// A FIFO of recently used header fields shared (in each direction) between
+// encoder and decoder.  Entry size is name + value + 32 bytes of overhead;
+// insertion evicts from the oldest end until the table fits its maximum
+// size.  Wire indices address the dynamic table starting at 62
+// (kStaticTableSize + 1), newest entry first.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace sww::hpack {
+
+struct DynamicEntry {
+  std::string name;
+  std::string value;
+
+  /// RFC 7541 §4.1: size = len(name) + len(value) + 32.
+  std::size_t Size() const { return name.size() + value.size() + 32; }
+};
+
+class DynamicTable {
+ public:
+  explicit DynamicTable(std::size_t max_size = 4096) : max_size_(max_size) {}
+
+  /// Insert at the "newest" end, evicting oldest entries as needed.  An
+  /// entry larger than the whole table empties the table (per RFC).
+  void Insert(std::string name, std::string value);
+
+  /// Entry by 0-based dynamic index (0 = newest).  Throws std::out_of_range.
+  const DynamicEntry& At(std::size_t index) const;
+
+  /// 0-based index of an exact match, or npos.
+  std::size_t Find(std::string_view name, std::string_view value) const;
+  /// 0-based index of a name match, or npos.
+  std::size_t FindName(std::string_view name) const;
+
+  /// Change the maximum size (dynamic table size update), evicting as needed.
+  void SetMaxSize(std::size_t max_size);
+
+  std::size_t size_bytes() const { return size_; }
+  std::size_t max_size() const { return max_size_; }
+  std::size_t entry_count() const { return entries_.size(); }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  void EvictToFit();
+
+  std::deque<DynamicEntry> entries_;  // front = newest
+  std::size_t size_ = 0;
+  std::size_t max_size_;
+};
+
+}  // namespace sww::hpack

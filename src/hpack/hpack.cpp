@@ -1,0 +1,240 @@
+#include "hpack/hpack.hpp"
+
+#include "hpack/huffman.hpp"
+#include "hpack/static_table.hpp"
+
+namespace sww::hpack {
+
+using util::ByteReader;
+using util::Bytes;
+using util::BytesView;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+void EncodeInteger(std::uint64_t value, int prefix_bits,
+                   std::uint8_t first_byte_flags, Bytes& out) {
+  const std::uint64_t max_prefix = (1ULL << prefix_bits) - 1;
+  if (value < max_prefix) {
+    out.push_back(static_cast<std::uint8_t>(first_byte_flags | value));
+    return;
+  }
+  out.push_back(static_cast<std::uint8_t>(first_byte_flags | max_prefix));
+  value -= max_prefix;
+  while (value >= 128) {
+    out.push_back(static_cast<std::uint8_t>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+Result<std::uint64_t> DecodeInteger(ByteReader& reader, int prefix_bits) {
+  auto first = reader.ReadU8();
+  if (!first) return first.error();
+  const std::uint64_t max_prefix = (1ULL << prefix_bits) - 1;
+  std::uint64_t value = first.value() & max_prefix;
+  if (value < max_prefix) return value;
+  int shift = 0;
+  while (true) {
+    auto next = reader.ReadU8();
+    if (!next) return next.error();
+    const std::uint64_t chunk = next.value() & 0x7f;
+    if (shift >= 62) {
+      return Error(ErrorCode::kCompression, "hpack integer overflow");
+    }
+    value += chunk << shift;
+    if ((next.value() & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+void EncodeString(std::string_view text, Bytes& out) {
+  const std::size_t huffman_size = HuffmanEncodedSize(text);
+  if (huffman_size < text.size()) {
+    EncodeInteger(huffman_size, 7, 0x80, out);
+    HuffmanEncode(text, out);
+  } else {
+    EncodeInteger(text.size(), 7, 0x00, out);
+    out.insert(out.end(), text.begin(), text.end());
+  }
+}
+
+Result<std::string> DecodeString(ByteReader& reader) {
+  auto first = reader.PeekU8();
+  if (!first) return first.error();
+  const bool huffman = (first.value() & 0x80) != 0;
+  auto length = DecodeInteger(reader, 7);
+  if (!length) return length.error();
+  if (length.value() > reader.remaining()) {
+    return Error(ErrorCode::kTruncated, "hpack string length past end of block");
+  }
+  auto raw = reader.ReadBytes(static_cast<std::size_t>(length.value()));
+  if (!raw) return raw.error();
+  if (!huffman) return util::ToString(raw.value());
+  return HuffmanDecode(raw.value());
+}
+
+Encoder::Encoder(std::size_t max_table_size) : table_(max_table_size) {}
+
+void Encoder::SetMaxTableSize(std::size_t max_size) {
+  table_.SetMaxSize(max_size);
+  pending_table_size_ = max_size;
+  table_size_update_pending_ = true;
+}
+
+Bytes Encoder::EncodeBlock(const HeaderList& headers) {
+  Bytes out;
+  if (table_size_update_pending_) {
+    EncodeInteger(pending_table_size_, 5, 0x20, out);
+    table_size_update_pending_ = false;
+  }
+  for (const HeaderField& field : headers) {
+    EncodeField(field, out);
+  }
+  return out;
+}
+
+void Encoder::EncodeField(const HeaderField& field, Bytes& out) {
+  if (!field.sensitive) {
+    // 1. Exact matches → indexed representation (one to a few bytes).
+    if (std::size_t idx = StaticTableFind(field.name, field.value); idx != 0) {
+      EncodeInteger(idx, 7, 0x80, out);
+      return;
+    }
+    if (std::size_t idx = table_.Find(field.name, field.value);
+        idx != DynamicTable::npos) {
+      EncodeInteger(kStaticTableSize + 1 + idx, 7, 0x80, out);
+      return;
+    }
+  }
+
+  // Name index if any table knows the name.
+  std::size_t name_index = StaticTableFindName(field.name);
+  if (name_index == 0) {
+    if (std::size_t idx = table_.FindName(field.name); idx != DynamicTable::npos) {
+      name_index = kStaticTableSize + 1 + idx;
+    }
+  }
+
+  if (field.sensitive) {
+    // Literal never indexed: prefix 0001, 4-bit name index.
+    EncodeInteger(name_index, 4, 0x10, out);
+    if (name_index == 0) EncodeString(field.name, out);
+    EncodeString(field.value, out);
+    return;
+  }
+
+  // Literal with incremental indexing: prefix 01, 6-bit name index.
+  EncodeInteger(name_index, 6, 0x40, out);
+  if (name_index == 0) EncodeString(field.name, out);
+  EncodeString(field.value, out);
+  table_.Insert(field.name, field.value);
+}
+
+Decoder::Decoder(std::size_t max_table_size)
+    : table_(max_table_size), max_table_size_limit_(max_table_size) {}
+
+void Decoder::SetMaxTableSizeLimit(std::size_t limit) {
+  max_table_size_limit_ = limit;
+  if (table_.max_size() > limit) table_.SetMaxSize(limit);
+}
+
+Result<HeaderField> Decoder::LookupIndexed(std::uint64_t index) const {
+  if (index == 0) {
+    return Error(ErrorCode::kCompression, "hpack index 0 is invalid");
+  }
+  if (index <= kStaticTableSize) {
+    const StaticEntry& entry = StaticTableEntry(static_cast<std::size_t>(index));
+    return HeaderField{std::string(entry.name), std::string(entry.value), false};
+  }
+  const std::size_t dyn_index = static_cast<std::size_t>(index) - kStaticTableSize - 1;
+  if (dyn_index >= table_.entry_count()) {
+    return Error(ErrorCode::kCompression, "hpack index beyond dynamic table");
+  }
+  const DynamicEntry& entry = table_.At(dyn_index);
+  return HeaderField{entry.name, entry.value, false};
+}
+
+Result<std::string> Decoder::LookupName(std::uint64_t index) const {
+  auto field = LookupIndexed(index);
+  if (!field) return field.error();
+  return std::move(field).value().name;
+}
+
+Result<HeaderList> Decoder::DecodeBlock(BytesView block) {
+  ByteReader reader(block);
+  HeaderList headers;
+  bool saw_field = false;
+  while (!reader.empty()) {
+    auto first = reader.PeekU8();
+    if (!first) return first.error();
+    const std::uint8_t byte = first.value();
+
+    if ((byte & 0x80) != 0) {
+      // Indexed header field.
+      auto index = DecodeInteger(reader, 7);
+      if (!index) return index.error();
+      auto field = LookupIndexed(index.value());
+      if (!field) return field.error();
+      headers.push_back(std::move(field).value());
+      saw_field = true;
+    } else if ((byte & 0xc0) == 0x40) {
+      // Literal with incremental indexing.
+      auto index = DecodeInteger(reader, 6);
+      if (!index) return index.error();
+      std::string name;
+      if (index.value() != 0) {
+        auto looked_up = LookupName(index.value());
+        if (!looked_up) return looked_up.error();
+        name = std::move(looked_up).value();
+      } else {
+        auto parsed = DecodeString(reader);
+        if (!parsed) return parsed.error();
+        name = std::move(parsed).value();
+      }
+      auto value = DecodeString(reader);
+      if (!value) return value.error();
+      table_.Insert(name, value.value());
+      headers.push_back(HeaderField{std::move(name), std::move(value).value(), false});
+      saw_field = true;
+    } else if ((byte & 0xe0) == 0x20) {
+      // Dynamic table size update.
+      if (saw_field) {
+        return Error(ErrorCode::kCompression,
+                     "hpack table size update after first field");
+      }
+      auto new_size = DecodeInteger(reader, 5);
+      if (!new_size) return new_size.error();
+      if (new_size.value() > max_table_size_limit_) {
+        return Error(ErrorCode::kCompression,
+                     "hpack table size update above SETTINGS limit");
+      }
+      table_.SetMaxSize(static_cast<std::size_t>(new_size.value()));
+    } else {
+      // Literal without indexing (0000) or never indexed (0001): same wire
+      // layout, 4-bit name index; never-indexed only differs in proxy
+      // re-encoding semantics, which we preserve via `sensitive`.
+      const bool never_indexed = (byte & 0xf0) == 0x10;
+      auto index = DecodeInteger(reader, 4);
+      if (!index) return index.error();
+      std::string name;
+      if (index.value() != 0) {
+        auto looked_up = LookupName(index.value());
+        if (!looked_up) return looked_up.error();
+        name = std::move(looked_up).value();
+      } else {
+        auto parsed = DecodeString(reader);
+        if (!parsed) return parsed.error();
+        name = std::move(parsed).value();
+      }
+      auto value = DecodeString(reader);
+      if (!value) return value.error();
+      headers.push_back(
+          HeaderField{std::move(name), std::move(value).value(), never_indexed});
+      saw_field = true;
+    }
+  }
+  return headers;
+}
+
+}  // namespace sww::hpack

@@ -1,0 +1,96 @@
+// hpack.hpp — HPACK encoder and decoder (RFC 7541).
+//
+// One Encoder and one Decoder exist per direction of an HTTP/2 connection;
+// each owns its dynamic table.  The decoder enforces the RFC's error rules
+// (invalid index, table size update above the protocol limit, truncated
+// input) and surfaces them as kCompression errors, which the connection
+// layer turns into COMPRESSION_ERROR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpack/dynamic_table.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::hpack {
+
+/// One header field.  `sensitive` asks the encoder to use the
+/// never-indexed literal representation (RFC 7541 §6.2.3, e.g. cookies).
+struct HeaderField {
+  std::string name;
+  std::string value;
+  bool sensitive = false;
+
+  bool operator==(const HeaderField& other) const {
+    return name == other.name && value == other.value;
+  }
+};
+
+using HeaderList = std::vector<HeaderField>;
+
+/// HPACK primitive: encode an integer with an N-bit prefix (RFC 7541 §5.1).
+/// `first_byte_flags` holds the bits above the prefix (e.g. 0x80 for an
+/// indexed field).
+void EncodeInteger(std::uint64_t value, int prefix_bits,
+                   std::uint8_t first_byte_flags, util::Bytes& out);
+
+/// Decode an integer with an N-bit prefix.  Caps at 2^62 to avoid overflow.
+util::Result<std::uint64_t> DecodeInteger(util::ByteReader& reader,
+                                          int prefix_bits);
+
+/// HPACK primitive: string literal, choosing Huffman when strictly shorter.
+void EncodeString(std::string_view text, util::Bytes& out);
+util::Result<std::string> DecodeString(util::ByteReader& reader);
+
+/// Header block encoder with indexing strategy:
+///   1. exact match in static or dynamic table → indexed representation
+///   2. sensitive → literal never indexed
+///   3. name match → literal with incremental indexing, indexed name
+///   4. otherwise → literal with incremental indexing, new name
+class Encoder {
+ public:
+  explicit Encoder(std::size_t max_table_size = 4096);
+
+  /// Encode a full header list into one header block fragment.
+  util::Bytes EncodeBlock(const HeaderList& headers);
+
+  /// Schedule a dynamic table size update (emitted at the start of the next
+  /// block, as RFC 7541 §4.2 requires).
+  void SetMaxTableSize(std::size_t max_size);
+
+  const DynamicTable& table() const { return table_; }
+
+ private:
+  void EncodeField(const HeaderField& field, util::Bytes& out);
+
+  DynamicTable table_;
+  std::size_t pending_table_size_ = 0;
+  bool table_size_update_pending_ = false;
+};
+
+/// Header block decoder.
+class Decoder {
+ public:
+  explicit Decoder(std::size_t max_table_size = 4096);
+
+  /// Decode one complete header block fragment into a header list.
+  util::Result<HeaderList> DecodeBlock(util::BytesView block);
+
+  /// The protocol-level ceiling for dynamic table size updates (set from
+  /// SETTINGS_HEADER_TABLE_SIZE).  Updates above this are COMPRESSION_ERROR.
+  void SetMaxTableSizeLimit(std::size_t limit);
+
+  const DynamicTable& table() const { return table_; }
+
+ private:
+  util::Result<HeaderField> LookupIndexed(std::uint64_t index) const;
+  util::Result<std::string> LookupName(std::uint64_t index) const;
+
+  DynamicTable table_;
+  std::size_t max_table_size_limit_;
+};
+
+}  // namespace sww::hpack

@@ -1,0 +1,37 @@
+// huffman.hpp — the HPACK static Huffman code (RFC 7541, Appendix B).
+//
+// HTTP/2 header strings may be Huffman coded with a fixed, canonical code
+// table.  Encoding packs codes MSB-first and pads the final byte with the
+// EOS prefix (all ones); decoding walks a trie and enforces the RFC's
+// padding rules (at most 7 bits, all ones, EOS itself never decoded).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::hpack {
+
+/// One code table entry: the code's bits (right-aligned) and bit length.
+struct HuffmanCode {
+  std::uint32_t bits;
+  std::uint8_t length;
+};
+
+/// The 257-entry table: symbols 0..255 plus EOS (index 256).
+const HuffmanCode& CodeForSymbol(unsigned symbol);
+
+/// Number of bytes `text` occupies when Huffman coded (without encoding it).
+/// The HPACK encoder uses this to pick the shorter of raw vs. Huffman form.
+std::size_t HuffmanEncodedSize(std::string_view text);
+
+/// Huffman-encode `text`, appending to `out`.
+void HuffmanEncode(std::string_view text, util::Bytes& out);
+
+/// Huffman-decode an encoded span.  Errors (kCompression) on: a decoded EOS
+/// symbol, padding longer than 7 bits, or padding that is not all ones —
+/// each of which RFC 7541 §5.2 requires treating as a decoding error.
+util::Result<std::string> HuffmanDecode(util::BytesView encoded);
+
+}  // namespace sww::hpack

@@ -1,0 +1,219 @@
+#include "html/dom.hpp"
+
+#include <array>
+
+#include "html/entities.hpp"
+#include "util/strings.hpp"
+
+namespace sww::html {
+
+namespace {
+
+constexpr std::array<std::string_view, 14> kVoidElements = {
+    "area", "base", "br",    "col",    "embed",  "hr",  "img",
+    "input", "link", "meta", "param", "source", "track", "wbr"};
+
+}  // namespace
+
+bool IsVoidElement(std::string_view tag) {
+  for (std::string_view v : kVoidElements) {
+    if (v == tag) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Node> Node::MakeDocument() {
+  return std::make_unique<Node>(NodeType::kDocument);
+}
+
+std::unique_ptr<Node> Node::MakeElement(std::string tag) {
+  auto node = std::make_unique<Node>(NodeType::kElement);
+  node->tag_ = util::ToLower(tag);
+  return node;
+}
+
+std::unique_ptr<Node> Node::MakeText(std::string text) {
+  auto node = std::make_unique<Node>(NodeType::kText);
+  node->text_ = std::move(text);
+  return node;
+}
+
+std::unique_ptr<Node> Node::MakeComment(std::string text) {
+  auto node = std::make_unique<Node>(NodeType::kComment);
+  node->text_ = std::move(text);
+  return node;
+}
+
+std::unique_ptr<Node> Node::MakeDoctype(std::string text) {
+  auto node = std::make_unique<Node>(NodeType::kDoctype);
+  node->text_ = std::move(text);
+  return node;
+}
+
+std::optional<std::string> Node::GetAttribute(std::string_view name) const {
+  const std::string lowered = util::ToLower(name);
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == lowered) return attr.value;
+  }
+  return std::nullopt;
+}
+
+void Node::SetAttribute(std::string_view name, std::string_view value) {
+  const std::string lowered = util::ToLower(name);
+  for (Attribute& attr : attributes_) {
+    if (attr.name == lowered) {
+      attr.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back(Attribute{lowered, std::string(value)});
+}
+
+void Node::RemoveAttribute(std::string_view name) {
+  const std::string lowered = util::ToLower(name);
+  for (auto it = attributes_.begin(); it != attributes_.end(); ++it) {
+    if (it->name == lowered) {
+      attributes_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<std::string> Node::Classes() const {
+  auto cls = GetAttribute("class");
+  if (!cls.has_value()) return {};
+  return util::SplitWhitespace(*cls);
+}
+
+bool Node::HasClass(std::string_view cls) const {
+  for (const std::string& c : Classes()) {
+    if (c == cls) return true;
+  }
+  return false;
+}
+
+bool Node::HasAllClasses(std::string_view classes) const {
+  const std::vector<std::string> wanted = util::SplitWhitespace(classes);
+  for (const std::string& w : wanted) {
+    if (!HasClass(w)) return false;
+  }
+  return !wanted.empty();
+}
+
+Node* Node::AppendChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+std::unique_ptr<Node> Node::ReplaceChild(Node* existing,
+                                         std::unique_ptr<Node> replacement) {
+  for (auto& slot : children_) {
+    if (slot.get() == existing) {
+      replacement->parent_ = this;
+      std::unique_ptr<Node> old = std::move(slot);
+      slot = std::move(replacement);
+      old->parent_ = nullptr;
+      return old;
+    }
+  }
+  return nullptr;
+}
+
+void Node::ClearChildren() { children_.clear(); }
+
+void Node::Visit(const std::function<void(Node&)>& visit) {
+  visit(*this);
+  for (auto& child : children_) child->Visit(visit);
+}
+
+void Node::Visit(const std::function<void(const Node&)>& visit) const {
+  visit(*this);
+  for (const auto& child : children_) {
+    static_cast<const Node&>(*child).Visit(visit);
+  }
+}
+
+std::vector<Node*> Node::FindAll(const std::function<bool(const Node&)>& predicate) {
+  std::vector<Node*> out;
+  Visit([&](Node& node) {
+    if (predicate(node)) out.push_back(&node);
+  });
+  return out;
+}
+
+std::vector<Node*> Node::FindByTag(std::string_view tag) {
+  const std::string lowered = util::ToLower(tag);
+  return FindAll([&](const Node& node) {
+    return node.is_element() && node.tag() == lowered;
+  });
+}
+
+std::vector<Node*> Node::FindByClass(std::string_view classes) {
+  return FindAll([&](const Node& node) {
+    return node.is_element() && node.HasAllClasses(classes);
+  });
+}
+
+Node* Node::FindFirstByTag(std::string_view tag) {
+  auto matches = FindByTag(tag);
+  return matches.empty() ? nullptr : matches.front();
+}
+
+std::string Node::InnerText() const {
+  std::string out;
+  Visit(std::function<void(const Node&)>([&out](const Node& node) {
+    if (node.type() == NodeType::kText) out += node.text();
+  }));
+  return out;
+}
+
+void Node::SerializeTo(std::string& out) const {
+  switch (type_) {
+    case NodeType::kDocument:
+      for (const auto& child : children_) child->SerializeTo(out);
+      break;
+    case NodeType::kDoctype:
+      out += "<!DOCTYPE " + text_ + ">";
+      break;
+    case NodeType::kComment:
+      out += "<!--" + text_ + "-->";
+      break;
+    case NodeType::kText:
+      out += EscapeText(text_);
+      break;
+    case NodeType::kElement: {
+      out += "<" + tag_;
+      for (const Attribute& attr : attributes_) {
+        out += " " + attr.name + "=\"" + EscapeAttribute(attr.value) + "\"";
+      }
+      if (IsVoidElement(tag_)) {
+        out += "/>";
+        break;
+      }
+      out += ">";
+      for (const auto& child : children_) child->SerializeTo(out);
+      out += "</" + tag_ + ">";
+      break;
+    }
+  }
+}
+
+std::string Node::Serialize() const {
+  std::string out;
+  SerializeTo(out);
+  return out;
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  auto copy = std::make_unique<Node>(type_);
+  copy->tag_ = tag_;
+  copy->text_ = text_;
+  copy->attributes_ = attributes_;
+  for (const auto& child : children_) {
+    copy->AppendChild(child->Clone());
+  }
+  return copy;
+}
+
+}  // namespace sww::html

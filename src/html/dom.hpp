@@ -1,0 +1,110 @@
+// dom.hpp — a small HTML document object model.
+//
+// The SWW client parses received pages, locates `generated content`
+// divisions, replaces them with generated media (paper §4.1, Figure 1), and
+// re-serializes the page for rendering.  This DOM supports exactly that:
+// elements with ordered attributes, text, comments and a doctype node,
+// plus query and mutation helpers and a serializer.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sww::html {
+
+enum class NodeType { kDocument, kElement, kText, kComment, kDoctype };
+
+struct Attribute {
+  std::string name;   // lowercased
+  std::string value;
+};
+
+class Node {
+ public:
+  explicit Node(NodeType type) : type_(type) {}
+
+  static std::unique_ptr<Node> MakeDocument();
+  static std::unique_ptr<Node> MakeElement(std::string tag);
+  static std::unique_ptr<Node> MakeText(std::string text);
+  static std::unique_ptr<Node> MakeComment(std::string text);
+  static std::unique_ptr<Node> MakeDoctype(std::string text);
+
+  NodeType type() const { return type_; }
+  bool is_element() const { return type_ == NodeType::kElement; }
+  bool is_text() const { return type_ == NodeType::kText; }
+
+  /// Element tag name (lowercased) — empty for non-elements.
+  const std::string& tag() const { return tag_; }
+  /// Text/comment/doctype content.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  // --- Attributes --------------------------------------------------------
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  std::optional<std::string> GetAttribute(std::string_view name) const;
+  void SetAttribute(std::string_view name, std::string_view value);
+  void RemoveAttribute(std::string_view name);
+
+  /// Class handling ("class" attribute split on whitespace).
+  std::vector<std::string> Classes() const;
+  bool HasClass(std::string_view cls) const;
+  /// True when the class list contains every word of `classes` (e.g. the
+  /// paper's two-word class "generated content").
+  bool HasAllClasses(std::string_view classes) const;
+
+  // --- Tree --------------------------------------------------------------
+
+  Node* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Node>>& children() const { return children_; }
+  Node* AppendChild(std::unique_ptr<Node> child);
+  /// Replace `existing` (a direct child) with `replacement`; returns the
+  /// detached old child, or nullptr if `existing` is not a child.
+  std::unique_ptr<Node> ReplaceChild(Node* existing, std::unique_ptr<Node> replacement);
+  /// Remove all children.
+  void ClearChildren();
+
+  // --- Queries -----------------------------------------------------------
+
+  /// Depth-first traversal, calling `visit` for every node in the subtree.
+  void Visit(const std::function<void(Node&)>& visit);
+  void Visit(const std::function<void(const Node&)>& visit) const;
+
+  std::vector<Node*> FindAll(const std::function<bool(const Node&)>& predicate);
+  std::vector<Node*> FindByTag(std::string_view tag);
+  std::vector<Node*> FindByClass(std::string_view classes);
+  Node* FindFirstByTag(std::string_view tag);
+
+  /// Concatenated text of the subtree (whitespace preserved).
+  std::string InnerText() const;
+
+  // --- Serialization -----------------------------------------------------
+
+  /// Serialize the subtree back to HTML.  Text is entity-escaped; void
+  /// elements (img, br, ...) are emitted without a closing tag.
+  std::string Serialize() const;
+
+  /// Deep copy of the subtree.
+  std::unique_ptr<Node> Clone() const;
+
+ private:
+  void SerializeTo(std::string& out) const;
+
+  NodeType type_;
+  std::string tag_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+
+  friend class TreeBuilder;
+};
+
+/// Tags that never have children or closing tags (HTML void elements).
+bool IsVoidElement(std::string_view tag);
+
+}  // namespace sww::html

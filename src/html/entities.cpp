@@ -1,0 +1,144 @@
+#include "html/entities.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdint>
+
+namespace sww::html {
+
+namespace {
+
+struct NamedEntity {
+  std::string_view name;  // without & and ;
+  std::string_view utf8;
+};
+
+// The common subset; browsers know ~2200 names but real markup overwhelmingly
+// uses these.
+constexpr std::array<NamedEntity, 24> kNamedEntities = {{
+    {"amp", "&"},     {"lt", "<"},       {"gt", ">"},      {"quot", "\""},
+    {"apos", "'"},    {"nbsp", "\xc2\xa0"}, {"copy", "\xc2\xa9"},
+    {"reg", "\xc2\xae"}, {"trade", "\xe2\x84\xa2"}, {"hellip", "\xe2\x80\xa6"},
+    {"mdash", "\xe2\x80\x94"}, {"ndash", "\xe2\x80\x93"},
+    {"lsquo", "\xe2\x80\x98"}, {"rsquo", "\xe2\x80\x99"},
+    {"ldquo", "\xe2\x80\x9c"}, {"rdquo", "\xe2\x80\x9d"},
+    {"deg", "\xc2\xb0"}, {"plusmn", "\xc2\xb1"}, {"times", "\xc3\x97"},
+    {"divide", "\xc3\xb7"}, {"euro", "\xe2\x82\xac"}, {"pound", "\xc2\xa3"},
+    {"cent", "\xc2\xa2"}, {"sect", "\xc2\xa7"},
+}};
+
+void AppendCodepointUtf8(std::string& out, std::uint32_t code) {
+  if (code == 0 || code > 0x10FFFF) {
+    out += "\xef\xbf\xbd";  // U+FFFD replacement character
+    return;
+  }
+  if (code < 0x80) {
+    out.push_back(static_cast<char>(code));
+  } else if (code < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  } else if (code < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  }
+}
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i++]);
+      continue;
+    }
+    const std::size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out.push_back(text[i++]);
+      continue;
+    }
+    const std::string_view body = text.substr(i + 1, semi - i - 1);
+    if (!body.empty() && body[0] == '#') {
+      // Numeric reference.
+      std::uint32_t code = 0;
+      bool valid = body.size() > 1;
+      if (body.size() > 2 && (body[1] == 'x' || body[1] == 'X')) {
+        for (std::size_t k = 2; k < body.size() && valid; ++k) {
+          char c = body[k];
+          code <<= 4;
+          if (c >= '0' && c <= '9') code |= static_cast<std::uint32_t>(c - '0');
+          else if (c >= 'a' && c <= 'f') code |= static_cast<std::uint32_t>(c - 'a' + 10);
+          else if (c >= 'A' && c <= 'F') code |= static_cast<std::uint32_t>(c - 'A' + 10);
+          else valid = false;
+        }
+        valid = valid && body.size() > 2;
+      } else {
+        for (std::size_t k = 1; k < body.size() && valid; ++k) {
+          char c = body[k];
+          if (c < '0' || c > '9') {
+            valid = false;
+          } else {
+            code = code * 10 + static_cast<std::uint32_t>(c - '0');
+          }
+        }
+      }
+      if (valid) {
+        AppendCodepointUtf8(out, code);
+        i = semi + 1;
+        continue;
+      }
+      out.push_back(text[i++]);
+      continue;
+    }
+    bool matched = false;
+    for (const NamedEntity& entity : kNamedEntities) {
+      if (entity.name == body) {
+        out += entity.utf8;
+        i = semi + 1;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) out.push_back(text[i++]);
+  }
+  return out;
+}
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace sww::html

@@ -1,0 +1,23 @@
+// entities.hpp — HTML character references.
+//
+// Decoding covers the named entities that appear in real pages' text and
+// attribute values plus numeric (decimal and hex) references; encoding
+// escapes the minimal set required for round-trip-safe serialization.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sww::html {
+
+/// Decode character references in `text` (&amp;, &#65;, &#x41;, ...).
+/// Unknown or malformed references are left verbatim, as browsers do.
+std::string DecodeEntities(std::string_view text);
+
+/// Escape `&`, `<`, `>` for text content.
+std::string EscapeText(std::string_view text);
+
+/// Escape `&`, `<`, `>`, `"` for double-quoted attribute values.
+std::string EscapeAttribute(std::string_view text);
+
+}  // namespace sww::html

@@ -1,0 +1,96 @@
+#include "html/generated_content.hpp"
+
+#include "util/strings.hpp"
+
+namespace sww::html {
+
+const char* GeneratedContentTypeName(GeneratedContentType type) {
+  switch (type) {
+    case GeneratedContentType::kImage: return "img";
+    case GeneratedContentType::kText: return "txt";
+  }
+  return "?";
+}
+
+ExtractionResult ExtractGeneratedContent(Node& document) {
+  ExtractionResult result;
+  for (Node* node : document.FindByClass(kGeneratedContentClass)) {
+    auto content_type = node->GetAttribute("content-type");
+    if (!content_type.has_value()) {
+      result.errors.push_back("generated content div missing content-type: " +
+                              node->Serialize());
+      continue;
+    }
+    GeneratedContentType type;
+    if (*content_type == "img") {
+      type = GeneratedContentType::kImage;
+    } else if (*content_type == "txt") {
+      type = GeneratedContentType::kText;
+    } else {
+      result.errors.push_back("unsupported content-type '" + *content_type +
+                              "'");
+      continue;
+    }
+    auto metadata_attr = node->GetAttribute("metadata");
+    if (!metadata_attr.has_value()) {
+      result.errors.push_back("generated content div missing metadata: " +
+                              node->Serialize());
+      continue;
+    }
+    auto metadata = json::Parse(*metadata_attr);
+    if (!metadata) {
+      result.errors.push_back("metadata is not valid JSON: " +
+                              metadata.error().message);
+      continue;
+    }
+    if (!metadata.value().is_object()) {
+      result.errors.push_back("metadata must be a JSON dictionary");
+      continue;
+    }
+    if (!metadata.value().Has("prompt")) {
+      result.errors.push_back("metadata missing required field 'prompt'");
+      continue;
+    }
+    GeneratedContentSpec spec;
+    spec.type = type;
+    spec.metadata = std::move(metadata).value();
+    spec.node = node;
+    result.specs.push_back(std::move(spec));
+  }
+  return result;
+}
+
+std::unique_ptr<Node> MakeGeneratedContentDiv(GeneratedContentType type,
+                                              const json::Value& metadata) {
+  auto div = Node::MakeElement("div");
+  div->SetAttribute("class", kGeneratedContentClass);
+  div->SetAttribute("content-type", GeneratedContentTypeName(type));
+  div->SetAttribute("metadata", metadata.Dump());
+  return div;
+}
+
+void ReplaceWithImage(Node& placeholder, std::string_view src, int width,
+                      int height, std::string_view alt) {
+  placeholder.SetAttribute("class", kMediaContentClass);
+  placeholder.RemoveAttribute("content-type");
+  placeholder.RemoveAttribute("metadata");
+  placeholder.ClearChildren();
+  auto img = Node::MakeElement("img");
+  img->SetAttribute("src", src);
+  img->SetAttribute("width", std::to_string(width));
+  img->SetAttribute("height", std::to_string(height));
+  img->SetAttribute("alt", alt);
+  placeholder.AppendChild(std::move(img));
+}
+
+void ReplaceWithText(Node& placeholder, std::string_view text) {
+  placeholder.SetAttribute("class", kMediaContentClass);
+  placeholder.RemoveAttribute("content-type");
+  placeholder.RemoveAttribute("metadata");
+  placeholder.ClearChildren();
+  auto paragraph = Node::MakeElement("p");
+  paragraph->AppendChild(Node::MakeText(std::string(text)));
+  placeholder.AppendChild(std::move(paragraph));
+}
+
+}  // namespace sww::html

@@ -1,0 +1,76 @@
+// generated_content.hpp — the paper's `generated content` HTML class (§4.1).
+//
+// A generated-content division carries two fields: a content-type ("img" or
+// "txt") and a metadata JSON dictionary holding whatever the generator
+// needs (the prompt, plus e.g. width/height for images or bullets/words
+// for text).  Figure 1 of the paper shows the before/after forms:
+//
+//   before:  <div class="generated content" content-type="img"
+//                 metadata='{"prompt":"A cartoon goldfish...","name":"goldfish",
+//                            "width":512,"height":512}'></div>
+//   after:   <div class="media content"><img src="generated/goldfish.jpg"
+//                 width="512" height="512" alt="A cartoon goldfish..."/></div>
+//
+// The HTML parser extracts these specs; the media generator (core::) turns
+// them into content and the div is replaced in place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "html/dom.hpp"
+#include "json/json.hpp"
+#include "util/error.hpp"
+
+namespace sww::html {
+
+/// The class attribute marking a generation placeholder.
+inline constexpr std::string_view kGeneratedContentClass = "generated content";
+/// The class attribute of a replaced (materialized) division.
+inline constexpr std::string_view kMediaContentClass = "media content";
+
+enum class GeneratedContentType { kImage, kText };
+
+const char* GeneratedContentTypeName(GeneratedContentType type);
+
+/// One extracted generation task, still attached to its DOM node.
+struct GeneratedContentSpec {
+  GeneratedContentType type = GeneratedContentType::kImage;
+  json::Value metadata;     // parsed metadata dictionary
+  Node* node = nullptr;     // the placeholder div (owned by the document)
+
+  /// Convenience accessors over the metadata dictionary.
+  std::string prompt() const { return metadata.GetString("prompt"); }
+  std::string name() const { return metadata.GetString("name"); }
+  int width() const { return static_cast<int>(metadata.GetInt("width", 512)); }
+  int height() const { return static_cast<int>(metadata.GetInt("height", 512)); }
+  int words() const { return static_cast<int>(metadata.GetInt("words", 100)); }
+
+  /// Wire size of the metadata (compact JSON) — the quantity the paper's
+  /// compression ratios divide by.
+  std::size_t MetadataBytes() const { return metadata.Dump().size(); }
+};
+
+/// Find every generated-content division in the document, parsing each
+/// node's content-type and metadata.  Nodes with missing/invalid fields
+/// are reported as errors with their serialized form for context.
+struct ExtractionResult {
+  std::vector<GeneratedContentSpec> specs;
+  std::vector<std::string> errors;  // human-readable skip reasons
+};
+
+ExtractionResult ExtractGeneratedContent(Node& document);
+
+/// Build a generated-content placeholder div (server-side page authoring).
+std::unique_ptr<Node> MakeGeneratedContentDiv(GeneratedContentType type,
+                                              const json::Value& metadata);
+
+/// Replace a placeholder with an <img> pointing at the generated file
+/// (Figure 1 "after" form).  Mutates the div in place.
+void ReplaceWithImage(Node& placeholder, std::string_view src, int width,
+                      int height, std::string_view alt);
+
+/// Replace a placeholder with expanded text content.
+void ReplaceWithText(Node& placeholder, std::string_view text);
+
+}  // namespace sww::html

@@ -1,0 +1,696 @@
+#include "http2/connection.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace sww::http2 {
+
+using util::Bytes;
+using util::BytesView;
+using util::Error;
+using util::Result;
+using util::Status;
+
+namespace {
+constexpr std::string_view kLogComponent = "http2";
+}
+
+Connection::Connection(Role role, Options options)
+    : role_(role),
+      options_(std::move(options)),
+      local_settings_(options_.local_settings),
+      encoder_(4096),
+      decoder_(local_settings_.header_table_size()),
+      frame_parser_(local_settings_.max_frame_size()),
+      next_stream_id_(role == Role::kClient ? 1 : 2) {
+  decoder_.SetMaxTableSizeLimit(local_settings_.header_table_size());
+}
+
+void Connection::StartHandshake() {
+  if (handshake_started_) return;
+  handshake_started_ = true;
+  if (role_ == Role::kClient) {
+    output_.insert(output_.end(), kClientPreface.begin(), kClientPreface.end());
+    stats_.bytes_sent += kClientPreface.size();
+  }
+  EnqueueFrame(MakeSettingsFrame(local_settings_.NonDefaultEntries()));
+}
+
+void Connection::UpdateLocalSettings(const Settings& settings) {
+  // Advertise exactly what changed relative to what the peer already holds
+  // — including values returning to their defaults, which NonDefaultEntries
+  // would silently omit.
+  const std::vector<SettingsEntry> delta = DiffEntries(local_settings_, settings);
+  local_settings_ = settings;
+  frame_parser_.set_max_frame_size(local_settings_.max_frame_size());
+  EnqueueFrame(MakeSettingsFrame(delta));
+}
+
+void Connection::EnqueueFrame(const Frame& frame) {
+  Bytes wire = SerializeFrame(frame);
+  stats_.bytes_sent += wire.size();
+  stats_.frames_sent[frame.header.type]++;
+  output_.insert(output_.end(), wire.begin(), wire.end());
+}
+
+Bytes Connection::TakeOutput() {
+  Bytes out = std::move(output_);
+  output_.clear();
+  return out;
+}
+
+std::vector<Connection::Event> Connection::TakeEvents() {
+  std::vector<Event> out = std::move(events_);
+  events_.clear();
+  return out;
+}
+
+std::uint32_t Connection::negotiated_gen_ability() const {
+  if (!remote_settings_received_) return kGenAbilityNone;
+  return NegotiateGenAbility(local_settings_.gen_ability(),
+                             remote_settings_.gen_ability());
+}
+
+const Stream* Connection::FindStream(std::uint32_t stream_id) const {
+  auto it = streams_.find(stream_id);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+Stream* Connection::FindMutableStream(std::uint32_t stream_id) {
+  auto it = streams_.find(stream_id);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+void Connection::ReleaseStream(std::uint32_t stream_id) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return;
+  if (!it->second.send_queue.empty()) {
+    // Data is still waiting on flow-control window; keep the stream alive
+    // until FlushSendQueues drains it, then erase.
+    it->second.pending_release = true;
+    return;
+  }
+  streams_.erase(it);
+  stream_consumed_.erase(stream_id);
+}
+
+std::size_t Connection::active_stream_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, stream] : streams_) {
+    (void)id;
+    if (stream.state != StreamState::kClosed) ++count;
+  }
+  return count;
+}
+
+bool Connection::IsPeerInitiated(std::uint32_t stream_id) const {
+  const bool odd = (stream_id % 2) == 1;
+  return role_ == Role::kServer ? odd : !odd;
+}
+
+Stream& Connection::EnsureStream(std::uint32_t stream_id) {
+  auto [it, inserted] = streams_.try_emplace(stream_id);
+  Stream& stream = it->second;
+  if (inserted) {
+    stream.id = stream_id;
+    stream.send_window = FlowWindow(remote_settings_.initial_window_size());
+    stream.recv_window = FlowWindow(local_settings_.initial_window_size());
+  }
+  return stream;
+}
+
+Status Connection::ConnectionError(ErrorCode code, const std::string& message) {
+  util::LogError(kLogComponent, std::string(ErrorCodeName(code)) + ": " + message);
+  if (!dead_) {
+    EnqueueFrame(MakeGoawayFrame(last_peer_stream_id_, code, message));
+    dead_ = true;
+  }
+  util::ErrorCode domain = util::ErrorCode::kProtocol;
+  switch (code) {
+    case ErrorCode::kCompressionError: domain = util::ErrorCode::kCompression; break;
+    case ErrorCode::kFlowControlError: domain = util::ErrorCode::kFlowControl; break;
+    case ErrorCode::kFrameSizeError: domain = util::ErrorCode::kFrameSize; break;
+    default: break;
+  }
+  return Error(domain, message);
+}
+
+Status Connection::Receive(BytesView bytes) {
+  if (dead_) return Error(util::ErrorCode::kClosed, "connection is dead");
+  stats_.bytes_received += bytes.size();
+
+  // A server must first consume the 24-byte client preface (RFC 9113 §3.4).
+  if (role_ == Role::kServer && !preface_received_) {
+    preface_buffer_.insert(preface_buffer_.end(), bytes.begin(), bytes.end());
+    if (preface_buffer_.size() < kClientPreface.size()) return Status::Ok();
+    const std::string_view got(reinterpret_cast<const char*>(preface_buffer_.data()),
+                               kClientPreface.size());
+    if (got != kClientPreface) {
+      return ConnectionError(ErrorCode::kProtocolError, "bad client preface");
+    }
+    preface_received_ = true;
+    BytesView rest(preface_buffer_.data() + kClientPreface.size(),
+                   preface_buffer_.size() - kClientPreface.size());
+    frame_parser_.Feed(rest);
+    preface_buffer_.clear();
+  } else {
+    frame_parser_.Feed(bytes);
+  }
+
+  while (true) {
+    auto next = frame_parser_.Next();
+    if (!next) {
+      return ConnectionError(ErrorCode::kFrameSizeError, next.error().message);
+    }
+    if (!next.value().has_value()) break;
+    Frame frame = std::move(*next.value());
+    stats_.frames_received[frame.header.type]++;
+    if (Status status = HandleFrame(std::move(frame)); !status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Connection::HandleFrame(Frame frame) {
+  // While a header block is being assembled, only CONTINUATION frames on
+  // the same stream are legal (RFC 9113 §6.10).
+  if (assembling_headers_ && frame.header.type != FrameType::kContinuation) {
+    return ConnectionError(ErrorCode::kProtocolError,
+                           "expected CONTINUATION during header block");
+  }
+  // The first frame from the peer must be SETTINGS (RFC 9113 §3.4).
+  if (!remote_settings_received_ && frame.header.type != FrameType::kSettings) {
+    return ConnectionError(ErrorCode::kProtocolError,
+                           "first frame from peer was not SETTINGS");
+  }
+
+  switch (frame.header.type) {
+    case FrameType::kData: return HandleData(frame);
+    case FrameType::kHeaders: return HandleHeaders(frame);
+    case FrameType::kPriority: return HandlePriority(frame);
+    case FrameType::kRstStream: return HandleRstStream(frame);
+    case FrameType::kSettings: return HandleSettings(frame);
+    case FrameType::kPushPromise:
+      // We never advertise push support; receiving one is a protocol error.
+      return ConnectionError(ErrorCode::kProtocolError,
+                             "PUSH_PROMISE received but push is disabled");
+    case FrameType::kPing: return HandlePing(frame);
+    case FrameType::kGoaway: return HandleGoaway(frame);
+    case FrameType::kWindowUpdate: return HandleWindowUpdate(frame);
+    case FrameType::kContinuation: return HandleContinuation(frame);
+  }
+  // Unknown frame types MUST be ignored (RFC 9113 §4.1).
+  return Status::Ok();
+}
+
+Status Connection::HandleSettings(const Frame& frame) {
+  if (frame.header.stream_id != 0) {
+    return ConnectionError(ErrorCode::kProtocolError, "SETTINGS on stream != 0");
+  }
+  if (frame.header.HasFlag(kFlagAck)) {
+    if (!frame.payload.empty()) {
+      return ConnectionError(ErrorCode::kFrameSizeError, "SETTINGS ACK with payload");
+    }
+    local_settings_acked_ = true;
+    events_.push_back(Event{Event::Type::kSettingsAcked, 0, ErrorCode::kNoError, 0});
+    return Status::Ok();
+  }
+  auto entries = ParseSettingsPayload(frame);
+  if (!entries) {
+    return ConnectionError(ErrorCode::kFrameSizeError, entries.error().message);
+  }
+  const std::uint32_t old_initial_window = remote_settings_.initial_window_size();
+  if (Status status = remote_settings_.ApplyAll(entries.value()); !status.ok()) {
+    const ErrorCode code = status.error().code == util::ErrorCode::kFlowControl
+                               ? ErrorCode::kFlowControlError
+                               : ErrorCode::kProtocolError;
+    return ConnectionError(code, status.error().message);
+  }
+  // INITIAL_WINDOW_SIZE changes adjust every stream's send window by the
+  // delta (RFC 9113 §6.9.2).
+  const std::int64_t delta =
+      static_cast<std::int64_t>(remote_settings_.initial_window_size()) -
+      static_cast<std::int64_t>(old_initial_window);
+  if (delta != 0) {
+    for (auto& [id, stream] : streams_) {
+      (void)id;
+      stream.send_window.AdjustInitial(delta);
+    }
+  }
+  // Cap our encoder's dynamic table at the peer's advertised limit.
+  encoder_.SetMaxTableSize(
+      std::min<std::size_t>(remote_settings_.header_table_size(), 4096));
+  remote_settings_received_ = true;
+  util::LogInfo(kLogComponent,
+                "peer settings applied; gen_ability=" +
+                    GenAbilityToString(remote_settings_.gen_ability()));
+  EnqueueFrame(MakeSettingsAckFrame());
+  events_.push_back(
+      Event{Event::Type::kRemoteSettingsReceived, 0, ErrorCode::kNoError, 0});
+  FlushSendQueues();
+  return Status::Ok();
+}
+
+Status Connection::HandleHeaders(const Frame& frame) {
+  const std::uint32_t stream_id = frame.header.stream_id;
+  if (stream_id == 0) {
+    return ConnectionError(ErrorCode::kProtocolError, "HEADERS on stream 0");
+  }
+  if (!IsPeerInitiated(stream_id) && FindStream(stream_id) == nullptr) {
+    return ConnectionError(ErrorCode::kProtocolError,
+                           "HEADERS on unknown locally-initiated stream");
+  }
+  if (IsPeerInitiated(stream_id)) {
+    if (FindStream(stream_id) == nullptr) {
+      if (stream_id <= last_peer_stream_id_) {
+        return ConnectionError(ErrorCode::kProtocolError,
+                               "peer reused or decreased stream id");
+      }
+      if (going_away_) {
+        // After GOAWAY we refuse new streams gracefully.
+        EnqueueFrame(MakeRstStreamFrame(stream_id, ErrorCode::kRefusedStream));
+        return Status::Ok();
+      }
+      const std::uint32_t max_streams = local_settings_.max_concurrent_streams();
+      if (active_stream_count() >= max_streams) {
+        EnqueueFrame(MakeRstStreamFrame(stream_id, ErrorCode::kRefusedStream));
+        return Status::Ok();
+      }
+      last_peer_stream_id_ = stream_id;
+    }
+  }
+
+  std::optional<PriorityPayload> priority;
+  auto block = ExtractHeaderBlockFragment(frame, &priority);
+  if (!block) {
+    return ConnectionError(ErrorCode::kProtocolError, block.error().message);
+  }
+
+  Stream& stream = EnsureStream(stream_id);
+  if (stream.state == StreamState::kIdle) stream.state = StreamState::kOpen;
+  if (stream.state == StreamState::kClosed ||
+      stream.state == StreamState::kHalfClosedLocal) {
+    // Peer may still send on half-closed(local); closed is an error.
+    if (stream.state == StreamState::kClosed) {
+      return ConnectionError(ErrorCode::kStreamClosed, "HEADERS on closed stream");
+    }
+  }
+
+  header_block_ = std::move(block).value();
+  assembling_stream_id_ = stream_id;
+  assembling_end_stream_ = frame.header.HasFlag(kFlagEndStream);
+  if (frame.header.HasFlag(kFlagEndHeaders)) {
+    return FinishHeaderBlock();
+  }
+  assembling_headers_ = true;
+  return Status::Ok();
+}
+
+Status Connection::HandleContinuation(const Frame& frame) {
+  if (!assembling_headers_) {
+    return ConnectionError(ErrorCode::kProtocolError,
+                           "CONTINUATION without open header block");
+  }
+  if (frame.header.stream_id != assembling_stream_id_) {
+    return ConnectionError(ErrorCode::kProtocolError,
+                           "CONTINUATION on wrong stream");
+  }
+  header_block_.insert(header_block_.end(), frame.payload.begin(),
+                       frame.payload.end());
+  if (frame.header.HasFlag(kFlagEndHeaders)) {
+    assembling_headers_ = false;
+    return FinishHeaderBlock();
+  }
+  return Status::Ok();
+}
+
+Status Connection::FinishHeaderBlock() {
+  assembling_headers_ = false;
+  auto headers = decoder_.DecodeBlock(header_block_);
+  header_block_.clear();
+  if (!headers) {
+    return ConnectionError(ErrorCode::kCompressionError, headers.error().message);
+  }
+  // Enforce SETTINGS_MAX_HEADER_LIST_SIZE (uncompressed size, RFC 9113 §6.5.2).
+  std::size_t total = 0;
+  for (const auto& field : headers.value()) {
+    total += field.name.size() + field.value.size() + 32;
+  }
+  if (total > local_settings_.max_header_list_size()) {
+    return ConnectionError(ErrorCode::kProtocolError, "header list too large");
+  }
+
+  Stream& stream = EnsureStream(assembling_stream_id_);
+  if (!stream.saw_headers) {
+    stream.headers = std::move(headers).value();
+    stream.saw_headers = true;
+  } else {
+    stream.trailers = std::move(headers).value();
+  }
+  events_.push_back(Event{Event::Type::kHeadersReceived, assembling_stream_id_,
+                          ErrorCode::kNoError, 0});
+  if (assembling_end_stream_) {
+    stream.OnRemoteEnd();
+    events_.push_back(Event{Event::Type::kMessageComplete, assembling_stream_id_,
+                            ErrorCode::kNoError, 0});
+  }
+  return Status::Ok();
+}
+
+Status Connection::HandleData(const Frame& frame) {
+  const std::uint32_t stream_id = frame.header.stream_id;
+  if (stream_id == 0) {
+    return ConnectionError(ErrorCode::kProtocolError, "DATA on stream 0");
+  }
+  Stream* stream = FindMutableStream(stream_id);
+  if (stream == nullptr || stream->state == StreamState::kIdle) {
+    return ConnectionError(ErrorCode::kProtocolError, "DATA on idle stream");
+  }
+  // The whole frame payload counts against flow control, padding included.
+  const std::int64_t frame_cost = static_cast<std::int64_t>(frame.payload.size());
+  connection_recv_window_.Consume(frame_cost);
+  stream->recv_window.Consume(frame_cost);
+  if (connection_recv_window_.available() < 0) {
+    return ConnectionError(ErrorCode::kFlowControlError,
+                           "connection receive window exceeded");
+  }
+  if (stream->recv_window.available() < 0) {
+    return ConnectionError(ErrorCode::kFlowControlError,
+                           "stream receive window exceeded");
+  }
+  if (!stream->CanReceiveData()) {
+    // Stream half-closed(remote) or closed: STREAM_CLOSED stream error.
+    EnqueueFrame(MakeRstStreamFrame(stream_id, ErrorCode::kStreamClosed));
+    MaybeReplenishWindows(stream_id, frame.payload.size());
+    return Status::Ok();
+  }
+  auto body = ExtractDataPayload(frame);
+  if (!body) {
+    return ConnectionError(ErrorCode::kProtocolError, body.error().message);
+  }
+  stream->body.insert(stream->body.end(), body.value().begin(), body.value().end());
+  if (frame.header.HasFlag(kFlagEndStream)) {
+    stream->OnRemoteEnd();
+    events_.push_back(
+        Event{Event::Type::kMessageComplete, stream_id, ErrorCode::kNoError, 0});
+  }
+  MaybeReplenishWindows(stream_id, frame.payload.size());
+  return Status::Ok();
+}
+
+void Connection::MaybeReplenishWindows(std::uint32_t stream_id,
+                                       std::size_t consumed) {
+  connection_consumed_ += consumed;
+  stream_consumed_[stream_id] += consumed;
+  // The replenish point must stay below half the effective window, or a
+  // peer that shrank INITIAL_WINDOW_SIZE below the threshold deadlocks
+  // waiting for an update that never comes.
+  const std::size_t stream_threshold = std::min<std::size_t>(
+      options_.window_update_threshold,
+      std::max<std::uint32_t>(1u, local_settings_.initial_window_size() / 2));
+  if (connection_consumed_ >= options_.window_update_threshold) {
+    EnqueueFrame(MakeWindowUpdateFrame(
+        0, static_cast<std::uint32_t>(connection_consumed_)));
+    (void)connection_recv_window_.Widen(
+        static_cast<std::int64_t>(connection_consumed_));
+    connection_consumed_ = 0;
+  }
+  Stream* stream = FindMutableStream(stream_id);
+  if (stream != nullptr && !stream->remote_end &&
+      stream_consumed_[stream_id] >= stream_threshold) {
+    EnqueueFrame(MakeWindowUpdateFrame(
+        stream_id, static_cast<std::uint32_t>(stream_consumed_[stream_id])));
+    (void)stream->recv_window.Widen(
+        static_cast<std::int64_t>(stream_consumed_[stream_id]));
+    stream_consumed_[stream_id] = 0;
+  }
+}
+
+Status Connection::HandlePing(const Frame& frame) {
+  if (frame.header.stream_id != 0) {
+    return ConnectionError(ErrorCode::kProtocolError, "PING on stream != 0");
+  }
+  auto opaque = ParsePingPayload(frame);
+  if (!opaque) {
+    return ConnectionError(ErrorCode::kFrameSizeError, opaque.error().message);
+  }
+  if (frame.header.HasFlag(kFlagAck)) {
+    events_.push_back(
+        Event{Event::Type::kPingAcked, 0, ErrorCode::kNoError, opaque.value()});
+  } else {
+    EnqueueFrame(MakePingFrame(opaque.value(), /*ack=*/true));
+  }
+  return Status::Ok();
+}
+
+Status Connection::HandleGoaway(const Frame& frame) {
+  auto payload = ParseGoawayPayload(frame);
+  if (!payload) {
+    return ConnectionError(ErrorCode::kFrameSizeError, payload.error().message);
+  }
+  going_away_ = true;
+  events_.push_back(Event{Event::Type::kGoawayReceived, payload.value().last_stream_id,
+                          payload.value().error_code, 0});
+  return Status::Ok();
+}
+
+Status Connection::HandleWindowUpdate(const Frame& frame) {
+  auto increment = ParseWindowUpdatePayload(frame);
+  if (!increment) {
+    if (increment.error().code == util::ErrorCode::kProtocol &&
+        frame.header.stream_id != 0) {
+      // Zero increment on a stream is a stream error.
+      EnqueueFrame(MakeRstStreamFrame(frame.header.stream_id,
+                                      ErrorCode::kProtocolError));
+      return Status::Ok();
+    }
+    return ConnectionError(ErrorCode::kProtocolError, increment.error().message);
+  }
+  if (frame.header.stream_id == 0) {
+    if (Status status = connection_send_window_.Widen(increment.value());
+        !status.ok()) {
+      return ConnectionError(ErrorCode::kFlowControlError, status.error().message);
+    }
+  } else {
+    Stream* stream = FindMutableStream(frame.header.stream_id);
+    if (stream != nullptr) {
+      if (Status status = stream->send_window.Widen(increment.value());
+          !status.ok()) {
+        EnqueueFrame(MakeRstStreamFrame(frame.header.stream_id,
+                                        ErrorCode::kFlowControlError));
+        return Status::Ok();
+      }
+    }
+  }
+  FlushSendQueues();
+  return Status::Ok();
+}
+
+Status Connection::HandleRstStream(const Frame& frame) {
+  if (frame.header.stream_id == 0) {
+    return ConnectionError(ErrorCode::kProtocolError, "RST_STREAM on stream 0");
+  }
+  auto code = ParseRstStreamPayload(frame);
+  if (!code) {
+    return ConnectionError(ErrorCode::kFrameSizeError, code.error().message);
+  }
+  Stream* stream = FindMutableStream(frame.header.stream_id);
+  if (stream == nullptr) {
+    // RST for an idle stream we never saw is a protocol error; for a
+    // released stream it is benign.
+    if (IsPeerInitiated(frame.header.stream_id) &&
+        frame.header.stream_id > last_peer_stream_id_) {
+      return ConnectionError(ErrorCode::kProtocolError, "RST_STREAM on idle stream");
+    }
+    return Status::Ok();
+  }
+  stream->state = StreamState::kClosed;
+  stream->send_queue.clear();
+  events_.push_back(Event{Event::Type::kStreamReset, frame.header.stream_id,
+                          code.value(), 0});
+  return Status::Ok();
+}
+
+Status Connection::HandlePriority(const Frame& frame) {
+  if (frame.header.stream_id == 0) {
+    return ConnectionError(ErrorCode::kProtocolError, "PRIORITY on stream 0");
+  }
+  auto priority = ParsePriorityPayload(frame);
+  if (!priority) {
+    // PRIORITY with a bad length is a stream error (RFC 9113 §6.3).
+    EnqueueFrame(MakeRstStreamFrame(frame.header.stream_id,
+                                    ErrorCode::kFrameSizeError));
+    return Status::Ok();
+  }
+  if (priority.value().dependency == frame.header.stream_id) {
+    EnqueueFrame(MakeRstStreamFrame(frame.header.stream_id,
+                                    ErrorCode::kProtocolError));
+  }
+  // Scheduling hints are accepted but we serve streams in submission order.
+  return Status::Ok();
+}
+
+Result<std::uint32_t> Connection::SubmitRequest(const hpack::HeaderList& headers,
+                                                BytesView body,
+                                                bool end_stream_after_body) {
+  if (role_ != Role::kClient) {
+    return Error(util::ErrorCode::kInvalidArgument,
+                 "SubmitRequest is client-only");
+  }
+  if (dead_ || going_away_) {
+    return Error(util::ErrorCode::kClosed, "connection is closing");
+  }
+  const std::uint32_t stream_id = next_stream_id_;
+  next_stream_id_ += 2;
+  Stream& stream = EnsureStream(stream_id);
+  stream.state = StreamState::kOpen;
+
+  const bool end_stream = body.empty() && end_stream_after_body;
+  Bytes block = encoder_.EncodeBlock(headers);
+  const std::size_t max_fragment = remote_settings_.max_frame_size();
+  if (block.size() <= max_fragment) {
+    EnqueueFrame(MakeHeadersFrame(stream_id, block, /*end_headers=*/true, end_stream));
+  } else {
+    BytesView view(block);
+    EnqueueFrame(MakeHeadersFrame(stream_id, view.first(max_fragment),
+                                  /*end_headers=*/false, end_stream));
+    view = view.subspan(max_fragment);
+    while (view.size() > max_fragment) {
+      EnqueueFrame(MakeContinuationFrame(stream_id, view.first(max_fragment),
+                                         /*end_headers=*/false));
+      view = view.subspan(max_fragment);
+    }
+    EnqueueFrame(MakeContinuationFrame(stream_id, view, /*end_headers=*/true));
+  }
+  if (end_stream) {
+    stream.OnLocalEnd();
+    return stream_id;
+  }
+  if (!body.empty()) {
+    if (Status status = SubmitData(stream_id, body, end_stream_after_body);
+        !status.ok()) {
+      return status.error();
+    }
+  }
+  return stream_id;
+}
+
+Status Connection::SubmitHeaders(std::uint32_t stream_id,
+                                 const hpack::HeaderList& headers,
+                                 bool end_stream) {
+  Stream* stream = FindMutableStream(stream_id);
+  if (stream == nullptr) {
+    return Error(util::ErrorCode::kNotFound, "unknown stream");
+  }
+  if (stream->state == StreamState::kClosed) {
+    return Error(util::ErrorCode::kClosed, "stream is closed");
+  }
+  Bytes block = encoder_.EncodeBlock(headers);
+  const std::size_t max_fragment = remote_settings_.max_frame_size();
+  if (block.size() <= max_fragment) {
+    EnqueueFrame(MakeHeadersFrame(stream_id, block, /*end_headers=*/true, end_stream));
+  } else {
+    BytesView view(block);
+    EnqueueFrame(MakeHeadersFrame(stream_id, view.first(max_fragment),
+                                  /*end_headers=*/false, end_stream));
+    view = view.subspan(max_fragment);
+    while (view.size() > max_fragment) {
+      EnqueueFrame(MakeContinuationFrame(stream_id, view.first(max_fragment),
+                                         /*end_headers=*/false));
+      view = view.subspan(max_fragment);
+    }
+    EnqueueFrame(MakeContinuationFrame(stream_id, view, /*end_headers=*/true));
+  }
+  if (end_stream) stream->OnLocalEnd();
+  return Status::Ok();
+}
+
+Status Connection::SubmitData(std::uint32_t stream_id, BytesView data,
+                              bool end_stream) {
+  Stream* stream = FindMutableStream(stream_id);
+  if (stream == nullptr) {
+    return Error(util::ErrorCode::kNotFound, "unknown stream");
+  }
+  if (!stream->CanSendData()) {
+    return Error(util::ErrorCode::kClosed,
+                 std::string("cannot send data in state ") +
+                     StreamStateName(stream->state));
+  }
+  Stream::PendingData pending;
+  pending.data.assign(data.begin(), data.end());
+  pending.end_stream = end_stream;
+  stream->send_queue.push_back(std::move(pending));
+  FlushStreamSendQueue(*stream);
+  return Status::Ok();
+}
+
+void Connection::FlushSendQueues() {
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    FlushStreamSendQueue(it->second);
+    if (it->second.pending_release && it->second.send_queue.empty()) {
+      stream_consumed_.erase(it->first);
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Connection::FlushStreamSendQueue(Stream& stream) {
+  const std::size_t max_frame = remote_settings_.max_frame_size();
+  while (!stream.send_queue.empty()) {
+    Stream::PendingData& pending = stream.send_queue.front();
+    if (pending.data.empty()) {
+      // Bare END_STREAM marker.
+      if (pending.end_stream) {
+        EnqueueFrame(MakeDataFrame(stream.id, {}, /*end_stream=*/true));
+        stream.OnLocalEnd();
+      }
+      stream.send_queue.pop_front();
+      continue;
+    }
+    const std::int64_t window = std::min(connection_send_window_.available(),
+                                         stream.send_window.available());
+    if (window <= 0) return;  // blocked on flow control
+    const std::size_t chunk_size =
+        std::min({pending.data.size(), static_cast<std::size_t>(window), max_frame});
+    BytesView chunk(pending.data.data(), chunk_size);
+    const bool is_last_chunk = chunk_size == pending.data.size();
+    const bool end_stream = is_last_chunk && pending.end_stream;
+    EnqueueFrame(MakeDataFrame(stream.id, chunk, end_stream));
+    connection_send_window_.Consume(static_cast<std::int64_t>(chunk_size));
+    stream.send_window.Consume(static_cast<std::int64_t>(chunk_size));
+    if (is_last_chunk) {
+      if (end_stream) stream.OnLocalEnd();
+      stream.send_queue.pop_front();
+    } else {
+      pending.data.erase(pending.data.begin(),
+                         pending.data.begin() + static_cast<std::ptrdiff_t>(chunk_size));
+    }
+  }
+}
+
+Status Connection::ResetStream(std::uint32_t stream_id, ErrorCode error) {
+  Stream* stream = FindMutableStream(stream_id);
+  if (stream == nullptr) {
+    return Error(util::ErrorCode::kNotFound, "unknown stream");
+  }
+  EnqueueFrame(MakeRstStreamFrame(stream_id, error));
+  stream->state = StreamState::kClosed;
+  stream->send_queue.clear();
+  return Status::Ok();
+}
+
+void Connection::SendPing(std::uint64_t opaque) {
+  EnqueueFrame(MakePingFrame(opaque, /*ack=*/false));
+}
+
+void Connection::SendGoaway(ErrorCode error, std::string_view debug_data) {
+  EnqueueFrame(MakeGoawayFrame(last_peer_stream_id_, error, debug_data));
+  going_away_ = true;
+}
+
+}  // namespace sww::http2

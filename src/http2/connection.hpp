@@ -1,0 +1,201 @@
+// connection.hpp — the HTTP/2 connection state machine (RFC 9113).
+//
+// Sans-IO design: the Connection never touches a socket.  Transport bytes
+// are pushed in with Receive(); bytes to write are drained with
+// TakeOutput(); protocol happenings surface as Events.  This keeps the
+// whole protocol engine deterministic and unit-testable — two Connections
+// can be wired back-to-back in memory — while the net:: layer pumps real
+// sockets.
+//
+// The SWW extension rides on this engine unchanged except for one new
+// SETTINGS parameter (settings.hpp): after the SETTINGS exchange,
+// negotiated_gen_ability() reports the capability subset shared by both
+// endpoints, and the core:: layer decides whether to serve prompts or
+// traditional content.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpack/hpack.hpp"
+#include "http2/frame.hpp"
+#include "http2/settings.hpp"
+#include "http2/stream.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::http2 {
+
+class Connection {
+ public:
+  enum class Role { kClient, kServer };
+
+  struct Options {
+    Settings local_settings;
+    /// Automatically replenish receive flow-control windows (send
+    /// WINDOW_UPDATE) once this many bytes have been consumed.
+    std::uint32_t window_update_threshold = 32768;
+  };
+
+  struct Event {
+    enum class Type {
+      kRemoteSettingsReceived,  ///< peer SETTINGS applied (ACK already queued)
+      kSettingsAcked,           ///< peer acknowledged our SETTINGS
+      kHeadersReceived,         ///< a complete header block was decoded
+      kMessageComplete,         ///< stream saw END_STREAM; headers+body ready
+      kStreamReset,             ///< RST_STREAM received
+      kGoawayReceived,
+      kPingAcked,
+    };
+    Type type;
+    std::uint32_t stream_id = 0;
+    ErrorCode error = ErrorCode::kNoError;
+    std::uint64_t ping_opaque = 0;
+  };
+
+  Connection(Role role, Options options);
+
+  /// Queue the connection preface: client preface string (client only) plus
+  /// our initial SETTINGS frame.  Must be called once before any exchange.
+  void StartHandshake();
+
+  // --- Transport side ----------------------------------------------------
+
+  /// Feed bytes read from the transport.  On a connection error the return
+  /// status is the root cause; a GOAWAY has already been queued in the
+  /// output buffer and the connection is dead.
+  util::Status Receive(util::BytesView bytes);
+
+  /// Drain bytes that must be written to the transport.
+  util::Bytes TakeOutput();
+  bool HasOutput() const { return !output_.empty(); }
+
+  /// Drain protocol events observed since the last call.
+  std::vector<Event> TakeEvents();
+
+  // --- Application side --------------------------------------------------
+
+  /// Client: open a new stream carrying a request.  Returns the stream id.
+  /// `end_stream` marks the request as having no body.
+  util::Result<std::uint32_t> SubmitRequest(const hpack::HeaderList& headers,
+                                            util::BytesView body,
+                                            bool end_stream_after_body = true);
+
+  /// Server: send response headers on an existing stream.
+  util::Status SubmitHeaders(std::uint32_t stream_id,
+                             const hpack::HeaderList& headers, bool end_stream);
+
+  /// Send body data (both roles).  Respects flow control: anything beyond
+  /// the current send window is queued and flushed on WINDOW_UPDATE.
+  util::Status SubmitData(std::uint32_t stream_id, util::BytesView data,
+                          bool end_stream);
+
+  util::Status ResetStream(std::uint32_t stream_id, ErrorCode error);
+  void SendPing(std::uint64_t opaque);
+  void SendGoaway(ErrorCode error, std::string_view debug_data);
+
+  /// Re-advertise settings mid-connection (e.g. a server turning generative
+  /// serving off when renewable energy is unavailable, §5.1 of the paper).
+  void UpdateLocalSettings(const Settings& settings);
+
+  // --- Introspection -----------------------------------------------------
+
+  Role role() const { return role_; }
+  bool handshake_started() const { return handshake_started_; }
+  bool remote_settings_received() const { return remote_settings_received_; }
+  bool local_settings_acked() const { return local_settings_acked_; }
+  bool going_away() const { return going_away_; }
+  bool dead() const { return dead_; }
+
+  const Settings& local_settings() const { return local_settings_; }
+  const Settings& remote_settings() const { return remote_settings_; }
+
+  /// The SWW negotiation result (§3 of the paper): bitwise-AND of both
+  /// endpoints' GEN_ABILITY.  Zero until the peer's SETTINGS arrive — i.e.
+  /// a participating endpoint talking to a naïve peer sees "none" and falls
+  /// back to standard HTTP/2 behaviour.
+  std::uint32_t negotiated_gen_ability() const;
+  /// True when both sides advertised full client-side generation.
+  bool generative_mode() const {
+    return (negotiated_gen_ability() & kGenAbilityFull) != 0;
+  }
+
+  const Stream* FindStream(std::uint32_t stream_id) const;
+  Stream* FindMutableStream(std::uint32_t stream_id);
+  /// Drop a closed stream's bookkeeping once the application consumed it.
+  void ReleaseStream(std::uint32_t stream_id);
+  std::size_t active_stream_count() const;
+
+  /// Totals for the evaluation harness (bytes on the wire in each
+  /// direction, frame counts by type).
+  struct WireStats {
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::map<FrameType, std::uint64_t> frames_sent;
+    std::map<FrameType, std::uint64_t> frames_received;
+  };
+  const WireStats& wire_stats() const { return stats_; }
+
+ private:
+  util::Status HandleFrame(Frame frame);
+  util::Status HandleData(const Frame& frame);
+  util::Status HandleHeaders(const Frame& frame);
+  util::Status HandleContinuation(const Frame& frame);
+  util::Status HandleSettings(const Frame& frame);
+  util::Status HandlePing(const Frame& frame);
+  util::Status HandleGoaway(const Frame& frame);
+  util::Status HandleWindowUpdate(const Frame& frame);
+  util::Status HandleRstStream(const Frame& frame);
+  util::Status HandlePriority(const Frame& frame);
+
+  util::Status FinishHeaderBlock();
+  util::Status ConnectionError(ErrorCode code, const std::string& message);
+  void EnqueueFrame(const Frame& frame);
+  void MaybeReplenishWindows(std::uint32_t stream_id, std::size_t consumed);
+  void FlushSendQueues();
+  void FlushStreamSendQueue(Stream& stream);
+  Stream& EnsureStream(std::uint32_t stream_id);
+  bool IsPeerInitiated(std::uint32_t stream_id) const;
+
+  Role role_;
+  Options options_;
+  Settings local_settings_;
+  Settings remote_settings_;
+
+  hpack::Encoder encoder_;
+  hpack::Decoder decoder_;
+  FrameParser frame_parser_;
+
+  util::Bytes output_;
+  std::vector<Event> events_;
+  std::map<std::uint32_t, Stream> streams_;
+
+  // Header-block assembly state (HEADERS + CONTINUATION*).
+  bool assembling_headers_ = false;
+  std::uint32_t assembling_stream_id_ = 0;
+  bool assembling_end_stream_ = false;
+  util::Bytes header_block_;
+
+  bool handshake_started_ = false;
+  bool preface_received_ = false;   // server: client preface consumed
+  util::Bytes preface_buffer_;
+  bool remote_settings_received_ = false;
+  bool local_settings_acked_ = false;
+  bool going_away_ = false;
+  bool dead_ = false;
+
+  std::uint32_t next_stream_id_;        // next locally-initiated stream id
+  std::uint32_t last_peer_stream_id_ = 0;
+
+  FlowWindow connection_send_window_{65535};
+  FlowWindow connection_recv_window_{65535};
+  std::size_t connection_consumed_ = 0;
+  std::map<std::uint32_t, std::size_t> stream_consumed_;
+
+  WireStats stats_;
+};
+
+}  // namespace sww::http2

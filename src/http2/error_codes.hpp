@@ -1,0 +1,47 @@
+// error_codes.hpp — HTTP/2 error codes (RFC 9113 §7).
+//
+// Carried in RST_STREAM and GOAWAY frames.
+#pragma once
+
+#include <cstdint>
+
+namespace sww::http2 {
+
+enum class ErrorCode : std::uint32_t {
+  kNoError = 0x0,
+  kProtocolError = 0x1,
+  kInternalError = 0x2,
+  kFlowControlError = 0x3,
+  kSettingsTimeout = 0x4,
+  kStreamClosed = 0x5,
+  kFrameSizeError = 0x6,
+  kRefusedStream = 0x7,
+  kCancel = 0x8,
+  kCompressionError = 0x9,
+  kConnectError = 0xa,
+  kEnhanceYourCalm = 0xb,
+  kInadequateSecurity = 0xc,
+  kHttp11Required = 0xd,
+};
+
+constexpr const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNoError: return "NO_ERROR";
+    case ErrorCode::kProtocolError: return "PROTOCOL_ERROR";
+    case ErrorCode::kInternalError: return "INTERNAL_ERROR";
+    case ErrorCode::kFlowControlError: return "FLOW_CONTROL_ERROR";
+    case ErrorCode::kSettingsTimeout: return "SETTINGS_TIMEOUT";
+    case ErrorCode::kStreamClosed: return "STREAM_CLOSED";
+    case ErrorCode::kFrameSizeError: return "FRAME_SIZE_ERROR";
+    case ErrorCode::kRefusedStream: return "REFUSED_STREAM";
+    case ErrorCode::kCancel: return "CANCEL";
+    case ErrorCode::kCompressionError: return "COMPRESSION_ERROR";
+    case ErrorCode::kConnectError: return "CONNECT_ERROR";
+    case ErrorCode::kEnhanceYourCalm: return "ENHANCE_YOUR_CALM";
+    case ErrorCode::kInadequateSecurity: return "INADEQUATE_SECURITY";
+    case ErrorCode::kHttp11Required: return "HTTP_1_1_REQUIRED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace sww::http2

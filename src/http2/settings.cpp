@@ -1,0 +1,138 @@
+#include "http2/settings.hpp"
+
+namespace sww::http2 {
+
+using util::Error;
+using util::Status;
+
+std::string GenAbilityToString(std::uint32_t ability) {
+  if (ability == kGenAbilityNone) return "none";
+  std::string out;
+  auto add = [&out](std::string_view name) {
+    if (!out.empty()) out += "|";
+    out += name;
+  };
+  if (ability & kGenAbilityFull) add("full");
+  if (ability & kGenAbilityUpscaleOnly) add("upscale-only");
+  if (ability & kGenAbilityTextOnly) add("text-only");
+  if (ability & kGenAbilityFrameRateBoost) add("frame-rate-boost");
+  const std::uint32_t known = kGenAbilityFull | kGenAbilityUpscaleOnly |
+                              kGenAbilityTextOnly | kGenAbilityFrameRateBoost;
+  if (ability & ~known) add("unknown-bits");
+  return out;
+}
+
+Settings::Settings() = default;
+
+Status Settings::Apply(const SettingsEntry& entry) {
+  switch (entry.identifier) {
+    case kSettingsHeaderTableSize:
+      header_table_size_ = entry.value;
+      return Status::Ok();
+    case kSettingsEnablePush:
+      if (entry.value > 1) {
+        return Error(util::ErrorCode::kProtocol, "ENABLE_PUSH must be 0 or 1");
+      }
+      enable_push_ = entry.value == 1;
+      return Status::Ok();
+    case kSettingsMaxConcurrentStreams:
+      max_concurrent_streams_ = entry.value;
+      return Status::Ok();
+    case kSettingsInitialWindowSize:
+      if (entry.value > 0x7fffffffu) {
+        return Error(util::ErrorCode::kFlowControl,
+                     "INITIAL_WINDOW_SIZE above 2^31-1");
+      }
+      initial_window_size_ = entry.value;
+      return Status::Ok();
+    case kSettingsMaxFrameSize:
+      if (entry.value < kDefaultMaxFrameSize || entry.value > kAbsoluteMaxFrameSize) {
+        return Error(util::ErrorCode::kProtocol,
+                     "MAX_FRAME_SIZE outside [16384, 16777215]");
+      }
+      max_frame_size_ = entry.value;
+      return Status::Ok();
+    case kSettingsMaxHeaderListSize:
+      max_header_list_size_ = entry.value;
+      return Status::Ok();
+    case kSettingsGenAbility:
+      // The SWW extension.  Any 32-bit value is acceptable; semantics of the
+      // bits are applied at negotiation time.
+      gen_ability_ = entry.value;
+      return Status::Ok();
+    default:
+      // RFC 9113 §6.5.2: "An endpoint that receives a SETTINGS frame with
+      // any unknown or unsupported identifier MUST ignore that setting."
+      unknown_[entry.identifier] = entry.value;
+      return Status::Ok();
+  }
+}
+
+Status Settings::ApplyAll(const std::vector<SettingsEntry>& entries) {
+  for (const SettingsEntry& entry : entries) {
+    if (Status status = Apply(entry); !status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+std::vector<SettingsEntry> Settings::NonDefaultEntries() const {
+  std::vector<SettingsEntry> entries;
+  if (header_table_size_ != 4096) {
+    entries.push_back({kSettingsHeaderTableSize, header_table_size_});
+  }
+  if (!enable_push_) {
+    entries.push_back({kSettingsEnablePush, 0});
+  }
+  if (max_concurrent_streams_ != 0xffffffffu) {
+    entries.push_back({kSettingsMaxConcurrentStreams, max_concurrent_streams_});
+  }
+  if (initial_window_size_ != 65535) {
+    entries.push_back({kSettingsInitialWindowSize, initial_window_size_});
+  }
+  if (max_frame_size_ != kDefaultMaxFrameSize) {
+    entries.push_back({kSettingsMaxFrameSize, max_frame_size_});
+  }
+  if (max_header_list_size_ != 0xffffffffu) {
+    entries.push_back({kSettingsMaxHeaderListSize, max_header_list_size_});
+  }
+  if (gen_ability_ != kGenAbilityNone) {
+    entries.push_back({kSettingsGenAbility, gen_ability_});
+  }
+  return entries;
+}
+
+std::vector<SettingsEntry> DiffEntries(const Settings& previous,
+                                       const Settings& updated) {
+  std::vector<SettingsEntry> entries;
+  if (previous.header_table_size() != updated.header_table_size()) {
+    entries.push_back({kSettingsHeaderTableSize, updated.header_table_size()});
+  }
+  if (previous.enable_push() != updated.enable_push()) {
+    entries.push_back({kSettingsEnablePush, updated.enable_push() ? 1u : 0u});
+  }
+  if (previous.max_concurrent_streams() != updated.max_concurrent_streams()) {
+    entries.push_back(
+        {kSettingsMaxConcurrentStreams, updated.max_concurrent_streams()});
+  }
+  if (previous.initial_window_size() != updated.initial_window_size()) {
+    entries.push_back(
+        {kSettingsInitialWindowSize, updated.initial_window_size()});
+  }
+  if (previous.max_frame_size() != updated.max_frame_size()) {
+    entries.push_back({kSettingsMaxFrameSize, updated.max_frame_size()});
+  }
+  if (previous.max_header_list_size() != updated.max_header_list_size()) {
+    entries.push_back(
+        {kSettingsMaxHeaderListSize, updated.max_header_list_size()});
+  }
+  if (previous.gen_ability() != updated.gen_ability()) {
+    entries.push_back({kSettingsGenAbility, updated.gen_ability()});
+  }
+  return entries;
+}
+
+std::uint32_t NegotiateGenAbility(std::uint32_t local, std::uint32_t remote) {
+  return local & remote;
+}
+
+}  // namespace sww::http2

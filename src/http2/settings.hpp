@@ -1,0 +1,110 @@
+// settings.hpp — HTTP/2 SETTINGS parameters (RFC 9113 §6.5.2) plus the
+// paper's extension parameter.
+//
+// The Small World Web modification is exactly here: a new SETTINGS
+// identifier, SETTINGS_GEN_ABILITY (0x07 — the first unreserved value,
+// chosen for prototyping, §3 of the paper), whose value advertises the
+// sender's client-side content-generation capability.  Recipients that do
+// not understand the identifier ignore it (RFC 9113 §6.5.2), which is what
+// makes the extension deployable: a naïve peer simply keeps speaking plain
+// HTTP/2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "http2/frame.hpp"
+#include "util/error.hpp"
+
+namespace sww::http2 {
+
+// Standard identifiers (RFC 9113).
+inline constexpr std::uint16_t kSettingsHeaderTableSize = 0x1;
+inline constexpr std::uint16_t kSettingsEnablePush = 0x2;
+inline constexpr std::uint16_t kSettingsMaxConcurrentStreams = 0x3;
+inline constexpr std::uint16_t kSettingsInitialWindowSize = 0x4;
+inline constexpr std::uint16_t kSettingsMaxFrameSize = 0x5;
+inline constexpr std::uint16_t kSettingsMaxHeaderListSize = 0x6;
+// The paper's extension (SWW §3): generative-ability advertisement.
+inline constexpr std::uint16_t kSettingsGenAbility = 0x7;
+
+/// GEN_ABILITY is a 32-bit value.  The paper's prototype uses the binary
+/// value 1; it also notes the field "can be used to negotiate more complex
+/// support options, such as upscale-only" — modelled here as bit flags.
+enum GenAbility : std::uint32_t {
+  kGenAbilityNone = 0x0,
+  kGenAbilityFull = 0x1,          ///< full client-side generation (paper's value 1)
+  kGenAbilityUpscaleOnly = 0x2,   ///< §2.2: content upscaling only
+  kGenAbilityTextOnly = 0x4,      ///< text expansion but no image synthesis
+  kGenAbilityFrameRateBoost = 0x8,///< §3.2: client-side video frame-rate boosting
+};
+
+std::string GenAbilityToString(std::uint32_t ability);
+
+/// The effective settings of one endpoint, with RFC-mandated defaults and
+/// validation.  Unknown identifiers are retained (and reported) but have no
+/// protocol effect — mirroring the "ignore unknown settings" rule while
+/// still letting tests observe them.
+class Settings {
+ public:
+  Settings();
+
+  /// Apply one entry.  Returns a protocol error for invalid values
+  /// (ENABLE_PUSH not 0/1, INITIAL_WINDOW_SIZE > 2^31-1 → FLOW_CONTROL_ERROR,
+  /// MAX_FRAME_SIZE outside [2^14, 2^24-1]).
+  util::Status Apply(const SettingsEntry& entry);
+
+  /// Apply a whole frame's entries, stopping at the first error.
+  util::Status ApplyAll(const std::vector<SettingsEntry>& entries);
+
+  std::uint32_t header_table_size() const { return header_table_size_; }
+  bool enable_push() const { return enable_push_; }
+  std::uint32_t max_concurrent_streams() const { return max_concurrent_streams_; }
+  std::uint32_t initial_window_size() const { return initial_window_size_; }
+  std::uint32_t max_frame_size() const { return max_frame_size_; }
+  std::uint32_t max_header_list_size() const { return max_header_list_size_; }
+  std::uint32_t gen_ability() const { return gen_ability_; }
+
+  void set_header_table_size(std::uint32_t v) { header_table_size_ = v; }
+  void set_enable_push(bool v) { enable_push_ = v; }
+  void set_max_concurrent_streams(std::uint32_t v) { max_concurrent_streams_ = v; }
+  void set_initial_window_size(std::uint32_t v) { initial_window_size_ = v; }
+  void set_max_frame_size(std::uint32_t v) { max_frame_size_ = v; }
+  void set_max_header_list_size(std::uint32_t v) { max_header_list_size_ = v; }
+  void set_gen_ability(std::uint32_t v) { gen_ability_ = v; }
+
+  /// Entries that differ from RFC defaults — what an endpoint sends in its
+  /// initial SETTINGS frame.
+  std::vector<SettingsEntry> NonDefaultEntries() const;
+
+  /// Unknown identifiers seen (id → latest value).
+  const std::map<std::uint16_t, std::uint32_t>& unknown() const { return unknown_; }
+
+ private:
+  std::uint32_t header_table_size_ = 4096;
+  bool enable_push_ = true;
+  std::uint32_t max_concurrent_streams_ = 0xffffffffu;  // unlimited
+  std::uint32_t initial_window_size_ = 65535;
+  std::uint32_t max_frame_size_ = kDefaultMaxFrameSize;
+  std::uint32_t max_header_list_size_ = 0xffffffffu;    // unlimited
+  std::uint32_t gen_ability_ = kGenAbilityNone;
+  std::map<std::uint16_t, std::uint32_t> unknown_;
+};
+
+/// Entries that must be (re)advertised to move a peer that currently holds
+/// `previous` to `updated`.  Settings are sticky on the wire (RFC 9113
+/// §6.5.3): a value that returns to its default must still be sent
+/// explicitly, or the peer keeps the stale value.
+std::vector<SettingsEntry> DiffEntries(const Settings& previous,
+                                       const Settings& updated);
+
+/// The paper's negotiation rule (§3): generative delivery is used only when
+/// BOTH endpoints advertised a compatible ability; "in any case other than
+/// both server and client having SETTINGS_GEN_ABILITY set ... default
+/// (unsupported) behavior will be assumed."  Returns the capability subset
+/// usable on the connection (bitwise AND).
+std::uint32_t NegotiateGenAbility(std::uint32_t local, std::uint32_t remote);
+
+}  // namespace sww::http2

@@ -1,0 +1,43 @@
+#include "http2/stream.hpp"
+
+namespace sww::http2 {
+
+const char* StreamStateName(StreamState state) {
+  switch (state) {
+    case StreamState::kIdle: return "idle";
+    case StreamState::kOpen: return "open";
+    case StreamState::kHalfClosedLocal: return "half-closed(local)";
+    case StreamState::kHalfClosedRemote: return "half-closed(remote)";
+    case StreamState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+util::Status FlowWindow::Widen(std::int64_t increment) {
+  if (window_ + increment > 0x7fffffffLL) {
+    return util::Error(util::ErrorCode::kFlowControl,
+                       "flow-control window would exceed 2^31-1");
+  }
+  window_ += increment;
+  return util::Status::Ok();
+}
+
+void Stream::OnLocalEnd() {
+  local_end = true;
+  if (state == StreamState::kOpen) {
+    state = StreamState::kHalfClosedLocal;
+  } else if (state == StreamState::kHalfClosedRemote) {
+    state = StreamState::kClosed;
+  }
+}
+
+void Stream::OnRemoteEnd() {
+  remote_end = true;
+  if (state == StreamState::kOpen) {
+    state = StreamState::kHalfClosedRemote;
+  } else if (state == StreamState::kHalfClosedLocal) {
+    state = StreamState::kClosed;
+  }
+}
+
+}  // namespace sww::http2

@@ -1,0 +1,87 @@
+// stream.hpp — HTTP/2 stream state (RFC 9113 §5).
+//
+// Tracks the per-stream lifecycle state machine and both flow-control
+// windows.  The Connection owns a map of these.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "hpack/hpack.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace sww::http2 {
+
+enum class StreamState : std::uint8_t {
+  kIdle,
+  kOpen,
+  kHalfClosedLocal,   // we sent END_STREAM; peer may still send
+  kHalfClosedRemote,  // peer sent END_STREAM; we may still send
+  kClosed,
+};
+
+const char* StreamStateName(StreamState state);
+
+/// A signed flow-control window.  Windows can go negative when the peer
+/// shrinks INITIAL_WINDOW_SIZE after data was sent (RFC 9113 §6.9.2).
+class FlowWindow {
+ public:
+  explicit FlowWindow(std::int64_t initial = 65535) : window_(initial) {}
+
+  std::int64_t available() const { return window_; }
+
+  /// Consume `bytes` (sending or receiving data).
+  void Consume(std::int64_t bytes) { window_ -= bytes; }
+
+  /// Widen by `increment`; errors if the window would exceed 2^31-1
+  /// (FLOW_CONTROL_ERROR per RFC 9113 §6.9.1).
+  util::Status Widen(std::int64_t increment);
+
+  /// Adjust for a change of INITIAL_WINDOW_SIZE (applies the delta).
+  void AdjustInitial(std::int64_t delta) { window_ += delta; }
+
+ private:
+  std::int64_t window_;
+};
+
+/// Per-stream state.  Header/body accumulation happens here so the
+/// connection can emit complete-message events.
+struct Stream {
+  std::uint32_t id = 0;
+  StreamState state = StreamState::kIdle;
+
+  FlowWindow send_window{65535};
+  FlowWindow recv_window{65535};
+
+  hpack::HeaderList headers;        // request or response headers
+  hpack::HeaderList trailers;
+  bool saw_headers = false;
+  util::Bytes body;                 // accumulated DATA payload
+  bool remote_end = false;          // peer sent END_STREAM
+  bool local_end = false;           // we sent END_STREAM
+  /// Application released the stream while data was still queued behind
+  /// flow control; it is erased automatically once the queue drains.
+  bool pending_release = false;
+
+  /// Data waiting for send-window capacity.
+  struct PendingData {
+    util::Bytes data;
+    bool end_stream = false;
+  };
+  std::deque<PendingData> send_queue;
+
+  bool CanSendData() const {
+    return state == StreamState::kOpen || state == StreamState::kHalfClosedRemote;
+  }
+  bool CanReceiveData() const {
+    return state == StreamState::kOpen || state == StreamState::kHalfClosedLocal;
+  }
+
+  /// Transition on sending END_STREAM.
+  void OnLocalEnd();
+  /// Transition on receiving END_STREAM.
+  void OnRemoteEnd();
+};
+
+}  // namespace sww::http2

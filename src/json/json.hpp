@@ -1,0 +1,101 @@
+// json.hpp — a small, complete JSON implementation.
+//
+// The paper's generated-content HTML class carries its metadata as "a json
+// dictionary" (§4.1: prompt, width, height, ...).  This module provides the
+// value model, a strict RFC 8259 parser, and a serializer with optional
+// pretty printing.  It is deliberately self-contained: the repository builds
+// every substrate from scratch.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sww::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps keys ordered, which makes serialization deterministic —
+/// important because metadata byte sizes feed the compression-ratio numbers.
+using Object = std::map<std::string, Value>;
+
+/// A JSON value: null, bool, number (double), string, array, or object.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}            // NOLINT implicit
+  Value(bool b) : data_(b) {}                          // NOLINT implicit
+  Value(int v) : data_(static_cast<double>(v)) {}      // NOLINT implicit
+  Value(unsigned v) : data_(static_cast<double>(v)) {} // NOLINT implicit
+  Value(std::int64_t v) : data_(static_cast<double>(v)) {}  // NOLINT implicit
+  Value(std::size_t v) : data_(static_cast<double>(v)) {}   // NOLINT implicit
+  Value(double v) : data_(v) {}                        // NOLINT implicit
+  Value(const char* s) : data_(std::string(s)) {}      // NOLINT implicit
+  Value(std::string s) : data_(std::move(s)) {}        // NOLINT implicit
+  Value(std::string_view s) : data_(std::string(s)) {} // NOLINT implicit
+  Value(Array a) : data_(std::move(a)) {}              // NOLINT implicit
+  Value(Object o) : data_(std::move(o)) {}             // NOLINT implicit
+
+  Type type() const;
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; throw std::logic_error on type mismatch (caller bug).
+  bool AsBool() const;
+  double AsNumber() const;
+  std::int64_t AsInt() const;  ///< AsNumber truncated toward zero
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  Array& AsArray();
+  const Object& AsObject() const;
+  Object& AsObject();
+
+  /// Object field lookup.  Get returns nullptr when absent or not an object.
+  const Value* Get(std::string_view key) const;
+  /// Convenience typed lookups with defaults — the HTML metadata path uses
+  /// these heavily ("width"/"height" default, "prompt" required).
+  std::string GetString(std::string_view key, std::string_view fallback = "") const;
+  double GetNumber(std::string_view key, double fallback = 0.0) const;
+  std::int64_t GetInt(std::string_view key, std::int64_t fallback = 0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+  bool Has(std::string_view key) const { return Get(key) != nullptr; }
+
+  /// Object field assignment (creates the object if this value is null).
+  Value& Set(std::string key, Value value);
+
+  /// Compact serialization (no whitespace) — the byte size used by the
+  /// compression-ratio experiments.
+  std::string Dump() const;
+  /// Pretty serialization with 2-space indent.
+  std::string DumpPretty() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Strict RFC 8259 parser.  Rejects trailing garbage, unterminated strings,
+/// invalid escapes, bad numbers; supports \uXXXX (with surrogate pairs).
+util::Result<Value> Parse(std::string_view text);
+
+/// Escape a string for embedding in JSON output (adds surrounding quotes).
+std::string EscapeString(std::string_view text);
+
+}  // namespace sww::json

@@ -1,0 +1,23 @@
+#include "metrics/clip.hpp"
+
+#include <algorithm>
+
+#include "genai/embedding.hpp"
+
+namespace sww::metrics {
+
+double RawPromptImageCosine(std::string_view prompt, const genai::Image& image) {
+  const genai::Vec text = genai::TextEmbeddingOf(prompt);
+  const genai::Vec img = genai::ImageEmbedding(image);
+  return genai::Cosine(text, img);
+}
+
+double ClipScore(std::string_view prompt, const genai::Image& image) {
+  const double raw = RawPromptImageCosine(prompt, image);
+  // Unrelated pairs have raw ≈ 0 (± sampling noise), mapping to the floor;
+  // perfectly planted prompts approach raw ≈ 1 → ~0.48, comfortably above
+  // any model the paper measures.
+  return std::clamp(kClipFloor + kClipGain * std::max(0.0, raw), 0.0, 1.0);
+}
+
+}  // namespace sww::metrics

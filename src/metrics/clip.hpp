@@ -1,0 +1,31 @@
+// clip.hpp — the CLIP-score simulator.
+//
+// CLIP score (Hessel et al., the paper's quality metric for text-to-image)
+// measures reference-free similarity between a prompt and an image.  Our
+// substitute projects both into the shared embedding space (genai/embedding)
+// and maps the raw cosine onto the CLIP operating range, calibrated so the
+// full prompt→generate→score pipeline reproduces Table 1:
+//
+//   random image (no prompt)  ≈ 0.09   (the paper's stated baseline)
+//   SD 2.1                    ≈ 0.19
+//   SD 3 / SD 3.5 Medium      ≈ 0.27
+//   DALLE 3                   ≈ 0.32
+#pragma once
+
+#include <string_view>
+
+#include "genai/image.hpp"
+
+namespace sww::metrics {
+
+/// Affine calibration from raw cosine to the CLIP scale.
+inline constexpr double kClipFloor = 0.09;  ///< score of an unrelated image
+inline constexpr double kClipGain = 0.39;   ///< slope on raw cosine
+
+/// Reference-free prompt/image similarity on the CLIP scale.
+double ClipScore(std::string_view prompt, const genai::Image& image);
+
+/// The raw cosine in the shared embedding space (diagnostics/tests).
+double RawPromptImageCosine(std::string_view prompt, const genai::Image& image);
+
+}  // namespace sww::metrics

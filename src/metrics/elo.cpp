@@ -1,0 +1,74 @@
+#include "metrics/elo.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sww::metrics {
+
+double EloExpectedScore(double rating_a, double rating_b) {
+  return 1.0 / (1.0 + std::pow(10.0, (rating_b - rating_a) / 400.0));
+}
+
+EloUpdate EloApply(double rating_a, double rating_b, double score_a,
+                   double k_factor) {
+  const double expected_a = EloExpectedScore(rating_a, rating_b);
+  const double delta = k_factor * (score_a - expected_a);
+  return EloUpdate{rating_a + delta, rating_b - delta};
+}
+
+void EloArena::AddPlayer(std::string name, double latent_strength) {
+  ArenaPlayer player;
+  player.name = std::move(name);
+  player.latent_strength = latent_strength;
+  players_.push_back(std::move(player));
+}
+
+void EloArena::RunRoundRobin(int rounds) {
+  util::Rng rng(seed_);
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < players_.size(); ++i) {
+      for (std::size_t j = i + 1; j < players_.size(); ++j) {
+        ArenaPlayer& a = players_[i];
+        ArenaPlayer& b = players_[j];
+        // Bradley-Terry outcome from latent strengths.
+        const double p_a_wins =
+            EloExpectedScore(a.latent_strength, b.latent_strength);
+        const double score_a = rng.NextBool(p_a_wins) ? 1.0 : 0.0;
+        const EloUpdate update = EloApply(a.rating, b.rating, score_a, k_factor_);
+        a.rating = update.rating_a;
+        b.rating = update.rating_b;
+        a.games++;
+        b.games++;
+        if (score_a > 0.5) {
+          a.wins++;
+        } else {
+          b.wins++;
+        }
+      }
+    }
+  }
+}
+
+void EloArena::AnchorToLatentMean() {
+  if (players_.empty()) return;
+  double latent_mean = 0.0;
+  double rating_mean = 0.0;
+  for (const ArenaPlayer& p : players_) {
+    latent_mean += p.latent_strength;
+    rating_mean += p.rating;
+  }
+  latent_mean /= static_cast<double>(players_.size());
+  rating_mean /= static_cast<double>(players_.size());
+  const double shift = latent_mean - rating_mean;
+  for (ArenaPlayer& p : players_) p.rating += shift;
+}
+
+const ArenaPlayer* EloArena::Find(std::string_view name) const {
+  for (const ArenaPlayer& p : players_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace sww::metrics

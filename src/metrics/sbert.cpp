@@ -1,0 +1,70 @@
+#include "metrics/sbert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "genai/embedding.hpp"
+#include "genai/llm.hpp"
+#include "util/strings.hpp"
+
+namespace sww::metrics {
+
+namespace {
+
+/// Content-word recall: fraction of source content words present in the
+/// candidate.  This is the dominant signal real SBERT picks up for the
+/// expansion task (missing facts depress similarity sharply; extra filler
+/// depresses it mildly).
+double ContentRecall(const std::vector<std::string>& source_tokens,
+                     const std::vector<std::string>& candidate_tokens) {
+  if (source_tokens.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (const std::string& token : source_tokens) {
+    if (std::find(candidate_tokens.begin(), candidate_tokens.end(), token) !=
+        candidate_tokens.end()) {
+      ++hit;
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(source_tokens.size());
+}
+
+std::vector<std::string> ContentTokens(std::string_view text) {
+  std::vector<std::string> out;
+  for (const std::string& token : util::Tokenize(text)) {
+    if (!genai::IsStopWord(token)) out.push_back(token);
+  }
+  return out;
+}
+
+/// Map recall/cosine evidence onto the SBERT scale.  Real SBERT gives
+/// paraphrases with full content overlap ≈0.95+, ~85% overlap ≈0.9, and
+/// unrelated same-domain text ≈0.3-0.5; this piecewise-smooth map encodes
+/// that operating curve.
+double MapToSbertScale(double recall, double embedding_cosine) {
+  const double evidence = 0.8 * recall + 0.2 * std::max(0.0, embedding_cosine);
+  return std::clamp(0.35 + 0.62 * std::pow(evidence, 0.8), 0.0, 1.0);
+}
+
+}  // namespace
+
+double SbertScore(const std::vector<std::string>& bullets,
+                  std::string_view expansion) {
+  std::vector<std::string> source_tokens;
+  for (const std::string& bullet : bullets) {
+    for (std::string& token : ContentTokens(bullet)) {
+      source_tokens.push_back(std::move(token));
+    }
+  }
+  const std::vector<std::string> candidate_tokens = ContentTokens(expansion);
+  const double recall = ContentRecall(source_tokens, candidate_tokens);
+  const double cosine =
+      genai::Cosine(genai::TextEmbedding(source_tokens),
+                    genai::TextEmbedding(candidate_tokens));
+  return MapToSbertScale(recall, cosine);
+}
+
+double SbertScore(std::string_view a, std::string_view b) {
+  return SbertScore(std::vector<std::string>{std::string(a)}, b);
+}
+
+}  // namespace sww::metrics

@@ -1,0 +1,53 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace sww::metrics {
+
+double WordOvershootPercent(int requested_words, int actual_words) {
+  if (requested_words <= 0) return 0.0;
+  return 100.0 * (actual_words - requested_words) /
+         static_cast<double>(requested_words);
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double position = std::clamp(q, 0.0, 100.0) / 100.0 *
+                          static_cast<double>(values.size() - 1);
+  const std::size_t lower = static_cast<std::size_t>(std::floor(position));
+  const std::size_t upper = static_cast<std::size_t>(std::ceil(position));
+  const double fraction = position - static_cast<double>(lower);
+  return values[lower] + (values[upper] - values[lower]) * fraction;
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary summary;
+  if (values.empty()) return summary;
+  summary.count = values.size();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  summary.mean = sum / static_cast<double>(values.size());
+  double variance = 0.0;
+  for (double v : values) variance += (v - summary.mean) * (v - summary.mean);
+  summary.stddev = std::sqrt(variance / static_cast<double>(values.size()));
+  std::sort(values.begin(), values.end());
+  summary.min = values.front();
+  summary.max = values.back();
+  summary.p25 = Percentile(values, 25.0);
+  summary.median = Percentile(values, 50.0);
+  summary.p75 = Percentile(values, 75.0);
+  return summary;
+}
+
+std::string FormatSummary(const Summary& summary) {
+  return util::Format(
+      "n=%zu mean=%.3f sd=%.3f min=%.3f p25=%.3f med=%.3f p75=%.3f max=%.3f",
+      summary.count, summary.mean, summary.stddev, summary.min, summary.p25,
+      summary.median, summary.p75, summary.max);
+}
+
+}  // namespace sww::metrics

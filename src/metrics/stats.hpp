@@ -1,0 +1,36 @@
+// stats.hpp — descriptive statistics for the evaluation harness.
+//
+// §6.3.2 reports word-length overshoot as mean and 25th/75th percentiles;
+// the benches need the same summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sww::metrics {
+
+/// Word-length overshoot: "the percentage of words above or below the
+/// requested number of words" — signed relative deviation in percent.
+double WordOvershootPercent(int requested_words, int actual_words);
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarize a sample (linear-interpolated percentiles).  Empty input
+/// yields an all-zero summary.
+Summary Summarize(std::vector<double> values);
+
+/// Percentile with linear interpolation; `q` in [0,100].
+double Percentile(std::vector<double> values, double q);
+
+std::string FormatSummary(const Summary& summary);
+
+}  // namespace sww::metrics

@@ -1,0 +1,84 @@
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "net/transport.hpp"
+
+namespace sww::net {
+
+namespace {
+
+using util::Bytes;
+using util::BytesView;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+/// One direction of the duplex pipe: a locked byte queue plus a closed flag.
+struct Channel {
+  std::mutex mutex;
+  std::deque<std::uint8_t> queue;
+  bool closed = false;
+};
+
+class InMemoryTransport final : public Transport {
+ public:
+  InMemoryTransport(std::shared_ptr<Channel> outgoing,
+                    std::shared_ptr<Channel> incoming)
+      : outgoing_(std::move(outgoing)), incoming_(std::move(incoming)) {}
+
+  Status Write(BytesView bytes) override {
+    std::lock_guard<std::mutex> lock(outgoing_->mutex);
+    if (outgoing_->closed) {
+      return Error(ErrorCode::kClosed, "in-memory transport closed");
+    }
+    outgoing_->queue.insert(outgoing_->queue.end(), bytes.begin(), bytes.end());
+    return Status::Ok();
+  }
+
+  Result<Bytes> Read() override {
+    std::lock_guard<std::mutex> lock(incoming_->mutex);
+    if (incoming_->queue.empty()) {
+      if (incoming_->closed) {
+        return Error(ErrorCode::kClosed, "peer closed");
+      }
+      return Bytes{};
+    }
+    Bytes out(incoming_->queue.begin(), incoming_->queue.end());
+    incoming_->queue.clear();
+    return out;
+  }
+
+  void Close() override {
+    {
+      std::lock_guard<std::mutex> lock(outgoing_->mutex);
+      outgoing_->closed = true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(incoming_->mutex);
+      incoming_->closed = true;
+    }
+    closed_ = true;
+  }
+
+  bool closed() const override { return closed_; }
+
+ private:
+  std::shared_ptr<Channel> outgoing_;
+  std::shared_ptr<Channel> incoming_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+TransportPair MakeInMemoryPair() {
+  auto a_to_b = std::make_shared<Channel>();
+  auto b_to_a = std::make_shared<Channel>();
+  TransportPair pair;
+  pair.first = std::make_unique<InMemoryTransport>(a_to_b, b_to_a);
+  pair.second = std::make_unique<InMemoryTransport>(b_to_a, a_to_b);
+  return pair;
+}
+
+}  // namespace sww::net

@@ -1,0 +1,66 @@
+#include "net/pump.hpp"
+
+namespace sww::net {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+Result<PumpResult> PumpOnce(http2::Connection& connection, Transport& transport) {
+  PumpResult result;
+  if (connection.HasOutput()) {
+    util::Bytes out = connection.TakeOutput();
+    if (Status status = transport.Write(out); !status.ok()) {
+      return status.error();
+    }
+    result.made_progress = true;
+  }
+  auto incoming = transport.Read();
+  if (!incoming) {
+    if (incoming.error().code == ErrorCode::kClosed) {
+      result.peer_closed = true;
+      return result;
+    }
+    return incoming.error();
+  }
+  if (!incoming.value().empty()) {
+    if (Status status = connection.Receive(incoming.value()); !status.ok()) {
+      // Flush the GOAWAY the connection queued before reporting.
+      if (connection.HasOutput()) {
+        (void)transport.Write(connection.TakeOutput());
+      }
+      return status.error();
+    }
+    result.made_progress = true;
+  }
+  return result;
+}
+
+Status PumpUntilQuiet(http2::Connection& connection, Transport& transport,
+                      int max_rounds) {
+  for (int round = 0; round < max_rounds; ++round) {
+    auto result = PumpOnce(connection, transport);
+    if (!result) return result.error();
+    if (!result.value().made_progress) return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+void DirectLinkExchange(http2::Connection& a, http2::Connection& b,
+                        int max_rounds) {
+  for (int round = 0; round < max_rounds; ++round) {
+    bool progress = false;
+    if (a.HasOutput()) {
+      (void)b.Receive(a.TakeOutput());
+      progress = true;
+    }
+    if (b.HasOutput()) {
+      (void)a.Receive(b.TakeOutput());
+      progress = true;
+    }
+    if (!progress) return;
+  }
+}
+
+}  // namespace sww::net

@@ -1,0 +1,211 @@
+#include "net/reliable_link.hpp"
+
+#include <algorithm>
+
+namespace sww::net {
+
+using util::ByteReader;
+using util::Bytes;
+using util::BytesView;
+using util::ByteWriter;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+constexpr std::uint8_t kTypeData = 0x01;
+constexpr std::uint8_t kTypeAck = 0x02;
+}  // namespace
+
+void LossyChannel::Send(Bytes datagram) {
+  ++sent_;
+  if (rng_.NextDouble() < profile_.loss_rate) {
+    ++dropped_;
+    return;
+  }
+  const bool duplicate = rng_.NextDouble() < profile_.duplicate_rate;
+  if (rng_.NextDouble() < profile_.reorder_rate) {
+    delayed_.push_back(datagram);
+  } else {
+    queue_.push_back(datagram);
+  }
+  if (duplicate) {
+    ++duplicated_;
+    queue_.push_back(std::move(datagram));
+  }
+}
+
+std::vector<Bytes> LossyChannel::Deliver() {
+  std::vector<Bytes> out;
+  out.reserve(queue_.size() + delayed_.size());
+  for (Bytes& datagram : queue_) out.push_back(std::move(datagram));
+  queue_.clear();
+  // Delayed datagrams arrive one slot later: move them into the queue for
+  // the next delivery round.
+  for (Bytes& datagram : delayed_) queue_.push_back(std::move(datagram));
+  delayed_.clear();
+  return out;
+}
+
+ReliableLink::ReliableLink(std::shared_ptr<LossyChannel> outgoing,
+                           std::shared_ptr<LossyChannel> incoming,
+                           Options options)
+    : options_(options),
+      outgoing_(std::move(outgoing)),
+      incoming_(std::move(incoming)) {}
+
+ReliableLink::ReliableLink(std::shared_ptr<LossyChannel> outgoing,
+                           std::shared_ptr<LossyChannel> incoming)
+    : ReliableLink(std::move(outgoing), std::move(incoming), Options{}) {}
+
+Status ReliableLink::Write(BytesView bytes) {
+  if (closed_) return Error(ErrorCode::kClosed, "reliable link closed");
+  send_buffer_.insert(send_buffer_.end(), bytes.begin(), bytes.end());
+  FlushSendWindow();
+  return Status::Ok();
+}
+
+Result<Bytes> ReliableLink::Read() {
+  if (closed_ && deliverable_.empty()) {
+    return Error(ErrorCode::kClosed, "reliable link closed");
+  }
+  ProcessIncoming();
+  Bytes out = std::move(deliverable_);
+  deliverable_.clear();
+  return out;
+}
+
+void ReliableLink::Close() { closed_ = true; }
+
+void ReliableLink::FlushSendWindow() {
+  while (!send_buffer_.empty() &&
+         in_flight_.size() < options_.window_segments) {
+    const std::size_t take =
+        std::min(options_.segment_bytes, send_buffer_.size());
+    InFlight segment;
+    segment.offset = next_send_offset_;
+    segment.data.assign(send_buffer_.begin(),
+                        send_buffer_.begin() + static_cast<std::ptrdiff_t>(take));
+    send_buffer_.erase(send_buffer_.begin(),
+                       send_buffer_.begin() + static_cast<std::ptrdiff_t>(take));
+    next_send_offset_ += take;
+
+    ByteWriter writer(take + 16);
+    writer.WriteU8(kTypeData);
+    writer.WriteU64(segment.offset);
+    writer.WriteU16(static_cast<std::uint16_t>(segment.data.size()));
+    writer.WriteBytes(segment.data);
+    outgoing_->Send(std::move(writer).TakeBytes());
+    ++stats_.segments_sent;
+    in_flight_[segment.offset] = std::move(segment);
+  }
+}
+
+void ReliableLink::SendAck() {
+  ByteWriter writer(9);
+  writer.WriteU8(kTypeAck);
+  writer.WriteU64(delivered_until_);
+  outgoing_->Send(std::move(writer).TakeBytes());
+  ++stats_.acks_sent;
+  ack_pending_ = false;
+}
+
+void ReliableLink::ProcessIncoming() {
+  for (const Bytes& datagram : incoming_->Deliver()) {
+    ByteReader reader(datagram);
+    auto type = reader.ReadU8();
+    if (!type) continue;  // runt datagram: drop
+    if (type.value() == kTypeAck) {
+      auto ack_until = reader.ReadU64();
+      if (!ack_until) continue;
+      acked_until_ = std::max(acked_until_, ack_until.value());
+      for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+        if (it->first + it->second.data.size() <= acked_until_) {
+          it = in_flight_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      continue;
+    }
+    if (type.value() != kTypeData) continue;
+    auto offset = reader.ReadU64();
+    auto length = reader.ReadU16();
+    if (!offset || !length) continue;
+    auto payload = reader.ReadBytes(length.value());
+    if (!payload) continue;
+    if (offset.value() + length.value() <= delivered_until_) {
+      // Pure duplicate of delivered data: re-ACK so the sender advances.
+      ack_pending_ = true;
+      continue;
+    }
+    if (offset.value() != delivered_until_) ++stats_.out_of_order;
+    reorder_buffer_[offset.value()] =
+        Bytes(payload.value().begin(), payload.value().end());
+    ack_pending_ = true;
+  }
+
+  // Deliver contiguous data.
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (auto it = reorder_buffer_.begin(); it != reorder_buffer_.end();) {
+      const std::uint64_t offset = it->first;
+      const Bytes& data = it->second;
+      if (offset + data.size() <= delivered_until_) {
+        it = reorder_buffer_.erase(it);  // fully stale
+        continue;
+      }
+      if (offset <= delivered_until_) {
+        const std::size_t skip =
+            static_cast<std::size_t>(delivered_until_ - offset);
+        deliverable_.insert(deliverable_.end(), data.begin() + static_cast<std::ptrdiff_t>(skip),
+                            data.end());
+        delivered_until_ = offset + data.size();
+        it = reorder_buffer_.erase(it);
+        advanced = true;
+        continue;
+      }
+      ++it;
+    }
+  }
+  if (ack_pending_) SendAck();
+}
+
+void ReliableLink::Tick() {
+  ProcessIncoming();
+  // Retransmit timed-out segments — bounded per tick so one lost segment
+  // blocking the cumulative ACK does not trigger a go-back-N storm.
+  int retransmit_budget = 4;
+  for (auto& [offset, segment] : in_flight_) {
+    (void)offset;
+    if (retransmit_budget == 0) break;
+    if (++segment.ticks_since_sent >= options_.retransmit_after_ticks) {
+      --retransmit_budget;
+      ByteWriter writer(segment.data.size() + 16);
+      writer.WriteU8(kTypeData);
+      writer.WriteU64(segment.offset);
+      writer.WriteU16(static_cast<std::uint16_t>(segment.data.size()));
+      writer.WriteBytes(segment.data);
+      outgoing_->Send(std::move(writer).TakeBytes());
+      segment.ticks_since_sent = 0;
+      ++stats_.retransmissions;
+    }
+  }
+  FlushSendWindow();
+}
+
+ReliablePair MakeReliablePair(LossyChannel::Profile profile,
+                              ReliableLink::Options options) {
+  ReliablePair pair;
+  LossyChannel::Profile reverse = profile;
+  reverse.seed = profile.seed ^ 0x9e3779b97f4a7c15ULL;
+  pair.a_to_b = std::make_shared<LossyChannel>(profile);
+  pair.b_to_a = std::make_shared<LossyChannel>(reverse);
+  pair.first = std::make_unique<ReliableLink>(pair.a_to_b, pair.b_to_a, options);
+  pair.second = std::make_unique<ReliableLink>(pair.b_to_a, pair.a_to_b, options);
+  return pair;
+}
+
+}  // namespace sww::net

@@ -1,0 +1,144 @@
+// reliable_link.hpp — a reliable byte stream over a lossy datagram link.
+//
+// §3.1 of the paper: "as HTTP/3 adoption is increasing, future SWW will
+// require HTTP/3 support.  We believe that similar use of SETTINGS under
+// HTTP/3 can allow to advertise client-server GenAI capabilities."
+// HTTP/3 runs over QUIC, i.e. over an unreliable datagram substrate.  This
+// module builds that substrate's essential half: a QUIC-style reliable,
+// ordered byte stream over a datagram channel with loss, reordering and
+// duplication — enough to demonstrate that the SETTINGS_GEN_ABILITY
+// negotiation (and full SWW page delivery) survives a lossy network.
+//
+// Design (deliberately QUIC-shaped, deliberately not QUIC):
+//   * data is carried in numbered segments (packet number, offset, bytes),
+//   * the receiver reassembles by offset and returns cumulative ACKs,
+//   * the sender retransmits unacknowledged segments after a tick-based
+//     timeout (time is virtual: callers pump Tick(), keeping tests
+//     deterministic),
+//   * flow is bounded by a fixed in-flight window.
+//
+// The result implements net::Transport, so the whole HTTP/2-based SWW
+// stack runs over it unchanged.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace sww::net {
+
+/// One direction of the datagram substrate: applies loss, duplication and
+/// reordering to queued datagrams, deterministically from a seed.
+class LossyChannel {
+ public:
+  struct Profile {
+    double loss_rate = 0.0;        ///< probability a datagram vanishes
+    double duplicate_rate = 0.0;   ///< probability it is delivered twice
+    double reorder_rate = 0.0;     ///< probability it is delayed one slot
+    std::uint64_t seed = 1;
+  };
+
+  explicit LossyChannel(Profile profile)
+      : profile_(profile), rng_(profile.seed) {}
+
+  void Send(util::Bytes datagram);
+  /// Datagrams currently deliverable (drains the queue).
+  std::vector<util::Bytes> Deliver();
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+
+ private:
+  Profile profile_;
+  util::Rng rng_;
+  std::deque<util::Bytes> queue_;
+  std::deque<util::Bytes> delayed_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+};
+
+/// A reliable, ordered transport endpoint over two LossyChannels.
+class ReliableLink final : public Transport {
+ public:
+  struct Options {
+    std::size_t segment_bytes = 1200;   ///< datagram payload size (MTU-ish)
+    int retransmit_after_ticks = 5;
+    std::size_t window_segments = 64;   ///< unacked segments in flight
+  };
+
+  ReliableLink(std::shared_ptr<LossyChannel> outgoing,
+               std::shared_ptr<LossyChannel> incoming, Options options);
+  /// Default options overload (defined out of line: a nested class with
+  /// default member initializers cannot appear as `= {}` inside its own
+  /// enclosing class definition).
+  ReliableLink(std::shared_ptr<LossyChannel> outgoing,
+               std::shared_ptr<LossyChannel> incoming);
+
+  // Transport:
+  util::Status Write(util::BytesView bytes) override;
+  util::Result<util::Bytes> Read() override;
+  void Close() override;
+  bool closed() const override { return closed_; }
+
+  /// Advance virtual time: flush sendable segments, process incoming
+  /// datagrams, emit ACKs, retransmit timed-out segments.  Tests and pumps
+  /// call this; it is what stands in for the event loop.
+  void Tick();
+
+  struct Stats {
+    std::uint64_t segments_sent = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t out_of_order = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void FlushSendWindow();
+  void ProcessIncoming();
+  void SendAck();
+
+  struct InFlight {
+    std::uint64_t offset;
+    util::Bytes data;
+    int ticks_since_sent = 0;
+  };
+
+  Options options_;
+  std::shared_ptr<LossyChannel> outgoing_;
+  std::shared_ptr<LossyChannel> incoming_;
+
+  // Send side.
+  util::Bytes send_buffer_;            // not yet segmented
+  std::uint64_t next_send_offset_ = 0; // stream offset of send_buffer_[0]
+  std::map<std::uint64_t, InFlight> in_flight_;
+  std::uint64_t acked_until_ = 0;
+
+  // Receive side.
+  std::map<std::uint64_t, util::Bytes> reorder_buffer_;
+  std::uint64_t delivered_until_ = 0;
+  util::Bytes deliverable_;
+  bool ack_pending_ = false;
+
+  bool closed_ = false;
+  Stats stats_;
+};
+
+/// A connected pair of ReliableLinks over symmetric lossy channels.
+struct ReliablePair {
+  std::shared_ptr<LossyChannel> a_to_b;
+  std::shared_ptr<LossyChannel> b_to_a;
+  std::unique_ptr<ReliableLink> first;
+  std::unique_ptr<ReliableLink> second;
+};
+
+ReliablePair MakeReliablePair(LossyChannel::Profile profile,
+                              ReliableLink::Options options = {});
+
+}  // namespace sww::net

@@ -1,0 +1,164 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace sww::net {
+
+using util::Bytes;
+using util::BytesView;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Error(ErrorCode::kIo, std::string("fcntl: ") + ::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpTransport::~TcpTransport() { Close(); }
+
+Status TcpTransport::Write(BytesView bytes) {
+  if (fd_ < 0) return Error(ErrorCode::kClosed, "tcp transport closed");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Wait for writability; loopback drains quickly.
+      struct pollfd pfd{fd_, POLLOUT, 0};
+      ::poll(&pfd, 1, 1000);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Error(ErrorCode::kIo, std::string("send: ") + ::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> TcpTransport::Read() {
+  if (fd_ < 0) return Error(ErrorCode::kClosed, "tcp transport closed");
+  Bytes out;
+  char buffer[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      out.insert(out.end(), buffer, buffer + n);
+      continue;
+    }
+    if (n == 0) {
+      // Orderly shutdown by the peer.
+      if (out.empty()) return Error(ErrorCode::kClosed, "peer closed");
+      return out;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return out;
+    if (errno == EINTR) continue;
+    return Error(ErrorCode::kIo, std::string("recv: ") + ::strerror(errno));
+  }
+}
+
+void TcpTransport::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error(ErrorCode::kIo, std::string("socket: ") + ::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Error(ErrorCode::kIo, std::string("bind: ") + ::strerror(errno));
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    return Error(ErrorCode::kIo, std::string("listen: ") + ::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return Error(ErrorCode::kIo, std::string("getsockname: ") + ::strerror(errno));
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+Result<std::unique_ptr<Transport>> TcpListener::Accept(int timeout_ms) {
+  struct pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    return Error(ErrorCode::kIo, std::string("poll: ") + ::strerror(errno));
+  }
+  if (ready == 0) {
+    return Error(ErrorCode::kIo, "accept timed out");
+  }
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return Error(ErrorCode::kIo, std::string("accept: ") + ::strerror(errno));
+  }
+  if (auto status = SetNonBlocking(client); !status.ok()) {
+    ::close(client);
+    return status.error();
+  }
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(client));
+}
+
+Result<std::unique_ptr<Transport>> TcpConnect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error(ErrorCode::kIo, std::string("socket: ") + ::strerror(errno));
+  }
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Error(ErrorCode::kIo, std::string("connect: ") + ::strerror(errno));
+  }
+  if (auto status = SetNonBlocking(fd); !status.ok()) {
+    ::close(fd);
+    return status.error();
+  }
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+}
+
+}  // namespace sww::net

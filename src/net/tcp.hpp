@@ -1,0 +1,58 @@
+// tcp.hpp — loopback TCP transport (POSIX sockets).
+//
+// Used by the examples and integration tests to run the generative server
+// and client as genuinely separate endpoints over the kernel's TCP stack.
+// Non-blocking sockets; Read drains whatever the kernel has buffered.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.hpp"
+#include "util/error.hpp"
+
+namespace sww::net {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Takes ownership of a connected, non-blocking socket fd.
+  explicit TcpTransport(int fd);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  util::Status Write(util::BytesView bytes) override;
+  util::Result<util::Bytes> Read() override;
+  void Close() override;
+  bool closed() const override { return fd_ < 0; }
+
+ private:
+  int fd_;
+};
+
+/// Listening socket bound to 127.0.0.1.  Port 0 picks a free port.
+class TcpListener {
+ public:
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  static util::Result<std::unique_ptr<TcpListener>> Bind(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+
+  /// Accept one connection, blocking up to `timeout_ms` (-1 = forever).
+  util::Result<std::unique_ptr<Transport>> Accept(int timeout_ms = -1);
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  int fd_;
+  std::uint16_t port_;
+};
+
+/// Connect to 127.0.0.1:port.
+util::Result<std::unique_ptr<Transport>> TcpConnect(std::uint16_t port);
+
+}  // namespace sww::net

@@ -1,0 +1,91 @@
+// bytes.hpp — byte buffer primitives shared by the protocol stack.
+//
+// HTTP/2 and HPACK are big-endian binary formats; these readers/writers keep
+// all byte-order handling in one audited place (Core Guidelines ES.100-ish:
+// keep low-level bit fiddling contained).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sww::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Convert between strings and byte vectors (bytes are not text, but header
+/// values and HTML bodies cross that boundary constantly).
+Bytes ToBytes(std::string_view text);
+std::string ToString(BytesView bytes);
+
+/// Hex dump for logs/tests: "00 01 ff ..." (lowercase, space separated).
+std::string HexDump(BytesView bytes);
+
+/// Parse a hex dump produced by HexDump (whitespace tolerant).
+Result<Bytes> FromHex(std::string_view hex);
+
+/// Appends big-endian fixed-width integers and raw bytes to a growing buffer.
+/// All HTTP/2 frame serialization goes through this type.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void WriteU8(std::uint8_t v);
+  void WriteU16(std::uint16_t v);
+  void WriteU24(std::uint32_t v);  ///< low 24 bits, big-endian (frame length)
+  void WriteU32(std::uint32_t v);
+  void WriteU64(std::uint64_t v);
+  void WriteBytes(BytesView bytes);
+  void WriteString(std::string_view text);
+
+  std::size_t size() const { return buffer_.size(); }
+  const Bytes& bytes() const& { return buffer_; }
+  Bytes TakeBytes() && { return std::move(buffer_); }
+
+  /// Overwrite previously written bytes (e.g. patch a length field after the
+  /// payload size is known).  `offset + width` must be within size().
+  void PatchU24(std::size_t offset, std::uint32_t v);
+
+ private:
+  Bytes buffer_;
+};
+
+/// Sequential big-endian reader over a borrowed byte span.  All Read*
+/// methods return kTruncated errors instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView bytes) : bytes_(bytes) {}
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+  std::size_t offset() const { return offset_; }
+  bool empty() const { return remaining() == 0; }
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint16_t> ReadU16();
+  Result<std::uint32_t> ReadU24();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  /// Borrow `count` bytes (view valid while the underlying buffer lives).
+  Result<BytesView> ReadBytes(std::size_t count);
+  /// Copy `count` bytes into a string.
+  Result<std::string> ReadString(std::size_t count);
+  /// Peek one byte without consuming.
+  Result<std::uint8_t> PeekU8() const;
+  /// Skip `count` bytes.
+  Status Skip(std::size_t count);
+  /// View of everything not yet consumed.
+  BytesView Rest() const { return bytes_.subspan(offset_); }
+
+ private:
+  BytesView bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace sww::util

@@ -1,0 +1,133 @@
+// error.hpp — lightweight Result<T> for recoverable, protocol-level errors.
+//
+// Following the C++ Core Guidelines (I.10 / E.*) we use exceptions for
+// programming errors and unrecoverable failures, but network protocol code
+// routinely encounters *expected* failures (malformed frame from a peer,
+// truncated input, negotiation mismatch).  Those travel as values through
+// Result<T>, so the hot parsing path never throws.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sww::util {
+
+/// Broad error domains used across the library.
+enum class ErrorCode : std::uint8_t {
+  kNone = 0,
+  kTruncated,        ///< input ended before a complete element was parsed
+  kMalformed,        ///< syntactically invalid input
+  kProtocol,         ///< violates protocol state rules (HTTP/2 PROTOCOL_ERROR)
+  kCompression,      ///< HPACK decoding failure (HTTP/2 COMPRESSION_ERROR)
+  kFlowControl,      ///< window violation (HTTP/2 FLOW_CONTROL_ERROR)
+  kFrameSize,        ///< frame exceeds negotiated bounds
+  kUnsupported,      ///< feature not negotiated / not implemented
+  kNotFound,         ///< named resource missing
+  kClosed,           ///< operation on a closed stream/connection/transport
+  kIo,               ///< transport I/O failure
+  kInvalidArgument,  ///< caller passed an out-of-domain value
+  kInternal,         ///< invariant violation that we chose to surface softly
+};
+
+/// Human-readable name of an ErrorCode, for logs and test failure messages.
+constexpr const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kCompression: return "compression";
+    case ErrorCode::kFlowControl: return "flow_control";
+    case ErrorCode::kFrameSize: return "frame_size";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kClosed: return "closed";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A concrete error: domain code plus a context message.
+struct Error {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+
+  Error() = default;
+  Error(ErrorCode c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  std::string ToString() const {
+    return std::string(ErrorCodeName(code)) + ": " + message;
+  }
+};
+
+/// Minimal expected-like result type.  Holds either a T or an Error.
+///
+///   Result<Frame> r = ParseFrame(bytes);
+///   if (!r) return r.error();
+///   use(r.value());
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}          // NOLINT implicit
+  Result(Error error) : storage_(std::move(error)) {}      // NOLINT implicit
+  Result(ErrorCode code, std::string msg)
+      : storage_(Error(code, std::move(msg))) {}
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Access the value; throws std::logic_error if this holds an error
+  /// (that is a programming bug, hence an exception per I.10).
+  T& value() & {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().ToString());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().ToString());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().ToString());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error on value");
+    return std::get<Error>(storage_);
+  }
+
+  /// Value or a caller-provided fallback.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(storage_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Specialization-free void result: optional error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                     // OK
+  Status(Error error) : error_(std::move(error)) {}       // NOLINT implicit
+  Status(ErrorCode code, std::string msg) : error_(Error(code, std::move(msg))) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error on OK status");
+    return *error_;
+  }
+  std::string ToString() const { return ok() ? "ok" : error_->ToString(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace sww::util

@@ -1,0 +1,5 @@
+#include "util/hash.hpp"
+
+// Header-only; this TU exists so the target has a stable archive member and a
+// place for future non-inline additions.
+namespace sww::util {}

@@ -1,0 +1,37 @@
+// hash.hpp — stable, portable hashing.
+//
+// std::hash gives no cross-platform stability guarantee; the GenAI simulators
+// and the metric embeddings need hashes that are identical everywhere so
+// generated content and scores are reproducible.  FNV-1a is simple, fast and
+// well understood.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sww::util {
+
+/// 64-bit FNV-1a over a string.
+constexpr std::uint64_t Fnv1a64(std::string_view data,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Mix two hashes into one (boost::hash_combine style, 64-bit constants).
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+/// Map a hash to a unit-interval double — handy for derived pseudo-random
+/// but deterministic per-token attributes.
+constexpr double HashToUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace sww::util

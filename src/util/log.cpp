@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace sww::util {
+
+namespace {
+std::mutex g_log_mutex;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view component, std::string_view message) {
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", LogLevelName(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  };
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Sink Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  Sink previous = std::move(sink_);
+  sink_ = std::move(sink);
+  return previous;
+}
+
+void Logger::Log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (sink_) sink_(level, component, message);
+}
+
+void LogDebug(std::string_view component, std::string_view message) {
+  Logger::Instance().Log(LogLevel::kDebug, component, message);
+}
+void LogInfo(std::string_view component, std::string_view message) {
+  Logger::Instance().Log(LogLevel::kInfo, component, message);
+}
+void LogWarn(std::string_view component, std::string_view message) {
+  Logger::Instance().Log(LogLevel::kWarn, component, message);
+}
+void LogError(std::string_view component, std::string_view message) {
+  Logger::Instance().Log(LogLevel::kError, component, message);
+}
+
+}  // namespace sww::util

@@ -1,0 +1,44 @@
+// log.hpp — minimal leveled logger.
+//
+// The protocol stack logs negotiation events (the paper's client "logs the
+// server's ability", §5.2); tests capture the sink to assert on them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace sww::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// Process-wide logger.  Default sink writes "[level] component: message" to
+/// stderr for warn/error only; tests can install a capturing sink.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  /// Replace the sink; returns the previous one so tests can restore it.
+  Sink SetSink(Sink sink);
+
+  void Log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+void LogDebug(std::string_view component, std::string_view message);
+void LogInfo(std::string_view component, std::string_view message);
+void LogWarn(std::string_view component, std::string_view message);
+void LogError(std::string_view component, std::string_view message);
+
+}  // namespace sww::util

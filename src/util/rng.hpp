@@ -1,0 +1,63 @@
+// rng.hpp — deterministic random number generation.
+//
+// Everything in the GenAI simulation layer must be reproducible: the same
+// prompt + seed must generate the same image bytes on every run so tests and
+// benchmarks are stable.  We use SplitMix64 (seed expansion) feeding
+// xoshiro256** (stream), both public-domain algorithms, instead of std::mt19937
+// whose distributions are not bit-stable across standard library versions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sww::util {
+
+/// SplitMix64: a tiny, high-quality mixer, used to expand a single 64-bit
+/// seed into the 256-bit xoshiro state and as a standalone stateless hash.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna — fast, tiny-state, well-distributed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64();
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t NextBounded(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in [lo, hi).
+  double NextRange(double lo, double hi);
+  /// Standard normal via Box-Muller (cached spare value).
+  double NextGaussian();
+  /// Gaussian with mean/stddev.
+  double NextGaussian(double mean, double stddev);
+  /// Bernoulli with probability p.
+  bool NextBool(double p = 0.5);
+  /// Pick an index in [0, size) — convenience for element selection.
+  std::size_t NextIndex(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace sww::util

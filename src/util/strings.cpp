@@ -1,0 +1,120 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sww::util {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::size_t CountWords(std::string_view text) {
+  return SplitWhitespace(text).size();
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace sww::util

@@ -1,0 +1,106 @@
+#include "video/streaming.hpp"
+
+#include <cmath>
+
+#include "energy/network.hpp"
+#include "http2/settings.hpp"
+
+namespace sww::video {
+
+const char* ResolutionName(Resolution resolution) {
+  switch (resolution) {
+    case Resolution::k480p: return "480p";
+    case Resolution::kHD: return "HD";
+    case Resolution::k4K: return "4K";
+  }
+  return "?";
+}
+
+double GigabytesPerHour(Resolution resolution, int fps) {
+  // Paper anchors (at 60 fps): 4K = 7 GB/h, HD = 3 GB/h.  480p follows the
+  // same ≈2.3× per-tier ratio.  Frame rate scales linearly (60→30 halves).
+  double at60 = 0.0;
+  switch (resolution) {
+    case Resolution::k4K: at60 = 7.0; break;
+    case Resolution::kHD: at60 = 3.0; break;
+    case Resolution::k480p: at60 = 3.0 / 2.3; break;
+  }
+  return at60 * (static_cast<double>(fps) / 60.0);
+}
+
+std::vector<Variant> StandardLadder() {
+  std::vector<Variant> ladder;
+  for (Resolution resolution :
+       {Resolution::k480p, Resolution::kHD, Resolution::k4K}) {
+    for (int fps : {30, 60}) {
+      Variant variant;
+      variant.resolution = resolution;
+      variant.fps = fps;
+      variant.gb_per_hour = GigabytesPerHour(resolution, fps);
+      variant.name = std::string(ResolutionName(resolution)) +
+                     std::to_string(fps);
+      ladder.push_back(variant);
+    }
+  }
+  return ladder;
+}
+
+DeliveryPlan Negotiate(const PlaybackTarget& target, std::uint32_t gen_ability) {
+  DeliveryPlan plan;
+  plan.baseline_gb_per_hour = GigabytesPerHour(target.resolution, target.fps);
+
+  Resolution ship_resolution = target.resolution;
+  int ship_fps = target.fps;
+
+  // Upscaling covers exactly one resolution tier (HD→4K, 480p→HD) — the
+  // operating point of shipping super-resolution (§3.2's RTX VSR).
+  if ((gen_ability & http2::kGenAbilityUpscaleOnly) != 0) {
+    if (ship_resolution == Resolution::k4K) {
+      ship_resolution = Resolution::kHD;
+      plan.client_upscales = true;
+    } else if (ship_resolution == Resolution::kHD) {
+      ship_resolution = Resolution::k480p;
+      plan.client_upscales = true;
+    }
+  }
+  // Frame-rate boosting restores 60 from 30 fps.
+  if ((gen_ability & http2::kGenAbilityFrameRateBoost) != 0 && ship_fps == 60) {
+    ship_fps = 30;
+    plan.client_boosts_frame_rate = true;
+  }
+
+  plan.transmitted.resolution = ship_resolution;
+  plan.transmitted.fps = ship_fps;
+  plan.transmitted.gb_per_hour = GigabytesPerHour(ship_resolution, ship_fps);
+  plan.transmitted.name =
+      std::string(ResolutionName(ship_resolution)) + std::to_string(ship_fps);
+  plan.planned_gb_per_hour = plan.transmitted.gb_per_hour;
+  return plan;
+}
+
+StreamingReport SimulateStreaming(const DeliveryPlan& plan, double hours) {
+  StreamingReport report;
+  report.hours = hours;
+  report.transmitted_gb = plan.planned_gb_per_hour * hours;
+  report.baseline_gb = plan.baseline_gb_per_hour * hours;
+  report.saved_gb = report.baseline_gb - report.transmitted_gb;
+
+  const double seconds = hours * 3600.0;
+  if (plan.client_boosts_frame_rate) {
+    // One synthesized frame for every transmitted frame (30 → 60 fps).
+    report.frames_interpolated =
+        static_cast<std::uint64_t>(seconds * plan.transmitted.fps);
+  }
+  if (plan.client_upscales) {
+    const double output_fps = plan.client_boosts_frame_rate
+                                  ? plan.transmitted.fps * 2.0
+                                  : plan.transmitted.fps;
+    report.frames_upscaled = static_cast<std::uint64_t>(seconds * output_fps);
+  }
+  report.transmission_energy_saved_wh =
+      energy::TransmissionEnergyWh(static_cast<std::uint64_t>(
+          std::max(0.0, report.saved_gb) * 1e9));
+  return report;
+}
+
+}  // namespace sww::video

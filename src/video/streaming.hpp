@@ -1,0 +1,87 @@
+// streaming.hpp — video streaming over SWW negotiation (§3.2).
+//
+// "Video streaming protocols, such as HTTP Live Streaming (HLS) and
+// MPEG-DASH, run on top of HTTP.  The proposed modifications to HTTP ...
+// can be applied also to negotiate generation abilities also for video
+// streaming ... Sending content at a lower frame rate or lower resolution
+// has a direct effect on data savings: moving from 60fps to 30fps will
+// half the data, and from 4K to high definition can save 2.3× data,
+// turning 7GB/hour into 3GB/hour."
+//
+// This module models an HLS-like ladder of variants and the negotiation:
+// a client advertising kGenAbilityFrameRateBoost can reconstruct 60 fps
+// from a 30 fps stream (AMD Fluid Motion Frames / RTX-style interpolation);
+// one advertising kGenAbilityUpscaleOnly can reconstruct 4K from HD
+// (RTX Video Super Resolution-style).  The server then ships the cheapest
+// variant the client can restore to the requested experience.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sww::video {
+
+enum class Resolution { k480p, kHD, k4K };
+
+const char* ResolutionName(Resolution resolution);
+
+/// Data rate model anchored on the paper's Netflix figures:
+/// 4K ≈ 7 GB/hour, HD ≈ 3 GB/hour (2.33× apart), 480p scaled down by the
+/// same pixel-count law; frame rate scales data linearly with 60 fps as
+/// the anchor.
+double GigabytesPerHour(Resolution resolution, int fps);
+
+struct Variant {
+  Resolution resolution;
+  int fps;
+  double gb_per_hour;
+  std::string name;  // e.g. "4k60"
+};
+
+/// The encoding ladder a server offers.
+std::vector<Variant> StandardLadder();
+
+/// What the viewer asked to experience.
+struct PlaybackTarget {
+  Resolution resolution = Resolution::k4K;
+  int fps = 60;
+};
+
+/// The negotiated plan: which variant is transmitted and which client-side
+/// reconstructions restore the target.
+struct DeliveryPlan {
+  Variant transmitted;
+  bool client_upscales = false;        ///< HD→4K (or 480p→HD) on device
+  bool client_boosts_frame_rate = false;  ///< 30→60 fps on device
+  double baseline_gb_per_hour = 0.0;   ///< target shipped directly
+  double planned_gb_per_hour = 0.0;
+
+  double DataSavingsFactor() const {
+    return planned_gb_per_hour <= 0.0
+               ? 0.0
+               : baseline_gb_per_hour / planned_gb_per_hour;
+  }
+};
+
+/// Negotiate the cheapest deliverable variant for a client advertising
+/// `gen_ability` (bit set from http2::GenAbility).  A naïve client (0)
+/// receives the target variant unchanged.
+DeliveryPlan Negotiate(const PlaybackTarget& target, std::uint32_t gen_ability);
+
+/// Simulate streaming `hours` of playback under a plan: bytes shipped,
+/// bytes saved, and the per-device reconstruction workload (frames
+/// interpolated / upscaled, at sub-second per-frame cost per §2.2).
+struct StreamingReport {
+  double hours = 0.0;
+  double transmitted_gb = 0.0;
+  double baseline_gb = 0.0;
+  double saved_gb = 0.0;
+  std::uint64_t frames_interpolated = 0;
+  std::uint64_t frames_upscaled = 0;
+  double transmission_energy_saved_wh = 0.0;
+};
+
+StreamingReport SimulateStreaming(const DeliveryPlan& plan, double hours);
+
+}  // namespace sww::video

@@ -1,0 +1,161 @@
+// Tests for the CDN substrate (§2.2's prompt-mode edge caching).
+#include <gtest/gtest.h>
+
+#include "cdn/simulator.hpp"
+
+namespace sww::cdn {
+namespace {
+
+genai::ImageModelSpec Sd3() {
+  return genai::FindImageModel(genai::kSd3Medium).value();
+}
+genai::TextModelSpec R1() {
+  return genai::FindTextModel(genai::kDeepseek8b).value();
+}
+
+CatalogOptions SmallCatalog() {
+  CatalogOptions options;
+  options.item_count = 500;
+  options.seed = 5;
+  return options;
+}
+
+TEST(Catalog, SyntheticPopulationShape) {
+  const Catalog catalog = Catalog::MakeSynthetic(SmallCatalog());
+  EXPECT_EQ(catalog.size(), 500u);
+  std::size_t unique = 0, text = 0;
+  for (const CatalogItem& item : catalog.items()) {
+    if (item.unique) ++unique;
+    if (!item.is_image) ++text;
+    EXPECT_GT(item.content_bytes, 0u);
+    EXPECT_GT(item.prompt_bytes, 0u);
+    // The prompt form is always (much) smaller than the content form.
+    EXPECT_LT(item.prompt_bytes, item.content_bytes * 2);
+  }
+  EXPECT_NEAR(static_cast<double>(unique) / 500.0, 0.15, 0.06);
+  EXPECT_NEAR(static_cast<double>(text) / 500.0, 0.25, 0.07);
+}
+
+TEST(Catalog, PromptModeStorageIsMuchSmaller) {
+  const Catalog catalog = Catalog::MakeSynthetic(SmallCatalog());
+  EXPECT_GT(catalog.TotalContentBytes(),
+            catalog.TotalPromptModeBytes() * 5);
+}
+
+TEST(Catalog, ZipfSamplingIsSkewed) {
+  const Catalog catalog = Catalog::MakeSynthetic(SmallCatalog());
+  util::Rng rng(123);
+  std::size_t head_hits = 0;
+  const std::uint64_t draws = 20000;
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    if (catalog.SampleRequest(rng) < 50) ++head_hits;  // top 10% of items
+  }
+  // Under Zipf(0.9) the head takes far more than its uniform 10% share.
+  EXPECT_GT(static_cast<double>(head_hits) / draws, 0.35);
+}
+
+TEST(EdgeNode, LruHitMissEviction) {
+  CatalogItem a{/*id=*/1, true, 256, 256, 0, 200, 8192, false, 1.0};
+  CatalogItem b{/*id=*/2, true, 256, 256, 0, 200, 8192, false, 1.0};
+  EdgeNode edge(EdgeMode::kContentMode, /*budget=*/10000, Sd3(), R1());
+  edge.ServeRequest(a);                       // miss, cached
+  edge.ServeRequest(a);                       // hit
+  edge.ServeRequest(b);                       // miss, evicts a (8192+8192>10000)
+  edge.ServeRequest(a);                       // miss again
+  EXPECT_EQ(edge.stats().requests, 4u);
+  EXPECT_EQ(edge.stats().hits, 1u);
+  EXPECT_EQ(edge.stats().misses, 3u);
+  EXPECT_GE(edge.stats().evictions, 1u);
+  EXPECT_LE(edge.stored_bytes(), 10000u);
+}
+
+TEST(EdgeNode, PromptModeCachesPromptsAndGeneratesOnHit) {
+  CatalogItem item{/*id=*/1, true, 512, 512, 0, 300, 32768, false, 1.0};
+  EdgeNode edge(EdgeMode::kPromptMode, 1 << 20, Sd3(), R1());
+  edge.ServeRequest(item);
+  // Cached the 300-byte prompt, not the 32 kB image.
+  EXPECT_EQ(edge.stored_bytes(), 300u);
+  EXPECT_EQ(edge.stats().bytes_from_origin, 300u);
+  // The user still received full content bytes.
+  EXPECT_EQ(edge.stats().bytes_to_users, 32768u);
+  // And the edge paid generation time/energy.
+  EXPECT_GT(edge.stats().generation_seconds, 0.0);
+  EXPECT_GT(edge.stats().generation_energy_wh, 0.0);
+}
+
+TEST(EdgeNode, UniqueItemsCachedAsContentInPromptMode) {
+  CatalogItem item{/*id=*/9, true, 512, 512, 0, 300, 32768, /*unique=*/true, 1.0};
+  EdgeNode edge(EdgeMode::kPromptMode, 1 << 20, Sd3(), R1());
+  edge.ServeRequest(item);
+  EXPECT_EQ(edge.stored_bytes(), 32768u);
+  EXPECT_EQ(edge.stats().generation_seconds, 0.0);
+}
+
+TEST(EdgeNode, ContentModeNeverGenerates) {
+  CatalogItem item{/*id=*/1, true, 512, 512, 0, 300, 32768, false, 1.0};
+  EdgeNode edge(EdgeMode::kContentMode, 1 << 20, Sd3(), R1());
+  edge.ServeRequest(item);
+  edge.ServeRequest(item);
+  EXPECT_EQ(edge.stats().generation_seconds, 0.0);
+}
+
+TEST(EdgeNode, ItemLargerThanBudgetPassesThrough) {
+  CatalogItem huge{/*id=*/1, true, 4096, 4096, 0, 300, 2097152, true, 1.0};
+  EdgeNode edge(EdgeMode::kContentMode, 1000, Sd3(), R1());
+  edge.ServeRequest(huge);
+  edge.ServeRequest(huge);
+  EXPECT_EQ(edge.stats().hits, 0u);
+  EXPECT_EQ(edge.stored_bytes(), 0u);
+}
+
+TEST(Simulator, ComparisonShowsPaperTradeoffs) {
+  const Catalog catalog = Catalog::MakeSynthetic(SmallCatalog());
+  SimulationOptions options;
+  options.edge_count = 2;
+  // A budget large enough to hold the requested working set: the paper's
+  // storage claim is about bytes *needed*, not a fixed cache size.
+  options.storage_budget_bytes = 64 << 20;
+  options.request_count = 20000;
+  const ComparisonResult result = RunComparison(catalog, options);
+
+  // The paper's claim: prompt mode "maintains the storage benefits, but
+  // loses data transmission benefits" — user bytes equal, storage smaller,
+  // and edge generation energy appears.
+  EXPECT_EQ(result.prompt_mode.total_user_bytes,
+            result.content_mode.total_user_bytes);
+  EXPECT_LT(result.prompt_mode.total_stored_bytes,
+            result.content_mode.total_stored_bytes);
+  EXPECT_GT(result.storage_ratio, 3.0);
+  EXPECT_EQ(result.content_mode.generation_seconds, 0.0);
+  EXPECT_GT(result.prompt_mode.generation_seconds, 0.0);
+  EXPECT_GE(result.carbon_saved_kg, 0.0);
+}
+
+TEST(Simulator, PromptModeHasBetterHitRateUnderSameBudget) {
+  // Prompts are tiny, so the same storage budget holds far more of the
+  // catalog → fewer origin fetches.
+  const Catalog catalog = Catalog::MakeSynthetic(SmallCatalog());
+  SimulationOptions options;
+  options.edge_count = 2;
+  options.storage_budget_bytes = 256 << 10;  // deliberately tight
+  options.request_count = 20000;
+  const FleetResult content =
+      RunFleet(catalog, EdgeMode::kContentMode, options);
+  const FleetResult prompt = RunFleet(catalog, EdgeMode::kPromptMode, options);
+  EXPECT_GT(prompt.hit_rate, content.hit_rate);
+  EXPECT_LT(prompt.total_origin_bytes, content.total_origin_bytes);
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  const Catalog catalog = Catalog::MakeSynthetic(SmallCatalog());
+  SimulationOptions options;
+  options.request_count = 5000;
+  const FleetResult a = RunFleet(catalog, EdgeMode::kPromptMode, options);
+  const FleetResult b = RunFleet(catalog, EdgeMode::kPromptMode, options);
+  EXPECT_EQ(a.total_stored_bytes, b.total_stored_bytes);
+  EXPECT_EQ(a.total_origin_bytes, b.total_origin_bytes);
+  EXPECT_DOUBLE_EQ(a.hit_rate, b.hit_rate);
+}
+
+}  // namespace
+}  // namespace sww::cdn

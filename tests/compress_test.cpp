@@ -1,0 +1,253 @@
+// Tests for the swz content coding: bit IO, dynamic Huffman, LZ77, the
+// container, and the end-to-end HTTP content-encoding path.
+#include <gtest/gtest.h>
+
+#include "compress/bitio.hpp"
+#include "compress/huffman_coder.hpp"
+#include "compress/swz.hpp"
+#include "core/page_builder.hpp"
+#include "core/session.hpp"
+#include "util/rng.hpp"
+
+namespace sww::compress {
+namespace {
+
+// --- bit IO -------------------------------------------------------------------
+
+TEST(BitIo, RoundTripsMixedWidths) {
+  BitWriter writer;
+  writer.Write(0b101, 3);
+  writer.Write(0xffff, 16);
+  writer.Write(0, 1);
+  writer.Write(0x12345678, 32);
+  const util::Bytes bytes = std::move(writer).Finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(reader.Read(3).value(), 0b101u);
+  EXPECT_EQ(reader.Read(16).value(), 0xffffu);
+  EXPECT_EQ(reader.Read(1).value(), 0u);
+  EXPECT_EQ(reader.Read(32).value(), 0x12345678u);
+}
+
+TEST(BitIo, ReadPastEndIsTruncated) {
+  BitWriter writer;
+  writer.Write(1, 1);
+  const util::Bytes bytes = std::move(writer).Finish();
+  BitReader reader(bytes);
+  ASSERT_TRUE(reader.Read(8).ok());   // padding bits readable
+  EXPECT_FALSE(reader.Read(8).ok());  // past the final byte
+}
+
+TEST(BitIo, WriterCountsBits) {
+  BitWriter writer;
+  writer.Write(0, 5);
+  writer.Write(0, 11);
+  EXPECT_EQ(writer.bit_count(), 16u);
+}
+
+// --- dynamic Huffman -----------------------------------------------------------
+
+TEST(HuffmanCoder, RoundTripText) {
+  std::string text;
+  for (int i = 0; i < 12; ++i) {
+    text += "the quick brown fox jumps over the lazy dog, repeatedly; ";
+  }
+  const util::Bytes data = util::ToBytes(text);
+  const util::Bytes coded = HuffmanCompress(data);
+  auto decoded = HuffmanDecompress(coded, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+  // English text entropy-codes below 8 bits/symbol even with the 128-byte
+  // length table amortized over this input.
+  EXPECT_LT(coded.size(), data.size());
+}
+
+TEST(HuffmanCoder, SingleSymbolAlphabet) {
+  const util::Bytes data(500, 'a');
+  const util::Bytes coded = HuffmanCompress(data);
+  auto decoded = HuffmanDecompress(coded, data.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+  EXPECT_LT(coded.size(), 200u);  // ~1 bit/symbol + table
+}
+
+TEST(HuffmanCoder, EmptyInput) {
+  const util::Bytes coded = HuffmanCompress({});
+  auto decoded = HuffmanDecompress(coded, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(HuffmanCoder, RandomBytesRoundTrip) {
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    util::Bytes data(rng.NextBounded(2000));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+    auto decoded = HuffmanDecompress(HuffmanCompress(data), data.size());
+    ASSERT_TRUE(decoded.ok()) << "trial " << trial;
+    EXPECT_EQ(decoded.value(), data);
+  }
+}
+
+TEST(HuffmanCoder, TruncatedStreamRejected) {
+  const util::Bytes data = util::ToBytes("some reasonable input text here");
+  util::Bytes coded = HuffmanCompress(data);
+  coded.resize(coded.size() / 2);
+  EXPECT_FALSE(HuffmanDecompress(coded, data.size()).ok());
+}
+
+TEST(HuffmanCoder, CanonicalCodesAreMonotone) {
+  std::array<std::uint64_t, kSymbolCount> frequencies{};
+  frequencies['a'] = 100;
+  frequencies['b'] = 50;
+  frequencies['c'] = 10;
+  frequencies['d'] = 1;
+  const HuffmanCode code = HuffmanCode::FromFrequencies(frequencies);
+  EXPECT_LE(code.lengths['a'], code.lengths['b']);
+  EXPECT_LE(code.lengths['b'], code.lengths['c']);
+  EXPECT_LE(code.lengths['c'], code.lengths['d']);
+  EXPECT_EQ(code.lengths['z'], 0);
+}
+
+// --- LZ77 ----------------------------------------------------------------------
+
+TEST(Lz77, RoundTripWithRepeats) {
+  const std::string text =
+      "abcabcabcabc---abcabcabcabc---abcabcabcabc---tail";
+  const util::Bytes data = util::ToBytes(text);
+  const util::Bytes ops = Lz77Tokenize(data);
+  EXPECT_LT(ops.size(), data.size());  // repeats became matches
+  auto rebuilt = Lz77Reconstruct(ops, data.size());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value(), data);
+}
+
+TEST(Lz77, OverlappingMatchRunLengthEncoding) {
+  // "aaaa..." forces distance-1 overlapping copies.
+  const util::Bytes data(1000, 'x');
+  const util::Bytes ops = Lz77Tokenize(data);
+  EXPECT_LT(ops.size(), 50u);
+  auto rebuilt = Lz77Reconstruct(ops, data.size());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value(), data);
+}
+
+TEST(Lz77, MalformedOpsRejected) {
+  // Match referring before the start of output.
+  const util::Bytes bad = {0x80, 0x00, 0x05};
+  EXPECT_FALSE(Lz77Reconstruct(bad, 4).ok());
+  // Literal run past the end.
+  const util::Bytes truncated = {0x05, 'a'};
+  EXPECT_FALSE(Lz77Reconstruct(truncated, 6).ok());
+}
+
+// --- container -------------------------------------------------------------------
+
+TEST(Swz, RoundTripHtmlPage) {
+  const std::string page = core::MakeLandscapeSearchPage(20).html;
+  const util::Bytes data = util::ToBytes(page);
+  const util::Bytes compressed = SwzCompress(data);
+  auto decoded = SwzDecompress(compressed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+  // Repetitive prompt-page HTML compresses well.
+  EXPECT_GT(SwzRatio(data), 2.0);
+}
+
+TEST(Swz, RoundTripEmptyAndTiny) {
+  for (const std::string text : {std::string(""), std::string("x"),
+                                 std::string("ab")}) {
+    auto decoded = SwzDecompress(SwzCompress(util::ToBytes(text)));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(util::ToString(decoded.value()), text);
+  }
+}
+
+TEST(Swz, RandomDataRoundTripsEvenIfIncompressible) {
+  util::Rng rng(7777);
+  util::Bytes data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  const util::Bytes compressed = SwzCompress(data);
+  auto decoded = SwzDecompress(compressed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+TEST(Swz, BadMagicAndCorruptionRejected) {
+  EXPECT_FALSE(SwzDecompress(util::ToBytes("GZIPnope")).ok());
+  EXPECT_FALSE(SwzDecompress({}).ok());
+  util::Bytes compressed = SwzCompress(util::ToBytes(
+      "a body long enough to produce a few coded bytes after the table"));
+  compressed.resize(compressed.size() - 4);
+  EXPECT_FALSE(SwzDecompress(compressed).ok());
+}
+
+TEST(Swz, FuzzedContainersNeverCrash) {
+  util::Rng rng(0xC0DE);
+  for (int trial = 0; trial < 300; ++trial) {
+    util::Bytes junk(rng.NextBounded(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+    // Prefix half of them with a valid magic to reach deeper code.
+    if (rng.NextBool() && junk.size() >= 4) {
+      junk[0] = 'S';
+      junk[1] = 'W';
+      junk[2] = 'Z';
+      junk[3] = '1';
+    }
+    (void)SwzDecompress(junk);
+  }
+  SUCCEED();
+}
+
+// --- end-to-end content coding ------------------------------------------------------
+
+TEST(SwzE2E, CompressedPageFetchSavesWireBytes) {
+  core::ContentStore store;
+  const core::LandscapePage page = core::MakeLandscapeSearchPage(20);
+  ASSERT_TRUE(store.AddPage("/landscape", page.html).ok());
+
+  core::LocalSession::Options plain;
+  plain.client.generator.inference_steps = 3;
+  auto plain_session = core::LocalSession::Start(&store, plain);
+  auto plain_fetch = plain_session.value()->FetchPage("/landscape");
+  ASSERT_TRUE(plain_fetch.ok());
+
+  core::LocalSession::Options coded;
+  coded.client.generator.inference_steps = 3;
+  coded.client.accept_compression = true;
+  auto coded_session = core::LocalSession::Start(&store, coded);
+  auto coded_fetch = coded_session.value()->FetchPage("/landscape");
+  ASSERT_TRUE(coded_fetch.ok());
+
+  // Same final content...
+  EXPECT_EQ(plain_fetch.value().final_html, coded_fetch.value().final_html);
+  EXPECT_EQ(plain_fetch.value().files, coded_fetch.value().files);
+  // ...for less than half the page bytes on the wire.
+  EXPECT_LT(coded_fetch.value().page_bytes,
+            plain_fetch.value().page_bytes / 2);
+  EXPECT_EQ(coded_fetch.value().response.Header("content-encoding").value_or(""),
+            "swz");
+}
+
+TEST(SwzE2E, ServerSkipsCodingWhenNotAccepted) {
+  core::ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", core::MakeGoldfishPage()).ok());
+  auto session = core::LocalSession::Start(&store, {});
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().response.Header("content-encoding").value_or(""), "");
+}
+
+TEST(SwzE2E, TinyBodiesStayUncoded) {
+  core::ContentStore store;
+  ASSERT_TRUE(store.AddPage("/tiny",
+                            "<html><body><p>hi</p></body></html>").ok());
+  core::LocalSession::Options options;
+  options.client.accept_compression = true;
+  auto session = core::LocalSession::Start(&store, options);
+  auto fetch = session.value()->FetchPage("/tiny");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().response.Header("content-encoding").value_or(""), "");
+}
+
+}  // namespace
+}  // namespace sww::compress

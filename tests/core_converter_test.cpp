@@ -1,0 +1,147 @@
+// Tests for the webpage conversion pipeline (§4.2): legacy pages →
+// generated-content pages, CMS tagging, and round-trip serving.
+#include <gtest/gtest.h>
+
+#include "core/converter.hpp"
+#include "core/page_builder.hpp"
+#include "core/session.hpp"
+#include "genai/diffusion.hpp"
+#include "html/generated_content.hpp"
+#include "html/parser.hpp"
+
+namespace sww::core {
+namespace {
+
+PageConverter MakeConverter(ConverterOptions options = {}) {
+  return PageConverter(
+      genai::PromptInverter(genai::PromptInverter::DefaultVocabulary()),
+      genai::TextModel(genai::FindTextModel(genai::kDeepseek8b).value()),
+      options);
+}
+
+genai::Image MakePhoto(std::string_view prompt, int size = 128) {
+  genai::DiffusionModel model(genai::FindImageModel(genai::kDalle3).value());
+  return model.Generate(prompt, size, size, 20, 77).value().image;
+}
+
+TEST(Converter, ConvertsImagesToPromptDivs) {
+  auto doc = html::ParseDocument(
+      R"(<body><img src="/pics/lake.jpg" width="128" height="128"/></body>)")
+      .value();
+  std::map<std::string, genai::Image> payloads;
+  payloads["/pics/lake.jpg"] = MakePhoto("a mountain lake with forest");
+  PageConverter converter = MakeConverter();
+  auto report = converter.Convert(*doc, payloads);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().images_converted, 1u);
+  EXPECT_EQ(report.value().images_kept_unique, 0u);
+  // The page now contains a valid generated-content div named after the file.
+  auto extraction = html::ExtractGeneratedContent(*doc);
+  ASSERT_EQ(extraction.specs.size(), 1u);
+  EXPECT_EQ(extraction.specs[0].name(), "lake");
+  EXPECT_EQ(extraction.specs[0].width(), 128);
+  EXPECT_FALSE(extraction.specs[0].prompt().empty());
+}
+
+TEST(Converter, CmsUniqueTagIsRespected) {
+  // §4.2: the CMS one-bit flag — "unique" content stays untouched.
+  auto doc = html::ParseDocument(
+      R"(<body><img src="/a.jpg" data-sww="unique"/>)"
+      R"(<img src="/b.jpg" data-sww="generatable"/></body>)")
+      .value();
+  std::map<std::string, genai::Image> payloads;
+  payloads["/a.jpg"] = MakePhoto("a city street");
+  payloads["/b.jpg"] = MakePhoto("a pine forest");
+  auto report = MakeConverter().Convert(*doc, payloads);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().images_converted, 1u);
+  EXPECT_EQ(report.value().images_kept_unique, 1u);
+  // The unique image is still an <img>.
+  ASSERT_EQ(doc->FindByTag("img").size(), 1u);
+  EXPECT_EQ(doc->FindByTag("img")[0]->GetAttribute("src").value(), "/a.jpg");
+}
+
+TEST(Converter, UntaggedImagesFollowDefaultPolicy) {
+  auto doc = html::ParseDocument(R"(<body><img src="/c.jpg"/></body>)").value();
+  std::map<std::string, genai::Image> payloads;
+  payloads["/c.jpg"] = MakePhoto("a harbor");
+  ConverterOptions no_defaults;
+  no_defaults.convert_untagged_images = false;
+  auto report = MakeConverter(no_defaults).Convert(*doc, payloads);
+  EXPECT_EQ(report.value().images_converted, 0u);
+}
+
+TEST(Converter, ImagesWithoutPayloadKeptUnique) {
+  auto doc = html::ParseDocument(R"(<body><img src="/gone.jpg"/></body>)").value();
+  auto report = MakeConverter().Convert(*doc, {});
+  EXPECT_EQ(report.value().images_converted, 0u);
+  EXPECT_EQ(report.value().images_kept_unique, 1u);
+  EXPECT_FALSE(report.value().notes.empty());
+}
+
+TEST(Converter, LongTextBecomesBulletDiv) {
+  const std::string html = MakeNewsArticleHtml(2400);
+  auto doc = html::ParseDocument(html).value();
+  auto report = MakeConverter().Convert(*doc, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().text_blocks_converted, 1u);
+  auto extraction = html::ExtractGeneratedContent(*doc);
+  ASSERT_EQ(extraction.specs.size(), 1u);
+  EXPECT_EQ(extraction.specs[0].type, html::GeneratedContentType::kText);
+  EXPECT_GT(extraction.specs[0].metadata.Get("bullets")->AsArray().size(), 2u);
+}
+
+TEST(Converter, ShortTextKept) {
+  auto doc =
+      html::ParseDocument("<body><p>Just a short caption.</p></body>").value();
+  auto report = MakeConverter().Convert(*doc, {});
+  EXPECT_EQ(report.value().text_blocks_converted, 0u);
+  EXPECT_EQ(report.value().text_blocks_kept, 1u);
+}
+
+TEST(Converter, ArticleCompressionMatchesPaperBallpark) {
+  // §6.2's text experiment: 2,400 B article → 778 B (3.1× compression).
+  const std::string html = MakeNewsArticleHtml(2400);
+  auto doc = html::ParseDocument(html).value();
+  auto report = MakeConverter().Convert(*doc, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().CompressionRatio(), 2.0);
+  EXPECT_LT(report.value().CompressionRatio(), 5.0);
+}
+
+TEST(Converter, ImagePageCompressionCountsPayloadBytes) {
+  auto doc = html::ParseDocument(
+      R"(<body><img src="/p.jpg" width="512" height="512"/></body>)").value();
+  std::map<std::string, genai::Image> payloads;
+  payloads["/p.jpg"] = MakePhoto("a snowfield with a hiking trail", 512);
+  auto report = MakeConverter().Convert(*doc, payloads);
+  ASSERT_TRUE(report.ok());
+  // 512² image ≈ 32,768 B traditional vs a ~300 B prompt div.
+  EXPECT_GT(report.value().CompressionRatio(), 20.0);
+}
+
+TEST(Converter, ConvertedPageServesEndToEnd) {
+  // The full §4.2 story: convert a legacy page, store it, serve it to a
+  // generative client, and get materialized content back out.
+  auto doc = html::ParseDocument(
+      R"(<html><body><h1>Lake guide</h1>)"
+      R"(<img src="/pics/lake.jpg" width="96" height="96"/></body></html>)")
+      .value();
+  std::map<std::string, genai::Image> payloads;
+  payloads["/pics/lake.jpg"] = MakePhoto("a mountain lake with forest", 96);
+  auto report = MakeConverter().Convert(*doc, payloads);
+  ASSERT_TRUE(report.ok());
+
+  ContentStore store;
+  ASSERT_TRUE(store.AddPage("/guide", doc->Serialize()).ok());
+  auto session = LocalSession::Start(&store, {});
+  ASSERT_TRUE(session.ok());
+  auto fetch = session.value()->FetchPage("/guide");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "generative");
+  EXPECT_EQ(fetch.value().generated_items, 1u);
+  EXPECT_EQ(fetch.value().files.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sww::core

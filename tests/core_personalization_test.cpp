@@ -1,0 +1,227 @@
+// Tests for §2.3 personalized content and its built-in harm mitigations,
+// and for the §2.2 upscale-assist delivery mode.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/page_builder.hpp"
+#include "core/personalization.hpp"
+#include "core/renderer.hpp"
+#include "core/session.hpp"
+#include "genai/image.hpp"
+#include "html/parser.hpp"
+#include "util/strings.hpp"
+
+namespace sww::core {
+namespace {
+
+// --- PersonalizePrompt -------------------------------------------------------
+
+PersonalizationProfile CyclistProfile() {
+  PersonalizationProfile profile;
+  profile.interests = {"cycling", "birdwatching", "coffee"};
+  profile.consented = true;
+  profile.max_strength = 0.2;
+  return profile;
+}
+
+TEST(Personalization, RequiresConsent) {
+  PersonalizationProfile profile = CyclistProfile();
+  profile.consented = false;
+  const auto result = PersonalizePrompt(
+      profile, "a mountain valley with a river and forest, photograph");
+  EXPECT_FALSE(result.applied);
+  EXPECT_EQ(result.prompt,
+            "a mountain valley with a river and forest, photograph");
+}
+
+TEST(Personalization, InactiveWithoutInterests) {
+  PersonalizationProfile profile;
+  profile.consented = true;
+  EXPECT_FALSE(PersonalizePrompt(profile, "a long prompt with many words here")
+                   .applied);
+}
+
+TEST(Personalization, AppliesDeterministically) {
+  const PersonalizationProfile profile = CyclistProfile();
+  const std::string prompt =
+      "a mountain valley with a river and forest under morning light";
+  const auto a = PersonalizePrompt(profile, prompt);
+  const auto b = PersonalizePrompt(profile, prompt);
+  ASSERT_TRUE(a.applied);
+  EXPECT_EQ(a.prompt, b.prompt);
+  EXPECT_EQ(a.injected_tokens, b.injected_tokens);
+  // The original prompt is preserved as a prefix (content dominates).
+  EXPECT_EQ(a.prompt.rfind(prompt, 0), 0u);
+}
+
+TEST(Personalization, DifferentPromptsPickDifferentInterests) {
+  const PersonalizationProfile profile = CyclistProfile();
+  // With 3 interests and hash-based ranking, two unrelated prompts are
+  // very likely to select different leading interests; assert over a batch.
+  std::set<std::string> leading;
+  for (int i = 0; i < 8; ++i) {
+    const auto result = PersonalizePrompt(
+        profile, MakeLandscapePrompt(1000 + static_cast<std::uint64_t>(i)));
+    if (result.applied && !result.injected_tokens.empty()) {
+      leading.insert(result.injected_tokens.front());
+    }
+  }
+  EXPECT_GE(leading.size(), 2u);
+}
+
+TEST(Personalization, StrengthCapBoundsInjection) {
+  PersonalizationProfile profile = CyclistProfile();
+  profile.max_strength = 0.2;
+  const std::string prompt = "one two three four five six seven eight nine ten";
+  const auto result = PersonalizePrompt(profile, prompt);
+  // 10 tokens × 0.2 → at most 2 injected.
+  EXPECT_LE(result.injected_tokens.size(), 2u);
+}
+
+TEST(Personalization, ZeroBudgetMeansNoChange) {
+  PersonalizationProfile profile = CyclistProfile();
+  profile.max_strength = 0.2;
+  EXPECT_FALSE(PersonalizePrompt(profile, "tiny prompt").applied);  // 2 tokens
+}
+
+TEST(Personalization, StrengthIsClampedToThirtyPercent) {
+  PersonalizationProfile profile = CyclistProfile();
+  profile.max_strength = 5.0;  // malicious/buggy caller
+  const std::string prompt = "one two three four five six seven eight nine ten";
+  const auto result = PersonalizePrompt(profile, prompt);
+  EXPECT_LE(result.injected_tokens.size(), 3u);  // 10 × 0.3 cap
+}
+
+TEST(PersonalizationAudit, DisclosureListsInjections) {
+  PersonalizationAudit audit;
+  EXPECT_EQ(audit.Disclosure(), "");
+  audit.Record({"stock-0", "a valley", "a valley, with a subtle nod to cycling",
+                {"cycling"}});
+  const std::string disclosure = audit.Disclosure();
+  EXPECT_NE(disclosure.find("stock-0"), std::string::npos);
+  EXPECT_NE(disclosure.find("cycling"), std::string::npos);
+  EXPECT_NE(disclosure.find("No profile data left it"), std::string::npos);
+}
+
+// --- end-to-end personalization ------------------------------------------------
+
+TEST(PersonalizationE2E, PersonalizedFetchDiffersAndIsAudited) {
+  ContentStore store;
+  const LandscapePage page = MakeLandscapeSearchPage(3);
+  ASSERT_TRUE(store.AddPage("/p", page.html).ok());
+
+  LocalSession::Options plain;
+  auto plain_session = LocalSession::Start(&store, plain);
+  auto plain_fetch = plain_session.value()->FetchPage("/p");
+  ASSERT_TRUE(plain_fetch.ok());
+
+  LocalSession::Options personalized;
+  personalized.client.generator.profile = CyclistProfile();
+  auto person_session = LocalSession::Start(&store, personalized);
+  auto person_fetch = person_session.value()->FetchPage("/p");
+  ASSERT_TRUE(person_fetch.ok());
+
+  // Same wire bytes (the profile never leaves the device)...
+  EXPECT_EQ(plain_fetch.value().page_bytes, person_fetch.value().page_bytes);
+  // ...different pixels...
+  ASSERT_EQ(plain_fetch.value().files.size(), person_fetch.value().files.size());
+  EXPECT_NE(plain_fetch.value().files.begin()->second,
+            person_fetch.value().files.begin()->second);
+  // ...and a full audit trail for disclosure.
+  EXPECT_EQ(person_session.value()->client().generator().audit().size(), 3u);
+  EXPECT_EQ(plain_session.value()->client().generator().audit().size(), 0u);
+}
+
+TEST(PersonalizationE2E, RendererAppendsDisclosureFooter) {
+  ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", MakeGoldfishPage()).ok());
+  LocalSession::Options options;
+  options.client.generator.profile = CyclistProfile();
+  auto session = LocalSession::Start(&store, options);
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  auto doc = html::ParseDocument(fetch.value().final_html).value();
+  PageRenderer renderer;
+  const std::string with_disclosure = renderer.RenderWithDisclosure(
+      *doc, session.value()->client().generator().audit());
+  EXPECT_NE(with_disclosure.find("personalized on your device"),
+            std::string::npos);
+  // Without personalization the footer is absent.
+  PersonalizationAudit empty;
+  EXPECT_EQ(renderer.RenderWithDisclosure(*doc, empty),
+            renderer.RenderToText(*doc));
+}
+
+// --- §2.2 upscale-assist mode ------------------------------------------------------
+
+TEST(UpscaleAssist, NegotiatedForUpscaleOnlyClients) {
+  ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", MakeGoldfishPage()).ok());
+  LocalSession::Options options;
+  options.client.advertised_ability = http2::kGenAbilityUpscaleOnly;
+  options.server.advertised_ability =
+      http2::kGenAbilityFull | http2::kGenAbilityUpscaleOnly;
+  auto session = LocalSession::Start(&store, options);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value()->server().CurrentServeMode(),
+            ServeMode::kUpscaleAssist);
+
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "upscale-assist");
+  // No client-side generation, one client-side upscale.
+  EXPECT_EQ(fetch.value().generated_items, 0u);
+  EXPECT_EQ(fetch.value().upscaled_items, 1u);
+  EXPECT_GT(fetch.value().upscale_seconds, 0.0);
+  EXPECT_LT(fetch.value().upscale_seconds, 1.0);  // §2.2: sub-second
+
+  // The transmitted asset was the half-resolution variant (~4x smaller
+  // than the 512² full PPM of ~786 kB)...
+  EXPECT_LT(fetch.value().asset_bytes, 250000u);
+  EXPECT_GT(fetch.value().asset_bytes, 100000u);
+  // ...but the delivered image is full size.
+  auto file = fetch.value().files.begin();
+  auto image = genai::Image::FromPpm(util::ToString(file->second));
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image.value().width(), 512);
+  EXPECT_EQ(image.value().height(), 512);
+  // The upscale marker was consumed.
+  EXPECT_EQ(fetch.value().final_html.find("data-sww-upscale"),
+            std::string::npos);
+}
+
+TEST(UpscaleAssist, FullGenerationOutranksUpscale) {
+  ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", MakeGoldfishPage()).ok());
+  LocalSession::Options options;
+  options.client.advertised_ability =
+      http2::kGenAbilityFull | http2::kGenAbilityUpscaleOnly;
+  options.server.advertised_ability =
+      http2::kGenAbilityFull | http2::kGenAbilityUpscaleOnly;
+  auto session = LocalSession::Start(&store, options);
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "generative");
+}
+
+TEST(UpscaleAssist, TextItemsAreServerExpanded) {
+  ContentStore store;
+  const TravelBlogPage blog = MakeTravelBlogPage(1, 0);
+  ASSERT_TRUE(store.AddPage("/blog", blog.html).ok());
+  LocalSession::Options options;
+  options.client.advertised_ability = http2::kGenAbilityUpscaleOnly;
+  options.server.advertised_ability =
+      http2::kGenAbilityFull | http2::kGenAbilityUpscaleOnly;
+  auto session = LocalSession::Start(&store, options);
+  auto fetch = session.value()->FetchPage("/blog");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "upscale-assist");
+  // The text div arrived already expanded (server-side).
+  auto doc = html::ParseDocument(fetch.value().final_html).value();
+  EXPECT_TRUE(html::ExtractGeneratedContent(*doc).specs.empty());
+  EXPECT_GT(util::CountWords(doc->InnerText()), 100u);
+}
+
+}  // namespace
+}  // namespace sww::core

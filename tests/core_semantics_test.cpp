@@ -1,0 +1,96 @@
+// Tests for HTTP request/response semantics over HTTP/2 header lists.
+#include <gtest/gtest.h>
+
+#include "core/http_semantics.hpp"
+
+namespace sww::core {
+namespace {
+
+TEST(Request, ToHeadersEmitsPseudoHeadersFirst) {
+  Request request;
+  request.method = "GET";
+  request.path = "/page";
+  request.authority = "sww.local";
+  request.extra_headers.push_back({"accept", "text/html", false});
+  const hpack::HeaderList headers = request.ToHeaders();
+  ASSERT_GE(headers.size(), 5u);
+  EXPECT_EQ(headers[0].name, ":method");
+  EXPECT_EQ(headers.back().name, "accept");
+}
+
+TEST(Request, ParseRoundTrip) {
+  Request original;
+  original.method = "GET";
+  original.path = "/x?q=1";
+  original.authority = "h";
+  original.extra_headers.push_back({"x-test", "1", false});
+  auto parsed = ParseRequest(original.ToHeaders(), util::ToBytes("body"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method, "GET");
+  EXPECT_EQ(parsed.value().path, "/x?q=1");
+  EXPECT_EQ(parsed.value().Header("x-test").value(), "1");
+  EXPECT_EQ(util::ToString(parsed.value().body), "body");
+}
+
+TEST(Request, MissingMethodOrPathRejected) {
+  hpack::HeaderList no_path = {{":method", "GET", false},
+                               {":scheme", "https", false}};
+  EXPECT_FALSE(ParseRequest(no_path, {}).ok());
+  hpack::HeaderList no_method = {{":path", "/", false}};
+  EXPECT_FALSE(ParseRequest(no_method, {}).ok());
+}
+
+TEST(Request, PseudoHeaderAfterRegularRejected) {
+  hpack::HeaderList bad = {{":method", "GET", false},
+                           {"accept", "*/*", false},
+                           {":path", "/", false}};
+  EXPECT_FALSE(ParseRequest(bad, {}).ok());
+}
+
+TEST(Request, DuplicateAndUnknownPseudoHeadersRejected) {
+  hpack::HeaderList duplicate = {{":method", "GET", false},
+                                 {":method", "POST", false},
+                                 {":path", "/", false}};
+  EXPECT_FALSE(ParseRequest(duplicate, {}).ok());
+  hpack::HeaderList unknown = {{":method", "GET", false},
+                               {":path", "/", false},
+                               {":teapot", "yes", false}};
+  EXPECT_FALSE(ParseRequest(unknown, {}).ok());
+}
+
+TEST(Response, RoundTripWithSwwModeHeader) {
+  Response response;
+  response.status = 200;
+  response.SetHeader(kSwwModeHeader, "generative");
+  auto parsed = ParseResponse(response.ToHeaders(), util::ToBytes("<html/>"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, 200);
+  EXPECT_EQ(parsed.value().Header(kSwwModeHeader).value(), "generative");
+}
+
+TEST(Response, SetHeaderOverwrites) {
+  Response response;
+  response.SetHeader("content-type", "text/plain");
+  response.SetHeader("Content-Type", "text/html");
+  EXPECT_EQ(response.extra_headers.size(), 1u);
+  EXPECT_EQ(response.Header("content-type").value(), "text/html");
+}
+
+TEST(Response, MissingStatusRejected) {
+  hpack::HeaderList headers = {{"content-type", "text/html", false}};
+  EXPECT_FALSE(ParseResponse(headers, {}).ok());
+}
+
+TEST(Response, BadStatusValueRejected) {
+  hpack::HeaderList headers = {{":status", "abc", false}};
+  EXPECT_FALSE(ParseResponse(headers, {}).ok());
+}
+
+TEST(ReasonPhrase, KnownCodes) {
+  EXPECT_EQ(ReasonPhrase(200), "OK");
+  EXPECT_EQ(ReasonPhrase(404), "Not Found");
+  EXPECT_EQ(ReasonPhrase(418), "");
+}
+
+}  // namespace
+}  // namespace sww::core

@@ -1,0 +1,241 @@
+// Integration tests: the full SWW client/server flow of §5 and the §6.2
+// functionality matrix, over in-process connections and loopback TCP.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/page_builder.hpp"
+#include "core/renderer.hpp"
+#include "core/session.hpp"
+#include "html/parser.hpp"
+#include "net/pump.hpp"
+#include "net/tcp.hpp"
+
+namespace sww::core {
+namespace {
+
+ContentStore GoldfishStore() {
+  ContentStore store;
+  EXPECT_TRUE(store.AddPage("/", MakeGoldfishPage()).ok());
+  return store;
+}
+
+TEST(Session, GenerativeModeDeliversPromptsOnly) {
+  ContentStore store = GoldfishStore();
+  auto session = LocalSession::Start(&store, {});
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session.value()->client().NegotiatedGenerative());
+  EXPECT_TRUE(session.value()->server().ServingGenerative());
+
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "generative");
+  EXPECT_EQ(fetch.value().generated_items, 1u);
+  // The wire carried only the page with its prompt — no image bytes.
+  EXPECT_LT(fetch.value().page_bytes, 1000u);
+  EXPECT_EQ(fetch.value().asset_bytes, 0u);
+  // The client materialized the image locally.
+  ASSERT_EQ(fetch.value().files.size(), 1u);
+  EXPECT_GT(fetch.value().files.begin()->second.size(), 100000u);  // 512² PPM
+  // Client-side generation cost is the Table 2 medium-image laptop cost.
+  EXPECT_NEAR(fetch.value().generation_seconds, 19.0, 1.5);
+  // Figure 1 "after": the div now points at the generated file.
+  EXPECT_NE(fetch.value().final_html.find("generated/goldfish.ppm"),
+            std::string::npos);
+}
+
+TEST(Session, NaiveClientGetsServerSideGeneration) {
+  // §6.2: "When the client does not support generative content, the server
+  // uses the prompt to generate the content before sending it."
+  ContentStore store = GoldfishStore();
+  LocalSession::Options options;
+  options.client.advertised_ability = http2::kGenAbilityNone;
+  auto session = LocalSession::Start(&store, options);
+  ASSERT_TRUE(session.ok());
+  EXPECT_FALSE(session.value()->client().NegotiatedGenerative());
+
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "traditional");
+  EXPECT_EQ(fetch.value().generated_items, 0u);
+  // The image travelled over the wire this time.
+  EXPECT_GT(fetch.value().asset_bytes, 100000u);
+  EXPECT_EQ(fetch.value().generation_seconds, 0.0);
+  // Server paid the generation cost instead (workstation profile).
+  EXPECT_GT(session.value()->server().stats().generation_seconds, 0.0);
+  EXPECT_EQ(session.value()->server().stats().pages_served_traditional, 1u);
+}
+
+TEST(Session, NaiveServerFallsBackToo) {
+  ContentStore store = GoldfishStore();
+  LocalSession::Options options;
+  options.server.advertised_ability = http2::kGenAbilityNone;
+  auto session = LocalSession::Start(&store, options);
+  ASSERT_TRUE(session.ok());
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "traditional");
+}
+
+TEST(Session, SameContentBothModes) {
+  // Determinism across serving modes: the client-generated image equals
+  // the server-generated one (same prompt, same seed derivation).
+  ContentStore store = GoldfishStore();
+  auto generative = LocalSession::Start(&store, {});
+  LocalSession::Options naive;
+  naive.client.advertised_ability = http2::kGenAbilityNone;
+  auto traditional = LocalSession::Start(&store, naive);
+  auto fetch_generative = generative.value()->FetchPage("/");
+  auto fetch_traditional = traditional.value()->FetchPage("/");
+  ASSERT_TRUE(fetch_generative.ok());
+  ASSERT_TRUE(fetch_traditional.ok());
+  ASSERT_EQ(fetch_generative.value().files.size(), 1u);
+  ASSERT_EQ(fetch_traditional.value().files.size(), 1u);
+  EXPECT_EQ(fetch_generative.value().files.begin()->second,
+            fetch_traditional.value().files.begin()->second);
+}
+
+TEST(Session, PolicyOverrideServesTraditionalDespiteAbility) {
+  // §5.1: "A server can choose to serve traditional content even if the
+  // client supports generative ability."
+  ContentStore store = GoldfishStore();
+  LocalSession::Options options;
+  options.server.policy = ServePolicy::kAlwaysTraditional;
+  auto session = LocalSession::Start(&store, options);
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session.value()->client().NegotiatedGenerative());
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "traditional");
+}
+
+TEST(Session, PolicyCanFlipMidConnection) {
+  ContentStore store = GoldfishStore();
+  auto session = LocalSession::Start(&store, {});
+  ASSERT_TRUE(session.ok());
+  auto first = session.value()->FetchPage("/");
+  EXPECT_EQ(first.value().mode, "generative");
+  // Renewable energy ran out at the edge:
+  session.value()->server().SetPolicy(ServePolicy::kAlwaysTraditional);
+  auto second = session.value()->FetchPage("/");
+  EXPECT_EQ(second.value().mode, "traditional");
+}
+
+TEST(Session, NotFoundAndMethodErrors) {
+  ContentStore store = GoldfishStore();
+  auto session = LocalSession::Start(&store, {});
+  auto missing = session.value()->FetchPage("/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().response.status, 404);
+}
+
+TEST(Session, TravelBlogFetchesUniqueAssets) {
+  // §2.1's full scenario: generated text + stock images + unique photos.
+  ContentStore store;
+  const TravelBlogPage blog = MakeTravelBlogPage(3, 2);
+  ASSERT_TRUE(store.AddPage("/blog", blog.html).ok());
+  for (const std::string& path : blog.unique_asset_paths) {
+    store.AddAsset(path, util::Bytes(20000, 0x42), "image/x-portable-pixmap");
+  }
+  auto session = LocalSession::Start(&store, {});
+  ASSERT_TRUE(session.ok());
+  auto fetch = session.value()->FetchPage("/blog");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "generative");
+  EXPECT_EQ(fetch.value().generated_items, 4u);  // 1 text + 3 stock images
+  // 3 generated files + 2 fetched unique photos.
+  EXPECT_EQ(fetch.value().files.size(), 5u);
+  EXPECT_EQ(fetch.value().asset_bytes, 40000u);
+  EXPECT_EQ(session.value()->server().stats().assets_served, 2u);
+}
+
+TEST(Session, LandscapePageReproducesFig2Compression) {
+  // Figure 2 economics end-to-end: 49 landscape prompts over the wire
+  // instead of ~1.4 MB of thumbnails.
+  ContentStore store;
+  const LandscapePage page = MakeLandscapeSearchPage(49);
+  ASSERT_TRUE(store.AddPage("/landscape", page.html).ok());
+  LocalSession::Options options;
+  options.client.generator.inference_steps = 4;  // keep the test quick
+  auto session = LocalSession::Start(&store, options);
+  ASSERT_TRUE(session.ok());
+  auto fetch = session.value()->FetchPage("/landscape");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().generated_items, 49u);
+  const double traditional_bytes =
+      static_cast<double>(page.traditional_image_bytes);
+  const double prompt_bytes = static_cast<double>(page.total_metadata_bytes);
+  EXPECT_GT(traditional_bytes / prompt_bytes, 50.0);
+  EXPECT_EQ(fetch.value().files.size(), 49u);
+}
+
+TEST(Session, RendererShowsGeneratedMedia) {
+  ContentStore store = GoldfishStore();
+  auto session = LocalSession::Start(&store, {});
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  auto doc = html::ParseDocument(fetch.value().final_html);
+  ASSERT_TRUE(doc.ok());
+  PageRenderer renderer;
+  const std::string text = renderer.RenderToText(*doc.value());
+  EXPECT_NE(text.find("Meet the goldfish"), std::string::npos);
+  EXPECT_NE(text.find("[image 512x512"), std::string::npos);
+  EXPECT_NE(text.find("goldfish.ppm"), std::string::npos);
+}
+
+TEST(Session, WireStatsShowSettingsExchange) {
+  ContentStore store = GoldfishStore();
+  auto session = LocalSession::Start(&store, {});
+  const auto& frames =
+      session.value()->client().connection().wire_stats().frames_sent;
+  ASSERT_TRUE(frames.count(http2::FrameType::kSettings));
+  EXPECT_GE(frames.at(http2::FrameType::kSettings), 2u);  // SETTINGS + ACK
+}
+
+TEST(Session, FullFlowOverLoopbackTcp) {
+  // The same endpoints over real sockets: client thread + server thread.
+  ContentStore store = GoldfishStore();
+  auto listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = listener.value()->port();
+
+  std::thread server_thread([&] {
+    auto transport = listener.value()->Accept(5000);
+    ASSERT_TRUE(transport.ok());
+    auto server = GenerativeServer::Create(&store, {});
+    ASSERT_TRUE(server.ok());
+    server.value()->StartHandshake();
+    // Pump until the client closes or 5s elapse.
+    for (int i = 0; i < 5000; ++i) {
+      auto pumped = net::PumpOnce(server.value()->connection(),
+                                  *transport.value());
+      if (!pumped.ok()) break;
+      ASSERT_TRUE(server.value()->ProcessEvents().ok());
+      if (pumped.value().peer_closed) break;
+      if (!pumped.value().made_progress) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+
+  auto transport = net::TcpConnect(port);
+  ASSERT_TRUE(transport.ok());
+  auto client = GenerativeClient::Create({});
+  ASSERT_TRUE(client.ok());
+  client.value()->StartHandshake();
+  auto pump = [&]() -> util::Status {
+    auto pumped = net::PumpOnce(client.value()->connection(), *transport.value());
+    if (!pumped.ok()) return pumped.error();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return util::Status::Ok();
+  };
+  auto fetch = client.value()->FetchPage("/", pump);
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().mode, "generative");
+  EXPECT_EQ(fetch.value().generated_items, 1u);
+  transport.value()->Close();
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace sww::core

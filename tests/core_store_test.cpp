@@ -1,0 +1,124 @@
+// Tests for the content store and its storage accounting (§2.1/§2.2).
+#include <gtest/gtest.h>
+
+#include "core/content_store.hpp"
+#include "core/page_builder.hpp"
+
+namespace sww::core {
+namespace {
+
+TEST(ContentStore, AddAndFindPage) {
+  ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", MakeGoldfishPage()).ok());
+  const PageEntry* page = store.FindPage("/");
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->item_types.size(), 1u);
+  EXPECT_EQ(page->item_types[0], html::GeneratedContentType::kImage);
+  EXPECT_EQ(store.FindPage("/missing"), nullptr);
+}
+
+TEST(ContentStore, RejectsPagesWithInvalidGeneratedContent) {
+  ContentStore store;
+  const std::string bad =
+      R"(<div class="generated content" content-type="img" metadata='{bad'></div>)";
+  EXPECT_FALSE(store.AddPage("/bad", bad).ok());
+  EXPECT_EQ(store.FindPage("/bad"), nullptr);
+}
+
+TEST(ContentStore, AssetsStoredVerbatim) {
+  ContentStore store;
+  store.AddAsset("/a.ppm", util::ToBytes("P6..."), "image/x-portable-pixmap");
+  const Asset* asset = store.FindAsset("/a.ppm");
+  ASSERT_NE(asset, nullptr);
+  EXPECT_EQ(asset->content_type, "image/x-portable-pixmap");
+  EXPECT_EQ(asset->bytes.size(), 5u);
+}
+
+TEST(ContentStore, TraditionalItemBytesModel) {
+  json::Value img{json::Object{}};
+  img.Set("prompt", "p");
+  img.Set("width", 512);
+  img.Set("height", 512);
+  EXPECT_EQ(TraditionalItemBytes(html::GeneratedContentType::kImage, img),
+            32768u);  // Table 2 medium image
+  json::Value txt{json::Object{}};
+  txt.Set("prompt", "p");
+  txt.Set("words", 250);
+  EXPECT_EQ(TraditionalItemBytes(html::GeneratedContentType::kText, txt),
+            1250u);  // Table 2 text block
+}
+
+TEST(ContentStore, StatsComputeCompressionRatio) {
+  ContentStore store;
+  const LandscapePage page = MakeLandscapeSearchPage(49);
+  ASSERT_TRUE(store.AddPage("/landscape", page.html).ok());
+  const StorageStats stats = store.Stats();
+  EXPECT_EQ(stats.page_count, 1u);
+  EXPECT_GT(stats.traditional_bytes, stats.prompt_bytes);
+  // 49 materialized 256×192 results vs a prompt page: double-digit ratio.
+  EXPECT_GT(stats.CompressionRatio(), 10.0);
+}
+
+TEST(ContentStore, UniqueAssetsCountedSeparately) {
+  ContentStore store;
+  store.AddAsset("/u.ppm", util::Bytes(1000, 1), "image/x-portable-pixmap");
+  const StorageStats stats = store.Stats();
+  EXPECT_EQ(stats.unique_asset_bytes, 1000u);
+  EXPECT_EQ(stats.prompt_bytes, 0u);
+}
+
+TEST(ContentStore, PagePathsListsEverything) {
+  ContentStore store;
+  ASSERT_TRUE(store.AddPage("/a", MakeGoldfishPage()).ok());
+  ASSERT_TRUE(store.AddPage("/b", MakeGoldfishPage()).ok());
+  EXPECT_EQ(store.PagePaths().size(), 2u);
+}
+
+// --- workload builders ----------------------------------------------------------
+
+TEST(PageBuilder, LandscapePromptsInPaperRange) {
+  // §6.2: prompts "ranging from 120 characters to 262 characters".
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const std::string prompt = MakeLandscapePrompt(seed);
+    EXPECT_GE(prompt.size(), 120u) << seed;
+    EXPECT_LE(prompt.size(), 262u) << seed;
+  }
+}
+
+TEST(PageBuilder, LandscapePageHas49ImagesAndFig2Sizes) {
+  const LandscapePage page = MakeLandscapeSearchPage();
+  EXPECT_EQ(page.prompts.size(), 49u);
+  // The paper's Figure 2 page: ~1.4 MB of images vs ~8.9 kB of metadata.
+  EXPECT_NEAR(static_cast<double>(page.traditional_image_bytes), 1.4e6, 0.1e6);
+  EXPECT_LT(page.total_metadata_bytes, 15000u);
+  const double ratio = static_cast<double>(page.traditional_image_bytes) /
+                       static_cast<double>(page.total_metadata_bytes);
+  EXPECT_GT(ratio, 50.0);
+}
+
+TEST(PageBuilder, TravelBlogMixesGeneratedAndUnique) {
+  const TravelBlogPage page = MakeTravelBlogPage(3, 2);
+  EXPECT_EQ(page.unique_asset_paths.size(), 2u);
+  ContentStore store;
+  ASSERT_TRUE(store.AddPage("/blog", page.html).ok());
+  const PageEntry* entry = store.FindPage("/blog");
+  ASSERT_NE(entry, nullptr);
+  // 1 text div + 3 stock image divs.
+  EXPECT_EQ(entry->item_types.size(), 4u);
+}
+
+TEST(PageBuilder, NewsArticleHitsTargetBytes) {
+  // §6.2's text experiment starts from a 2,400 B article.
+  EXPECT_EQ(MakeNewsArticleText(2400).size(), 2400u);
+  const std::string html = MakeNewsArticleHtml(2400);
+  EXPECT_NEAR(static_cast<double>(html.size()), 2400.0, 10.0);
+}
+
+TEST(PageBuilder, BuildersAreDeterministic) {
+  EXPECT_EQ(MakeLandscapeSearchPage().html, MakeLandscapeSearchPage().html);
+  EXPECT_EQ(MakeNewsArticleText(1000, 5), MakeNewsArticleText(1000, 5));
+  EXPECT_NE(MakeNewsArticleText(1000, 5), MakeNewsArticleText(1000, 6));
+}
+
+}  // namespace
+}  // namespace sww::core

@@ -1,0 +1,157 @@
+// Tests for §7's trust mechanism: semantic digests over generated content.
+#include <gtest/gtest.h>
+
+#include "core/page_builder.hpp"
+#include "core/session.hpp"
+#include "core/verification.hpp"
+#include "genai/diffusion.hpp"
+
+namespace sww::core {
+namespace {
+
+genai::DiffusionModel Dalle() {
+  return genai::DiffusionModel(genai::FindImageModel(genai::kDalle3).value());
+}
+
+TEST(Digest, HexRoundTrip) {
+  const SemanticDigest digest = 0x0123456789abcdefULL;
+  EXPECT_EQ(DigestToHex(digest), "0123456789abcdef");
+  EXPECT_EQ(DigestFromHex("0123456789abcdef"), digest);
+  EXPECT_EQ(DigestFromHex("0123456789ABCDEF"), digest);
+}
+
+TEST(Digest, MalformedHexYieldsZero) {
+  EXPECT_EQ(DigestFromHex(""), 0u);
+  EXPECT_EQ(DigestFromHex("123"), 0u);
+  EXPECT_EQ(DigestFromHex("zzzzzzzzzzzzzzzz"), 0u);
+  EXPECT_EQ(DigestFromHex("0123456789abcdef00"), 0u);
+}
+
+TEST(Digest, DistanceProperties) {
+  EXPECT_EQ(DigestDistance(0, 0), 0);
+  EXPECT_EQ(DigestDistance(0, ~0ULL), 64);
+  EXPECT_EQ(DigestDistance(0b1010, 0b0110), 2);
+}
+
+TEST(Digest, StableForPrompt) {
+  const std::string prompt = "a misty mountain lake at dawn";
+  EXPECT_EQ(DigestOfPrompt(prompt), DigestOfPrompt(prompt));
+  EXPECT_NE(DigestOfPrompt(prompt), DigestOfPrompt("a busy city street"));
+}
+
+TEST(Verification, FaithfulGenerationPasses) {
+  genai::DiffusionModel model = Dalle();
+  const std::string prompt = "a misty mountain lake with forest reflection";
+  const SemanticDigest expected = DigestOfPrompt(prompt);
+  // Any seed: verification is semantic, not pixel-exact.
+  for (std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+    const auto generated = model.Generate(prompt, 224, 224, 15, seed);
+    const ContentVerification result = VerifyGeneratedContent(
+        prompt, prompt, expected, generated.value().image);
+    EXPECT_TRUE(result.verified()) << "seed " << seed << " distance "
+                                   << result.distance;
+  }
+}
+
+TEST(Verification, RandomImageFails) {
+  const SemanticDigest expected =
+      DigestOfPrompt("a misty mountain lake with forest reflection");
+  const genai::Image random = genai::DiffusionModel::RandomImage(224, 224, 5);
+  const VerificationResult result = VerifyGeneratedImage(random, expected);
+  EXPECT_FALSE(result.verified);
+  // Random signatures sit near 32 bits of disagreement.
+  EXPECT_GT(result.distance, kDefaultDigestBudget);
+}
+
+TEST(Verification, TamperedPromptFails) {
+  // A man-in-the-middle swaps the prompt but keeps the digest: stage 1
+  // (prompt integrity) mismatches deterministically.
+  genai::DiffusionModel model = Dalle();
+  const SemanticDigest authored_digest =
+      DigestOfPrompt("a misty mountain lake with forest reflection");
+  const std::string attacker_prompt =
+      "a crowded casino floor with slot machines";
+  const auto swapped = model.Generate(attacker_prompt, 224, 224, 15, 3);
+  const ContentVerification result = VerifyGeneratedContent(
+      attacker_prompt, attacker_prompt, authored_digest, swapped.value().image);
+  EXPECT_FALSE(result.prompt_integrity);
+  EXPECT_FALSE(result.verified());
+  // The attacker's image is faithful to the attacker's prompt — only the
+  // integrity stage catches this attack.
+  EXPECT_TRUE(result.semantically_faithful);
+}
+
+TEST(Verification, WeakerModelStillPasses) {
+  // The digest must accept any *faithful* generator, including SD 2.1 —
+  // it verifies semantics, not quality.
+  genai::DiffusionModel weak(genai::FindImageModel(genai::kSd21).value());
+  const std::string prompt = core::MakeLandscapePrompt(77);
+  const auto generated = weak.Generate(prompt, 224, 224, 15, 4);
+  const ContentVerification result = VerifyGeneratedContent(
+      prompt, prompt, DigestOfPrompt(prompt), generated.value().image);
+  EXPECT_TRUE(result.verified()) << "distance " << result.distance;
+}
+
+TEST(VerificationE2E, PageItemsVerifyDuringFetch) {
+  ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", MakeGoldfishPage()).ok());
+  auto session = LocalSession::Start(&store, {});
+  ASSERT_TRUE(session.ok());
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().verified_items, 1u);
+  EXPECT_EQ(fetch.value().failed_verification_items, 0u);
+  ASSERT_FALSE(fetch.value().media.empty());
+  EXPECT_TRUE(fetch.value().media[0].has_verification);
+}
+
+TEST(VerificationE2E, CorruptedDigestIsDetected) {
+  // Author a page whose digest does not match its prompt.
+  json::Value metadata{json::Object{}};
+  metadata.Set("prompt", "a quiet harbor at dusk with fishing boats");
+  metadata.Set("name", "harbor");
+  metadata.Set("width", 64);
+  metadata.Set("height", 64);
+  metadata.Set("digest",
+               DigestToHex(DigestOfPrompt("completely different content")));
+  auto div = html::MakeGeneratedContentDiv(html::GeneratedContentType::kImage,
+                                           metadata);
+  ContentStore store;
+  ASSERT_TRUE(
+      store.AddPage("/bad", "<html><body>" + div->Serialize() + "</body></html>")
+          .ok());
+  auto session = LocalSession::Start(&store, {});
+  auto fetch = session.value()->FetchPage("/bad");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().verified_items, 0u);
+  EXPECT_EQ(fetch.value().failed_verification_items, 1u);
+}
+
+TEST(VerificationE2E, PersonalizedContentStillVerifies) {
+  // Bounded personalization keeps the image faithful to the prompt it
+  // actually used; the fallback check accepts it.
+  ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", MakeGoldfishPage()).ok());
+  LocalSession::Options options;
+  options.client.generator.profile.interests = {"sailing", "astronomy"};
+  options.client.generator.profile.consented = true;
+  auto session = LocalSession::Start(&store, options);
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().failed_verification_items, 0u);
+}
+
+TEST(VerificationE2E, LandscapePageAllItemsCarryDigests) {
+  ContentStore store;
+  const LandscapePage page = MakeLandscapeSearchPage(5);
+  ASSERT_TRUE(store.AddPage("/l", page.html).ok());
+  auto session = LocalSession::Start(&store, {});
+  auto fetch = session.value()->FetchPage("/l");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch.value().verified_items + fetch.value().failed_verification_items,
+            5u);
+  EXPECT_EQ(fetch.value().failed_verification_items, 0u);
+}
+
+}  // namespace
+}  // namespace sww::core

@@ -1,0 +1,329 @@
+// Tests for the HPACK codec, anchored on RFC 7541 Appendix C examples.
+#include <gtest/gtest.h>
+
+#include "hpack/hpack.hpp"
+#include "hpack/static_table.hpp"
+#include "util/bytes.hpp"
+
+namespace sww::hpack {
+namespace {
+
+using util::ByteReader;
+using util::Bytes;
+using util::FromHex;
+using util::HexDump;
+
+// --- integers (RFC 7541 C.1) ----------------------------------------------
+
+TEST(HpackInteger, SmallValueFitsPrefix) {
+  Bytes out;
+  EncodeInteger(10, 5, 0x00, out);
+  EXPECT_EQ(HexDump(out), "0a");
+  ByteReader reader(out);
+  EXPECT_EQ(DecodeInteger(reader, 5).value(), 10u);
+}
+
+TEST(HpackInteger, C12LargeValueWithContinuation) {
+  // RFC 7541 C.1.2: 1337 with 5-bit prefix → 1f 9a 0a.
+  Bytes out;
+  EncodeInteger(1337, 5, 0x00, out);
+  EXPECT_EQ(HexDump(out), "1f 9a 0a");
+  ByteReader reader(out);
+  EXPECT_EQ(DecodeInteger(reader, 5).value(), 1337u);
+}
+
+TEST(HpackInteger, C13OctetBoundary) {
+  // RFC 7541 C.1.3: 42 with 8-bit prefix → 2a.
+  Bytes out;
+  EncodeInteger(42, 8, 0x00, out);
+  EXPECT_EQ(HexDump(out), "2a");
+}
+
+TEST(HpackInteger, FlagsArePreserved) {
+  Bytes out;
+  EncodeInteger(2, 7, 0x80, out);
+  EXPECT_EQ(HexDump(out), "82");  // indexed field, index 2
+}
+
+TEST(HpackInteger, TruncatedContinuationFails) {
+  const Bytes truncated = {0x1f};  // needs continuation bytes
+  ByteReader reader(truncated);
+  EXPECT_FALSE(DecodeInteger(reader, 5).ok());
+}
+
+TEST(HpackInteger, OverflowRejected) {
+  Bytes malicious = {0x1f};
+  for (int i = 0; i < 12; ++i) malicious.push_back(0xff);
+  malicious.push_back(0x7f);
+  ByteReader reader(malicious);
+  EXPECT_FALSE(DecodeInteger(reader, 5).ok());
+}
+
+class IntegerRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(IntegerRoundTrip, SurvivesEncodeDecode) {
+  const auto [value, prefix] = GetParam();
+  Bytes out;
+  EncodeInteger(value, prefix, 0x00, out);
+  ByteReader reader(out);
+  EXPECT_EQ(DecodeInteger(reader, prefix).value(), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntegerRoundTrip,
+    ::testing::Combine(::testing::Values(0ull, 1ull, 30ull, 31ull, 32ull,
+                                         127ull, 128ull, 16383ull, 1337ull,
+                                         (1ull << 21), (1ull << 40)),
+                       ::testing::Values(4, 5, 6, 7, 8)));
+
+// --- strings ----------------------------------------------------------------
+
+TEST(HpackString, ShortBinaryStaysRaw) {
+  Bytes out;
+  EncodeString("\x01\x02", out);  // Huffman would expand; raw chosen
+  EXPECT_EQ(out[0], 0x02);        // length 2, H bit clear
+  ByteReader reader(out);
+  EXPECT_EQ(DecodeString(reader).value(), "\x01\x02");
+}
+
+TEST(HpackString, CompressibleTextUsesHuffman) {
+  Bytes out;
+  EncodeString("www.example.com", out);
+  EXPECT_EQ(out[0] & 0x80, 0x80);  // H bit set
+  EXPECT_EQ(out[0] & 0x7f, 12);    // 12 Huffman bytes, not 15 raw
+  ByteReader reader(out);
+  EXPECT_EQ(DecodeString(reader).value(), "www.example.com");
+}
+
+TEST(HpackString, LengthBeyondBlockRejected) {
+  const Bytes bad = {0x7f, 0xff};  // claims a huge raw length
+  ByteReader reader(bad);
+  EXPECT_FALSE(DecodeString(reader).ok());
+}
+
+// --- static table -----------------------------------------------------------
+
+TEST(HpackStaticTable, KnownEntries) {
+  EXPECT_EQ(StaticTableEntry(2).name, ":method");
+  EXPECT_EQ(StaticTableEntry(2).value, "GET");
+  EXPECT_EQ(StaticTableEntry(8).name, ":status");
+  EXPECT_EQ(StaticTableEntry(8).value, "200");
+  EXPECT_EQ(StaticTableEntry(61).name, "www-authenticate");
+  EXPECT_THROW(StaticTableEntry(0), std::out_of_range);
+  EXPECT_THROW(StaticTableEntry(62), std::out_of_range);
+}
+
+TEST(HpackStaticTable, Lookup) {
+  EXPECT_EQ(StaticTableFind(":method", "GET"), 2u);
+  EXPECT_EQ(StaticTableFind(":method", "PUT"), 0u);
+  EXPECT_EQ(StaticTableFindName("cookie"), 32u);
+  EXPECT_EQ(StaticTableFindName("x-custom"), 0u);
+}
+
+// --- dynamic table ------------------------------------------------------------
+
+TEST(HpackDynamicTable, InsertAndIndex) {
+  DynamicTable table(4096);
+  table.Insert("a", "1");
+  table.Insert("b", "2");
+  EXPECT_EQ(table.entry_count(), 2u);
+  EXPECT_EQ(table.At(0).name, "b");  // newest first
+  EXPECT_EQ(table.At(1).name, "a");
+  EXPECT_EQ(table.Find("a", "1"), 1u);
+  EXPECT_EQ(table.FindName("b"), 0u);
+  EXPECT_EQ(table.Find("a", "x"), DynamicTable::npos);
+}
+
+TEST(HpackDynamicTable, EntrySizeIncludesOverhead) {
+  DynamicTable table(4096);
+  table.Insert("ab", "cde");
+  EXPECT_EQ(table.size_bytes(), 2u + 3u + 32u);
+}
+
+TEST(HpackDynamicTable, EvictsOldestWhenFull) {
+  DynamicTable table(80);  // fits two tiny entries (each 34-36 bytes)
+  table.Insert("a", "1");  // 34
+  table.Insert("b", "2");  // 34
+  table.Insert("c", "3");  // 34 → evicts "a"
+  EXPECT_EQ(table.entry_count(), 2u);
+  EXPECT_EQ(table.FindName("a"), DynamicTable::npos);
+  EXPECT_EQ(table.At(0).name, "c");
+}
+
+TEST(HpackDynamicTable, OversizedEntryEmptiesTable) {
+  DynamicTable table(64);
+  table.Insert("a", "1");
+  table.Insert("name", std::string(100, 'x'));
+  EXPECT_EQ(table.entry_count(), 0u);
+  EXPECT_EQ(table.size_bytes(), 0u);
+}
+
+TEST(HpackDynamicTable, ShrinkingMaxSizeEvicts) {
+  DynamicTable table(200);
+  table.Insert("a", "1");
+  table.Insert("b", "2");
+  table.SetMaxSize(40);
+  EXPECT_EQ(table.entry_count(), 1u);
+  EXPECT_EQ(table.At(0).name, "b");
+}
+
+// --- encoder/decoder against RFC 7541 C.4 (Huffman request examples) --------
+
+HeaderList FirstRequest() {
+  return {{":method", "GET", false},
+          {":scheme", "http", false},
+          {":path", "/", false},
+          {":authority", "www.example.com", false}};
+}
+
+TEST(HpackCodec, C41FirstRequestMatchesRfcBytes) {
+  Encoder encoder;
+  const Bytes block = encoder.EncodeBlock(FirstRequest());
+  EXPECT_EQ(HexDump(block),
+            HexDump(FromHex("8286 8441 8cf1 e3c2 e5f2 3a6b a0ab 90f4 ff").value()));
+  EXPECT_EQ(encoder.table().size_bytes(), 57u);  // RFC: table size 57
+}
+
+TEST(HpackCodec, C42SecondRequestUsesDynamicIndex) {
+  Encoder encoder;
+  (void)encoder.EncodeBlock(FirstRequest());
+  HeaderList second = FirstRequest();
+  second.push_back({"cache-control", "no-cache", false});
+  const Bytes block = encoder.EncodeBlock(second);
+  EXPECT_EQ(HexDump(block),
+            HexDump(FromHex("8286 84be 5886 a8eb 1064 9cbf").value()));
+  EXPECT_EQ(encoder.table().size_bytes(), 110u);
+}
+
+TEST(HpackCodec, C43ThirdRequestAddsCustomHeader) {
+  Encoder encoder;
+  (void)encoder.EncodeBlock(FirstRequest());
+  HeaderList second = FirstRequest();
+  second.push_back({"cache-control", "no-cache", false});
+  (void)encoder.EncodeBlock(second);
+  HeaderList third = {{":method", "GET", false},
+                      {":scheme", "https", false},
+                      {":path", "/index.html", false},
+                      {":authority", "www.example.com", false},
+                      {"custom-key", "custom-value", false}};
+  const Bytes block = encoder.EncodeBlock(third);
+  EXPECT_EQ(HexDump(block),
+            HexDump(FromHex("8287 85bf 4088 25a8 49e9 5ba9 7d7f 8925 a849"
+                            " e95b b8e8 b4bf").value()));
+  EXPECT_EQ(encoder.table().size_bytes(), 164u);
+}
+
+TEST(HpackCodec, DecoderConsumesRfcBlocksInSequence) {
+  Decoder decoder;
+  auto first = decoder.DecodeBlock(
+      FromHex("8286 8441 8cf1 e3c2 e5f2 3a6b a0ab 90f4 ff").value());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), FirstRequest());
+
+  auto second =
+      decoder.DecodeBlock(FromHex("8286 84be 5886 a8eb 1064 9cbf").value());
+  ASSERT_TRUE(second.ok());
+  HeaderList expected_second = FirstRequest();
+  expected_second.push_back({"cache-control", "no-cache", false});
+  EXPECT_EQ(second.value(), expected_second);
+
+  auto third = decoder.DecodeBlock(
+      FromHex("8287 85bf 4088 25a8 49e9 5ba9 7d7f 8925 a849 e95b b8e8 b4bf")
+          .value());
+  ASSERT_TRUE(third.ok());
+  ASSERT_EQ(third.value().size(), 5u);
+  EXPECT_EQ(third.value()[4].name, "custom-key");
+  EXPECT_EQ(third.value()[4].value, "custom-value");
+}
+
+// --- round trips and error handling -----------------------------------------
+
+TEST(HpackCodec, SensitiveHeadersAreNeverIndexed) {
+  Encoder encoder;
+  HeaderList headers = {{"authorization", "secret-token", true}};
+  const Bytes block = encoder.EncodeBlock(headers);
+  // Never-indexed literal: first byte prefix 0001 with 4-bit name index.
+  EXPECT_EQ(block[0] & 0xf0, 0x10);
+  // Nothing entered the dynamic table.
+  EXPECT_EQ(encoder.table().entry_count(), 0u);
+  Decoder decoder;
+  auto decoded = decoder.DecodeBlock(block);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value()[0].value, "secret-token");
+  EXPECT_TRUE(decoded.value()[0].sensitive);
+}
+
+TEST(HpackCodec, RoundTripArbitraryHeaders) {
+  Encoder encoder;
+  Decoder decoder;
+  HeaderList headers = {{":status", "200", false},
+                        {"content-type", "text/html", false},
+                        {"x-sww-mode", "generative", false},
+                        {"x-sww-mode", "generative", false},  // repeat → indexed
+                        {"empty", "", false}};
+  for (int round = 0; round < 3; ++round) {
+    auto decoded = decoder.DecodeBlock(encoder.EncodeBlock(headers));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().size(), headers.size());
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      EXPECT_EQ(decoded.value()[i].name, headers[i].name);
+      EXPECT_EQ(decoded.value()[i].value, headers[i].value);
+    }
+  }
+}
+
+TEST(HpackDecoder, IndexZeroIsError) {
+  Decoder decoder;
+  EXPECT_FALSE(decoder.DecodeBlock(Bytes{0x80}).ok());
+}
+
+TEST(HpackDecoder, IndexBeyondTablesIsError) {
+  Decoder decoder;
+  Bytes block;
+  EncodeInteger(200, 7, 0x80, block);
+  EXPECT_FALSE(decoder.DecodeBlock(block).ok());
+}
+
+TEST(HpackDecoder, TableSizeUpdateAboveLimitIsError) {
+  Decoder decoder(4096);
+  decoder.SetMaxTableSizeLimit(4096);
+  Bytes block;
+  EncodeInteger(8192, 5, 0x20, block);
+  EXPECT_FALSE(decoder.DecodeBlock(block).ok());
+}
+
+TEST(HpackDecoder, TableSizeUpdateAfterFieldIsError) {
+  Decoder decoder;
+  Bytes block = {0x82};             // :method GET
+  EncodeInteger(0, 5, 0x20, block); // then a size update — illegal
+  EXPECT_FALSE(decoder.DecodeBlock(block).ok());
+}
+
+TEST(HpackDecoder, TableSizeUpdateAtBlockStartApplies) {
+  Decoder decoder(4096);
+  Bytes block;
+  EncodeInteger(0, 5, 0x20, block);  // shrink to zero
+  block.push_back(0x82);
+  auto decoded = decoder.DecodeBlock(block);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoder.table().max_size(), 0u);
+}
+
+TEST(HpackEncoder, TableSizeUpdateEmittedAtNextBlock) {
+  Encoder encoder;
+  encoder.SetMaxTableSize(256);
+  const Bytes block = encoder.EncodeBlock({{":method", "GET", false}});
+  // First byte must be the size update (001 prefix).
+  EXPECT_EQ(block[0] & 0xe0, 0x20);
+}
+
+TEST(HpackDecoder, TruncatedBlockIsError) {
+  Decoder decoder;
+  // Literal with incremental indexing, new name, but string cut off.
+  const Bytes bad = {0x40, 0x05, 'a', 'b'};
+  EXPECT_FALSE(decoder.DecodeBlock(bad).ok());
+}
+
+}  // namespace
+}  // namespace sww::hpack

@@ -1,0 +1,368 @@
+// Tests for the HTTP/2 connection state machine, including the SWW
+// negotiation behaviour the paper's §3/§6.2 describe.
+#include <gtest/gtest.h>
+
+#include "http2/connection.hpp"
+#include "net/pump.hpp"
+#include "util/bytes.hpp"
+
+namespace sww::http2 {
+namespace {
+
+using util::Bytes;
+using util::ToBytes;
+
+Connection::Options ClientOptions(std::uint32_t ability = kGenAbilityFull) {
+  Connection::Options options;
+  options.local_settings.set_gen_ability(ability);
+  options.local_settings.set_enable_push(false);
+  return options;
+}
+
+Connection::Options ServerOptions(std::uint32_t ability = kGenAbilityFull) {
+  Connection::Options options;
+  options.local_settings.set_gen_ability(ability);
+  options.local_settings.set_enable_push(false);
+  return options;
+}
+
+struct Pair {
+  Connection client{Connection::Role::kClient, ClientOptions()};
+  Connection server{Connection::Role::kServer, ServerOptions()};
+
+  Pair() = default;
+  Pair(std::uint32_t client_ability, std::uint32_t server_ability)
+      : client(Connection::Role::kClient, ClientOptions(client_ability)),
+        server(Connection::Role::kServer, ServerOptions(server_ability)) {}
+
+  void Handshake() {
+    client.StartHandshake();
+    server.StartHandshake();
+    net::DirectLinkExchange(client, server);
+  }
+};
+
+TEST(Connection, HandshakeExchangesSettingsAndAcks) {
+  Pair pair;
+  pair.Handshake();
+  EXPECT_TRUE(pair.client.remote_settings_received());
+  EXPECT_TRUE(pair.server.remote_settings_received());
+  EXPECT_TRUE(pair.client.local_settings_acked());
+  EXPECT_TRUE(pair.server.local_settings_acked());
+}
+
+TEST(Connection, GenAbilityNegotiatedWhenBothAdvertise) {
+  Pair pair;
+  pair.Handshake();
+  EXPECT_TRUE(pair.client.generative_mode());
+  EXPECT_TRUE(pair.server.generative_mode());
+  EXPECT_EQ(pair.client.negotiated_gen_ability(), kGenAbilityFull);
+}
+
+TEST(Connection, FallsBackWhenOnlyOneSideParticipates) {
+  // "In an exchange between a participating entity and non-participating
+  // entity, the participating entity will fall back to default ... The
+  // non-participating entity will remain naïve."
+  Pair pair(kGenAbilityFull, kGenAbilityNone);
+  pair.Handshake();
+  EXPECT_FALSE(pair.client.generative_mode());
+  EXPECT_FALSE(pair.server.generative_mode());
+}
+
+TEST(Connection, NegotiationPendingUntilSettingsArrive) {
+  Connection client(Connection::Role::kClient, ClientOptions());
+  EXPECT_EQ(client.negotiated_gen_ability(), kGenAbilityNone);
+  EXPECT_FALSE(client.generative_mode());
+}
+
+TEST(Connection, UnknownSettingFromFutureExtensionIsIgnored) {
+  // A hypothetical peer sends both GEN_ABILITY and an unknown parameter;
+  // the connection keeps working (RFC 9113 §6.5.2).
+  Pair pair;
+  pair.client.StartHandshake();
+  pair.server.StartHandshake();
+  Frame extra = MakeSettingsFrame({{0x09, 77}, {kSettingsGenAbility, 1}});
+  Bytes wire = SerializeFrame(extra);
+  // Deliver the server's normal output first, then the extra SETTINGS.
+  net::DirectLinkExchange(pair.client, pair.server);
+  ASSERT_TRUE(pair.client.Receive(wire).ok());
+  EXPECT_EQ(pair.client.remote_settings().unknown().at(0x09), 77u);
+  EXPECT_TRUE(pair.client.generative_mode());
+}
+
+TEST(Connection, RequestResponseRoundTrip) {
+  Pair pair;
+  pair.Handshake();
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/index.html", false},
+                               {":authority", "example.org", false}};
+  auto stream_id = pair.client.SubmitRequest(request, {});
+  ASSERT_TRUE(stream_id.ok());
+  EXPECT_EQ(stream_id.value(), 1u);
+  net::DirectLinkExchange(pair.client, pair.server);
+
+  // Server sees the complete request.
+  const Stream* server_stream = pair.server.FindStream(1);
+  ASSERT_NE(server_stream, nullptr);
+  EXPECT_TRUE(server_stream->remote_end);
+  ASSERT_EQ(server_stream->headers.size(), 4u);
+  EXPECT_EQ(server_stream->headers[2].value, "/index.html");
+
+  // Server answers.
+  hpack::HeaderList response = {{":status", "200", false},
+                                {"content-type", "text/html", false}};
+  ASSERT_TRUE(pair.server.SubmitHeaders(1, response, false).ok());
+  ASSERT_TRUE(pair.server.SubmitData(1, ToBytes("<html></html>"), true).ok());
+  net::DirectLinkExchange(pair.client, pair.server);
+
+  const Stream* client_stream = pair.client.FindStream(1);
+  ASSERT_NE(client_stream, nullptr);
+  EXPECT_EQ(util::ToString(client_stream->body), "<html></html>");
+  EXPECT_EQ(client_stream->state, StreamState::kClosed);
+}
+
+TEST(Connection, MultiplexedStreamsInterleave) {
+  Pair pair;
+  pair.Handshake();
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/a", false}};
+  auto s1 = pair.client.SubmitRequest(request, {});
+  auto s2 = pair.client.SubmitRequest(request, {});
+  auto s3 = pair.client.SubmitRequest(request, {});
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(s2.value(), 3u);
+  EXPECT_EQ(s3.value(), 5u);  // client streams are odd and increasing
+  net::DirectLinkExchange(pair.client, pair.server);
+  EXPECT_NE(pair.server.FindStream(1), nullptr);
+  EXPECT_NE(pair.server.FindStream(3), nullptr);
+  EXPECT_NE(pair.server.FindStream(5), nullptr);
+}
+
+TEST(Connection, LargeBodyFlowsThroughFlowControl) {
+  Pair pair;
+  pair.Handshake();
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/big", false}};
+  auto stream_id = pair.client.SubmitRequest(request, {});
+  ASSERT_TRUE(stream_id.ok());
+  net::DirectLinkExchange(pair.client, pair.server);
+
+  // 1 MB body: far beyond the 64 KB default connection window, so it only
+  // arrives if WINDOW_UPDATE replenishment works in both directions.
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(pair.server
+                  .SubmitHeaders(1, {{":status", "200", false}}, false)
+                  .ok());
+  ASSERT_TRUE(pair.server.SubmitData(1, big, true).ok());
+  net::DirectLinkExchange(pair.client, pair.server, /*max_rounds=*/512);
+
+  const Stream* stream = pair.client.FindStream(1);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_EQ(stream->body, big);
+}
+
+TEST(Connection, ReleaseWithQueuedDataStillDelivers) {
+  // Regression: the server app releases the stream immediately after
+  // submitting a response that is still queued behind flow control.
+  Pair pair;
+  pair.Handshake();
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/asset", false}};
+  ASSERT_TRUE(pair.client.SubmitRequest(request, {}).ok());
+  net::DirectLinkExchange(pair.client, pair.server);
+
+  Bytes big(400000, 0xab);
+  ASSERT_TRUE(pair.server
+                  .SubmitHeaders(1, {{":status", "200", false}}, false)
+                  .ok());
+  ASSERT_TRUE(pair.server.SubmitData(1, big, true).ok());
+  pair.server.ReleaseStream(1);  // app is done; bytes must still flow
+  net::DirectLinkExchange(pair.client, pair.server, /*max_rounds=*/512);
+  const Stream* stream = pair.client.FindStream(1);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_EQ(stream->body.size(), big.size());
+  // Once drained, the released stream is gone on the server.
+  EXPECT_EQ(pair.server.FindStream(1), nullptr);
+}
+
+TEST(Connection, OversizedHeaderBlockUsesContinuation) {
+  Pair pair;
+  pair.Handshake();
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/", false},
+                               // Incompressible value far above one frame.
+                               {"x-blob", std::string(40000, 'z'), false}};
+  ASSERT_TRUE(pair.client.SubmitRequest(request, {}).ok());
+  const auto& sent = pair.client.wire_stats().frames_sent;
+  ASSERT_TRUE(sent.count(FrameType::kContinuation));
+  EXPECT_GE(sent.at(FrameType::kContinuation), 1u);
+  net::DirectLinkExchange(pair.client, pair.server);
+  const Stream* stream = pair.server.FindStream(1);
+  ASSERT_NE(stream, nullptr);
+  ASSERT_EQ(stream->headers.size(), 4u);
+  EXPECT_EQ(stream->headers[3].value.size(), 40000u);
+}
+
+TEST(Connection, PingIsAnsweredAutomatically) {
+  Pair pair;
+  pair.Handshake();
+  pair.client.SendPing(0x1234);
+  net::DirectLinkExchange(pair.client, pair.server);
+  bool acked = false;
+  for (const auto& event : pair.client.TakeEvents()) {
+    if (event.type == Connection::Event::Type::kPingAcked) {
+      acked = true;
+      EXPECT_EQ(event.ping_opaque, 0x1234u);
+    }
+  }
+  EXPECT_TRUE(acked);
+}
+
+TEST(Connection, GoawayRefusesNewPeerStreams) {
+  Pair pair;
+  pair.Handshake();
+  pair.server.SendGoaway(ErrorCode::kNoError, "maintenance");
+  net::DirectLinkExchange(pair.client, pair.server);
+  EXPECT_TRUE(pair.client.going_away());
+
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/", false}};
+  // Client refuses to open new streams after GOAWAY.
+  EXPECT_FALSE(pair.client.SubmitRequest(request, {}).ok());
+}
+
+TEST(Connection, RstStreamClosesAndReports) {
+  Pair pair;
+  pair.Handshake();
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/", false}};
+  ASSERT_TRUE(pair.client.SubmitRequest(request, {}).ok());
+  net::DirectLinkExchange(pair.client, pair.server);
+  ASSERT_TRUE(pair.server.ResetStream(1, ErrorCode::kRefusedStream).ok());
+  net::DirectLinkExchange(pair.client, pair.server);
+  bool reset_seen = false;
+  for (const auto& event : pair.client.TakeEvents()) {
+    if (event.type == Connection::Event::Type::kStreamReset) {
+      reset_seen = true;
+      EXPECT_EQ(event.error, ErrorCode::kRefusedStream);
+    }
+  }
+  EXPECT_TRUE(reset_seen);
+  EXPECT_EQ(pair.client.FindStream(1)->state, StreamState::kClosed);
+}
+
+TEST(Connection, BadClientPrefaceIsProtocolError) {
+  Connection server(Connection::Role::kServer, ServerOptions());
+  server.StartHandshake();
+  auto status = server.Receive(ToBytes("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(server.dead());
+}
+
+TEST(Connection, FirstFrameMustBeSettings) {
+  Pair pair;
+  pair.client.StartHandshake();
+  pair.server.StartHandshake();
+  // Client preface + a PING before SETTINGS: protocol error.
+  Bytes wire = ToBytes(std::string(kClientPreface));
+  const Bytes ping = SerializeFrame(MakePingFrame(1, false));
+  wire.insert(wire.end(), ping.begin(), ping.end());
+  Connection server(Connection::Role::kServer, ServerOptions());
+  server.StartHandshake();
+  EXPECT_FALSE(server.Receive(wire).ok());
+}
+
+TEST(Connection, DataOnIdleStreamIsProtocolError) {
+  Pair pair;
+  pair.Handshake();
+  const Bytes rogue = SerializeFrame(MakeDataFrame(9, ToBytes("x"), false));
+  EXPECT_FALSE(pair.server.Receive(rogue).ok());
+  EXPECT_TRUE(pair.server.dead());
+}
+
+TEST(Connection, SettingsOnNonzeroStreamIsProtocolError) {
+  Pair pair;
+  pair.Handshake();
+  Frame bad = MakeSettingsFrame({});
+  bad.header.stream_id = 3;
+  EXPECT_FALSE(pair.server.Receive(SerializeFrame(bad)).ok());
+}
+
+TEST(Connection, PushPromiseIsRejected) {
+  Pair pair;
+  pair.Handshake();
+  Frame push;
+  push.header.type = FrameType::kPushPromise;
+  push.header.stream_id = 1;
+  push.payload = {0, 0, 0, 2};
+  EXPECT_FALSE(pair.client.Receive(SerializeFrame(push)).ok());
+}
+
+TEST(Connection, MidConnectionSettingsUpdateReachesPeer) {
+  // §5.1: "A server can choose to serve traditional content even if the
+  // client supports generative ability" — modelled by re-advertising
+  // GEN_ABILITY 0 mid-connection.
+  Pair pair;
+  pair.Handshake();
+  ASSERT_TRUE(pair.client.generative_mode());
+  Settings updated = pair.server.local_settings();
+  updated.set_gen_ability(kGenAbilityNone);
+  pair.server.UpdateLocalSettings(updated);
+  net::DirectLinkExchange(pair.client, pair.server);
+  EXPECT_FALSE(pair.client.generative_mode());
+}
+
+TEST(Connection, WireStatsCountFramesAndBytes) {
+  Pair pair;
+  pair.Handshake();
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/", false}};
+  ASSERT_TRUE(pair.client.SubmitRequest(request, {}).ok());
+  net::DirectLinkExchange(pair.client, pair.server);
+  const auto& stats = pair.client.wire_stats();
+  EXPECT_GE(stats.frames_sent.at(FrameType::kSettings), 1u);
+  EXPECT_EQ(stats.frames_sent.at(FrameType::kHeaders), 1u);
+  EXPECT_GT(stats.bytes_sent, kClientPreface.size());
+  EXPECT_GT(stats.bytes_received, 0u);
+}
+
+TEST(Connection, ServerRejectsRequestWhenConcurrencyExceeded) {
+  Connection::Options server_options = ServerOptions();
+  server_options.local_settings.set_max_concurrent_streams(1);
+  Connection server(Connection::Role::kServer, server_options);
+  Connection client(Connection::Role::kClient, ClientOptions());
+  client.StartHandshake();
+  server.StartHandshake();
+  net::DirectLinkExchange(client, server);
+
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/", false}};
+  ASSERT_TRUE(client.SubmitRequest(request, {}).ok());
+  ASSERT_TRUE(client.SubmitRequest(request, {}).ok());
+  net::DirectLinkExchange(client, server);
+  bool refused = false;
+  for (const auto& event : client.TakeEvents()) {
+    if (event.type == Connection::Event::Type::kStreamReset &&
+        event.error == ErrorCode::kRefusedStream) {
+      refused = true;
+    }
+  }
+  EXPECT_TRUE(refused);
+}
+
+}  // namespace
+}  // namespace sww::http2

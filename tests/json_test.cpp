@@ -1,0 +1,125 @@
+// Tests for src/json — the metadata dictionary format of §4.1.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace sww::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Parse("null").value().is_null());
+  EXPECT_EQ(Parse("true").value().AsBool(), true);
+  EXPECT_EQ(Parse("false").value().AsBool(), false);
+  EXPECT_DOUBLE_EQ(Parse("3.5").value().AsNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(Parse("-0.25e2").value().AsNumber(), -25.0);
+  EXPECT_EQ(Parse("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonParse, MetadataDictionary) {
+  // The exact shape the HTML parser passes to the media generator.
+  auto value = Parse(R"({"prompt":"A cartoon goldfish","name":"goldfish","width":512,"height":512})");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value().GetString("prompt"), "A cartoon goldfish");
+  EXPECT_EQ(value.value().GetInt("width"), 512);
+  EXPECT_EQ(value.value().GetInt("missing", 7), 7);
+  EXPECT_TRUE(value.value().Has("name"));
+  EXPECT_FALSE(value.value().Has("nope"));
+}
+
+TEST(JsonParse, NestedStructures) {
+  auto value = Parse(R"({"bullets":["a","b"],"deep":{"x":[1,2,3]}})");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value().Get("bullets")->AsArray().size(), 2u);
+  EXPECT_EQ(value.value().Get("deep")->Get("x")->AsArray()[2].AsInt(), 3);
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto value = Parse(R"("a\"b\\c\nd\tA")");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value().AsString(), "a\"b\\c\nd\tA");
+}
+
+TEST(JsonParse, SurrogatePairDecodesToUtf8) {
+  auto value = Parse(R"("😀")");  // 😀
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value().AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  auto value = Parse("  {\n\t\"a\" : [ 1 , 2 ]\r\n}  ");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value().Get("a")->AsArray().size(), 2u);
+}
+
+class JsonInvalidInput : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonInvalidInput, IsRejected) {
+  EXPECT_FALSE(Parse(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonInvalidInput,
+    ::testing::Values("", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru",
+                      "01", "1.", "1e", "\"unterminated", "\"bad\\q\"",
+                      "\"\\u12\"", "{\"a\":1}x", "nul", "[1 2]", "-",
+                      "\"\\ud800\"", "{'a':1}", "{\"a\":1,}"));
+
+TEST(JsonParse, DepthLimitRejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += "[";
+  for (int i = 0; i < 400; ++i) deep += "]";
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonDump, CompactAndDeterministic) {
+  Value value{Object{}};
+  value.Set("width", 512);
+  value.Set("prompt", "fish");
+  value.Set("name", "goldfish");
+  // std::map ordering → alphabetical keys, no whitespace.
+  EXPECT_EQ(value.Dump(), R"({"name":"goldfish","prompt":"fish","width":512})");
+}
+
+TEST(JsonDump, RoundTripsThroughParse) {
+  const std::string original =
+      R"({"a":[1,2.5,"x",true,null],"b":{"c":"\n\""}})";
+  auto first = Parse(original);
+  ASSERT_TRUE(first.ok());
+  auto second = Parse(first.value().Dump());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());
+}
+
+TEST(JsonDump, IntegersHaveNoDecimalPoint) {
+  Value value{Object{}};
+  value.Set("w", 224);
+  EXPECT_EQ(value.Dump(), R"({"w":224})");
+}
+
+TEST(JsonDump, PrettyIsIndentedAndReparses) {
+  auto value = Parse(R"({"a":[1,2],"b":"x"})").value();
+  const std::string pretty = value.DumpPretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Parse(pretty).value(), value);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  Value value(3.0);
+  EXPECT_THROW(value.AsString(), std::logic_error);
+  EXPECT_THROW(value.AsArray(), std::logic_error);
+  EXPECT_THROW(Value("x").AsNumber(), std::logic_error);
+}
+
+TEST(JsonValue, SetCreatesObjectFromNull) {
+  Value value;
+  value.Set("k", "v");
+  EXPECT_EQ(value.GetString("k"), "v");
+}
+
+TEST(JsonValue, ControlCharactersEscapeOnDump) {
+  Value value(std::string("a\x01") + "b");
+  EXPECT_EQ(value.Dump(), "\"a\\u0001b\"");
+}
+
+}  // namespace
+}  // namespace sww::json

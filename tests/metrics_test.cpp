@@ -1,0 +1,144 @@
+// Tests for the metrics module: Elo, SBERT/CLIP mapping behaviour, stats.
+#include <gtest/gtest.h>
+
+#include "genai/model_specs.hpp"
+#include "metrics/elo.hpp"
+#include "metrics/sbert.hpp"
+#include "metrics/stats.hpp"
+
+namespace sww::metrics {
+namespace {
+
+// --- Elo algorithm ------------------------------------------------------------
+
+TEST(Elo, ExpectedScoreProperties) {
+  EXPECT_DOUBLE_EQ(EloExpectedScore(1000, 1000), 0.5);
+  // A 400-point gap is a 10:1 expectation by construction of the scale.
+  EXPECT_NEAR(EloExpectedScore(1400, 1000), 10.0 / 11.0, 1e-9);
+  EXPECT_NEAR(EloExpectedScore(1000, 1400) + EloExpectedScore(1400, 1000), 1.0,
+              1e-12);
+}
+
+TEST(Elo, UpdateIsZeroSum) {
+  const EloUpdate update = EloApply(1200, 1000, 1.0, 16);
+  EXPECT_NEAR((update.rating_a - 1200) + (update.rating_b - 1000), 0.0, 1e-12);
+  EXPECT_GT(update.rating_a, 1200);
+}
+
+TEST(Elo, UpsetMovesRatingsMore) {
+  // The weaker player winning shifts more points than the favorite winning.
+  const EloUpdate upset = EloApply(1000, 1400, 1.0, 16);
+  const EloUpdate expected = EloApply(1400, 1000, 1.0, 16);
+  EXPECT_GT(upset.rating_a - 1000, expected.rating_a - 1400);
+}
+
+TEST(EloArena, RecoversLatentOrdering) {
+  EloArena arena(17, 16.0);
+  arena.AddPlayer("weak", 700);
+  arena.AddPlayer("mid", 900);
+  arena.AddPlayer("strong", 1150);
+  arena.RunRoundRobin(600);
+  arena.AnchorToLatentMean();
+  const ArenaPlayer* weak = arena.Find("weak");
+  const ArenaPlayer* mid = arena.Find("mid");
+  const ArenaPlayer* strong = arena.Find("strong");
+  ASSERT_NE(weak, nullptr);
+  EXPECT_LT(weak->rating, mid->rating);
+  EXPECT_LT(mid->rating, strong->rating);
+  EXPECT_NEAR(weak->rating, 700, 80);
+  EXPECT_NEAR(strong->rating, 1150, 80);
+}
+
+TEST(EloArena, ReproducesTable1Ratings) {
+  // The Table 1 ELO column: run the arena with the paper's values as
+  // latent strengths and check the estimates land nearby.
+  EloArena arena(7, 8.0);
+  for (const auto& spec : genai::ImageModels()) {
+    arena.AddPlayer(spec.name, spec.elo_quality);
+  }
+  arena.RunRoundRobin(2000);
+  arena.AnchorToLatentMean();
+  for (const auto& player : arena.players()) {
+    EXPECT_NEAR(player.rating, player.latent_strength, 70) << player.name;
+  }
+  // SD 2.1 is "significantly worse"; GPT-4o leads the arena.
+  EXPECT_LT(arena.Find("sd-2.1-base")->rating,
+            arena.Find("sd-3-medium")->rating - 100);
+  EXPECT_GT(arena.Find("gpt-4o")->rating,
+            arena.Find("sd-3.5-medium")->rating + 100);
+}
+
+TEST(EloArena, GamesAndWinsAccounted) {
+  EloArena arena(3);
+  arena.AddPlayer("a", 1000);
+  arena.AddPlayer("b", 1000);
+  arena.RunRoundRobin(10);
+  EXPECT_EQ(arena.Find("a")->games, 10u);
+  EXPECT_EQ(arena.Find("a")->wins + arena.Find("b")->wins, 10u);
+}
+
+// --- SBERT scale ----------------------------------------------------------------
+
+TEST(Sbert, VerbatimContentScoresHigh) {
+  const std::vector<std::string> bullets = {"mountain trail valley"};
+  EXPECT_GT(SbertScore(bullets, "the mountain trail crosses the valley"), 0.9);
+}
+
+TEST(Sbert, UnrelatedTextScoresLow) {
+  const std::vector<std::string> bullets = {"mountain trail valley"};
+  EXPECT_LT(SbertScore(bullets, "the quarterly report shows revenue growth"),
+            0.55);
+}
+
+TEST(Sbert, MonotonicInContentOverlap) {
+  const std::vector<std::string> bullets = {"alpha beta gamma delta"};
+  const double full = SbertScore(bullets, "alpha beta gamma delta here");
+  const double half = SbertScore(bullets, "alpha beta something else here");
+  const double none = SbertScore(bullets, "totally unrelated words only here");
+  EXPECT_GT(full, half);
+  EXPECT_GT(half, none);
+}
+
+TEST(Sbert, PairwiseOverloadAgrees) {
+  EXPECT_GT(SbertScore("mountain lake", "a mountain beside a lake"), 0.85);
+}
+
+// --- stats -----------------------------------------------------------------------
+
+TEST(Stats, WordOvershootSign) {
+  EXPECT_DOUBLE_EQ(WordOvershootPercent(100, 120), 20.0);
+  EXPECT_DOUBLE_EQ(WordOvershootPercent(100, 80), -20.0);
+  EXPECT_DOUBLE_EQ(WordOvershootPercent(0, 50), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(Stats, SummaryMoments) {
+  const Summary summary = Summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(summary.count, 8u);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  EXPECT_DOUBLE_EQ(summary.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(summary.min, 2.0);
+  EXPECT_DOUBLE_EQ(summary.max, 9.0);
+}
+
+TEST(Stats, SummaryEmptyIsZeros) {
+  const Summary summary = Summarize({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+}
+
+TEST(Stats, FormatSummaryIsReadable) {
+  const std::string text = FormatSummary(Summarize({1, 2, 3}));
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("mean=2.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sww::metrics
