@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cdn_storage.dir/bench_cdn_storage.cpp.o"
+  "CMakeFiles/bench_cdn_storage.dir/bench_cdn_storage.cpp.o.d"
+  "bench_cdn_storage"
+  "bench_cdn_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdn_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_carbon.dir/bench_energy_carbon.cpp.o"
+  "CMakeFiles/bench_energy_carbon.dir/bench_energy_carbon.cpp.o.d"
+  "bench_energy_carbon"
+  "bench_energy_carbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_html.dir/bench_fig1_html.cpp.o"
+  "CMakeFiles/bench_fig1_html.dir/bench_fig1_html.cpp.o.d"
+  "bench_fig1_html"
+  "bench_fig1_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

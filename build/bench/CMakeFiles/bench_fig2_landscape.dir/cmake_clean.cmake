@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_landscape.dir/bench_fig2_landscape.cpp.o"
+  "CMakeFiles/bench_fig2_landscape.dir/bench_fig2_landscape.cpp.o.d"
+  "bench_fig2_landscape"
+  "bench_fig2_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

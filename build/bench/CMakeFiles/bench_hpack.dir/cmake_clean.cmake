@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpack.dir/bench_hpack.cpp.o"
+  "CMakeFiles/bench_hpack.dir/bench_hpack.cpp.o.d"
+  "bench_hpack"
+  "bench_hpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

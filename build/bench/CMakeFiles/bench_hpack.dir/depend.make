@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hpack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_http2_negotiation.dir/bench_http2_negotiation.cpp.o"
+  "CMakeFiles/bench_http2_negotiation.dir/bench_http2_negotiation.cpp.o.d"
+  "bench_http2_negotiation"
+  "bench_http2_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_http2_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

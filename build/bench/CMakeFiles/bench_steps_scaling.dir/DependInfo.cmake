@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_steps_scaling.cpp" "bench/CMakeFiles/bench_steps_scaling.dir/bench_steps_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_steps_scaling.dir/bench_steps_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sww_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/sww_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/sww_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sww_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/sww_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpack/CMakeFiles/sww_hpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/sww_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/genai/CMakeFiles/sww_genai.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sww_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sww_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/sww_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sww_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sww_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

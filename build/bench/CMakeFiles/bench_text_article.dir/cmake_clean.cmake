@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text_article.dir/bench_text_article.cpp.o"
+  "CMakeFiles/bench_text_article.dir/bench_text_article.cpp.o.d"
+  "bench_text_article"
+  "bench_text_article.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_article.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

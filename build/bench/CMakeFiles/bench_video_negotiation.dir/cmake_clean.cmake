@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_video_negotiation.dir/bench_video_negotiation.cpp.o"
+  "CMakeFiles/bench_video_negotiation.dir/bench_video_negotiation.cpp.o.d"
+  "bench_video_negotiation"
+  "bench_video_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_video_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_edge.dir/cdn_edge.cpp.o"
+  "CMakeFiles/cdn_edge.dir/cdn_edge.cpp.o.d"
+  "cdn_edge"
+  "cdn_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

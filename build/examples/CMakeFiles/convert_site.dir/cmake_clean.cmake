@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_site.dir/convert_site.cpp.o"
+  "CMakeFiles/convert_site.dir/convert_site.cpp.o.d"
+  "convert_site"
+  "convert_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

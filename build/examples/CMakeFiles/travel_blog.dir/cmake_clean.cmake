@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_blog.dir/travel_blog.cpp.o"
+  "CMakeFiles/travel_blog.dir/travel_blog.cpp.o.d"
+  "travel_blog"
+  "travel_blog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_blog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_negotiation.dir/video_negotiation.cpp.o"
+  "CMakeFiles/video_negotiation.dir/video_negotiation.cpp.o.d"
+  "video_negotiation"
+  "video_negotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

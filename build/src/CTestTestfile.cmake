@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("compress")
+subdirs("hpack")
+subdirs("http2")
+subdirs("net")
+subdirs("html")
+subdirs("genai")
+subdirs("metrics")
+subdirs("energy")
+subdirs("core")
+subdirs("cdn")
+subdirs("video")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_cdn.dir/catalog.cpp.o"
+  "CMakeFiles/sww_cdn.dir/catalog.cpp.o.d"
+  "CMakeFiles/sww_cdn.dir/edge.cpp.o"
+  "CMakeFiles/sww_cdn.dir/edge.cpp.o.d"
+  "CMakeFiles/sww_cdn.dir/simulator.cpp.o"
+  "CMakeFiles/sww_cdn.dir/simulator.cpp.o.d"
+  "libsww_cdn.a"
+  "libsww_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

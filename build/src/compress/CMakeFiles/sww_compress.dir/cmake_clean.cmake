@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_compress.dir/bitio.cpp.o"
+  "CMakeFiles/sww_compress.dir/bitio.cpp.o.d"
+  "CMakeFiles/sww_compress.dir/huffman_coder.cpp.o"
+  "CMakeFiles/sww_compress.dir/huffman_coder.cpp.o.d"
+  "CMakeFiles/sww_compress.dir/swz.cpp.o"
+  "CMakeFiles/sww_compress.dir/swz.cpp.o.d"
+  "libsww_compress.a"
+  "libsww_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

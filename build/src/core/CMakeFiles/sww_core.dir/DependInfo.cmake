@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/sww_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/content_store.cpp" "src/core/CMakeFiles/sww_core.dir/content_store.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/content_store.cpp.o.d"
+  "/root/repo/src/core/converter.cpp" "src/core/CMakeFiles/sww_core.dir/converter.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/converter.cpp.o.d"
+  "/root/repo/src/core/http_semantics.cpp" "src/core/CMakeFiles/sww_core.dir/http_semantics.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/http_semantics.cpp.o.d"
+  "/root/repo/src/core/media_generator.cpp" "src/core/CMakeFiles/sww_core.dir/media_generator.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/media_generator.cpp.o.d"
+  "/root/repo/src/core/page_builder.cpp" "src/core/CMakeFiles/sww_core.dir/page_builder.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/page_builder.cpp.o.d"
+  "/root/repo/src/core/personalization.cpp" "src/core/CMakeFiles/sww_core.dir/personalization.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/personalization.cpp.o.d"
+  "/root/repo/src/core/prompt_cache.cpp" "src/core/CMakeFiles/sww_core.dir/prompt_cache.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/prompt_cache.cpp.o.d"
+  "/root/repo/src/core/renderer.cpp" "src/core/CMakeFiles/sww_core.dir/renderer.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/renderer.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/sww_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/sww_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/stock_prompts.cpp" "src/core/CMakeFiles/sww_core.dir/stock_prompts.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/stock_prompts.cpp.o.d"
+  "/root/repo/src/core/verification.cpp" "src/core/CMakeFiles/sww_core.dir/verification.cpp.o" "gcc" "src/core/CMakeFiles/sww_core.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sww_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/sww_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sww_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpack/CMakeFiles/sww_hpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/sww_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sww_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/sww_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/genai/CMakeFiles/sww_genai.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sww_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

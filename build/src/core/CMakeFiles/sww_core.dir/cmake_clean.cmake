@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_core.dir/client.cpp.o"
+  "CMakeFiles/sww_core.dir/client.cpp.o.d"
+  "CMakeFiles/sww_core.dir/content_store.cpp.o"
+  "CMakeFiles/sww_core.dir/content_store.cpp.o.d"
+  "CMakeFiles/sww_core.dir/converter.cpp.o"
+  "CMakeFiles/sww_core.dir/converter.cpp.o.d"
+  "CMakeFiles/sww_core.dir/http_semantics.cpp.o"
+  "CMakeFiles/sww_core.dir/http_semantics.cpp.o.d"
+  "CMakeFiles/sww_core.dir/media_generator.cpp.o"
+  "CMakeFiles/sww_core.dir/media_generator.cpp.o.d"
+  "CMakeFiles/sww_core.dir/page_builder.cpp.o"
+  "CMakeFiles/sww_core.dir/page_builder.cpp.o.d"
+  "CMakeFiles/sww_core.dir/personalization.cpp.o"
+  "CMakeFiles/sww_core.dir/personalization.cpp.o.d"
+  "CMakeFiles/sww_core.dir/prompt_cache.cpp.o"
+  "CMakeFiles/sww_core.dir/prompt_cache.cpp.o.d"
+  "CMakeFiles/sww_core.dir/renderer.cpp.o"
+  "CMakeFiles/sww_core.dir/renderer.cpp.o.d"
+  "CMakeFiles/sww_core.dir/server.cpp.o"
+  "CMakeFiles/sww_core.dir/server.cpp.o.d"
+  "CMakeFiles/sww_core.dir/session.cpp.o"
+  "CMakeFiles/sww_core.dir/session.cpp.o.d"
+  "CMakeFiles/sww_core.dir/stock_prompts.cpp.o"
+  "CMakeFiles/sww_core.dir/stock_prompts.cpp.o.d"
+  "CMakeFiles/sww_core.dir/verification.cpp.o"
+  "CMakeFiles/sww_core.dir/verification.cpp.o.d"
+  "libsww_core.a"
+  "libsww_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/carbon.cpp" "src/energy/CMakeFiles/sww_energy.dir/carbon.cpp.o" "gcc" "src/energy/CMakeFiles/sww_energy.dir/carbon.cpp.o.d"
+  "/root/repo/src/energy/device.cpp" "src/energy/CMakeFiles/sww_energy.dir/device.cpp.o" "gcc" "src/energy/CMakeFiles/sww_energy.dir/device.cpp.o.d"
+  "/root/repo/src/energy/network.cpp" "src/energy/CMakeFiles/sww_energy.dir/network.cpp.o" "gcc" "src/energy/CMakeFiles/sww_energy.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sww_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/genai/CMakeFiles/sww_genai.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/sww_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_energy.dir/carbon.cpp.o"
+  "CMakeFiles/sww_energy.dir/carbon.cpp.o.d"
+  "CMakeFiles/sww_energy.dir/device.cpp.o"
+  "CMakeFiles/sww_energy.dir/device.cpp.o.d"
+  "CMakeFiles/sww_energy.dir/network.cpp.o"
+  "CMakeFiles/sww_energy.dir/network.cpp.o.d"
+  "libsww_energy.a"
+  "libsww_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genai/diffusion.cpp" "src/genai/CMakeFiles/sww_genai.dir/diffusion.cpp.o" "gcc" "src/genai/CMakeFiles/sww_genai.dir/diffusion.cpp.o.d"
+  "/root/repo/src/genai/embedding.cpp" "src/genai/CMakeFiles/sww_genai.dir/embedding.cpp.o" "gcc" "src/genai/CMakeFiles/sww_genai.dir/embedding.cpp.o.d"
+  "/root/repo/src/genai/image.cpp" "src/genai/CMakeFiles/sww_genai.dir/image.cpp.o" "gcc" "src/genai/CMakeFiles/sww_genai.dir/image.cpp.o.d"
+  "/root/repo/src/genai/interpolator.cpp" "src/genai/CMakeFiles/sww_genai.dir/interpolator.cpp.o" "gcc" "src/genai/CMakeFiles/sww_genai.dir/interpolator.cpp.o.d"
+  "/root/repo/src/genai/llm.cpp" "src/genai/CMakeFiles/sww_genai.dir/llm.cpp.o" "gcc" "src/genai/CMakeFiles/sww_genai.dir/llm.cpp.o.d"
+  "/root/repo/src/genai/model_specs.cpp" "src/genai/CMakeFiles/sww_genai.dir/model_specs.cpp.o" "gcc" "src/genai/CMakeFiles/sww_genai.dir/model_specs.cpp.o.d"
+  "/root/repo/src/genai/pipeline.cpp" "src/genai/CMakeFiles/sww_genai.dir/pipeline.cpp.o" "gcc" "src/genai/CMakeFiles/sww_genai.dir/pipeline.cpp.o.d"
+  "/root/repo/src/genai/prompt_inversion.cpp" "src/genai/CMakeFiles/sww_genai.dir/prompt_inversion.cpp.o" "gcc" "src/genai/CMakeFiles/sww_genai.dir/prompt_inversion.cpp.o.d"
+  "/root/repo/src/genai/upscaler.cpp" "src/genai/CMakeFiles/sww_genai.dir/upscaler.cpp.o" "gcc" "src/genai/CMakeFiles/sww_genai.dir/upscaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sww_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/sww_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_genai.dir/diffusion.cpp.o"
+  "CMakeFiles/sww_genai.dir/diffusion.cpp.o.d"
+  "CMakeFiles/sww_genai.dir/embedding.cpp.o"
+  "CMakeFiles/sww_genai.dir/embedding.cpp.o.d"
+  "CMakeFiles/sww_genai.dir/image.cpp.o"
+  "CMakeFiles/sww_genai.dir/image.cpp.o.d"
+  "CMakeFiles/sww_genai.dir/interpolator.cpp.o"
+  "CMakeFiles/sww_genai.dir/interpolator.cpp.o.d"
+  "CMakeFiles/sww_genai.dir/llm.cpp.o"
+  "CMakeFiles/sww_genai.dir/llm.cpp.o.d"
+  "CMakeFiles/sww_genai.dir/model_specs.cpp.o"
+  "CMakeFiles/sww_genai.dir/model_specs.cpp.o.d"
+  "CMakeFiles/sww_genai.dir/pipeline.cpp.o"
+  "CMakeFiles/sww_genai.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sww_genai.dir/prompt_inversion.cpp.o"
+  "CMakeFiles/sww_genai.dir/prompt_inversion.cpp.o.d"
+  "CMakeFiles/sww_genai.dir/upscaler.cpp.o"
+  "CMakeFiles/sww_genai.dir/upscaler.cpp.o.d"
+  "libsww_genai.a"
+  "libsww_genai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_genai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpack/dynamic_table.cpp" "src/hpack/CMakeFiles/sww_hpack.dir/dynamic_table.cpp.o" "gcc" "src/hpack/CMakeFiles/sww_hpack.dir/dynamic_table.cpp.o.d"
+  "/root/repo/src/hpack/hpack.cpp" "src/hpack/CMakeFiles/sww_hpack.dir/hpack.cpp.o" "gcc" "src/hpack/CMakeFiles/sww_hpack.dir/hpack.cpp.o.d"
+  "/root/repo/src/hpack/huffman.cpp" "src/hpack/CMakeFiles/sww_hpack.dir/huffman.cpp.o" "gcc" "src/hpack/CMakeFiles/sww_hpack.dir/huffman.cpp.o.d"
+  "/root/repo/src/hpack/static_table.cpp" "src/hpack/CMakeFiles/sww_hpack.dir/static_table.cpp.o" "gcc" "src/hpack/CMakeFiles/sww_hpack.dir/static_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sww_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_hpack.dir/dynamic_table.cpp.o"
+  "CMakeFiles/sww_hpack.dir/dynamic_table.cpp.o.d"
+  "CMakeFiles/sww_hpack.dir/hpack.cpp.o"
+  "CMakeFiles/sww_hpack.dir/hpack.cpp.o.d"
+  "CMakeFiles/sww_hpack.dir/huffman.cpp.o"
+  "CMakeFiles/sww_hpack.dir/huffman.cpp.o.d"
+  "CMakeFiles/sww_hpack.dir/static_table.cpp.o"
+  "CMakeFiles/sww_hpack.dir/static_table.cpp.o.d"
+  "libsww_hpack.a"
+  "libsww_hpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_hpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/html/dom.cpp" "src/html/CMakeFiles/sww_html.dir/dom.cpp.o" "gcc" "src/html/CMakeFiles/sww_html.dir/dom.cpp.o.d"
+  "/root/repo/src/html/entities.cpp" "src/html/CMakeFiles/sww_html.dir/entities.cpp.o" "gcc" "src/html/CMakeFiles/sww_html.dir/entities.cpp.o.d"
+  "/root/repo/src/html/generated_content.cpp" "src/html/CMakeFiles/sww_html.dir/generated_content.cpp.o" "gcc" "src/html/CMakeFiles/sww_html.dir/generated_content.cpp.o.d"
+  "/root/repo/src/html/parser.cpp" "src/html/CMakeFiles/sww_html.dir/parser.cpp.o" "gcc" "src/html/CMakeFiles/sww_html.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sww_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/sww_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

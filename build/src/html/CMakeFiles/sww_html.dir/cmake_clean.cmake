@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_html.dir/dom.cpp.o"
+  "CMakeFiles/sww_html.dir/dom.cpp.o.d"
+  "CMakeFiles/sww_html.dir/entities.cpp.o"
+  "CMakeFiles/sww_html.dir/entities.cpp.o.d"
+  "CMakeFiles/sww_html.dir/generated_content.cpp.o"
+  "CMakeFiles/sww_html.dir/generated_content.cpp.o.d"
+  "CMakeFiles/sww_html.dir/parser.cpp.o"
+  "CMakeFiles/sww_html.dir/parser.cpp.o.d"
+  "libsww_html.a"
+  "libsww_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_http2.dir/connection.cpp.o"
+  "CMakeFiles/sww_http2.dir/connection.cpp.o.d"
+  "CMakeFiles/sww_http2.dir/frame.cpp.o"
+  "CMakeFiles/sww_http2.dir/frame.cpp.o.d"
+  "CMakeFiles/sww_http2.dir/settings.cpp.o"
+  "CMakeFiles/sww_http2.dir/settings.cpp.o.d"
+  "CMakeFiles/sww_http2.dir/stream.cpp.o"
+  "CMakeFiles/sww_http2.dir/stream.cpp.o.d"
+  "libsww_http2.a"
+  "libsww_http2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_http2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

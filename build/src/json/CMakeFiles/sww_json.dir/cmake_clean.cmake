@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_json.dir/json.cpp.o"
+  "CMakeFiles/sww_json.dir/json.cpp.o.d"
+  "libsww_json.a"
+  "libsww_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/clip.cpp" "src/metrics/CMakeFiles/sww_metrics.dir/clip.cpp.o" "gcc" "src/metrics/CMakeFiles/sww_metrics.dir/clip.cpp.o.d"
+  "/root/repo/src/metrics/elo.cpp" "src/metrics/CMakeFiles/sww_metrics.dir/elo.cpp.o" "gcc" "src/metrics/CMakeFiles/sww_metrics.dir/elo.cpp.o.d"
+  "/root/repo/src/metrics/sbert.cpp" "src/metrics/CMakeFiles/sww_metrics.dir/sbert.cpp.o" "gcc" "src/metrics/CMakeFiles/sww_metrics.dir/sbert.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/metrics/CMakeFiles/sww_metrics.dir/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/sww_metrics.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sww_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/genai/CMakeFiles/sww_genai.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/sww_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_metrics.dir/clip.cpp.o"
+  "CMakeFiles/sww_metrics.dir/clip.cpp.o.d"
+  "CMakeFiles/sww_metrics.dir/elo.cpp.o"
+  "CMakeFiles/sww_metrics.dir/elo.cpp.o.d"
+  "CMakeFiles/sww_metrics.dir/sbert.cpp.o"
+  "CMakeFiles/sww_metrics.dir/sbert.cpp.o.d"
+  "CMakeFiles/sww_metrics.dir/stats.cpp.o"
+  "CMakeFiles/sww_metrics.dir/stats.cpp.o.d"
+  "libsww_metrics.a"
+  "libsww_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/inmemory.cpp" "src/net/CMakeFiles/sww_net.dir/inmemory.cpp.o" "gcc" "src/net/CMakeFiles/sww_net.dir/inmemory.cpp.o.d"
+  "/root/repo/src/net/pump.cpp" "src/net/CMakeFiles/sww_net.dir/pump.cpp.o" "gcc" "src/net/CMakeFiles/sww_net.dir/pump.cpp.o.d"
+  "/root/repo/src/net/reliable_link.cpp" "src/net/CMakeFiles/sww_net.dir/reliable_link.cpp.o" "gcc" "src/net/CMakeFiles/sww_net.dir/reliable_link.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/sww_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/sww_net.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sww_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http2/CMakeFiles/sww_http2.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpack/CMakeFiles/sww_hpack.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

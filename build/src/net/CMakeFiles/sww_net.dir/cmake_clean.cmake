@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_net.dir/inmemory.cpp.o"
+  "CMakeFiles/sww_net.dir/inmemory.cpp.o.d"
+  "CMakeFiles/sww_net.dir/pump.cpp.o"
+  "CMakeFiles/sww_net.dir/pump.cpp.o.d"
+  "CMakeFiles/sww_net.dir/reliable_link.cpp.o"
+  "CMakeFiles/sww_net.dir/reliable_link.cpp.o.d"
+  "CMakeFiles/sww_net.dir/tcp.cpp.o"
+  "CMakeFiles/sww_net.dir/tcp.cpp.o.d"
+  "libsww_net.a"
+  "libsww_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_util.dir/bytes.cpp.o"
+  "CMakeFiles/sww_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/sww_util.dir/hash.cpp.o"
+  "CMakeFiles/sww_util.dir/hash.cpp.o.d"
+  "CMakeFiles/sww_util.dir/log.cpp.o"
+  "CMakeFiles/sww_util.dir/log.cpp.o.d"
+  "CMakeFiles/sww_util.dir/rng.cpp.o"
+  "CMakeFiles/sww_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sww_util.dir/strings.cpp.o"
+  "CMakeFiles/sww_util.dir/strings.cpp.o.d"
+  "libsww_util.a"
+  "libsww_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sww_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sww_video.dir/streaming.cpp.o"
+  "CMakeFiles/sww_video.dir/streaming.cpp.o.d"
+  "libsww_video.a"
+  "libsww_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sww_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

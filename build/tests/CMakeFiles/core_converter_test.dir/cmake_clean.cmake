@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_converter_test.dir/core_converter_test.cpp.o"
+  "CMakeFiles/core_converter_test.dir/core_converter_test.cpp.o.d"
+  "core_converter_test"
+  "core_converter_test.pdb"
+  "core_converter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_converter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

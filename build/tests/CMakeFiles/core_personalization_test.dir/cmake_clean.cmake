@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_personalization_test.dir/core_personalization_test.cpp.o"
+  "CMakeFiles/core_personalization_test.dir/core_personalization_test.cpp.o.d"
+  "core_personalization_test"
+  "core_personalization_test.pdb"
+  "core_personalization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_personalization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_semantics_test.dir/core_semantics_test.cpp.o"
+  "CMakeFiles/core_semantics_test.dir/core_semantics_test.cpp.o.d"
+  "core_semantics_test"
+  "core_semantics_test.pdb"
+  "core_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

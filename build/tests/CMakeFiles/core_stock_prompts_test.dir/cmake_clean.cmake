@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stock_prompts_test.dir/core_stock_prompts_test.cpp.o"
+  "CMakeFiles/core_stock_prompts_test.dir/core_stock_prompts_test.cpp.o.d"
+  "core_stock_prompts_test"
+  "core_stock_prompts_test.pdb"
+  "core_stock_prompts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stock_prompts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_verification_test.dir/core_verification_test.cpp.o"
+  "CMakeFiles/core_verification_test.dir/core_verification_test.cpp.o.d"
+  "core_verification_test"
+  "core_verification_test.pdb"
+  "core_verification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_verification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

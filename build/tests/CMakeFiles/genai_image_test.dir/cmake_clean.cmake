@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genai_image_test.dir/genai_image_test.cpp.o"
+  "CMakeFiles/genai_image_test.dir/genai_image_test.cpp.o.d"
+  "genai_image_test"
+  "genai_image_test.pdb"
+  "genai_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genai_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

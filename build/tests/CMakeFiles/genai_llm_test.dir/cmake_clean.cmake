@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genai_llm_test.dir/genai_llm_test.cpp.o"
+  "CMakeFiles/genai_llm_test.dir/genai_llm_test.cpp.o.d"
+  "genai_llm_test"
+  "genai_llm_test.pdb"
+  "genai_llm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genai_llm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

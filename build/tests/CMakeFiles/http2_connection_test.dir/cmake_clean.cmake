@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http2_connection_test.dir/http2_connection_test.cpp.o"
+  "CMakeFiles/http2_connection_test.dir/http2_connection_test.cpp.o.d"
+  "http2_connection_test"
+  "http2_connection_test.pdb"
+  "http2_connection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http2_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_link_test.dir/reliable_link_test.cpp.o"
+  "CMakeFiles/reliable_link_test.dir/reliable_link_test.cpp.o.d"
+  "reliable_link_test"
+  "reliable_link_test.pdb"
+  "reliable_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/huffman_test[1]_include.cmake")
+include("/root/repo/build/tests/hpack_test[1]_include.cmake")
+include("/root/repo/build/tests/http2_frame_test[1]_include.cmake")
+include("/root/repo/build/tests/http2_settings_test[1]_include.cmake")
+include("/root/repo/build/tests/http2_connection_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/reliable_link_test[1]_include.cmake")
+include("/root/repo/build/tests/html_test[1]_include.cmake")
+include("/root/repo/build/tests/genai_image_test[1]_include.cmake")
+include("/root/repo/build/tests/genai_llm_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/core_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/core_store_test[1]_include.cmake")
+include("/root/repo/build/tests/core_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/core_session_test[1]_include.cmake")
+include("/root/repo/build/tests/core_personalization_test[1]_include.cmake")
+include("/root/repo/build/tests/core_converter_test[1]_include.cmake")
+include("/root/repo/build/tests/cdn_test[1]_include.cmake")
+include("/root/repo/build/tests/video_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/core_verification_test[1]_include.cmake")
+include("/root/repo/build/tests/core_prompt_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/core_stock_prompts_test[1]_include.cmake")
