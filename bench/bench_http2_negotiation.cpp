@@ -5,6 +5,9 @@
 //     hypothetical per-request header ("x-sww-gen-ability: 1"),
 //   * the four client/server support combinations and the serving mode
 //     each one lands in.
+// Emits telemetry artifacts next to the binary (see docs/observability.md):
+//   bench_http2_negotiation.trace.json   — chrome://tracing / Perfetto
+//   bench_http2_negotiation.metrics.jsonl — registry snapshot, one line each
 #include <cstdio>
 
 #include "core/page_builder.hpp"
@@ -12,6 +15,9 @@
 #include "hpack/hpack.hpp"
 #include "http2/connection.hpp"
 #include "net/pump.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 using namespace sww;
 
@@ -36,6 +42,14 @@ std::uint64_t HandshakeBytes(bool advertise) {
 }  // namespace
 
 int main() {
+  // Deterministic telemetry: a manual clock makes span durations reflect
+  // simulated generation cost, so trace artifacts are identical across runs.
+  static obs::ManualClock manual_clock;
+  obs::Tracer::Default().SetClock(&manual_clock);
+  obs::Tracer::Default().SetEnabled(true);
+  obs::Tracer::Default().Clear();
+  obs::Registry::Default().Reset();
+
   std::printf("=== HTTP/2 negotiation cost and fallback matrix (3, 6.2) ===\n\n");
 
   // --- wire overhead of the extension ---------------------------------------
@@ -115,5 +129,25 @@ int main() {
   }
   std::printf("\nPaper: \"Except for the first scenario, in all other cases "
               "the communication\ndefaulted to standard HTTP/2.\"\n");
+
+  // --- telemetry artifacts -----------------------------------------------------
+  const std::string trace_path = "bench_http2_negotiation.trace.json";
+  const std::string metrics_path = "bench_http2_negotiation.metrics.jsonl";
+  if (auto status = obs::WriteTraceFile(
+          trace_path, obs::Tracer::Default().FinishedSpans(),
+          "bench_http2_negotiation");
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (auto status = obs::WriteMetricsFile(
+          metrics_path, obs::Registry::Default().Snapshot());
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nTelemetry: %s (%zu spans; open in chrome://tracing), %s\n",
+              trace_path.c_str(), obs::Tracer::Default().finished_count(),
+              metrics_path.c_str());
   return 0;
 }

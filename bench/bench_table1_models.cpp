@@ -2,6 +2,9 @@
 //   "ELO & CLIP scores, with time per step on a laptop and a workstation
 //    using 15 inference steps."
 // plus the preloaded-pipeline ablation called out in DESIGN.md §6.2.
+// Emits telemetry artifacts next to the binary (see docs/observability.md):
+//   bench_table1_models.trace.json   — chrome://tracing / Perfetto
+//   bench_table1_models.metrics.jsonl — registry snapshot, one line each
 #include <cstdio>
 
 #include "core/page_builder.hpp"
@@ -10,9 +13,20 @@
 #include "genai/pipeline.hpp"
 #include "metrics/clip.hpp"
 #include "metrics/elo.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 int main() {
   using namespace sww;
+
+  // Deterministic telemetry under simulated time (pipeline loads and
+  // generation advance the manual clock, not wall time).
+  static obs::ManualClock manual_clock;
+  obs::Tracer::Default().SetClock(&manual_clock);
+  obs::Tracer::Default().SetEnabled(true);
+  obs::Tracer::Default().Clear();
+  obs::Registry::Default().Reset();
 
   // 1. ELO: a Bradley-Terry arena with the paper's published ratings as
   //    latent strengths, estimated online by the Elo algorithm.
@@ -25,6 +39,8 @@ int main() {
 
   // 2. CLIP at the paper's operating point: 224×224, 15 inference steps.
   auto clip_for = [](const genai::ImageModelSpec& spec) {
+    obs::ScopedSpan span("bench.clip_model", "bench");
+    span.AddAttribute("model", spec.name);
     genai::DiffusionModel model(spec);
     double sum = 0.0;
     const int n = 12;
@@ -32,7 +48,12 @@ int main() {
       const std::string prompt = core::MakeLandscapePrompt(300 + i);
       sum += metrics::ClipScore(
           prompt, model.Generate(prompt, 224, 224, 15, 60 + i).value().image);
+      // Simulated cost of one 224x224, 15-step generation on a workstation.
+      obs::Tracer::Default().clock().AdvanceSimulated(
+          energy::ImageGenerationSeconds(energy::Workstation(), spec, 15, 224,
+                                         224));
     }
+    span.AddAttribute("images", std::to_string(n));
     return sum / n;
   };
 
@@ -90,5 +111,25 @@ int main() {
               "reload-per-image %.1f s total (%.1fx slower)\n",
               load_s + items * gen_s, items * (load_s + gen_s),
               (items * (load_s + gen_s)) / (load_s + items * gen_s));
+
+  // --- telemetry artifacts --------------------------------------------------
+  const std::string trace_path = "bench_table1_models.trace.json";
+  const std::string metrics_path = "bench_table1_models.metrics.jsonl";
+  if (auto status = obs::WriteTraceFile(trace_path,
+                                        obs::Tracer::Default().FinishedSpans(),
+                                        "bench_table1_models");
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (auto status = obs::WriteMetricsFile(
+          metrics_path, obs::Registry::Default().Snapshot());
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nTelemetry: %s (%zu spans; open in chrome://tracing), %s\n",
+              trace_path.c_str(), obs::Tracer::Default().finished_count(),
+              metrics_path.c_str());
   return 0;
 }

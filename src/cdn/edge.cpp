@@ -8,7 +8,20 @@ EdgeNode::EdgeNode(EdgeMode mode, std::uint64_t storage_budget_bytes,
     : mode_(mode),
       storage_budget_(storage_budget_bytes),
       image_model_(image_model),
-      text_model_(text_model) {}
+      text_model_(text_model) {
+  obs::Registry& registry = obs::Registry::Default();
+  instruments_.requests = &registry.GetCounter("cdn.edge.requests");
+  instruments_.hits = &registry.GetCounter("cdn.edge.hits");
+  instruments_.misses = &registry.GetCounter("cdn.edge.misses");
+  instruments_.evictions = &registry.GetCounter("cdn.edge.evictions");
+  instruments_.bytes_to_users = &registry.GetCounter("cdn.edge.bytes_to_users");
+  instruments_.bytes_from_origin =
+      &registry.GetCounter("cdn.edge.bytes_from_origin");
+  instruments_.generation_seconds =
+      &registry.GetGauge("cdn.edge.generation_seconds");
+  instruments_.generation_energy_wh =
+      &registry.GetGauge("cdn.edge.generation_energy_wh");
+}
 
 std::size_t EdgeNode::CachedSize(const CatalogItem& item) const {
   if (item.unique || mode_ == EdgeMode::kContentMode) return item.content_bytes;
@@ -58,28 +71,39 @@ void EdgeNode::EvictToFit() {
     index_.erase(id);
     lru_.pop_back();
     ++stats_.evictions;
+    instruments_.evictions->Add();
   }
 }
 
 void EdgeNode::ServeRequest(const CatalogItem& item) {
   ++stats_.requests;
+  instruments_.requests->Add();
   const bool hit = index_.find(item.id) != index_.end();
   if (hit) {
     ++stats_.hits;
+    instruments_.hits->Add();
     Touch(item.id);
   } else {
     ++stats_.misses;
+    instruments_.misses->Add();
     // Miss: fetch from origin in the cached representation's form.
-    stats_.bytes_from_origin += CachedSize(item);
+    const std::size_t origin_bytes = CachedSize(item);
+    stats_.bytes_from_origin += origin_bytes;
+    instruments_.bytes_from_origin->Add(origin_bytes);
     Insert(item);
   }
   // Users always receive materialized content ("loses data transmission
   // benefits" — the edge-to-user hop carries full bytes in prompt mode).
   stats_.bytes_to_users += item.content_bytes;
+  instruments_.bytes_to_users->Add(item.content_bytes);
   // Prompt mode materializes on every user request for non-unique items.
   if (mode_ == EdgeMode::kPromptMode && !item.unique) {
-    stats_.generation_seconds += GenerateSeconds(item);
-    stats_.generation_energy_wh += GenerateEnergyWh(item);
+    const double seconds = GenerateSeconds(item);
+    const double energy_wh = GenerateEnergyWh(item);
+    stats_.generation_seconds += seconds;
+    stats_.generation_energy_wh += energy_wh;
+    instruments_.generation_seconds->Add(seconds);
+    instruments_.generation_energy_wh->Add(energy_wh);
   }
 }
 

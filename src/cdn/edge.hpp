@@ -21,11 +21,14 @@
 #include "cdn/catalog.hpp"
 #include "energy/device.hpp"
 #include "genai/model_specs.hpp"
+#include "obs/registry.hpp"
 
 namespace sww::cdn {
 
 enum class EdgeMode { kContentMode, kPromptMode };
 
+/// Per-node view; mirrored into the process-wide obs::Registry under
+/// cdn.edge.* (summed across nodes and modes).
 struct EdgeStats {
   std::uint64_t requests = 0;
   std::uint64_t hits = 0;
@@ -80,6 +83,19 @@ class EdgeNode {
       index_;
   std::uint64_t stored_bytes_ = 0;
   EdgeStats stats_;
+
+  // Process-wide mirrors of the EdgeStats events.
+  struct Instruments {
+    obs::Counter* requests;
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* evictions;
+    obs::Counter* bytes_to_users;
+    obs::Counter* bytes_from_origin;
+    obs::Gauge* generation_seconds;
+    obs::Gauge* generation_energy_wh;
+  };
+  Instruments instruments_;
 };
 
 }  // namespace sww::cdn

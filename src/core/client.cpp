@@ -4,6 +4,7 @@
 #include "genai/upscaler.hpp"
 #include "html/generated_content.hpp"
 #include "html/parser.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -34,6 +35,17 @@ GenerativeClient::GenerativeClient(Options options, MediaGenerator generator)
   conn_options.local_settings.set_initial_window_size(1 << 20);
   connection_ = std::make_unique<http2::Connection>(
       http2::Connection::Role::kClient, conn_options);
+  obs::Registry& registry = obs::Registry::Default();
+  instruments_.pages_fetched = &registry.GetCounter("client.pages_fetched");
+  instruments_.pages_from_cache =
+      &registry.GetCounter("client.pages_from_cache");
+  instruments_.model_fallbacks = &registry.GetCounter("client.model_fallbacks");
+  instruments_.negotiations = &registry.GetCounter("client.negotiations");
+  instruments_.items_generated = &registry.GetCounter("client.items_generated");
+  instruments_.page_bytes =
+      &registry.GetHistogram("client.page_bytes", obs::ByteBuckets());
+  instruments_.asset_bytes =
+      &registry.GetHistogram("client.asset_bytes", obs::ByteBuckets());
 }
 
 void GenerativeClient::DrainEvents() {
@@ -45,6 +57,7 @@ void GenerativeClient::DrainEvents() {
         break;
       case Type::kRemoteSettingsReceived:
         // §5.2: the client logs the server's advertised ability.
+        instruments_.negotiations->Add();
         util::LogInfo("sww.client",
                       "server gen ability: " +
                           http2::GenAbilityToString(
@@ -79,6 +92,8 @@ Result<Response> GenerativeClient::FetchRaw(const std::string& path,
 Result<Response> GenerativeClient::FetchRaw(
     const std::string& path, const PumpFn& pump,
     const hpack::HeaderList& extra_headers) {
+  obs::ScopedSpan span("client.fetch", "core");
+  span.AddAttribute("path", path);
   if (!connection_->handshake_started()) {
     connection_->StartHandshake();
   }
@@ -103,6 +118,9 @@ Result<Response> GenerativeClient::FetchRaw(
   completed_streams_.erase(stream_id.value());
   connection_->ReleaseStream(stream_id.value());
   if (!response) return response;
+  span.AddAttribute("status", std::to_string(response.value().status));
+  span.AddAttribute("wire_bytes",
+                    std::to_string(response.value().wire_body_bytes));
   // Transparent content decoding: body becomes the decoded entity while
   // wire_body_bytes keeps what actually crossed the network.
   if (response.value().Header("content-encoding").value_or("") ==
@@ -115,6 +133,7 @@ Result<Response> GenerativeClient::FetchRaw(
 }
 
 Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
+  obs::ScopedSpan span("client.materialize", "core");
   auto document = html::ParseDocument(util::ToString(fetch.response.body));
   if (!document) return document.error();
 
@@ -143,6 +162,7 @@ Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
     }
     fetch.media.push_back(std::move(media).value());
     ++fetch.generated_items;
+    instruments_.items_generated->Add();
   }
 
   // Unique content files "are fetched, same as today" — follow root-
@@ -156,6 +176,8 @@ Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
       if (!asset) return asset.error();
       if (asset.value().status == 200) {
         fetch.asset_bytes += asset.value().wire_body_bytes;
+        instruments_.asset_bytes->Observe(
+            static_cast<double>(asset.value().wire_body_bytes));
         fetch.files[src] = asset.value().body;
       }
     }
@@ -194,11 +216,16 @@ Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
   }
 
   fetch.final_html = document.value()->Serialize();
+  span.AddAttribute("generated_items", std::to_string(fetch.generated_items));
+  span.AddAttribute("upscaled_items", std::to_string(fetch.upscaled_items));
   return Status::Ok();
 }
 
 Result<PageFetch> GenerativeClient::FetchPage(const std::string& path,
                                               const PumpFn& pump) {
+  obs::ScopedSpan span("client.fetch_page", "core");
+  span.AddAttribute("path", path);
+  instruments_.pages_fetched->Add();
   // Prompt-cache fast path: a cached generative page regenerates entirely
   // on-device; the network is not touched for the page body.
   if (options_.enable_prompt_cache) {
@@ -209,6 +236,8 @@ Result<PageFetch> GenerativeClient::FetchPage(const std::string& path,
       fetch.response.status = 200;
       fetch.response.SetHeader(std::string(kSwwModeHeader), "generative");
       fetch.response.body = util::ToBytes(*cached);
+      instruments_.pages_from_cache->Add();
+      span.AddAttribute("from_cache", "true");
       if (Status status = MaterializePage(fetch, pump); !status.ok()) {
         return status.error();
       }
@@ -222,7 +251,10 @@ Result<PageFetch> GenerativeClient::FetchPage(const std::string& path,
   PageFetch fetch;
   fetch.response = std::move(response).value();
   fetch.page_bytes = fetch.response.wire_body_bytes;
+  instruments_.page_bytes->Observe(
+      static_cast<double>(fetch.response.wire_body_bytes));
   fetch.mode = fetch.response.Header(kSwwModeHeader).value_or("");
+  span.AddAttribute("mode", fetch.mode.empty() ? "-" : fetch.mode);
   if (fetch.response.status != 200) {
     fetch.final_html = util::ToString(fetch.response.body);
     return fetch;
@@ -241,8 +273,12 @@ Result<PageFetch> GenerativeClient::FetchPage(const std::string& path,
     if (!forced) return forced.error();
     fetch.response = std::move(forced).value();
     fetch.page_bytes += fetch.response.wire_body_bytes;
+    instruments_.page_bytes->Observe(
+        static_cast<double>(fetch.response.wire_body_bytes));
     fetch.mode = fetch.response.Header(kSwwModeHeader).value_or("");
     fetch.model_fallback = true;
+    instruments_.model_fallbacks->Add();
+    span.AddAttribute("model_fallback", "true");
     if (Status status = MaterializePage(fetch, pump); !status.ok()) {
       return status.error();
     }

@@ -26,6 +26,7 @@
 #include "core/media_generator.hpp"
 #include "core/prompt_cache.hpp"
 #include "http2/connection.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace sww::core {
@@ -127,6 +128,18 @@ class GenerativeClient {
   std::unique_ptr<http2::Connection> connection_;
   std::set<std::uint32_t> completed_streams_;
   PromptCache prompt_cache_{512 * 1024};
+
+  // Process-wide client.* mirrors in obs::Registry.
+  struct Instruments {
+    obs::Counter* pages_fetched;
+    obs::Counter* pages_from_cache;
+    obs::Counter* model_fallbacks;
+    obs::Counter* negotiations;
+    obs::Counter* items_generated;
+    obs::Histogram* page_bytes;
+    obs::Histogram* asset_bytes;
+  };
+  Instruments instruments_;
 };
 
 }  // namespace sww::core

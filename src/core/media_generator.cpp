@@ -1,6 +1,8 @@
 #include "core/media_generator.hpp"
 
 #include "core/content_store.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 #include "util/strings.hpp"
 
@@ -21,11 +23,47 @@ Result<MediaGenerator> MediaGenerator::Create(
 
 Result<GeneratedMedia> MediaGenerator::Generate(
     const html::GeneratedContentSpec& spec) {
+  // One span per materialized asset; under a ManualClock the span's
+  // duration is the simulated generation cost on this device.
+  obs::ScopedSpan span("genai.generate", "genai");
+  Result<GeneratedMedia> media(GeneratedMedia{});
   switch (spec.type) {
-    case html::GeneratedContentType::kImage: return GenerateImage(spec);
-    case html::GeneratedContentType::kText: return GenerateText(spec);
+    case html::GeneratedContentType::kImage:
+      media = GenerateImage(spec);
+      break;
+    case html::GeneratedContentType::kText:
+      media = GenerateText(spec);
+      break;
+    default:
+      return Error(ErrorCode::kInvalidArgument,
+                   "unknown generated content type");
   }
-  return Error(ErrorCode::kInvalidArgument, "unknown generated content type");
+  if (!media) {
+    span.AddAttribute("error", media.error().ToString());
+    return media;
+  }
+  const GeneratedMedia& item = media.value();
+  const bool is_image = item.type == html::GeneratedContentType::kImage;
+  span.AddAttribute("type", is_image ? "image" : "text");
+  span.AddAttribute("name", item.name);
+  span.AddAttribute("model", is_image ? options_.image_model
+                                      : options_.text_model);
+  if (is_image) {
+    span.AddAttribute("steps", std::to_string(options_.inference_steps));
+    span.AddAttribute("resolution",
+                      util::Format("%dx%d", item.width, item.height));
+  } else {
+    span.AddAttribute("words", std::to_string(item.words));
+  }
+  span.AddAttribute("seconds", util::Format("%.3f", item.seconds));
+  obs::Registry& registry = obs::Registry::Default();
+  registry.GetCounter(is_image ? "genai.images_generated"
+                               : "genai.texts_generated").Add();
+  registry.GetGauge("genai.generation_seconds").Add(item.seconds);
+  registry.GetGauge("genai.generation_energy_wh").Add(item.energy_wh);
+  registry.GetHistogram("genai.item_seconds").Observe(item.seconds);
+  obs::Tracer::Default().clock().AdvanceSimulated(item.seconds);
+  return media;
 }
 
 Result<GeneratedMedia> MediaGenerator::GenerateAndReplace(

@@ -2,13 +2,26 @@
 
 namespace sww::core {
 
+PromptCache::PromptCache(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  obs::Registry& registry = obs::Registry::Default();
+  instruments_.hits = &registry.GetCounter("client.prompt_cache.hits");
+  instruments_.misses = &registry.GetCounter("client.prompt_cache.misses");
+  instruments_.insertions =
+      &registry.GetCounter("client.prompt_cache.insertions");
+  instruments_.evictions =
+      &registry.GetCounter("client.prompt_cache.evictions");
+}
+
 std::optional<std::string> PromptCache::Get(const std::string& path) {
   auto it = index_.find(path);
   if (it == index_.end()) {
     ++stats_.misses;
+    instruments_.misses->Add();
     return std::nullopt;
   }
   ++stats_.hits;
+  instruments_.hits->Add();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->body;
 }
@@ -20,6 +33,7 @@ void PromptCache::Put(const std::string& path, std::string body) {
   lru_.push_front(Entry{path, std::move(body)});
   index_[path] = lru_.begin();
   ++stats_.insertions;
+  instruments_.insertions->Add();
   EvictToFit();
 }
 
@@ -43,6 +57,7 @@ void PromptCache::EvictToFit() {
     index_.erase(lru_.back().path);
     lru_.pop_back();
     ++stats_.evictions;
+    instruments_.evictions->Add();
   }
 }
 

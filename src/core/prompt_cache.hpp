@@ -14,13 +14,17 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/registry.hpp"
+
 namespace sww::core {
 
 class PromptCache {
  public:
-  explicit PromptCache(std::size_t capacity_bytes = 512 * 1024)
-      : capacity_(capacity_bytes) {}
+  explicit PromptCache(std::size_t capacity_bytes = 512 * 1024);
 
+  /// Per-instance view; the same events are mirrored into the process-wide
+  /// obs::Registry under client.prompt_cache.* so Snapshot() aggregates
+  /// every cache in the process.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -62,6 +66,15 @@ class PromptCache {
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   Stats stats_;
+
+  // Process-wide mirrors of the Stats events.
+  struct Instruments {
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* insertions;
+    obs::Counter* evictions;
+  };
+  Instruments instruments_;
 };
 
 }  // namespace sww::core

@@ -1,7 +1,10 @@
 #include "core/server.hpp"
 
+#include <cassert>
+
 #include "compress/swz.hpp"
 #include "html/parser.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace sww::core {
@@ -30,6 +33,24 @@ GenerativeServer::GenerativeServer(const ContentStore* store, Options options,
   conn_options.local_settings.set_initial_window_size(1 << 20);
   connection_ = std::make_unique<http2::Connection>(
       http2::Connection::Role::kServer, conn_options);
+  obs::Registry& registry = obs::Registry::Default();
+  instruments_.requests = &registry.GetCounter("server.requests");
+  instruments_.pages_generative = &registry.GetCounter("server.pages_generative");
+  instruments_.pages_upscale = &registry.GetCounter("server.pages_upscale");
+  instruments_.pages_traditional =
+      &registry.GetCounter("server.pages_traditional");
+  instruments_.assets_served = &registry.GetCounter("server.assets_served");
+  instruments_.not_found = &registry.GetCounter("server.not_found");
+  instruments_.errors = &registry.GetCounter("server.errors");
+  instruments_.negotiations = &registry.GetCounter("server.negotiations");
+  instruments_.page_bytes =
+      &registry.GetHistogram("server.page_bytes", obs::ByteBuckets());
+  instruments_.asset_bytes =
+      &registry.GetHistogram("server.asset_bytes", obs::ByteBuckets());
+  instruments_.generation_seconds =
+      &registry.GetGauge("server.generation_seconds");
+  instruments_.generation_energy_wh =
+      &registry.GetGauge("server.generation_energy_wh");
 }
 
 const char* ServeModeName(ServeMode mode) {
@@ -62,6 +83,7 @@ Status GenerativeServer::ProcessEvents() {
   for (const http2::Connection::Event& event : connection_->TakeEvents()) {
     using Type = http2::Connection::Event::Type;
     if (event.type == Type::kRemoteSettingsReceived) {
+      instruments_.negotiations->Add();
       util::LogInfo("sww.server",
                     "client gen ability: " +
                         http2::GenAbilityToString(
@@ -72,16 +94,21 @@ Status GenerativeServer::ProcessEvents() {
 
     const http2::Stream* stream = connection_->FindStream(event.stream_id);
     if (stream == nullptr) continue;
+    obs::ScopedSpan span("server.request", "core");
+    span.AddAttribute("stream_id", std::to_string(event.stream_id));
     auto request = ParseRequest(stream->headers, stream->body);
     Response response;
+    ResponseKind kind = ResponseKind::kError;
     if (!request) {
       response.status = 400;
       response.SetHeader("content-type", "text/plain");
       const std::string message = request.error().ToString();
       response.body.assign(message.begin(), message.end());
     } else {
-      auto handled = HandleRequest(request.value());
+      span.AddAttribute("path", request.value().path);
+      auto handled = HandleRequest(request.value(), &kind);
       if (!handled) {
+        kind = ResponseKind::kError;
         response.status = 500;
         response.SetHeader("content-type", "text/plain");
         const std::string message = handled.error().ToString();
@@ -91,16 +118,60 @@ Status GenerativeServer::ProcessEvents() {
       }
       MaybeCompress(request.value(), response);
     }
-    ++stats_.requests;
+    // Single accounting site, after content coding: stats_ reflects the
+    // exact entity bytes SendResponse submits.
+    AccountResponse(kind, response);
+    span.AddAttribute("status", std::to_string(response.status));
+    span.AddAttribute(
+        "mode", response.Header(kSwwModeHeader).value_or("-"));
     if (Status status = SendResponse(event.stream_id, response); !status.ok()) {
       return status;
     }
+    // Entity bytes can never exceed what the connection actually framed
+    // and queued (frame headers only add); a violation means a second,
+    // stray accounting site crept back in.
+    assert(stats_.page_bytes_sent + stats_.asset_bytes_sent <=
+           connection_->wire_stats().bytes_sent);
     connection_->ReleaseStream(event.stream_id);
   }
   return Status::Ok();
 }
 
-Result<Response> GenerativeServer::HandleRequest(const Request& request) {
+void GenerativeServer::AccountResponse(ResponseKind kind,
+                                       const Response& response) {
+  ++stats_.requests;
+  instruments_.requests->Add();
+  switch (kind) {
+    case ResponseKind::kPage:
+      stats_.page_bytes_sent += response.body.size();
+      instruments_.page_bytes->Observe(static_cast<double>(response.body.size()));
+      break;
+    case ResponseKind::kAsset:
+      stats_.asset_bytes_sent += response.body.size();
+      instruments_.asset_bytes->Observe(static_cast<double>(response.body.size()));
+      break;
+    case ResponseKind::kNotFound:
+      ++stats_.not_found;
+      instruments_.not_found->Add();
+      break;
+    case ResponseKind::kError:
+      instruments_.errors->Add();
+      break;
+  }
+}
+
+void GenerativeServer::RecordGeneration(double seconds, double energy_wh) {
+  stats_.generation_seconds += seconds;
+  stats_.generation_energy_wh += energy_wh;
+  instruments_.generation_seconds->Add(seconds);
+  instruments_.generation_energy_wh->Add(energy_wh);
+}
+
+Result<Response> GenerativeServer::HandleRequest(const Request& request,
+                                                 ResponseKind* kind) {
+  // Byte accounting happens exclusively in AccountResponse (driven by
+  // *kind); this function only classifies and builds the response.
+  *kind = ResponseKind::kError;
   if (request.method != "GET") {
     Response response;
     response.status = 405;
@@ -112,36 +183,39 @@ Result<Response> GenerativeServer::HandleRequest(const Request& request) {
   }
 
   if (const PageEntry* page = store_->FindPage(request.path); page != nullptr) {
+    *kind = ResponseKind::kPage;
     // §7 model negotiation: the client may force materialized delivery
     // when its local model cannot meet the page's fidelity requirement.
     if (request.Header(kSwwForceHeader).value_or("") == "traditional") {
       ++stats_.pages_served_traditional;
-      auto forced = ServePageTraditional(*page);
-      if (forced) stats_.page_bytes_sent += forced.value().body.size();
-      return forced;
+      instruments_.pages_traditional->Add();
+      return ServePageTraditional(*page);
     }
     util::Result<Response> response(Response{});
     switch (CurrentServeMode()) {
       case ServeMode::kGenerative:
         ++stats_.pages_served_generative;
+        instruments_.pages_generative->Add();
         response = ServePage(*page);
         break;
       case ServeMode::kUpscaleAssist:
         ++stats_.pages_served_upscale;
+        instruments_.pages_upscale->Add();
         response = ServePageUpscaleAssist(*page);
         break;
       case ServeMode::kTraditional:
         ++stats_.pages_served_traditional;
+        instruments_.pages_traditional->Add();
         response = ServePageTraditional(*page);
         break;
     }
-    if (response) stats_.page_bytes_sent += response.value().body.size();
     return response;
   }
 
   if (const Asset* asset = store_->FindAsset(request.path); asset != nullptr) {
+    *kind = ResponseKind::kAsset;
     ++stats_.assets_served;
-    stats_.asset_bytes_sent += asset->bytes.size();
+    instruments_.assets_served->Add();
     Response response;
     response.SetHeader("content-type", asset->content_type);
     response.body = asset->bytes;
@@ -149,15 +223,16 @@ Result<Response> GenerativeServer::HandleRequest(const Request& request) {
   }
   if (auto it = ephemeral_assets_.find(request.path);
       it != ephemeral_assets_.end()) {
+    *kind = ResponseKind::kAsset;
     ++stats_.assets_served;
-    stats_.asset_bytes_sent += it->second.bytes.size();
+    instruments_.assets_served->Add();
     Response response;
     response.SetHeader("content-type", it->second.content_type);
     response.body = it->second.bytes;
     return response;
   }
 
-  ++stats_.not_found;
+  *kind = ResponseKind::kNotFound;
   Response response;
   response.status = 404;
   response.SetHeader("content-type", "text/plain");
@@ -185,8 +260,7 @@ Result<Response> GenerativeServer::ServePageTraditional(const PageEntry& page) {
   for (html::GeneratedContentSpec& spec : extraction.specs) {
     auto media = generator_.GenerateAndReplace(spec);
     if (!media) return media.error();
-    stats_.generation_seconds += media.value().seconds;
-    stats_.generation_energy_wh += media.value().energy_wh;
+    RecordGeneration(media.value().seconds, media.value().energy_wh);
     if (media.value().type == html::GeneratedContentType::kImage) {
       // Serve the materialized image on its referenced path.  Root-relative
       // so the client's asset fetch matches.
@@ -226,8 +300,7 @@ Result<Response> GenerativeServer::ServePageUpscaleAssist(const PageEntry& page)
       reduced.metadata.Set("height", std::max(1, full_height / 2));
       auto media = generator_.Generate(reduced);
       if (!media) return media.error();
-      stats_.generation_seconds += media.value().seconds;
-      stats_.generation_energy_wh += media.value().energy_wh;
+      RecordGeneration(media.value().seconds, media.value().energy_wh);
       ephemeral_assets_["/" + media.value().file_path] =
           Asset{media.value().file_bytes, "image/x-portable-pixmap"};
       // Replace the div: <img> declares the authored size plus the
@@ -241,8 +314,7 @@ Result<Response> GenerativeServer::ServePageUpscaleAssist(const PageEntry& page)
       // Text cannot be "upscaled"; the server expands it fully.
       auto media = generator_.GenerateAndReplace(spec);
       if (!media) return media.error();
-      stats_.generation_seconds += media.value().seconds;
-      stats_.generation_energy_wh += media.value().energy_wh;
+      RecordGeneration(media.value().seconds, media.value().energy_wh);
     }
   }
   Response response;

@@ -22,6 +22,7 @@
 #include "core/http_semantics.hpp"
 #include "core/media_generator.hpp"
 #include "http2/connection.hpp"
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace sww::core {
@@ -54,6 +55,10 @@ class GenerativeServer {
     bool workstation = true;
   };
 
+  /// Per-connection view; every event is mirrored into the process-wide
+  /// obs::Registry under server.* so one Snapshot() aggregates all
+  /// connections.  Byte totals are what actually went out on each stream
+  /// (post content-coding), accounted in exactly one place.
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t pages_served_generative = 0;
@@ -95,7 +100,18 @@ class GenerativeServer {
   GenerativeServer(const ContentStore* store, Options options,
                    MediaGenerator generator);
 
-  util::Result<Response> HandleRequest(const Request& request);
+  /// What a response body counts as; drives the single byte-accounting
+  /// site (AccountResponse).
+  enum class ResponseKind { kPage, kAsset, kNotFound, kError };
+
+  util::Result<Response> HandleRequest(const Request& request,
+                                       ResponseKind* kind);
+  /// The one place request/byte statistics are recorded, called once per
+  /// response *after* content coding — so stats_ totals cannot drift from
+  /// what SendResponse actually submits to the connection.
+  void AccountResponse(ResponseKind kind, const Response& response);
+  /// Mirror server-side generation cost into stats_ and the registry.
+  void RecordGeneration(double seconds, double energy_wh);
   util::Result<Response> ServePage(const PageEntry& page);
   util::Result<Response> ServePageTraditional(const PageEntry& page);
   /// §2.2 upscale-only clients: materialize at reduced resolution, tag the
@@ -113,6 +129,23 @@ class GenerativeServer {
   /// requests (traditional mode still references image files by path).
   std::map<std::string, Asset, std::less<>> ephemeral_assets_;
   Stats stats_;
+
+  // Process-wide mirrors of the Stats events.
+  struct Instruments {
+    obs::Counter* requests;
+    obs::Counter* pages_generative;
+    obs::Counter* pages_upscale;
+    obs::Counter* pages_traditional;
+    obs::Counter* assets_served;
+    obs::Counter* not_found;
+    obs::Counter* errors;
+    obs::Counter* negotiations;
+    obs::Histogram* page_bytes;
+    obs::Histogram* asset_bytes;
+    obs::Gauge* generation_seconds;
+    obs::Gauge* generation_energy_wh;
+  };
+  Instruments instruments_;
 };
 
 }  // namespace sww::core

@@ -1,5 +1,9 @@
 #include "genai/pipeline.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+
 namespace sww::genai {
 
 using util::Result;
@@ -17,12 +21,20 @@ double PipelineLoadSeconds(const TextModelSpec& spec) {
 
 Result<GenerationPipeline> GenerationPipeline::Load(std::string_view image_model,
                                                     std::string_view text_model) {
+  obs::ScopedSpan span("genai.pipeline_load", "genai");
+  span.AddAttribute("image_model", image_model);
+  span.AddAttribute("text_model", text_model);
   auto image_spec = FindImageModel(image_model);
   if (!image_spec) return image_spec.error();
   auto text_spec = FindTextModel(text_model);
   if (!text_spec) return text_spec.error();
   const double load_s = PipelineLoadSeconds(image_spec.value()) +
                         PipelineLoadSeconds(text_spec.value());
+  span.AddAttribute("load_seconds", util::Format("%.2f", load_s));
+  obs::Registry::Default().GetCounter("genai.pipeline_loads").Add();
+  obs::Registry::Default().GetGauge("genai.pipeline_load_seconds").Add(load_s);
+  // Simulated weight-load time becomes span duration under a ManualClock.
+  obs::Tracer::Default().clock().AdvanceSimulated(load_s);
   return GenerationPipeline(DiffusionModel(image_spec.value()),
                             TextModel(text_spec.value()), load_s);
 }

@@ -26,14 +26,29 @@ Connection::Connection(Role role, Options options)
       frame_parser_(local_settings_.max_frame_size()),
       next_stream_id_(role == Role::kClient ? 1 : 2) {
   decoder_.SetMaxTableSizeLimit(local_settings_.header_table_size());
+  obs::Registry& registry = obs::Registry::Default();
+  instruments_.frames_sent = &registry.GetCounter("http2.frames_sent");
+  instruments_.frames_received = &registry.GetCounter("http2.frames_received");
+  instruments_.bytes_sent = &registry.GetCounter("http2.bytes_sent");
+  instruments_.bytes_received = &registry.GetCounter("http2.bytes_received");
+  instruments_.flow_control_stalls =
+      &registry.GetCounter("http2.flow_control_stalls");
+  instruments_.streams_opened = &registry.GetCounter("http2.streams_opened");
 }
 
 void Connection::StartHandshake() {
   if (handshake_started_) return;
   handshake_started_ = true;
+  // The SETTINGS round-trip span runs from our first SETTINGS frame to the
+  // peer's ACK — the negotiation window the paper's §5.2 client logs.
+  settings_span_ = obs::Tracer::Default().BeginAsyncSpan(
+      "http2.settings_roundtrip", "http2");
+  obs::Tracer::Default().AddAttribute(
+      settings_span_, "role", role_ == Role::kClient ? "client" : "server");
   if (role_ == Role::kClient) {
     output_.insert(output_.end(), kClientPreface.begin(), kClientPreface.end());
     stats_.bytes_sent += kClientPreface.size();
+    instruments_.bytes_sent->Add(kClientPreface.size());
   }
   EnqueueFrame(MakeSettingsFrame(local_settings_.NonDefaultEntries()));
 }
@@ -52,6 +67,8 @@ void Connection::EnqueueFrame(const Frame& frame) {
   Bytes wire = SerializeFrame(frame);
   stats_.bytes_sent += wire.size();
   stats_.frames_sent[frame.header.type]++;
+  instruments_.bytes_sent->Add(wire.size());
+  instruments_.frames_sent->Add();
   output_.insert(output_.end(), wire.begin(), wire.end());
 }
 
@@ -94,6 +111,14 @@ void Connection::ReleaseStream(std::uint32_t stream_id) {
   }
   streams_.erase(it);
   stream_consumed_.erase(stream_id);
+  EndStreamSpan(stream_id);
+}
+
+void Connection::EndStreamSpan(std::uint32_t stream_id) {
+  auto it = stream_spans_.find(stream_id);
+  if (it == stream_spans_.end()) return;
+  obs::Tracer::Default().EndSpan(it->second);
+  stream_spans_.erase(it);
 }
 
 std::size_t Connection::active_stream_count() const {
@@ -117,6 +142,14 @@ Stream& Connection::EnsureStream(std::uint32_t stream_id) {
     stream.id = stream_id;
     stream.send_window = FlowWindow(remote_settings_.initial_window_size());
     stream.recv_window = FlowWindow(local_settings_.initial_window_size());
+    instruments_.streams_opened->Add();
+    obs::Tracer& tracer = obs::Tracer::Default();
+    const obs::SpanId span = tracer.BeginAsyncSpan(
+        "http2.stream", "http2", tracer.CurrentSpan());
+    tracer.AddAttribute(span, "stream_id", std::to_string(stream_id));
+    tracer.AddAttribute(span, "role",
+                        role_ == Role::kClient ? "client" : "server");
+    stream_spans_[stream_id] = span;
   }
   return stream;
 }
@@ -140,6 +173,7 @@ Status Connection::ConnectionError(ErrorCode code, const std::string& message) {
 Status Connection::Receive(BytesView bytes) {
   if (dead_) return Error(util::ErrorCode::kClosed, "connection is dead");
   stats_.bytes_received += bytes.size();
+  instruments_.bytes_received->Add(bytes.size());
 
   // A server must first consume the 24-byte client preface (RFC 9113 §3.4).
   if (role_ == Role::kServer && !preface_received_) {
@@ -167,6 +201,7 @@ Status Connection::Receive(BytesView bytes) {
     if (!next.value().has_value()) break;
     Frame frame = std::move(*next.value());
     stats_.frames_received[frame.header.type]++;
+    instruments_.frames_received->Add();
     if (Status status = HandleFrame(std::move(frame)); !status.ok()) {
       return status;
     }
@@ -216,6 +251,13 @@ Status Connection::HandleSettings(const Frame& frame) {
     }
     local_settings_acked_ = true;
     events_.push_back(Event{Event::Type::kSettingsAcked, 0, ErrorCode::kNoError, 0});
+    if (settings_span_ != 0) {
+      obs::Tracer& tracer = obs::Tracer::Default();
+      tracer.AddAttribute(settings_span_, "negotiated_gen_ability",
+                          GenAbilityToString(negotiated_gen_ability()));
+      tracer.EndSpan(settings_span_);
+      settings_span_ = 0;
+    }
     return Status::Ok();
   }
   auto entries = ParseSettingsPayload(frame);
@@ -632,6 +674,7 @@ void Connection::FlushSendQueues() {
     FlushStreamSendQueue(it->second);
     if (it->second.pending_release && it->second.send_queue.empty()) {
       stream_consumed_.erase(it->first);
+      EndStreamSpan(it->first);
       it = streams_.erase(it);
     } else {
       ++it;
@@ -654,7 +697,11 @@ void Connection::FlushStreamSendQueue(Stream& stream) {
     }
     const std::int64_t window = std::min(connection_send_window_.available(),
                                          stream.send_window.available());
-    if (window <= 0) return;  // blocked on flow control
+    if (window <= 0) {  // blocked on flow control
+      ++stats_.flow_control_stalls;
+      instruments_.flow_control_stalls->Add();
+      return;
+    }
     const std::size_t chunk_size =
         std::min({pending.data.size(), static_cast<std::size_t>(window), max_frame});
     BytesView chunk(pending.data.data(), chunk_size);

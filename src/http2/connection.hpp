@@ -24,6 +24,8 @@
 #include "http2/frame.hpp"
 #include "http2/settings.hpp"
 #include "http2/stream.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 
@@ -130,10 +132,13 @@ class Connection {
   std::size_t active_stream_count() const;
 
   /// Totals for the evaluation harness (bytes on the wire in each
-  /// direction, frame counts by type).
+  /// direction, frame counts by type).  Per-connection truth; the same
+  /// quantities are mirrored into the process-wide obs::Registry under
+  /// http2.* so one Snapshot() aggregates every connection.
   struct WireStats {
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
+    std::uint64_t flow_control_stalls = 0;  ///< sends blocked on a window
     std::map<FrameType, std::uint64_t> frames_sent;
     std::map<FrameType, std::uint64_t> frames_received;
   };
@@ -159,6 +164,7 @@ class Connection {
   void FlushStreamSendQueue(Stream& stream);
   Stream& EnsureStream(std::uint32_t stream_id);
   bool IsPeerInitiated(std::uint32_t stream_id) const;
+  void EndStreamSpan(std::uint32_t stream_id);
 
   Role role_;
   Options options_;
@@ -196,6 +202,19 @@ class Connection {
   std::map<std::uint32_t, std::size_t> stream_consumed_;
 
   WireStats stats_;
+
+  // Process-wide telemetry (obs::Registry::Default / obs::Tracer::Default).
+  struct Instruments {
+    obs::Counter* frames_sent;
+    obs::Counter* frames_received;
+    obs::Counter* bytes_sent;
+    obs::Counter* bytes_received;
+    obs::Counter* flow_control_stalls;
+    obs::Counter* streams_opened;
+  };
+  Instruments instruments_;
+  obs::SpanId settings_span_ = 0;               ///< SETTINGS round-trip
+  std::map<std::uint32_t, obs::SpanId> stream_spans_;  ///< stream lifetimes
 };
 
 }  // namespace sww::http2

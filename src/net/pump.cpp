@@ -1,5 +1,7 @@
 #include "net/pump.hpp"
 
+#include "obs/registry.hpp"
+
 namespace sww::net {
 
 using util::Error;
@@ -7,13 +9,30 @@ using util::ErrorCode;
 using util::Result;
 using util::Status;
 
+namespace {
+// Process-wide pump telemetry: how often the glue woke up and how many
+// bytes it actually shuttled (both directions, all endpoints).
+obs::Counter& PumpWakeups() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.pump.wakeups");
+  return counter;
+}
+obs::Counter& PumpBytes() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.pump.bytes_pumped");
+  return counter;
+}
+}  // namespace
+
 Result<PumpResult> PumpOnce(http2::Connection& connection, Transport& transport) {
   PumpResult result;
+  PumpWakeups().Add();
   if (connection.HasOutput()) {
     util::Bytes out = connection.TakeOutput();
     if (Status status = transport.Write(out); !status.ok()) {
       return status.error();
     }
+    PumpBytes().Add(out.size());
     result.made_progress = true;
   }
   auto incoming = transport.Read();
@@ -25,6 +44,7 @@ Result<PumpResult> PumpOnce(http2::Connection& connection, Transport& transport)
     return incoming.error();
   }
   if (!incoming.value().empty()) {
+    PumpBytes().Add(incoming.value().size());
     if (Status status = connection.Receive(incoming.value()); !status.ok()) {
       // Flush the GOAWAY the connection queued before reporting.
       if (connection.HasOutput()) {
@@ -51,12 +71,17 @@ void DirectLinkExchange(http2::Connection& a, http2::Connection& b,
                         int max_rounds) {
   for (int round = 0; round < max_rounds; ++round) {
     bool progress = false;
+    PumpWakeups().Add();
     if (a.HasOutput()) {
-      (void)b.Receive(a.TakeOutput());
+      util::Bytes out = a.TakeOutput();
+      PumpBytes().Add(out.size());
+      (void)b.Receive(out);
       progress = true;
     }
     if (b.HasOutput()) {
-      (void)a.Receive(b.TakeOutput());
+      util::Bytes out = b.TakeOutput();
+      PumpBytes().Add(out.size());
+      (void)a.Receive(out);
       progress = true;
     }
     if (!progress) return;

@@ -1,0 +1,14 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace sww::obs {
+
+std::uint64_t SystemClock::NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace sww::obs

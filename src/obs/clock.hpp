@@ -1,0 +1,57 @@
+// clock.hpp — injectable time source for the telemetry layer.
+//
+// Everything in obs:: reads time through this interface so the span
+// tracer is deterministic wherever the repository already is: the
+// simulation substrate reports *simulated* generation seconds, and the
+// benches/tests want traces whose durations are those simulated costs,
+// not wall-clock noise.  Components that model cost call
+// AdvanceSimulated(); under a ManualClock that moves trace time by the
+// simulated amount, under the wall clock it is a no-op and spans carry
+// real durations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sww::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds.  The epoch is arbitrary but fixed per clock.
+  virtual std::uint64_t NowNanos() = 0;
+
+  /// Advance simulated time (no-op on wall clocks).  `seconds` < 0 is
+  /// ignored.
+  virtual void AdvanceSimulated(double seconds) { (void)seconds; }
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class SystemClock final : public Clock {
+ public:
+  std::uint64_t NowNanos() override;
+};
+
+/// Deterministic clock for tests and simulated-time benches: time moves
+/// only when told to.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_nanos = 0) : nanos_(start_nanos) {}
+
+  std::uint64_t NowNanos() override { return nanos_.load(std::memory_order_relaxed); }
+
+  void AdvanceNanos(std::uint64_t delta) {
+    nanos_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void AdvanceSeconds(double seconds) {
+    if (seconds <= 0.0) return;
+    AdvanceNanos(static_cast<std::uint64_t>(seconds * 1e9));
+  }
+  void AdvanceSimulated(double seconds) override { AdvanceSeconds(seconds); }
+
+ private:
+  std::atomic<std::uint64_t> nanos_;
+};
+
+}  // namespace sww::obs

@@ -1,0 +1,119 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+#include "json/json.hpp"
+
+namespace sww::obs {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+std::string ExportJsonLines(const RegistrySnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    json::Object line;
+    line["kind"] = "counter";
+    line["name"] = name;
+    line["value"] = value;
+    out += json::Value(line).Dump();
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    json::Object line;
+    line["kind"] = "gauge";
+    line["name"] = name;
+    line["value"] = value;
+    out += json::Value(line).Dump();
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    json::Object line;
+    line["kind"] = "histogram";
+    line["name"] = name;
+    line["count"] = histogram.count;
+    line["sum"] = histogram.sum;
+    line["min"] = histogram.min;
+    line["max"] = histogram.max;
+    line["mean"] = histogram.mean;
+    line["p50"] = histogram.p50;
+    line["p95"] = histogram.p95;
+    line["p99"] = histogram.p99;
+    json::Array bounds, counts;
+    for (double bound : histogram.bounds) bounds.push_back(bound);
+    for (std::uint64_t count : histogram.counts) counts.push_back(count);
+    line["bounds"] = std::move(bounds);
+    line["counts"] = std::move(counts);
+    out += json::Value(line).Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ExportChromeTrace(const std::vector<Span>& spans,
+                              std::string_view process_name) {
+  json::Array events;
+  {
+    // Process-name metadata event so the Perfetto sidebar reads nicely.
+    json::Object meta;
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["name"] = "process_name";
+    json::Object args;
+    args["name"] = std::string(process_name);
+    meta["args"] = std::move(args);
+    events.push_back(std::move(meta));
+  }
+  for (const Span& span : spans) {
+    json::Object event;
+    event["ph"] = "X";
+    event["pid"] = 1;
+    event["tid"] = 1;
+    event["name"] = span.name;
+    if (!span.category.empty()) event["cat"] = span.category;
+    // trace_event timestamps are microseconds; keep sub-µs precision.
+    event["ts"] = static_cast<double>(span.start_nanos) / 1e3;
+    event["dur"] = static_cast<double>(span.end_nanos - span.start_nanos) / 1e3;
+    json::Object args;
+    args["span_id"] = span.id;
+    if (span.parent != 0) args["parent_id"] = span.parent;
+    for (const auto& [key, value] : span.attributes) {
+      args[key] = value;
+    }
+    event["args"] = std::move(args);
+    events.push_back(std::move(event));
+  }
+  json::Object root;
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = "ms";
+  return json::Value(root).Dump();
+}
+
+namespace {
+Status WriteWholeFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Error(ErrorCode::kIo, "cannot open for writing: " + path);
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+  if (written != contents.size()) {
+    return Error(ErrorCode::kIo, "short write: " + path);
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+Status WriteTraceFile(const std::string& path, const std::vector<Span>& spans,
+                      std::string_view process_name) {
+  return WriteWholeFile(path, ExportChromeTrace(spans, process_name));
+}
+
+Status WriteMetricsFile(const std::string& path,
+                        const RegistrySnapshot& snapshot) {
+  return WriteWholeFile(path, ExportJsonLines(snapshot));
+}
+
+}  // namespace sww::obs

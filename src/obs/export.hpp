@@ -1,0 +1,39 @@
+// export.hpp — serialize telemetry for humans and tools.
+//
+// Two formats:
+//   * JSON-lines metrics snapshot — one instrument per line, greppable
+//     and trivially diffable between runs.
+//   * Chrome trace_event JSON — open in chrome://tracing or
+//     https://ui.perfetto.dev to see the span tree on a timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace sww::obs {
+
+/// One JSON object per line:
+///   {"kind":"counter","name":...,"value":...}
+///   {"kind":"gauge","name":...,"value":...}
+///   {"kind":"histogram","name":...,"count":...,"mean":...,"p50":...,...}
+std::string ExportJsonLines(const RegistrySnapshot& snapshot);
+
+/// Chrome trace_event format: {"traceEvents":[...]} with one complete
+/// ("ph":"X") event per finished span; parent/span ids and attributes
+/// ride in "args".  Timestamps are microseconds from the span clock.
+std::string ExportChromeTrace(const std::vector<Span>& spans,
+                              std::string_view process_name = "sww");
+
+/// Convenience: export the default tracer + registry to files.  The trace
+/// file is Chrome trace JSON, the metrics file is JSON-lines.
+util::Status WriteTraceFile(const std::string& path,
+                            const std::vector<Span>& spans,
+                            std::string_view process_name = "sww");
+util::Status WriteMetricsFile(const std::string& path,
+                              const RegistrySnapshot& snapshot);
+
+}  // namespace sww::obs

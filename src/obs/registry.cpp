@@ -1,0 +1,142 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "metrics/stats.hpp"
+
+namespace sww::obs {
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = LatencyBucketsSeconds();
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  samples_.push_back(value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts = counts_;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  snapshot.min = min_;
+  snapshot.max = max_;
+  if (count_ > 0) {
+    snapshot.mean = sum_ / static_cast<double>(count_);
+    snapshot.p50 = metrics::Percentile(samples_, 50.0);
+    snapshot.p95 = metrics::Percentile(samples_, 95.0);
+    snapshot.p99 = metrics::Percentile(samples_, 99.0);
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  samples_.clear();
+  sum_ = min_ = max_ = 0.0;
+  count_ = 0;
+}
+
+std::vector<double> LatencyBucketsSeconds() {
+  std::vector<double> bounds;
+  for (double b = 1e-4; b < 2000.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> ByteBuckets() {
+  std::vector<double> bounds;
+  for (double b = 64.0; b <= 16.0 * 1024 * 1024; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();  // never destroyed: handles
+  return *registry;                            // outlive static teardown
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    (void)name;
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    (void)name;
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    (void)name;
+    histogram->Reset();
+  }
+}
+
+}  // namespace sww::obs

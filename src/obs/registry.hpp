@@ -1,0 +1,130 @@
+// registry.hpp — the process-wide metrics registry.
+//
+// Every layer of the SWW stack (http2 framing, the generative server and
+// client, the genai pipeline, the caches, the byte pumps) records into one
+// named-instrument registry, so a single Snapshot() tells the whole story
+// of a run: how many frames crossed the wire, which serve modes were
+// negotiated, what generation cost, where the caches hit.  Three
+// instrument kinds:
+//
+//   * Counter   — monotonically increasing integer (requests, frames, hits)
+//   * Gauge     — arbitrary double, Set or Add (accumulated seconds, Wh)
+//   * Histogram — fixed-bucket distribution of doubles with exact
+//                 p50/p95/p99 snapshots (latencies, byte sizes)
+//
+// Instruments are created on first use and live for the registry's
+// lifetime; handles returned by Get* stay valid across Reset(), which
+// zeroes values but never destroys instruments (components cache the
+// pointers on their hot paths).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sww::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  /// Upper bounds of the fixed buckets (last bucket is +inf, implied).
+  std::vector<double> bounds;
+  /// counts.size() == bounds.size() + 1 (overflow bucket last).
+  std::vector<std::uint64_t> counts;
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;          // sorted upper bounds
+  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 buckets
+  std::vector<double> samples_;         // exact percentiles via metrics::
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Common bucket presets.
+std::vector<double> LatencyBucketsSeconds();  ///< 100 µs … ~1000 s, log scale
+std::vector<double> ByteBuckets();            ///< 64 B … 16 MiB, powers of 4
+
+/// Point-in-time view of the whole registry.  Deterministic: instruments
+/// are keyed by name in sorted order.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every component records into by default.
+  static Registry& Default();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create.  Returned references stay valid for the registry's
+  /// lifetime (including across Reset).
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `bounds` is honored only on first creation; empty means
+  /// LatencyBucketsSeconds().
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds = {});
+
+  RegistrySnapshot Snapshot() const;
+
+  /// Zero every instrument (tests and benches isolate runs with this).
+  /// Instrument handles remain valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sww::obs

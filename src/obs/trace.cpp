@@ -1,0 +1,105 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace sww::obs {
+
+namespace {
+// Innermost-open-span stack, per thread.  Ids are tracer-global, so one
+// thread interleaving two tracers is not supported (nothing in the
+// repository does that).
+thread_local std::vector<SpanId> t_span_stack;
+}  // namespace
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();  // never destroyed: see Registry
+  return *tracer;
+}
+
+Tracer::Tracer() : clock_(&system_clock_) {}
+
+void Tracer::SetClock(Clock* clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = clock != nullptr ? clock : &system_clock_;
+}
+
+Clock& Tracer::clock() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *clock_;
+}
+
+SpanId Tracer::BeginSpan(std::string_view name, std::string_view category,
+                         SpanId parent) {
+  const SpanId id = BeginAsyncSpan(
+      name, category,
+      parent != 0 ? parent : (t_span_stack.empty() ? 0 : t_span_stack.back()));
+  if (id != 0) t_span_stack.push_back(id);
+  return id;
+}
+
+SpanId Tracer::BeginAsyncSpan(std::string_view name, std::string_view category,
+                              SpanId parent) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return 0;
+  Span span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = std::string(name);
+  span.category = std::string(category);
+  span.start_nanos = clock_->NowNanos();
+  open_.push_back(std::move(span));
+  return open_.back().id;
+}
+
+void Tracer::AddAttribute(SpanId id, std::string_view key,
+                          std::string_view value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Span& span : open_) {
+    if (span.id == id) {
+      span.attributes.emplace_back(std::string(key), std::string(value));
+      return;
+    }
+  }
+}
+
+void Tracer::EndSpan(SpanId id) {
+  if (id == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find_if(open_.begin(), open_.end(),
+                           [id](const Span& span) { return span.id == id; });
+    if (it != open_.end()) {
+      it->end_nanos = clock_->NowNanos();
+      it->finished = true;
+      finished_.push_back(std::move(*it));
+      open_.erase(it);
+    }
+  }
+  auto stack_it = std::find(t_span_stack.begin(), t_span_stack.end(), id);
+  if (stack_it != t_span_stack.end()) t_span_stack.erase(stack_it);
+}
+
+SpanId Tracer::CurrentSpan() const {
+  return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+std::vector<Span> Tracer::FinishedSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+std::size_t Tracer::finished_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_.clear();
+  finished_.clear();
+  next_id_ = 1;
+  t_span_stack.clear();
+}
+
+}  // namespace sww::obs

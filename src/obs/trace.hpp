@@ -1,0 +1,121 @@
+// trace.hpp — span tracing across the SWW request path.
+//
+// A span is a named interval with a parent link and string attributes:
+// the SETTINGS round-trip, one HTTP/2 stream's lifetime, one server
+// request, one client page fetch, one generated asset.  Spans nest
+// automatically: BeginSpan parents to the innermost open span on the
+// calling thread, so a page fetch span ends up owning its request,
+// stream, and per-asset generation children without any plumbing.
+//
+// Time comes from an injectable obs::Clock (clock.hpp); under a
+// ManualClock the tracer is fully deterministic, and simulated
+// generation costs become span durations via Clock::AdvanceSimulated.
+// Export finished spans with obs/export.hpp (Chrome trace_event JSON,
+// viewable in chrome://tracing or Perfetto).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace sww::obs {
+
+/// Identifies one span within a Tracer.  0 is "no span".
+using SpanId = std::uint64_t;
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::string name;
+  std::string category;
+  std::uint64_t start_nanos = 0;
+  std::uint64_t end_nanos = 0;
+  bool finished = false;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  double DurationSeconds() const {
+    return static_cast<double>(end_nanos - start_nanos) * 1e-9;
+  }
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer every component records into by default.
+  static Tracer& Default();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Install a time source (not owned; must outlive the tracer or be
+  /// replaced first).  nullptr restores the built-in wall clock.
+  void SetClock(Clock* clock);
+  Clock& clock();
+
+  /// Tracing is on by default; when disabled, Begin/End are no-ops and
+  /// BeginSpan returns 0 (every operation accepts id 0 harmlessly).
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Open a span parented to the calling thread's innermost open span
+  /// (or `parent`, if nonzero).  Pushes onto the thread's span stack.
+  SpanId BeginSpan(std::string_view name, std::string_view category = "",
+                   SpanId parent = 0);
+  /// Open a span without touching the thread stack — for intervals that
+  /// outlive the call frame (a stream's lifetime, a SETTINGS round-trip).
+  SpanId BeginAsyncSpan(std::string_view name, std::string_view category = "",
+                        SpanId parent = 0);
+  void AddAttribute(SpanId id, std::string_view key, std::string_view value);
+  /// Close the span; stamps the end time and pops it from the thread
+  /// stack if present.  Ending an already-finished or unknown id is a
+  /// no-op.
+  void EndSpan(SpanId id);
+
+  /// The innermost open span on the calling thread (0 when none).
+  SpanId CurrentSpan() const;
+
+  /// All finished spans, in finish order.
+  std::vector<Span> FinishedSpans() const;
+  std::size_t finished_count() const;
+
+  /// Drop every span (open spans too) and reset the id sequence; the
+  /// clock and enabled flag stay.
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  bool enabled_ = true;
+  SystemClock system_clock_;
+  Clock* clock_;  // never null
+  SpanId next_id_ = 1;
+  std::vector<Span> open_;      // unfinished spans, unordered
+  std::vector<Span> finished_;  // finish order
+};
+
+/// RAII span on the default tracer: opens on construction (auto-parented
+/// to the enclosing ScopedSpan on this thread), ends on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, std::string_view category = "")
+      : tracer_(&Tracer::Default()),
+        id_(tracer_->BeginSpan(name, category)) {}
+  ~ScopedSpan() { tracer_->EndSpan(id_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  SpanId id() const { return id_; }
+  void AddAttribute(std::string_view key, std::string_view value) {
+    tracer_->AddAttribute(id_, key, value);
+  }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_;
+};
+
+}  // namespace sww::obs

@@ -1,13 +1,23 @@
 #include "util/log.hpp"
 
+#include <chrono>
 #include <cstdio>
-#include <mutex>
+#include <cstdlib>
 
 namespace sww::util {
 
 namespace {
-std::mutex g_log_mutex;
+
+// Monotonic origin for default-sink timestamps, captured at first use.
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
 }
+
+char ToLowerAscii(char c) { return c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c; }
+
+}  // namespace
 
 const char* LogLevelName(LogLevel level) {
   switch (level) {
@@ -19,11 +29,33 @@ const char* LogLevelName(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(ToLowerAscii(c));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 Logger::Logger() {
+  ProcessStart();  // pin the timestamp origin to logger construction
+  if (const char* env = std::getenv("SWW_LOG_LEVEL"); env != nullptr) {
+    if (std::optional<LogLevel> parsed = ParseLogLevel(env)) {
+      SetLevel(*parsed);
+    }
+  }
   sink_ = [](LogLevel level, std::string_view component, std::string_view message) {
-    std::fprintf(stderr, "[%s] %.*s: %.*s\n", LogLevelName(level),
-                 static_cast<int>(component.size()), component.data(),
-                 static_cast<int>(message.size()), message.data());
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      ProcessStart())
+            .count();
+    std::fprintf(stderr, "[%10.6f] [%s] %.*s: %.*s\n", elapsed,
+                 LogLevelName(level), static_cast<int>(component.size()),
+                 component.data(), static_cast<int>(message.size()),
+                 message.data());
   };
 }
 
@@ -33,7 +65,7 @@ Logger& Logger::Instance() {
 }
 
 Logger::Sink Logger::SetSink(Sink sink) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::lock_guard<std::mutex> lock(mutex_);
   Sink previous = std::move(sink_);
   sink_ = std::move(sink);
   return previous;
@@ -41,8 +73,8 @@ Logger::Sink Logger::SetSink(Sink sink) {
 
 void Logger::Log(LogLevel level, std::string_view component,
                  std::string_view message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (static_cast<int>(level) < static_cast<int>(this->level())) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   if (sink_) sink_(level, component, message);
 }
 

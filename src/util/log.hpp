@@ -2,9 +2,20 @@
 //
 // The protocol stack logs negotiation events (the paper's client "logs the
 // server's ability", §5.2); tests capture the sink to assert on them.
+//
+// Thread safety: level reads/writes are atomic and sink swaps are serialized
+// against in-flight Log() calls by an internal mutex, so components logging
+// from pump threads never race a test installing a capturing sink.
+//
+// The initial level honours the SWW_LOG_LEVEL environment variable
+// (debug|info|warn|error, case-insensitive); unset or unrecognized values
+// keep the default (warn).
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -14,8 +25,13 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 const char* LogLevelName(LogLevel level);
 
-/// Process-wide logger.  Default sink writes "[level] component: message" to
-/// stderr for warn/error only; tests can install a capturing sink.
+/// Parse "debug" / "info" / "warn" / "error" (case-insensitive).
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
+
+/// Process-wide logger.  Default sink writes
+/// "[<seconds since start>] [level] component: message" to stderr
+/// (monotonic clock, so lines order correctly even if wall time steps);
+/// tests can install a capturing sink.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view component,
@@ -23,8 +39,12 @@ class Logger {
 
   static Logger& Instance();
 
-  void SetLevel(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void SetLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
   /// Replace the sink; returns the previous one so tests can restore it.
   Sink SetSink(Sink sink);
 
@@ -32,7 +52,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::mutex mutex_;  // guards sink_ (swap and invocation)
   Sink sink_;
 };
 

@@ -1,0 +1,170 @@
+// obs_integration_test — the acceptance test for end-to-end telemetry:
+// one in-memory client↔server page fetch under a manual clock must yield
+//   * a Chrome-trace JSON artifact whose spans cover the SETTINGS
+//     negotiation, the server request, and per-asset generation, and
+//   * a registry snapshot whose request/byte counters match what the
+//     fetch itself reported.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/page_builder.hpp"
+#include "core/session.hpp"
+#include "json/json.hpp"
+#include "obs/clock.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace sww {
+namespace {
+
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::Default().SetClock(&clock_);
+    obs::Tracer::Default().SetEnabled(true);
+    obs::Tracer::Default().Clear();
+    obs::Registry::Default().Reset();
+  }
+  void TearDown() override {
+    obs::Tracer::Default().Clear();
+    obs::Tracer::Default().SetClock(nullptr);
+    obs::Registry::Default().Reset();
+  }
+
+  static const obs::Span* FindSpan(const std::vector<obs::Span>& spans,
+                                   std::string_view name) {
+    auto it = std::find_if(spans.begin(), spans.end(),
+                           [&](const obs::Span& s) { return s.name == name; });
+    return it == spans.end() ? nullptr : &*it;
+  }
+
+  obs::ManualClock clock_;
+};
+
+TEST_F(ObsIntegrationTest, PageFetchProducesSpansAndMatchingCounters) {
+  core::ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", core::MakeGoldfishPage()).ok());
+
+  auto session = core::LocalSession::Start(&store, {});
+  ASSERT_TRUE(session.ok()) << session.error().ToString();
+  auto fetch = session.value()->FetchPage("/");
+  ASSERT_TRUE(fetch.ok()) << fetch.error().ToString();
+  ASSERT_EQ(fetch.value().mode, "generative");
+  ASSERT_EQ(fetch.value().generated_items, 1u);
+
+  // --- spans cover negotiation → request → generation --------------------
+  const std::vector<obs::Span> spans = obs::Tracer::Default().FinishedSpans();
+  const obs::Span* settings = FindSpan(spans, "http2.settings_roundtrip");
+  ASSERT_NE(settings, nullptr) << "SETTINGS negotiation span missing";
+  bool negotiated_attr = false;
+  for (const auto& [key, value] : settings->attributes) {
+    if (key == "negotiated_gen_ability") {
+      negotiated_attr = true;
+      EXPECT_NE(value.find("full"), std::string::npos) << value;
+    }
+  }
+  EXPECT_TRUE(negotiated_attr);
+
+  const obs::Span* request = FindSpan(spans, "server.request");
+  ASSERT_NE(request, nullptr) << "server request span missing";
+
+  const obs::Span* page_span = FindSpan(spans, "client.fetch_page");
+  ASSERT_NE(page_span, nullptr);
+
+  // Per-asset generation nests (transitively) under the page fetch.
+  const obs::Span* generate = FindSpan(spans, "genai.generate");
+  ASSERT_NE(generate, nullptr) << "per-asset generation span missing";
+  EXPECT_GT(generate->DurationSeconds(), 0.0)
+      << "simulated generation cost should advance the manual clock";
+  obs::SpanId ancestor = generate->parent;
+  bool under_page_fetch = false;
+  for (int hops = 0; ancestor != 0 && hops < 16; ++hops) {
+    if (ancestor == page_span->id) {
+      under_page_fetch = true;
+      break;
+    }
+    const obs::Span* parent = nullptr;
+    for (const obs::Span& s : spans) {
+      if (s.id == ancestor) { parent = &s; break; }
+    }
+    if (parent == nullptr) break;
+    ancestor = parent->parent;
+  }
+  EXPECT_TRUE(under_page_fetch);
+
+  // --- registry counters match the fetch ---------------------------------
+  const obs::RegistrySnapshot snap = obs::Registry::Default().Snapshot();
+  EXPECT_EQ(snap.counters.at("server.requests"), 1u);
+  EXPECT_EQ(snap.counters.at("server.pages_generative"), 1u);
+  EXPECT_EQ(snap.counters.at("client.pages_fetched"), 1u);
+  EXPECT_EQ(snap.counters.at("client.items_generated"),
+            fetch.value().generated_items);
+  EXPECT_GE(snap.counters.at("server.negotiations"), 1u);
+  EXPECT_GE(snap.counters.at("client.negotiations"), 1u);
+
+  // Byte accounting is consistent: client-observed page wire bytes equal
+  // the server's accounted page bytes (no compression in this fetch) and
+  // both histograms saw exactly one page.
+  const obs::HistogramSnapshot client_bytes =
+      snap.histograms.at("client.page_bytes");
+  const obs::HistogramSnapshot server_bytes =
+      snap.histograms.at("server.page_bytes");
+  EXPECT_EQ(client_bytes.count, 1u);
+  EXPECT_EQ(server_bytes.count, 1u);
+  EXPECT_DOUBLE_EQ(client_bytes.sum,
+                   static_cast<double>(fetch.value().page_bytes));
+  EXPECT_DOUBLE_EQ(server_bytes.sum, client_bytes.sum);
+  EXPECT_EQ(session.value()->server().stats().page_bytes_sent,
+            fetch.value().page_bytes);
+
+  // http2 wire counters line up between the mirrored registry view and the
+  // per-connection stats (both endpoints feed the same named counters).
+  const std::uint64_t wire_sent =
+      session.value()->client().connection().wire_stats().bytes_sent +
+      session.value()->server().connection().wire_stats().bytes_sent;
+  EXPECT_EQ(snap.counters.at("http2.bytes_sent"), wire_sent);
+  EXPECT_EQ(snap.counters.at("http2.bytes_received"), wire_sent)
+      << "lossless in-memory link: every sent byte is received";
+
+  // --- the trace artifact is valid Chrome trace JSON ----------------------
+  const std::string trace = obs::ExportChromeTrace(spans, "obs_integration");
+  auto parsed = json::Parse(trace);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  const json::Value* events = parsed.value().Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(events->AsArray().size(), spans.size() + 1);  // + metadata event
+  std::vector<std::string> names;
+  for (const json::Value& event : events->AsArray()) {
+    names.push_back(event.GetString("name"));
+  }
+  for (const char* expected :
+       {"http2.settings_roundtrip", "http2.stream", "server.request",
+        "client.fetch_page", "client.materialize", "genai.generate"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "trace missing span " << expected;
+  }
+}
+
+TEST_F(ObsIntegrationTest, RegistryAggregatesAcrossSessions) {
+  core::ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", core::MakeGoldfishPage()).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto session = core::LocalSession::Start(&store, {});
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session.value()->FetchPage("/").ok());
+  }
+  const obs::RegistrySnapshot snap = obs::Registry::Default().Snapshot();
+  // Three connections' worth of per-instance stats sum in one place.
+  EXPECT_EQ(snap.counters.at("server.requests"), 3u);
+  EXPECT_EQ(snap.counters.at("client.pages_fetched"), 3u);
+  EXPECT_EQ(snap.counters.at("server.negotiations"), 3u);
+  EXPECT_EQ(snap.histograms.at("server.page_bytes").count, 3u);
+}
+
+}  // namespace
+}  // namespace sww
