@@ -1,0 +1,199 @@
+// bench_parallel_speedup — the machine-readable perf baseline for the
+// parallel generation engine.  Sweeps pool sizes 1→8 over one six-asset
+// generative page, checks byte-identity of the rendered output at every
+// thread count, and emits BENCH_parallel.json.
+//
+// Two time axes, deliberately separated:
+//   * modeled wall seconds — the makespan of the batch schedule over the
+//     generator's device lanes (GeneratedBatch::wall_seconds): each asset's
+//     simulated device-seconds placed greedily on the least-loaded lane.
+//     Deterministic on any machine, so it is the gated number: six equal
+//     assets over four lanes pack 2+2+1+1, a 3.0x speedup over one lane.
+//   * real wall seconds — steady_clock around the fetch, reported for
+//     context (tile-parallel kernels + per-asset fan-out).  CI machines
+//     vary, single-core runners cannot speed up at all, so this is never
+//     gated.
+//
+// Exit status is the acceptance criterion: non-zero when output bytes
+// diverge across thread counts or the modeled speedup at 4 threads drops
+// below 2x.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/page_builder.hpp"
+#include "core/session.hpp"
+#include "json/json.hpp"
+#include "obs/registry.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+// Six equal-sized image assets: equal device cost per asset makes the
+// modeled schedule easy to reason about (4 lanes → 2+2+1+1 → 3.0x).
+std::string MakeSixAssetPage() {
+  static const char* kPrompts[6] = {
+      "a goldfish in a sunlit bowl",      "a red lighthouse on a cliff",
+      "a pine forest after fresh snow",   "a terracotta rooftop at dusk",
+      "a sailboat crossing a calm bay",   "a stone bridge over a stream",
+  };
+  std::string html = "<html><head><title>parallel bench</title></head><body>";
+  for (int i = 0; i < 6; ++i) {
+    sww::json::Value meta{sww::json::Object{}};
+    meta.Set("prompt", kPrompts[i]);
+    meta.Set("name", "asset-" + std::to_string(i));
+    meta.Set("width", 256);
+    meta.Set("height", 192);
+    html += "<div class=\"generated content\" content-type=\"img\" metadata='" +
+            meta.Dump() + "'></div>";
+  }
+  html += "</body></html>";
+  return html;
+}
+
+struct RunResult {
+  int threads = 1;
+  int lanes = 1;
+  double device_seconds = 0.0;
+  double modeled_wall_seconds = 0.0;
+  double real_wall_seconds = 0.0;
+  double generated_bytes = 0.0;
+  std::uint64_t output_digest = 0;
+};
+
+bool RunOnce(const sww::core::ContentStore& store, sww::util::ThreadPool* pool,
+             int threads, RunResult& out) {
+  using namespace sww;
+  obs::Registry::Default().Reset();
+  core::LocalSession::Options options;
+  options.client.generator.pool = pool;
+  auto session = core::LocalSession::Start(&store, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n", session.error().ToString().c_str());
+    return false;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto fetch = session.value()->FetchPage("/page");
+  const auto stop = std::chrono::steady_clock::now();
+  if (!fetch.ok()) {
+    std::fprintf(stderr, "fetch: %s\n", fetch.error().ToString().c_str());
+    return false;
+  }
+  out.threads = threads;
+  out.lanes = pool == nullptr ? 1 : pool->worker_count();
+  out.device_seconds = fetch.value().generation_seconds;
+  out.modeled_wall_seconds = fetch.value().generation_wall_seconds;
+  out.real_wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  // Digest every output byte the user would see: files (sorted by path in
+  // the std::map) then the final DOM.
+  std::uint64_t digest = util::Fnv1a64("");  // offset basis
+  double bytes = 0.0;
+  for (const auto& [path, content] : fetch.value().files) {
+    digest = util::Fnv1a64(path, digest);
+    if (!content.empty()) {
+      digest = util::Fnv1a64(
+          std::string_view(reinterpret_cast<const char*>(content.data()),
+                           content.size()),
+          digest);
+    }
+    bytes += static_cast<double>(content.size());
+  }
+  digest = util::Fnv1a64(fetch.value().final_html, digest);
+  out.output_digest = digest;
+  out.generated_bytes = bytes;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sww;
+  core::ContentStore store;
+  if (auto status = store.AddPage("/page", MakeSixAssetPage()); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== parallel generation engine: speedup sweep ===\n\n");
+  std::printf("page: 6 image assets, 256x192 each, laptop device profile\n\n");
+
+  std::vector<RunResult> runs;
+  {
+    RunResult serial;
+    if (!RunOnce(store, nullptr, 0, serial)) return 1;
+    runs.push_back(serial);  // threads=0 row: the no-pool serial path
+  }
+  for (int threads : {1, 2, 4, 8}) {
+    util::ThreadPool pool(threads);
+    RunResult run;
+    if (!RunOnce(store, &pool, threads, run)) return 1;
+    runs.push_back(run);
+  }
+
+  const RunResult& baseline = runs.front();
+  std::printf("%8s %6s %12s %12s %10s %12s  %s\n", "threads", "lanes",
+              "device s", "modeled s", "speedup", "real ms", "digest");
+  bool identical = true;
+  double speedup_at_4 = 0.0;
+  json::Array rows;
+  for (const RunResult& run : runs) {
+    const double speedup = run.modeled_wall_seconds > 0.0
+                               ? baseline.modeled_wall_seconds /
+                                     run.modeled_wall_seconds
+                               : 0.0;
+    if (run.threads == 4) speedup_at_4 = speedup;
+    identical = identical && run.output_digest == baseline.output_digest;
+    std::printf("%8d %6d %12.2f %12.2f %9.2fx %12.2f  %016llx\n", run.threads,
+                run.lanes, run.device_seconds, run.modeled_wall_seconds,
+                speedup, run.real_wall_seconds * 1e3,
+                static_cast<unsigned long long>(run.output_digest));
+    json::Value row{json::Object{}};
+    row.Set("threads", run.threads);
+    row.Set("lanes", run.lanes);
+    row.Set("device_seconds", run.device_seconds);
+    row.Set("modeled_wall_seconds", run.modeled_wall_seconds);
+    row.Set("modeled_speedup", speedup);
+    row.Set("real_wall_seconds", run.real_wall_seconds);
+    row.Set("generated_bytes_per_real_second",
+            run.real_wall_seconds > 0.0
+                ? run.generated_bytes / run.real_wall_seconds
+                : 0.0);
+    char digest_hex[17];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  static_cast<unsigned long long>(run.output_digest));
+    row.Set("output_digest", std::string(digest_hex));
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("\nbyte-identical output across all runs: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("modeled speedup at 4 threads: %.2fx (gate: >= 2x)\n",
+              speedup_at_4);
+
+  json::Value report{json::Object{}};
+  report.Set("bench", "parallel_speedup");
+  report.Set("assets", 6);
+  report.Set("device_profile", "laptop");
+  report.Set("byte_identical", identical);
+  report.Set("modeled_speedup_at_4_threads", speedup_at_4);
+  report.Set("runs", json::Value(std::move(rows)));
+  std::ofstream out("BENCH_parallel.json");
+  out << report.DumpPretty() << "\n";
+  out.close();
+  std::printf("wrote BENCH_parallel.json\n");
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: output bytes diverged across thread counts\n");
+    return 1;
+  }
+  if (speedup_at_4 < 2.0) {
+    std::fprintf(stderr, "FAIL: modeled speedup at 4 threads %.2fx < 2x\n",
+                 speedup_at_4);
+    return 1;
+  }
+  return 0;
+}

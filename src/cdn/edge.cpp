@@ -23,6 +23,13 @@ EdgeNode::EdgeNode(EdgeMode mode, std::uint64_t storage_budget_bytes,
       &registry.GetGauge("cdn.edge.generation_energy_wh");
 }
 
+void EdgeNode::AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 std::size_t EdgeNode::CachedSize(const CatalogItem& item) const {
   if (item.unique || mode_ == EdgeMode::kContentMode) return item.content_bytes;
   return item.prompt_bytes;
@@ -48,63 +55,80 @@ double EdgeNode::GenerateEnergyWh(const CatalogItem& item) const {
                                         item.words);
 }
 
-void EdgeNode::Touch(std::uint64_t id) {
-  auto it = index_.find(id);
+bool EdgeNode::TouchOrInsert(const CatalogItem& item) {
+  std::lock_guard<std::mutex> lock(structure_mutex_);
+  auto it = index_.find(item.id);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
   }
-}
-
-void EdgeNode::Insert(const CatalogItem& item) {
   const std::size_t bytes = CachedSize(item);
-  if (bytes > storage_budget_) return;  // never fits; serve pass-through
-  lru_.emplace_front(item.id, bytes);
-  index_[item.id] = lru_.begin();
-  stored_bytes_ += bytes;
-  EvictToFit();
+  if (bytes <= storage_budget_) {  // else never fits; serve pass-through
+    lru_.emplace_front(item.id, bytes);
+    index_[item.id] = lru_.begin();
+    stored_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    EvictToFitLocked();
+  }
+  return false;
 }
 
-void EdgeNode::EvictToFit() {
-  while (stored_bytes_ > storage_budget_ && !lru_.empty()) {
+void EdgeNode::EvictToFitLocked() {
+  while (stored_bytes_.load(std::memory_order_relaxed) > storage_budget_ &&
+         !lru_.empty()) {
     const auto& [id, bytes] = lru_.back();
-    stored_bytes_ -= bytes;
+    stored_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
     index_.erase(id);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     instruments_.evictions->Add();
   }
 }
 
 void EdgeNode::ServeRequest(const CatalogItem& item) {
-  ++stats_.requests;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   instruments_.requests->Add();
-  const bool hit = index_.find(item.id) != index_.end();
+  const bool hit = TouchOrInsert(item);
   if (hit) {
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     instruments_.hits->Add();
-    Touch(item.id);
   } else {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     instruments_.misses->Add();
     // Miss: fetch from origin in the cached representation's form.
     const std::size_t origin_bytes = CachedSize(item);
-    stats_.bytes_from_origin += origin_bytes;
+    bytes_from_origin_.fetch_add(origin_bytes, std::memory_order_relaxed);
     instruments_.bytes_from_origin->Add(origin_bytes);
-    Insert(item);
   }
   // Users always receive materialized content ("loses data transmission
   // benefits" — the edge-to-user hop carries full bytes in prompt mode).
-  stats_.bytes_to_users += item.content_bytes;
+  bytes_to_users_.fetch_add(item.content_bytes, std::memory_order_relaxed);
   instruments_.bytes_to_users->Add(item.content_bytes);
   // Prompt mode materializes on every user request for non-unique items.
+  // The cost model runs outside the structure lock: concurrent requests
+  // only serialize on the LRU bookkeeping above.
   if (mode_ == EdgeMode::kPromptMode && !item.unique) {
     const double seconds = GenerateSeconds(item);
     const double energy_wh = GenerateEnergyWh(item);
-    stats_.generation_seconds += seconds;
-    stats_.generation_energy_wh += energy_wh;
+    AtomicAdd(generation_seconds_, seconds);
+    AtomicAdd(generation_energy_wh_, energy_wh);
     instruments_.generation_seconds->Add(seconds);
     instruments_.generation_energy_wh->Add(energy_wh);
   }
+}
+
+EdgeStats EdgeNode::stats() const {
+  EdgeStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.bytes_to_users = bytes_to_users_.load(std::memory_order_relaxed);
+  stats.bytes_from_origin = bytes_from_origin_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.generation_seconds =
+      generation_seconds_.load(std::memory_order_relaxed);
+  stats.generation_energy_wh =
+      generation_energy_wh_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace sww::cdn

@@ -12,10 +12,18 @@
 //     paper flags: every prompt-mode hit pays edge generation time/energy.
 //
 // Unique items are cached as content in both modes.
+//
+// Concurrency: ServeRequest is safe to call from any number of threads.
+// Counters accumulate in relaxed atomics (no lock), the LRU structure is
+// guarded by one short critical section, and the generation cost model —
+// the expensive part of a prompt-mode hit — runs entirely outside the
+// lock.  stats() returns a merged snapshot.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "cdn/catalog.hpp"
@@ -27,7 +35,7 @@ namespace sww::cdn {
 
 enum class EdgeMode { kContentMode, kPromptMode };
 
-/// Per-node view; mirrored into the process-wide obs::Registry under
+/// Per-node snapshot; mirrored into the process-wide obs::Registry under
 /// cdn.edge.* (summed across nodes and modes).
 struct EdgeStats {
   std::uint64_t requests = 0;
@@ -55,34 +63,50 @@ class EdgeNode {
            const genai::ImageModelSpec& image_model,
            const genai::TextModelSpec& text_model);
 
-  /// Serve one request; updates stats and cache state.
+  /// Serve one request; updates stats and cache state.  Thread-safe.
   void ServeRequest(const CatalogItem& item);
 
   EdgeMode mode() const { return mode_; }
-  std::uint64_t stored_bytes() const { return stored_bytes_; }
+  std::uint64_t stored_bytes() const {
+    return stored_bytes_.load(std::memory_order_relaxed);
+  }
   std::uint64_t storage_budget() const { return storage_budget_; }
-  const EdgeStats& stats() const { return stats_; }
+  /// Merged snapshot of the atomic counters.
+  EdgeStats stats() const;
 
  private:
   /// Bytes this item occupies in this edge's cache.
   std::size_t CachedSize(const CatalogItem& item) const;
-  void Touch(std::uint64_t id);
-  void Insert(const CatalogItem& item);
-  void EvictToFit();
+  /// Touch-or-insert under the structure lock; returns whether it was a
+  /// hit.  Eviction counting happens inside.
+  bool TouchOrInsert(const CatalogItem& item);
+  void EvictToFitLocked();
   double GenerateSeconds(const CatalogItem& item) const;
   double GenerateEnergyWh(const CatalogItem& item) const;
+  /// CAS-add for the double-valued stats (same idiom as obs::Gauge).
+  static void AtomicAdd(std::atomic<double>& target, double delta);
 
   EdgeMode mode_;
   std::uint64_t storage_budget_;
   genai::ImageModelSpec image_model_;
   genai::TextModelSpec text_model_;
 
-  // LRU: most recent at front.
+  // LRU: most recent at front.  Guarded by structure_mutex_.
+  std::mutex structure_mutex_;
   std::list<std::pair<std::uint64_t, std::size_t>> lru_;  // (id, bytes)
   std::unordered_map<std::uint64_t, std::list<std::pair<std::uint64_t, std::size_t>>::iterator>
       index_;
-  std::uint64_t stored_bytes_ = 0;
-  EdgeStats stats_;
+  std::atomic<std::uint64_t> stored_bytes_{0};
+
+  // Lock-free stat cells, merged by stats().
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> bytes_to_users_{0};
+  std::atomic<std::uint64_t> bytes_from_origin_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<double> generation_seconds_{0.0};
+  std::atomic<double> generation_energy_wh_{0.0};
 
   // Process-wide mirrors of the EdgeStats events.
   struct Instruments {

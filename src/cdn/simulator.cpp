@@ -1,5 +1,7 @@
 #include "cdn/simulator.hpp"
 
+#include <memory>
+
 #include "energy/carbon.hpp"
 #include "genai/model_specs.hpp"
 
@@ -10,11 +12,12 @@ FleetResult RunFleet(const Catalog& catalog, EdgeMode mode,
   const auto image_model = genai::FindImageModel(genai::kSd3Medium).value();
   const auto text_model = genai::FindTextModel(genai::kDeepseek8b).value();
 
-  std::vector<EdgeNode> edges;
+  // Nodes own a mutex now, so they live behind pointers.
+  std::vector<std::unique_ptr<EdgeNode>> edges;
   edges.reserve(static_cast<std::size_t>(options.edge_count));
   for (int e = 0; e < options.edge_count; ++e) {
-    edges.emplace_back(mode, options.storage_budget_bytes, image_model,
-                       text_model);
+    edges.push_back(std::make_unique<EdgeNode>(
+        mode, options.storage_budget_bytes, image_model, text_model));
   }
 
   // Users are sharded to edges by a stable hash of the request index; the
@@ -25,21 +28,22 @@ FleetResult RunFleet(const Catalog& catalog, EdgeMode mode,
     const std::size_t edge_index =
         static_cast<std::size_t>(rng.NextBounded(
             static_cast<std::uint64_t>(options.edge_count)));
-    edges[edge_index].ServeRequest(catalog.item(item_index));
+    edges[edge_index]->ServeRequest(catalog.item(item_index));
   }
 
   FleetResult result;
   result.mode = mode;
   std::uint64_t hits = 0, requests = 0;
-  for (const EdgeNode& edge : edges) {
-    result.total_stored_bytes += edge.stored_bytes();
-    result.total_origin_bytes += edge.stats().bytes_from_origin;
-    result.total_user_bytes += edge.stats().bytes_to_users;
-    result.generation_seconds += edge.stats().generation_seconds;
-    result.generation_energy_wh += edge.stats().generation_energy_wh;
-    result.evictions += edge.stats().evictions;
-    hits += edge.stats().hits;
-    requests += edge.stats().requests;
+  for (const auto& edge : edges) {
+    const EdgeStats stats = edge->stats();
+    result.total_stored_bytes += edge->stored_bytes();
+    result.total_origin_bytes += stats.bytes_from_origin;
+    result.total_user_bytes += stats.bytes_to_users;
+    result.generation_seconds += stats.generation_seconds;
+    result.generation_energy_wh += stats.generation_energy_wh;
+    result.evictions += stats.evictions;
+    hits += stats.hits;
+    requests += stats.requests;
   }
   result.hit_rate =
       requests == 0 ? 0.0 : static_cast<double>(hits) / requests;

@@ -137,30 +137,35 @@ Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
   auto document = html::ParseDocument(util::ToString(fetch.response.body));
   if (!document) return document.error();
 
-  // Client-side generation: materialize every generated-content div.
+  // Client-side generation: materialize every generated-content div as
+  // one batch — independent specs fan out across the generator's pool,
+  // and results merge back here in document order (DOM splices, files,
+  // stats, and warnings are deterministic for any thread count).
   html::ExtractionResult extraction =
       html::ExtractGeneratedContent(*document.value());
-  for (html::GeneratedContentSpec& spec : extraction.specs) {
-    auto media = generator_->GenerateAndReplace(spec);
-    if (!media) return media.error();
-    fetch.generation_seconds += media.value().seconds;
-    fetch.generation_energy_wh += media.value().energy_wh;
-    if (media.value().type == html::GeneratedContentType::kImage) {
-      fetch.files[media.value().file_path] = media.value().file_bytes;
+  auto batch = generator_->GenerateBatch(extraction.specs);
+  if (!batch) return batch.error();
+  fetch.generation_seconds += batch.value().device_seconds;
+  fetch.generation_wall_seconds += batch.value().wall_seconds;
+  for (std::size_t i = 0; i < batch.value().items.size(); ++i) {
+    GeneratedMedia& media = batch.value().items[i];
+    MediaGenerator::Splice(extraction.specs[i], media);
+    fetch.generation_energy_wh += media.energy_wh;
+    if (media.type == html::GeneratedContentType::kImage) {
+      fetch.files[media.file_path] = media.file_bytes;
     }
-    if (media.value().has_verification) {
-      if (media.value().verification.verified()) {
+    if (media.has_verification) {
+      if (media.verification.verified()) {
         ++fetch.verified_items;
       } else {
         ++fetch.failed_verification_items;
         util::LogWarn("sww.client",
                       "semantic digest mismatch for generated item '" +
-                          media.value().name + "' (distance " +
-                          std::to_string(media.value().verification.distance) +
-                          ")");
+                          media.name + "' (distance " +
+                          std::to_string(media.verification.distance) + ")");
       }
     }
-    fetch.media.push_back(std::move(media).value());
+    fetch.media.push_back(std::move(media));
     ++fetch.generated_items;
     instruments_.items_generated->Add();
   }

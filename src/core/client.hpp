@@ -49,8 +49,12 @@ struct PageFetch {
   std::uint64_t page_bytes = 0;       ///< HTML bytes received
   std::uint64_t asset_bytes = 0;      ///< asset bytes received
   std::size_t generated_items = 0;
-  double generation_seconds = 0.0;    ///< simulated, on the client device
+  double generation_seconds = 0.0;    ///< simulated device-seconds (sum)
   double generation_energy_wh = 0.0;
+  /// Modeled elapsed generation time with the configured parallelism: the
+  /// makespan of the batch schedule over the generator's device lanes.
+  /// Equals generation_seconds when generation is serial.
+  double generation_wall_seconds = 0.0;
 
   /// §2.2 upscale-assist mode: images restored to authored size locally.
   std::size_t upscaled_items = 0;

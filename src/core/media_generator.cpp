@@ -1,5 +1,7 @@
 #include "core/media_generator.hpp"
 
+#include <future>
+
 #include "core/content_store.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -21,28 +23,37 @@ Result<MediaGenerator> MediaGenerator::Create(
                         std::move(pipeline).value());
 }
 
-Result<GeneratedMedia> MediaGenerator::Generate(
-    const html::GeneratedContentSpec& spec) {
-  // One span per materialized asset; under a ManualClock the span's
-  // duration is the simulated generation cost on this device.
-  obs::ScopedSpan span("genai.generate", "genai");
-  Result<GeneratedMedia> media(GeneratedMedia{});
+MediaGenerator::BuiltItem MediaGenerator::BuildItem(
+    const html::GeneratedContentSpec& spec) const {
   switch (spec.type) {
     case html::GeneratedContentType::kImage:
-      media = GenerateImage(spec);
-      break;
+      return BuildImage(spec);
     case html::GeneratedContentType::kText:
-      media = GenerateText(spec);
-      break;
-    default:
-      return Error(ErrorCode::kInvalidArgument,
-                   "unknown generated content type");
+      return BuildText(spec);
+    default: {
+      BuiltItem item;
+      item.media = Error(ErrorCode::kInvalidArgument,
+                         "unknown generated content type");
+      return item;
+    }
   }
-  if (!media) {
-    span.AddAttribute("error", media.error().ToString());
-    return media;
+}
+
+Result<GeneratedMedia> MediaGenerator::Absorb(BuiltItem built) {
+  // One span per materialized asset; under a ManualClock the span's
+  // duration is the simulated generation cost on this device.  Emitted on
+  // the calling thread so spans nest under the page-fetch span and the
+  // trace is deterministic no matter which worker built the item.
+  obs::ScopedSpan span("genai.generate", "genai");
+  if (built.audit.has_value()) {
+    audit_.Record(std::move(built.audit).value());
   }
-  const GeneratedMedia& item = media.value();
+  if (!built.media) {
+    span.AddAttribute("error", built.media.error().ToString());
+    return built.media;
+  }
+  pipeline_.CountInvocation();
+  const GeneratedMedia& item = built.media.value();
   const bool is_image = item.type == html::GeneratedContentType::kImage;
   span.AddAttribute("type", is_image ? "image" : "text");
   span.AddAttribute("name", item.name);
@@ -63,38 +74,99 @@ Result<GeneratedMedia> MediaGenerator::Generate(
   registry.GetGauge("genai.generation_energy_wh").Add(item.energy_wh);
   registry.GetHistogram("genai.item_seconds").Observe(item.seconds);
   obs::Tracer::Default().clock().AdvanceSimulated(item.seconds);
-  return media;
+  total_seconds_ += item.seconds;
+  total_energy_wh_ += item.energy_wh;
+  ++items_;
+  return built.media;
+}
+
+Result<GeneratedMedia> MediaGenerator::Generate(
+    const html::GeneratedContentSpec& spec) {
+  return Absorb(BuildItem(spec));
 }
 
 Result<GeneratedMedia> MediaGenerator::GenerateAndReplace(
     html::GeneratedContentSpec& spec) {
   auto media = Generate(spec);
   if (!media) return media;
-  if (spec.node != nullptr) {
-    if (media.value().type == html::GeneratedContentType::kImage) {
-      html::ReplaceWithImage(*spec.node, media.value().file_path,
-                             media.value().width, media.value().height,
-                             media.value().prompt);
-    } else {
-      html::ReplaceWithText(*spec.node, media.value().text);
-    }
-  }
+  Splice(spec, media.value());
   return media;
 }
 
-Result<GeneratedMedia> MediaGenerator::GenerateImage(
-    const html::GeneratedContentSpec& spec) {
+void MediaGenerator::Splice(html::GeneratedContentSpec& spec,
+                            const GeneratedMedia& media) {
+  if (spec.node == nullptr) return;
+  if (media.type == html::GeneratedContentType::kImage) {
+    html::ReplaceWithImage(*spec.node, media.file_path, media.width,
+                           media.height, media.prompt);
+  } else {
+    html::ReplaceWithText(*spec.node, media.text);
+  }
+}
+
+Result<GeneratedBatch> MediaGenerator::GenerateBatch(
+    const std::vector<html::GeneratedContentSpec>& specs) {
+  // Build phase: pure, so it can fan out across the pool.  Workers write
+  // only their own slot; result order is fixed by the slot index, not by
+  // completion order.
+  std::vector<BuiltItem> built(specs.size());
+  util::ThreadPool* pool = options_.pool;
+  if (pool != nullptr && pool->worker_count() > 1 && specs.size() > 1) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      pending.push_back(pool->Submit(
+          [this, &specs, &built, i] { built[i] = BuildItem(specs[i]); }));
+    }
+    for (std::future<void>& item : pending) item.get();
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      built[i] = BuildItem(specs[i]);
+    }
+  }
+
+  // Merge phase: calling thread, spec order.  The first failed item wins
+  // (matching serial semantics) and later items leave no trace in stats,
+  // audit, or telemetry.
+  GeneratedBatch batch;
+  batch.lanes = pool != nullptr ? pool->worker_count() : 1;
+  std::vector<double> lane_load(static_cast<std::size_t>(batch.lanes), 0.0);
+  batch.items.reserve(specs.size());
+  for (BuiltItem& item : built) {
+    auto media = Absorb(std::move(item));
+    if (!media) return media.error();
+    const double seconds = media.value().seconds;
+    batch.device_seconds += seconds;
+    // Deterministic greedy schedule: this item runs on the least-loaded
+    // device lane (ties break low).  The makespan — not the device-second
+    // sum — is the page's modeled generation wall time.
+    std::size_t lane = 0;
+    for (std::size_t l = 1; l < lane_load.size(); ++l) {
+      if (lane_load[l] < lane_load[lane]) lane = l;
+    }
+    lane_load[lane] += seconds;
+    batch.items.push_back(std::move(media).value());
+  }
+  for (const double load : lane_load) {
+    batch.wall_seconds = std::max(batch.wall_seconds, load);
+  }
+  return batch;
+}
+
+MediaGenerator::BuiltItem MediaGenerator::BuildImage(
+    const html::GeneratedContentSpec& spec) const {
+  BuiltItem item;
   std::string prompt = spec.prompt();
   if (prompt.empty()) {
-    return Error(ErrorCode::kInvalidArgument, "image spec has empty prompt");
+    item.media = Error(ErrorCode::kInvalidArgument, "image spec has empty prompt");
+    return item;
   }
   // §2.3: on-device personalization, consent-gated and strength-capped.
   const PersonalizedPrompt personalized =
       PersonalizePrompt(options_.profile, prompt);
   if (personalized.applied) {
-    audit_.Record(PersonalizationRecord{spec.name(), prompt,
-                                        personalized.prompt,
-                                        personalized.injected_tokens});
+    item.audit = PersonalizationRecord{spec.name(), prompt, personalized.prompt,
+                                       personalized.injected_tokens};
     prompt = personalized.prompt;
   }
   const int width = spec.width();
@@ -105,8 +177,10 @@ Result<GeneratedMedia> MediaGenerator::GenerateImage(
 
   auto generated = pipeline_.diffusion().Generate(
       prompt, width, height, options_.inference_steps, seed);
-  if (!generated) return generated.error();
-  pipeline_.CountInvocation();
+  if (!generated) {
+    item.media = generated.error();
+    return item;
+  }
 
   GeneratedMedia media;
   media.type = html::GeneratedContentType::kImage;
@@ -148,38 +222,42 @@ Result<GeneratedMedia> MediaGenerator::GenerateImage(
     }
   }
 
-  total_seconds_ += media.seconds;
-  total_energy_wh_ += media.energy_wh;
-  ++items_;
-  return media;
+  item.media = std::move(media);
+  return item;
 }
 
-Result<GeneratedMedia> MediaGenerator::GenerateText(
-    const html::GeneratedContentSpec& spec) {
+MediaGenerator::BuiltItem MediaGenerator::BuildText(
+    const html::GeneratedContentSpec& spec) const {
+  BuiltItem item;
   // Bullets come from the metadata either as an array ("bullets") or as a
   // single prompt string.
   std::vector<std::string> bullets;
   if (const json::Value* array = spec.metadata.Get("bullets");
       array != nullptr && array->is_array()) {
-    for (const json::Value& item : array->AsArray()) {
-      if (item.is_string()) bullets.push_back(item.AsString());
+    for (const json::Value& value : array->AsArray()) {
+      if (value.is_string()) bullets.push_back(value.AsString());
     }
   }
   if (bullets.empty()) {
     const std::string prompt = spec.prompt();
     if (prompt.empty()) {
-      return Error(ErrorCode::kInvalidArgument,
-                   "text spec has neither bullets nor prompt");
+      item.media = Error(ErrorCode::kInvalidArgument,
+                         "text spec has neither bullets nor prompt");
+      return item;
     }
     bullets.push_back(prompt);
   }
   // §2.3: a consenting profile may add one bounded personalization bullet.
+  // The authored prompt (bullets joined) is invariant across the branches
+  // below — join once and reuse it for personalization, the audit record,
+  // and the media prompt.
+  const std::string joined = util::Join(bullets, "; ");
   const PersonalizedPrompt personalized =
-      PersonalizePrompt(options_.profile, util::Join(bullets, "; "));
+      PersonalizePrompt(options_.profile, joined);
   if (personalized.applied) {
-    audit_.Record(PersonalizationRecord{spec.name(), util::Join(bullets, "; "),
-                                        personalized.prompt,
-                                        personalized.injected_tokens});
+    item.audit = PersonalizationRecord{spec.name(), joined,
+                                       personalized.prompt,
+                                       personalized.injected_tokens};
     bullets.push_back("mention " + util::Join(personalized.injected_tokens,
                                               " and "));
   }
@@ -191,13 +269,17 @@ Result<GeneratedMedia> MediaGenerator::GenerateText(
   }
 
   auto expanded = pipeline_.text().ExpandBullets(bullets, words, seed);
-  if (!expanded) return expanded.error();
-  pipeline_.CountInvocation();
+  if (!expanded) {
+    item.media = expanded.error();
+    return item;
+  }
 
   GeneratedMedia media;
   media.type = html::GeneratedContentType::kText;
   media.name = spec.name();
-  media.prompt = util::Join(bullets, "; ");
+  // With a personalization bullet appended the effective prompt grew;
+  // otherwise it is exactly the authored join.
+  media.prompt = personalized.applied ? util::Join(bullets, "; ") : joined;
   media.text = expanded.value().text;
   media.words = expanded.value().actual_words;
   media.seconds = energy::TextGenerationSeconds(*device_, pipeline_.text().spec(),
@@ -206,11 +288,8 @@ Result<GeneratedMedia> MediaGenerator::GenerateText(
       *device_, pipeline_.text().spec(), words);
   media.traditional_bytes = TraditionalItemBytes(spec.type, spec.metadata);
   media.metadata_bytes = spec.MetadataBytes();
-
-  total_seconds_ += media.seconds;
-  total_energy_wh_ += media.energy_wh;
-  ++items_;
-  return media;
+  item.media = std::move(media);
+  return item;
 }
 
 }  // namespace sww::core

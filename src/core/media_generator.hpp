@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/personalization.hpp"
 #include "core/verification.hpp"
@@ -22,6 +24,7 @@
 #include "html/generated_content.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sww::core {
 
@@ -51,6 +54,20 @@ struct GeneratedMedia {
   std::size_t metadata_bytes = 0;
 };
 
+/// The outcome of materializing a page's specs as one concurrent batch.
+/// `items` is in spec order regardless of which worker finished first.
+struct GeneratedBatch {
+  std::vector<GeneratedMedia> items;
+  /// Total device-seconds across items (what energy accounting sums).
+  double device_seconds = 0.0;
+  /// Modeled elapsed time of the parallel schedule: items are placed on
+  /// `lanes` device lanes by deterministic greedy assignment (each item,
+  /// in spec order, goes to the least-loaded lane) and the makespan is the
+  /// heaviest lane.  Equals device_seconds when lanes == 1.
+  double wall_seconds = 0.0;
+  int lanes = 1;
+};
+
 class MediaGenerator {
  public:
   struct Options {
@@ -63,6 +80,12 @@ class MediaGenerator {
     /// consented; bounded by its strength cap; every application is
     /// recorded in audit().
     PersonalizationProfile profile;
+    /// Concurrency: when set, GenerateBatch fans items out across this
+    /// pool and the diffusion kernel renders tile-parallel.  Output bytes,
+    /// stats, and audit order are identical with any pool or none (the
+    /// build phase is pure; all side effects merge on the calling thread
+    /// in spec order).  Not owned; must outlive the generator.
+    util::ThreadPool* pool = nullptr;
   };
 
   /// Loads the pipeline once (preloaded-pipeline optimization).
@@ -76,6 +99,21 @@ class MediaGenerator {
   /// Materialize and splice into the DOM: the placeholder div becomes an
   /// <img> (Figure 1's "after") or a text paragraph.
   util::Result<GeneratedMedia> GenerateAndReplace(html::GeneratedContentSpec& spec);
+
+  /// Materialize every spec of a page as one batch.  With a pool in
+  /// Options, items build concurrently (and images render tile-parallel);
+  /// results, stats, audit records, and telemetry merge on the calling
+  /// thread in spec order, so every observable outcome is byte-identical
+  /// to the serial path.  Fails with the first (spec-order) item error;
+  /// items after a failed one produce no side effects, matching serial
+  /// semantics.  Does not touch the DOM — pair with Splice.
+  util::Result<GeneratedBatch> GenerateBatch(
+      const std::vector<html::GeneratedContentSpec>& specs);
+
+  /// Replace a placeholder div with its materialized media (the DOM half
+  /// of GenerateAndReplace, usable after a batch).
+  static void Splice(html::GeneratedContentSpec& spec,
+                     const GeneratedMedia& media);
 
   const energy::DeviceProfile& device() const { return *device_; }
   const genai::GenerationPipeline& pipeline() const { return pipeline_; }
@@ -93,10 +131,28 @@ class MediaGenerator {
   MediaGenerator(const energy::DeviceProfile& device, Options options,
                  genai::GenerationPipeline pipeline)
       : device_(&device), options_(std::move(options)),
-        pipeline_(std::move(pipeline)) {}
+        pipeline_(std::move(pipeline)) {
+    pipeline_.SetThreadPool(options_.pool);
+  }
 
-  util::Result<GeneratedMedia> GenerateImage(const html::GeneratedContentSpec& spec);
-  util::Result<GeneratedMedia> GenerateText(const html::GeneratedContentSpec& spec);
+  /// One item's pure build output: no shared state touched yet.  The
+  /// personalization record (if any) is carried alongside so the audit
+  /// ledger can be appended in spec order at merge time.
+  struct BuiltItem {
+    util::Result<GeneratedMedia> media{GeneratedMedia{}};
+    std::optional<PersonalizationRecord> audit;
+  };
+
+  /// Pure compute phase — safe to run on any pool worker: reads options_
+  /// and pipeline_ (const), mutates nothing.
+  BuiltItem BuildItem(const html::GeneratedContentSpec& spec) const;
+  BuiltItem BuildImage(const html::GeneratedContentSpec& spec) const;
+  BuiltItem BuildText(const html::GeneratedContentSpec& spec) const;
+
+  /// Merge phase — calling thread only, spec order: emits the
+  /// genai.generate span, registry counters, simulated clock advance,
+  /// audit record, and cumulative totals for one built item.
+  util::Result<GeneratedMedia> Absorb(BuiltItem built);
 
   const energy::DeviceProfile* device_;
   Options options_;

@@ -6,6 +6,7 @@
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sww::genai {
 
@@ -31,12 +32,18 @@ void PromptHue(std::string_view prompt, double* r_gain, double* g_gain,
 
 /// Render a cell-grid luminance field to pixels with smooth (bilinear)
 /// interpolation between cell centers plus fine deterministic texture.
+///
+/// Row-tile parallel when a pool is given.  The per-pixel texture is a
+/// stateless counter hash of (seed, x, y) — every pixel's noise depends
+/// only on its own coordinates, so output bytes are identical for any
+/// tile schedule and any thread count (including none).
 Image RenderField(const std::vector<double>& field, int width, int height,
-                  std::string_view prompt, std::uint64_t seed) {
+                  std::string_view prompt, std::uint64_t seed,
+                  util::ThreadPool* pool) {
   Image image(width, height);
   double r_gain = 1.0, g_gain = 1.0, b_gain = 1.0;
   PromptHue(prompt, &r_gain, &g_gain, &b_gain);
-  util::Rng texture_rng(util::HashCombine(seed, 0x7e37a2u));
+  const std::uint64_t texture_seed = util::HashCombine(seed, 0x7e37a2u);
 
   auto cell_value = [&field](int cx, int cy) {
     cx = std::clamp(cx, 0, kSemanticGrid - 1);
@@ -44,28 +51,38 @@ Image RenderField(const std::vector<double>& field, int width, int height,
     return field[static_cast<std::size_t>(cy * kSemanticGrid + cx)];
   };
 
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
-      // Bilinear interpolation in cell space, sampled at cell centers.
-      const double fx = (static_cast<double>(x) + 0.5) / width * kSemanticGrid - 0.5;
-      const double fy = (static_cast<double>(y) + 0.5) / height * kSemanticGrid - 0.5;
-      const int cx = static_cast<int>(std::floor(fx));
-      const int cy = static_cast<int>(std::floor(fy));
-      const double tx = fx - cx;
-      const double ty = fy - cy;
-      const double value =
-          cell_value(cx, cy) * (1 - tx) * (1 - ty) +
-          cell_value(cx + 1, cy) * tx * (1 - ty) +
-          cell_value(cx, cy + 1) * (1 - tx) * ty +
-          cell_value(cx + 1, cy + 1) * tx * ty;
-      // Fine per-pixel texture: zero-mean, so cell means (the semantic
-      // carrier) are preserved.
-      const double texture = texture_rng.NextRange(-9.0, 9.0);
-      const double luminance = 128.0 + value + texture;
-      image.Set(x, y,
-                Pixel{ClampByte(luminance * r_gain), ClampByte(luminance * g_gain),
-                      ClampByte(luminance * b_gain)});
+  auto render_rows = [&](std::int64_t y_begin, std::int64_t y_end) {
+    for (int y = static_cast<int>(y_begin); y < y_end; ++y) {
+      for (int x = 0; x < width; ++x) {
+        // Bilinear interpolation in cell space, sampled at cell centers.
+        const double fx = (static_cast<double>(x) + 0.5) / width * kSemanticGrid - 0.5;
+        const double fy = (static_cast<double>(y) + 0.5) / height * kSemanticGrid - 0.5;
+        const int cx = static_cast<int>(std::floor(fx));
+        const int cy = static_cast<int>(std::floor(fy));
+        const double tx = fx - cx;
+        const double ty = fy - cy;
+        const double value =
+            cell_value(cx, cy) * (1 - tx) * (1 - ty) +
+            cell_value(cx + 1, cy) * tx * (1 - ty) +
+            cell_value(cx, cy + 1) * (1 - tx) * ty +
+            cell_value(cx + 1, cy + 1) * tx * ty;
+        // Fine per-pixel texture: zero-mean, so cell means (the semantic
+        // carrier) are preserved.
+        const double texture =
+            util::CounterRange(texture_seed, static_cast<std::uint64_t>(x),
+                               static_cast<std::uint64_t>(y), -9.0, 9.0);
+        const double luminance = 128.0 + value + texture;
+        image.Set(x, y,
+                  Pixel{ClampByte(luminance * r_gain), ClampByte(luminance * g_gain),
+                        ClampByte(luminance * b_gain)});
+      }
     }
+  };
+
+  if (pool != nullptr && pool->worker_count() > 1) {
+    pool->ParallelFor(height, render_rows);
+  } else {
+    render_rows(0, height);
   }
   return image;
 }
@@ -106,18 +123,29 @@ Result<GeneratedImage> DiffusionModel::Generate(std::string_view prompt,
   // Model capability bounds the planted signal; an unconverged schedule
   // (few steps) leaves extra noise in the output.
   const double plant = spec_.fidelity * (1.0 - noise_share);
-  for (int c = 0; c < cells; ++c) {
-    latent[static_cast<std::size_t>(c)] =
-        plant * target[static_cast<std::size_t>(c)] +
-        (1.0 - plant) * latent[static_cast<std::size_t>(c)] *
-            (noise_share + (1.0 - noise_share) * 1.0);
-    // The (1 - plant) share stays as structured "imagination" noise — the
-    // part of the picture the prompt does not pin down.
+  // Residual-noise model: the final latent is a convex blend — `plant` of
+  // the prompt's semantic field, and the full (1 - plant) remainder of the
+  // initial Gaussian latent kept as structured "imagination" noise, the
+  // part of the picture the prompt does not pin down.  (The noise term is
+  // deliberately NOT attenuated further by noise_share: an unconverged
+  // schedule already shrinks `plant` itself.)  Cells are independent, so
+  // the blend runs tile-parallel when a pool is attached.
+  auto denoise_cells = [&](std::int64_t c_begin, std::int64_t c_end) {
+    for (std::int64_t c = c_begin; c < c_end; ++c) {
+      latent[static_cast<std::size_t>(c)] =
+          plant * target[static_cast<std::size_t>(c)] +
+          (1.0 - plant) * latent[static_cast<std::size_t>(c)];
+    }
+  };
+  if (pool_ != nullptr && pool_->worker_count() > 1) {
+    pool_->ParallelFor(cells, denoise_cells);
+  } else {
+    denoise_cells(0, cells);
   }
 
   // 4. Render.
   GeneratedImage out;
-  out.image = RenderField(latent, width, height, prompt, seed);
+  out.image = RenderField(latent, width, height, prompt, seed, pool_);
   out.info.model = spec_.name;
   out.info.steps = steps;
   out.info.width = width;
@@ -133,7 +161,7 @@ Image DiffusionModel::RandomImage(int width, int height, std::uint64_t seed) {
   util::Rng rng(util::HashCombine(seed, 0xDEADBEEFULL));
   std::vector<double> latent(static_cast<std::size_t>(cells));
   for (double& v : latent) v = rng.NextGaussian(0.0, kPlantAmplitude);
-  return RenderField(latent, width, height, "", seed);
+  return RenderField(latent, width, height, "", seed, nullptr);
 }
 
 }  // namespace sww::genai

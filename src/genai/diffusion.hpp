@@ -25,6 +25,10 @@
 #include "genai/model_specs.hpp"
 #include "util/error.hpp"
 
+namespace sww::util {
+class ThreadPool;
+}
+
 namespace sww::genai {
 
 /// Everything knowable about one generation run (feeds the device-time and
@@ -66,8 +70,17 @@ class DiffusionModel {
   /// ("the CLIP score of a randomly generated image (no prompt) was 0.09").
   static Image RandomImage(int width, int height, std::uint64_t seed);
 
+  /// Attach a thread pool: the denoise blend and the pixel renderer run
+  /// row-tile parallel across its workers.  Output bytes are identical
+  /// with any pool (or none) — the per-pixel texture is a stateless
+  /// counter hash of (seed, x, y), not a sequential stream.  nullptr
+  /// restores the serial path.  Not owned; must outlive generation calls.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
  private:
   ImageModelSpec spec_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace sww::genai

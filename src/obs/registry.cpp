@@ -6,6 +6,13 @@
 
 namespace sww::obs {
 
+std::size_t Counter::ThreadCell() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t cell =
+      next.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return cell;
+}
+
 void Gauge::Add(double delta) {
   double current = value_.load(std::memory_order_relaxed);
   while (!value_.compare_exchange_weak(current, current + delta,

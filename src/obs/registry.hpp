@@ -18,7 +18,9 @@
 // pointers on their hot paths).
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -29,14 +31,38 @@
 
 namespace sww::obs {
 
+/// Counter spreads its value over cache-line-padded cells indexed by a
+/// per-thread slot, so pool workers incrementing the same instrument never
+/// bounce one line between cores; value() merges the cells.  The merged
+/// read is exact whenever the counter is quiescent (every Snapshot() in
+/// the tests and benches happens after the pool has drained).
 class Counter {
  public:
-  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  void Add(std::uint64_t n = 1) {
+    cells_[ThreadCell()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  static constexpr std::size_t kCells = 8;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  /// Stable per-thread cell index: threads take slots round-robin on
+  /// first use, so up to kCells concurrent writers touch distinct lines.
+  static std::size_t ThreadCell();
+
+  std::array<Cell, kCells> cells_;
 };
 
 class Gauge {

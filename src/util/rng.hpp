@@ -22,6 +22,30 @@ constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Stateless counter-based hash: one uniform 64-bit value per (seed, a, b)
+/// triple.  Unlike a sequential Rng stream, the value for a counter pair
+/// depends only on the pair itself — so a loop over (x, y) can be tiled,
+/// reordered, or split across any number of threads and still produce
+/// bit-identical output.  This is what makes the tile-parallel renderer in
+/// genai::DiffusionModel schedule-independent.
+constexpr std::uint64_t CounterHash(std::uint64_t seed, std::uint64_t a,
+                                    std::uint64_t b) {
+  // Distinct odd multipliers keep (a, b) and (b, a) apart; SplitMix64's
+  // finalizer then decorrelates neighboring counters.
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (a + 1) +
+                        0x94d049bb133111ebULL * (b + 1);
+  return SplitMix64(state);
+}
+
+/// Uniform double in [lo, hi) from a counter triple — the stateless
+/// equivalent of Rng::NextRange for tile-parallel loops.
+constexpr double CounterRange(std::uint64_t seed, std::uint64_t a,
+                              std::uint64_t b, double lo, double hi) {
+  const double unit =
+      static_cast<double>(CounterHash(seed, a, b) >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
 /// xoshiro256** by Blackman & Vigna — fast, tiny-state, well-distributed.
 class Rng {
  public:

@@ -1,0 +1,50 @@
+// striped_lock.hpp — a fixed array of mutexes keyed by hash.
+//
+// Shared caches (core::PromptCache, cdn::EdgeNode's stats path) are hit
+// from every pool worker at once; one global mutex would serialize the
+// whole fleet on its hottest structure.  Striping trades a bounded amount
+// of false sharing (two keys on the same stripe) for lock-free scaling
+// across stripes.  Callers that need a total-order operation (Clear, a
+// global snapshot) take every stripe in index order — fixed order, so two
+// such callers cannot deadlock.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+
+namespace sww::util {
+
+template <std::size_t N = 16>
+class StripedMutex {
+  static_assert(N > 0);
+
+ public:
+  static constexpr std::size_t stripe_count() { return N; }
+
+  /// The stripe a pre-hashed key falls on.
+  std::size_t StripeOf(std::size_t hash) const { return hash % N; }
+
+  std::mutex& Get(std::size_t stripe) { return mutexes_[stripe % N]; }
+
+  /// Lock every stripe in index order (total-order operations).
+  template <typename Fn>
+  void WithAllLocked(Fn&& fn) {
+    LockAll(0, std::forward<Fn>(fn));
+  }
+
+ private:
+  template <typename Fn>
+  void LockAll(std::size_t from, Fn&& fn) {
+    if (from == N) {
+      fn();
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutexes_[from]);
+    LockAll(from + 1, std::forward<Fn>(fn));
+  }
+
+  std::array<std::mutex, N> mutexes_;
+};
+
+}  // namespace sww::util

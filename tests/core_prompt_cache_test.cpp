@@ -32,7 +32,8 @@ TEST(PromptCache, PutReplacesExisting) {
 }
 
 TEST(PromptCache, LruEvictionUnderPressure) {
-  PromptCache cache(20);
+  // One stripe: global LRU order, so eviction picks the true coldest entry.
+  PromptCache cache(20, /*stripes=*/1);
   cache.Put("/a", "0123456789");  // 10 B
   cache.Put("/b", "0123456789");  // 10 B — full
   (void)cache.Get("/a");          // /a now most recent
