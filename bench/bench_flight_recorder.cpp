@@ -1,0 +1,88 @@
+// bench_flight_recorder — what does the wire tap cost?
+//
+// The flight recorder's contract is "null-check only when uninstalled":
+// a connection with no tap must pay nothing measurable per frame, and a
+// tapped connection's recording cost must stay small next to framing
+// itself.  Measured with google-benchmark over the sans-IO connection
+// pair, like bench_hpack.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "http2/connection.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using sww::http2::Connection;
+
+struct ConnectionPair {
+  std::unique_ptr<Connection> client;
+  std::unique_ptr<Connection> server;
+
+  ConnectionPair() {
+    client = std::make_unique<Connection>(Connection::Role::kClient,
+                                          Connection::Options{});
+    server = std::make_unique<Connection>(Connection::Role::kServer,
+                                          Connection::Options{});
+    client->StartHandshake();
+    server->StartHandshake();
+    Shuttle();
+  }
+
+  void Shuttle() {
+    for (int i = 0; i < 4; ++i) {
+      if (client->HasOutput()) (void)server->Receive(client->TakeOutput());
+      if (server->HasOutput()) (void)client->Receive(server->TakeOutput());
+    }
+    (void)client->TakeEvents();
+    (void)server->TakeEvents();
+  }
+};
+
+void PingRoundTrip(ConnectionPair& pair, std::uint64_t opaque) {
+  pair.client->SendPing(opaque);
+  (void)pair.server->Receive(pair.client->TakeOutput());
+  (void)pair.client->Receive(pair.server->TakeOutput());
+  (void)pair.client->TakeEvents();
+  (void)pair.server->TakeEvents();
+}
+
+/// Baseline: no tap installed — the hot path pays one null check.
+void BM_PingRoundTripUntapped(benchmark::State& state) {
+  sww::obs::Tracer::Default().SetEnabled(false);
+  ConnectionPair pair;
+  std::uint64_t opaque = 0;
+  for (auto _ : state) {
+    PingRoundTrip(pair, ++opaque);
+  }
+  state.SetItemsProcessed(state.iterations());
+  sww::obs::Tracer::Default().SetEnabled(true);
+}
+BENCHMARK(BM_PingRoundTripUntapped);
+
+/// Tapped: every frame (4 per iteration: PING + ACK, both sides) lands in
+/// the ring buffer, including steady-state overwrite once it wraps.
+void BM_PingRoundTripTapped(benchmark::State& state) {
+  sww::obs::Tracer::Default().SetEnabled(false);
+  ConnectionPair pair;
+  sww::obs::ConnectionTap client_tap("bench.client");
+  sww::obs::ConnectionTap server_tap("bench.server");
+  pair.client->SetWireTap(&client_tap);
+  pair.server->SetWireTap(&server_tap);
+  std::uint64_t opaque = 0;
+  for (auto _ : state) {
+    PingRoundTrip(pair, ++opaque);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["frames_recorded"] = static_cast<double>(
+      client_tap.total_recorded() + server_tap.total_recorded());
+  state.counters["dropped"] =
+      static_cast<double>(client_tap.dropped() + server_tap.dropped());
+  sww::obs::Tracer::Default().SetEnabled(true);
+}
+BENCHMARK(BM_PingRoundTripTapped);
+
+}  // namespace

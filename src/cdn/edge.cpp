@@ -85,9 +85,24 @@ void EdgeNode::EvictToFitLocked() {
 }
 
 void EdgeNode::ServeRequest(const CatalogItem& item) {
+  ServeInternal(item, /*span=*/nullptr);
+}
+
+void EdgeNode::ServeRequest(const CatalogItem& item,
+                            const obs::SpanContext& context) {
+  obs::ScopedSpan span("edge.request", "cdn", context);
+  span.SetProcess("edge");
+  span.AddAttribute("item_id", std::to_string(item.id));
+  span.AddAttribute("mode",
+                    mode_ == EdgeMode::kPromptMode ? "prompt" : "content");
+  ServeInternal(item, &span);
+}
+
+void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   instruments_.requests->Add();
   const bool hit = TouchOrInsert(item);
+  if (span != nullptr) span->AddAttribute("cache", hit ? "hit" : "miss");
   if (hit) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     instruments_.hits->Add();
@@ -98,6 +113,13 @@ void EdgeNode::ServeRequest(const CatalogItem& item) {
     const std::size_t origin_bytes = CachedSize(item);
     bytes_from_origin_.fetch_add(origin_bytes, std::memory_order_relaxed);
     instruments_.bytes_from_origin->Add(origin_bytes);
+    if (span != nullptr) {
+      // The origin leg renders as its own role track in the exported
+      // trace; it nests under edge.request on the calling thread.
+      obs::ScopedSpan origin("edge.origin_fetch", "cdn");
+      origin.SetProcess("origin");
+      origin.AddAttribute("bytes", std::to_string(origin_bytes));
+    }
   }
   // Users always receive materialized content ("loses data transmission
   // benefits" — the edge-to-user hop carries full bytes in prompt mode).
@@ -113,6 +135,12 @@ void EdgeNode::ServeRequest(const CatalogItem& item) {
     AtomicAdd(generation_energy_wh_, energy_wh);
     instruments_.generation_seconds->Add(seconds);
     instruments_.generation_energy_wh->Add(energy_wh);
+    if (span != nullptr) {
+      // Under a ManualClock the simulated materialization cost becomes
+      // the span's remaining duration (wall clocks: no-op).
+      obs::Tracer::Default().clock().AdvanceSimulated(seconds);
+      span->AddAttribute("generation_seconds", std::to_string(seconds));
+    }
   }
 }
 

@@ -30,6 +30,7 @@
 #include "energy/device.hpp"
 #include "genai/model_specs.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace sww::cdn {
 
@@ -66,6 +67,14 @@ class EdgeNode {
   /// Serve one request; updates stats and cache state.  Thread-safe.
   void ServeRequest(const CatalogItem& item);
 
+  /// Serve one request carrying a trace context propagated from the
+  /// requesting user/client (the sww-trace header, obs/trace.hpp): the
+  /// edge's "edge.request" span — and on a miss its "edge.origin_fetch"
+  /// child — parent under the originating fetch, so the whole path
+  /// exports as ONE distributed trace.  An invalid context records the
+  /// spans in a fresh trace.  Thread-safe.
+  void ServeRequest(const CatalogItem& item, const obs::SpanContext& context);
+
   EdgeMode mode() const { return mode_; }
   std::uint64_t stored_bytes() const {
     return stored_bytes_.load(std::memory_order_relaxed);
@@ -75,6 +84,9 @@ class EdgeNode {
   EdgeStats stats() const;
 
  private:
+  /// Shared serve path; `span` (nullable) receives hit/miss and cost
+  /// attributes and gates the origin_fetch child span.
+  void ServeInternal(const CatalogItem& item, obs::ScopedSpan* span);
   /// Bytes this item occupies in this edge's cache.
   std::size_t CachedSize(const CatalogItem& item) const;
   /// Touch-or-insert under the structure lock; returns whether it was a

@@ -35,6 +35,7 @@ GenerativeClient::GenerativeClient(Options options, MediaGenerator generator)
   conn_options.local_settings.set_initial_window_size(1 << 20);
   connection_ = std::make_unique<http2::Connection>(
       http2::Connection::Role::kClient, conn_options);
+  connection_->SetWireTap(options_.wire_tap);
   obs::Registry& registry = obs::Registry::Default();
   instruments_.pages_fetched = &registry.GetCounter("client.pages_fetched");
   instruments_.pages_from_cache =
@@ -93,6 +94,7 @@ Result<Response> GenerativeClient::FetchRaw(
     const std::string& path, const PumpFn& pump,
     const hpack::HeaderList& extra_headers) {
   obs::ScopedSpan span("client.fetch", "core");
+  span.SetProcess("client");
   span.AddAttribute("path", path);
   if (!connection_->handshake_started()) {
     connection_->StartHandshake();
@@ -101,6 +103,14 @@ Result<Response> GenerativeClient::FetchRaw(
   request.path = path;
   request.authority = "sww.local";
   request.extra_headers = extra_headers;
+  // Cross-process trace propagation: the server parents its
+  // server.request span under this fetch via the sww-trace header, so the
+  // whole exchange exports as one distributed trace.
+  if (const obs::SpanContext context = span.context(); context.valid()) {
+    request.extra_headers.push_back(
+        {std::string(obs::kTraceHeaderName), obs::FormatTraceHeader(context),
+         false});
+  }
   if (options_.accept_compression) {
     request.extra_headers.push_back(
         {"accept-encoding", std::string(compress::kContentCoding), false});
@@ -134,6 +144,7 @@ Result<Response> GenerativeClient::FetchRaw(
 
 Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
   obs::ScopedSpan span("client.materialize", "core");
+  span.SetProcess("client");
   auto document = html::ParseDocument(util::ToString(fetch.response.body));
   if (!document) return document.error();
 
@@ -229,6 +240,7 @@ Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
 Result<PageFetch> GenerativeClient::FetchPage(const std::string& path,
                                               const PumpFn& pump) {
   obs::ScopedSpan span("client.fetch_page", "core");
+  span.SetProcess("client");
   span.AddAttribute("path", path);
   instruments_.pages_fetched->Add();
   // Prompt-cache fast path: a cached generative page regenerates entirely

@@ -86,6 +86,10 @@ class GenerativeClient {
     /// Advertise "accept-encoding: swz"; responses arrive content-coded
     /// and are decoded transparently (page_bytes reports wire bytes).
     bool accept_compression = false;
+    /// Flight-recorder wire tap installed on the connection at creation
+    /// (so the SETTINGS handshake is captured).  Not owned; must outlive
+    /// the client.  nullptr disables frame recording.
+    obs::ConnectionTap* wire_tap = nullptr;
   };
 
   /// Moves bytes between this connection and the peer once; returns an

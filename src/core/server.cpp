@@ -33,6 +33,7 @@ GenerativeServer::GenerativeServer(const ContentStore* store, Options options,
   conn_options.local_settings.set_initial_window_size(1 << 20);
   connection_ = std::make_unique<http2::Connection>(
       http2::Connection::Role::kServer, conn_options);
+  connection_->SetWireTap(options_.wire_tap);
   obs::Registry& registry = obs::Registry::Default();
   instruments_.requests = &registry.GetCounter("server.requests");
   instruments_.pages_generative = &registry.GetCounter("server.pages_generative");
@@ -94,7 +95,21 @@ Status GenerativeServer::ProcessEvents() {
 
     const http2::Stream* stream = connection_->FindStream(event.stream_id);
     if (stream == nullptr) continue;
-    obs::ScopedSpan span("server.request", "core");
+    // Adopt the client's trace context (sww-trace header) so this request
+    // span parents under the originating client.fetch — one distributed
+    // trace per page fetch.  An absent/malformed header starts a fresh
+    // trace, exactly like a client that does not speak sww-trace.
+    obs::SpanContext remote_context;
+    for (const hpack::HeaderField& field : stream->headers) {
+      if (field.name == obs::kTraceHeaderName) {
+        if (auto parsed = obs::ParseTraceHeader(field.value)) {
+          remote_context = *parsed;
+        }
+        break;
+      }
+    }
+    obs::ScopedSpan span("server.request", "core", remote_context);
+    span.SetProcess("server");
     span.AddAttribute("stream_id", std::to_string(event.stream_id));
     auto request = ParseRequest(stream->headers, stream->body);
     Response response;

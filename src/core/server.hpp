@@ -53,6 +53,10 @@ class GenerativeServer {
     MediaGenerator::Options generator;
     /// Device the server generates on (the paper's edge/workstation).
     bool workstation = true;
+    /// Flight-recorder wire tap installed on the connection at creation
+    /// (so the SETTINGS handshake is captured).  Not owned; must outlive
+    /// the server.  nullptr disables frame recording.
+    obs::ConnectionTap* wire_tap = nullptr;
   };
 
   /// Per-connection view; every event is mirrored into the process-wide

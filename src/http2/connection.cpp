@@ -70,6 +70,44 @@ void Connection::EnqueueFrame(const Frame& frame) {
   instruments_.bytes_sent->Add(wire.size());
   instruments_.frames_sent->Add();
   output_.insert(output_.end(), wire.begin(), wire.end());
+  if (tap_ != nullptr) TapFrame(obs::TapDirection::kSent, frame);
+}
+
+void Connection::TapFrame(obs::TapDirection direction, const Frame& frame) {
+  obs::FrameRecord record;
+  record.direction = direction;
+  record.type = static_cast<std::uint8_t>(frame.header.type);
+  record.type_name = FrameTypeName(frame.header.type);
+  record.stream_id = frame.header.stream_id;
+  record.flags = frame.header.flags;
+  record.length = static_cast<std::uint32_t>(frame.payload.size());
+  record.timestamp_nanos = obs::Tracer::Default().clock().NowNanos();
+  // SETTINGS payloads decode inline (cheap, tiny, and only with a tap
+  // installed) so the frame log shows the negotiation — including the
+  // GEN_ABILITY parameter the whole SWW exchange turns on.
+  if (frame.header.type == FrameType::kSettings &&
+      !frame.header.HasFlag(kFlagAck)) {
+    if (auto entries = ParseSettingsPayload(frame); entries.ok()) {
+      for (const SettingsEntry& entry : entries.value()) {
+        record.details.emplace_back(SettingsIdName(entry.identifier),
+                                    std::to_string(entry.value));
+      }
+    }
+  }
+  tap_->Record(std::move(record));
+}
+
+void Connection::TapHeaders(obs::TapDirection direction,
+                            std::uint32_t stream_id,
+                            const hpack::HeaderList& headers) {
+  if (tap_ == nullptr) return;
+  std::vector<std::pair<std::string, std::string>> details;
+  details.reserve(headers.size());
+  for (const hpack::HeaderField& field : headers) {
+    details.emplace_back(field.name, field.value);
+  }
+  tap_->Annotate(direction, static_cast<std::uint8_t>(FrameType::kHeaders),
+                 stream_id, std::move(details));
 }
 
 Bytes Connection::TakeOutput() {
@@ -202,6 +240,7 @@ Status Connection::Receive(BytesView bytes) {
     Frame frame = std::move(*next.value());
     stats_.frames_received[frame.header.type]++;
     instruments_.frames_received->Add();
+    if (tap_ != nullptr) TapFrame(obs::TapDirection::kReceived, frame);
     if (Status status = HandleFrame(std::move(frame)); !status.ok()) {
       return status;
     }
@@ -389,8 +428,12 @@ Status Connection::FinishHeaderBlock() {
   if (!stream.saw_headers) {
     stream.headers = std::move(headers).value();
     stream.saw_headers = true;
+    TapHeaders(obs::TapDirection::kReceived, assembling_stream_id_,
+               stream.headers);
   } else {
     stream.trailers = std::move(headers).value();
+    TapHeaders(obs::TapDirection::kReceived, assembling_stream_id_,
+               stream.trailers);
   }
   events_.push_back(Event{Event::Type::kHeadersReceived, assembling_stream_id_,
                           ErrorCode::kNoError, 0});
@@ -607,6 +650,7 @@ Result<std::uint32_t> Connection::SubmitRequest(const hpack::HeaderList& headers
     }
     EnqueueFrame(MakeContinuationFrame(stream_id, view, /*end_headers=*/true));
   }
+  TapHeaders(obs::TapDirection::kSent, stream_id, headers);
   if (end_stream) {
     stream.OnLocalEnd();
     return stream_id;
@@ -646,6 +690,7 @@ Status Connection::SubmitHeaders(std::uint32_t stream_id,
     }
     EnqueueFrame(MakeContinuationFrame(stream_id, view, /*end_headers=*/true));
   }
+  TapHeaders(obs::TapDirection::kSent, stream_id, headers);
   if (end_stream) stream->OnLocalEnd();
   return Status::Ok();
 }

@@ -24,6 +24,7 @@
 #include "http2/frame.hpp"
 #include "http2/settings.hpp"
 #include "http2/stream.hpp"
+#include "obs/flight.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "util/bytes.hpp"
@@ -144,6 +145,15 @@ class Connection {
   };
   const WireStats& wire_stats() const { return stats_; }
 
+  /// Install a flight-recorder wire tap: every frame sent or received is
+  /// recorded (direction, type, stream id, flags, length, clock timestamp;
+  /// HEADERS records carry the HPACK-decoded header list, SETTINGS records
+  /// the parsed entries).  The tap is not owned and must outlive the
+  /// connection or be uninstalled (nullptr) first.  With no tap installed
+  /// the frame hot paths add only this null-check.
+  void SetWireTap(obs::ConnectionTap* tap) { tap_ = tap; }
+  obs::ConnectionTap* wire_tap() const { return tap_; }
+
  private:
   util::Status HandleFrame(Frame frame);
   util::Status HandleData(const Frame& frame);
@@ -159,6 +169,12 @@ class Connection {
   util::Status FinishHeaderBlock();
   util::Status ConnectionError(ErrorCode code, const std::string& message);
   void EnqueueFrame(const Frame& frame);
+  /// Record one frame into the installed wire tap (no-op without one).
+  void TapFrame(obs::TapDirection direction, const Frame& frame);
+  /// Attach a decoded header list to the newest matching tapped HEADERS
+  /// record.
+  void TapHeaders(obs::TapDirection direction, std::uint32_t stream_id,
+                  const hpack::HeaderList& headers);
   void MaybeReplenishWindows(std::uint32_t stream_id, std::size_t consumed);
   void FlushSendQueues();
   void FlushStreamSendQueue(Stream& stream);
@@ -215,6 +231,7 @@ class Connection {
   Instruments instruments_;
   obs::SpanId settings_span_ = 0;               ///< SETTINGS round-trip
   std::map<std::uint32_t, obs::SpanId> stream_spans_;  ///< stream lifetimes
+  obs::ConnectionTap* tap_ = nullptr;           ///< flight-recorder wire tap
 };
 
 }  // namespace sww::http2

@@ -1,5 +1,7 @@
 #include "http2/settings.hpp"
 
+#include <cstdio>
+
 namespace sww::http2 {
 
 using util::Error;
@@ -20,6 +22,21 @@ std::string GenAbilityToString(std::uint32_t ability) {
                               kGenAbilityTextOnly | kGenAbilityFrameRateBoost;
   if (ability & ~known) add("unknown-bits");
   return out;
+}
+
+std::string SettingsIdName(std::uint16_t identifier) {
+  switch (identifier) {
+    case kSettingsHeaderTableSize: return "HEADER_TABLE_SIZE";
+    case kSettingsEnablePush: return "ENABLE_PUSH";
+    case kSettingsMaxConcurrentStreams: return "MAX_CONCURRENT_STREAMS";
+    case kSettingsInitialWindowSize: return "INITIAL_WINDOW_SIZE";
+    case kSettingsMaxFrameSize: return "MAX_FRAME_SIZE";
+    case kSettingsMaxHeaderListSize: return "MAX_HEADER_LIST_SIZE";
+    case kSettingsGenAbility: return "GEN_ABILITY";
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", identifier);
+  return buf;
 }
 
 Settings::Settings() = default;

@@ -43,6 +43,10 @@ enum GenAbility : std::uint32_t {
 
 std::string GenAbilityToString(std::uint32_t ability);
 
+/// Printable name of a SETTINGS identifier ("GEN_ABILITY", "0x9" for
+/// unknown ids) — used by the flight recorder's frame log.
+std::string SettingsIdName(std::uint16_t identifier);
+
 /// The effective settings of one endpoint, with RFC-mandated defaults and
 /// validation.  Unknown identifiers are retained (and reported) but have no
 /// protocol effect — mirroring the "ignore unknown settings" rule while

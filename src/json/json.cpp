@@ -126,7 +126,11 @@ std::string EscapeString(std::string_view text) {
 namespace {
 
 void AppendNumber(std::string& out, double v) {
-  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+  if (!std::isfinite(v)) {
+    // RFC 8259 has no inf/nan literal; "%.17g" would emit bare `inf` and
+    // corrupt the document.  null is the conventional lossy fallback.
+    out += "null";
+  } else if (v == std::floor(v) && std::fabs(v) < 1e15) {
     // Integral values serialize without a decimal point: {"width":224}.
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));

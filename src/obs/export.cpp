@@ -1,6 +1,9 @@
 #include "obs/export.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <map>
+#include <set>
 
 #include "json/json.hpp"
 
@@ -11,6 +14,10 @@ using util::ErrorCode;
 using util::Status;
 
 std::string ExportJsonLines(const RegistrySnapshot& snapshot) {
+  // Emission goes through src/json exclusively: names and values are
+  // escaped by the serializer (quotes, backslashes, control characters),
+  // and non-finite doubles serialize as null rather than bare inf/nan —
+  // a metric named from a prompt or path can never corrupt the artifact.
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
     json::Object line;
@@ -51,33 +58,100 @@ std::string ExportJsonLines(const RegistrySnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+/// Non-finite values would corrupt the JSON output (RFC 8259 has no
+/// inf/nan); clamp them to zero so artifacts always re-parse.
+double FiniteOrZero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+/// Resolve each span's process track: its own label, else the nearest
+/// labeled ancestor's, else the export call's default.  This is what lets
+/// one stitched distributed trace render as labeled client/server/edge/
+/// origin tracks in Perfetto — only role roots carry explicit labels.
+std::vector<std::string> EffectiveProcesses(const std::vector<Span>& spans,
+                                            std::string_view default_process) {
+  std::map<SpanId, std::size_t> index;
+  for (std::size_t i = 0; i < spans.size(); ++i) index[spans[i].id] = i;
+  std::vector<std::string> effective(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span* cursor = &spans[i];
+    std::string label;
+    for (int depth = 0; depth < 64; ++depth) {  // cycle guard
+      if (!cursor->process.empty()) {
+        label = cursor->process;
+        break;
+      }
+      const auto parent = index.find(cursor->parent);
+      if (cursor->parent == 0 || parent == index.end()) break;
+      cursor = &spans[parent->second];
+    }
+    effective[i] = label.empty() ? std::string(default_process) : label;
+  }
+  return effective;
+}
+
+}  // namespace
+
 std::string ExportChromeTrace(const std::vector<Span>& spans,
                               std::string_view process_name) {
+  // Deterministic pid assignment: the default process is pid 1, every
+  // other label gets the next pid in sorted order.
+  const std::vector<std::string> processes =
+      EffectiveProcesses(spans, process_name);
+  std::map<std::string, int> pids;
+  pids[std::string(process_name)] = 1;
+  std::set<std::string> labels(processes.begin(), processes.end());
+  int next_pid = 2;
+  for (const std::string& label : labels) {
+    if (pids.emplace(label, next_pid).second) ++next_pid;
+  }
+
   json::Array events;
-  {
-    // Process-name metadata event so the Perfetto sidebar reads nicely.
+  // Process/thread metadata ("ph":"M" name events) so each role renders
+  // as a labeled track in Perfetto.  Emitted for every known pid, the
+  // default included, whether or not a span landed on it.
+  for (const auto& [label, pid] : pids) {
     json::Object meta;
     meta["ph"] = "M";
-    meta["pid"] = 1;
+    meta["pid"] = pid;
+    meta["tid"] = 1;
     meta["name"] = "process_name";
     json::Object args;
-    args["name"] = std::string(process_name);
+    args["name"] = label;
     meta["args"] = std::move(args);
     events.push_back(std::move(meta));
+
+    json::Object thread_meta;
+    thread_meta["ph"] = "M";
+    thread_meta["pid"] = pid;
+    thread_meta["tid"] = 1;
+    thread_meta["name"] = "thread_name";
+    json::Object thread_args;
+    thread_args["name"] = label + ".main";
+    thread_meta["args"] = std::move(thread_args);
+    events.push_back(std::move(thread_meta));
   }
-  for (const Span& span : spans) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
     json::Object event;
     event["ph"] = "X";
-    event["pid"] = 1;
+    event["pid"] = pids.at(processes[i]);
     event["tid"] = 1;
     event["name"] = span.name;
     if (!span.category.empty()) event["cat"] = span.category;
     // trace_event timestamps are microseconds; keep sub-µs precision.
-    event["ts"] = static_cast<double>(span.start_nanos) / 1e3;
-    event["dur"] = static_cast<double>(span.end_nanos - span.start_nanos) / 1e3;
+    event["ts"] = FiniteOrZero(static_cast<double>(span.start_nanos) / 1e3);
+    event["dur"] = FiniteOrZero(
+        static_cast<double>(span.end_nanos - span.start_nanos) / 1e3);
     json::Object args;
     args["span_id"] = span.id;
     if (span.parent != 0) args["parent_id"] = span.parent;
+    if (span.trace_id != 0) {
+      char trace_hex[24];
+      std::snprintf(trace_hex, sizeof(trace_hex), "%016llx",
+                    static_cast<unsigned long long>(span.trace_id));
+      args["trace_id"] = trace_hex;
+    }
     for (const auto& [key, value] : span.attributes) {
       args[key] = value;
     }
@@ -90,8 +164,7 @@ std::string ExportChromeTrace(const std::vector<Span>& spans,
   return json::Value(root).Dump();
 }
 
-namespace {
-Status WriteWholeFile(const std::string& path, const std::string& contents) {
+Status WriteTextFile(const std::string& path, std::string_view contents) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Error(ErrorCode::kIo, "cannot open for writing: " + path);
@@ -104,16 +177,20 @@ Status WriteWholeFile(const std::string& path, const std::string& contents) {
   }
   return Status::Ok();
 }
-}  // namespace
 
 Status WriteTraceFile(const std::string& path, const std::vector<Span>& spans,
                       std::string_view process_name) {
-  return WriteWholeFile(path, ExportChromeTrace(spans, process_name));
+  return WriteTextFile(path, ExportChromeTrace(spans, process_name));
 }
 
 Status WriteMetricsFile(const std::string& path,
                         const RegistrySnapshot& snapshot) {
-  return WriteWholeFile(path, ExportJsonLines(snapshot));
+  return WriteTextFile(path, ExportJsonLines(snapshot));
+}
+
+Status WriteFramesFile(const std::string& path,
+                       const std::vector<const ConnectionTap*>& taps) {
+  return WriteTextFile(path, RenderFramesJsonLines(taps));
 }
 
 }  // namespace sww::obs

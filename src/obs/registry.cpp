@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "metrics/stats.hpp"
+#include "util/rng.hpp"
 
 namespace sww::obs {
+
+namespace {
+/// Fixed reservoir seed: every histogram replays the same replacement
+/// stream, so snapshots depend only on the observation sequence.
+constexpr std::uint64_t kReservoirSeed = 0x5357575265737276ULL;  // "SWWResrv"
+}  // namespace
 
 std::size_t Counter::ThreadCell() {
   static std::atomic<std::size_t> next{0};
@@ -20,10 +27,12 @@ void Gauge::Add(double delta) {
   }
 }
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), rng_state_(kReservoirSeed) {
   if (bounds_.empty()) bounds_ = LatencyBucketsSeconds();
   std::sort(bounds_.begin(), bounds_.end());
   counts_.assign(bounds_.size() + 1, 0);
+  reservoir_.reserve(kReservoirSize);
 }
 
 void Histogram::Observe(double value) {
@@ -38,7 +47,14 @@ void Histogram::Observe(double value) {
     max_ = std::max(max_, value);
   }
   ++count_;
-  samples_.push_back(value);
+  // Vitter's algorithm R: sample i (1-based) replaces a reservoir slot
+  // with probability kReservoirSize / i.
+  if (reservoir_.size() < kReservoirSize) {
+    reservoir_.push_back(value);
+  } else {
+    const std::uint64_t slot = util::SplitMix64(rng_state_) % count_;
+    if (slot < kReservoirSize) reservoir_[slot] = value;
+  }
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -52,9 +68,9 @@ HistogramSnapshot Histogram::Snapshot() const {
   snapshot.max = max_;
   if (count_ > 0) {
     snapshot.mean = sum_ / static_cast<double>(count_);
-    snapshot.p50 = metrics::Percentile(samples_, 50.0);
-    snapshot.p95 = metrics::Percentile(samples_, 95.0);
-    snapshot.p99 = metrics::Percentile(samples_, 99.0);
+    snapshot.p50 = metrics::Percentile(reservoir_, 50.0);
+    snapshot.p95 = metrics::Percentile(reservoir_, 95.0);
+    snapshot.p99 = metrics::Percentile(reservoir_, 99.0);
   }
   return snapshot;
 }
@@ -62,7 +78,8 @@ HistogramSnapshot Histogram::Snapshot() const {
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::fill(counts_.begin(), counts_.end(), 0);
-  samples_.clear();
+  reservoir_.clear();
+  rng_state_ = kReservoirSeed;
   sum_ = min_ = max_ = 0.0;
   count_ = 0;
 }

@@ -9,8 +9,9 @@
 //
 //   * Counter   — monotonically increasing integer (requests, frames, hits)
 //   * Gauge     — arbitrary double, Set or Add (accumulated seconds, Wh)
-//   * Histogram — fixed-bucket distribution of doubles with exact
-//                 p50/p95/p99 snapshots (latencies, byte sizes)
+//   * Histogram — fixed-bucket distribution of doubles with bounded-memory
+//                 p50/p95/p99 snapshots (exact below the reservoir size,
+//                 deterministic uniform-sample estimates above it)
 //
 // Instruments are created on first use and live for the registry's
 // lifetime; handles returned by Get* stay valid across Reset(), which
@@ -92,8 +93,17 @@ struct HistogramSnapshot {
   double p99 = 0.0;
 };
 
+/// Percentiles come from a fixed-size reservoir (algorithm R with a
+/// deterministic seeded generator), so a histogram's memory is bounded no
+/// matter how long the run: below kReservoirSize observations the
+/// reservoir holds every sample and p50/p95/p99 are exact; above it they
+/// are a uniform-sample estimate.  Deterministic: the same observation
+/// sequence always yields the same snapshot.
 class Histogram {
  public:
+  /// Samples retained for percentile estimation (~8 KiB per histogram).
+  static constexpr std::size_t kReservoirSize = 1024;
+
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double value);
@@ -104,7 +114,8 @@ class Histogram {
   mutable std::mutex mutex_;
   std::vector<double> bounds_;          // sorted upper bounds
   std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 buckets
-  std::vector<double> samples_;         // exact percentiles via metrics::
+  std::vector<double> reservoir_;       // ≤ kReservoirSize samples
+  std::uint64_t rng_state_;             // SplitMix64 replacement stream
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

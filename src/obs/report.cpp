@@ -1,0 +1,187 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "json/json.hpp"
+
+namespace sww::obs {
+
+namespace {
+
+double RatioOf(const std::map<std::string, std::uint64_t>& counters,
+               const std::string& hits_name, const std::string& misses_name) {
+  auto hits_it = counters.find(hits_name);
+  auto misses_it = counters.find(misses_name);
+  const std::uint64_t hits = hits_it == counters.end() ? 0 : hits_it->second;
+  const std::uint64_t misses =
+      misses_it == counters.end() ? 0 : misses_it->second;
+  if (hits + misses == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+  return buf;
+}
+
+}  // namespace
+
+RunReport AnalyzeRun(const std::vector<Span>& spans,
+                     const RegistrySnapshot& snapshot,
+                     const std::vector<const ConnectionTap*>& taps) {
+  RunReport report;
+
+  // --- Spans: phase attribution, trace count, slowest ----------------------
+  report.span_count = spans.size();
+  std::set<TraceId> traces;
+  std::uint64_t min_start = 0, max_end = 0;
+  bool any = false;
+  for (const Span& span : spans) {
+    if (span.trace_id != 0) traces.insert(span.trace_id);
+    if (!any || span.start_nanos < min_start) min_start = span.start_nanos;
+    if (!any || span.end_nanos > max_end) max_end = span.end_nanos;
+    any = true;
+    if (span.name == "http2.settings_roundtrip") {
+      report.negotiation_seconds += span.DurationSeconds();
+    } else if (span.name == "http2.stream") {
+      report.wire_seconds += span.DurationSeconds();
+    } else if (span.category == "genai") {
+      report.generation_seconds += span.DurationSeconds();
+    }
+  }
+  report.trace_count = traces.size();
+  if (any && max_end > min_start) {
+    report.total_seconds = static_cast<double>(max_end - min_start) * 1e-9;
+  }
+
+  std::vector<const Span*> by_duration;
+  by_duration.reserve(spans.size());
+  for (const Span& span : spans) by_duration.push_back(&span);
+  std::sort(by_duration.begin(), by_duration.end(),
+            [](const Span* a, const Span* b) {
+              const double da = a->DurationSeconds();
+              const double db = b->DurationSeconds();
+              if (da != db) return da > db;
+              if (a->name != b->name) return a->name < b->name;
+              return a->id < b->id;  // deterministic tie-break
+            });
+  const std::size_t top = std::min<std::size_t>(5, by_duration.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    report.slowest.push_back({by_duration[i]->name, by_duration[i]->process,
+                              by_duration[i]->DurationSeconds()});
+  }
+
+  // --- Metrics: protocol health and cache behaviour ------------------------
+  if (auto it = snapshot.counters.find("http2.flow_control_stalls");
+      it != snapshot.counters.end()) {
+    report.flow_control_stalls = it->second;
+  }
+  report.prompt_cache_hit_ratio =
+      RatioOf(snapshot.counters, "client.prompt_cache.hits",
+              "client.prompt_cache.misses");
+  report.edge_hit_ratio =
+      RatioOf(snapshot.counters, "cdn.edge.hits", "cdn.edge.misses");
+
+  // --- Wire taps: frame mix and ring accounting ----------------------------
+  for (const ConnectionTap* tap : taps) {
+    if (tap == nullptr) continue;
+    report.frames_recorded += tap->total_recorded();
+    report.frames_dropped += tap->dropped();
+    for (const FrameRecord& record : tap->Records()) {
+      ++report.frames_tapped;
+      ++report.frame_mix[record.type_name];
+      if (record.type_name == "SETTINGS") {
+        for (const auto& [key, value] : record.details) {
+          if (key == "GEN_ABILITY") report.settings_gen_ability_seen = true;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::string RenderReportText(const RunReport& report) {
+  std::string out;
+  out += "=== SWW run report ===\n";
+  out += "phases:\n";
+  out += "  negotiation_seconds: " + FormatSeconds(report.negotiation_seconds) + "\n";
+  out += "  wire_seconds:        " + FormatSeconds(report.wire_seconds) + "\n";
+  out += "  generation_seconds:  " + FormatSeconds(report.generation_seconds) + "\n";
+  out += "  total_seconds:       " + FormatSeconds(report.total_seconds) + "\n";
+  out += "traces:\n";
+  out += "  span_count:  " + std::to_string(report.span_count) + "\n";
+  out += "  trace_count: " + std::to_string(report.trace_count) + "\n";
+  out += "slowest spans:\n";
+  for (const RunReport::SlowSpan& slow : report.slowest) {
+    out += "  " + FormatSeconds(slow.seconds) + "s  " + slow.name;
+    if (!slow.process.empty()) out += " [" + slow.process + "]";
+    out += "\n";
+  }
+  out += "protocol:\n";
+  out += "  flow_control_stalls:     " +
+         std::to_string(report.flow_control_stalls) + "\n";
+  out += "  prompt_cache_hit_ratio:  " +
+         FormatSeconds(report.prompt_cache_hit_ratio) + "\n";
+  out += "  edge_hit_ratio:          " + FormatSeconds(report.edge_hit_ratio) +
+         "\n";
+  out += "  settings_gen_ability_seen: ";
+  out += report.settings_gen_ability_seen ? "true" : "false";
+  out += "\n";
+  out += "wire (flight recorder):\n";
+  out += "  frames_tapped:   " + std::to_string(report.frames_tapped) + "\n";
+  out += "  frames_recorded: " + std::to_string(report.frames_recorded) + "\n";
+  out += "  frames_dropped:  " + std::to_string(report.frames_dropped) + "\n";
+  out += "  frame mix:\n";
+  for (const auto& [type_name, count] : report.frame_mix) {
+    out += "    " + type_name + ": " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+std::string RenderReportJsonLines(const RunReport& report) {
+  std::string out;
+  {
+    json::Value line{json::Object{}};
+    line.Set("kind", "report");
+    line.Set("negotiation_seconds", report.negotiation_seconds);
+    line.Set("wire_seconds", report.wire_seconds);
+    line.Set("generation_seconds", report.generation_seconds);
+    line.Set("total_seconds", report.total_seconds);
+    line.Set("span_count", report.span_count);
+    line.Set("trace_count", report.trace_count);
+    line.Set("flow_control_stalls",
+             static_cast<std::size_t>(report.flow_control_stalls));
+    line.Set("prompt_cache_hit_ratio", report.prompt_cache_hit_ratio);
+    line.Set("edge_hit_ratio", report.edge_hit_ratio);
+    line.Set("frames_tapped", static_cast<std::size_t>(report.frames_tapped));
+    line.Set("frames_recorded",
+             static_cast<std::size_t>(report.frames_recorded));
+    line.Set("frames_dropped", static_cast<std::size_t>(report.frames_dropped));
+    line.Set("settings_gen_ability_seen", report.settings_gen_ability_seen);
+    out += line.Dump();
+    out += "\n";
+  }
+  for (const RunReport::SlowSpan& slow : report.slowest) {
+    json::Value line{json::Object{}};
+    line.Set("kind", "slow_span");
+    line.Set("name", slow.name);
+    line.Set("process", slow.process);
+    line.Set("seconds", slow.seconds);
+    out += line.Dump();
+    out += "\n";
+  }
+  for (const auto& [type_name, count] : report.frame_mix) {
+    json::Value line{json::Object{}};
+    line.Set("kind", "frame_mix");
+    line.Set("type", type_name);
+    line.Set("count", static_cast<std::size_t>(count));
+    out += line.Dump();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sww::obs

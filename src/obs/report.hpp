@@ -1,0 +1,74 @@
+// report.hpp — the run analyzer: one structured summary of a whole run.
+//
+// AnalyzeRun folds the three telemetry surfaces — finished spans
+// (trace.hpp), a registry snapshot (registry.hpp), and flight-recorder
+// wire taps (flight.hpp) — into a RunReport: where the time went
+// (negotiation vs wire vs generation), the slowest spans, cache hit
+// ratios, the frame mix on the wire, and whether the SWW GEN_ABILITY
+// negotiation actually happened.  Renderings are deterministic: under a
+// ManualClock the same run always produces byte-identical text/JSONL,
+// which is what lets CI diff a report against a golden file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace sww::obs {
+
+struct RunReport {
+  // --- Where the time went (seconds, summed span durations) --------------
+  double negotiation_seconds = 0.0;  ///< http2.settings_roundtrip spans
+  double wire_seconds = 0.0;         ///< http2.stream lifetimes
+  double generation_seconds = 0.0;   ///< genai-category spans
+  /// Wall span of the run: latest span end minus earliest span start.
+  double total_seconds = 0.0;
+
+  // --- Trace shape --------------------------------------------------------
+  std::size_t span_count = 0;
+  /// Distinct trace ids across all spans — a fully stitched client →
+  /// server → edge page fetch contributes ONE.
+  std::size_t trace_count = 0;
+
+  struct SlowSpan {
+    std::string name;
+    std::string process;  ///< role track; "" when unlabeled
+    double seconds = 0.0;
+  };
+  std::vector<SlowSpan> slowest;  ///< top spans by duration (≤ 5)
+
+  // --- Protocol health ----------------------------------------------------
+  std::uint64_t flow_control_stalls = 0;
+  /// hits / (hits + misses); 0 when the cache saw no lookups.
+  double prompt_cache_hit_ratio = 0.0;
+  double edge_hit_ratio = 0.0;
+
+  // --- The wire, as the flight recorder saw it ----------------------------
+  std::map<std::string, std::uint64_t> frame_mix;  ///< type name → count
+  std::uint64_t frames_tapped = 0;   ///< records still in the rings
+  std::uint64_t frames_recorded = 0; ///< ever recorded (survives overwrite)
+  std::uint64_t frames_dropped = 0;  ///< overwritten by ring wraparound
+  /// A SETTINGS frame carrying GEN_ABILITY crossed a tapped connection.
+  bool settings_gen_ability_seen = false;
+};
+
+/// Fold spans + metrics + taps into a report.  Null tap pointers are
+/// skipped; all inputs may be empty.
+RunReport AnalyzeRun(const std::vector<Span>& spans,
+                     const RegistrySnapshot& snapshot,
+                     const std::vector<const ConnectionTap*>& taps);
+
+/// Human-readable report (fixed %.6f precision — deterministic under a
+/// ManualClock).
+std::string RenderReportText(const RunReport& report);
+
+/// One JSON object per line: a "report" line, then one "slow_span" line
+/// per entry and one "frame_mix" line per type.
+std::string RenderReportJsonLines(const RunReport& report);
+
+}  // namespace sww::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace sww::obs {
 
@@ -9,7 +10,54 @@ namespace {
 // thread interleaving two tracers is not supported (nothing in the
 // repository does that).
 thread_local std::vector<SpanId> t_span_stack;
+
+std::optional<std::uint64_t> ParseHex(std::string_view text) {
+  if (text.empty() || text.size() > 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
 }  // namespace
+
+std::string FormatTraceHeader(const SpanContext& context) {
+  if (!context.valid()) return "";
+  char buf[64];
+  // Our trace ids are 64-bit; the upper 16 hex digits of the W3C-style
+  // 128-bit field are zero.
+  std::snprintf(buf, sizeof(buf), "00-%016llx%016llx-%016llx-01", 0ULL,
+                static_cast<unsigned long long>(context.trace_id),
+                static_cast<unsigned long long>(context.span_id));
+  return buf;
+}
+
+std::optional<SpanContext> ParseTraceHeader(std::string_view header) {
+  // version(2) '-' trace(32) '-' span(16) '-' flags(2)
+  if (header.size() != 2 + 1 + 32 + 1 + 16 + 1 + 2) return std::nullopt;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return std::nullopt;
+  }
+  if (!ParseHex(header.substr(0, 2))) return std::nullopt;
+  const auto trace_high = ParseHex(header.substr(3, 16));
+  const auto trace_low = ParseHex(header.substr(19, 16));
+  const auto span = ParseHex(header.substr(36, 16));
+  if (!trace_high || !trace_low || !span) return std::nullopt;
+  SpanContext context;
+  context.trace_id = *trace_low;  // upper 64 bits are always zero here
+  context.span_id = *span;
+  if (!context.valid()) return std::nullopt;
+  return context;
+}
 
 Tracer& Tracer::Default() {
   static Tracer* tracer = new Tracer();  // never destroyed: see Registry
@@ -40,13 +88,44 @@ SpanId Tracer::BeginSpan(std::string_view name, std::string_view category,
 SpanId Tracer::BeginAsyncSpan(std::string_view name, std::string_view category,
                               SpanId parent) {
   std::lock_guard<std::mutex> lock(mutex_);
+  return BeginAsyncSpanLocked(name, category, parent, /*trace_id=*/0);
+}
+
+SpanId Tracer::BeginSpanWithContext(std::string_view name,
+                                    std::string_view category,
+                                    const SpanContext& remote_parent) {
+  if (!remote_parent.valid()) return BeginSpan(name, category);
+  SpanId id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = BeginAsyncSpanLocked(name, category, remote_parent.span_id,
+                              remote_parent.trace_id);
+  }
+  if (id != 0) t_span_stack.push_back(id);
+  return id;
+}
+
+SpanId Tracer::BeginAsyncSpanLocked(std::string_view name,
+                                    std::string_view category, SpanId parent,
+                                    TraceId trace_id) {
   if (!enabled_) return 0;
   Span span;
   span.id = next_id_++;
   span.parent = parent;
+  if (trace_id != 0) {
+    span.trace_id = trace_id;  // adopted from a remote context
+  } else if (parent != 0) {
+    // Inherit the parent's trace; a parent this tracer never saw (remote
+    // id without a context) starts a fresh trace.
+    const auto it = span_traces_.find(parent);
+    span.trace_id = it != span_traces_.end() ? it->second : next_trace_id_++;
+  } else {
+    span.trace_id = next_trace_id_++;  // root span mints the trace
+  }
   span.name = std::string(name);
   span.category = std::string(category);
   span.start_nanos = clock_->NowNanos();
+  span_traces_[span.id] = span.trace_id;
   open_.push_back(std::move(span));
   return open_.back().id;
 }
@@ -61,6 +140,28 @@ void Tracer::AddAttribute(SpanId id, std::string_view key,
       return;
     }
   }
+}
+
+void Tracer::SetSpanProcess(SpanId id, std::string_view process) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Span& span : open_) {
+    if (span.id == id) {
+      span.process = std::string(process);
+      return;
+    }
+  }
+}
+
+SpanContext Tracer::ContextOf(SpanId id) const {
+  SpanContext context;
+  if (id == 0) return context;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = span_traces_.find(id);
+  if (it == span_traces_.end()) return context;
+  context.trace_id = it->second;
+  context.span_id = id;
+  return context;
 }
 
 void Tracer::EndSpan(SpanId id) {
@@ -98,7 +199,9 @@ void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   open_.clear();
   finished_.clear();
+  span_traces_.clear();
   next_id_ = 1;
+  next_trace_id_ = 1;
   t_span_stack.clear();
 }
 

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -28,11 +30,21 @@ namespace sww::obs {
 /// Identifies one span within a Tracer.  0 is "no span".
 using SpanId = std::uint64_t;
 
+/// Identifies one distributed trace (a page fetch end to end).  Root spans
+/// mint a fresh trace id; children inherit their parent's, including
+/// across the sww-trace request header.  0 is "no trace".
+using TraceId = std::uint64_t;
+
 struct Span {
   SpanId id = 0;
   SpanId parent = 0;
+  TraceId trace_id = 0;
   std::string name;
   std::string category;
+  /// Role/process track for the exporter ("client", "server", "edge",
+  /// "origin").  Empty means: inherit the nearest labeled ancestor's, or
+  /// the export call's default process.
+  std::string process;
   std::uint64_t start_nanos = 0;
   std::uint64_t end_nanos = 0;
   bool finished = false;
@@ -42,6 +54,26 @@ struct Span {
     return static_cast<double>(end_nanos - start_nanos) * 1e-9;
   }
 };
+
+/// What crosses a process boundary: enough to parent a remote span.
+struct SpanContext {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+
+  bool valid() const { return trace_id != 0 && span_id != 0; }
+};
+
+/// Name of the request header carrying the trace context (client → server,
+/// user → edge): the SWW analogue of W3C traceparent.
+inline constexpr std::string_view kTraceHeaderName = "sww-trace";
+
+/// W3C-traceparent-like encoding: "00-<trace id, 32 hex>-<parent span id,
+/// 16 hex>-01".  Returns "" for an invalid context.
+std::string FormatTraceHeader(const SpanContext& context);
+
+/// Parse the header back; nullopt on any malformed input (a peer that does
+/// not speak sww-trace simply starts a fresh trace).
+std::optional<SpanContext> ParseTraceHeader(std::string_view header);
 
 class Tracer {
  public:
@@ -70,7 +102,18 @@ class Tracer {
   /// outlive the call frame (a stream's lifetime, a SETTINGS round-trip).
   SpanId BeginAsyncSpan(std::string_view name, std::string_view category = "",
                         SpanId parent = 0);
+  /// Open a span whose parent arrived from another role via the sww-trace
+  /// header: the span adopts the remote trace id and parent span id, so
+  /// the whole page fetch exports as ONE tree.  Pushes onto the thread's
+  /// span stack (children nest under it as usual).  An invalid context
+  /// degrades to a plain BeginSpan.
+  SpanId BeginSpanWithContext(std::string_view name, std::string_view category,
+                              const SpanContext& remote_parent);
   void AddAttribute(SpanId id, std::string_view key, std::string_view value);
+  /// Label the span's process/role track for the exporter.
+  void SetSpanProcess(SpanId id, std::string_view process);
+  /// The propagation context of a span (for the sww-trace header).
+  SpanContext ContextOf(SpanId id) const;
   /// Close the span; stamps the end time and pops it from the thread
   /// stack if present.  Ending an already-finished or unknown id is a
   /// no-op.
@@ -88,13 +131,18 @@ class Tracer {
   void Clear();
 
  private:
+  SpanId BeginAsyncSpanLocked(std::string_view name, std::string_view category,
+                              SpanId parent, TraceId trace_id);
+
   mutable std::mutex mutex_;
   bool enabled_ = true;
   SystemClock system_clock_;
   Clock* clock_;  // never null
   SpanId next_id_ = 1;
+  TraceId next_trace_id_ = 1;
   std::vector<Span> open_;      // unfinished spans, unordered
   std::vector<Span> finished_;  // finish order
+  std::map<SpanId, TraceId> span_traces_;  // id → trace, open and finished
 };
 
 /// RAII span on the default tracer: opens on construction (auto-parented
@@ -104,6 +152,12 @@ class ScopedSpan {
   explicit ScopedSpan(std::string_view name, std::string_view category = "")
       : tracer_(&Tracer::Default()),
         id_(tracer_->BeginSpan(name, category)) {}
+  /// Adopt a remote parent (sww-trace header); invalid contexts degrade to
+  /// the plain auto-parented form.
+  ScopedSpan(std::string_view name, std::string_view category,
+             const SpanContext& remote_parent)
+      : tracer_(&Tracer::Default()),
+        id_(tracer_->BeginSpanWithContext(name, category, remote_parent)) {}
   ~ScopedSpan() { tracer_->EndSpan(id_); }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
@@ -112,6 +166,10 @@ class ScopedSpan {
   void AddAttribute(std::string_view key, std::string_view value) {
     tracer_->AddAttribute(id_, key, value);
   }
+  void SetProcess(std::string_view process) {
+    tracer_->SetSpanProcess(id_, process);
+  }
+  SpanContext context() const { return tracer_->ContextOf(id_); }
 
  private:
   Tracer* tracer_;

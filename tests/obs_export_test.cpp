@@ -1,0 +1,242 @@
+// obs_export_test — exporter hardening and schema guarantees:
+//   * metrics/trace artifacts always round-trip through the strict
+//     src/json parser, even with hostile instrument/attribute strings
+//     and non-finite values;
+//   * histogram lines carry count/sum/p50/p95/p99; span events carry
+//     consistent pid/tid, ids, and finite timestamps;
+//   * histogram percentile memory is bounded by the deterministic
+//     reservoir (exact below the reservoir size, stable across runs).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "obs/clock.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace sww::obs {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(ExportJsonLines, HostileNamesAndValuesStillParse) {
+  Registry registry;
+  registry.GetCounter("weird\"name\\with\ncontrol\x01chars").Add(3);
+  registry.GetGauge("gauge").Set(
+      std::numeric_limits<double>::infinity());  // RFC 8259 has no inf
+  registry.GetHistogram("hist").Observe(1.5);
+
+  const std::string out = ExportJsonLines(registry.Snapshot());
+  for (const std::string& line : SplitLines(out)) {
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().ToString() << "\n" << line;
+    if (parsed.value().GetString("kind") == "counter") {
+      EXPECT_EQ(parsed.value().GetString("name"),
+                "weird\"name\\with\ncontrol\x01chars");
+      EXPECT_EQ(parsed.value().GetInt("value"), 3);
+    }
+    if (parsed.value().GetString("kind") == "gauge") {
+      // Non-finite serialized as null, not bare `inf`.
+      ASSERT_TRUE(parsed.value().Has("value"));
+      EXPECT_TRUE(parsed.value().Get("value")->is_null());
+    }
+  }
+}
+
+TEST(ExportJsonLines, HistogramSchemaIsComplete) {
+  Registry registry;
+  Histogram& hist = registry.GetHistogram("latency");
+  for (int i = 1; i <= 100; ++i) hist.Observe(i * 0.001);
+
+  bool saw_histogram = false;
+  for (const std::string& line : SplitLines(ExportJsonLines(registry.Snapshot()))) {
+    auto parsed = json::Parse(line);
+    ASSERT_TRUE(parsed.ok());
+    if (parsed.value().GetString("kind") != "histogram") continue;
+    saw_histogram = true;
+    for (const char* key : {"name", "count", "sum", "min", "max", "mean",
+                            "p50", "p95", "p99", "bounds", "counts"}) {
+      EXPECT_TRUE(parsed.value().Has(key)) << "missing " << key;
+    }
+    EXPECT_EQ(parsed.value().GetInt("count"), 100);
+    EXPECT_NEAR(parsed.value().GetNumber("p50"), 0.050, 0.002);
+    EXPECT_NEAR(parsed.value().GetNumber("p99"), 0.099, 0.002);
+  }
+  EXPECT_TRUE(saw_histogram);
+}
+
+TEST(ExportChromeTrace, HostileAttributesAndSchema) {
+  Tracer tracer;
+  ManualClock clock;
+  tracer.SetClock(&clock);
+  const SpanId id = tracer.BeginSpan("fetch \"quoted\\path\"", "core");
+  tracer.AddAttribute(id, "prompt", "a \"goldfish\"\nnew\tline\\end");
+  tracer.SetSpanProcess(id, "client");
+  clock.AdvanceNanos(1500);
+  tracer.EndSpan(id);
+
+  const std::string out = ExportChromeTrace(tracer.FinishedSpans(), "test");
+  auto parsed = json::Parse(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  const json::Value* events = parsed.value().Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int complete = 0;
+  for (const json::Value& event : events->AsArray()) {
+    const std::string ph = event.GetString("ph");
+    ASSERT_TRUE(ph == "X" || ph == "M") << ph;
+    EXPECT_GT(event.GetInt("pid"), 0);
+    EXPECT_GT(event.GetInt("tid"), 0);
+    if (ph != "X") continue;
+    ++complete;
+    EXPECT_EQ(event.GetString("name"), "fetch \"quoted\\path\"");
+    EXPECT_GE(event.GetNumber("ts"), 0.0);
+    EXPECT_NEAR(event.GetNumber("dur"), 1.5, 1e-9);  // µs
+    const json::Value* args = event.Get("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->GetInt("span_id"), 1);
+    EXPECT_EQ(args->GetString("prompt"), "a \"goldfish\"\nnew\tline\\end");
+    EXPECT_FALSE(args->GetString("trace_id").empty());
+  }
+  EXPECT_EQ(complete, 1);
+
+  // Role metadata: the "client" process track is declared.
+  bool client_track = false;
+  for (const json::Value& event : events->AsArray()) {
+    if (event.GetString("ph") == "M" &&
+        event.GetString("name") == "process_name" &&
+        event.Get("args")->GetString("name") == "client") {
+      client_track = true;
+    }
+  }
+  EXPECT_TRUE(client_track);
+  tracer.SetClock(nullptr);
+}
+
+TEST(ExportChromeTrace, ProcessLabelInheritsFromAncestor) {
+  Tracer tracer;
+  ManualClock clock;
+  tracer.SetClock(&clock);
+  const SpanId root = tracer.BeginSpan("root");
+  tracer.SetSpanProcess(root, "server");
+  const SpanId child = tracer.BeginSpan("child");  // unlabeled → inherits
+  clock.AdvanceNanos(10);
+  tracer.EndSpan(child);
+  tracer.EndSpan(root);
+
+  const std::string out = ExportChromeTrace(tracer.FinishedSpans(), "dflt");
+  auto parsed = json::Parse(out);
+  ASSERT_TRUE(parsed.ok());
+  int server_pid = 0;
+  for (const json::Value& event : parsed.value().Get("traceEvents")->AsArray()) {
+    if (event.GetString("ph") == "M" &&
+        event.GetString("name") == "process_name" &&
+        event.Get("args")->GetString("name") == "server") {
+      server_pid = static_cast<int>(event.GetInt("pid"));
+    }
+  }
+  ASSERT_GT(server_pid, 0);
+  for (const json::Value& event : parsed.value().Get("traceEvents")->AsArray()) {
+    if (event.GetString("ph") == "X") {
+      EXPECT_EQ(event.GetInt("pid"), server_pid) << event.GetString("name");
+    }
+  }
+  tracer.SetClock(nullptr);
+}
+
+TEST(ExportFiles, WrittenArtifactsRoundTripThroughParser) {
+  Registry registry;
+  registry.GetCounter("c").Add(1);
+  Tracer tracer;
+  ManualClock clock;
+  tracer.SetClock(&clock);
+  const SpanId id = tracer.BeginSpan("s");
+  clock.AdvanceNanos(5);
+  tracer.EndSpan(id);
+  tracer.SetClock(nullptr);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics_path = dir + "/sww_export_test.metrics.jsonl";
+  const std::string trace_path = dir + "/sww_export_test.trace.json";
+  ASSERT_TRUE(WriteMetricsFile(metrics_path, registry.Snapshot()).ok());
+  ASSERT_TRUE(WriteTraceFile(trace_path, tracer.FinishedSpans(), "t").ok());
+
+  auto slurp = [](const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(file, nullptr) << path;
+    std::string contents;
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      contents.append(buffer, n);
+    }
+    std::fclose(file);
+    return contents;
+  };
+  for (const std::string& line : SplitLines(slurp(metrics_path))) {
+    EXPECT_TRUE(json::Parse(line).ok()) << line;
+  }
+  auto trace = json::Parse(slurp(trace_path));
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace.value().Get("traceEvents")->is_array());
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(HistogramReservoir, BoundedAndDeterministic) {
+  // Two identical observation streams — far beyond the reservoir size —
+  // must produce identical snapshots (the replacement stream is seeded).
+  Histogram a({1.0, 10.0, 100.0});
+  Histogram b({1.0, 10.0, 100.0});
+  for (int i = 0; i < 20000; ++i) {
+    const double value = (i * 37) % 1000;
+    a.Observe(value);
+    b.Observe(value);
+  }
+  const HistogramSnapshot sa = a.Snapshot();
+  const HistogramSnapshot sb = b.Snapshot();
+  EXPECT_EQ(sa.count, 20000u);
+  EXPECT_DOUBLE_EQ(sa.p50, sb.p50);
+  EXPECT_DOUBLE_EQ(sa.p95, sb.p95);
+  EXPECT_DOUBLE_EQ(sa.p99, sb.p99);
+  // The estimates stay sane for a ~uniform stream over [0, 1000).
+  EXPECT_NEAR(sa.p50, 500.0, 120.0);
+  EXPECT_GT(sa.p95, sa.p50);
+  EXPECT_GE(sa.p99, sa.p95);
+
+  // Reset reseeds: the same stream again gives the same percentiles.
+  a.Reset();
+  for (int i = 0; i < 20000; ++i) a.Observe((i * 37) % 1000);
+  EXPECT_DOUBLE_EQ(a.Snapshot().p50, sb.p50);
+}
+
+TEST(HistogramReservoir, ExactBelowReservoirSize) {
+  Histogram hist({});
+  for (int i = 1; i <= 100; ++i) hist.Observe(i);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_NEAR(snap.p50, 50.0, 1.0);
+  EXPECT_NEAR(snap.p95, 95.0, 1.0);
+  EXPECT_NEAR(snap.p99, 99.0, 1.0);
+}
+
+}  // namespace
+}  // namespace sww::obs

@@ -1,0 +1,119 @@
+// obs_flight_test — the flight recorder in isolation: ring-buffer
+// overwrite semantics, annotation, rendering, and the drop count
+// surfacing in the run analyzer's report.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/flight.hpp"
+#include "obs/report.hpp"
+
+namespace sww::obs {
+namespace {
+
+FrameRecord MakeRecord(TapDirection direction, std::uint8_t type,
+                       const char* type_name, std::uint32_t stream_id,
+                       std::uint64_t t_nanos) {
+  FrameRecord record;
+  record.direction = direction;
+  record.type = type;
+  record.type_name = type_name;
+  record.stream_id = stream_id;
+  record.length = 9;
+  record.timestamp_nanos = t_nanos;
+  return record;
+}
+
+TEST(ConnectionTap, RingOverwritesOldestAndCountsDrops) {
+  ConnectionTap tap("ring", /*capacity=*/4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    tap.Record(MakeRecord(TapDirection::kSent, 0, "DATA", i, i * 100));
+  }
+  EXPECT_EQ(tap.total_recorded(), 10u);
+  EXPECT_EQ(tap.total_sent(), 10u);
+  EXPECT_EQ(tap.total_received(), 0u);
+  EXPECT_EQ(tap.dropped(), 6u);
+
+  // The four newest survive, oldest-first.
+  const std::vector<FrameRecord> records = tap.Records();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[i].stream_id, 6u + i);
+    EXPECT_EQ(records[i].sequence, 6u + i);
+  }
+}
+
+TEST(ConnectionTap, AnnotateAttachesToNewestMatch) {
+  ConnectionTap tap("annotate", 8);
+  tap.Record(MakeRecord(TapDirection::kSent, 1, "HEADERS", 1, 10));
+  tap.Record(MakeRecord(TapDirection::kSent, 0, "DATA", 1, 20));
+  tap.Record(MakeRecord(TapDirection::kSent, 1, "HEADERS", 3, 30));
+  tap.Annotate(TapDirection::kSent, 1, 3, {{":path", "/"}});
+  tap.Annotate(TapDirection::kReceived, 1, 99, {{"lost", "yes"}});  // no match
+
+  const std::vector<FrameRecord> records = tap.Records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_TRUE(records[0].details.empty());
+  EXPECT_TRUE(records[1].details.empty());
+  ASSERT_EQ(records[2].details.size(), 1u);
+  EXPECT_EQ(records[2].details[0].first, ":path");
+}
+
+TEST(ConnectionTap, ClearEmptiesButKeepsHandle) {
+  FlightRecorder recorder;
+  ConnectionTap& tap = recorder.GetTap("conn", 4);
+  tap.Record(MakeRecord(TapDirection::kReceived, 4, "SETTINGS", 0, 1));
+  recorder.Clear();
+  EXPECT_EQ(tap.total_recorded(), 0u);
+  EXPECT_TRUE(tap.Records().empty());
+  // Same handle returned after Clear, capacity honored only on creation.
+  EXPECT_EQ(&recorder.GetTap("conn", 999), &tap);
+  EXPECT_EQ(tap.capacity(), 4u);
+}
+
+TEST(FlightRecorder, RenderMergesTapsByTimestamp) {
+  FlightRecorder recorder;
+  ConnectionTap& a = recorder.GetTap("alpha");
+  ConnectionTap& b = recorder.GetTap("beta");
+  a.Record(MakeRecord(TapDirection::kSent, 4, "SETTINGS", 0, 200));
+  b.Record(MakeRecord(TapDirection::kReceived, 4, "SETTINGS", 0, 100));
+
+  const std::string text = RenderFramesText(recorder.taps());
+  const std::size_t beta_at = text.find("beta < SETTINGS");
+  const std::size_t alpha_at = text.find("alpha > SETTINGS");
+  ASSERT_NE(beta_at, std::string::npos) << text;
+  ASSERT_NE(alpha_at, std::string::npos) << text;
+  EXPECT_LT(beta_at, alpha_at) << "records must merge in timestamp order";
+  EXPECT_NE(text.find("# tap alpha: recorded=1"), std::string::npos);
+
+  const std::string jsonl = RenderFramesJsonLines(recorder.taps());
+  EXPECT_NE(jsonl.find("\"kind\":\"frame\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"tap_summary\""), std::string::npos);
+}
+
+TEST(RunReport, DropCountAndFrameMixSurfaceFromTaps) {
+  ConnectionTap tap("drops", 2);
+  for (int i = 0; i < 5; ++i) {
+    tap.Record(MakeRecord(TapDirection::kSent, 0, "DATA", 1, 10 * i));
+  }
+  FrameRecord settings =
+      MakeRecord(TapDirection::kSent, 4, "SETTINGS", 0, 100);
+  settings.details.emplace_back("GEN_ABILITY", "1");
+  tap.Record(std::move(settings));
+
+  const RunReport report = AnalyzeRun({}, {}, {&tap});
+  EXPECT_EQ(report.frames_recorded, 6u);
+  EXPECT_EQ(report.frames_tapped, 2u);
+  EXPECT_EQ(report.frames_dropped, 4u);
+  EXPECT_EQ(report.frame_mix.at("SETTINGS"), 1u);
+  EXPECT_EQ(report.frame_mix.at("DATA"), 1u);
+  EXPECT_TRUE(report.settings_gen_ability_seen);
+
+  const std::string text = RenderReportText(report);
+  EXPECT_NE(text.find("frames_dropped:  4"), std::string::npos) << text;
+  const std::string jsonl = RenderReportJsonLines(report);
+  EXPECT_NE(jsonl.find("\"frames_dropped\":4"), std::string::npos) << jsonl;
+}
+
+}  // namespace
+}  // namespace sww::obs

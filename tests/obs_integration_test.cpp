@@ -137,11 +137,17 @@ TEST_F(ObsIntegrationTest, PageFetchProducesSpansAndMatchingCounters) {
   const json::Value* events = parsed.value().Get("traceEvents");
   ASSERT_NE(events, nullptr);
   ASSERT_TRUE(events->is_array());
-  EXPECT_EQ(events->AsArray().size(), spans.size() + 1);  // + metadata event
+  // One complete event per span, plus per-role process/thread metadata
+  // (the client/server role labels introduce extra pid tracks).
+  std::size_t complete_events = 0, metadata_events = 0;
   std::vector<std::string> names;
   for (const json::Value& event : events->AsArray()) {
     names.push_back(event.GetString("name"));
+    if (event.GetString("ph") == "X") ++complete_events;
+    if (event.GetString("ph") == "M") ++metadata_events;
   }
+  EXPECT_EQ(complete_events, spans.size());
+  EXPECT_GE(metadata_events, 2u);  // at least process_name + thread_name
   for (const char* expected :
        {"http2.settings_roundtrip", "http2.stream", "server.request",
         "client.fetch_page", "client.materialize", "genai.generate"}) {

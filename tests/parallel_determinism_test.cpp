@@ -16,6 +16,7 @@
 #include "genai/diffusion.hpp"
 #include "html/parser.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -133,6 +134,10 @@ struct PageRun {
 
 PageRun FetchMenuPage(util::ThreadPool* pool) {
   obs::Registry::Default().Reset();
+  // Span ids feed the injected sww-trace header; reset them so every run
+  // puts identical header bytes (and thus identical byte counters) on the
+  // wire regardless of how many spans earlier runs minted.
+  obs::Tracer::Default().Clear();
   core::ContentStore store;
   EXPECT_TRUE(
       store.AddPage("/menu", core::MakeFoodMenuPage(/*dish_count=*/6).html)

@@ -1,0 +1,162 @@
+#include "tools/inspect_run.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+
+#include "cdn/catalog.hpp"
+#include "cdn/edge.hpp"
+#include "core/page_builder.hpp"
+#include "core/session.hpp"
+#include "genai/model_specs.hpp"
+#include "obs/clock.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace sww::tools {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// The user→edge leg: each request opens a client.fetch span, encodes its
+/// context into the sww-trace wire form, and the edge adopts it after a
+/// parse round-trip — the exact header path a remote edge would exercise.
+void DriveEdgeLeg(cdn::EdgeNode& edge, const cdn::Catalog& catalog) {
+  // A deterministic request sequence with repeats, so the edge sees both
+  // misses (origin fetches) and hits.
+  const std::size_t sequence[] = {0, 1, 2, 0, 1, 0};
+  for (std::size_t index : sequence) {
+    obs::ScopedSpan fetch("client.fetch", "core");
+    fetch.SetProcess("client");
+    fetch.AddAttribute("item_id", std::to_string(catalog.item(index).id));
+    const std::string header = obs::FormatTraceHeader(fetch.context());
+    obs::SpanContext context;
+    if (auto parsed = obs::ParseTraceHeader(header)) context = *parsed;
+    edge.ServeRequest(catalog.item(index), context);
+  }
+}
+
+/// mkdir -p: creates each missing component of `path` (0755). Racing
+/// creators and pre-existing directories are fine; only a genuine
+/// failure (EACCES, ENOTDIR, ...) surfaces as an error.
+Status EnsureDirectory(const std::string& path) {
+  std::string prefix;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string::npos) end = path.size();
+    prefix = path.substr(0, end);
+    start = end + 1;
+    if (prefix.empty() || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return util::Error(util::ErrorCode::kIo,
+                         "cannot create directory: " + prefix);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<InspectResult> RunInspect(const InspectOptions& options) {
+  obs::Tracer& tracer = obs::Tracer::Default();
+  obs::ManualClock manual_clock;
+  tracer.SetClock(options.wall_clock ? nullptr : &manual_clock);
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  obs::Registry::Default().Reset();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
+  recorder.Clear();
+
+  InspectResult result;
+  {
+    // --- client ↔ server page fetches, wire-tapped -----------------------
+    core::ContentStore store;
+    if (Status status = store.AddPage("/", core::MakeGoldfishPage());
+        !status.ok()) {
+      tracer.SetClock(nullptr);
+      return status.error();
+    }
+    core::LocalSession::Options session_options;
+    session_options.client.wire_tap = &recorder.GetTap("client");
+    session_options.client.enable_prompt_cache = true;
+    session_options.server.wire_tap = &recorder.GetTap("server");
+    auto session = core::LocalSession::Start(&store, session_options);
+    if (!session.ok()) {
+      tracer.SetClock(nullptr);
+      return session.error();
+    }
+    // Twice: the second fetch regenerates from the local prompt cache, so
+    // the report shows a nonzero prompt-cache hit ratio.
+    for (int i = 0; i < 2; ++i) {
+      auto fetch = session.value()->FetchPage("/");
+      if (!fetch.ok()) {
+        tracer.SetClock(nullptr);
+        return fetch.error();
+      }
+    }
+
+    // --- user → edge → origin CDN leg ------------------------------------
+    cdn::CatalogOptions catalog_options;
+    catalog_options.item_count = 16;
+    catalog_options.seed = 7;
+    const cdn::Catalog catalog = cdn::Catalog::MakeSynthetic(catalog_options);
+    auto image_model = genai::FindImageModel(genai::kSd3Medium);
+    auto text_model = genai::FindTextModel(genai::kDeepseek8b);
+    if (!image_model.ok() || !text_model.ok()) {
+      tracer.SetClock(nullptr);
+      return util::Error(util::ErrorCode::kInternal,
+                         "builtin model specs missing");
+    }
+    cdn::EdgeNode edge(cdn::EdgeMode::kPromptMode, 1 << 20,
+                       image_model.value(), text_model.value());
+    DriveEdgeLeg(edge, catalog);
+  }
+
+  // --- analyze + render --------------------------------------------------
+  const std::vector<obs::Span> spans = tracer.FinishedSpans();
+  const obs::RegistrySnapshot snapshot = obs::Registry::Default().Snapshot();
+  const std::vector<const obs::ConnectionTap*> taps = recorder.taps();
+  result.report = obs::AnalyzeRun(spans, snapshot, taps);
+  result.report_text = obs::RenderReportText(result.report);
+  result.report_jsonl = obs::RenderReportJsonLines(result.report);
+  result.frames_jsonl = obs::RenderFramesJsonLines(taps);
+  result.frames_text = obs::RenderFramesText(taps);
+  result.trace_json = obs::ExportChromeTrace(spans, "sww_inspect");
+  result.metrics_jsonl = obs::ExportJsonLines(snapshot);
+
+  tracer.SetClock(nullptr);
+  return result;
+}
+
+Status WriteInspectArtifacts(const InspectResult& result,
+                             const std::string& out_dir) {
+  const std::string base = out_dir.empty() ? "." : out_dir;
+  if (Status status = EnsureDirectory(base); !status.ok()) return status;
+  struct Artifact {
+    const char* name;
+    const std::string* contents;
+  };
+  const Artifact artifacts[] = {
+      {"run.report.txt", &result.report_text},
+      {"run.report.jsonl", &result.report_jsonl},
+      {"run.frames.jsonl", &result.frames_jsonl},
+      {"run.trace.json", &result.trace_json},
+      {"run.metrics.jsonl", &result.metrics_jsonl},
+  };
+  for (const Artifact& artifact : artifacts) {
+    if (Status status =
+            obs::WriteTextFile(base + "/" + artifact.name, *artifact.contents);
+        !status.ok()) {
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sww::tools

@@ -1,0 +1,56 @@
+// sww_inspect — run one instrumented SWW session and emit run artifacts:
+//   run.report.txt     the analyzed run report (golden-diffable)
+//   run.report.jsonl   the same report, machine-readable
+//   run.frames.jsonl   the flight recorder's frame log
+//   run.trace.json     Chrome trace_event JSON (open in Perfetto)
+//   run.metrics.jsonl  registry snapshot
+//
+// Usage: sww_inspect [--out-dir DIR] [--wall-clock] [--print-frames]
+//
+// Deterministic by default (ManualClock from zero): running twice yields
+// byte-identical artifacts.  --wall-clock switches to real time.
+#include <cstdio>
+#include <string>
+
+#include "tools/inspect_run.hpp"
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  sww::tools::InspectOptions options;
+  bool print_frames = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--wall-clock") {
+      options.wall_clock = true;
+    } else if (arg == "--print-frames") {
+      print_frames = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: sww_inspect [--out-dir DIR] [--wall-clock] "
+          "[--print-frames]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto result = sww::tools::RunInspect(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "inspect run failed: %s\n",
+                 result.error().ToString().c_str());
+    return 1;
+  }
+  if (auto status = sww::tools::WriteInspectArtifacts(result.value(), out_dir);
+      !status.ok()) {
+    std::fprintf(stderr, "writing artifacts failed: %s\n",
+                 status.error().ToString().c_str());
+    return 1;
+  }
+  std::fputs(result.value().report_text.c_str(), stdout);
+  if (print_frames) std::fputs(result.value().frames_text.c_str(), stdout);
+  std::printf("artifacts written to %s\n", out_dir.c_str());
+  return 0;
+}
