@@ -1,17 +1,19 @@
-// bench_ablations — quantifies the design choices DESIGN.md §6 calls out
+// ablations — quantifies the design choices DESIGN.md §6 calls out
 // beyond the paper's own tables: delivery-mode wire costs, the swz content
 // coding stacked on prompt delivery, the client prompt cache across
 // revisits, and reliability overhead on a lossy (HTTP/3-style) substrate.
 #include <cstdio>
+#include <string>
 
 #include "compress/swz.hpp"
 #include "core/page_builder.hpp"
 #include "core/session.hpp"
 #include "net/reliable_link.hpp"
-
-using namespace sww;
+#include "obs/bench.hpp"
 
 namespace {
+
+using namespace sww;
 
 core::ContentStore MakeStore() {
   core::ContentStore store;
@@ -20,50 +22,56 @@ core::ContentStore MakeStore() {
   return store;
 }
 
-}  // namespace
-
-int main() {
+void ablations(sww::obs::bench::State& state) {
   core::ContentStore store = MakeStore();
 
   // --- delivery modes, one goldfish page -----------------------------------
-  std::printf("=== Ablation 1: delivery mode wire cost (512x512 image page) ===\n");
+  std::printf("Ablation 1: delivery mode wire cost (512x512 image page)\n");
   std::printf("%-18s %10s %12s %14s %14s\n", "mode", "page[B]", "assets[B]",
               "client cost[s]", "server cost[s]");
   struct ModeCase {
     const char* label;
+    const char* key;
     std::uint32_t client_ability;
   };
   for (const ModeCase& mode :
-       {ModeCase{"generative", http2::kGenAbilityFull},
-        ModeCase{"upscale-assist", http2::kGenAbilityUpscaleOnly},
-        ModeCase{"traditional", http2::kGenAbilityNone}}) {
+       {ModeCase{"generative", "generative", http2::kGenAbilityFull},
+        ModeCase{"upscale-assist", "upscale", http2::kGenAbilityUpscaleOnly},
+        ModeCase{"traditional", "traditional", http2::kGenAbilityNone}}) {
     core::LocalSession::Options options;
     options.client.advertised_ability = mode.client_ability;
     options.server.advertised_ability =
         http2::kGenAbilityFull | http2::kGenAbilityUpscaleOnly;
     auto session = core::LocalSession::Start(&store, options);
     auto fetch = session.value()->FetchPage("/");
-    if (!fetch.ok()) {
-      std::fprintf(stderr, "%s\n", fetch.error().ToString().c_str());
-      return 1;
-    }
+    state.Check(fetch.ok(), std::string("delivery-mode fetch: ") + mode.label);
+    if (!fetch.ok()) return;
     std::printf("%-18s %10llu %12llu %14.1f %14.1f\n", mode.label,
                 static_cast<unsigned long long>(fetch.value().page_bytes),
                 static_cast<unsigned long long>(fetch.value().asset_bytes),
                 fetch.value().generation_seconds + fetch.value().upscale_seconds,
                 session.value()->server().stats().generation_seconds);
+    const std::string prefix = std::string("mode.") + mode.key + ".";
+    state.Modeled(prefix + "page_bytes",
+                  static_cast<double>(fetch.value().page_bytes));
+    state.Modeled(prefix + "asset_bytes",
+                  static_cast<double>(fetch.value().asset_bytes));
+    state.Modeled(prefix + "client_seconds",
+                  fetch.value().generation_seconds +
+                      fetch.value().upscale_seconds);
   }
 
   // --- content coding stacked on prompts ------------------------------------
-  std::printf("\n=== Ablation 2: swz content coding on the Figure 2 page ===\n");
+  std::printf("\nAblation 2: swz content coding on the Figure 2 page\n");
   const std::string page = core::MakeLandscapeSearchPage(49).html;
   const util::Bytes raw = util::ToBytes(page);
   const util::Bytes coded = compress::SwzCompress(raw);
   std::printf("prompt page: %zu B raw, %zu B swz-coded (%.1fx) — coding "
-              "stacks on the %s\n",
+              "stacks on the prompt substitution itself\n",
               raw.size(), coded.size(),
-              static_cast<double>(raw.size()) / coded.size(),
-              "prompt substitution itself");
+              static_cast<double>(raw.size()) / coded.size());
+  state.Modeled("swz.raw_bytes", static_cast<double>(raw.size()));
+  state.Modeled("swz.coded_bytes", static_cast<double>(coded.size()));
   for (const char* label : {"no coding", "swz coding"}) {
     core::LocalSession::Options options;
     options.client.generator.inference_steps = 3;
@@ -72,10 +80,13 @@ int main() {
     auto fetch = session.value()->FetchPage("/landscape");
     std::printf("  %-10s page bytes on the wire: %llu\n", label,
                 static_cast<unsigned long long>(fetch.value().page_bytes));
+    state.Modeled(options.client.accept_compression ? "swz.wire_bytes_coded"
+                                                    : "swz.wire_bytes_raw",
+                  static_cast<double>(fetch.value().page_bytes));
   }
 
   // --- prompt cache across revisits ------------------------------------------
-  std::printf("\n=== Ablation 3: client prompt cache over 5 visits ===\n");
+  std::printf("\nAblation 3: client prompt cache over 5 visits\n");
   for (bool cached : {false, true}) {
     core::LocalSession::Options options;
     options.client.generator.inference_steps = 3;
@@ -94,10 +105,14 @@ int main() {
                 static_cast<unsigned long long>(
                     session.value()->server().stats().requests),
                 generation);
+    const std::string prefix =
+        cached ? "prompt_cache.on." : "prompt_cache.off.";
+    state.Modeled(prefix + "wire_bytes", static_cast<double>(wire));
+    state.Modeled(prefix + "generation_seconds", generation);
   }
 
   // --- reliability overhead on a lossy substrate ------------------------------
-  std::printf("\n=== Ablation 4: reliable link overhead vs datagram loss ===\n");
+  std::printf("\nAblation 4: reliable link overhead vs datagram loss\n");
   std::printf("%-10s %12s %16s %12s\n", "loss", "segments", "retransmissions",
               "overhead");
   for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3}) {
@@ -125,9 +140,17 @@ int main() {
                 static_cast<unsigned long long>(stats.retransmissions),
                 100.0 * stats.retransmissions /
                     std::max<std::uint64_t>(1, stats.segments_sent));
+    const std::string prefix =
+        "loss" + std::to_string(static_cast<int>(loss * 100)) + "pct.";
+    state.Modeled(prefix + "segments",
+                  static_cast<double>(stats.segments_sent));
+    state.Modeled(prefix + "retransmissions",
+                  static_cast<double>(stats.retransmissions));
   }
   std::printf("\n(4: the SETTINGS-based negotiation is payload to the "
               "reliability layer —\nexactly why the paper expects it to "
               "carry over to HTTP/3 unchanged.)\n");
-  return 0;
 }
+SWW_BENCHMARK(ablations);
+
+}  // namespace

@@ -1,27 +1,32 @@
-// bench_cdn_storage — quantifies §2.2's CDN claim: "By moving to storing
+// cdn_storage — quantifies §2.2's CDN claim: "By moving to storing
 // prompts rather than storing content, CDNs can reduce storage
 // requirements ... This approach maintains the storage benefits, but loses
 // data transmission benefits", plus the embodied-carbon value of the saved
 // storage and the energy cost of edge generation.
 #include <cstdio>
+#include <string>
 
 #include "cdn/simulator.hpp"
 #include "energy/carbon.hpp"
+#include "obs/bench.hpp"
 
-int main() {
+namespace {
+
+void cdn_storage(sww::obs::bench::State& state) {
   using namespace sww;
   cdn::CatalogOptions catalog_options;
   catalog_options.item_count = 20000;
   const cdn::Catalog catalog = cdn::Catalog::MakeSynthetic(catalog_options);
 
-  std::printf("=== CDN storage: prompt mode vs content mode (2.2) ===\n\n");
+  std::printf("CDN storage: prompt mode vs content mode (2.2)\n\n");
   std::printf("catalog: %zu items, %.1f MB as content, %.1f MB as prompts"
               " (+unique)\n",
               catalog.size(), catalog.TotalContentBytes() / 1e6,
               catalog.TotalPromptModeBytes() / 1e6);
-  std::printf("catalog-level storage ratio: %.1fx\n\n",
-              static_cast<double>(catalog.TotalContentBytes()) /
-                  catalog.TotalPromptModeBytes());
+  const double catalog_ratio = static_cast<double>(catalog.TotalContentBytes()) /
+                               catalog.TotalPromptModeBytes();
+  std::printf("catalog-level storage ratio: %.1fx\n\n", catalog_ratio);
+  state.Modeled("catalog_storage_ratio", catalog_ratio);
 
   cdn::SimulationOptions options;
   options.edge_count = 4;
@@ -43,6 +48,10 @@ int main() {
                 result.prompt_mode.total_origin_bytes / 1e6,
                 100.0 * result.content_mode.hit_rate,
                 100.0 * result.prompt_mode.hit_rate);
+    const std::string prefix = "budget" + std::to_string(budget_mb) + "mb.";
+    state.Modeled(prefix + "storage_ratio", result.storage_ratio);
+    state.Modeled(prefix + "content_hit_rate", result.content_mode.hit_rate);
+    state.Modeled(prefix + "prompt_hit_rate", result.prompt_mode.hit_rate);
   }
 
   options.storage_budget_bytes = 1024 << 20;
@@ -59,7 +68,17 @@ int main() {
   std::printf("  embodied carbon saved by smaller footprint: %.2f kgCO2e "
               "(this catalog)\n",
               full.carbon_saved_kg);
+  const double exabyte_saved = energy::CarbonSavedKg(1e6, full.storage_ratio);
   std::printf("  scaled to an exabyte CDN at the same ratio: %.0f kgCO2e\n",
-              energy::CarbonSavedKg(1e6, full.storage_ratio));
-  return 0;
+              exabyte_saved);
+  state.Modeled("full_budget.generation_seconds",
+                full.prompt_mode.generation_seconds);
+  state.Modeled("full_budget.generation_energy_wh",
+                full.prompt_mode.generation_energy_wh);
+  state.Modeled("full_budget.carbon_saved_kg", full.carbon_saved_kg);
+  state.Modeled("exabyte_scaled_carbon_saved_kg", exabyte_saved);
+  state.Check(full.storage_ratio > 1.0, "prompt mode stores less than content mode");
 }
+SWW_BENCHMARK(cdn_storage);
+
+}  // namespace

@@ -1,21 +1,25 @@
-// bench_energy_carbon — regenerates §6.4's energy comparison and the
+// energy_carbon — regenerates §6.4's energy comparison and the
 // sustainability arithmetic of §6.4/§7:
 //   * transmission vs generation (time and energy) for a large image,
 //   * embodied carbon of storage and the savings from compression,
 //   * the mobile-web fleet model (exabytes/month → tens of PB/month).
 #include <cstdio>
+#include <string>
 
 #include "energy/carbon.hpp"
 #include "energy/device.hpp"
 #include "energy/network.hpp"
 #include "genai/model_specs.hpp"
+#include "obs/bench.hpp"
 
-int main() {
+namespace {
+
+void energy_carbon(sww::obs::bench::State& state) {
   using namespace sww;
   const auto sd3 = genai::FindImageModel(genai::kSd3Medium).value();
   constexpr std::uint64_t kLargeImageBytes = 131072;  // Table 2 large image
 
-  std::printf("=== Energy & carbon (6.4, 7) ===\n\n");
+  std::printf("Energy & carbon (6.4, 7)\n\n");
 
   // --- time: transmission vs generation -------------------------------------
   const double transmit_s = energy::TransmissionSeconds(kLargeImageBytes);
@@ -27,6 +31,9 @@ int main() {
   std::printf("  workstation generation:   %7.1f s\n", generate_s);
   std::printf("  generation/transmission:  %7.0fx    (paper: 620x)\n\n",
               generate_s / transmit_s);
+  state.Modeled("transmission_seconds", transmit_s);
+  state.Modeled("workstation_generation_seconds", generate_s);
+  state.Modeled("generation_over_transmission", generate_s / transmit_s);
 
   // --- energy: transmission vs generation ------------------------------------
   const double transmit_wh = energy::TransmissionEnergyWh(kLargeImageBytes);
@@ -39,6 +46,8 @@ int main() {
   std::printf("  workstation generation:   %7.3f Wh\n", generate_wh);
   std::printf("  transmission/generation:  %7.1f%%    (paper: 2.5%%)\n\n",
               100.0 * transmit_wh / generate_wh);
+  state.Modeled("transmission_wh", transmit_wh);
+  state.Modeled("workstation_generation_wh", generate_wh);
 
   // Laptop-side comparison for completeness.
   const double laptop_wh =
@@ -46,12 +55,16 @@ int main() {
   std::printf("  laptop generation:        %7.3f Wh "
               "(transmission is %.1f%% of it)\n\n",
               laptop_wh, 100.0 * transmit_wh / laptop_wh);
+  state.Modeled("laptop_generation_wh", laptop_wh);
 
   // --- embodied carbon ---------------------------------------------------------
   std::printf("Embodied carbon (%.1f kgCO2e/TB SSD):\n", energy::kSsdKgCo2PerTB);
   for (double factor : {2.0, 10.0, 68.0, 157.0}) {
+    const double saved_kg = energy::CarbonSavedKg(1e6, factor);
     std::printf("  1 EB corpus compressed %6.0fx saves %12.0f kgCO2e\n", factor,
-                energy::CarbonSavedKg(1e6, factor));
+                saved_kg);
+    state.Modeled("carbon_saved_kg_at_" + std::to_string(static_cast<int>(factor)) + "x",
+                  saved_kg);
   }
   std::printf("  (paper: \"even modest compression can save millions of "
               "kgCO2e\")\n\n");
@@ -67,6 +80,10 @@ int main() {
                 exabytes, fleet.CompressedPetabytesPerMonth(),
                 fleet.MonthlyEnergySavingsMWh());
   }
+  energy::FleetTraffic fleet;
+  state.Modeled("fleet_savings_mwh_at_2_5eb", fleet.MonthlyEnergySavingsMWh());
   std::printf("  (paper: 2-3 EB/month -> tens of PB/month)\n");
-  return 0;
 }
+SWW_BENCHMARK(energy_carbon);
+
+}  // namespace

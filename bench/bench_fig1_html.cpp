@@ -1,4 +1,4 @@
-// bench_fig1_html — regenerates Figure 1 of the paper: the HTML div before
+// fig1_html — regenerates Figure 1 of the paper: the HTML div before
 // processing (carrying the prompt for a cartoon goldfish image) and after
 // processing (carrying the pointer to the generated file).
 #include <cstdio>
@@ -8,31 +8,29 @@
 #include "energy/device.hpp"
 #include "html/generated_content.hpp"
 #include "html/parser.hpp"
+#include "obs/bench.hpp"
 
-int main() {
+namespace {
+
+void fig1_html(sww::obs::bench::State& state) {
   using namespace sww;
-  std::printf("=== Figure 1: HTML div before/after content generation ===\n\n");
+  std::printf("Figure 1: HTML div before/after content generation\n\n");
 
   auto doc = html::ParseDocument(core::MakeGoldfishPage()).value();
   auto extraction = html::ExtractGeneratedContent(*doc);
-  if (extraction.specs.size() != 1) {
-    std::fprintf(stderr, "unexpected page shape\n");
-    return 1;
-  }
+  state.Check(extraction.specs.size() == 1, "goldfish page has one asset");
+  if (extraction.specs.size() != 1) return;
   std::printf("Before (top of Figure 1):\n  %s\n\n",
               extraction.specs[0].node->Serialize().c_str());
-  std::printf("  metadata bytes: %zu\n\n", extraction.specs[0].MetadataBytes());
+  const std::size_t metadata_bytes = extraction.specs[0].MetadataBytes();
+  std::printf("  metadata bytes: %zu\n\n", metadata_bytes);
 
   auto generator = core::MediaGenerator::Create(energy::Laptop(), {});
-  if (!generator.ok()) {
-    std::fprintf(stderr, "%s\n", generator.error().ToString().c_str());
-    return 1;
-  }
+  state.Check(generator.ok(), "media generator creation");
+  if (!generator.ok()) return;
   auto media = generator.value().GenerateAndReplace(extraction.specs[0]);
-  if (!media.ok()) {
-    std::fprintf(stderr, "%s\n", media.error().ToString().c_str());
-    return 1;
-  }
+  state.Check(media.ok(), "goldfish generation");
+  if (!media.ok()) return;
   std::printf("After (bottom of Figure 1):\n  %s\n\n",
               extraction.specs[0].node->Serialize().c_str());
   std::printf("  generated file: %s (%zu bytes PPM, %dx%d)\n",
@@ -40,5 +38,13 @@ int main() {
               media.value().width, media.value().height);
   std::printf("  simulated laptop generation: %.1f s, %.3f Wh\n",
               media.value().seconds, media.value().energy_wh);
-  return 0;
+
+  state.Modeled("metadata_bytes", static_cast<double>(metadata_bytes));
+  state.Modeled("generated_ppm_bytes",
+                static_cast<double>(media.value().file_bytes.size()));
+  state.Modeled("laptop_generation_seconds", media.value().seconds);
+  state.Modeled("laptop_generation_wh", media.value().energy_wh);
 }
+SWW_BENCHMARK(fig1_html);
+
+}  // namespace

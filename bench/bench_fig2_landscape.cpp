@@ -1,10 +1,11 @@
-// bench_fig2_landscape — regenerates the Figure 2 experiment (§6.2): the
+// fig2_landscape — regenerates the Figure 2 experiment (§6.2): the
 // Wikimedia Commons "Landscape" search-results page, served as prompts and
 // regenerated at the end host.
 //
 // Paper numbers: 49 images / 1.4 MB traditional; 8.92 kB of metadata
 // (157× compression, 68× at the 428 B worst case); ≈310 s on the laptop
 // (6.32 s/image) and ≈49 s (≈1 s/image) on the workstation.
+#include <algorithm>
 #include <cstdio>
 
 #include "core/page_builder.hpp"
@@ -12,15 +13,18 @@
 #include "genai/prompt_inversion.hpp"
 #include "html/parser.hpp"
 #include "metrics/clip.hpp"
+#include "obs/bench.hpp"
 
-int main() {
+namespace {
+
+void fig2_landscape(sww::obs::bench::State& state) {
   using namespace sww;
   // Bare prompts, as in the paper's experiment (the §7 digest extension
-  // would add 29 B/item; see bench_ablations for its cost).
+  // would add 29 B/item; see ablations for its cost).
   const core::LandscapePage page =
       core::MakeLandscapeSearchPage(49, 256, 192, 2025, /*with_digests=*/false);
 
-  std::printf("=== Figure 2: Wikimedia 'Landscape' search results ===\n\n");
+  std::printf("Figure 2: Wikimedia 'Landscape' search results\n\n");
   std::printf("images: %zu, prompt lengths %zu-%zu chars\n",
               page.prompts.size(),
               [&] {
@@ -47,23 +51,22 @@ int main() {
   const double worst_case_meta = 49 * 428.0 / 1000.0;
   std::printf("  worst case (428 B/item): %8.0fx     (paper: 68x)\n",
               traditional_kb / worst_case_meta);
+  state.Modeled("traditional_kb", traditional_kb);
+  state.Modeled("metadata_kb", metadata_kb);
+  state.Modeled("compression_factor", traditional_kb / metadata_kb);
 
   // --- end-to-end over the modified HTTP/2 ----------------------------------
   core::ContentStore store;
   if (auto status = store.AddPage("/landscape", page.html); !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+    state.Check(false, "AddPage: " + status.ToString());
+    return;
   }
   auto session = core::LocalSession::Start(&store, {});
-  if (!session.ok()) {
-    std::fprintf(stderr, "%s\n", session.error().ToString().c_str());
-    return 1;
-  }
+  state.Check(session.ok(), "session start");
+  if (!session.ok()) return;
   auto fetch = session.value()->FetchPage("/landscape");
-  if (!fetch.ok()) {
-    std::fprintf(stderr, "%s\n", fetch.error().ToString().c_str());
-    return 1;
-  }
+  state.Check(fetch.ok(), "landscape fetch");
+  if (!fetch.ok()) return;
   std::printf("\nEnd-to-end over modified HTTP/2 (generative mode):\n");
   std::printf("  page bytes on the wire:  %8.2f kB\n",
               fetch.value().page_bytes / 1000.0);
@@ -74,6 +77,11 @@ int main() {
               fetch.value().generation_seconds / 49.0);
   std::printf("  laptop energy:           %8.2f Wh\n",
               fetch.value().generation_energy_wh);
+  state.Modeled("page_wire_bytes", static_cast<double>(fetch.value().page_bytes));
+  state.Modeled("items_generated",
+                static_cast<double>(fetch.value().generated_items));
+  state.Modeled("laptop_generation_seconds", fetch.value().generation_seconds);
+  state.Modeled("laptop_generation_wh", fetch.value().generation_energy_wh);
 
   // Workstation as the end host ("an edge webserver or a high-end client").
   core::LocalSession::Options ws_options;
@@ -84,11 +92,12 @@ int main() {
               ws_fetch.value().generation_seconds);
   std::printf("  per image:               %8.2f s\n",
               ws_fetch.value().generation_seconds / 49.0);
+  state.Modeled("workstation_generation_seconds",
+                ws_fetch.value().generation_seconds);
 
   // --- semantic preservation -------------------------------------------------
   // "the semantic meaning of each picture is conserved over this process,
   // though the images are not identical."
-  auto doc = html::ParseDocument(fetch.value().final_html).value();
   double clip_sum = 0.0;
   int scored = 0;
   for (const auto& [path, bytes] : fetch.value().files) {
@@ -99,9 +108,13 @@ int main() {
                                    image.value());
     ++scored;
   }
-  (void)doc;
+  const double mean_clip = clip_sum / std::max(1, scored);
   std::printf("\nSemantic preservation: mean CLIP(prompt, generated) = %.2f "
               "(random baseline 0.09)\n",
-              clip_sum / std::max(1, scored));
-  return 0;
+              mean_clip);
+  state.Modeled("mean_clip", mean_clip);
+  state.Check(mean_clip > 0.09, "CLIP beats the random baseline");
 }
+SWW_BENCHMARK(fig2_landscape);
+
+}  // namespace

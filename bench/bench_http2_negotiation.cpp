@@ -1,4 +1,4 @@
-// bench_http2_negotiation — measures the protocol cost of the paper's §3
+// http2_negotiation — measures the protocol cost of the paper's §3
 // modification and reproduces §6.2's functionality matrix:
 //   * wire overhead of advertising SETTINGS_GEN_ABILITY (6 bytes/endpoint),
 //   * the ablation from DESIGN.md §6.1: SETTINGS-based negotiation vs a
@@ -9,19 +9,21 @@
 //   bench_http2_negotiation.trace.json   — chrome://tracing / Perfetto
 //   bench_http2_negotiation.metrics.jsonl — registry snapshot, one line each
 #include <cstdio>
+#include <string>
 
 #include "core/page_builder.hpp"
 #include "core/session.hpp"
 #include "hpack/hpack.hpp"
 #include "http2/connection.hpp"
 #include "net/pump.hpp"
+#include "obs/bench.hpp"
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
-using namespace sww;
-
 namespace {
+
+using namespace sww;
 
 /// Bytes of the initial SETTINGS exchange for an endpoint pair, with and
 /// without the GEN_ABILITY entry.
@@ -39,18 +41,14 @@ std::uint64_t HandshakeBytes(bool advertise) {
   return client.wire_stats().bytes_sent + server.wire_stats().bytes_sent;
 }
 
-}  // namespace
-
-int main() {
+void http2_negotiation(sww::obs::bench::State& state) {
   // Deterministic telemetry: a manual clock makes span durations reflect
   // simulated generation cost, so trace artifacts are identical across runs.
   static obs::ManualClock manual_clock;
   obs::Tracer::Default().SetClock(&manual_clock);
   obs::Tracer::Default().SetEnabled(true);
-  obs::Tracer::Default().Clear();
-  obs::Registry::Default().Reset();
 
-  std::printf("=== HTTP/2 negotiation cost and fallback matrix (3, 6.2) ===\n\n");
+  std::printf("HTTP/2 negotiation cost and fallback matrix (3, 6.2)\n\n");
 
   // --- wire overhead of the extension ---------------------------------------
   const std::uint64_t base = HandshakeBytes(false);
@@ -62,6 +60,9 @@ int main() {
               "advertising endpoint)\n\n",
               static_cast<unsigned long long>(with_extension),
               static_cast<unsigned long long>(with_extension - base));
+  state.Modeled("handshake_bytes_base", static_cast<double>(base));
+  state.Modeled("handshake_bytes_with_gen_ability",
+                static_cast<double>(with_extension));
 
   // --- ablation: SETTINGS vs per-request header --------------------------------
   // A header-based design would re-send the capability on every request.
@@ -84,6 +85,10 @@ int main() {
   std::printf("  SETTINGS: 6 B once per connection; header: +%zu B on the "
               "first request and +%zu B on every later request\n\n",
               first_with - first_without, later_with - later_without);
+  state.Modeled("header_ablation_first_extra_bytes",
+                static_cast<double>(first_with - first_without));
+  state.Modeled("header_ablation_later_extra_bytes",
+                static_cast<double>(later_with - later_without));
 
   // --- §6.2 functionality matrix -----------------------------------------------
   core::ContentStore store;
@@ -91,17 +96,21 @@ int main() {
 
   struct Scenario {
     const char* label;
+    const char* key;
     std::uint32_t client_ability;
     std::uint32_t server_ability;
   };
   const Scenario scenarios[] = {
-      {"client+server support", http2::kGenAbilityFull, http2::kGenAbilityFull},
-      {"client only", http2::kGenAbilityFull, http2::kGenAbilityNone},
-      {"server only", http2::kGenAbilityNone, http2::kGenAbilityFull},
-      {"neither", http2::kGenAbilityNone, http2::kGenAbilityNone},
+      {"client+server support", "both", http2::kGenAbilityFull,
+       http2::kGenAbilityFull},
+      {"client only", "client_only", http2::kGenAbilityFull,
+       http2::kGenAbilityNone},
+      {"server only", "server_only", http2::kGenAbilityNone,
+       http2::kGenAbilityFull},
+      {"neither", "neither", http2::kGenAbilityNone, http2::kGenAbilityNone},
       // §2.2/§3: "the 32-bit field can be used to negotiate more complex
       // support options, such as upscale-only."
-      {"upscale-only client", http2::kGenAbilityUpscaleOnly,
+      {"upscale-only client", "upscale_only", http2::kGenAbilityUpscaleOnly,
        http2::kGenAbilityFull | http2::kGenAbilityUpscaleOnly},
   };
   std::printf("Functionality matrix (one goldfish page fetch):\n");
@@ -112,20 +121,25 @@ int main() {
     options.client.advertised_ability = scenario.client_ability;
     options.server.advertised_ability = scenario.server_ability;
     auto session = core::LocalSession::Start(&store, options);
-    if (!session.ok()) {
-      std::fprintf(stderr, "%s\n", session.error().ToString().c_str());
-      return 1;
-    }
+    state.Check(session.ok(), std::string("session: ") + scenario.label);
+    if (!session.ok()) return;
     auto fetch = session.value()->FetchPage("/");
-    if (!fetch.ok()) {
-      std::fprintf(stderr, "%s\n", fetch.error().ToString().c_str());
-      return 1;
-    }
+    state.Check(fetch.ok(), std::string("fetch: ") + scenario.label);
+    if (!fetch.ok()) return;
     std::printf("%-24s %-12s %12llu %12llu %14.1f\n", scenario.label,
                 fetch.value().mode.empty() ? "-" : fetch.value().mode.c_str(),
                 static_cast<unsigned long long>(fetch.value().page_bytes),
                 static_cast<unsigned long long>(fetch.value().asset_bytes),
                 fetch.value().generation_seconds);
+    const std::string prefix = std::string(scenario.key) + ".";
+    state.ModeledText(prefix + "mode",
+                      fetch.value().mode.empty() ? "-" : fetch.value().mode);
+    state.Modeled(prefix + "page_bytes",
+                  static_cast<double>(fetch.value().page_bytes));
+    state.Modeled(prefix + "asset_bytes",
+                  static_cast<double>(fetch.value().asset_bytes));
+    state.Modeled(prefix + "client_generation_seconds",
+                  fetch.value().generation_seconds);
   }
   std::printf("\nPaper: \"Except for the first scenario, in all other cases "
               "the communication\ndefaulted to standard HTTP/2.\"\n");
@@ -137,17 +151,19 @@ int main() {
           trace_path, obs::Tracer::Default().FinishedSpans(),
           "bench_http2_negotiation");
       !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+    state.Check(false, "write trace: " + status.ToString());
+    return;
   }
   if (auto status = obs::WriteMetricsFile(
           metrics_path, obs::Registry::Default().Snapshot());
       !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+    state.Check(false, "write metrics: " + status.ToString());
+    return;
   }
   std::printf("\nTelemetry: %s (%zu spans; open in chrome://tracing), %s\n",
               trace_path.c_str(), obs::Tracer::Default().finished_count(),
               metrics_path.c_str());
-  return 0;
 }
+SWW_BENCHMARK(http2_negotiation);
+
+}  // namespace

@@ -1,31 +1,32 @@
-// bench_parallel_speedup — the machine-readable perf baseline for the
-// parallel generation engine.  Sweeps pool sizes 1→8 over one six-asset
-// generative page, checks byte-identity of the rendered output at every
-// thread count, and emits BENCH_parallel.json.
+// parallel_speedup — the machine-readable perf baseline for the parallel
+// generation engine.  Sweeps pool sizes 1→8 over one six-asset generative
+// page and checks byte-identity of the rendered output at every thread
+// count.  Results land in the shared BENCH_sww.json trajectory (schema
+// sww-bench/1) instead of the old ad-hoc BENCH_parallel.json.
 //
 // Two time axes, deliberately separated:
 //   * modeled wall seconds — the makespan of the batch schedule over the
 //     generator's device lanes (GeneratedBatch::wall_seconds): each asset's
 //     simulated device-seconds placed greedily on the least-loaded lane.
-//     Deterministic on any machine, so it is the gated number: six equal
-//     assets over four lanes pack 2+2+1+1, a 3.0x speedup over one lane.
-//   * real wall seconds — steady_clock around the fetch, reported for
-//     context (tile-parallel kernels + per-asset fan-out).  CI machines
-//     vary, single-core runners cannot speed up at all, so this is never
-//     gated.
+//     Deterministic on any machine, so it lands in the gated "modeled"
+//     section: six equal assets over four lanes pack 2+2+1+1, a 3.0x
+//     speedup over one lane.
+//   * real wall seconds — steady_clock around the fetch, reported as
+//     ungated info (tile-parallel kernels + per-asset fan-out).  CI
+//     machines vary, single-core runners cannot speed up at all.
 //
-// Exit status is the acceptance criterion: non-zero when output bytes
-// diverge across thread counts or the modeled speedup at 4 threads drops
-// below 2x.
+// The Check() calls are the acceptance criteria: the benchmark fails when
+// output bytes diverge across thread counts or the modeled speedup at
+// 4 threads drops below 2x.
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/page_builder.hpp"
 #include "core/session.hpp"
 #include "json/json.hpp"
+#include "obs/bench.hpp"
 #include "obs/registry.hpp"
 #include "util/hash.hpp"
 #include "util/thread_pool.hpp"
@@ -65,23 +66,19 @@ struct RunResult {
 };
 
 bool RunOnce(const sww::core::ContentStore& store, sww::util::ThreadPool* pool,
-             int threads, RunResult& out) {
+             int threads, sww::obs::bench::State& state, RunResult& out) {
   using namespace sww;
   obs::Registry::Default().Reset();
   core::LocalSession::Options options;
   options.client.generator.pool = pool;
   auto session = core::LocalSession::Start(&store, options);
-  if (!session.ok()) {
-    std::fprintf(stderr, "session: %s\n", session.error().ToString().c_str());
-    return false;
-  }
+  state.Check(session.ok(), "session at t=" + std::to_string(threads));
+  if (!session.ok()) return false;
   const auto start = std::chrono::steady_clock::now();
   auto fetch = session.value()->FetchPage("/page");
   const auto stop = std::chrono::steady_clock::now();
-  if (!fetch.ok()) {
-    std::fprintf(stderr, "fetch: %s\n", fetch.error().ToString().c_str());
-    return false;
-  }
+  state.Check(fetch.ok(), "fetch at t=" + std::to_string(threads));
+  if (!fetch.ok()) return false;
   out.threads = threads;
   out.lanes = pool == nullptr ? 1 : pool->worker_count();
   out.device_seconds = fetch.value().generation_seconds;
@@ -108,29 +105,27 @@ bool RunOnce(const sww::core::ContentStore& store, sww::util::ThreadPool* pool,
   return true;
 }
 
-}  // namespace
-
-int main() {
+void parallel_speedup(sww::obs::bench::State& state) {
   using namespace sww;
   core::ContentStore store;
   if (auto status = store.AddPage("/page", MakeSixAssetPage()); !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+    state.Check(false, status.ToString());
+    return;
   }
 
-  std::printf("=== parallel generation engine: speedup sweep ===\n\n");
+  std::printf("parallel generation engine: speedup sweep\n\n");
   std::printf("page: 6 image assets, 256x192 each, laptop device profile\n\n");
 
   std::vector<RunResult> runs;
   {
     RunResult serial;
-    if (!RunOnce(store, nullptr, 0, serial)) return 1;
+    if (!RunOnce(store, nullptr, 0, state, serial)) return;
     runs.push_back(serial);  // threads=0 row: the no-pool serial path
   }
   for (int threads : {1, 2, 4, 8}) {
     util::ThreadPool pool(threads);
     RunResult run;
-    if (!RunOnce(store, &pool, threads, run)) return 1;
+    if (!RunOnce(store, &pool, threads, state, run)) return;
     runs.push_back(run);
   }
 
@@ -139,7 +134,6 @@ int main() {
               "device s", "modeled s", "speedup", "real ms", "digest");
   bool identical = true;
   double speedup_at_4 = 0.0;
-  json::Array rows;
   for (const RunResult& run : runs) {
     const double speedup = run.modeled_wall_seconds > 0.0
                                ? baseline.modeled_wall_seconds /
@@ -151,49 +145,32 @@ int main() {
                 run.lanes, run.device_seconds, run.modeled_wall_seconds,
                 speedup, run.real_wall_seconds * 1e3,
                 static_cast<unsigned long long>(run.output_digest));
-    json::Value row{json::Object{}};
-    row.Set("threads", run.threads);
-    row.Set("lanes", run.lanes);
-    row.Set("device_seconds", run.device_seconds);
-    row.Set("modeled_wall_seconds", run.modeled_wall_seconds);
-    row.Set("modeled_speedup", speedup);
-    row.Set("real_wall_seconds", run.real_wall_seconds);
-    row.Set("generated_bytes_per_real_second",
-            run.real_wall_seconds > 0.0
-                ? run.generated_bytes / run.real_wall_seconds
-                : 0.0);
+    const std::string prefix = "t" + std::to_string(run.threads) + ".";
+    state.Modeled(prefix + "modeled_wall_seconds", run.modeled_wall_seconds);
+    state.Modeled(prefix + "speedup", speedup);
     char digest_hex[17];
     std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
                   static_cast<unsigned long long>(run.output_digest));
-    row.Set("output_digest", std::string(digest_hex));
-    rows.push_back(std::move(row));
+    state.ModeledText(prefix + "output_digest", digest_hex);
+    // Real wall time is machine noise — context only, never gated.
+    state.Info(prefix + "real_wall_seconds", run.real_wall_seconds);
   }
+  state.Modeled("device_seconds", baseline.device_seconds);
+  state.Modeled("generated_bytes", baseline.generated_bytes);
 
   std::printf("\nbyte-identical output across all runs: %s\n",
               identical ? "yes" : "NO");
   std::printf("modeled speedup at 4 threads: %.2fx (gate: >= 2x)\n",
               speedup_at_4);
 
-  json::Value report{json::Object{}};
-  report.Set("bench", "parallel_speedup");
-  report.Set("assets", 6);
-  report.Set("device_profile", "laptop");
-  report.Set("byte_identical", identical);
-  report.Set("modeled_speedup_at_4_threads", speedup_at_4);
-  report.Set("runs", json::Value(std::move(rows)));
-  std::ofstream out("BENCH_parallel.json");
-  out << report.DumpPretty() << "\n";
-  out.close();
-  std::printf("wrote BENCH_parallel.json\n");
-
-  if (!identical) {
-    std::fprintf(stderr, "FAIL: output bytes diverged across thread counts\n");
-    return 1;
-  }
+  state.Check(identical, "output bytes diverged across thread counts");
   if (speedup_at_4 < 2.0) {
-    std::fprintf(stderr, "FAIL: modeled speedup at 4 threads %.2fx < 2x\n",
-                 speedup_at_4);
-    return 1;
+    char msg[80];
+    std::snprintf(msg, sizeof msg,
+                  "modeled speedup at 4 threads %.2fx < 2x", speedup_at_4);
+    state.Check(false, msg);
   }
-  return 0;
 }
+SWW_BENCHMARK(parallel_speedup);
+
+}  // namespace

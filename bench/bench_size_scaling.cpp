@@ -1,18 +1,22 @@
-// bench_size_scaling — regenerates §6.3.1's image-size sweep:
+// size_scaling — regenerates §6.3.1's image-size sweep:
 // "As image size is increased, generation time is increased on the
 //  workstation relative to the number of pixels, but on the laptop it
 //  grows significantly beyond that for images of 1024x1024, reaching 310
 //  seconds."  (The laptop's attention-splitting penalty.)
 #include <cstdio>
+#include <string>
 
 #include "energy/device.hpp"
 #include "genai/model_specs.hpp"
+#include "obs/bench.hpp"
 
-int main() {
+namespace {
+
+void size_scaling(sww::obs::bench::State& state) {
   using namespace sww;
   const auto sd3 = genai::FindImageModel(genai::kSd3Medium).value();
 
-  std::printf("=== Image-size scaling (6.3.1), SD 3 Medium, 15 steps ===\n\n");
+  std::printf("Image-size scaling (6.3.1), SD 3 Medium, 15 steps\n\n");
   std::printf("%-12s %10s | %10s %12s | %10s %12s\n", "size", "pixels",
               "laptop[s]", "vs pixels", "workst.[s]", "vs pixels");
 
@@ -33,9 +37,19 @@ int main() {
     std::printf("%4dx%-7d %10.0f | %10.1f %12.2f | %10.2f %12.2f\n", size, size,
                 pixels, lap, (lap / lap_base) / (pixels / px_base), ws,
                 (ws / ws_base) / (pixels / px_base));
+    const std::string prefix = "s" + std::to_string(size) + ".";
+    state.Modeled(prefix + "laptop_seconds", lap);
+    state.Modeled(prefix + "workstation_seconds", ws);
   }
+  // The paper's headline anchor: the laptop blow-up at 1024².
+  const double lap_1024 =
+      energy::ImageGenerationSeconds(energy::Laptop(), sd3, 15, 1024, 1024);
+  state.Check(lap_1024 > 100.0,
+              "laptop 1024x1024 shows the attention-splitting blow-up");
   std::printf("\nPaper anchors: laptop 7 s / 19 s / 310 s and workstation "
               "1.0 s / 1.7 s / 6.2 s\nat 256/512/1024; the laptop's 1024x1024 "
               "blow-up is the attention-splitting penalty.\n");
-  return 0;
 }
+SWW_BENCHMARK(size_scaling);
+
+}  // namespace

@@ -1,17 +1,21 @@
-// bench_steps_scaling — regenerates §6.3.1's inference-step sweep:
+// steps_scaling — regenerates §6.3.1's inference-step sweep:
 // "These trends remain as we scale inference steps from 10 to 60, with
 //  only minor changes to CLIP score and with generation time increasing
 //  linearly with the number of steps."
 #include <cstdio>
+#include <string>
 
 #include "core/page_builder.hpp"
 #include "energy/device.hpp"
 #include "genai/diffusion.hpp"
 #include "metrics/clip.hpp"
+#include "obs/bench.hpp"
 
-int main() {
+namespace {
+
+void steps_scaling(sww::obs::bench::State& state) {
   using namespace sww;
-  std::printf("=== Inference-step scaling (6.3.1), 224x224 ===\n\n");
+  std::printf("Inference-step scaling (6.3.1), 224x224\n\n");
   std::printf("%-14s %6s %8s %12s %12s\n", "Model", "steps", "CLIP",
               "laptop[s]", "workst.[s]");
 
@@ -28,15 +32,22 @@ int main() {
             prompt,
             model.Generate(prompt, 224, 224, steps, 20 + i).value().image);
       }
+      const double laptop_s = energy::ImageGenerationSeconds(
+          energy::Laptop(), spec, steps, 224, 224);
+      const double ws_s = energy::ImageGenerationSeconds(
+          energy::Workstation(), spec, steps, 224, 224);
       std::printf("%-14s %6d %8.2f %12.1f %12.2f\n", spec.display_name.c_str(),
-                  steps, clip / n,
-                  energy::ImageGenerationSeconds(energy::Laptop(), spec, steps,
-                                                 224, 224),
-                  energy::ImageGenerationSeconds(energy::Workstation(), spec,
-                                                 steps, 224, 224));
+                  steps, clip / n, laptop_s, ws_s);
+      const std::string prefix =
+          std::string(name) + ".steps" + std::to_string(steps) + ".";
+      state.Modeled(prefix + "clip", clip / n);
+      state.Modeled(prefix + "laptop_seconds", laptop_s);
+      state.Modeled(prefix + "workstation_seconds", ws_s);
     }
     std::printf("\n");
   }
   std::printf("Expected shape: CLIP nearly flat in steps; time linear in steps.\n");
-  return 0;
 }
+SWW_BENCHMARK(steps_scaling);
+
+}  // namespace

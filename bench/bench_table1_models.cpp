@@ -1,11 +1,9 @@
-// bench_table1_models — regenerates Table 1 of the paper:
+// table1_models — regenerates Table 1 of the paper:
 //   "ELO & CLIP scores, with time per step on a laptop and a workstation
 //    using 15 inference steps."
 // plus the preloaded-pipeline ablation called out in DESIGN.md §6.2.
-// Emits telemetry artifacts next to the binary (see docs/observability.md):
-//   bench_table1_models.trace.json   — chrome://tracing / Perfetto
-//   bench_table1_models.metrics.jsonl — registry snapshot, one line each
 #include <cstdio>
+#include <string>
 
 #include "core/page_builder.hpp"
 #include "energy/device.hpp"
@@ -13,20 +11,20 @@
 #include "genai/pipeline.hpp"
 #include "metrics/clip.hpp"
 #include "metrics/elo.hpp"
-#include "obs/export.hpp"
+#include "obs/bench.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
-int main() {
+namespace {
+
+void table1_models(sww::obs::bench::State& state) {
   using namespace sww;
 
-  // Deterministic telemetry under simulated time (pipeline loads and
-  // generation advance the manual clock, not wall time).
+  // Deterministic span durations under simulated time (generation advances
+  // the manual clock, not wall time).
   static obs::ManualClock manual_clock;
   obs::Tracer::Default().SetClock(&manual_clock);
   obs::Tracer::Default().SetEnabled(true);
-  obs::Tracer::Default().Clear();
-  obs::Registry::Default().Reset();
 
   // 1. ELO: a Bradley-Terry arena with the paper's published ratings as
   //    latent strengths, estimated online by the Elo algorithm.
@@ -57,7 +55,7 @@ int main() {
     return sum / n;
   };
 
-  std::printf("=== Table 1: ELO & CLIP scores, time per step (15 steps, 224x224) ===\n\n");
+  std::printf("Table 1: ELO & CLIP scores, time per step (15 steps, 224x224)\n\n");
   std::printf("%-12s %8s %8s %8s %8s   %14s %14s\n", "Model", "ELO", "ELO",
               "CLIP", "CLIP", "Laptop", "Workstation");
   std::printf("%-12s %8s %8s %8s %8s   %14s %14s\n", "", "(paper)", "(est)",
@@ -77,15 +75,22 @@ int main() {
     const auto spec = genai::FindImageModel(row.model).value();
     const metrics::ArenaPlayer* player = arena.Find(spec.name);
     const double clip = clip_for(spec);
+    const std::string prefix = std::string(row.model) + ".";
+    state.Modeled(prefix + "elo_estimated", player->rating);
+    state.Modeled(prefix + "clip", clip);
     if (spec.server_only) {
       std::printf("%-12s %8.0f %8.0f %8.2f %8.2f   %14s %14s\n",
                   spec.display_name.c_str(), row.elo, player->rating, row.clip,
                   clip, "-", "-");
     } else {
+      const double laptop_step = energy::TimePerStep224(energy::Laptop(), spec);
+      const double ws_step =
+          energy::TimePerStep224(energy::Workstation(), spec);
       std::printf("%-12s %8.0f %8.0f %8.2f %8.2f   %14.2f %14.2f\n",
                   spec.display_name.c_str(), row.elo, player->rating, row.clip,
-                  clip, energy::TimePerStep224(energy::Laptop(), spec),
-                  energy::TimePerStep224(energy::Workstation(), spec));
+                  clip, laptop_step, ws_step);
+      state.Modeled(prefix + "laptop_step_seconds", laptop_step);
+      state.Modeled(prefix + "workstation_step_seconds", ws_step);
     }
   }
   // Baselines the paper quotes around the table.
@@ -98,6 +103,8 @@ int main() {
   std::printf("\nrandom image CLIP (paper 0.09): %.2f\n", random_clip / 12);
   std::printf("arena leader GPT-4o ELO (paper 1166): %.0f\n",
               arena.Find("gpt-4o")->rating);
+  state.Modeled("random_clip", random_clip / 12);
+  state.Modeled("gpt4o_elo_estimated", arena.Find("gpt-4o")->rating);
 
   // 3. Ablation: preloaded pipeline vs reload-per-invocation (§4.1's
   //    stated performance optimization).
@@ -107,29 +114,14 @@ int main() {
   const double gen_s =
       energy::ImageGenerationSeconds(energy::Workstation(), sd3, 15, 224, 224);
   const int items = 49;
+  const double preloaded_s = load_s + items * gen_s;
+  const double reload_s = items * (load_s + gen_s);
   std::printf("49 images, workstation: preloaded %.1f s total; "
               "reload-per-image %.1f s total (%.1fx slower)\n",
-              load_s + items * gen_s, items * (load_s + gen_s),
-              (items * (load_s + gen_s)) / (load_s + items * gen_s));
-
-  // --- telemetry artifacts --------------------------------------------------
-  const std::string trace_path = "bench_table1_models.trace.json";
-  const std::string metrics_path = "bench_table1_models.metrics.jsonl";
-  if (auto status = obs::WriteTraceFile(trace_path,
-                                        obs::Tracer::Default().FinishedSpans(),
-                                        "bench_table1_models");
-      !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  if (auto status = obs::WriteMetricsFile(
-          metrics_path, obs::Registry::Default().Snapshot());
-      !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  std::printf("\nTelemetry: %s (%zu spans; open in chrome://tracing), %s\n",
-              trace_path.c_str(), obs::Tracer::Default().finished_count(),
-              metrics_path.c_str());
-  return 0;
+              preloaded_s, reload_s, reload_s / preloaded_s);
+  state.Modeled("pipeline.preloaded_seconds", preloaded_s);
+  state.Modeled("pipeline.reload_seconds", reload_s);
 }
+SWW_BENCHMARK(table1_models);
+
+}  // namespace

@@ -1,19 +1,23 @@
-// bench_table2_compression — regenerates Table 2 of the paper:
+// table2_compression — regenerates Table 2 of the paper:
 //   "Generation time and energy consumption for typical small, medium and
 //    large images and 250 words text."  (SD 3 Medium + DeepSeek-R1 8B.)
 #include <cstdio>
+#include <string>
 
 #include "core/content_store.hpp"
 #include "energy/device.hpp"
 #include "genai/model_specs.hpp"
 #include "json/json.hpp"
+#include "obs/bench.hpp"
 
-int main() {
+namespace {
+
+void table2_compression(sww::obs::bench::State& state) {
   using namespace sww;
   const auto sd3 = genai::FindImageModel(genai::kSd3Medium).value();
   const auto r1 = genai::FindTextModel(genai::kDeepseek8b).value();
 
-  std::printf("=== Table 2: storage compression, generation time & energy ===\n");
+  std::printf("Table 2: storage compression, generation time & energy\n");
   std::printf("(SD 3 Medium, DeepSeek-R1 8B, 15 inference steps)\n\n");
   std::printf("%-24s %9s %9s %9s %11s %12s %12s %12s\n", "Media", "Size[B]",
               "Meta[B]", "Compress.", "Laptop[s]", "Laptop[Wh]", "Workst.[s]",
@@ -21,11 +25,12 @@ int main() {
 
   struct ImageRow {
     const char* label;
+    const char* key;
     int size;
   };
-  const ImageRow image_rows[] = {{"Small Image (256x256)", 256},
-                                 {"Medium Image (512x512)", 512},
-                                 {"Large Image (1024x1024)", 1024}};
+  const ImageRow image_rows[] = {{"Small Image (256x256)", "small", 256},
+                                 {"Medium Image (512x512)", "medium", 512},
+                                 {"Large Image (1024x1024)", "large", 1024}};
   // The paper's worst-case metadata: 400 B prompt + 20 B name + 2×4 B dims.
   for (const ImageRow& row : image_rows) {
     json::Value metadata{json::Object{}};
@@ -36,17 +41,25 @@ int main() {
     const std::size_t meta_bytes = metadata.Dump().size();
     const std::size_t media_bytes =
         core::TraditionalItemBytes(html::GeneratedContentType::kImage, metadata);
+    const double laptop_s = energy::ImageGenerationSeconds(
+        energy::Laptop(), sd3, 15, row.size, row.size);
+    const double laptop_wh = energy::ImageGenerationEnergyWh(
+        energy::Laptop(), sd3, 15, row.size, row.size);
+    const double ws_s = energy::ImageGenerationSeconds(
+        energy::Workstation(), sd3, 15, row.size, row.size);
+    const double ws_wh = energy::ImageGenerationEnergyWh(
+        energy::Workstation(), sd3, 15, row.size, row.size);
     std::printf("%-24s %9zu %9zu %9.2f %11.0f %12.2f %12.1f %12.2f\n",
                 row.label, media_bytes, meta_bytes,
-                static_cast<double>(media_bytes) / meta_bytes,
-                energy::ImageGenerationSeconds(energy::Laptop(), sd3, 15,
-                                               row.size, row.size),
-                energy::ImageGenerationEnergyWh(energy::Laptop(), sd3, 15,
-                                                row.size, row.size),
-                energy::ImageGenerationSeconds(energy::Workstation(), sd3, 15,
-                                               row.size, row.size),
-                energy::ImageGenerationEnergyWh(energy::Workstation(), sd3, 15,
-                                                row.size, row.size));
+                static_cast<double>(media_bytes) / meta_bytes, laptop_s,
+                laptop_wh, ws_s, ws_wh);
+    const std::string prefix = std::string(row.key) + ".";
+    state.Modeled(prefix + "compression",
+                  static_cast<double>(media_bytes) / meta_bytes);
+    state.Modeled(prefix + "laptop_seconds", laptop_s);
+    state.Modeled(prefix + "laptop_wh", laptop_wh);
+    state.Modeled(prefix + "workstation_seconds", ws_s);
+    state.Modeled(prefix + "workstation_wh", ws_wh);
   }
 
   {
@@ -62,13 +75,18 @@ int main() {
     const std::size_t meta_bytes = metadata.Dump().size();
     const std::size_t media_bytes =
         core::TraditionalItemBytes(html::GeneratedContentType::kText, metadata);
+    const double laptop_s = energy::TextGenerationSeconds(energy::Laptop(), r1, 250);
+    const double ws_s =
+        energy::TextGenerationSeconds(energy::Workstation(), r1, 250);
     std::printf("%-24s %9zu %9zu %9.2f %11.0f %12.2f %12.1f %12.2f\n",
                 "Text Block (250 words)", media_bytes, meta_bytes,
-                static_cast<double>(media_bytes) / meta_bytes,
-                energy::TextGenerationSeconds(energy::Laptop(), r1, 250),
-                energy::TextGenerationEnergyWh(energy::Laptop(), r1, 250),
-                energy::TextGenerationSeconds(energy::Workstation(), r1, 250),
+                static_cast<double>(media_bytes) / meta_bytes, laptop_s,
+                energy::TextGenerationEnergyWh(energy::Laptop(), r1, 250), ws_s,
                 energy::TextGenerationEnergyWh(energy::Workstation(), r1, 250));
+    state.Modeled("text.compression",
+                  static_cast<double>(media_bytes) / meta_bytes);
+    state.Modeled("text.laptop_seconds", laptop_s);
+    state.Modeled("text.workstation_seconds", ws_s);
   }
 
   std::printf("\nPaper's rows for comparison:\n");
@@ -76,5 +94,7 @@ int main() {
   std::printf("  Medium 32,768/428 -> 76.56x; 19 s/0.05 Wh; 1.7 s/0.06 Wh\n");
   std::printf("  Large  131,072/428 -> 306.24x; 310 s/0.90 Wh; 6.2 s/0.21 Wh\n");
   std::printf("  Text   1,250/649 -> 1.93x;  32 s/0.01 Wh; 13.0 s/0.51 Wh\n");
-  return 0;
 }
+SWW_BENCHMARK(table2_compression);
+
+}  // namespace

@@ -1,4 +1,4 @@
-// bench_text_article — regenerates §6.2's text-generation experiment:
+// text_article — regenerates §6.2's text-generation experiment:
 // "An experiment of a similar nature explored text generation, by sending
 //  a newspaper article ... has taken 41.9 seconds on the laptop, more than
 //  ten seconds on the workstation, and provided 3.1x compression, from
@@ -13,13 +13,16 @@
 #include "genai/prompt_inversion.hpp"
 #include "html/parser.hpp"
 #include "metrics/sbert.hpp"
+#include "obs/bench.hpp"
 #include "util/strings.hpp"
 
-int main() {
+namespace {
+
+void text_article(sww::obs::bench::State& state) {
   using namespace sww;
   const std::string article_html = core::MakeNewsArticleHtml(2400);
 
-  std::printf("=== Text experiment (6.2): newspaper article as bullets ===\n\n");
+  std::printf("Text experiment (6.2): newspaper article as bullets\n\n");
   std::printf("original article HTML: %zu B (paper: 2400 B)\n",
               article_html.size());
 
@@ -29,15 +32,16 @@ int main() {
       genai::PromptInverter(genai::PromptInverter::DefaultVocabulary()),
       genai::TextModel(genai::FindTextModel(genai::kDeepseek8b).value()), {});
   auto report = converter.Convert(*doc, {});
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.error().ToString().c_str());
-    return 1;
-  }
+  state.Check(report.ok(), "article conversion");
+  if (!report.ok()) return;
   const std::string converted = doc->Serialize();
   std::printf("converted (bullet) form: %zu B (paper: 778 B)\n",
               converted.size());
   std::printf("compression: %.1fx (paper: 3.1x)\n",
               report.value().CompressionRatio());
+  state.Modeled("original_bytes", static_cast<double>(article_html.size()));
+  state.Modeled("converted_bytes", static_cast<double>(converted.size()));
+  state.Modeled("compression_ratio", report.value().CompressionRatio());
 
   // Serve it and regenerate on both devices.  The original article runs
   // ~420 words, so regeneration asks for that length.
@@ -45,12 +49,12 @@ int main() {
   (void)store.AddPage("/article", converted);
   auto session = core::LocalSession::Start(&store, {});
   auto fetch = session.value()->FetchPage("/article");
-  if (!fetch.ok()) {
-    std::fprintf(stderr, "%s\n", fetch.error().ToString().c_str());
-    return 1;
-  }
+  state.Check(fetch.ok(), "article fetch");
+  if (!fetch.ok()) return;
   std::printf("\nlaptop regeneration:      %6.1f s (paper: 41.9 s)\n",
               fetch.value().generation_seconds);
+  state.Modeled("laptop_regeneration_seconds",
+                fetch.value().generation_seconds);
 
   core::LocalSession::Options ws;
   ws.client.laptop = false;
@@ -58,6 +62,8 @@ int main() {
   auto ws_fetch = ws_session.value()->FetchPage("/article");
   std::printf("workstation regeneration: %6.1f s (paper: >10 s)\n",
               ws_fetch.value().generation_seconds);
+  state.Modeled("workstation_regeneration_seconds",
+                ws_fetch.value().generation_seconds);
 
   // Fidelity: regenerated prose vs the original article.
   const std::string original_text = core::MakeNewsArticleText(2400);
@@ -66,10 +72,16 @@ int main() {
   for (html::Node* p : final_doc->FindByTag("p")) {
     regenerated += p->InnerText() + " ";
   }
+  const double sbert = metrics::SbertScore(original_text, regenerated);
   std::printf("\nSBERT(original, regenerated) = %.2f "
               "(paper band for text models: 0.82-0.91)\n",
-              metrics::SbertScore(original_text, regenerated));
+              sbert);
   std::printf("regenerated length: %zu words\n",
               util::CountWords(regenerated));
-  return 0;
+  state.Modeled("sbert", sbert);
+  state.Modeled("regenerated_words",
+                static_cast<double>(util::CountWords(regenerated)));
 }
+SWW_BENCHMARK(text_article);
+
+}  // namespace

@@ -1,14 +1,19 @@
-// bench_text_expansion — regenerates §6.3.2's text-to-text evaluation:
+// text_expansion — regenerates §6.3.2's text-to-text evaluation:
 // SBERT scores, word-length overshoot distribution, and generation time
 // for Llama 3.2 and DeepSeek-R1 1.5B/8B/14B at 50/100/150/250 words.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "energy/device.hpp"
 #include "genai/llm.hpp"
 #include "metrics/sbert.hpp"
 #include "metrics/stats.hpp"
+#include "obs/bench.hpp"
 
-int main() {
+namespace {
+
+void text_expansion(sww::obs::bench::State& state) {
   using namespace sww;
   const std::vector<std::string> bullets = {
       "regional council approved coastal transit line",
@@ -16,7 +21,7 @@ int main() {
       "independent review flagged drainage risks near harbor",
       "completed line carries forty thousand passengers daily"};
 
-  std::printf("=== Text-to-text evaluation (6.3.2) ===\n");
+  std::printf("Text-to-text evaluation (6.3.2)\n");
   std::printf("paper: SBERT means 0.82-0.91; overshoot up to 20%%, some means"
               " ~1.3%%, IQR often >10%%;\n");
   std::printf("       time 6.98-14.33 s (workstation), 16.06-34.04 s (laptop),"
@@ -40,17 +45,26 @@ int main() {
       }
       const metrics::Summary sbert = metrics::Summarize(sberts);
       const metrics::Summary over = metrics::Summarize(overshoots);
+      const double ws_s =
+          energy::TextGenerationSeconds(energy::Workstation(), spec, words);
+      const double lap_s =
+          energy::TextGenerationSeconds(energy::Laptop(), spec, words);
       std::printf("%-18s %6d | %7.2f %8.1f%% %8.1f%% %8.1f%% | %8.2f %8.2f\n",
                   spec.display_name.c_str(), words, sbert.mean, over.mean,
-                  over.p25, over.p75,
-                  energy::TextGenerationSeconds(energy::Workstation(), spec,
-                                                words),
-                  energy::TextGenerationSeconds(energy::Laptop(), spec, words));
+                  over.p25, over.p75, ws_s, lap_s);
+      const std::string prefix =
+          spec.name + ".w" + std::to_string(words) + ".";
+      state.Modeled(prefix + "sbert_mean", sbert.mean);
+      state.Modeled(prefix + "overshoot_mean", over.mean);
+      state.Modeled(prefix + "workstation_seconds", ws_s);
+      state.Modeled(prefix + "laptop_seconds", lap_s);
     }
   }
 
   std::printf("\nNote the non-monotonic length dependence for the DeepSeek-R1"
               " family\n(50-word outputs pay relatively more reasoning-token"
               " overhead).\n");
-  return 0;
 }
+SWW_BENCHMARK(text_expansion);
+
+}  // namespace

@@ -1,16 +1,20 @@
-// bench_video_negotiation — regenerates §3.2's video streaming analysis:
+// video_negotiation — regenerates §3.2's video streaming analysis:
 // "moving from 60fps to 30fps will half the data, and from 4K to high
 //  definition can save 2.3x data, turning 7GB/hour into 3GB/hour."
 // The GEN_ABILITY bits negotiate client-side frame-rate boosting and
 // upscaling; the table shows one hour of 4K60 playback per client type.
 #include <cstdio>
+#include <string>
 
 #include "http2/settings.hpp"
+#include "obs/bench.hpp"
 #include "video/streaming.hpp"
 
-int main() {
+namespace {
+
+void video_negotiation(sww::obs::bench::State& state) {
   using namespace sww;
-  std::printf("=== Video streaming negotiation (3.2) ===\n\n");
+  std::printf("Video streaming negotiation (3.2)\n\n");
 
   std::printf("Encoding ladder (GB/hour):\n");
   for (const video::Variant& variant : video::StandardLadder()) {
@@ -20,13 +24,14 @@ int main() {
 
   struct ClientType {
     const char* label;
+    const char* key;
     std::uint32_t ability;
   };
   const ClientType clients[] = {
-      {"naive client (no SWW)", 0},
-      {"frame-rate boost only", http2::kGenAbilityFrameRateBoost},
-      {"upscale only", http2::kGenAbilityUpscaleOnly},
-      {"boost + upscale",
+      {"naive client (no SWW)", "naive", 0},
+      {"frame-rate boost only", "boost", http2::kGenAbilityFrameRateBoost},
+      {"upscale only", "upscale", http2::kGenAbilityUpscaleOnly},
+      {"boost + upscale", "boost_upscale",
        http2::kGenAbilityFrameRateBoost | http2::kGenAbilityUpscaleOnly},
   };
 
@@ -42,15 +47,25 @@ int main() {
                 report.saved_gb, plan.DataSavingsFactor(),
                 static_cast<unsigned long long>(report.frames_interpolated),
                 static_cast<unsigned long long>(report.frames_upscaled));
+    const std::string prefix = std::string(client.key) + ".";
+    state.Modeled(prefix + "transmitted_gb", report.transmitted_gb);
+    state.Modeled(prefix + "saved_gb", report.saved_gb);
+    state.Modeled(prefix + "savings_factor", plan.DataSavingsFactor());
+    state.ModeledText(prefix + "shipped", plan.transmitted.name);
   }
 
+  const double saved_wh =
+      video::SimulateStreaming(
+          video::Negotiate({video::Resolution::k4K, 60},
+                           http2::kGenAbilityFrameRateBoost |
+                               http2::kGenAbilityUpscaleOnly),
+          1.0)
+          .transmission_energy_saved_wh;
   std::printf("\nTransmission energy saved per hour (boost + upscale): "
               "%.0f Wh\n",
-              video::SimulateStreaming(
-                  video::Negotiate({video::Resolution::k4K, 60},
-                                   http2::kGenAbilityFrameRateBoost |
-                                       http2::kGenAbilityUpscaleOnly),
-                  1.0)
-                  .transmission_energy_saved_wh);
-  return 0;
+              saved_wh);
+  state.Modeled("boost_upscale.energy_saved_wh", saved_wh);
 }
+SWW_BENCHMARK(video_negotiation);
+
+}  // namespace

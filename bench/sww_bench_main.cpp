@@ -1,0 +1,9 @@
+// sww_bench — the single benchmark runner.  Every bench_*.cpp in this
+// directory registers its cases with SWW_BENCHMARK; this binary lists,
+// filters, runs them, and emits the versioned BENCH_sww.json trajectory
+// (see docs/performance.md).
+#include "obs/bench.hpp"
+
+int main(int argc, char** argv) {
+  return sww::obs::bench::RunBenchMain(argc, argv);
+}

@@ -24,6 +24,15 @@ double Percentile(std::vector<double> values, double q) {
   return values[lower] + (values[upper] - values[lower]) * fraction;
 }
 
+double MedianAbsoluteDeviation(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  const double median = Percentile(values, 50.0);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::fabs(v - median));
+  return Percentile(std::move(deviations), 50.0);
+}
+
 Summary Summarize(std::vector<double> values) {
   Summary summary;
   if (values.empty()) return summary;

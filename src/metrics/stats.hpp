@@ -31,6 +31,12 @@ Summary Summarize(std::vector<double> values);
 /// Percentile with linear interpolation; `q` in [0,100].
 double Percentile(std::vector<double> values, double q);
 
+/// Median absolute deviation: median(|x - median(x)|).  A robust spread
+/// estimate for the bench harness — one slow outlier iteration moves the
+/// MAD far less than it moves the standard deviation.  Empty input
+/// yields 0.
+double MedianAbsoluteDeviation(const std::vector<double>& values);
+
 std::string FormatSummary(const Summary& summary);
 
 }  // namespace sww::metrics

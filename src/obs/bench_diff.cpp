@@ -1,0 +1,180 @@
+#include "obs/bench_diff.hpp"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "obs/bench.hpp"
+
+namespace sww::obs::bench {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * fraction);
+  return buf;
+}
+
+/// name → benchmark entry, validating the document shape.
+util::Result<std::map<std::string, const json::Value*>> IndexBenchmarks(
+    const json::Value& doc, const char* which) {
+  if (!doc.is_object()) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       std::string(which) + ": not a JSON object");
+  }
+  const std::string schema = doc.GetString("schema");
+  if (schema != kSchemaVersion) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       std::string(which) + ": schema \"" + schema +
+                           "\" != \"" + std::string(kSchemaVersion) + "\"");
+  }
+  const json::Value* benchmarks = doc.Get("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       std::string(which) + ": missing benchmarks array");
+  }
+  std::map<std::string, const json::Value*> index;
+  for (const json::Value& entry : benchmarks->AsArray()) {
+    if (!entry.is_object()) continue;
+    index[entry.GetString("name")] = &entry;
+  }
+  return index;
+}
+
+/// The sub-object `key` of `entry` as a map view; empty when absent.
+std::map<std::string, const json::Value*> SectionOf(const json::Value* entry,
+                                                    const char* key) {
+  std::map<std::string, const json::Value*> section;
+  if (entry == nullptr) return section;
+  const json::Value* object = entry->Get(key);
+  if (object == nullptr || !object->is_object()) return section;
+  for (const auto& [name, value] : object->AsObject()) {
+    section[name] = &value;
+  }
+  return section;
+}
+
+}  // namespace
+
+util::Result<CompareResult> CompareBenchJson(const json::Value& baseline,
+                                             const json::Value& current,
+                                             const CompareOptions& options) {
+  auto baseline_index = IndexBenchmarks(baseline, "baseline");
+  if (!baseline_index.ok()) return baseline_index.error();
+  auto current_index = IndexBenchmarks(current, "current");
+  if (!current_index.ok()) return current_index.error();
+
+  CompareResult result;
+  for (const auto& [name, entry] : current_index.value()) {
+    if (baseline_index.value().count(name) == 0) {
+      result.added_benchmarks.push_back(name);
+    }
+  }
+
+  for (const auto& [bench_name, baseline_entry] : baseline_index.value()) {
+    auto current_it = current_index.value().find(bench_name);
+    if (current_it == current_index.value().end()) {
+      result.missing_benchmarks.push_back(bench_name);
+      continue;
+    }
+    const json::Value* current_entry = current_it->second;
+
+    // --- modeled: exact ----------------------------------------------------
+    for (const char* section : {"modeled", "modeled_text"}) {
+      const auto base_metrics = SectionOf(baseline_entry, section);
+      const auto cur_metrics = SectionOf(current_entry, section);
+      for (const auto& [key, cur_value] : cur_metrics) {
+        if (base_metrics.count(key) == 0) {
+          result.added_metrics.push_back(bench_name + "." + section + "." +
+                                         key);
+        }
+      }
+      for (const auto& [key, base_value] : base_metrics) {
+        auto cur = cur_metrics.find(key);
+        if (cur == cur_metrics.end()) {
+          result.missing_metrics.push_back(bench_name + "." + section + "." +
+                                           key);
+          continue;
+        }
+        ++result.compared_modeled;
+        // Dump() compares the serialized form — exactly what lands in the
+        // artifact, so "gate" and "file diff" can never disagree.
+        if (base_value->Dump() != cur->second->Dump()) {
+          result.regressions.push_back({bench_name,
+                                        std::string(section) + "." + key,
+                                        base_value->Dump(),
+                                        cur->second->Dump(), true,
+                                        "modeled metrics gate exactly"});
+        }
+      }
+    }
+
+    // --- wall: tolerance on the median ------------------------------------
+    if (options.modeled_only || options.wall_tolerance < 0.0) continue;
+    const auto base_wall = SectionOf(baseline_entry, "wall");
+    const auto cur_wall = SectionOf(current_entry, "wall");
+    for (const auto& [label, base_stats] : base_wall) {
+      auto cur = cur_wall.find(label);
+      if (cur == cur_wall.end()) continue;  // wall drops are not gated
+      const double base_median = base_stats->GetNumber("median_ns");
+      const double cur_median = cur->second->GetNumber("median_ns");
+      if (base_median <= 0.0) continue;
+      ++result.compared_wall;
+      const double delta = cur_median / base_median - 1.0;
+      MetricDiff diff{bench_name,
+                      "wall." + label,
+                      FormatDouble(base_median) + " ns",
+                      FormatDouble(cur_median) + " ns",
+                      delta > options.wall_tolerance,
+                      FormatPercent(delta) + " vs " +
+                          FormatPercent(options.wall_tolerance) + " tolerance"};
+      if (diff.regression) {
+        result.regressions.push_back(std::move(diff));
+      } else if (delta < 0.0) {
+        result.improvements.push_back(std::move(diff));
+      }
+    }
+  }
+  return result;
+}
+
+std::string RenderCompareText(const CompareResult& result) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "bench_compare: %zu modeled metrics exact-checked, %zu wall "
+                "medians tolerance-checked\n",
+                result.compared_modeled, result.compared_wall);
+  out += line;
+  for (const std::string& name : result.missing_benchmarks) {
+    out += "MISSING benchmark: " + name + " (in baseline, absent from current)\n";
+  }
+  for (const std::string& name : result.missing_metrics) {
+    out += "MISSING metric: " + name + "\n";
+  }
+  for (const MetricDiff& diff : result.regressions) {
+    out += "REGRESSION " + diff.bench + " " + diff.metric + ": " +
+           diff.baseline + " -> " + diff.current + " (" + diff.note + ")\n";
+  }
+  for (const MetricDiff& diff : result.improvements) {
+    out += "improved   " + diff.bench + " " + diff.metric + ": " +
+           diff.baseline + " -> " + diff.current + " (" + diff.note + ")\n";
+  }
+  for (const std::string& name : result.added_benchmarks) {
+    out += "new benchmark: " + name + "\n";
+  }
+  for (const std::string& name : result.added_metrics) {
+    out += "new metric: " + name + "\n";
+  }
+  out += result.ok() ? "OK: no regressions\n" : "FAIL: regression gate tripped\n";
+  return out;
+}
+
+}  // namespace sww::obs::bench

@@ -1,0 +1,70 @@
+// bench_diff.hpp — diff two BENCH_sww.json files; the CI regression gate.
+//
+// The gate has two regimes, matching how the numbers are produced:
+//
+//   * modeled metrics are deterministic outputs of the simulation
+//     substrate, so they compare EXACTLY (after the writer's 9-significant-
+//     digit canonicalization).  Any difference is a behaviour change and
+//     fails the gate — that is the point.
+//   * wall metrics are machine noise by construction; their medians gate
+//     with a configurable relative tolerance, and a negative tolerance
+//     (or --modeled-only) disables them entirely — what CI uses, since a
+//     shared runner cannot promise a quiet machine.
+//
+// A benchmark or modeled metric present in the baseline but missing from
+// the current file is a failure (a silently dropped benchmark must not
+// pass); metrics only in the current file are reported as additions and
+// pass — that is how the trajectory grows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/error.hpp"
+
+namespace sww::obs::bench {
+
+struct CompareOptions {
+  /// Relative tolerance for wall medians: current may exceed baseline by
+  /// this fraction.  Negative disables wall gating.
+  double wall_tolerance = 0.25;
+  /// Gate only the modeled (+ modeled_text) sections.
+  bool modeled_only = false;
+};
+
+struct MetricDiff {
+  std::string bench;
+  std::string metric;      ///< "modeled.key", "modeled_text.key", "wall.label"
+  std::string baseline;    ///< rendered baseline value
+  std::string current;     ///< rendered current value
+  bool regression = false;
+  std::string note;        ///< "exact mismatch", "+37.2% > +25.0% tol", …
+};
+
+struct CompareResult {
+  std::vector<MetricDiff> regressions;
+  std::vector<MetricDiff> improvements;  ///< wall medians that got faster
+  std::vector<std::string> missing_benchmarks;  ///< in baseline, not current
+  std::vector<std::string> added_benchmarks;    ///< in current, not baseline
+  std::vector<std::string> missing_metrics;     ///< per-metric drops
+  std::vector<std::string> added_metrics;
+  std::size_t compared_modeled = 0;
+  std::size_t compared_wall = 0;
+
+  bool ok() const {
+    return regressions.empty() && missing_benchmarks.empty() &&
+           missing_metrics.empty();
+  }
+};
+
+/// Compare two parsed BENCH files.  Errors (not regressions): schema
+/// version mismatch or a file that is not a BENCH document.
+util::Result<CompareResult> CompareBenchJson(const json::Value& baseline,
+                                             const json::Value& current,
+                                             const CompareOptions& options);
+
+/// Human-readable verdict table (deterministic ordering).
+std::string RenderCompareText(const CompareResult& result);
+
+}  // namespace sww::obs::bench

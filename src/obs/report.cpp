@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <set>
 
+#include "energy/carbon.hpp"
+#include "energy/network.hpp"
 #include "json/json.hpp"
 
 namespace sww::obs {
@@ -85,6 +87,32 @@ RunReport AnalyzeRun(const std::vector<Span>& spans,
   report.edge_hit_ratio =
       RatioOf(snapshot.counters, "cdn.edge.hits", "cdn.edge.misses");
 
+  // --- Cost: energy joules by phase, carbon ---------------------------------
+  auto gauge_of = [&snapshot](const char* name) {
+    auto it = snapshot.gauges.find(name);
+    return it == snapshot.gauges.end() ? 0.0 : it->second;
+  };
+  auto counter_of = [&snapshot](const char* name) -> std::uint64_t {
+    auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  const double device_wh = gauge_of("genai.generation_energy_wh");
+  const double datacenter_wh = gauge_of("server.generation_energy_wh") +
+                               gauge_of("cdn.edge.generation_energy_wh");
+  // http2.bytes_sent accumulates each endpoint's sends, so it already
+  // counts every octet on the wire exactly once; the CDN legs are not
+  // HTTP/2-tapped and add their own traffic.
+  const std::uint64_t wire_bytes = counter_of("http2.bytes_sent") +
+                                   counter_of("cdn.edge.bytes_to_users") +
+                                   counter_of("cdn.edge.bytes_from_origin");
+  const double network_wh = energy::TransmissionEnergyWh(wire_bytes);
+  constexpr double kJoulesPerWh = 3600.0;
+  report.cost.device_joules = device_wh * kJoulesPerWh;
+  report.cost.network_joules = network_wh * kJoulesPerWh;
+  report.cost.datacenter_joules = datacenter_wh * kJoulesPerWh;
+  report.cost.grams_co2e = energy::OperationalCarbonGrams(
+      device_wh + network_wh + datacenter_wh);
+
   // --- Wire taps: frame mix and ring accounting ----------------------------
   for (const ConnectionTap* tap : taps) {
     if (tap == nullptr) continue;
@@ -130,6 +158,13 @@ std::string RenderReportText(const RunReport& report) {
   out += "  settings_gen_ability_seen: ";
   out += report.settings_gen_ability_seen ? "true" : "false";
   out += "\n";
+  out += "cost (energy & carbon):\n";
+  out += "  device_joules:      " + FormatSeconds(report.cost.device_joules) + "\n";
+  out += "  network_joules:     " + FormatSeconds(report.cost.network_joules) + "\n";
+  out += "  datacenter_joules:  " +
+         FormatSeconds(report.cost.datacenter_joules) + "\n";
+  out += "  total_joules:       " + FormatSeconds(report.cost.TotalJoules()) + "\n";
+  out += "  grams_co2e:         " + FormatSeconds(report.cost.grams_co2e) + "\n";
   out += "wire (flight recorder):\n";
   out += "  frames_tapped:   " + std::to_string(report.frames_tapped) + "\n";
   out += "  frames_recorded: " + std::to_string(report.frames_recorded) + "\n";
@@ -161,6 +196,11 @@ std::string RenderReportJsonLines(const RunReport& report) {
              static_cast<std::size_t>(report.frames_recorded));
     line.Set("frames_dropped", static_cast<std::size_t>(report.frames_dropped));
     line.Set("settings_gen_ability_seen", report.settings_gen_ability_seen);
+    line.Set("device_joules", report.cost.device_joules);
+    line.Set("network_joules", report.cost.network_joules);
+    line.Set("datacenter_joules", report.cost.datacenter_joules);
+    line.Set("total_joules", report.cost.TotalJoules());
+    line.Set("grams_co2e", report.cost.grams_co2e);
     out += line.Dump();
     out += "\n";
   }

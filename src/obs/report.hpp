@@ -48,6 +48,25 @@ struct RunReport {
   double prompt_cache_hit_ratio = 0.0;
   double edge_hit_ratio = 0.0;
 
+  // --- What the run cost (energy & carbon) --------------------------------
+  // Joules by phase, from the same simulation substrate the latency
+  // numbers come from: device is client-side generation energy, network
+  // is the traffic-proportional cost of every byte that crossed a tapped
+  // HTTP/2 connection or CDN leg (Telefónica 2024 Wh/MB), datacenter is
+  // origin-server plus edge-node generation.  gCO2e converts the total
+  // at the world-average grid intensity.
+  struct Cost {
+    double device_joules = 0.0;
+    double network_joules = 0.0;
+    double datacenter_joules = 0.0;
+    double grams_co2e = 0.0;
+
+    double TotalJoules() const {
+      return device_joules + network_joules + datacenter_joules;
+    }
+  };
+  Cost cost;
+
   // --- The wire, as the flight recorder saw it ----------------------------
   std::map<std::string, std::uint64_t> frame_mix;  ///< type name → count
   std::uint64_t frames_tapped = 0;   ///< records still in the rings

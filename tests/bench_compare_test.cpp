@@ -1,0 +1,178 @@
+// Tests for the BENCH_sww.json regression gate: exact modeled comparison,
+// wall-median tolerance, missing-vs-added semantics, schema validation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json/json.hpp"
+#include "obs/bench.hpp"
+#include "obs/bench_diff.hpp"
+
+namespace sww::obs::bench {
+namespace {
+
+/// A minimal BENCH document with one benchmark, one modeled metric, and
+/// one wall kernel median.
+json::Value MakeDoc(double modeled, double median_ns,
+                    const std::string& digest = "aa55") {
+  State state("demo");
+  state.Modeled("value", modeled);
+  state.ModeledText("digest", digest);
+  BenchResult result = state.TakeResult();
+  WallStats wall;
+  wall.iterations = 10;
+  wall.median_ns = median_ns;
+  wall.mean_ns = median_ns;
+  wall.min_ns = median_ns;
+  wall.p95_ns = median_ns;
+  wall.total_ns = median_ns * 10;
+  result.wall["kernel"] = wall;
+  return ResultsToJson({std::move(result)}, /*modeled_only=*/false);
+}
+
+TEST(CompareBenchJson, IdenticalDocumentsPass) {
+  const json::Value doc = MakeDoc(1.5, 100.0);
+  auto result = CompareBenchJson(doc, doc, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+  EXPECT_EQ(result.value().compared_modeled, 2u);  // value + digest
+  EXPECT_EQ(result.value().compared_wall, 1u);
+  EXPECT_TRUE(result.value().regressions.empty());
+}
+
+TEST(CompareBenchJson, ModeledDriftTripsExactGate) {
+  // One part in 10^8 — far below any reasonable tolerance, but modeled
+  // metrics gate exactly: this must fail.
+  auto result = CompareBenchJson(MakeDoc(1.5, 100.0),
+                                 MakeDoc(1.50000001, 100.0), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok());
+  ASSERT_EQ(result.value().regressions.size(), 1u);
+  EXPECT_EQ(result.value().regressions[0].metric, "modeled.value");
+}
+
+TEST(CompareBenchJson, ModeledTextDriftTripsExactGate) {
+  auto result = CompareBenchJson(MakeDoc(1.5, 100.0, "aa55"),
+                                 MakeDoc(1.5, 100.0, "aa56"), {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().regressions.size(), 1u);
+  EXPECT_EQ(result.value().regressions[0].metric, "modeled_text.digest");
+}
+
+TEST(CompareBenchJson, WallWithinToleranceIsNotARegression) {
+  CompareOptions options;
+  options.wall_tolerance = 0.25;
+  auto result =
+      CompareBenchJson(MakeDoc(1.5, 100.0), MakeDoc(1.5, 124.0), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+}
+
+TEST(CompareBenchJson, WallBeyondToleranceRegresses) {
+  CompareOptions options;
+  options.wall_tolerance = 0.25;
+  auto result =
+      CompareBenchJson(MakeDoc(1.5, 100.0), MakeDoc(1.5, 130.0), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok());
+  ASSERT_EQ(result.value().regressions.size(), 1u);
+  EXPECT_EQ(result.value().regressions[0].metric, "wall.kernel");
+}
+
+TEST(CompareBenchJson, FasterWallIsReportedAsImprovement) {
+  auto result = CompareBenchJson(MakeDoc(1.5, 100.0), MakeDoc(1.5, 60.0), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+  ASSERT_EQ(result.value().improvements.size(), 1u);
+}
+
+TEST(CompareBenchJson, ModeledOnlySkipsWallGate) {
+  CompareOptions options;
+  options.modeled_only = true;
+  auto result =
+      CompareBenchJson(MakeDoc(1.5, 100.0), MakeDoc(1.5, 900.0), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+  EXPECT_EQ(result.value().compared_wall, 0u);
+}
+
+TEST(CompareBenchJson, NegativeToleranceDisablesWallGate) {
+  CompareOptions options;
+  options.wall_tolerance = -1.0;
+  auto result =
+      CompareBenchJson(MakeDoc(1.5, 100.0), MakeDoc(1.5, 900.0), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+}
+
+TEST(CompareBenchJson, MissingBenchmarkFails) {
+  const json::Value baseline = MakeDoc(1.5, 100.0);
+  const json::Value empty = ResultsToJson({}, false);
+  auto result = CompareBenchJson(baseline, empty, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok());
+  ASSERT_EQ(result.value().missing_benchmarks.size(), 1u);
+  EXPECT_EQ(result.value().missing_benchmarks[0], "demo");
+}
+
+TEST(CompareBenchJson, MissingModeledMetricFails) {
+  State base_state("demo");
+  base_state.Modeled("kept", 1.0);
+  base_state.Modeled("dropped", 2.0);
+  State cur_state("demo");
+  cur_state.Modeled("kept", 1.0);
+  auto result = CompareBenchJson(ResultsToJson({base_state.result()}, true),
+                                 ResultsToJson({cur_state.result()}, true), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok());
+  ASSERT_EQ(result.value().missing_metrics.size(), 1u);
+  EXPECT_EQ(result.value().missing_metrics[0], "demo.modeled.dropped");
+}
+
+TEST(CompareBenchJson, AddedBenchmarksAndMetricsPass) {
+  // Growth is the point of the trajectory: new benchmarks/metrics in the
+  // current file must not fail the gate.
+  State base_state("demo");
+  base_state.Modeled("value", 1.0);
+  State cur_state("demo");
+  cur_state.Modeled("value", 1.0);
+  cur_state.Modeled("extra", 9.0);
+  State new_bench("newcomer");
+  new_bench.Modeled("fresh", 3.0);
+  auto result = CompareBenchJson(
+      ResultsToJson({base_state.result()}, true),
+      ResultsToJson({cur_state.result(), new_bench.result()}, true), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+  EXPECT_EQ(result.value().added_benchmarks.size(), 1u);
+  EXPECT_EQ(result.value().added_metrics.size(), 1u);
+}
+
+TEST(CompareBenchJson, SchemaMismatchIsAnErrorNotARegression) {
+  json::Value wrong = MakeDoc(1.5, 100.0);
+  wrong.Set("schema", "sww-bench/999");
+  auto as_current = CompareBenchJson(MakeDoc(1.5, 100.0), wrong, {});
+  EXPECT_FALSE(as_current.ok());
+  auto as_baseline = CompareBenchJson(wrong, MakeDoc(1.5, 100.0), {});
+  EXPECT_FALSE(as_baseline.ok());
+}
+
+TEST(CompareBenchJson, NonObjectDocumentIsAnError) {
+  auto result = CompareBenchJson(json::Value(3.0), MakeDoc(1.5, 100.0), {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RenderCompareText, VerdictLineMatchesOkState) {
+  auto pass = CompareBenchJson(MakeDoc(1.0, 10.0), MakeDoc(1.0, 10.0), {});
+  ASSERT_TRUE(pass.ok());
+  EXPECT_NE(RenderCompareText(pass.value()).find("OK: no regressions"),
+            std::string::npos);
+  auto fail = CompareBenchJson(MakeDoc(1.0, 10.0), MakeDoc(2.0, 10.0), {});
+  ASSERT_TRUE(fail.ok());
+  const std::string text = RenderCompareText(fail.value());
+  EXPECT_NE(text.find("FAIL: regression gate tripped"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSION demo modeled.value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sww::obs::bench

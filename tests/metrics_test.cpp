@@ -134,6 +134,17 @@ TEST(Stats, SummaryEmptyIsZeros) {
   EXPECT_DOUBLE_EQ(summary.mean, 0.0);
 }
 
+TEST(Stats, MedianAbsoluteDeviationKnownVectors) {
+  // Deviations from median 3: {2, 1, 0, 1, 97} → MAD 1; the outlier that
+  // would wreck a stddev barely registers.
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation({1, 2, 3, 4, 100}), 1.0);
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation({5, 5, 5, 5}), 0.0);
+  // Median 25; deviations {15, 5, 5, 15} → interpolated median 10.
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation({10, 20, 30, 40}), 10.0);
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation({7}), 0.0);
+  EXPECT_DOUBLE_EQ(MedianAbsoluteDeviation({}), 0.0);
+}
+
 TEST(Stats, FormatSummaryIsReadable) {
   const std::string text = FormatSummary(Summarize({1, 2, 3}));
   EXPECT_NE(text.find("n=3"), std::string::npos);

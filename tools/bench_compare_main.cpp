@@ -1,0 +1,84 @@
+// bench_compare — the CI regression gate over two BENCH_sww.json files.
+//
+//   bench_compare baseline.json current.json [--wall-tolerance X]
+//                 [--modeled-only]
+//
+// Exit codes: 0 no regressions; 1 regression / missing benchmark or
+// metric; 2 usage or file/parse/schema error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "json/json.hpp"
+#include "obs/bench_diff.hpp"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json>"
+               " [--wall-tolerance X] [--modeled-only]\n"
+               "  --wall-tolerance X  wall medians may regress by fraction X"
+               " (default 0.25; negative disables)\n"
+               "  --modeled-only      gate only modeled metrics (CI default)\n",
+               argv0);
+  return 2;
+}
+
+sww::util::Result<sww::json::Value> LoadJson(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return sww::util::Error(sww::util::ErrorCode::kIo, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return sww::json::Parse(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sww;
+  std::string baseline_path, current_path;
+  obs::bench::CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--wall-tolerance") {
+      if (++i >= argc) return Usage(argv[0]);
+      options.wall_tolerance = std::strtod(argv[i], nullptr);
+    } else if (arg == "--modeled-only") {
+      options.modeled_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return Usage(argv[0]);
+
+  auto baseline = LoadJson(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline: %s\n", baseline.error().ToString().c_str());
+    return 2;
+  }
+  auto current = LoadJson(current_path);
+  if (!current.ok()) {
+    std::fprintf(stderr, "current: %s\n", current.error().ToString().c_str());
+    return 2;
+  }
+
+  auto result = obs::bench::CompareBenchJson(baseline.value(), current.value(),
+                                             options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error().ToString().c_str());
+    return 2;
+  }
+  std::fputs(obs::bench::RenderCompareText(result.value()).c_str(), stdout);
+  return result.value().ok() ? 0 : 1;
+}
