@@ -16,6 +16,7 @@
 #include "http2/connection.hpp"
 #include "net/pump.hpp"
 #include "obs/bench.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -65,6 +66,29 @@ void hpack_codec(sww::obs::bench::State& state) {
     auto decoded = hpack::HuffmanDecode(encoded);
     sink += decoded.ok() ? decoded.value().size() : 0;
   });
+  // The retired bit-at-a-time trie decoder, timed on the same input: the
+  // before/after of the FSM fast lane, visible in every BENCH JSON.
+  state.Time("huffman_decode_trie", [&] {
+    auto decoded = hpack::HuffmanDecodeTrie(encoded);
+    sink += decoded.ok() ? decoded.value().size() : 0;
+  });
+  // Differential identity, gated exactly: FSM and trie must agree on a
+  // deterministic corpus of valid and corrupted inputs.
+  {
+    util::Rng rng(0x53575721u);
+    std::size_t mismatches = 0;
+    for (int i = 0; i < 512; ++i) {
+      util::Bytes blob(rng.NextIndex(64), 0);
+      for (auto& b : blob) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+      auto fsm = hpack::HuffmanDecode(blob);
+      auto trie = hpack::HuffmanDecodeTrie(blob);
+      if (fsm.ok() != trie.ok() ||
+          (fsm.ok() && fsm.value() != trie.value())) {
+        ++mismatches;
+      }
+    }
+    state.Modeled("huffman_fsm_trie_mismatches", static_cast<double>(mismatches));
+  }
 
   state.Check(sink > 0, "codec kernels produced no output");
   std::printf("request block: %zu B first, %zu B indexed; prompt %zu B -> "

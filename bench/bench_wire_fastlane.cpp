@@ -1,0 +1,177 @@
+// wire_fastlane — the PR-5 fast lanes measured side by side with the
+// oracles they replaced: perfect-hash static-table lookup vs the linear
+// scan, interned dynamic-table lookup vs brute force via At(), and
+// arena-based frame serialization vs SerializeFrame's allocate-and-copy.
+//
+// Identity between fast lane and oracle is a modeled metric (gated
+// exactly at 0 mismatches), as is the steady-state allocation count of
+// the output arena (gated exactly at 0).  Wall medians carry the
+// before/after story.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hpack/dynamic_table.hpp"
+#include "hpack/hpack.hpp"
+#include "hpack/static_table.hpp"
+#include "http2/connection.hpp"
+#include "http2/frame.hpp"
+#include "net/pump.hpp"
+#include "obs/bench.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sww;
+using util::Bytes;
+using util::BytesView;
+
+void wire_fastlane(sww::obs::bench::State& state) {
+  std::printf("wire-path fast lanes vs retired oracles\n\n");
+  std::size_t sink = 0;
+
+  // --- static table: perfect hash vs linear scan -------------------------
+  // Probe set: every RFC entry (hits) plus mutated names/values (misses) —
+  // the mix an encoder actually sees.
+  std::vector<std::pair<std::string, std::string>> probes;
+  for (std::size_t i = 1; i <= hpack::kStaticTableSize; ++i) {
+    auto entry = hpack::StaticTableEntry(i);
+    probes.emplace_back(std::string(entry.value().name),
+                        std::string(entry.value().value));
+    probes.emplace_back(std::string(entry.value().name) + "-miss", "v");
+  }
+  std::size_t lookup_mismatches = 0;
+  for (const auto& [name, value] : probes) {
+    if (hpack::StaticTableFind(name, value) !=
+            hpack::StaticTableFindLinear(name, value) ||
+        hpack::StaticTableFindName(name) !=
+            hpack::StaticTableFindNameLinear(name)) {
+      ++lookup_mismatches;
+    }
+  }
+  state.Modeled("static_lookup_mismatches",
+                static_cast<double>(lookup_mismatches));
+  state.Time("static_lookup_hash", [&] {
+    for (const auto& [name, value] : probes) {
+      sink += hpack::StaticTableFind(name, value);
+      sink += hpack::StaticTableFindName(name);
+    }
+  });
+  state.Time("static_lookup_linear", [&] {
+    for (const auto& [name, value] : probes) {
+      sink += hpack::StaticTableFindLinear(name, value);
+      sink += hpack::StaticTableFindNameLinear(name);
+    }
+  });
+
+  // --- dynamic table: interned index on a warm table ----------------------
+  hpack::DynamicTable table(16384);
+  util::Rng rng(0x53575722u);
+  std::vector<std::pair<std::string, std::string>> fields;
+  for (int i = 0; i < 64; ++i) {
+    fields.emplace_back("x-header-" + std::to_string(i % 24),
+                        "value-" + std::to_string(i));
+    table.Insert(fields.back().first, fields.back().second);
+  }
+  state.Modeled("dynamic_table_entries", static_cast<double>(table.entry_count()));
+  state.Time("dynamic_lookup_interned", [&] {
+    for (const auto& [name, value] : fields) {
+      sink += table.Find(name, value);
+      sink += table.FindName(name);
+    }
+  });
+
+  // --- framing: arena scatter-gather vs allocate-and-copy -----------------
+  const Bytes payload(1024, 0x42);
+  http2::FrameRef ref;
+  ref.header.type = http2::FrameType::kData;
+  ref.header.stream_id = 1;
+  ref.payload = BytesView(payload);
+  util::BytesArena arena;
+  // Byte identity with the copying serializer, gated exactly.
+  {
+    http2::Frame frame;
+    frame.header = ref.header;
+    frame.payload = payload;
+    const Bytes expected = http2::SerializeFrame(frame);
+    http2::AppendFrame(ref, arena);
+    const BytesView got = arena.View();
+    const bool identical =
+        got.size() == expected.size() &&
+        std::equal(got.begin(), got.end(), expected.begin());
+    state.Modeled("arena_frame_byte_mismatches", identical ? 0.0 : 1.0);
+    state.Modeled("data_frame_1024_wire_bytes", static_cast<double>(got.size()));
+    arena.Clear();
+  }
+  state.Time("frame_serialize_arena", [&] {
+    arena.Clear();
+    for (int i = 0; i < 16; ++i) http2::AppendFrame(ref, arena);
+    sink += arena.size();
+  });
+  state.Time("frame_serialize_copy", [&] {
+    std::size_t bytes = 0;
+    for (int i = 0; i < 16; ++i) {
+      http2::Frame frame;
+      frame.header = ref.header;
+      frame.payload = payload;
+      bytes += http2::SerializeFrame(frame).size();
+    }
+    sink += bytes;
+  });
+  // Steady state: the warmed arena must not allocate again — gated at 0.
+  {
+    const std::uint64_t warm = arena.allocations();
+    for (int i = 0; i < 64; ++i) {
+      arena.Clear();
+      for (int j = 0; j < 16; ++j) http2::AppendFrame(ref, arena);
+    }
+    state.Modeled("arena_steady_state_allocations",
+                  static_cast<double>(arena.allocations() - warm));
+  }
+
+  // --- end to end: a warmed connection pair stops allocating output ------
+  {
+    http2::Connection::Options options;
+    options.local_settings.set_enable_push(false);
+    http2::Connection client(http2::Connection::Role::kClient, options);
+    http2::Connection server(http2::Connection::Role::kServer, options);
+    client.StartHandshake();
+    server.StartHandshake();
+    net::DirectLinkExchange(client, server);
+    const hpack::HeaderList request = {{":method", "GET", false},
+                                       {":scheme", "https", false},
+                                       {":path", "/fastlane", false},
+                                       {":authority", "sww.local", false}};
+    const Bytes body(512, 0x51);
+    auto round = [&] {
+      auto stream_id = client.SubmitRequest(request, {});
+      net::DirectLinkExchange(client, server);
+      (void)server.SubmitHeaders(stream_id.value(), {{":status", "200", false}},
+                                 false);
+      (void)server.SubmitData(stream_id.value(), body, true);
+      net::DirectLinkExchange(client, server);
+      client.ReleaseStream(stream_id.value());
+      server.ReleaseStream(stream_id.value());
+    };
+    for (int i = 0; i < 8; ++i) round();
+    const std::uint64_t client_warm = client.output_allocations();
+    const std::uint64_t server_warm = server.output_allocations();
+    for (int i = 0; i < 32; ++i) round();
+    state.Modeled("connection_steady_state_output_allocations",
+                  static_cast<double>((client.output_allocations() - client_warm) +
+                                      (server.output_allocations() - server_warm)));
+    state.Time("request_response_round_trip_arena", [&] {
+      round();
+      sink += 1;
+    });
+  }
+
+  state.Check(sink > 0, "fast-lane kernels produced no output");
+  state.Check(lookup_mismatches == 0, "perfect hash diverged from linear scan");
+  std::printf("probes: %zu static-table lookups, %zu dynamic entries warm\n",
+              probes.size(), table.entry_count());
+}
+SWW_BENCHMARK(wire_fastlane);
+
+}  // namespace

@@ -33,21 +33,25 @@ Status LocalSession::PumpOnce() {
   int rounds = 0;
   while (progress && rounds++ < 64) {
     progress = false;
+    // Zero-copy handoff: Receive() only appends to the receiving side's
+    // output arena, so a borrowed view of the sender's arena stays valid.
     if (client_->connection().HasOutput()) {
       if (Status status = server_->connection().Receive(
-              client_->connection().TakeOutput());
+              client_->connection().OutputView());
           !status.ok()) {
         return status;
       }
+      client_->connection().ClearOutput();
       progress = true;
     }
     if (Status status = server_->ProcessEvents(); !status.ok()) return status;
     if (server_->connection().HasOutput()) {
       if (Status status = client_->connection().Receive(
-              server_->connection().TakeOutput());
+              server_->connection().OutputView());
           !status.ok()) {
         return status;
       }
+      server_->connection().ClearOutput();
       progress = true;
     }
   }

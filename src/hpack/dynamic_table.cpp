@@ -1,55 +1,93 @@
 #include "hpack/dynamic_table.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace sww::hpack {
 
+void DynamicTable::Grow() {
+  const std::size_t new_capacity = ring_.empty() ? 8 : ring_.size() * 2;
+  std::vector<DynamicEntry> grown(new_capacity);
+  const std::size_t new_mask = new_capacity - 1;
+  for (std::uint64_t seq = next_seq_ - count_; seq != next_seq_; ++seq) {
+    grown[static_cast<std::size_t>(seq) & new_mask] =
+        std::move(ring_[static_cast<std::size_t>(seq) & mask_]);
+  }
+  ring_ = std::move(grown);
+  mask_ = new_mask;
+}
+
 void DynamicTable::Insert(std::string name, std::string value) {
-  DynamicEntry entry{std::move(name), std::move(value)};
-  const std::size_t entry_size = entry.Size();
+  const std::size_t entry_size = name.size() + value.size() + 32;
   if (entry_size > max_size_) {
     // RFC 7541 §4.4: an entry larger than the table empties it; the entry
     // itself is not inserted.
-    entries_.clear();
-    size_ = 0;
+    EvictToFit(0);
     return;
   }
+  EvictToFit(max_size_ - entry_size);
+  if (count_ == ring_.size()) Grow();
+  const std::uint64_t seq = next_seq_++;
+  DynamicEntry& slot = ring_[static_cast<std::size_t>(seq) & mask_];
+  slot.name = std::move(name);
+  slot.value = std::move(value);
+  name_index_[slot.name].push_back(seq);
   size_ += entry_size;
-  entries_.push_front(std::move(entry));
-  EvictToFit();
+  ++count_;
 }
 
 const DynamicEntry& DynamicTable::At(std::size_t index) const {
-  if (index >= entries_.size()) {
+  if (index >= count_) {
     throw std::out_of_range("hpack dynamic table index out of range");
   }
-  return entries_[index];
+  return EntryForSequence(next_seq_ - 1 - index);
 }
 
 std::size_t DynamicTable::Find(std::string_view name, std::string_view value) const {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].name == name && entries_[i].value == value) return i;
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end()) return npos;
+  // Sequences are ordered oldest → newest; the newest match wins, so scan
+  // from the back.  Same-name entries are few in practice (cookies at most).
+  const std::vector<std::uint64_t>& seqs = it->second;
+  for (auto rit = seqs.rbegin(); rit != seqs.rend(); ++rit) {
+    if (EntryForSequence(*rit).value == value) {
+      return static_cast<std::size_t>(next_seq_ - 1 - *rit);
+    }
   }
   return npos;
 }
 
 std::size_t DynamicTable::FindName(std::string_view name) const {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].name == name) return i;
-  }
-  return npos;
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end()) return npos;
+  return static_cast<std::size_t>(next_seq_ - 1 - it->second.back());
 }
 
 void DynamicTable::SetMaxSize(std::size_t max_size) {
   max_size_ = max_size;
-  EvictToFit();
+  EvictToFit(max_size_);
 }
 
-void DynamicTable::EvictToFit() {
-  while (size_ > max_size_ && !entries_.empty()) {
-    size_ -= entries_.back().Size();
-    entries_.pop_back();
+void DynamicTable::EvictOldest() {
+  const std::uint64_t seq = next_seq_ - count_;
+  DynamicEntry& entry = ring_[static_cast<std::size_t>(seq) & mask_];
+  // Eviction is strictly oldest-first, so the evicted sequence is the front
+  // of its name bucket.
+  if (const auto it = name_index_.find(entry.name); it != name_index_.end()) {
+    std::vector<std::uint64_t>& seqs = it->second;
+    if (!seqs.empty() && seqs.front() == seq) {
+      seqs.erase(seqs.begin());
+    }
+    if (seqs.empty()) name_index_.erase(it);
   }
+  size_ -= entry.Size();
+  entry.name.clear();
+  entry.value.clear();
+  --count_;
+}
+
+void DynamicTable::EvictToFit(std::size_t budget) {
+  while (size_ > budget && count_ > 0) EvictOldest();
 }
 
 }  // namespace sww::hpack

@@ -5,12 +5,23 @@
 // insertion evicts from the oldest end until the table fits its maximum
 // size.  Wire indices address the dynamic table starting at 62
 // (kStaticTableSize + 1), newest entry first.
+//
+// Storage is a power-of-two ring buffer addressed by a monotonic insertion
+// sequence number (entry with sequence s lives in slot s & mask), so
+// inserts and evictions move no entries and the hot At() lookup is one
+// index computation.  An interned name index (name → live sequences,
+// oldest first) makes the encoder's Find/FindName one hash probe instead
+// of a scan over every buffered field; lookups are transparent
+// (string_view keyed), so the fast lanes allocate nothing.
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 namespace sww::hpack {
 
@@ -33,9 +44,9 @@ class DynamicTable {
   /// Entry by 0-based dynamic index (0 = newest).  Throws std::out_of_range.
   const DynamicEntry& At(std::size_t index) const;
 
-  /// 0-based index of an exact match, or npos.
+  /// 0-based index of the newest exact match, or npos.
   std::size_t Find(std::string_view name, std::string_view value) const;
-  /// 0-based index of a name match, or npos.
+  /// 0-based index of the newest name match, or npos.
   std::size_t FindName(std::string_view name) const;
 
   /// Change the maximum size (dynamic table size update), evicting as needed.
@@ -43,16 +54,37 @@ class DynamicTable {
 
   std::size_t size_bytes() const { return size_; }
   std::size_t max_size() const { return max_size_; }
-  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t entry_count() const { return count_; }
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
  private:
-  void EvictToFit();
+  /// Transparent hashing so find() takes string_view without a temporary.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using NameIndex =
+      std::unordered_map<std::string, std::vector<std::uint64_t>, NameHash,
+                         std::equal_to<>>;
 
-  std::deque<DynamicEntry> entries_;  // front = newest
-  std::size_t size_ = 0;
+  void EvictOldest();
+  void EvictToFit(std::size_t budget);
+  void Grow();
+  const DynamicEntry& EntryForSequence(std::uint64_t seq) const {
+    return ring_[static_cast<std::size_t>(seq) & mask_];
+  }
+
+  std::vector<DynamicEntry> ring_;  // power-of-two capacity, slot = seq & mask
+  std::size_t mask_ = 0;            // ring_.size() - 1 (ring_ may be empty)
+  std::size_t count_ = 0;           // live entries
+  std::uint64_t next_seq_ = 0;      // sequence of the next insertion
+  std::size_t size_ = 0;            // RFC size of live entries
   std::size_t max_size_;
+
+  NameIndex name_index_;  // name → live insertion sequences, oldest first
 };
 
 }  // namespace sww::hpack

@@ -84,6 +84,11 @@ void Encoder::SetMaxTableSize(std::size_t max_size) {
 
 Bytes Encoder::EncodeBlock(const HeaderList& headers) {
   Bytes out;
+  EncodeBlockInto(headers, out);
+  return out;
+}
+
+void Encoder::EncodeBlockInto(const HeaderList& headers, Bytes& out) {
   if (table_size_update_pending_) {
     EncodeInteger(pending_table_size_, 5, 0x20, out);
     table_size_update_pending_ = false;
@@ -91,7 +96,6 @@ Bytes Encoder::EncodeBlock(const HeaderList& headers) {
   for (const HeaderField& field : headers) {
     EncodeField(field, out);
   }
-  return out;
 }
 
 void Encoder::EncodeField(const HeaderField& field, Bytes& out) {
@@ -144,8 +148,10 @@ Result<HeaderField> Decoder::LookupIndexed(std::uint64_t index) const {
     return Error(ErrorCode::kCompression, "hpack index 0 is invalid");
   }
   if (index <= kStaticTableSize) {
-    const StaticEntry& entry = StaticTableEntry(static_cast<std::size_t>(index));
-    return HeaderField{std::string(entry.name), std::string(entry.value), false};
+    auto entry = StaticTableEntry(static_cast<std::size_t>(index));
+    if (!entry) return entry.error();
+    return HeaderField{std::string(entry.value().name),
+                       std::string(entry.value().value), false};
   }
   const std::size_t dyn_index = static_cast<std::size_t>(index) - kStaticTableSize - 1;
   if (dyn_index >= table_.entry_count()) {

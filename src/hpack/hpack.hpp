@@ -57,6 +57,10 @@ class Encoder {
   /// Encode a full header list into one header block fragment.
   util::Bytes EncodeBlock(const HeaderList& headers);
 
+  /// Encode into a caller-owned buffer (appended), so a connection can
+  /// reuse one buffer across blocks and keep the hot path allocation-free.
+  void EncodeBlockInto(const HeaderList& headers, util::Bytes& out);
+
   /// Schedule a dynamic table size update (emitted at the start of the next
   /// block, as RFC 7541 §4.2 requires).
   void SetMaxTableSize(std::size_t max_size);

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 namespace sww::hpack {
@@ -115,6 +116,8 @@ class Trie {
     return nodes_[static_cast<std::size_t>(index)];
   }
 
+  std::size_t node_count() const { return nodes_.size(); }
+
  private:
   std::vector<TrieNode> nodes_;
 };
@@ -124,7 +127,111 @@ const Trie& GetTrie() {
   return trie;
 }
 
+/// Builds the flat per-byte transition table from the trie.  The canonical
+/// code is complete (Kraft sum exactly 1), so the trie has exactly 256
+/// internal nodes, every internal node has both children, and a uint8_t
+/// state id covers the whole machine.
+class FsmBuilder {
+ public:
+  FsmBuilder() {
+    const Trie& trie = GetTrie();
+
+    // Enumerate internal nodes breadth-first from the root, recording for
+    // each its state id, depth (== bits consumed since the last emitted
+    // symbol when the decoder sits on it), and whether its path from the
+    // root is all ones (an EOS prefix — the only legal padding).
+    std::vector<int> state_of_node;          // trie node index -> state id
+    std::vector<int> node_of_state;          // state id -> trie node index
+    std::vector<int> depth_of_state;
+    std::vector<bool> all_ones_of_state;
+    state_of_node.assign(trie.node_count(), -1);
+    auto add_state = [&](int node, int depth, bool all_ones) {
+      state_of_node[static_cast<std::size_t>(node)] =
+          static_cast<int>(node_of_state.size());
+      node_of_state.push_back(node);
+      depth_of_state.push_back(depth);
+      all_ones_of_state.push_back(all_ones);
+    };
+    add_state(0, 0, true);
+    for (std::size_t s = 0; s < node_of_state.size(); ++s) {
+      const TrieNode& node = trie.node(node_of_state[s]);
+      for (int bit = 0; bit < 2; ++bit) {
+        const int child = node.child[bit];
+        if (child < 0 || trie.node(child).symbol >= 0) continue;  // leaf
+        add_state(child, depth_of_state[s] + 1,
+                  all_ones_of_state[s] && bit == 1);
+      }
+    }
+    if (node_of_state.size() != kHuffmanFsmStates) {
+      throw std::logic_error("hpack huffman code tree is not complete");
+    }
+
+    auto end_flags = [&](int state) -> std::uint8_t {
+      // Classification if the input ends on this state, matching the trie
+      // oracle's check order: root is fine, >7 bits of any incomplete code
+      // is "padding longer than 7 bits", a short non-all-ones remainder is
+      // "padding is not EOS prefix".
+      if (state == 0) return kHuffmanFsmAccept;
+      if (depth_of_state[static_cast<std::size_t>(state)] > 7)
+        return kHuffmanFsmPadLong;
+      return all_ones_of_state[static_cast<std::size_t>(state)]
+                 ? kHuffmanFsmAccept
+                 : 0;
+    };
+
+    for (std::size_t state = 0; state < kHuffmanFsmStates; ++state) {
+      for (unsigned byte = 0; byte < 256; ++byte) {
+        HuffmanFsmEntry& entry =
+            table_[(state << 8) | byte];
+        int node = node_of_state[state];
+        int emit = 0;
+        bool fail = false;
+        bool fail_eos = false;
+        for (int bit_index = 7; bit_index >= 0 && !fail; --bit_index) {
+          const int bit = (byte >> bit_index) & 1;
+          const int next = trie.node(node).child[bit];
+          if (next < 0) {  // unreachable for a complete code; be safe
+            fail = true;
+            break;
+          }
+          const int symbol = trie.node(next).symbol;
+          if (symbol < 0) {
+            node = next;
+          } else if (symbol == 256) {
+            fail = fail_eos = true;
+          } else {
+            if (emit < 2) entry.symbols[emit] = static_cast<std::uint8_t>(symbol);
+            ++emit;
+            node = 0;  // leaf consumed; next code starts at the root
+          }
+        }
+        if (fail || emit > 2) {
+          entry = HuffmanFsmEntry{};
+          entry.flags = static_cast<std::uint8_t>(
+              kHuffmanFsmFail | (fail_eos ? kHuffmanFsmFailEos : 0));
+          continue;
+        }
+        entry.next = static_cast<std::uint8_t>(
+            state_of_node[static_cast<std::size_t>(node)]);
+        entry.flags = static_cast<std::uint8_t>(
+            end_flags(state_of_node[static_cast<std::size_t>(node)]) |
+            (emit << kHuffmanFsmEmitShift));
+      }
+    }
+  }
+
+  const HuffmanFsmEntry* table() const { return table_.data(); }
+
+ private:
+  std::array<HuffmanFsmEntry, kHuffmanFsmStates * 256> table_{};
+};
+
 }  // namespace
+
+const HuffmanFsmEntry* HuffmanFsmTable() {
+  static const FsmBuilder builder;
+  return builder.table();
+}
 
 const HuffmanCode& CodeForSymbol(unsigned symbol) {
   return kCodes.at(symbol);
@@ -139,29 +246,83 @@ std::size_t HuffmanEncodedSize(std::string_view text) {
 }
 
 void HuffmanEncode(std::string_view text, Bytes& out) {
-  std::uint64_t accumulator = 0;
+  // Pre-size the output once and fill it through a wide accumulator:
+  // codes (≤ 30 bits each) pack into a 128-bit window and flush as whole
+  // 64-bit words, instead of growing the vector a byte at a time.
+  const std::size_t base = out.size();
+  out.resize(base + HuffmanEncodedSize(text));
+  std::uint8_t* dst = out.data() + base;
+  unsigned __int128 accumulator = 0;
   int bit_count = 0;
   for (char c : text) {
     const HuffmanCode& code = kCodes[static_cast<std::uint8_t>(c)];
     accumulator = (accumulator << code.length) | code.bits;
     bit_count += code.length;
-    while (bit_count >= 8) {
-      bit_count -= 8;
-      out.push_back(static_cast<std::uint8_t>(accumulator >> bit_count));
+    if (bit_count >= 64) {
+      bit_count -= 64;
+      const std::uint64_t word =
+          static_cast<std::uint64_t>(accumulator >> bit_count);
+      for (int shift = 56; shift >= 0; shift -= 8) {
+        *dst++ = static_cast<std::uint8_t>(word >> shift);
+      }
     }
   }
-  if (bit_count > 0) {
+  if ((bit_count & 7) != 0) {
     // Pad with the most significant bits of EOS (all ones).
-    const int pad = 8 - bit_count;
+    const int pad = 8 - (bit_count & 7);
     accumulator = (accumulator << pad) | ((1u << pad) - 1u);
-    out.push_back(static_cast<std::uint8_t>(accumulator));
+    bit_count += pad;
+  }
+  while (bit_count >= 8) {
+    bit_count -= 8;
+    *dst++ = static_cast<std::uint8_t>(accumulator >> bit_count);
   }
 }
 
+namespace {
+/// Reserve for the common case (~6.5 coded bits per symbol in header text,
+/// an ~1.25× expansion) instead of the 8/5 worst case; rare all-5-bit-code
+/// inputs cost one buffer growth instead of every input over-reserving.
+std::size_t DecodedSizeHint(std::size_t encoded_size) {
+  return encoded_size + encoded_size / 4 + 4;
+}
+}  // namespace
+
 Result<std::string> HuffmanDecode(BytesView encoded) {
+  const HuffmanFsmEntry* table = HuffmanFsmTable();
+  std::string out;
+  out.reserve(DecodedSizeHint(encoded.size()));
+  std::uint32_t state = 0;
+  std::uint8_t end_flags = kHuffmanFsmAccept;  // empty input is valid
+  for (std::uint8_t byte : encoded) {
+    const HuffmanFsmEntry& entry = table[(state << 8) | byte];
+    if (entry.flags & kHuffmanFsmFail) {
+      if (entry.flags & kHuffmanFsmFailEos) {
+        return Error(ErrorCode::kCompression, "huffman: explicit EOS in data");
+      }
+      return Error(ErrorCode::kCompression, "huffman: invalid code path");
+    }
+    const int emit = entry.flags >> kHuffmanFsmEmitShift;
+    if (emit != 0) {
+      out.push_back(static_cast<char>(entry.symbols[0]));
+      if (emit == 2) out.push_back(static_cast<char>(entry.symbols[1]));
+    }
+    state = entry.next;
+    end_flags = entry.flags;
+  }
+  if ((end_flags & kHuffmanFsmAccept) == 0) {
+    if (end_flags & kHuffmanFsmPadLong) {
+      return Error(ErrorCode::kCompression, "huffman: padding longer than 7 bits");
+    }
+    return Error(ErrorCode::kCompression, "huffman: padding is not EOS prefix");
+  }
+  return out;
+}
+
+Result<std::string> HuffmanDecodeTrie(BytesView encoded) {
   const Trie& trie = GetTrie();
   std::string out;
-  out.reserve(encoded.size() * 8 / 5);  // 5-bit codes are the shortest
+  out.reserve(DecodedSizeHint(encoded.size()));
   int node = 0;
   int bits_since_symbol = 0;    // depth into the current (incomplete) code
   bool padding_all_ones = true; // RFC 7541 §5.2: padding must be EOS prefix

@@ -46,7 +46,7 @@ void Connection::StartHandshake() {
   obs::Tracer::Default().AddAttribute(
       settings_span_, "role", role_ == Role::kClient ? "client" : "server");
   if (role_ == Role::kClient) {
-    output_.insert(output_.end(), kClientPreface.begin(), kClientPreface.end());
+    output_.Append(kClientPreface);
     stats_.bytes_sent += kClientPreface.size();
     instruments_.bytes_sent->Add(kClientPreface.size());
   }
@@ -63,31 +63,43 @@ void Connection::UpdateLocalSettings(const Settings& settings) {
   EnqueueFrame(MakeSettingsFrame(delta));
 }
 
-void Connection::EnqueueFrame(const Frame& frame) {
-  Bytes wire = SerializeFrame(frame);
-  stats_.bytes_sent += wire.size();
-  stats_.frames_sent[frame.header.type]++;
-  instruments_.bytes_sent->Add(wire.size());
+void Connection::EnqueueFrameRef(FrameType type, std::uint8_t flags,
+                                 std::uint32_t stream_id, BytesView payload) {
+  FrameRef ref;
+  ref.header.length = static_cast<std::uint32_t>(payload.size());
+  ref.header.type = type;
+  ref.header.flags = flags;
+  ref.header.stream_id = stream_id;
+  ref.payload = payload;
+  AppendFrame(ref, output_);
+  const std::size_t wire_size = kFrameHeaderSize + payload.size();
+  stats_.bytes_sent += wire_size;
+  stats_.frames_sent[type]++;
+  instruments_.bytes_sent->Add(wire_size);
   instruments_.frames_sent->Add();
-  output_.insert(output_.end(), wire.begin(), wire.end());
-  if (tap_ != nullptr) TapFrame(obs::TapDirection::kSent, frame);
+  if (tap_ != nullptr) TapFrame(obs::TapDirection::kSent, ref.header, payload);
 }
 
-void Connection::TapFrame(obs::TapDirection direction, const Frame& frame) {
+void Connection::EnqueueFrame(const Frame& frame) {
+  EnqueueFrameRef(frame.header.type, frame.header.flags, frame.header.stream_id,
+                  frame.payload);
+}
+
+void Connection::TapFrame(obs::TapDirection direction, const FrameHeader& header,
+                          BytesView payload) {
   obs::FrameRecord record;
   record.direction = direction;
-  record.type = static_cast<std::uint8_t>(frame.header.type);
-  record.type_name = FrameTypeName(frame.header.type);
-  record.stream_id = frame.header.stream_id;
-  record.flags = frame.header.flags;
-  record.length = static_cast<std::uint32_t>(frame.payload.size());
+  record.type = static_cast<std::uint8_t>(header.type);
+  record.type_name = FrameTypeName(header.type);
+  record.stream_id = header.stream_id;
+  record.flags = header.flags;
+  record.length = static_cast<std::uint32_t>(payload.size());
   record.timestamp_nanos = obs::Tracer::Default().clock().NowNanos();
   // SETTINGS payloads decode inline (cheap, tiny, and only with a tap
   // installed) so the frame log shows the negotiation — including the
   // GEN_ABILITY parameter the whole SWW exchange turns on.
-  if (frame.header.type == FrameType::kSettings &&
-      !frame.header.HasFlag(kFlagAck)) {
-    if (auto entries = ParseSettingsPayload(frame); entries.ok()) {
+  if (header.type == FrameType::kSettings && !header.HasFlag(kFlagAck)) {
+    if (auto entries = ParseSettingsPayload(header.flags, payload); entries.ok()) {
       for (const SettingsEntry& entry : entries.value()) {
         record.details.emplace_back(SettingsIdName(entry.identifier),
                                     std::to_string(entry.value));
@@ -111,8 +123,9 @@ void Connection::TapHeaders(obs::TapDirection direction,
 }
 
 Bytes Connection::TakeOutput() {
-  Bytes out = std::move(output_);
-  output_.clear();
+  const BytesView view = output_.View();
+  Bytes out(view.begin(), view.end());
+  output_.Clear();
   return out;
 }
 
@@ -240,7 +253,9 @@ Status Connection::Receive(BytesView bytes) {
     Frame frame = std::move(*next.value());
     stats_.frames_received[frame.header.type]++;
     instruments_.frames_received->Add();
-    if (tap_ != nullptr) TapFrame(obs::TapDirection::kReceived, frame);
+    if (tap_ != nullptr) {
+      TapFrame(obs::TapDirection::kReceived, frame.header, frame.payload);
+    }
     if (Status status = HandleFrame(std::move(frame)); !status.ok()) {
       return status;
     }
@@ -328,7 +343,7 @@ Status Connection::HandleSettings(const Frame& frame) {
   util::LogInfo(kLogComponent,
                 "peer settings applied; gen_ability=" +
                     GenAbilityToString(remote_settings_.gen_ability()));
-  EnqueueFrame(MakeSettingsAckFrame());
+  EnqueueFrameRef(FrameType::kSettings, kFlagAck, 0, {});
   events_.push_back(
       Event{Event::Type::kRemoteSettingsReceived, 0, ErrorCode::kNoError, 0});
   FlushSendQueues();
@@ -496,9 +511,19 @@ void Connection::MaybeReplenishWindows(std::uint32_t stream_id,
   const std::size_t stream_threshold = std::min<std::size_t>(
       options_.window_update_threshold,
       std::max<std::uint32_t>(1u, local_settings_.initial_window_size() / 2));
+  // WINDOW_UPDATE payloads are 4 bytes; build them on the stack and go
+  // straight through the zero-copy lane.
+  const auto enqueue_window_update = [this](std::uint32_t on_stream,
+                                            std::uint32_t increment) {
+    const std::uint32_t wire = increment & 0x7fffffffu;
+    const std::uint8_t payload[4] = {
+        static_cast<std::uint8_t>(wire >> 24), static_cast<std::uint8_t>(wire >> 16),
+        static_cast<std::uint8_t>(wire >> 8), static_cast<std::uint8_t>(wire)};
+    EnqueueFrameRef(FrameType::kWindowUpdate, 0, on_stream,
+                    BytesView(payload, sizeof(payload)));
+  };
   if (connection_consumed_ >= options_.window_update_threshold) {
-    EnqueueFrame(MakeWindowUpdateFrame(
-        0, static_cast<std::uint32_t>(connection_consumed_)));
+    enqueue_window_update(0, static_cast<std::uint32_t>(connection_consumed_));
     (void)connection_recv_window_.Widen(
         static_cast<std::int64_t>(connection_consumed_));
     connection_consumed_ = 0;
@@ -506,8 +531,8 @@ void Connection::MaybeReplenishWindows(std::uint32_t stream_id,
   Stream* stream = FindMutableStream(stream_id);
   if (stream != nullptr && !stream->remote_end &&
       stream_consumed_[stream_id] >= stream_threshold) {
-    EnqueueFrame(MakeWindowUpdateFrame(
-        stream_id, static_cast<std::uint32_t>(stream_consumed_[stream_id])));
+    enqueue_window_update(stream_id,
+                          static_cast<std::uint32_t>(stream_consumed_[stream_id]));
     (void)stream->recv_window.Widen(
         static_cast<std::int64_t>(stream_consumed_[stream_id]));
     stream_consumed_[stream_id] = 0;
@@ -634,23 +659,7 @@ Result<std::uint32_t> Connection::SubmitRequest(const hpack::HeaderList& headers
   stream.state = StreamState::kOpen;
 
   const bool end_stream = body.empty() && end_stream_after_body;
-  Bytes block = encoder_.EncodeBlock(headers);
-  const std::size_t max_fragment = remote_settings_.max_frame_size();
-  if (block.size() <= max_fragment) {
-    EnqueueFrame(MakeHeadersFrame(stream_id, block, /*end_headers=*/true, end_stream));
-  } else {
-    BytesView view(block);
-    EnqueueFrame(MakeHeadersFrame(stream_id, view.first(max_fragment),
-                                  /*end_headers=*/false, end_stream));
-    view = view.subspan(max_fragment);
-    while (view.size() > max_fragment) {
-      EnqueueFrame(MakeContinuationFrame(stream_id, view.first(max_fragment),
-                                         /*end_headers=*/false));
-      view = view.subspan(max_fragment);
-    }
-    EnqueueFrame(MakeContinuationFrame(stream_id, view, /*end_headers=*/true));
-  }
-  TapHeaders(obs::TapDirection::kSent, stream_id, headers);
+  EmitHeaderBlock(stream_id, headers, end_stream);
   if (end_stream) {
     stream.OnLocalEnd();
     return stream_id;
@@ -674,25 +683,38 @@ Status Connection::SubmitHeaders(std::uint32_t stream_id,
   if (stream->state == StreamState::kClosed) {
     return Error(util::ErrorCode::kClosed, "stream is closed");
   }
-  Bytes block = encoder_.EncodeBlock(headers);
-  const std::size_t max_fragment = remote_settings_.max_frame_size();
-  if (block.size() <= max_fragment) {
-    EnqueueFrame(MakeHeadersFrame(stream_id, block, /*end_headers=*/true, end_stream));
-  } else {
-    BytesView view(block);
-    EnqueueFrame(MakeHeadersFrame(stream_id, view.first(max_fragment),
-                                  /*end_headers=*/false, end_stream));
-    view = view.subspan(max_fragment);
-    while (view.size() > max_fragment) {
-      EnqueueFrame(MakeContinuationFrame(stream_id, view.first(max_fragment),
-                                         /*end_headers=*/false));
-      view = view.subspan(max_fragment);
-    }
-    EnqueueFrame(MakeContinuationFrame(stream_id, view, /*end_headers=*/true));
-  }
-  TapHeaders(obs::TapDirection::kSent, stream_id, headers);
+  EmitHeaderBlock(stream_id, headers, end_stream);
   if (end_stream) stream->OnLocalEnd();
   return Status::Ok();
+}
+
+void Connection::EmitHeaderBlock(std::uint32_t stream_id,
+                                 const hpack::HeaderList& headers,
+                                 bool end_stream) {
+  // One reusable buffer per connection: after warm-up the encode + frame
+  // emission path performs no heap allocation and copies the block exactly
+  // once (into the output arena).
+  encode_buffer_.clear();
+  encoder_.EncodeBlockInto(headers, encode_buffer_);
+  const std::uint8_t stream_flags = end_stream ? kFlagEndStream : 0;
+  const std::size_t max_fragment = remote_settings_.max_frame_size();
+  BytesView view(encode_buffer_);
+  if (view.size() <= max_fragment) {
+    EnqueueFrameRef(FrameType::kHeaders,
+                    static_cast<std::uint8_t>(kFlagEndHeaders | stream_flags),
+                    stream_id, view);
+  } else {
+    EnqueueFrameRef(FrameType::kHeaders, stream_flags, stream_id,
+                    view.first(max_fragment));
+    view = view.subspan(max_fragment);
+    while (view.size() > max_fragment) {
+      EnqueueFrameRef(FrameType::kContinuation, 0, stream_id,
+                      view.first(max_fragment));
+      view = view.subspan(max_fragment);
+    }
+    EnqueueFrameRef(FrameType::kContinuation, kFlagEndHeaders, stream_id, view);
+  }
+  TapHeaders(obs::TapDirection::kSent, stream_id, headers);
 }
 
 Status Connection::SubmitData(std::uint32_t stream_id, BytesView data,
@@ -734,7 +756,7 @@ void Connection::FlushStreamSendQueue(Stream& stream) {
     if (pending.data.empty()) {
       // Bare END_STREAM marker.
       if (pending.end_stream) {
-        EnqueueFrame(MakeDataFrame(stream.id, {}, /*end_stream=*/true));
+        EnqueueFrameRef(FrameType::kData, kFlagEndStream, stream.id, {});
         stream.OnLocalEnd();
       }
       stream.send_queue.pop_front();
@@ -752,7 +774,8 @@ void Connection::FlushStreamSendQueue(Stream& stream) {
     BytesView chunk(pending.data.data(), chunk_size);
     const bool is_last_chunk = chunk_size == pending.data.size();
     const bool end_stream = is_last_chunk && pending.end_stream;
-    EnqueueFrame(MakeDataFrame(stream.id, chunk, end_stream));
+    EnqueueFrameRef(FrameType::kData, end_stream ? kFlagEndStream : 0,
+                    stream.id, chunk);
     connection_send_window_.Consume(static_cast<std::int64_t>(chunk_size));
     stream.send_window.Consume(static_cast<std::int64_t>(chunk_size));
     if (is_last_chunk) {

@@ -72,9 +72,19 @@ class Connection {
   /// output buffer and the connection is dead.
   util::Status Receive(util::BytesView bytes);
 
-  /// Drain bytes that must be written to the transport.
+  /// Drain bytes that must be written to the transport (copying).  The
+  /// zero-copy pair below is preferred on hot paths: view, write, clear.
   util::Bytes TakeOutput();
+  /// Borrow the pending output without copying.  Valid until the next
+  /// Enqueue/Submit/Receive call or ClearOutput().
+  util::BytesView OutputView() const { return output_.View(); }
+  /// Mark the borrowed output as written; keeps the arena's storage for
+  /// reuse, so steady-state serialization allocates nothing.
+  void ClearOutput() { output_.Clear(); }
   bool HasOutput() const { return !output_.empty(); }
+  /// Allocations made by the output arena since construction (for tests
+  /// and the modeled steady-state-zero-alloc benchmark gate).
+  std::uint64_t output_allocations() const { return output_.allocations(); }
 
   /// Drain protocol events observed since the last call.
   std::vector<Event> TakeEvents();
@@ -168,9 +178,19 @@ class Connection {
 
   util::Status FinishHeaderBlock();
   util::Status ConnectionError(ErrorCode code, const std::string& message);
+  /// Hot serialization path: header + payload view appended straight into
+  /// the output arena (one memcpy, no intermediate Frame).
+  void EnqueueFrameRef(FrameType type, std::uint8_t flags,
+                       std::uint32_t stream_id, util::BytesView payload);
+  /// Convenience wrapper for cold paths that already built a Frame.
   void EnqueueFrame(const Frame& frame);
+  /// Encode `headers` into the reusable encode buffer and emit HEADERS (+
+  /// CONTINUATION fragments as needed) without copying the block.
+  void EmitHeaderBlock(std::uint32_t stream_id, const hpack::HeaderList& headers,
+                       bool end_stream);
   /// Record one frame into the installed wire tap (no-op without one).
-  void TapFrame(obs::TapDirection direction, const Frame& frame);
+  void TapFrame(obs::TapDirection direction, const FrameHeader& header,
+                util::BytesView payload);
   /// Attach a decoded header list to the newest matching tapped HEADERS
   /// record.
   void TapHeaders(obs::TapDirection direction, std::uint32_t stream_id,
@@ -191,7 +211,8 @@ class Connection {
   hpack::Decoder decoder_;
   FrameParser frame_parser_;
 
-  util::Bytes output_;
+  util::BytesArena output_;     // serialized frames awaiting the transport
+  util::Bytes encode_buffer_;   // reused for every outgoing header block
   std::vector<Event> events_;
   std::map<std::uint32_t, Stream> streams_;
 

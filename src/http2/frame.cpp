@@ -54,6 +54,14 @@ Bytes SerializeFrame(const Frame& frame) {
   return std::move(writer).TakeBytes();
 }
 
+void AppendFrame(const FrameRef& frame, util::BytesArena& out) {
+  out.AppendU24(static_cast<std::uint32_t>(frame.payload.size()));
+  out.AppendU8(static_cast<std::uint8_t>(frame.header.type));
+  out.AppendU8(frame.header.flags);
+  out.AppendU32(frame.header.stream_id & 0x7fffffffu);
+  out.Append(frame.payload);
+}
+
 Frame MakeDataFrame(std::uint32_t stream_id, BytesView data, bool end_stream) {
   Frame frame;
   frame.header.type = FrameType::kData;
@@ -163,15 +171,20 @@ Frame MakeWindowUpdateFrame(std::uint32_t stream_id, std::uint32_t increment) {
 }
 
 Result<std::vector<SettingsEntry>> ParseSettingsPayload(const Frame& frame) {
-  if (frame.header.HasFlag(kFlagAck) && !frame.payload.empty()) {
+  return ParseSettingsPayload(frame.header.flags, frame.payload);
+}
+
+Result<std::vector<SettingsEntry>> ParseSettingsPayload(std::uint8_t flags,
+                                                        BytesView payload) {
+  if ((flags & kFlagAck) != 0 && !payload.empty()) {
     return Error(util::ErrorCode::kFrameSize, "SETTINGS ACK with payload");
   }
-  if (frame.payload.size() % 6 != 0) {
+  if (payload.size() % 6 != 0) {
     return Error(util::ErrorCode::kFrameSize,
                  "SETTINGS payload not a multiple of 6");
   }
   std::vector<SettingsEntry> entries;
-  ByteReader reader(frame.payload);
+  ByteReader reader(payload);
   while (!reader.empty()) {
     SettingsEntry entry;
     entry.identifier = reader.ReadU16().value();

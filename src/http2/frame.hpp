@@ -73,6 +73,20 @@ util::Result<FrameHeader> ParseFrameHeader(util::BytesView bytes);
 /// Serialize a full frame.
 util::Bytes SerializeFrame(const Frame& frame);
 
+/// A frame over borrowed payload bytes — the zero-copy counterpart of
+/// Frame.  The payload view must outlive the serialization call (it is
+/// copied exactly once, into the output arena).  `header.length` is
+/// ignored; the true payload size is patched in on the wire.
+struct FrameRef {
+  FrameHeader header;
+  util::BytesView payload;
+};
+
+/// Append header + payload of `frame` to a reusable output arena.  This is
+/// the hot serialization path: one 9-byte header append plus one payload
+/// memcpy, no intermediate Frame, no temporary buffers.
+void AppendFrame(const FrameRef& frame, util::BytesArena& out);
+
 // --- Typed payloads ------------------------------------------------------
 
 struct PriorityPayload {
@@ -109,6 +123,10 @@ Frame MakeWindowUpdateFrame(std::uint32_t stream_id, std::uint32_t increment);
 
 /// Typed parsers — validate payload lengths and reserved bits.
 util::Result<std::vector<SettingsEntry>> ParseSettingsPayload(const Frame& frame);
+/// View-based variant for callers that never materialize a Frame (wire
+/// taps, zero-copy paths).
+util::Result<std::vector<SettingsEntry>> ParseSettingsPayload(
+    std::uint8_t flags, util::BytesView payload);
 util::Result<PriorityPayload> ParsePriorityPayload(const Frame& frame);
 util::Result<GoawayPayload> ParseGoawayPayload(const Frame& frame);
 util::Result<std::uint32_t> ParseWindowUpdatePayload(const Frame& frame);

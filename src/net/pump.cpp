@@ -28,11 +28,14 @@ Result<PumpResult> PumpOnce(http2::Connection& connection, Transport& transport)
   PumpResult result;
   PumpWakeups().Add();
   if (connection.HasOutput()) {
-    util::Bytes out = connection.TakeOutput();
+    // Zero-copy drain: write the arena view straight to the transport and
+    // recycle the arena's storage.
+    const util::BytesView out = connection.OutputView();
     if (Status status = transport.Write(out); !status.ok()) {
       return status.error();
     }
     PumpBytes().Add(out.size());
+    connection.ClearOutput();
     result.made_progress = true;
   }
   auto incoming = transport.Read();
@@ -48,7 +51,8 @@ Result<PumpResult> PumpOnce(http2::Connection& connection, Transport& transport)
     if (Status status = connection.Receive(incoming.value()); !status.ok()) {
       // Flush the GOAWAY the connection queued before reporting.
       if (connection.HasOutput()) {
-        (void)transport.Write(connection.TakeOutput());
+        (void)transport.Write(connection.OutputView());
+        connection.ClearOutput();
       }
       return status.error();
     }
@@ -72,16 +76,20 @@ void DirectLinkExchange(http2::Connection& a, http2::Connection& b,
   for (int round = 0; round < max_rounds; ++round) {
     bool progress = false;
     PumpWakeups().Add();
+    // Receive() only appends to the *receiver's* output arena, so handing b
+    // a borrowed view of a's arena is safe; clear a's arena afterwards.
     if (a.HasOutput()) {
-      util::Bytes out = a.TakeOutput();
+      const util::BytesView out = a.OutputView();
       PumpBytes().Add(out.size());
       (void)b.Receive(out);
+      a.ClearOutput();
       progress = true;
     }
     if (b.HasOutput()) {
-      util::Bytes out = b.TakeOutput();
+      const util::BytesView out = b.OutputView();
       PumpBytes().Add(out.size());
       (void)a.Receive(out);
+      b.ClearOutput();
       progress = true;
     }
     if (!progress) return;

@@ -1,6 +1,8 @@
 #include "util/bytes.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cstring>
 
 namespace sww::util {
 
@@ -95,6 +97,72 @@ void ByteWriter::PatchU24(std::size_t offset, std::uint32_t v) {
   buffer_.at(offset) = static_cast<std::uint8_t>(v >> 16);
   buffer_.at(offset + 1) = static_cast<std::uint8_t>(v >> 8);
   buffer_.at(offset + 2) = static_cast<std::uint8_t>(v);
+}
+
+void BytesArena::Grow(std::size_t needed) {
+  std::size_t capacity = data_.size() < 256 ? 256 : data_.size();
+  while (capacity < needed) capacity *= 2;
+  data_.resize(capacity);
+  ++allocations_;
+}
+
+std::uint8_t* BytesArena::Claim(std::size_t count) {
+  if (size_ + count > data_.size()) Grow(size_ + count);
+  std::uint8_t* out = data_.data() + size_;
+  size_ += count;
+  return out;
+}
+
+void BytesArena::Append(BytesView bytes) {
+  if (bytes.empty()) return;
+  std::memcpy(Claim(bytes.size()), bytes.data(), bytes.size());
+}
+
+void BytesArena::Append(std::string_view text) {
+  if (text.empty()) return;
+  std::memcpy(Claim(text.size()), text.data(), text.size());
+}
+
+void BytesArena::AppendU8(std::uint8_t v) { *Claim(1) = v; }
+
+void BytesArena::AppendU16(std::uint16_t v) {
+  std::uint8_t* p = Claim(2);
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+void BytesArena::AppendU24(std::uint32_t v) {
+  std::uint8_t* p = Claim(3);
+  p[0] = static_cast<std::uint8_t>(v >> 16);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v);
+}
+
+void BytesArena::AppendU32(std::uint32_t v) {
+  std::uint8_t* p = Claim(4);
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void BytesArena::AppendU64(std::uint64_t v) {
+  AppendU32(static_cast<std::uint32_t>(v >> 32));
+  AppendU32(static_cast<std::uint32_t>(v));
+}
+
+void BytesArena::Clear() {
+  high_watermark_ = std::max(high_watermark_, size_);
+  size_ = 0;
+  if (++clears_ < kShrinkReviewPeriod) return;
+  // A whole review period with capacity far above the watermark: the burst
+  // that grew us is over; release the excess.
+  if (high_watermark_ > 0 && data_.size() > high_watermark_ * 2) {
+    data_.resize(high_watermark_);
+    data_.shrink_to_fit();
+  }
+  clears_ = 0;
+  high_watermark_ = 0;
 }
 
 Result<std::uint8_t> ByteReader::ReadU8() {

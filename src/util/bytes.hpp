@@ -57,6 +57,58 @@ class ByteWriter {
   Bytes buffer_;
 };
 
+/// Reusable append-only byte region for hot emission paths (the HTTP/2
+/// frame writer).  Unlike ByteWriter, whose buffer is moved out and
+/// re-allocated per use, an arena is cleared and refilled in place: after a
+/// short warmup its capacity covers the steady-state working set and
+/// appending allocates nothing.  Clear() tracks a high watermark across
+/// recent fill/drain cycles and shrinks the backing store only when
+/// capacity has been far above the watermark for a whole review period, so
+/// one burst (a 16 MiB upload) cannot pin memory forever but steady
+/// traffic never reallocates.
+class BytesArena {
+ public:
+  BytesArena() = default;
+
+  /// Uninitialized space for `count` bytes; the returned pointer is valid
+  /// until the next Claim/Append/Clear.
+  std::uint8_t* Claim(std::size_t count);
+
+  void Append(BytesView bytes);
+  void Append(std::string_view text);
+  void AppendU8(std::uint8_t v);
+  /// Big-endian fixed-width appends (frame headers are big-endian).
+  void AppendU16(std::uint16_t v);
+  void AppendU24(std::uint32_t v);
+  void AppendU32(std::uint32_t v);
+  void AppendU64(std::uint64_t v);
+
+  /// Drop the contents, keep (most of) the capacity for the next cycle.
+  void Clear();
+
+  BytesView View() const { return BytesView(data_.data(), size_); }
+  const std::uint8_t* data() const { return data_.data(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return data_.size(); }
+
+  /// Number of backing-store (re)allocations since construction.  Steady
+  /// state is zero growth; benchmarks gate this exactly.
+  std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  /// Clears per review period before an oversized backing store may shrink.
+  static constexpr std::size_t kShrinkReviewPeriod = 64;
+
+  void Grow(std::size_t needed);
+
+  std::vector<std::uint8_t> data_;   // backing store; size() == capacity
+  std::size_t size_ = 0;             // bytes appended since last Clear
+  std::size_t high_watermark_ = 0;   // max size_ seen this review period
+  std::size_t clears_ = 0;           // Clear() calls this review period
+  std::uint64_t allocations_ = 0;
+};
+
 /// Sequential big-endian reader over a borrowed byte span.  All Read*
 /// methods return kTruncated errors instead of reading past the end.
 class ByteReader {

@@ -105,13 +105,15 @@ TEST(HpackString, LengthBeyondBlockRejected) {
 // --- static table -----------------------------------------------------------
 
 TEST(HpackStaticTable, KnownEntries) {
-  EXPECT_EQ(StaticTableEntry(2).name, ":method");
-  EXPECT_EQ(StaticTableEntry(2).value, "GET");
-  EXPECT_EQ(StaticTableEntry(8).name, ":status");
-  EXPECT_EQ(StaticTableEntry(8).value, "200");
-  EXPECT_EQ(StaticTableEntry(61).name, "www-authenticate");
-  EXPECT_THROW(StaticTableEntry(0), std::out_of_range);
-  EXPECT_THROW(StaticTableEntry(62), std::out_of_range);
+  EXPECT_EQ(StaticTableEntry(2).value().name, ":method");
+  EXPECT_EQ(StaticTableEntry(2).value().value, "GET");
+  EXPECT_EQ(StaticTableEntry(8).value().name, ":status");
+  EXPECT_EQ(StaticTableEntry(8).value().value, "200");
+  EXPECT_EQ(StaticTableEntry(61).value().name, "www-authenticate");
+  // A bad index is peer-controlled wire data: an error, never an exception.
+  EXPECT_FALSE(StaticTableEntry(0).ok());
+  EXPECT_FALSE(StaticTableEntry(62).ok());
+  EXPECT_EQ(StaticTableEntry(62).error().code, util::ErrorCode::kCompression);
 }
 
 TEST(HpackStaticTable, Lookup) {

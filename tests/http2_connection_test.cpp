@@ -364,5 +364,56 @@ TEST(Connection, ServerRejectsRequestWhenConcurrencyExceeded) {
   EXPECT_TRUE(refused);
 }
 
+TEST(Connection, OutputViewMatchesTakeOutput) {
+  Pair pair;
+  pair.client.StartHandshake();
+  ASSERT_TRUE(pair.client.HasOutput());
+  const util::BytesView view = pair.client.OutputView();
+  const Bytes copied(view.begin(), view.end());
+  // TakeOutput must return exactly the viewed bytes, then both are drained.
+  EXPECT_EQ(pair.client.TakeOutput(), copied);
+  EXPECT_FALSE(pair.client.HasOutput());
+  EXPECT_TRUE(pair.client.OutputView().empty());
+}
+
+TEST(Connection, ClearOutputDrainsWithoutCopy) {
+  Pair pair;
+  pair.client.StartHandshake();
+  ASSERT_TRUE(pair.client.HasOutput());
+  pair.client.ClearOutput();
+  EXPECT_FALSE(pair.client.HasOutput());
+  EXPECT_EQ(pair.client.TakeOutput(), Bytes{});
+}
+
+TEST(Connection, SteadyStateRequestsStopAllocatingOutput) {
+  Pair pair;
+  pair.Handshake();
+  hpack::HeaderList request = {{":method", "GET", false},
+                               {":scheme", "https", false},
+                               {":path", "/steady", false},
+                               {":authority", "sww.local", false}};
+  const Bytes body(512, 0x33);
+  auto warm = [&] {
+    auto stream_id = pair.client.SubmitRequest(request, body);
+    ASSERT_TRUE(stream_id.ok());
+    net::DirectLinkExchange(pair.client, pair.server);
+    ASSERT_TRUE(pair.server
+                    .SubmitHeaders(stream_id.value(),
+                                   {{":status", "200", false}}, true)
+                    .ok());
+    net::DirectLinkExchange(pair.client, pair.server);
+    pair.client.ReleaseStream(stream_id.value());
+    pair.server.ReleaseStream(stream_id.value());
+  };
+  for (int i = 0; i < 8; ++i) warm();
+  // After warm-up the output arenas are at their high-water mark: identical
+  // request/response rounds must not allocate in the serialization path.
+  const std::uint64_t client_allocs = pair.client.output_allocations();
+  const std::uint64_t server_allocs = pair.server.output_allocations();
+  for (int i = 0; i < 32; ++i) warm();
+  EXPECT_EQ(pair.client.output_allocations(), client_allocs);
+  EXPECT_EQ(pair.server.output_allocations(), server_allocs);
+}
+
 }  // namespace
 }  // namespace sww::http2
