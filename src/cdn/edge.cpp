@@ -21,6 +21,8 @@ EdgeNode::EdgeNode(EdgeMode mode, std::uint64_t storage_budget_bytes,
       &registry.GetGauge("cdn.edge.generation_seconds");
   instruments_.generation_energy_wh =
       &registry.GetGauge("cdn.edge.generation_energy_wh");
+  instruments_.hit_ratio = &registry.GetGauge("cdn.edge.hit_ratio");
+  instruments_.stored_bytes = &registry.GetGauge("cdn.edge.stored_bytes");
 }
 
 void EdgeNode::AtomicAdd(std::atomic<double>& target, double delta) {
@@ -106,7 +108,18 @@ void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
   if (hit) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     instruments_.hits->Add();
-  } else {
+  }
+  {
+    const std::uint64_t requests = requests_.load(std::memory_order_relaxed);
+    const std::uint64_t hits = hits_.load(std::memory_order_relaxed);
+    instruments_.hit_ratio->Set(
+        requests == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(requests));
+    instruments_.stored_bytes->Set(
+        static_cast<double>(stored_bytes_.load(std::memory_order_relaxed)));
+  }
+  if (!hit) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     instruments_.misses->Add();
     // Miss: fetch from origin in the cached representation's form.

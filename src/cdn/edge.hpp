@@ -130,6 +130,10 @@ class EdgeNode {
     obs::Counter* bytes_from_origin;
     obs::Gauge* generation_seconds;
     obs::Gauge* generation_energy_wh;
+    /// Live hit ratio (hits / requests) and current cache occupancy —
+    /// the two numbers a /metrics scrape wants mid-soak.
+    obs::Gauge* hit_ratio;
+    obs::Gauge* stored_bytes;
   };
   Instruments instruments_;
 };

@@ -43,10 +43,8 @@ GenerativeClient::GenerativeClient(Options options, MediaGenerator generator)
   instruments_.model_fallbacks = &registry.GetCounter("client.model_fallbacks");
   instruments_.negotiations = &registry.GetCounter("client.negotiations");
   instruments_.items_generated = &registry.GetCounter("client.items_generated");
-  instruments_.page_bytes =
-      &registry.GetHistogram("client.page_bytes", obs::ByteBuckets());
-  instruments_.asset_bytes =
-      &registry.GetHistogram("client.asset_bytes", obs::ByteBuckets());
+  instruments_.page_bytes = &registry.GetHistogram("client.page_bytes");
+  instruments_.asset_bytes = &registry.GetHistogram("client.asset_bytes");
 }
 
 void GenerativeClient::DrainEvents() {
@@ -170,10 +168,13 @@ Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
         ++fetch.verified_items;
       } else {
         ++fetch.failed_verification_items;
-        util::LogWarn("sww.client",
-                      "semantic digest mismatch for generated item '" +
-                          media.name + "' (distance " +
-                          std::to_string(media.verification.distance) + ")");
+        // One warn per failed item can storm on a corrupted page; the
+        // per-site bucket keeps the tail while reporting the drop count.
+        SWW_LOG_RATELIMITED(
+            util::LogLevel::kWarn, "sww.client",
+            "semantic digest mismatch for generated item '" + media.name +
+                "' (distance " +
+                std::to_string(media.verification.distance) + ")");
       }
     }
     fetch.media.push_back(std::move(media));

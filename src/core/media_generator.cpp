@@ -150,6 +150,10 @@ Result<GeneratedBatch> MediaGenerator::GenerateBatch(
   for (const double load : lane_load) {
     batch.wall_seconds = std::max(batch.wall_seconds, load);
   }
+  obs::Registry& registry = obs::Registry::Default();
+  registry.GetCounter("genai.batches").Add();
+  registry.GetHistogram("genai.batch_makespan_seconds")
+      .Observe(batch.wall_seconds);
   return batch;
 }
 

@@ -24,6 +24,15 @@ PromptCache::PromptCache(std::size_t capacity_bytes, std::size_t stripes)
       &registry.GetCounter("client.prompt_cache.insertions");
   instruments_.evictions =
       &registry.GetCounter("client.prompt_cache.evictions");
+  instruments_.hit_ratio =
+      &registry.GetGauge("client.prompt_cache.hit_ratio");
+}
+
+void PromptCache::RefreshHitRatio() {
+  const std::uint64_t hits = hits_.load(std::memory_order_relaxed);
+  const std::uint64_t total = hits + misses_.load(std::memory_order_relaxed);
+  instruments_.hit_ratio->Set(
+      total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total));
 }
 
 std::size_t PromptCache::StripeOf(const std::string& path) const {
@@ -38,10 +47,12 @@ std::optional<std::string> PromptCache::Get(const std::string& path) {
   if (it == stripe.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     instruments_.misses->Add();
+    RefreshHitRatio();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
   instruments_.hits->Add();
+  RefreshHitRatio();
   stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
   return it->second->body;
 }

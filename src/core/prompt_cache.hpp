@@ -89,6 +89,8 @@ class PromptCache {
   /// Caller holds the stripe's lock.
   void InvalidateLocked(Stripe& stripe, const std::string& path);
   void EvictToFitLocked(Stripe& stripe);
+  /// Recompute the client.prompt_cache.hit_ratio gauge from the counters.
+  void RefreshHitRatio();
 
   std::size_t capacity_;
   std::vector<Stripe> stripes_;
@@ -105,6 +107,9 @@ class PromptCache {
     obs::Counter* misses;
     obs::Counter* insertions;
     obs::Counter* evictions;
+    /// Live hit ratio (hits / lookups), refreshed on every Get so a
+    /// /metrics scrape mid-run sees the current value, not a final one.
+    obs::Gauge* hit_ratio;
   };
   Instruments instruments_;
 };

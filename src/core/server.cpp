@@ -4,6 +4,7 @@
 
 #include "compress/swz.hpp"
 #include "html/parser.hpp"
+#include "obs/expose.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -41,13 +42,13 @@ GenerativeServer::GenerativeServer(const ContentStore* store, Options options,
   instruments_.pages_traditional =
       &registry.GetCounter("server.pages_traditional");
   instruments_.assets_served = &registry.GetCounter("server.assets_served");
+  instruments_.telemetry_requests =
+      &registry.GetCounter("server.telemetry_requests");
   instruments_.not_found = &registry.GetCounter("server.not_found");
   instruments_.errors = &registry.GetCounter("server.errors");
   instruments_.negotiations = &registry.GetCounter("server.negotiations");
-  instruments_.page_bytes =
-      &registry.GetHistogram("server.page_bytes", obs::ByteBuckets());
-  instruments_.asset_bytes =
-      &registry.GetHistogram("server.asset_bytes", obs::ByteBuckets());
+  instruments_.page_bytes = &registry.GetHistogram("server.page_bytes");
+  instruments_.asset_bytes = &registry.GetHistogram("server.asset_bytes");
   instruments_.generation_seconds =
       &registry.GetGauge("server.generation_seconds");
   instruments_.generation_energy_wh =
@@ -165,6 +166,11 @@ void GenerativeServer::AccountResponse(ResponseKind kind,
       stats_.asset_bytes_sent += response.body.size();
       instruments_.asset_bytes->Observe(static_cast<double>(response.body.size()));
       break;
+    case ResponseKind::kTelemetry:
+      // Exposition bodies are not page/asset content; only the request
+      // itself is counted (in HandleRequest), keeping the byte-accounting
+      // invariant below untouched.
+      break;
     case ResponseKind::kNotFound:
       ++stats_.not_found;
       instruments_.not_found->Add();
@@ -194,6 +200,29 @@ Result<Response> GenerativeServer::HandleRequest(const Request& request,
     response.SetHeader("allow", "GET");
     const std::string message = "method not allowed";
     response.body.assign(message.begin(), message.end());
+    return response;
+  }
+
+  // Self-hosted telemetry plane: the server exposes its own registry over
+  // the same HTTP/2 stack it serves pages on.  Routed before the content
+  // store so stores cannot shadow the exposition paths.
+  if (request.path == "/metrics" || request.path == "/debug/vars") {
+    *kind = ResponseKind::kTelemetry;
+    ++stats_.telemetry_requests;
+    instruments_.telemetry_requests->Add();
+    const obs::RegistrySnapshot snapshot = obs::Registry::Default().Snapshot();
+    Response response;
+    std::string body;
+    if (request.path == "/metrics") {
+      response.SetHeader("content-type", obs::kPrometheusContentType);
+      body = obs::RenderPrometheusText(snapshot);
+    } else {
+      response.SetHeader("content-type", "application/json");
+      body = obs::RenderDebugVarsJson(
+          snapshot, static_cast<std::int64_t>(
+                        obs::Tracer::Default().clock().NowNanos()));
+    }
+    response.body.assign(body.begin(), body.end());
     return response;
   }
 

@@ -69,6 +69,7 @@ class GenerativeServer {
     std::uint64_t pages_served_upscale = 0;
     std::uint64_t pages_served_traditional = 0;
     std::uint64_t assets_served = 0;
+    std::uint64_t telemetry_requests = 0;
     std::uint64_t not_found = 0;
     std::uint64_t page_bytes_sent = 0;
     std::uint64_t asset_bytes_sent = 0;
@@ -106,7 +107,7 @@ class GenerativeServer {
 
   /// What a response body counts as; drives the single byte-accounting
   /// site (AccountResponse).
-  enum class ResponseKind { kPage, kAsset, kNotFound, kError };
+  enum class ResponseKind { kPage, kAsset, kTelemetry, kNotFound, kError };
 
   util::Result<Response> HandleRequest(const Request& request,
                                        ResponseKind* kind);
@@ -141,6 +142,7 @@ class GenerativeServer {
     obs::Counter* pages_upscale;
     obs::Counter* pages_traditional;
     obs::Counter* assets_served;
+    obs::Counter* telemetry_requests;
     obs::Counter* not_found;
     obs::Counter* errors;
     obs::Counter* negotiations;

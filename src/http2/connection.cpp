@@ -34,6 +34,17 @@ Connection::Connection(Role role, Options options)
   instruments_.flow_control_stalls =
       &registry.GetCounter("http2.flow_control_stalls");
   instruments_.streams_opened = &registry.GetCounter("http2.streams_opened");
+  // Eagerly create the full frame-mix counter set so /metrics exposes a
+  // stable series list from the first scrape (no type appears or vanishes
+  // depending on which frames happened to flow yet).
+  for (std::size_t t = 0; t < kFrameTypeCount; ++t) {
+    const char* name = FrameTypeName(static_cast<FrameType>(t));
+    instruments_.frames_sent_by_type[t] =
+        &registry.GetCounter(std::string("http2.frames_sent.") + name);
+    instruments_.frames_received_by_type[t] =
+        &registry.GetCounter(std::string("http2.frames_received.") + name);
+  }
+  instruments_.stream_seconds = &registry.GetHistogram("http2.stream_seconds");
 }
 
 void Connection::StartHandshake() {
@@ -77,6 +88,7 @@ void Connection::EnqueueFrameRef(FrameType type, std::uint8_t flags,
   stats_.frames_sent[type]++;
   instruments_.bytes_sent->Add(wire_size);
   instruments_.frames_sent->Add();
+  instruments_.frames_sent_by_type[static_cast<std::size_t>(type)]->Add();
   if (tap_ != nullptr) TapFrame(obs::TapDirection::kSent, ref.header, payload);
 }
 
@@ -168,7 +180,11 @@ void Connection::ReleaseStream(std::uint32_t stream_id) {
 void Connection::EndStreamSpan(std::uint32_t stream_id) {
   auto it = stream_spans_.find(stream_id);
   if (it == stream_spans_.end()) return;
-  obs::Tracer::Default().EndSpan(it->second);
+  obs::Tracer& tracer = obs::Tracer::Default();
+  tracer.EndSpan(it->second.span);
+  const std::uint64_t now = tracer.clock().NowNanos();
+  instruments_.stream_seconds->Observe(
+      static_cast<double>(now - it->second.opened_nanos) * 1e-9);
   stream_spans_.erase(it);
 }
 
@@ -200,13 +216,17 @@ Stream& Connection::EnsureStream(std::uint32_t stream_id) {
     tracer.AddAttribute(span, "stream_id", std::to_string(stream_id));
     tracer.AddAttribute(span, "role",
                         role_ == Role::kClient ? "client" : "server");
-    stream_spans_[stream_id] = span;
+    stream.opened_nanos = tracer.clock().NowNanos();
+    stream_spans_[stream_id] = StreamSpan{span, stream.opened_nanos};
   }
   return stream;
 }
 
 Status Connection::ConnectionError(ErrorCode code, const std::string& message) {
-  util::LogError(kLogComponent, std::string(ErrorCodeName(code)) + ": " + message);
+  // Rate-limited: a malformed-peer storm (fuzzing, a broken proxy) emits
+  // one error per received frame; the bucket keeps the sink usable.
+  SWW_LOG_RATELIMITED(util::LogLevel::kError, kLogComponent,
+                      std::string(ErrorCodeName(code)) + ": " + message);
   if (!dead_) {
     EnqueueFrame(MakeGoawayFrame(last_peer_stream_id_, code, message));
     dead_ = true;
@@ -253,6 +273,10 @@ Status Connection::Receive(BytesView bytes) {
     Frame frame = std::move(*next.value());
     stats_.frames_received[frame.header.type]++;
     instruments_.frames_received->Add();
+    const auto type_index = static_cast<std::size_t>(frame.header.type);
+    if (type_index < kFrameTypeCount) {
+      instruments_.frames_received_by_type[type_index]->Add();
+    }
     if (tap_ != nullptr) {
       TapFrame(obs::TapDirection::kReceived, frame.header, frame.payload);
     }
@@ -340,9 +364,9 @@ Status Connection::HandleSettings(const Frame& frame) {
   encoder_.SetMaxTableSize(
       std::min<std::size_t>(remote_settings_.header_table_size(), 4096));
   remote_settings_received_ = true;
-  util::LogInfo(kLogComponent,
-                "peer settings applied; gen_ability=" +
-                    GenAbilityToString(remote_settings_.gen_ability()));
+  SWW_LOG_RATELIMITED(util::LogLevel::kInfo, kLogComponent,
+                      "peer settings applied; gen_ability=" +
+                          GenAbilityToString(remote_settings_.gen_ability()));
   EnqueueFrameRef(FrameType::kSettings, kFlagAck, 0, {});
   events_.push_back(
       Event{Event::Type::kRemoteSettingsReceived, 0, ErrorCode::kNoError, 0});

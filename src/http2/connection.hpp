@@ -14,6 +14,7 @@
 // traditional content.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -248,10 +249,22 @@ class Connection {
     obs::Counter* bytes_received;
     obs::Counter* flow_control_stalls;
     obs::Counter* streams_opened;
+    /// Frame mix: one counter per known frame type and direction
+    /// (http2.frames_sent.DATA, ...), indexed by the wire type byte.
+    /// Unknown extension types count only in the aggregate counters.
+    std::array<obs::Counter*, kFrameTypeCount> frames_sent_by_type;
+    std::array<obs::Counter*, kFrameTypeCount> frames_received_by_type;
+    /// Per-stream open→release latency in tracer-clock seconds.
+    obs::Histogram* stream_seconds;
   };
   Instruments instruments_;
   obs::SpanId settings_span_ = 0;               ///< SETTINGS round-trip
-  std::map<std::uint32_t, obs::SpanId> stream_spans_;  ///< stream lifetimes
+  /// Stream-lifetime span plus its open timestamp (for stream_seconds).
+  struct StreamSpan {
+    obs::SpanId span = 0;
+    std::uint64_t opened_nanos = 0;
+  };
+  std::map<std::uint32_t, StreamSpan> stream_spans_;
   obs::ConnectionTap* tap_ = nullptr;           ///< flight-recorder wire tap
 };
 

@@ -31,6 +31,10 @@ enum class FrameType : std::uint8_t {
   kContinuation = 0x9,
 };
 
+/// Number of frame types RFC 9113 defines (wire bytes 0x0–0x9).  Received
+/// bytes beyond this are extension frames; per-type telemetry skips them.
+inline constexpr std::size_t kFrameTypeCount = 10;
+
 const char* FrameTypeName(FrameType type);
 
 // Frame flags (meaning depends on frame type).

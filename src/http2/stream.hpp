@@ -50,6 +50,9 @@ class FlowWindow {
 struct Stream {
   std::uint32_t id = 0;
   StreamState state = StreamState::kIdle;
+  /// Tracer-clock timestamp of stream creation; the connection observes
+  /// the open→release span into the http2.stream_seconds histogram.
+  std::uint64_t opened_nanos = 0;
 
   FlowWindow send_window{65535};
   FlowWindow recv_window{65535};

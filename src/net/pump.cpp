@@ -22,6 +22,21 @@ obs::Counter& PumpBytes() {
       obs::Registry::Default().GetCounter("net.pump.bytes_pumped");
   return counter;
 }
+// Distribution of per-wakeup write sizes: the live view of send-queue
+// burstiness (a fat tail here means the connection batches its output
+// behind flow control instead of streaming).
+obs::Histogram& PumpWriteBytes() {
+  static obs::Histogram& histogram =
+      obs::Registry::Default().GetHistogram("net.pump.write_bytes");
+  return histogram;
+}
+// Bytes queued in the connection's output arena at wakeup — the send-queue
+// depth a live scrape sees while traffic is flowing.
+obs::Gauge& PumpBacklogBytes() {
+  static obs::Gauge& gauge =
+      obs::Registry::Default().GetGauge("net.pump.backlog_bytes");
+  return gauge;
+}
 }  // namespace
 
 Result<PumpResult> PumpOnce(http2::Connection& connection, Transport& transport) {
@@ -31,12 +46,15 @@ Result<PumpResult> PumpOnce(http2::Connection& connection, Transport& transport)
     // Zero-copy drain: write the arena view straight to the transport and
     // recycle the arena's storage.
     const util::BytesView out = connection.OutputView();
+    PumpBacklogBytes().Set(static_cast<double>(out.size()));
     if (Status status = transport.Write(out); !status.ok()) {
       return status.error();
     }
     PumpBytes().Add(out.size());
+    PumpWriteBytes().Observe(static_cast<double>(out.size()));
     connection.ClearOutput();
     result.made_progress = true;
+    PumpBacklogBytes().Set(0.0);
   }
   auto incoming = transport.Read();
   if (!incoming) {
@@ -81,6 +99,7 @@ void DirectLinkExchange(http2::Connection& a, http2::Connection& b,
     if (a.HasOutput()) {
       const util::BytesView out = a.OutputView();
       PumpBytes().Add(out.size());
+      PumpWriteBytes().Observe(static_cast<double>(out.size()));
       (void)b.Receive(out);
       a.ClearOutput();
       progress = true;
@@ -88,6 +107,7 @@ void DirectLinkExchange(http2::Connection& a, http2::Connection& b,
     if (b.HasOutput()) {
       const util::BytesView out = b.OutputView();
       PumpBytes().Add(out.size());
+      PumpWriteBytes().Observe(static_cast<double>(out.size()));
       (void)a.Receive(out);
       b.ClearOutput();
       progress = true;

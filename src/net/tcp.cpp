@@ -10,6 +10,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/registry.hpp"
+
 namespace sww::net {
 
 using util::Bytes;
@@ -27,6 +29,24 @@ Status SetNonBlocking(int fd) {
     return Error(ErrorCode::kIo, std::string("fcntl: ") + ::strerror(errno));
   }
   return Status::Ok();
+}
+
+// Process-wide socket telemetry (function-local statics, like pump.cpp:
+// the net layer has no long-lived object to cache handles on).
+obs::Counter& TcpAccepts() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.tcp.accepts");
+  return counter;
+}
+obs::Counter& TcpConnects() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.tcp.connects");
+  return counter;
+}
+obs::Counter& TcpWriteStalls() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.tcp.write_stalls");
+  return counter;
 }
 
 }  // namespace
@@ -49,6 +69,7 @@ Status TcpTransport::Write(BytesView bytes) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // Wait for writability; loopback drains quickly.
+      TcpWriteStalls().Add();
       struct pollfd pfd{fd_, POLLOUT, 0};
       ::poll(&pfd, 1, 1000);
       continue;
@@ -92,12 +113,19 @@ TcpListener::~TcpListener() {
 }
 
 Result<std::unique_ptr<TcpListener>> TcpListener::Bind(std::uint16_t port) {
+  return Bind(port, Options{});
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Bind(std::uint16_t port,
+                                                       const Options& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Error(ErrorCode::kIo, std::string("socket: ") + ::strerror(errno));
   }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options.reuse_addr) {
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
   struct sockaddr_in addr;
   ::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -107,7 +135,7 @@ Result<std::unique_ptr<TcpListener>> TcpListener::Bind(std::uint16_t port) {
     ::close(fd);
     return Error(ErrorCode::kIo, std::string("bind: ") + ::strerror(errno));
   }
-  if (::listen(fd, 16) < 0) {
+  if (::listen(fd, options.backlog) < 0) {
     ::close(fd);
     return Error(ErrorCode::kIo, std::string("listen: ") + ::strerror(errno));
   }
@@ -137,6 +165,7 @@ Result<std::unique_ptr<Transport>> TcpListener::Accept(int timeout_ms) {
     ::close(client);
     return status.error();
   }
+  TcpAccepts().Add();
   return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(client));
 }
 
@@ -158,6 +187,7 @@ Result<std::unique_ptr<Transport>> TcpConnect(std::uint16_t port) {
     ::close(fd);
     return status.error();
   }
+  TcpConnects().Add();
   return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
 }
 

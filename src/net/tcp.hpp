@@ -35,11 +35,22 @@ class TcpTransport final : public Transport {
 /// Listening socket bound to 127.0.0.1.  Port 0 picks a free port.
 class TcpListener {
  public:
+  struct Options {
+    /// Kernel accept-queue depth.  The old hard-coded 16 dropped SYNs
+    /// under telemetry soak runs with many concurrent scrapers.
+    int backlog = 256;
+    /// SO_REUSEADDR before bind, so restarting a soak on a fixed port
+    /// does not fight TIME_WAIT.
+    bool reuse_addr = true;
+  };
+
   ~TcpListener();
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   static util::Result<std::unique_ptr<TcpListener>> Bind(std::uint16_t port);
+  static util::Result<std::unique_ptr<TcpListener>> Bind(
+      std::uint16_t port, const Options& options);
 
   std::uint16_t port() const { return port_; }
 

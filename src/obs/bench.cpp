@@ -159,6 +159,62 @@ json::Value ResultsToJson(const std::vector<BenchResult>& results,
   return root;
 }
 
+util::Result<json::Value> AppendTrajectoryRun(const json::Value* existing,
+                                              json::Value flat_report) {
+  json::Array runs;
+  std::int64_t last_run_id = 0;
+  if (existing != nullptr && existing->is_object()) {
+    const std::string schema = existing->GetString("schema");
+    if (schema == kSchemaVersion) {
+      // Flat pre-trajectory baseline: keep it as run 1.
+      json::Value run{json::Object{}};
+      run.Set("run_id", std::int64_t{1});
+      const json::Value* benchmarks = existing->Get("benchmarks");
+      run.Set("benchmarks", benchmarks != nullptr ? *benchmarks
+                                                  : json::Value(json::Array{}));
+      runs.push_back(std::move(run));
+      last_run_id = 1;
+    } else if (schema == kTrajectorySchemaVersion) {
+      const json::Value* existing_runs = existing->Get("runs");
+      if (existing_runs == nullptr || !existing_runs->is_array()) {
+        return util::Error(util::ErrorCode::kInvalidArgument,
+                           "trajectory file has no runs array");
+      }
+      for (const json::Value& run : existing_runs->AsArray()) {
+        const std::int64_t run_id = run.GetInt("run_id");
+        if (run_id <= last_run_id) {
+          return util::Error(
+              util::ErrorCode::kInvalidArgument,
+              "trajectory run_ids not strictly increasing at run " +
+                  std::to_string(run_id));
+        }
+        last_run_id = run_id;
+        runs.push_back(run);
+      }
+    } else {
+      return util::Error(util::ErrorCode::kInvalidArgument,
+                         "unknown bench schema \"" + schema + "\"");
+    }
+  }
+  json::Value run{json::Object{}};
+  run.Set("run_id", last_run_id + 1);
+  json::Value benchmarks{json::Array{}};
+  if (flat_report.is_object()) {
+    json::Object& report = flat_report.AsObject();
+    if (auto it = report.find("benchmarks"); it != report.end()) {
+      benchmarks = std::move(it->second);
+    }
+  }
+  run.Set("benchmarks", std::move(benchmarks));
+  runs.push_back(std::move(run));
+
+  json::Value root{json::Object{}};
+  root.Set("schema", std::string(kTrajectorySchemaVersion));
+  root.Set("generator", "sww_bench");
+  root.Set("runs", json::Value(std::move(runs)));
+  return root;
+}
+
 namespace {
 
 void PrintUsage(const char* argv0) {
@@ -252,15 +308,40 @@ int RunBenchMain(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    const json::Value report = ResultsToJson(results, modeled_only);
+    // --json appends: the file is a trajectory (kTrajectorySchemaVersion)
+    // that grows by one run per invocation.  A missing or empty file
+    // starts the trajectory; a flat sww-bench/1 file becomes run 1.
+    json::Value existing;
+    bool have_existing = false;
+    if (auto contents = ReadTextFile(json_path); contents.ok()) {
+      auto parsed = json::Parse(contents.value());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "cannot parse existing %s: %s\n",
+                     json_path.c_str(), parsed.error().ToString().c_str());
+        return 1;
+      }
+      existing = std::move(parsed.value());
+      have_existing = true;
+    }
+    auto trajectory = AppendTrajectoryRun(
+        have_existing ? &existing : nullptr,
+        ResultsToJson(results, modeled_only));
+    if (!trajectory.ok()) {
+      std::fprintf(stderr, "cannot append run to %s: %s\n", json_path.c_str(),
+                   trajectory.error().ToString().c_str());
+      return 1;
+    }
+    const json::Value& report = trajectory.value();
+    const std::size_t runs = report.Get("runs")->AsArray().size();
     if (auto status = WriteTextFile(json_path, report.DumpPretty() + "\n");
         !status.ok()) {
       std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
                    status.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %s (%zu benchmarks, schema %s)\n", json_path.c_str(),
-                results.size(), std::string(kSchemaVersion).c_str());
+    std::printf("wrote %s (%zu benchmarks, run %zu, schema %s)\n",
+                json_path.c_str(), results.size(), runs,
+                std::string(kTrajectorySchemaVersion).c_str());
   }
   return all_ok ? 0 : 1;
 }

@@ -39,9 +39,18 @@
 
 namespace sww::obs::bench {
 
-/// Schema identifier written into every BENCH_sww.json; bench_compare
-/// refuses to diff files whose versions disagree.
+/// Schema identifier of one flat run report (the ResultsToJson document);
+/// bench_compare refuses to diff files whose versions disagree.
 inline constexpr std::string_view kSchemaVersion = "sww-bench/1";
+
+/// Schema identifier of the *trajectory* document BENCH_sww.json holds:
+///   { "schema": "sww-bench/2", "generator": "sww_bench",
+///     "runs": [ { "run_id": 1, "benchmarks": [...] }, ... ] }
+/// `sww_bench --json` appends one run per invocation (run_id strictly
+/// increasing), so the checked-in file is a growing performance history
+/// rather than a single overwritten snapshot.  bench_compare reads the
+/// LAST run of a trajectory and still accepts flat sww-bench/1 files.
+inline constexpr std::string_view kTrajectorySchemaVersion = "sww-bench/2";
 
 /// Robust statistics over the measured (post-warmup) iterations of one
 /// timed kernel.  All durations in nanoseconds.
@@ -160,6 +169,17 @@ struct Registrar {
 /// baseline uses, byte-identical across runs and machines.
 json::Value ResultsToJson(const std::vector<BenchResult>& results,
                           bool modeled_only);
+
+/// Fold a flat run report (a ResultsToJson document) onto an existing
+/// trajectory, returning the sww-bench/2 document to write back:
+///   * `existing` null / not an object → trajectory with this run as run 1
+///   * `existing` is a flat sww-bench/1 report → it becomes run 1, the new
+///     report run 2 (upgrades the pre-trajectory checked-in baseline)
+///   * `existing` is a sww-bench/2 trajectory → append run_id = last + 1
+/// Errors (kInvalidArgument) on unknown schemas or a corrupt runs array —
+/// the runner refuses to clobber a file it cannot interpret.
+util::Result<json::Value> AppendTrajectoryRun(const json::Value* existing,
+                                              json::Value flat_report);
 
 /// The `sww_bench` entry point: --list | --filter <substr> | --json <path>
 /// | --modeled-only | --min-time <seconds>.  Returns the process exit

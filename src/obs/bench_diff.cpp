@@ -22,7 +22,12 @@ std::string FormatPercent(double fraction) {
   return buf;
 }
 
-/// name → benchmark entry, validating the document shape.
+/// name → benchmark entry, validating the document shape.  Accepts a flat
+/// sww-bench/1 report or a sww-bench/2 trajectory; for a trajectory the
+/// LAST run is indexed (the gate compares the newest measurements) after
+/// validating that run_ids are strictly increasing — a spliced or
+/// hand-edited history fails loudly instead of gating against the wrong
+/// run.
 util::Result<std::map<std::string, const json::Value*>> IndexBenchmarks(
     const json::Value& doc, const char* which) {
   if (!doc.is_object()) {
@@ -30,12 +35,34 @@ util::Result<std::map<std::string, const json::Value*>> IndexBenchmarks(
                        std::string(which) + ": not a JSON object");
   }
   const std::string schema = doc.GetString("schema");
-  if (schema != kSchemaVersion) {
+  const json::Value* benchmarks = nullptr;
+  if (schema == kSchemaVersion) {
+    benchmarks = doc.Get("benchmarks");
+  } else if (schema == kTrajectorySchemaVersion) {
+    const json::Value* runs = doc.Get("runs");
+    if (runs == nullptr || !runs->is_array() || runs->AsArray().empty()) {
+      return util::Error(util::ErrorCode::kInvalidArgument,
+                         std::string(which) + ": missing or empty runs array");
+    }
+    std::int64_t last_run_id = 0;
+    for (const json::Value& run : runs->AsArray()) {
+      const std::int64_t run_id = run.GetInt("run_id");
+      if (run_id <= last_run_id) {
+        return util::Error(util::ErrorCode::kInvalidArgument,
+                           std::string(which) +
+                               ": run_ids not strictly increasing at run " +
+                               std::to_string(run_id));
+      }
+      last_run_id = run_id;
+    }
+    benchmarks = runs->AsArray().back().Get("benchmarks");
+  } else {
     return util::Error(util::ErrorCode::kInvalidArgument,
                        std::string(which) + ": schema \"" + schema +
-                           "\" != \"" + std::string(kSchemaVersion) + "\"");
+                           "\" is neither \"" + std::string(kSchemaVersion) +
+                           "\" nor \"" +
+                           std::string(kTrajectorySchemaVersion) + "\"");
   }
-  const json::Value* benchmarks = doc.Get("benchmarks");
   if (benchmarks == nullptr || !benchmarks->is_array()) {
     return util::Error(util::ErrorCode::kInvalidArgument,
                        std::string(which) + ": missing benchmarks array");

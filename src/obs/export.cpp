@@ -178,6 +178,25 @@ Status WriteTextFile(const std::string& path, std::string_view contents) {
   return Status::Ok();
 }
 
+util::Result<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Error(ErrorCode::kIo, "cannot open for reading: " + path);
+  }
+  std::string contents;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Error(ErrorCode::kIo, "read error: " + path);
+  }
+  return contents;
+}
+
 Status WriteTraceFile(const std::string& path, const std::vector<Span>& spans,
                       std::string_view process_name) {
   return WriteTextFile(path, ExportChromeTrace(spans, process_name));

@@ -40,6 +40,10 @@ std::string ExportChromeTrace(const std::vector<Span>& spans,
 /// Write `contents` to `path` whole (shared by every artifact writer).
 util::Status WriteTextFile(const std::string& path, std::string_view contents);
 
+/// Read `path` whole; kIo when it cannot be opened or read.  The bench
+/// trajectory writer uses this to fold new runs onto the existing file.
+util::Result<std::string> ReadTextFile(const std::string& path);
+
 /// Convenience: export the default tracer + registry to files.  The trace
 /// file is Chrome trace JSON, the metrics file is JSON-lines.
 util::Status WriteTraceFile(const std::string& path,

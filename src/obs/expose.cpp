@@ -1,0 +1,123 @@
+#include "obs/expose.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "json/json.hpp"
+
+namespace sww::obs {
+
+std::string PrometheusSeriesName(const std::string& name) {
+  std::string out = "sww_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    out += word ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+void AppendTypeLine(std::string& out, const std::string& series,
+                    const char* type) {
+  out += "# TYPE ";
+  out += series;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const RegistrySnapshot& snapshot) {
+  std::string out;
+  char buf[128];
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string series = PrometheusSeriesName(name);
+    AppendTypeLine(out, series, "counter");
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+    out += series;
+    out += buf;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string series = PrometheusSeriesName(name);
+    AppendTypeLine(out, series, "gauge");
+    out += series;
+    out += ' ';
+    out += FormatDouble(value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string series = PrometheusSeriesName(name);
+    AppendTypeLine(out, series, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += hist.counts[i];
+      out += series;
+      out += "_bucket{le=\"";
+      out += FormatDouble(hist.bounds[i]);
+      std::snprintf(buf, sizeof(buf), "\"} %" PRIu64 "\n", cumulative);
+      out += buf;
+    }
+    out += series;
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %zu\n", hist.count);
+    out += buf;
+    out += series;
+    out += "_sum ";
+    out += FormatDouble(hist.sum);
+    out += '\n';
+    out += series;
+    std::snprintf(buf, sizeof(buf), "_count %zu\n", hist.count);
+    out += buf;
+  }
+  return out;
+}
+
+std::string RenderDebugVarsJson(const RegistrySnapshot& snapshot,
+                                std::int64_t now_nanos) {
+  json::Object root;
+  root["now_nanos"] = json::Value(now_nanos);
+  json::Object counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters[name] = json::Value(static_cast<std::int64_t>(value));
+  }
+  root["counters"] = json::Value(std::move(counters));
+  json::Object gauges;
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges[name] = json::Value(value);
+  }
+  root["gauges"] = json::Value(std::move(gauges));
+  json::Object histograms;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    json::Object h;
+    h["count"] = json::Value(hist.count);
+    h["sum"] = json::Value(hist.sum);
+    h["min"] = json::Value(hist.min);
+    h["max"] = json::Value(hist.max);
+    h["mean"] = json::Value(hist.mean);
+    h["p50"] = json::Value(hist.p50);
+    h["p95"] = json::Value(hist.p95);
+    h["p99"] = json::Value(hist.p99);
+    json::Array bounds;
+    for (double b : hist.bounds) bounds.emplace_back(b);
+    h["bounds"] = json::Value(std::move(bounds));
+    json::Array counts;
+    for (std::uint64_t c : hist.counts) {
+      counts.emplace_back(static_cast<std::int64_t>(c));
+    }
+    h["counts"] = json::Value(std::move(counts));
+    histograms[name] = json::Value(std::move(h));
+  }
+  root["histograms"] = json::Value(std::move(histograms));
+  return json::Value(std::move(root)).DumpPretty() + "\n";
+}
+
+}  // namespace sww::obs

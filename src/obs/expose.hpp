@@ -1,0 +1,51 @@
+// expose.hpp — live exposition formats for the telemetry plane.
+//
+// Two machine-facing renderings of a RegistrySnapshot:
+//
+//   * Prometheus text format (text/plain; version=0.0.4) — what
+//     `GET /metrics` serves and what `sww_top` scrapes.  Counters map to
+//     counter series, gauges to gauge series, histograms to the classic
+//     cumulative `_bucket{le="..."}` / `_sum` / `_count` triplet over the
+//     occupied buckets of the shared log-linear grid.
+//   * /debug/vars JSON — one pretty-printed json object with every
+//     instrument plus the exporting clock's now_nanos, for humans with
+//     curl and for the JSONL snapshot mode of `sww_top`.
+//
+// Both renderings are deterministic: instruments are sorted by name, no
+// timestamps are embedded (now_nanos comes from the caller's clock, which
+// is a ManualClock in tests and goldens), and doubles format via "%.9g".
+//
+// This layer deliberately knows nothing about HTTP — `GenerativeServer`
+// routes /metrics and /debug/vars to these renderers, and any future
+// transport (the epoll reactor) can do the same.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace sww::obs {
+
+/// Prometheus exposition: series are prefixed "sww_" with dots mapped to
+/// underscores ("http2.frames_sent" → "sww_http2_frames_sent"), each
+/// preceded by its `# TYPE` line.
+std::string RenderPrometheusText(const RegistrySnapshot& snapshot);
+
+/// The registry-name → Prometheus-series mapping used above
+/// ("http2.frames_sent" → "sww_http2_frames_sent").  sww_top normalizes
+/// JSONL instrument names through this so samples from both sources merge
+/// under the same keys.
+std::string PrometheusSeriesName(const std::string& name);
+
+/// The /metrics content type (Prometheus text format 0.0.4).
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4";
+
+/// expvar-style JSON document: {"now_nanos":..., "counters":{...},
+/// "gauges":{...}, "histograms":{name:{count,sum,min,max,mean,p50,p95,
+/// p99,bounds,counts}}}.  Ends with a newline.
+std::string RenderDebugVarsJson(const RegistrySnapshot& snapshot,
+                                std::int64_t now_nanos);
+
+}  // namespace sww::obs

@@ -1,24 +1,43 @@
 #include "obs/registry.hpp"
 
 #include <algorithm>
-
-#include "metrics/stats.hpp"
-#include "util/rng.hpp"
+#include <bit>
+#include <cmath>
+#include <limits>
 
 namespace sww::obs {
 
 namespace {
-/// Fixed reservoir seed: every histogram replays the same replacement
-/// stream, so snapshots depend only on the observation sequence.
-constexpr std::uint64_t kReservoirSeed = 0x5357575265737276ULL;  // "SWWResrv"
-}  // namespace
 
-std::size_t Counter::ThreadCell() {
-  static std::atomic<std::size_t> next{0};
-  thread_local const std::size_t cell =
-      next.fetch_add(1, std::memory_order_relaxed) % kCells;
-  return cell;
+constexpr std::uint64_t kPosInfBits =
+    std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity());
+constexpr std::uint64_t kNegInfBits =
+    std::bit_cast<std::uint64_t>(-std::numeric_limits<double>::infinity());
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
 }
+
+void AtomicUpdateMin(std::atomic<std::uint64_t>& bits, double value) {
+  std::uint64_t current = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(current) > value &&
+         !bits.compare_exchange_weak(current, std::bit_cast<std::uint64_t>(value),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicUpdateMax(std::atomic<std::uint64_t>& bits, double value) {
+  std::uint64_t current = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(current) < value &&
+         !bits.compare_exchange_weak(current, std::bit_cast<std::uint64_t>(value),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 void Gauge::Add(double delta) {
   double current = value_.load(std::memory_order_relaxed);
@@ -27,73 +46,165 @@ void Gauge::Add(double delta) {
   }
 }
 
-Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), rng_state_(kReservoirSeed) {
-  if (bounds_.empty()) bounds_ = LatencyBucketsSeconds();
-  std::sort(bounds_.begin(), bounds_.end());
-  counts_.assign(bounds_.size() + 1, 0);
-  reservoir_.reserve(kReservoirSize);
+Histogram::Histogram() {
+  for (Cell& cell : cells_) {
+    cell.min_bits.store(kPosInfBits, std::memory_order_relaxed);
+    cell.max_bits.store(kNegInfBits, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Histogram::BucketIndex(double value) {
+  // The negated comparison routes NaN, zero, negatives, and sub-minimum
+  // values into the underflow bucket without a separate isnan branch.
+  if (!(value >= kMinValue)) return 0;
+  if (value >= kMaxValue) return kBucketCount - 1;
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // frac in [0.5, 1)
+  const int octave = exp - 1;                   // value in [2^octave, 2^(octave+1))
+  const auto sub =
+      static_cast<std::size_t>((frac - 0.5) * (2.0 * kSubBuckets));
+  return 1 + static_cast<std::size_t>(octave - kMinExponent) * kSubBuckets +
+         std::min(sub, kSubBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(std::size_t index) {
+  if (index == 0) return kMinValue;
+  if (index >= kBucketCount - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t linear = index - 1;
+  const int octave = kMinExponent + static_cast<int>(linear / kSubBuckets);
+  const std::size_t sub = linear % kSubBuckets;
+  // Exact: 1 + (sub+1)/32 has ≤ 6 significant bits; sub == 31 yields
+  // exactly 2^(octave+1), closing the octave.
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, octave);
+}
+
+double Histogram::LowerBoundForUpper(double upper) {
+  if (!(upper > 0.0) || std::isinf(upper)) return 0.0;
+  int exp = 0;
+  const double frac = std::frexp(upper, &exp);  // upper = frac · 2^exp
+  // A power of two closes the *previous* octave (its sub-bucket width is
+  // 2^(exp-2)/kSubBuckets); any other grid point lies inside octave
+  // exp-1.  Both widths and the subtraction are exact in doubles.
+  const int octave = (frac == 0.5) ? exp - 2 : exp - 1;
+  return upper - std::ldexp(1.0, octave) / static_cast<double>(kSubBuckets);
 }
 
 void Histogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
-  sum_ += value;
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
-  ++count_;
-  // Vitter's algorithm R: sample i (1-based) replaces a reservoir slot
-  // with probability kReservoirSize / i.
-  if (reservoir_.size() < kReservoirSize) {
-    reservoir_.push_back(value);
-  } else {
-    const std::uint64_t slot = util::SplitMix64(rng_state_) % count_;
-    if (slot < kReservoirSize) reservoir_[slot] = value;
-  }
+  Cell& cell = cells_[Counter::ThreadCell() % kCells];
+  cell.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(cell.sum, value);
+  AtomicUpdateMin(cell.min_bits, value);
+  AtomicUpdateMax(cell.max_bits, value);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // The total count is the sum of the buckets (every observation lands in
+  // exactly one, underflow and overflow included) — Observe does not pay
+  // for a separate count atomic, and a mid-stream snapshot can never see
+  // count and buckets disagree.
+  std::array<std::uint64_t, kBucketCount> merged{};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  for (const Cell& cell : cells_) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      merged[i] += cell.buckets[i].load(std::memory_order_relaxed);
+    }
+    sum += cell.sum.load(std::memory_order_relaxed);
+    min = std::min(
+        min, std::bit_cast<double>(cell.min_bits.load(std::memory_order_relaxed)));
+    max = std::max(
+        max, std::bit_cast<double>(cell.max_bits.load(std::memory_order_relaxed)));
+  }
+
+  for (const std::uint64_t bucket : merged) count += bucket;
+
   HistogramSnapshot snapshot;
-  snapshot.bounds = bounds_;
-  snapshot.counts = counts_;
-  snapshot.count = count_;
-  snapshot.sum = sum_;
-  snapshot.min = min_;
-  snapshot.max = max_;
-  if (count_ > 0) {
-    snapshot.mean = sum_ / static_cast<double>(count_);
-    snapshot.p50 = metrics::Percentile(reservoir_, 50.0);
-    snapshot.p95 = metrics::Percentile(reservoir_, 95.0);
-    snapshot.p99 = metrics::Percentile(reservoir_, 99.0);
+  snapshot.count = static_cast<std::size_t>(count);
+  snapshot.sum = sum;
+  snapshot.min = count > 0 ? min : 0.0;
+  snapshot.max = count > 0 ? max : 0.0;
+  for (std::size_t i = 0; i + 1 < kBucketCount; ++i) {
+    if (merged[i] == 0) continue;
+    snapshot.bounds.push_back(BucketUpperBound(i));
+    snapshot.counts.push_back(merged[i]);
+  }
+  snapshot.counts.push_back(merged[kBucketCount - 1]);  // overflow, maybe 0
+  if (count > 0) {
+    snapshot.mean = sum / static_cast<double>(count);
+    snapshot.p50 = HistogramSnapshotQuantile(snapshot, 50.0);
+    snapshot.p95 = HistogramSnapshotQuantile(snapshot, 95.0);
+    snapshot.p99 = HistogramSnapshotQuantile(snapshot, 99.0);
   }
   return snapshot;
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::fill(counts_.begin(), counts_.end(), 0);
-  reservoir_.clear();
-  rng_state_ = kReservoirSeed;
-  sum_ = min_ = max_ = 0.0;
-  count_ = 0;
+  for (Cell& cell : cells_) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      cell.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    cell.sum.store(0.0, std::memory_order_relaxed);
+    cell.min_bits.store(kPosInfBits, std::memory_order_relaxed);
+    cell.max_bits.store(kNegInfBits, std::memory_order_relaxed);
+  }
 }
 
-std::vector<double> LatencyBucketsSeconds() {
-  std::vector<double> bounds;
-  for (double b = 1e-4; b < 2000.0; b *= 4.0) bounds.push_back(b);
-  return bounds;
+double HistogramSnapshotQuantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(
+      clamped / 100.0 * static_cast<double>(snapshot.count - 1));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
+    cumulative += snapshot.counts[i];
+    if (cumulative <= rank) continue;
+    if (i >= snapshot.bounds.size()) return snapshot.max;  // overflow bucket
+    const double upper = snapshot.bounds[i];
+    const double mid = (Histogram::LowerBoundForUpper(upper) + upper) / 2.0;
+    return std::clamp(mid, snapshot.min, snapshot.max);
+  }
+  return snapshot.max;
 }
 
-std::vector<double> ByteBuckets() {
-  std::vector<double> bounds;
-  for (double b = 64.0; b <= 16.0 * 1024 * 1024; b *= 4.0) bounds.push_back(b);
-  return bounds;
+HistogramSnapshot MergeHistogramSnapshots(
+    const std::vector<HistogramSnapshot>& parts) {
+  // Grid upper bounds are exact doubles, so a map keyed on them re-aligns
+  // buckets across snapshots without tolerance games.
+  std::map<double, std::uint64_t> buckets;
+  HistogramSnapshot merged;
+  std::uint64_t overflow = 0;
+  merged.min = std::numeric_limits<double>::infinity();
+  merged.max = -std::numeric_limits<double>::infinity();
+  for (const HistogramSnapshot& part : parts) {
+    for (std::size_t i = 0; i < part.bounds.size(); ++i) {
+      buckets[part.bounds[i]] += part.counts[i];
+    }
+    if (!part.counts.empty()) overflow += part.counts.back();
+    merged.count += part.count;
+    merged.sum += part.sum;
+    if (part.count > 0) {
+      merged.min = std::min(merged.min, part.min);
+      merged.max = std::max(merged.max, part.max);
+    }
+  }
+  for (const auto& [upper, n] : buckets) {
+    merged.bounds.push_back(upper);
+    merged.counts.push_back(n);
+  }
+  merged.counts.push_back(overflow);
+  if (merged.count > 0) {
+    merged.mean = merged.sum / static_cast<double>(merged.count);
+    merged.p50 = HistogramSnapshotQuantile(merged, 50.0);
+    merged.p95 = HistogramSnapshotQuantile(merged, 95.0);
+    merged.p99 = HistogramSnapshotQuantile(merged, 99.0);
+  } else {
+    merged.min = merged.max = 0.0;
+  }
+  return merged;
 }
 
 Registry& Registry::Default() {
@@ -119,14 +230,11 @@ Gauge& Registry::GetGauge(std::string_view name) {
   return *it->second;
 }
 
-Histogram& Registry::GetHistogram(std::string_view name,
-                                  std::vector<double> bounds) {
+Histogram& Registry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_
-             .emplace(std::string(name),
-                      std::make_unique<Histogram>(std::move(bounds)))
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
              .first;
   }
   return *it->second;

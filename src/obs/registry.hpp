@@ -9,9 +9,10 @@
 //
 //   * Counter   — monotonically increasing integer (requests, frames, hits)
 //   * Gauge     — arbitrary double, Set or Add (accumulated seconds, Wh)
-//   * Histogram — fixed-bucket distribution of doubles with bounded-memory
-//                 p50/p95/p99 snapshots (exact below the reservoir size,
-//                 deterministic uniform-sample estimates above it)
+//   * Histogram — lock-free HDR-style log-linear distribution of doubles
+//                 with bounded relative bucket error; p50/p95/p99 come from
+//                 the bucket grid (within 1/32 relative error), never from
+//                 sampling, so concurrent recording stays deterministic
 //
 // Instruments are created on first use and live for the registry's
 // lifetime; handles returned by Get* stay valid across Reset(), which
@@ -61,7 +62,17 @@ class Counter {
 
   /// Stable per-thread cell index: threads take slots round-robin on
   /// first use, so up to kCells concurrent writers touch distinct lines.
-  static std::size_t ThreadCell();
+  /// Histogram shares the same slot assignment for its own cells.
+  /// Defined in the header on purpose: an out-of-line call here used to
+  /// cost more than the fetch_add it guards, and Add/Observe are the two
+  /// operations the always-on overhead gate prices per event.
+  static std::size_t ThreadCell() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t cell =
+        next.fetch_add(1, std::memory_order_relaxed) % kCells;
+    return cell;
+  }
+  friend class Histogram;
 
   std::array<Cell, kCells> cells_;
 };
@@ -77,9 +88,14 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Point-in-time view of one histogram.
+/// Point-in-time view of one histogram.  `bounds` lists the upper bounds
+/// of the *occupied* buckets of the fixed log-linear grid (empty grid
+/// buckets are compressed away), in increasing order; the grid itself is
+/// process-wide, so snapshots from different histograms — or different
+/// processes — merge exactly (MergeHistogramSnapshots).
 struct HistogramSnapshot {
-  /// Upper bounds of the fixed buckets (last bucket is +inf, implied).
+  /// Upper bounds of the occupied buckets (the +inf overflow bucket is
+  /// implied last and has no entry here).
   std::vector<double> bounds;
   /// counts.size() == bounds.size() + 1 (overflow bucket last).
   std::vector<std::uint64_t> counts;
@@ -93,38 +109,82 @@ struct HistogramSnapshot {
   double p99 = 0.0;
 };
 
-/// Percentiles come from a fixed-size reservoir (algorithm R with a
-/// deterministic seeded generator), so a histogram's memory is bounded no
-/// matter how long the run: below kReservoirSize observations the
-/// reservoir holds every sample and p50/p95/p99 are exact; above it they
-/// are a uniform-sample estimate.  Deterministic: the same observation
-/// sequence always yields the same snapshot.
+/// Lock-free HDR-style log-linear histogram.
+///
+/// The value axis is divided into octaves [2^o, 2^(o+1)) for
+/// o = kMinExponent .. kMaxExponent, each split into kSubBuckets equal
+/// linear sub-buckets, plus an underflow bucket (values < 2^kMinExponent,
+/// including zero, negatives, and NaN) and an overflow bucket (values
+/// ≥ 2^(kMaxExponent+1)).  Within the tracked range the relative bucket
+/// width is 1/kSubBuckets (3.125%), so a quantile read from a bucket
+/// midpoint is within ±1/(2·kSubBuckets) ≈ 1.6% of any value in that
+/// bucket.  The tracked range 2^-30 … 2^30 covers sub-nanosecond latencies
+/// through gigabyte byte counts.
+///
+/// Recording is wait-free: like Counter, the buckets are spread over
+/// cache-line-padded per-thread cells (bucket increment + count are plain
+/// fetch_add; sum/min/max are short CAS loops).  Snapshot() merges the
+/// cells; it is exact when the histogram is quiescent, and bucket counts,
+/// count, min, max, and every quantile are deterministic even under
+/// concurrent recording (only `sum` — and hence `mean` — depends on
+/// floating-point accumulation order).
 class Histogram {
  public:
-  /// Samples retained for percentile estimation (~8 KiB per histogram).
-  static constexpr std::size_t kReservoirSize = 1024;
+  static constexpr std::size_t kSubBuckets = 32;
+  static constexpr int kMinExponent = -30;
+  static constexpr int kMaxExponent = 29;
+  static constexpr std::size_t kOctaves =
+      static_cast<std::size_t>(kMaxExponent - kMinExponent + 1);
+  /// Underflow bucket at index 0, overflow bucket last.
+  static constexpr std::size_t kBucketCount = kOctaves * kSubBuckets + 2;
+  /// Smallest / one-past-largest trackable value (2^-30 and 2^30, exact).
+  static constexpr double kMinValue = 1.0 / (1ull << 30);
+  static constexpr double kMaxValue = static_cast<double>(1ull << 30);
 
-  explicit Histogram(std::vector<double> bounds);
+  Histogram();
 
   void Observe(double value);
   HistogramSnapshot Snapshot() const;
+  /// Zero every bucket.  Like Counter::Reset, callers must be quiescent.
   void Reset();
 
+  /// Grid geometry, shared with snapshot mergers and the sww_top
+  /// aggregator (which reconstructs bucket extents from exposition
+  /// formats that only carry upper bounds).
+  static std::size_t BucketIndex(double value);
+  static double BucketUpperBound(std::size_t index);
+  /// Exact lower bound of the grid bucket whose upper bound is `upper`
+  /// (both ends are exactly representable, so this is reconstruction,
+  /// not approximation).  Returns 0 for non-positive or +inf input.
+  static double LowerBoundForUpper(double upper);
+
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> bounds_;          // sorted upper bounds
-  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 buckets
-  std::vector<double> reservoir_;       // ≤ kReservoirSize samples
-  std::uint64_t rng_state_;             // SplitMix64 replacement stream
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::size_t count_ = 0;
+  /// No per-cell observation count: the bucket array already holds it
+  /// (underflow and overflow included), so Snapshot derives the total and
+  /// Observe pays for one fewer atomic on the hot path.
+  struct alignas(64) Cell {
+    std::atomic<double> sum{0.0};
+    std::atomic<std::uint64_t> min_bits;
+    std::atomic<std::uint64_t> max_bits;
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets{};
+  };
+  static constexpr std::size_t kCells = 8;
+
+  std::array<Cell, kCells> cells_;
 };
 
-/// Common bucket presets.
-std::vector<double> LatencyBucketsSeconds();  ///< 100 µs … ~1000 s, log scale
-std::vector<double> ByteBuckets();            ///< 64 B … 16 MiB, powers of 4
+/// Quantile estimate (q in [0, 100]) from a snapshot's bucket counts:
+/// the midpoint of the bucket holding rank floor(q/100·(count−1)) — the
+/// same rank convention as metrics::Percentile, the in-tree sort-based
+/// oracle the differential tests compare against — clamped to
+/// [min, max].  Deterministic given the bucket counts.
+double HistogramSnapshotQuantile(const HistogramSnapshot& snapshot, double q);
+
+/// Merge snapshots taken from the shared log-linear grid (possibly from
+/// different processes): bucket counts add exactly; quantiles/mean are
+/// recomputed from the merged buckets.
+HistogramSnapshot MergeHistogramSnapshots(
+    const std::vector<HistogramSnapshot>& parts);
 
 /// Point-in-time view of the whole registry.  Deterministic: instruments
 /// are keyed by name in sorted order.
@@ -147,9 +207,7 @@ class Registry {
   /// lifetime (including across Reset).
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
-  /// `bounds` is honored only on first creation; empty means
-  /// LatencyBucketsSeconds().
-  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds = {});
+  Histogram& GetHistogram(std::string_view name);
 
   RegistrySnapshot Snapshot() const;
 

@@ -1,5 +1,6 @@
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -15,7 +16,40 @@ std::chrono::steady_clock::time_point ProcessStart() {
   return start;
 }
 
+std::uint64_t MonotonicNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - ProcessStart())
+          .count());
+}
+
 char ToLowerAscii(char c) { return c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c; }
+
+// Minimal JSON string escaping (util cannot link src/json).  Control
+// bytes use \u00XX; the output is valid RFC 8259 for any input bytes
+// that are valid UTF-8 (and never corrupts the line otherwise).
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
 
 }  // namespace
 
@@ -40,6 +74,23 @@ std::optional<LogLevel> ParseLogLevel(std::string_view name) {
   return std::nullopt;
 }
 
+std::string FormatLogJson(double elapsed_seconds, LogLevel level,
+                          std::string_view component,
+                          std::string_view message) {
+  char ts[48];
+  std::snprintf(ts, sizeof(ts), "%.6f", elapsed_seconds);
+  std::string line = "{\"ts\":";
+  line += ts;
+  line += ",\"level\":\"";
+  line += LogLevelName(level);
+  line += "\",\"component\":";
+  AppendJsonEscaped(line, component);
+  line += ",\"message\":";
+  AppendJsonEscaped(line, message);
+  line += '}';
+  return line;
+}
+
 Logger::Logger() {
   ProcessStart();  // pin the timestamp origin to logger construction
   if (const char* env = std::getenv("SWW_LOG_LEVEL"); env != nullptr) {
@@ -47,11 +98,23 @@ Logger::Logger() {
       SetLevel(*parsed);
     }
   }
-  sink_ = [](LogLevel level, std::string_view component, std::string_view message) {
+  if (const char* env = std::getenv("SWW_LOG_FORMAT"); env != nullptr) {
+    std::string lower;
+    for (const char* p = env; *p != '\0'; ++p) lower.push_back(ToLowerAscii(*p));
+    if (lower == "json") SetFormat(LogFormat::kJson);
+  }
+  sink_ = [this](LogLevel level, std::string_view component,
+                 std::string_view message) {
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       ProcessStart())
             .count();
+    if (format() == LogFormat::kJson) {
+      const std::string line =
+          FormatLogJson(elapsed, level, component, message);
+      std::fprintf(stderr, "%s\n", line.c_str());
+      return;
+    }
     std::fprintf(stderr, "[%10.6f] [%s] %.*s: %.*s\n", elapsed,
                  LogLevelName(level), static_cast<int>(component.size()),
                  component.data(), static_cast<int>(message.size()),
@@ -89,6 +152,67 @@ void LogWarn(std::string_view component, std::string_view message) {
 }
 void LogError(std::string_view component, std::string_view message) {
   Logger::Instance().Log(LogLevel::kError, component, message);
+}
+
+LogRateLimiter::LogRateLimiter() : LogRateLimiter(Options{}) {}
+
+LogRateLimiter::LogRateLimiter(Options options)
+    : options_(options),
+      micro_tokens_(static_cast<std::int64_t>(options.burst * 1e6)) {}
+
+bool LogRateLimiter::Admit(std::uint64_t* suppressed) {
+  if (suppressed != nullptr) *suppressed = 0;
+  const std::uint64_t now = MonotonicNanos();
+  // Refill: one thread claims the elapsed interval by swapping the refill
+  // timestamp forward; the claimed nanoseconds convert to micro-tokens.
+  const std::uint64_t last =
+      last_refill_nanos_.exchange(now, std::memory_order_relaxed);
+  if (now > last) {
+    const double earned =
+        static_cast<double>(now - last) * 1e-9 * options_.tokens_per_second * 1e6;
+    const auto cap = static_cast<std::int64_t>(options_.burst * 1e6);
+    std::int64_t current = micro_tokens_.load(std::memory_order_relaxed);
+    while (current < cap) {
+      const std::int64_t next =
+          std::min(cap, current + static_cast<std::int64_t>(earned));
+      if (micro_tokens_.compare_exchange_weak(current, next,
+                                              std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+  // Consume one token (1e6 micro-tokens) if the balance covers it.
+  std::int64_t current = micro_tokens_.load(std::memory_order_relaxed);
+  while (current >= 1'000'000) {
+    if (micro_tokens_.compare_exchange_weak(current, current - 1'000'000,
+                                            std::memory_order_relaxed)) {
+      if (suppressed != nullptr) {
+        *suppressed =
+            suppressed_since_admit_.exchange(0, std::memory_order_relaxed);
+      } else {
+        suppressed_since_admit_.store(0, std::memory_order_relaxed);
+      }
+      return true;
+    }
+  }
+  suppressed_since_admit_.fetch_add(1, std::memory_order_relaxed);
+  total_suppressed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void LogRateLimited(LogRateLimiter& limiter, LogLevel level,
+                    std::string_view component, std::string_view message) {
+  std::uint64_t suppressed = 0;
+  if (!limiter.Admit(&suppressed)) return;
+  if (suppressed == 0) {
+    Logger::Instance().Log(level, component, message);
+    return;
+  }
+  std::string annotated(message);
+  annotated += " (rate-limited: ";
+  annotated += std::to_string(suppressed);
+  annotated += " suppressed)";
+  Logger::Instance().Log(level, component, annotated);
 }
 
 }  // namespace sww::util

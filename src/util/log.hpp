@@ -9,10 +9,18 @@
 //
 // The initial level honours the SWW_LOG_LEVEL environment variable
 // (debug|info|warn|error, case-insensitive); unset or unrecognized values
-// keep the default (warn).
+// keep the default (warn).  SWW_LOG_FORMAT=json switches the default sink
+// to structured JSON lines ({"ts":...,"level":...,"component":...,
+// "message":...}); any other value keeps the human text format.
+//
+// Hot-path call sites wrap themselves in SWW_LOG_RATELIMITED, which gives
+// each site its own token bucket: a protocol-error storm or a per-frame
+// diagnostic cannot flood the sink, and the first admitted line after a
+// suppressed stretch reports how many lines were dropped.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -24,6 +32,11 @@ namespace sww::util {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 const char* LogLevelName(LogLevel level);
+
+/// Default-sink output shape.  kText is the historical human format;
+/// kJson emits one self-escaping JSON object per line (hand-rolled —
+/// util cannot depend on src/json, which depends on util).
+enum class LogFormat { kText, kJson };
 
 /// Parse "debug" / "info" / "warn" / "error" (case-insensitive).
 std::optional<LogLevel> ParseLogLevel(std::string_view name);
@@ -48,18 +61,76 @@ class Logger {
   /// Replace the sink; returns the previous one so tests can restore it.
   Sink SetSink(Sink sink);
 
+  /// Default-sink format (custom sinks render however they like).
+  void SetFormat(LogFormat format) {
+    format_.store(static_cast<int>(format), std::memory_order_relaxed);
+  }
+  LogFormat format() const {
+    return static_cast<LogFormat>(format_.load(std::memory_order_relaxed));
+  }
+
   void Log(LogLevel level, std::string_view component, std::string_view message);
 
  private:
   Logger();
   std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::atomic<int> format_{static_cast<int>(LogFormat::kText)};
   std::mutex mutex_;  // guards sink_ (swap and invocation)
   Sink sink_;
 };
+
+/// Render one log record as a JSON line (no trailing newline): what the
+/// default sink emits in kJson mode.  Exposed for tests and custom sinks.
+std::string FormatLogJson(double elapsed_seconds, LogLevel level,
+                          std::string_view component, std::string_view message);
 
 void LogDebug(std::string_view component, std::string_view message);
 void LogInfo(std::string_view component, std::string_view message);
 void LogWarn(std::string_view component, std::string_view message);
 void LogError(std::string_view component, std::string_view message);
+
+/// Per-call-site token bucket for hot-path logging.  Lock-free: tokens
+/// are micro-tokens in one atomic, refilled from the monotonic clock on
+/// every Admit.  A site that fires faster than `tokens_per_second` drops
+/// lines; the next admitted line learns how many were dropped.
+class LogRateLimiter {
+ public:
+  struct Options {
+    double tokens_per_second = 10.0;
+    double burst = 20.0;  ///< bucket capacity (initial balance)
+  };
+
+  LogRateLimiter();  ///< default Options
+  explicit LogRateLimiter(Options options);
+
+  /// True when this event may log.  On admission, *suppressed (if given)
+  /// receives the number of events dropped since the last admission.
+  bool Admit(std::uint64_t* suppressed = nullptr);
+
+  std::uint64_t total_suppressed() const {
+    return total_suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Options options_;
+  std::atomic<std::int64_t> micro_tokens_;
+  std::atomic<std::uint64_t> last_refill_nanos_{0};
+  std::atomic<std::uint64_t> suppressed_since_admit_{0};
+  std::atomic<std::uint64_t> total_suppressed_{0};
+};
+
+/// Log through `limiter`; a line admitted after drops carries a
+/// " (rate-limited: N suppressed)" suffix.
+void LogRateLimited(LogRateLimiter& limiter, LogLevel level,
+                    std::string_view component, std::string_view message);
+
+/// Per-call-site rate-limited logging: each expansion owns one static
+/// token bucket with default options.
+#define SWW_LOG_RATELIMITED(level, component, message)                       \
+  do {                                                                       \
+    static ::sww::util::LogRateLimiter sww_log_rate_limiter_;                \
+    ::sww::util::LogRateLimited(sww_log_rate_limiter_, (level), (component), \
+                                (message));                                  \
+  } while (0)
 
 }  // namespace sww::util

@@ -199,11 +199,11 @@ TEST(ExportFiles, WrittenArtifactsRoundTripThroughParser) {
   std::remove(trace_path.c_str());
 }
 
-TEST(HistogramReservoir, BoundedAndDeterministic) {
-  // Two identical observation streams — far beyond the reservoir size —
-  // must produce identical snapshots (the replacement stream is seeded).
-  Histogram a({1.0, 10.0, 100.0});
-  Histogram b({1.0, 10.0, 100.0});
+TEST(HistogramGrid, IdenticalStreamsSnapshotIdentically) {
+  // Two identical observation streams must produce identical snapshots:
+  // the grid has no sampling, so there is nothing to diverge.
+  Histogram a;
+  Histogram b;
   for (int i = 0; i < 20000; ++i) {
     const double value = (i * 37) % 1000;
     a.Observe(value);
@@ -212,6 +212,8 @@ TEST(HistogramReservoir, BoundedAndDeterministic) {
   const HistogramSnapshot sa = a.Snapshot();
   const HistogramSnapshot sb = b.Snapshot();
   EXPECT_EQ(sa.count, 20000u);
+  EXPECT_EQ(sa.bounds, sb.bounds);
+  EXPECT_EQ(sa.counts, sb.counts);
   EXPECT_DOUBLE_EQ(sa.p50, sb.p50);
   EXPECT_DOUBLE_EQ(sa.p95, sb.p95);
   EXPECT_DOUBLE_EQ(sa.p99, sb.p99);
@@ -220,22 +222,23 @@ TEST(HistogramReservoir, BoundedAndDeterministic) {
   EXPECT_GT(sa.p95, sa.p50);
   EXPECT_GE(sa.p99, sa.p95);
 
-  // Reset reseeds: the same stream again gives the same percentiles.
+  // Reset zeroes the grid: the same stream again snapshots identically.
   a.Reset();
   for (int i = 0; i < 20000; ++i) a.Observe((i * 37) % 1000);
   EXPECT_DOUBLE_EQ(a.Snapshot().p50, sb.p50);
 }
 
-TEST(HistogramReservoir, ExactBelowReservoirSize) {
-  Histogram hist({});
+TEST(HistogramGrid, QuantilesWithinBucketError) {
+  Histogram hist;
   for (int i = 1; i <= 100; ++i) hist.Observe(i);
   const HistogramSnapshot snap = hist.Snapshot();
   EXPECT_EQ(snap.count, 100u);
   EXPECT_DOUBLE_EQ(snap.min, 1.0);
   EXPECT_DOUBLE_EQ(snap.max, 100.0);
-  EXPECT_NEAR(snap.p50, 50.0, 1.0);
-  EXPECT_NEAR(snap.p95, 95.0, 1.0);
-  EXPECT_NEAR(snap.p99, 99.0, 1.0);
+  // Bucket midpoints land within the 1/32 relative bucket width.
+  EXPECT_NEAR(snap.p50, 50.0, 50.0 / 32.0);
+  EXPECT_NEAR(snap.p95, 95.0, 95.0 / 32.0);
+  EXPECT_NEAR(snap.p99, 99.0, 99.0 / 32.0);
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// obs_histogram_test — the HDR log-linear histogram against its in-tree
+// sort-based oracle (metrics::Percentile):
+//   * randomized differential quantiles on 10k lognormal samples stay
+//     within the documented 1/32 relative bucket error;
+//   * concurrent recording merges deterministically — bucket counts,
+//     count, min, max, and every quantile match a serial replay exactly;
+//   * grid geometry round-trips (BucketIndex ↔ BucketUpperBound ↔
+//     LowerBoundForUpper) and the documented edges hold (empty,
+//     single-sample, underflow, overflow);
+//   * MergeHistogramSnapshots over disjoint streams equals one histogram
+//     fed the union.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "obs/registry.hpp"
+
+namespace sww::obs {
+namespace {
+
+TEST(HistogramDifferential, QuantilesTrackSortOracleOnRandomStreams) {
+  // Three deterministic lognormal streams at very different scales —
+  // microsecond-ish latencies, unit-scale seconds, and large byte counts.
+  const struct {
+    double log_mean;
+    double log_sigma;
+  } shapes[] = {{-13.0, 1.0}, {0.0, 2.0}, {14.0, 0.5}};
+  for (const auto& shape : shapes) {
+    std::mt19937 rng(1234);
+    std::lognormal_distribution<double> dist(shape.log_mean, shape.log_sigma);
+    Histogram hist;
+    std::vector<double> values;
+    values.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      const double value = dist(rng);
+      values.push_back(value);
+      hist.Observe(value);
+    }
+    const HistogramSnapshot snap = hist.Snapshot();
+    ASSERT_EQ(snap.count, values.size());
+    for (const double q : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+      const double oracle = metrics::Percentile(values, q);
+      const double estimate = HistogramSnapshotQuantile(snap, q);
+      // Bucket midpoints are within half a bucket (1/64) of any value in
+      // the bucket; the oracle's interpolated rank can land one bucket
+      // over, so allow a full bucket width on either side.
+      EXPECT_NEAR(estimate, oracle, oracle / 16.0)
+          << "q=" << q << " sigma=" << shape.log_sigma;
+    }
+    // min/max are tracked exactly, not from the grid.
+    EXPECT_DOUBLE_EQ(snap.min, *std::min_element(values.begin(), values.end()));
+    EXPECT_DOUBLE_EQ(snap.max, *std::max_element(values.begin(), values.end()));
+  }
+}
+
+TEST(HistogramConcurrency, ConcurrentRecordingMergesDeterministically) {
+  // The same 10k-value stream recorded by 4 racing threads and by one
+  // serial loop must snapshot identically in everything but `sum`/`mean`
+  // (floating-point accumulation order).
+  std::mt19937 rng(99);
+  std::lognormal_distribution<double> dist(0.0, 3.0);
+  std::vector<double> values;
+  values.reserve(10000);
+  for (int i = 0; i < 10000; ++i) values.push_back(dist(rng));
+
+  Histogram serial;
+  for (double value : values) serial.Observe(value);
+
+  Histogram racing;
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&racing, &values, t] {
+      for (std::size_t i = t; i < values.size(); i += kThreads) {
+        racing.Observe(values[i]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const HistogramSnapshot a = serial.Snapshot();
+  const HistogramSnapshot b = racing.Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.bounds, b.bounds);
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+  // Same additions in a different order: near, not necessarily equal.
+  EXPECT_NEAR(a.sum, b.sum, std::abs(a.sum) * 1e-9);
+}
+
+TEST(HistogramEdges, EmptySnapshotIsAllZero) {
+  Histogram hist;
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_TRUE(snap.bounds.empty());
+  ASSERT_EQ(snap.counts.size(), 1u);  // just the (empty) overflow bucket
+  EXPECT_EQ(snap.counts[0], 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 0.0);
+  EXPECT_DOUBLE_EQ(HistogramSnapshotQuantile(snap, 99.0), 0.0);
+}
+
+TEST(HistogramEdges, SingleSampleQuantilesAreExact) {
+  Histogram hist;
+  hist.Observe(0.125);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  ASSERT_EQ(snap.bounds.size(), 1u);
+  ASSERT_EQ(snap.counts.size(), 2u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  // Clamping to [min, max] collapses the bucket midpoint onto the value.
+  EXPECT_DOUBLE_EQ(snap.min, 0.125);
+  EXPECT_DOUBLE_EQ(snap.max, 0.125);
+  EXPECT_DOUBLE_EQ(snap.p50, 0.125);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.125);
+}
+
+TEST(HistogramEdges, OverflowRoutesToMax) {
+  Histogram hist;
+  hist.Observe(Histogram::kMaxValue);  // first untrackable value
+  hist.Observe(1e12);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_TRUE(snap.bounds.empty());  // nothing in the tracked range
+  ASSERT_EQ(snap.counts.size(), 1u);
+  EXPECT_EQ(snap.counts.back(), 2u);
+  EXPECT_DOUBLE_EQ(snap.max, 1e12);
+  // Quantiles falling in the overflow bucket report the tracked max.
+  EXPECT_DOUBLE_EQ(snap.p50, 1e12);
+  EXPECT_DOUBLE_EQ(snap.p99, 1e12);
+}
+
+TEST(HistogramEdges, UnderflowAbsorbsZeroNegativeAndNaN) {
+  Histogram hist;
+  hist.Observe(0.0);
+  hist.Observe(-3.0);
+  hist.Observe(std::numeric_limits<double>::quiet_NaN());
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  ASSERT_EQ(snap.bounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.bounds[0], Histogram::kMinValue);
+  EXPECT_EQ(snap.counts[0], 3u);
+  // NaN never wins a min/max CAS; the real extremes survive.
+  EXPECT_DOUBLE_EQ(snap.min, -3.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+  // The underflow bucket midpoint clamps into [min, max].
+  EXPECT_DOUBLE_EQ(snap.p50, 0.0);
+}
+
+TEST(HistogramGeometry, IndexAndBoundsRoundTrip) {
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinValue), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(
+                std::nextafter(Histogram::kMinValue, 0.0)),
+            0u);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMaxValue),
+            Histogram::kBucketCount - 1);
+  for (std::size_t i = 1; i + 1 < Histogram::kBucketCount; i += 7) {
+    const double upper = Histogram::BucketUpperBound(i);
+    const double lower = Histogram::LowerBoundForUpper(upper);
+    ASSERT_LT(lower, upper) << i;
+    // Lower bound is inclusive, upper exclusive (it opens bucket i+1, or
+    // the overflow bucket when upper == kMaxValue).
+    EXPECT_EQ(Histogram::BucketIndex(lower), i);
+    EXPECT_EQ(Histogram::BucketIndex(std::nextafter(upper, 0.0)), i);
+    EXPECT_EQ(Histogram::BucketIndex(upper), i + 1);
+    // Relative bucket width never exceeds 1/kSubBuckets of the lower end.
+    EXPECT_LE(upper - lower,
+              lower / static_cast<double>(Histogram::kSubBuckets) * 1.0001);
+  }
+  // Bounds are strictly increasing across the whole grid.
+  for (std::size_t i = 1; i + 2 < Histogram::kBucketCount; ++i) {
+    EXPECT_LT(Histogram::BucketUpperBound(i), Histogram::BucketUpperBound(i + 1));
+  }
+}
+
+TEST(HistogramMerge, DisjointStreamsMergeToTheUnion) {
+  Histogram evens;
+  Histogram odds;
+  Histogram all;
+  for (int i = 1; i <= 1000; ++i) {
+    (i % 2 == 0 ? evens : odds).Observe(i);
+    all.Observe(i);
+  }
+  const HistogramSnapshot merged =
+      MergeHistogramSnapshots({evens.Snapshot(), odds.Snapshot()});
+  const HistogramSnapshot expected = all.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.bounds, expected.bounds);
+  EXPECT_EQ(merged.counts, expected.counts);
+  EXPECT_DOUBLE_EQ(merged.min, expected.min);
+  EXPECT_DOUBLE_EQ(merged.max, expected.max);
+  EXPECT_DOUBLE_EQ(merged.p50, expected.p50);
+  EXPECT_DOUBLE_EQ(merged.p95, expected.p95);
+  EXPECT_DOUBLE_EQ(merged.p99, expected.p99);
+  EXPECT_NEAR(merged.sum, expected.sum, expected.sum * 1e-12);
+
+  // Merging in an empty part changes nothing; merging nothing is empty.
+  const HistogramSnapshot with_empty =
+      MergeHistogramSnapshots({expected, Histogram().Snapshot()});
+  EXPECT_EQ(with_empty.counts, expected.counts);
+  EXPECT_DOUBLE_EQ(with_empty.p99, expected.p99);
+  const HistogramSnapshot none = MergeHistogramSnapshots({});
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.min, 0.0);
+  EXPECT_DOUBLE_EQ(none.max, 0.0);
+}
+
+}  // namespace
+}  // namespace sww::obs

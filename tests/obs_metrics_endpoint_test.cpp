@@ -1,0 +1,180 @@
+// obs_metrics_endpoint_test — the self-hosted telemetry plane over the
+// real HTTP/2 stack, under a ManualClock:
+//   * GET /metrics returns Prometheus text 0.0.4 that is well-formed
+//     (every sample preceded by its # TYPE line, histogram triplets
+//     consistent) and byte-identical across two fresh identical runs;
+//   * counters are monotone between consecutive scrapes on one session;
+//   * GET /debug/vars returns one JSON document that parses with the
+//     strict in-tree parser and carries the exporting clock's now_nanos.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/page_builder.hpp"
+#include "core/session.hpp"
+#include "json/json.hpp"
+#include "obs/clock.hpp"
+#include "obs/expose.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace sww::obs {
+namespace {
+
+/// One fresh deterministic run: reset the global telemetry state, fetch a
+/// generative page over a new in-process session, then scrape the plane.
+struct ScrapeRun {
+  std::string metrics;       // first GET /metrics
+  std::string debug_vars;    // GET /debug/vars
+  std::string metrics_again; // second GET /metrics, after the others
+  std::int64_t now_nanos = 0;  // manual clock at /debug/vars render time
+};
+
+ScrapeRun DriveScrapeRun() {
+  ScrapeRun out;
+  ManualClock clock;
+  Tracer::Default().SetClock(&clock);
+  Tracer::Default().Clear();
+  Registry::Default().Reset();
+
+  core::ContentStore store;
+  EXPECT_TRUE(store.AddPage("/", core::MakeGoldfishPage()).ok());
+  auto session = core::LocalSession::Start(&store, {});
+  EXPECT_TRUE(session.ok());
+  EXPECT_TRUE(session.value()->FetchPage("/").ok());
+
+  auto fetch = [&](const char* path, std::string* body_out,
+                   const char* want_content_type) {
+    auto raw =
+        session.value()->client().FetchRaw(path, session.value()->Pump());
+    ASSERT_TRUE(raw.ok()) << raw.error().ToString();
+    EXPECT_EQ(raw.value().status, 200) << path;
+    EXPECT_EQ(raw.value().Header("content-type").value_or(""),
+              want_content_type)
+        << path;
+    body_out->assign(raw.value().body.begin(), raw.value().body.end());
+  };
+  fetch("/metrics", &out.metrics, kPrometheusContentType);
+  out.now_nanos = static_cast<std::int64_t>(clock.NowNanos());
+  fetch("/debug/vars", &out.debug_vars, "application/json");
+  fetch("/metrics", &out.metrics_again, kPrometheusContentType);
+
+  Tracer::Default().SetClock(nullptr);
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// Value of a plain (label-free) sample, or -1 when absent.
+double SampleValue(const std::string& exposition, const std::string& series) {
+  for (const std::string& line : SplitLines(exposition)) {
+    if (line.compare(0, series.size() + 1, series + " ") == 0) {
+      return std::strtod(line.c_str() + series.size() + 1, nullptr);
+    }
+  }
+  return -1.0;
+}
+
+TEST(MetricsEndpoint, TwoFreshRunsAreByteIdentical) {
+  const ScrapeRun first = DriveScrapeRun();
+  const ScrapeRun second = DriveScrapeRun();
+  EXPECT_FALSE(first.metrics.empty());
+  EXPECT_EQ(first.metrics, second.metrics);
+  EXPECT_EQ(first.debug_vars, second.debug_vars);
+  EXPECT_EQ(first.metrics_again, second.metrics_again);
+}
+
+TEST(MetricsEndpoint, PrometheusExpositionIsWellFormed) {
+  const ScrapeRun run = DriveScrapeRun();
+  std::map<std::string, std::string> type_of;  // series base → counter/...
+  for (const std::string& line : SplitLines(run.metrics)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      const std::string name = rest.substr(0, space);
+      const std::string type = rest.substr(space + 1);
+      EXPECT_EQ(name.rfind("sww_", 0), 0u) << line;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      EXPECT_EQ(type_of.count(name), 0u) << "duplicate TYPE for " << name;
+      type_of[name] = type;
+      continue;
+    }
+    // A sample: name[{labels}] value — its base series must have a TYPE.
+    std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    std::string base = line.substr(0, name_end);
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string with = base;
+      if (with.size() > std::strlen(suffix) &&
+          with.compare(with.size() - std::strlen(suffix), std::string::npos,
+                       suffix) == 0) {
+        const std::string stripped =
+            with.substr(0, with.size() - std::strlen(suffix));
+        if (type_of.count(stripped) != 0u) base = stripped;
+      }
+    }
+    EXPECT_EQ(type_of.count(base), 1u) << "sample without TYPE: " << line;
+  }
+
+  // The page fetch shows up with exact counts.
+  EXPECT_EQ(SampleValue(run.metrics, "sww_server_requests"), 1.0);
+  EXPECT_EQ(SampleValue(run.metrics, "sww_client_pages_fetched"), 1.0);
+  // Histogram triplet: +Inf bucket equals _count.
+  const double count = SampleValue(run.metrics, "sww_server_page_bytes_count");
+  EXPECT_EQ(count, 1.0);
+  EXPECT_NE(run.metrics.find("sww_server_page_bytes_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsEndpoint, CountersAreMonotoneBetweenScrapes) {
+  const ScrapeRun run = DriveScrapeRun();
+  // Each scrape rides the same HTTP/2 connection, so frame counters grow.
+  EXPECT_GT(SampleValue(run.metrics_again, "sww_http2_frames_sent"),
+            SampleValue(run.metrics, "sww_http2_frames_sent"));
+  // The telemetry handler counts itself: 1 at the first render, 3 by the
+  // third (metrics, debug/vars, metrics).
+  EXPECT_EQ(SampleValue(run.metrics, "sww_server_telemetry_requests"), 1.0);
+  EXPECT_EQ(SampleValue(run.metrics_again, "sww_server_telemetry_requests"),
+            3.0);
+}
+
+TEST(MetricsEndpoint, DebugVarsParsesAndCarriesTheManualClock) {
+  const ScrapeRun run = DriveScrapeRun();
+  auto parsed = json::Parse(run.debug_vars);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_EQ(parsed.value().GetInt("now_nanos"), run.now_nanos);
+  const json::Value* counters = parsed.value().Get("counters");
+  ASSERT_NE(counters, nullptr);
+  // The page fetch plus the /metrics scrape that preceded this render.
+  EXPECT_EQ(counters->GetInt("server.requests"), 2);
+  const json::Value* histograms = parsed.value().Get("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* page_bytes = histograms->Get("server.page_bytes");
+  ASSERT_NE(page_bytes, nullptr);
+  EXPECT_EQ(page_bytes->GetInt("count"), 1);
+  for (const char* key : {"sum", "min", "max", "mean", "p50", "p95", "p99",
+                          "bounds", "counts"}) {
+    EXPECT_TRUE(page_bytes->Has(key)) << key;
+  }
+}
+
+}  // namespace
+}  // namespace sww::obs

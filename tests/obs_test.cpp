@@ -78,7 +78,7 @@ TEST(Registry, HandlesSurviveReset) {
 
 TEST(Histogram, BucketsAndPercentiles) {
   Registry registry;
-  Histogram& h = registry.GetHistogram("test.hist", {10.0, 100.0});
+  Histogram& h = registry.GetHistogram("test.hist");
   for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
   HistogramSnapshot snap = h.Snapshot();
   EXPECT_EQ(snap.count, 100u);
@@ -86,15 +86,22 @@ TEST(Histogram, BucketsAndPercentiles) {
   EXPECT_DOUBLE_EQ(snap.min, 1.0);
   EXPECT_DOUBLE_EQ(snap.max, 100.0);
   EXPECT_DOUBLE_EQ(snap.mean, 50.5);
-  ASSERT_EQ(snap.bounds.size(), 2u);
-  ASSERT_EQ(snap.counts.size(), 3u);
-  // 1..10 <= 10; 11..100 <= 100; nothing overflows.
-  EXPECT_EQ(snap.counts[0], 10u);
-  EXPECT_EQ(snap.counts[1], 90u);
-  EXPECT_EQ(snap.counts[2], 0u);
-  EXPECT_NEAR(snap.p50, 50.0, 1.0);
-  EXPECT_NEAR(snap.p95, 95.0, 1.0);
-  EXPECT_NEAR(snap.p99, 99.0, 1.0);
+  // Occupied-bucket compression: every count maps to a grid bucket whose
+  // extent brackets it, totals add back up, and nothing overflows.
+  ASSERT_EQ(snap.counts.size(), snap.bounds.size() + 1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+    EXPECT_GT(snap.counts[i], 0u);
+    EXPECT_GT(snap.bounds[i], Histogram::LowerBoundForUpper(snap.bounds[i]));
+    total += snap.counts[i];
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(snap.counts.back(), 0u);  // overflow bucket empty
+  // Quantiles from bucket midpoints: within the grid's 1/32 relative
+  // bucket width of the exact order statistics.
+  EXPECT_NEAR(snap.p50, 50.0, 50.0 / 32.0);
+  EXPECT_NEAR(snap.p95, 95.0, 95.0 / 32.0);
+  EXPECT_NEAR(snap.p99, 99.0, 99.0 / 32.0);
 }
 
 TEST(Registry, SnapshotIsDeterministicallyOrdered) {
@@ -278,7 +285,7 @@ TEST(Export, JsonLinesEveryLineParses) {
   Registry registry;
   registry.GetCounter("lines.counter").Add(7);
   registry.GetGauge("lines.gauge").Set(1.25);
-  Histogram& h = registry.GetHistogram("lines.hist", {1.0, 2.0});
+  Histogram& h = registry.GetHistogram("lines.hist");
   h.Observe(0.5);
   h.Observe(1.5);
   const std::string out = ExportJsonLines(registry.Snapshot());

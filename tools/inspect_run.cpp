@@ -4,6 +4,7 @@
 #include <sys/types.h>
 
 #include <cerrno>
+#include <string_view>
 
 #include "cdn/catalog.hpp"
 #include "cdn/edge.hpp"
@@ -15,6 +16,7 @@
 #include "obs/flight.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "tools/top.hpp"
 
 namespace sww::tools {
 
@@ -116,6 +118,33 @@ Result<InspectResult> RunInspect(const InspectOptions& options) {
     cdn::EdgeNode edge(cdn::EdgeMode::kPromptMode, 1 << 20,
                        image_model.value(), text_model.value());
     DriveEdgeLeg(edge, catalog);
+
+    // --- telemetry plane, over the same live connection -------------------
+    // Last on purpose: by now every instrument in the run has registered,
+    // so the scraped series set is the full, stable set.  (Registry::Reset
+    // zeroes but never removes instruments, so scraping before a phase
+    // first registers its series would make run N+1's exposition differ
+    // from run N's.)
+    for (const char* path : {"/metrics", "/debug/vars"}) {
+      auto raw = session.value()->client().FetchRaw(path, session.value()->Pump());
+      if (!raw.ok()) {
+        tracer.SetClock(nullptr);
+        return raw.error();
+      }
+      std::string body(raw.value().body.begin(), raw.value().body.end());
+      if (std::string_view(path) == "/metrics") {
+        result.metrics_prom = std::move(body);
+      } else {
+        result.debug_vars_json = std::move(body);
+      }
+    }
+    auto top_sample = ParsePrometheusText(result.metrics_prom);
+    if (!top_sample.ok()) {
+      tracer.SetClock(nullptr);
+      return top_sample.error();
+    }
+    result.top_text = RenderTopTable(MergeSamples({top_sample.value()}),
+                                     /*source_count=*/1);
   }
 
   // --- analyze + render --------------------------------------------------
@@ -148,6 +177,9 @@ Status WriteInspectArtifacts(const InspectResult& result,
       {"run.frames.jsonl", &result.frames_jsonl},
       {"run.trace.json", &result.trace_json},
       {"run.metrics.jsonl", &result.metrics_jsonl},
+      {"run.metrics.prom", &result.metrics_prom},
+      {"run.debug_vars.json", &result.debug_vars_json},
+      {"run.top.txt", &result.top_text},
   };
   for (const Artifact& artifact : artifacts) {
     if (Status status =

@@ -31,6 +31,11 @@ struct InspectResult {
   std::string frames_text;    ///< tcpdump-style view of the same frames
   std::string trace_json;     ///< run.trace.json (Chrome trace_event)
   std::string metrics_jsonl;  ///< run.metrics.jsonl (registry snapshot)
+  /// Telemetry-plane views, fetched live over the session's own HTTP/2
+  /// connection mid-run (so the goldens also pin the wire path):
+  std::string metrics_prom;     ///< run.metrics.prom (GET /metrics body)
+  std::string debug_vars_json;  ///< run.debug_vars.json (GET /debug/vars)
+  std::string top_text;         ///< run.top.txt (sww_top --once rendering)
 };
 
 /// Run the instrumented session.  Resets the process-wide tracer,

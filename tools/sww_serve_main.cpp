@@ -1,0 +1,94 @@
+// sww_serve — a minimal self-hosted GenerativeServer over loopback TCP,
+// mainly so CI (and humans) can point sww_top or curl-alikes at a live
+// /metrics endpoint.  Serves the goldfish page at "/" plus the telemetry
+// routes; accepts one connection at a time and exits after
+// --max-connections connections (0 = run until killed).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+
+#include "core/page_builder.hpp"
+#include "core/session.hpp"
+#include "net/pump.hpp"
+#include "net/tcp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sww;
+
+  std::uint16_t port = 0;
+  int max_connections = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      const char* value = next("--port");
+      if (value == nullptr) return 2;
+      port = static_cast<std::uint16_t>(std::atoi(value));
+    } else if (arg == "--max-connections") {
+      const char* value = next("--max-connections");
+      if (value == nullptr) return 2;
+      max_connections = std::atoi(value);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--max-connections N]\n"
+                   "  --port 0 picks a free port (printed on stdout)\n",
+                   argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  core::ContentStore store;
+  if (auto status = store.AddPage("/", core::MakeGoldfishPage());
+      !status.ok()) {
+    std::fprintf(stderr, "AddPage: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto listener = net::TcpListener::Bind(port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "bind: %s\n", listener.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("listening 127.0.0.1:%u\n", listener.value()->port());
+  std::fflush(stdout);
+
+  int served = 0;
+  while (max_connections == 0 || served < max_connections) {
+    auto transport = listener.value()->Accept(30000);
+    if (!transport.ok()) {
+      std::fprintf(stderr, "accept: %s\n",
+                   transport.error().ToString().c_str());
+      return 1;
+    }
+    auto server = core::GenerativeServer::Create(&store, {});
+    if (!server.ok()) {
+      std::fprintf(stderr, "server: %s\n", server.error().ToString().c_str());
+      return 1;
+    }
+    server.value()->StartHandshake();
+    for (int round = 0; round < 1000000; ++round) {
+      auto pumped =
+          net::PumpOnce(server.value()->connection(), *transport.value());
+      if (!pumped.ok() || pumped.value().peer_closed) break;
+      if (auto status = server.value()->ProcessEvents(); !status.ok()) break;
+      if (!pumped.value().made_progress) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    transport.value()->Close();
+    ++served;
+    std::printf("connection %d closed (%llu requests served)\n", served,
+                static_cast<unsigned long long>(
+                    server.value()->stats().requests));
+    std::fflush(stdout);
+  }
+  return 0;
+}

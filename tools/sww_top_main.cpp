@@ -1,0 +1,8 @@
+// sww_top — live aggregator over the telemetry plane: scrapes /metrics
+// endpoints (and/or reads snapshot files) and renders a refreshing
+// quantile/ratio table.  See tools/top.hpp.
+#include "tools/top.hpp"
+
+int main(int argc, char** argv) {
+  return sww::tools::RunTopMain(argc, argv);
+}

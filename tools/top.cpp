@@ -1,0 +1,446 @@
+#include "tools/top.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/client.hpp"
+#include "json/json.hpp"
+#include "net/pump.hpp"
+#include "net/tcp.hpp"
+#include "obs/expose.hpp"
+#include "obs/export.hpp"
+
+namespace sww::tools {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+/// Cumulative histogram state accumulated while scanning exposition lines.
+struct HistogramBuild {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> cumulative;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  bool have_count = false;
+};
+
+/// Rebuild a HistogramSnapshot from cumulative buckets.  The exposition
+/// format carries no min/max, so they come from the occupied bucket
+/// extents — good to the grid's bucket error, which is all the quantile
+/// path promises anyway.
+obs::HistogramSnapshot FinalizeHistogram(const HistogramBuild& build) {
+  obs::HistogramSnapshot snapshot;
+  std::uint64_t previous = 0;
+  for (std::size_t i = 0; i < build.bounds.size(); ++i) {
+    const std::uint64_t n =
+        build.cumulative[i] >= previous ? build.cumulative[i] - previous : 0;
+    previous = build.cumulative[i];
+    snapshot.bounds.push_back(build.bounds[i]);
+    snapshot.counts.push_back(n);
+  }
+  const std::uint64_t overflow = build.count >= previous
+                                     ? build.count - previous
+                                     : 0;  // +Inf bucket
+  snapshot.counts.push_back(overflow);
+  snapshot.count = static_cast<std::size_t>(build.count);
+  snapshot.sum = build.sum;
+  for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
+    if (snapshot.counts[i] == 0) continue;
+    if (snapshot.min == 0.0) {
+      snapshot.min = obs::Histogram::LowerBoundForUpper(snapshot.bounds[i]);
+    }
+    snapshot.max = snapshot.bounds[i];
+  }
+  if (overflow > 0) snapshot.max = obs::Histogram::kMaxValue;
+  if (snapshot.count > 0) {
+    snapshot.mean = snapshot.sum / static_cast<double>(snapshot.count);
+    snapshot.p50 = obs::HistogramSnapshotQuantile(snapshot, 50.0);
+    snapshot.p95 = obs::HistogramSnapshotQuantile(snapshot, 95.0);
+    snapshot.p99 = obs::HistogramSnapshotQuantile(snapshot, 99.0);
+  }
+  return snapshot;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+Result<MetricsSample> ParsePrometheusText(std::string_view text) {
+  MetricsSample sample;
+  std::map<std::string, std::string> types;  // series → counter/gauge/histogram
+  std::map<std::string, HistogramBuild> builds;
+  std::size_t start = 0;
+  std::size_t line_number = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& what) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "prometheus line " + std::to_string(line_number) + ": " +
+                       what + ": " + std::string(line));
+    };
+    if (line[0] == '#') {
+      // Only "# TYPE <series> <type>" carries structure; other comments
+      // are ignored.
+      constexpr std::string_view kType = "# TYPE ";
+      if (line.substr(0, kType.size()) != kType) continue;
+      const std::string_view rest = line.substr(kType.size());
+      const std::size_t space = rest.find(' ');
+      if (space == std::string_view::npos) return fail("malformed TYPE");
+      types[std::string(rest.substr(0, space))] =
+          std::string(rest.substr(space + 1));
+      continue;
+    }
+    // Sample line: <name>[{labels}] <value>
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) return fail("no value");
+    const std::string name(line.substr(0, std::min(brace, space)));
+    const std::string value_text(line.substr(line.rfind(' ') + 1));
+    if (auto it = types.find(name); it != types.end()) {
+      if (it->second == "counter") {
+        sample.counters[name] =
+            std::strtoull(value_text.c_str(), nullptr, 10);
+        continue;
+      }
+      if (it->second == "gauge") {
+        sample.gauges[name] = std::strtod(value_text.c_str(), nullptr);
+        continue;
+      }
+    }
+    // Histogram member lines: <base>_bucket{le="..."} / <base>_sum /
+    // <base>_count, where <base> was declared "# TYPE <base> histogram".
+    auto histogram_base = [&](std::string_view suffix) -> std::string {
+      if (!EndsWith(name, suffix)) return {};
+      const std::string base = name.substr(0, name.size() - suffix.size());
+      auto it = types.find(base);
+      return it != types.end() && it->second == "histogram" ? base
+                                                            : std::string{};
+    };
+    if (const std::string base = histogram_base("_bucket"); !base.empty()) {
+      constexpr std::string_view kLe = "{le=\"";
+      const std::size_t le = line.find(kLe);
+      if (le == std::string_view::npos) return fail("bucket without le");
+      const std::size_t le_start = le + kLe.size();
+      const std::size_t le_end = line.find('"', le_start);
+      if (le_end == std::string_view::npos) return fail("unterminated le");
+      const std::string le_text(line.substr(le_start, le_end - le_start));
+      HistogramBuild& build = builds[base];
+      const std::uint64_t cumulative =
+          std::strtoull(value_text.c_str(), nullptr, 10);
+      if (le_text == "+Inf") {
+        build.count = cumulative;
+        build.have_count = true;
+      } else {
+        build.bounds.push_back(std::strtod(le_text.c_str(), nullptr));
+        build.cumulative.push_back(cumulative);
+      }
+      continue;
+    }
+    if (const std::string base = histogram_base("_sum"); !base.empty()) {
+      builds[base].sum = std::strtod(value_text.c_str(), nullptr);
+      continue;
+    }
+    if (const std::string base = histogram_base("_count"); !base.empty()) {
+      builds[base].count = std::strtoull(value_text.c_str(), nullptr, 10);
+      builds[base].have_count = true;
+      continue;
+    }
+    return fail("series without TYPE");
+  }
+  for (const auto& [base, build] : builds) {
+    if (!build.have_count) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "histogram " + base + " has buckets but no _count");
+    }
+    sample.histograms[base] = FinalizeHistogram(build);
+  }
+  return sample;
+}
+
+Result<MetricsSample> ParseMetricsJsonl(std::string_view text) {
+  MetricsSample sample;
+  std::size_t start = 0;
+  std::size_t line_number = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    auto parsed = json::Parse(line);
+    if (!parsed.ok()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "jsonl line " + std::to_string(line_number) + ": " +
+                       parsed.error().ToString());
+    }
+    const json::Value& doc = parsed.value();
+    const std::string kind = doc.GetString("kind");
+    const std::string series = obs::PrometheusSeriesName(doc.GetString("name"));
+    if (kind == "counter") {
+      sample.counters[series] =
+          static_cast<std::uint64_t>(doc.GetInt("value"));
+    } else if (kind == "gauge") {
+      sample.gauges[series] = doc.GetNumber("value");
+    } else if (kind == "histogram") {
+      obs::HistogramSnapshot snapshot;
+      snapshot.count = static_cast<std::size_t>(doc.GetInt("count"));
+      snapshot.sum = doc.GetNumber("sum");
+      snapshot.min = doc.GetNumber("min");
+      snapshot.max = doc.GetNumber("max");
+      snapshot.mean = doc.GetNumber("mean");
+      snapshot.p50 = doc.GetNumber("p50");
+      snapshot.p95 = doc.GetNumber("p95");
+      snapshot.p99 = doc.GetNumber("p99");
+      if (const json::Value* bounds = doc.Get("bounds");
+          bounds != nullptr && bounds->is_array()) {
+        for (const json::Value& bound : bounds->AsArray()) {
+          snapshot.bounds.push_back(bound.AsNumber());
+        }
+      }
+      if (const json::Value* counts = doc.Get("counts");
+          counts != nullptr && counts->is_array()) {
+        for (const json::Value& count : counts->AsArray()) {
+          snapshot.counts.push_back(
+              static_cast<std::uint64_t>(count.AsInt()));
+        }
+      }
+      if (snapshot.counts.size() != snapshot.bounds.size() + 1) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "jsonl line " + std::to_string(line_number) +
+                         ": histogram counts/bounds mismatch");
+      }
+      sample.histograms[series] = std::move(snapshot);
+    } else {
+      return Error(ErrorCode::kInvalidArgument,
+                   "jsonl line " + std::to_string(line_number) +
+                       ": unknown kind \"" + kind + "\"");
+    }
+  }
+  return sample;
+}
+
+MetricsSample MergeSamples(const std::vector<MetricsSample>& samples) {
+  MetricsSample merged;
+  merged.source = "merged";
+  std::map<std::string, std::vector<obs::HistogramSnapshot>> parts;
+  for (const MetricsSample& sample : samples) {
+    for (const auto& [name, value] : sample.counters) {
+      merged.counters[name] += value;
+    }
+    for (const auto& [name, value] : sample.gauges) {
+      merged.gauges[name] += value;
+    }
+    for (const auto& [name, histogram] : sample.histograms) {
+      parts[name].push_back(histogram);
+    }
+  }
+  for (const auto& [name, snapshots] : parts) {
+    merged.histograms[name] = obs::MergeHistogramSnapshots(snapshots);
+  }
+  return merged;
+}
+
+std::string RenderTopTable(const MetricsSample& merged,
+                           std::size_t source_count) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "sww_top — %zu source%s · %zu counters · %zu gauges · %zu "
+                "histograms\n",
+                source_count, source_count == 1 ? "" : "s",
+                merged.counters.size(), merged.gauges.size(),
+                merged.histograms.size());
+  out += line;
+  if (!merged.histograms.empty()) {
+    std::snprintf(line, sizeof(line), "\n%-44s %10s %10s %10s %10s %10s\n",
+                  "HISTOGRAM", "COUNT", "P50", "P95", "P99", "MAX");
+    out += line;
+    for (const auto& [name, h] : merged.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "%-44s %10zu %10.4g %10.4g %10.4g %10.4g\n", name.c_str(),
+                    h.count, h.p50, h.p95, h.p99, h.max);
+      out += line;
+    }
+  }
+  if (!merged.gauges.empty()) {
+    std::snprintf(line, sizeof(line), "\n%-44s %10s\n", "GAUGE", "VALUE");
+    out += line;
+    for (const auto& [name, value] : merged.gauges) {
+      std::snprintf(line, sizeof(line), "%-44s %10.6g\n", name.c_str(), value);
+      out += line;
+    }
+  }
+  if (!merged.counters.empty()) {
+    std::snprintf(line, sizeof(line), "\n%-44s %10s\n", "COUNTER", "VALUE");
+    out += line;
+    for (const auto& [name, value] : merged.counters) {
+      std::snprintf(line, sizeof(line), "%-44s %10llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+  return out;
+}
+
+Result<MetricsSample> ScrapeOnce(std::uint16_t port, const std::string& path) {
+  auto transport = net::TcpConnect(port);
+  if (!transport.ok()) return transport.error();
+  auto client = core::GenerativeClient::Create({});
+  if (!client.ok()) return client.error();
+  client.value()->StartHandshake();
+  auto pump = [&]() -> util::Status {
+    auto pumped =
+        net::PumpOnce(client.value()->connection(), *transport.value());
+    if (!pumped.ok()) return pumped.error();
+    if (!pumped.value().made_progress) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return util::Status::Ok();
+  };
+  auto response = client.value()->FetchRaw(path, pump);
+  transport.value()->Close();
+  if (!response.ok()) return response.error();
+  if (response.value().status != 200) {
+    return Error(ErrorCode::kInvalidArgument,
+                 path + " returned status " +
+                     std::to_string(response.value().status));
+  }
+  const util::Bytes& body = response.value().body;
+  auto sample = ParsePrometheusText(
+      std::string_view(reinterpret_cast<const char*>(body.data()),
+                       body.size()));
+  if (!sample.ok()) return sample.error();
+  sample.value().source = "127.0.0.1:" + std::to_string(port) + path;
+  return sample;
+}
+
+namespace {
+
+void PrintTopUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--once] [--interval-ms N] [--endpoint PORT]...\n"
+               "          [--prom FILE]... [--jsonl FILE]...\n",
+               argv0);
+}
+
+}  // namespace
+
+int RunTopMain(int argc, char** argv) {
+  bool once = false;
+  int interval_ms = 1000;
+  std::vector<std::uint16_t> endpoints;
+  std::vector<std::string> prom_files;
+  std::vector<std::string> jsonl_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval-ms") {
+      const char* value = next("--interval-ms");
+      if (value == nullptr) return 2;
+      interval_ms = std::atoi(value);
+    } else if (arg == "--endpoint") {
+      const char* value = next("--endpoint");
+      if (value == nullptr) return 2;
+      endpoints.push_back(static_cast<std::uint16_t>(std::atoi(value)));
+    } else if (arg == "--prom") {
+      const char* value = next("--prom");
+      if (value == nullptr) return 2;
+      prom_files.emplace_back(value);
+    } else if (arg == "--jsonl") {
+      const char* value = next("--jsonl");
+      if (value == nullptr) return 2;
+      jsonl_files.emplace_back(value);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintTopUsage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      PrintTopUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (endpoints.empty() && prom_files.empty() && jsonl_files.empty()) {
+    std::fprintf(stderr, "no sources: give --endpoint, --prom, or --jsonl\n");
+    PrintTopUsage(argv[0]);
+    return 2;
+  }
+
+  for (;;) {
+    std::vector<MetricsSample> samples;
+    for (const std::string& file : prom_files) {
+      auto contents = obs::ReadTextFile(file);
+      if (!contents.ok()) {
+        std::fprintf(stderr, "%s\n", contents.error().ToString().c_str());
+        return 1;
+      }
+      auto sample = ParsePrometheusText(contents.value());
+      if (!sample.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     sample.error().ToString().c_str());
+        return 1;
+      }
+      sample.value().source = file;
+      samples.push_back(std::move(sample.value()));
+    }
+    for (const std::string& file : jsonl_files) {
+      auto contents = obs::ReadTextFile(file);
+      if (!contents.ok()) {
+        std::fprintf(stderr, "%s\n", contents.error().ToString().c_str());
+        return 1;
+      }
+      auto sample = ParseMetricsJsonl(contents.value());
+      if (!sample.ok()) {
+        std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                     sample.error().ToString().c_str());
+        return 1;
+      }
+      sample.value().source = file;
+      samples.push_back(std::move(sample.value()));
+    }
+    for (std::uint16_t port : endpoints) {
+      auto sample = ScrapeOnce(port);
+      if (!sample.ok()) {
+        std::fprintf(stderr, "scrape 127.0.0.1:%u: %s\n", port,
+                     sample.error().ToString().c_str());
+        return 1;
+      }
+      samples.push_back(std::move(sample.value()));
+    }
+    const std::string table =
+        RenderTopTable(MergeSamples(samples), samples.size());
+    if (once) {
+      std::fputs(table.c_str(), stdout);
+      return 0;
+    }
+    // Refresh in place: home the cursor and clear below, like top(1).
+    std::fputs("\x1b[H\x1b[J", stdout);
+    std::fputs(table.c_str(), stdout);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+}  // namespace sww::tools

@@ -1,0 +1,70 @@
+// top.hpp — the sww_top aggregator: scrape /metrics endpoints (or read
+// JSONL / Prometheus snapshot files), merge the samples on the shared
+// log-linear histogram grid, and render one refreshing quantile/ratio
+// table.
+//
+// Parsing and merging are pure functions over strings, so the whole
+// aggregation path is unit-testable without sockets; ScrapeOnce is the
+// only networked piece (a raw HTTP/2 GET over loopback TCP using the
+// repo's own client stack).  `sww_top --once` renders a single table and
+// exits — deterministic input files produce a byte-stable table, which is
+// what lets CI golden-check the tool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+
+namespace sww::tools {
+
+/// One source's parsed metric state.  Keys are Prometheus series names
+/// (obs::PrometheusSeriesName output) regardless of the source format, so
+/// samples from /metrics scrapes and run.metrics.jsonl files merge under
+/// the same keys.
+struct MetricsSample {
+  std::string source;  ///< endpoint or file label, for the table header
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, obs::HistogramSnapshot> histograms;
+};
+
+/// Parse a Prometheus text exposition (the RenderPrometheusText output).
+/// Histograms are rebuilt from their cumulative `_bucket{le="..."}` lines;
+/// min/max are not carried by the format, so they are reconstructed from
+/// the occupied bucket extents (quantiles stay within the grid's bucket
+/// error).  Unknown or malformed lines are an error — a scrape that does
+/// not round-trip should fail loudly.
+util::Result<MetricsSample> ParsePrometheusText(std::string_view text);
+
+/// Parse a JSON-lines registry snapshot (the ExportJsonLines output, one
+/// instrument object per line).  Instrument names are normalized through
+/// obs::PrometheusSeriesName.
+util::Result<MetricsSample> ParseMetricsJsonl(std::string_view text);
+
+/// Merge samples from many sources: counters and gauges add, histograms
+/// merge exactly on the shared grid (obs::MergeHistogramSnapshots).
+MetricsSample MergeSamples(const std::vector<MetricsSample>& samples);
+
+/// Render the aggregated table: a histogram section (count/mean/p50/p95/
+/// p99/max), a ratio/gauge section, and a counter section, each sorted by
+/// series name.  Deterministic for deterministic input.
+std::string RenderTopTable(const MetricsSample& merged,
+                           std::size_t source_count);
+
+/// GET `path` from a live server on 127.0.0.1:`port` over the repo's own
+/// HTTP/2 stack and parse the body as a Prometheus exposition.
+util::Result<MetricsSample> ScrapeOnce(std::uint16_t port,
+                                       const std::string& path = "/metrics");
+
+/// The sww_top entry point:
+///   sww_top [--once] [--interval-ms N] [--endpoint PORT]...
+///           [--prom FILE]... [--jsonl FILE]...
+/// Returns the process exit code.
+int RunTopMain(int argc, char** argv);
+
+}  // namespace sww::tools
