@@ -5,11 +5,13 @@
 //     hypothetical per-request header ("x-sww-gen-ability: 1"),
 //   * the four client/server support combinations and the serving mode
 //     each one lands in.
-// Emits telemetry artifacts next to the binary (see docs/observability.md):
-//   bench_http2_negotiation.trace.json   — chrome://tracing / Perfetto
-//   bench_http2_negotiation.metrics.jsonl — registry snapshot, one line each
+// Emits telemetry artifacts under bench_out/ (see docs/observability.md):
+//   bench_out/bench_http2_negotiation.trace.json   — chrome://tracing
+//   bench_out/bench_http2_negotiation.metrics.jsonl — registry snapshot
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "core/page_builder.hpp"
 #include "core/session.hpp"
@@ -145,8 +147,16 @@ void http2_negotiation(sww::obs::bench::State& state) {
               "the communication\ndefaulted to standard HTTP/2.\"\n");
 
   // --- telemetry artifacts -----------------------------------------------------
-  const std::string trace_path = "bench_http2_negotiation.trace.json";
-  const std::string metrics_path = "bench_http2_negotiation.metrics.jsonl";
+  // Side-products land under bench_out/ (gitignored), never in the tree.
+  std::error_code fs_error;
+  std::filesystem::create_directories("bench_out", fs_error);
+  if (fs_error) {
+    state.Check(false, "create bench_out/: " + fs_error.message());
+    return;
+  }
+  const std::string trace_path = "bench_out/bench_http2_negotiation.trace.json";
+  const std::string metrics_path =
+      "bench_out/bench_http2_negotiation.metrics.jsonl";
   if (auto status = obs::WriteTraceFile(
           trace_path, obs::Tracer::Default().FinishedSpans(),
           "bench_http2_negotiation");

@@ -5,8 +5,10 @@
 //   3. connect a generative client; SETTINGS_GEN_ABILITY negotiates,
 //   4. fetch the page: the prompt crosses the wire, the image is
 //      generated on the client device, the div is rewritten,
-//   5. render the page and write the generated image to ./quickstart_out.
+//   5. render the page and write the generated image to
+//      ./bench_out/quickstart_out (gitignored side-products).
 #include <cstdio>
+#include <filesystem>
 
 #include "core/page_builder.hpp"
 #include "core/renderer.hpp"
@@ -59,11 +61,18 @@ int main() {
   core::PageRenderer renderer;
   std::printf("--- rendered page ---\n%s\n",
               renderer.RenderToText(*document.value()).c_str());
-  if (auto status = renderer.WriteFiles(fetch.value().files, "quickstart_out");
+  std::error_code fs_error;
+  std::filesystem::create_directories("bench_out", fs_error);
+  if (fs_error) {
+    std::fprintf(stderr, "create bench_out/: %s\n", fs_error.message().c_str());
+    return 1;
+  }
+  if (auto status = renderer.WriteFiles(fetch.value().files,
+                                        "bench_out/quickstart_out");
       !status.ok()) {
     std::fprintf(stderr, "write: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("generated files written to ./quickstart_out/\n");
+  std::printf("generated files written to ./bench_out/quickstart_out/\n");
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "compress/huffman_coder.hpp"
+#include "util/simd.hpp"
 
 namespace sww::compress {
 
@@ -61,15 +62,14 @@ Bytes Lz77Tokenize(BytesView data) {
       while (candidate >= 0 && chain_budget-- > 0) {
         const std::size_t distance = position - static_cast<std::size_t>(candidate);
         if (distance > kWindowSize) break;
-        // Extend the match.
-        std::size_t length = 0;
+        // Extend the match: the SIMD fast lane compares 16/32 bytes per
+        // step (util::simd::MatchLength); the result — the exact common
+        // prefix length — is identical in every dispatch lane, so the op
+        // stream and everything downstream of it are byte-stable.
         const std::size_t limit =
             std::min(kMaxMatch, data.size() - position);
-        while (length < limit &&
-               data[static_cast<std::size_t>(candidate) + length] ==
-                   data[position + length]) {
-          ++length;
-        }
+        const std::size_t length = util::simd::MatchLength(
+            &data[static_cast<std::size_t>(candidate)], &data[position], limit);
         if (length > best_length) {
           best_length = length;
           best_distance = distance;

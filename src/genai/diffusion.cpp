@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include <vector>
+
 #include "util/hash.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
@@ -52,6 +55,13 @@ Image RenderField(const std::vector<double>& field, int width, int height,
   };
 
   auto render_rows = [&](std::int64_t y_begin, std::int64_t y_end) {
+    // Row buffers: the bilinear carrier is computed per pixel exactly as
+    // before, while the counter-hash texture for the whole row is filled
+    // by the SIMD fast lane (4–8 (seed, x, y) triples hashed per step).
+    // Both are elementwise, so the image bytes are identical for any
+    // dispatch lane, tile schedule, and thread count.
+    std::vector<double> value(static_cast<std::size_t>(width));
+    std::vector<double> texture(static_cast<std::size_t>(width));
     for (int y = static_cast<int>(y_begin); y < y_end; ++y) {
       for (int x = 0; x < width; ++x) {
         // Bilinear interpolation in cell space, sampled at cell centers.
@@ -61,17 +71,21 @@ Image RenderField(const std::vector<double>& field, int width, int height,
         const int cy = static_cast<int>(std::floor(fy));
         const double tx = fx - cx;
         const double ty = fy - cy;
-        const double value =
+        value[static_cast<std::size_t>(x)] =
             cell_value(cx, cy) * (1 - tx) * (1 - ty) +
             cell_value(cx + 1, cy) * tx * (1 - ty) +
             cell_value(cx, cy + 1) * (1 - tx) * ty +
             cell_value(cx + 1, cy + 1) * tx * ty;
-        // Fine per-pixel texture: zero-mean, so cell means (the semantic
-        // carrier) are preserved.
-        const double texture =
-            util::CounterRange(texture_seed, static_cast<std::uint64_t>(x),
-                               static_cast<std::uint64_t>(y), -9.0, 9.0);
-        const double luminance = 128.0 + value + texture;
+      }
+      // Fine per-pixel texture: zero-mean, so cell means (the semantic
+      // carrier) are preserved.
+      util::simd::CounterRangeRow(texture_seed, 0,
+                                  static_cast<std::uint64_t>(y), -9.0, 9.0,
+                                  texture.data(),
+                                  static_cast<std::size_t>(width));
+      for (int x = 0; x < width; ++x) {
+        const double luminance = 128.0 + value[static_cast<std::size_t>(x)] +
+                                 texture[static_cast<std::size_t>(x)];
         image.Set(x, y,
                   Pixel{ClampByte(luminance * r_gain), ClampByte(luminance * g_gain),
                         ClampByte(luminance * b_gain)});
@@ -131,11 +145,8 @@ Result<GeneratedImage> DiffusionModel::Generate(std::string_view prompt,
   // schedule already shrinks `plant` itself.)  Cells are independent, so
   // the blend runs tile-parallel when a pool is attached.
   auto denoise_cells = [&](std::int64_t c_begin, std::int64_t c_end) {
-    for (std::int64_t c = c_begin; c < c_end; ++c) {
-      latent[static_cast<std::size_t>(c)] =
-          plant * target[static_cast<std::size_t>(c)] +
-          (1.0 - plant) * latent[static_cast<std::size_t>(c)];
-    }
+    util::simd::Blend(latent.data() + c_begin, target.data() + c_begin, plant,
+                      static_cast<std::size_t>(c_end - c_begin));
   };
   if (pool_ != nullptr && pool_->worker_count() > 1) {
     pool_->ParallelFor(cells, denoise_cells);

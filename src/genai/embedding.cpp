@@ -5,14 +5,15 @@
 
 #include "util/hash.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/strings.hpp"
 
 namespace sww::genai {
 
 double Dot(const Vec& a, const Vec& b) {
-  double sum = 0.0;
-  for (int i = 0; i < kEmbeddingDim; ++i) sum += a[i] * b[i];
-  return sum;
+  // Canonical fixed-tree order (util::simd): bit-identical in every
+  // dispatch lane, so embedding scores never depend on the host ISA.
+  return util::simd::DotPairwise(a.data(), b.data(), kEmbeddingDim);
 }
 
 double Norm(const Vec& v) { return std::sqrt(Dot(v, v)); }
@@ -43,7 +44,7 @@ Vec TextEmbedding(const std::vector<std::string>& tokens) {
   Vec sum{};
   for (const std::string& token : tokens) {
     const Vec e = TokenEmbedding(token);
-    for (int i = 0; i < kEmbeddingDim; ++i) sum[i] += e[i];
+    util::simd::Axpy(sum.data(), e.data(), 1.0, kEmbeddingDim);
   }
   Normalize(sum);
   return sum;
@@ -102,10 +103,10 @@ Vec FieldToEmbedding(const std::vector<double>& field) {
   Vec embedding{};
   const int cells = kSemanticGrid * kSemanticGrid;
   for (int c = 0; c < cells && c < static_cast<int>(field.size()); ++c) {
-    const Vec& basis = CellBasis(c);
-    for (int i = 0; i < kEmbeddingDim; ++i) {
-      embedding[i] += field[static_cast<std::size_t>(c)] * basis[i];
-    }
+    // Accumulation order over cells is unchanged; the axpy is elementwise
+    // across dimensions, so every lane produces the same bytes.
+    util::simd::Axpy(embedding.data(), CellBasis(c).data(),
+                     field[static_cast<std::size_t>(c)], kEmbeddingDim);
   }
   return embedding;
 }
