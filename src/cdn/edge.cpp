@@ -1,5 +1,7 @@
 #include "cdn/edge.hpp"
 
+#include "obs/journal.hpp"
+
 namespace sww::cdn {
 
 EdgeNode::EdgeNode(EdgeMode mode, std::uint64_t storage_budget_bytes,
@@ -101,6 +103,11 @@ void EdgeNode::ServeRequest(const CatalogItem& item,
 }
 
 void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
+  obs::Tracer& tracer = obs::Tracer::Default();
+  const std::uint64_t start_nanos = tracer.clock().NowNanos();
+  double generation_seconds = 0.0;
+  double generation_energy_wh = 0.0;
+  std::uint64_t origin_bytes_fetched = 0;
   requests_.fetch_add(1, std::memory_order_relaxed);
   instruments_.requests->Add();
   const bool hit = TouchOrInsert(item);
@@ -124,6 +131,7 @@ void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
     instruments_.misses->Add();
     // Miss: fetch from origin in the cached representation's form.
     const std::size_t origin_bytes = CachedSize(item);
+    origin_bytes_fetched = origin_bytes;
     bytes_from_origin_.fetch_add(origin_bytes, std::memory_order_relaxed);
     instruments_.bytes_from_origin->Add(origin_bytes);
     if (span != nullptr) {
@@ -144,6 +152,8 @@ void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
   if (mode_ == EdgeMode::kPromptMode && !item.unique) {
     const double seconds = GenerateSeconds(item);
     const double energy_wh = GenerateEnergyWh(item);
+    generation_seconds = seconds;
+    generation_energy_wh = energy_wh;
     AtomicAdd(generation_seconds_, seconds);
     AtomicAdd(generation_energy_wh_, energy_wh);
     instruments_.generation_seconds->Add(seconds);
@@ -155,6 +165,30 @@ void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
       span->AddAttribute("generation_seconds", std::to_string(seconds));
     }
   }
+
+  // The edge's wide event: one journal record per serve, keyed by the
+  // adopted sww-trace id when the request carried one.
+  const std::uint64_t end_nanos = tracer.clock().NowNanos();
+  obs::JournalRecord record;
+  record.kind = "edge";
+  record.trace_id =
+      span != nullptr ? tracer.ContextOf(span->id()).trace_id : 0;
+  record.path = "item:" + std::to_string(item.id);
+  record.timestamp_nanos = end_nanos;
+  record.mode = mode_ == EdgeMode::kPromptMode ? "prompt" : "content";
+  record.device = energy::Workstation().name;
+  record.outcome = "ok";
+  record.cache = hit ? "hit" : "miss";
+  record.total_seconds = static_cast<double>(end_nanos - start_nanos) * 1e-9;
+  record.generation_seconds = generation_seconds;
+  record.wire_seconds = record.total_seconds > generation_seconds
+                            ? record.total_seconds - generation_seconds
+                            : 0.0;
+  record.page_bytes = item.content_bytes;
+  record.wire_bytes_sent = item.content_bytes;
+  record.wire_bytes_received = origin_bytes_fetched;
+  record.energy_joules = generation_energy_wh * 3600.0;
+  obs::Journal::Default().Record(std::move(record));
 }
 
 EdgeStats EdgeNode::stats() const {

@@ -4,6 +4,7 @@
 #include "genai/upscaler.hpp"
 #include "html/generated_content.hpp"
 #include "html/parser.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -45,6 +46,7 @@ GenerativeClient::GenerativeClient(Options options, MediaGenerator generator)
   instruments_.items_generated = &registry.GetCounter("client.items_generated");
   instruments_.page_bytes = &registry.GetHistogram("client.page_bytes");
   instruments_.asset_bytes = &registry.GetHistogram("client.asset_bytes");
+  instruments_.fetch_latency = &registry.GetHistogram("fetch.latency");
 }
 
 void GenerativeClient::DrainEvents() {
@@ -194,7 +196,9 @@ Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
       if (asset.value().status == 200) {
         fetch.asset_bytes += asset.value().wire_body_bytes;
         instruments_.asset_bytes->Observe(
-            static_cast<double>(asset.value().wire_body_bytes));
+            static_cast<double>(asset.value().wire_body_bytes),
+            span.context().trace_id,
+            obs::Tracer::Default().clock().NowNanos());
         fetch.files[src] = asset.value().body;
       }
     }
@@ -240,9 +244,76 @@ Status GenerativeClient::MaterializePage(PageFetch& fetch, const PumpFn& pump) {
 
 Result<PageFetch> GenerativeClient::FetchPage(const std::string& path,
                                               const PumpFn& pump) {
+  obs::Tracer& tracer = obs::Tracer::Default();
+  const std::uint64_t start_nanos = tracer.clock().NowNanos();
+  const http2::Connection::WireStats before = connection_->wire_stats();
   obs::ScopedSpan span("client.fetch_page", "core");
   span.SetProcess("client");
   span.AddAttribute("path", path);
+
+  Result<PageFetch> fetch = FetchPageInner(path, pump, span);
+
+  // The tail-attribution contract: exactly one wide event and one
+  // fetch.latency observation per completed fetch — success or failure —
+  // all keyed by the trace id the wire already carried.
+  const std::uint64_t end_nanos = tracer.clock().NowNanos();
+  const double total_seconds =
+      static_cast<double>(end_nanos - start_nanos) * 1e-9;
+  const obs::SpanContext context = span.context();
+  instruments_.fetch_latency->Observe(total_seconds, context.trace_id,
+                                      end_nanos);
+
+  obs::JournalRecord record;
+  record.kind = "page_fetch";
+  record.trace_id = context.trace_id;
+  record.path = path;
+  record.timestamp_nanos = end_nanos;
+  record.device = generator_->device().name;
+  record.total_seconds = total_seconds;
+  const http2::Connection::WireStats& after = connection_->wire_stats();
+  record.wire_bytes_sent = after.bytes_sent - before.bytes_sent;
+  record.wire_bytes_received = after.bytes_received - before.bytes_received;
+  auto frame_total = [](const std::map<http2::FrameType, std::uint64_t>& mix) {
+    std::uint64_t total = 0;
+    for (const auto& [type, n] : mix) {
+      (void)type;
+      total += n;
+    }
+    return total;
+  };
+  record.frames_sent =
+      frame_total(after.frames_sent) - frame_total(before.frames_sent);
+  record.frames_received =
+      frame_total(after.frames_received) - frame_total(before.frames_received);
+  if (fetch.ok()) {
+    const PageFetch& result = fetch.value();
+    record.outcome = "ok";
+    record.mode = result.mode;
+    record.cache = options_.enable_prompt_cache
+                       ? (result.from_cache ? "hit" : "miss")
+                       : "none";
+    record.generation_seconds = result.generation_wall_seconds;
+    record.upscale_seconds = result.upscale_seconds;
+    const double local_seconds =
+        result.generation_wall_seconds + result.upscale_seconds;
+    record.wire_seconds =
+        total_seconds > local_seconds ? total_seconds - local_seconds : 0.0;
+    record.page_bytes = result.page_bytes;
+    record.asset_bytes = result.asset_bytes;
+    record.energy_joules =
+        (result.generation_energy_wh + result.upscale_energy_wh) * 3600.0;
+  } else {
+    record.outcome = util::ErrorCodeName(fetch.error().code);
+    record.cache = options_.enable_prompt_cache ? "miss" : "none";
+    record.wire_seconds = total_seconds;
+  }
+  obs::Journal::Default().Record(std::move(record));
+  return fetch;
+}
+
+Result<PageFetch> GenerativeClient::FetchPageInner(const std::string& path,
+                                                   const PumpFn& pump,
+                                                   obs::ScopedSpan& span) {
   instruments_.pages_fetched->Add();
   // Prompt-cache fast path: a cached generative page regenerates entirely
   // on-device; the network is not touched for the page body.
@@ -270,7 +341,8 @@ Result<PageFetch> GenerativeClient::FetchPage(const std::string& path,
   fetch.response = std::move(response).value();
   fetch.page_bytes = fetch.response.wire_body_bytes;
   instruments_.page_bytes->Observe(
-      static_cast<double>(fetch.response.wire_body_bytes));
+      static_cast<double>(fetch.response.wire_body_bytes),
+      span.context().trace_id, obs::Tracer::Default().clock().NowNanos());
   fetch.mode = fetch.response.Header(kSwwModeHeader).value_or("");
   span.AddAttribute("mode", fetch.mode.empty() ? "-" : fetch.mode);
   if (fetch.response.status != 200) {
@@ -292,7 +364,8 @@ Result<PageFetch> GenerativeClient::FetchPage(const std::string& path,
     fetch.response = std::move(forced).value();
     fetch.page_bytes += fetch.response.wire_body_bytes;
     instruments_.page_bytes->Observe(
-        static_cast<double>(fetch.response.wire_body_bytes));
+        static_cast<double>(fetch.response.wire_body_bytes),
+        span.context().trace_id, obs::Tracer::Default().clock().NowNanos());
     fetch.mode = fetch.response.Header(kSwwModeHeader).value_or("");
     fetch.model_fallback = true;
     instruments_.model_fallbacks->Add();

@@ -27,6 +27,7 @@
 #include "core/prompt_cache.hpp"
 #include "http2/connection.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace sww::core {
@@ -123,6 +124,12 @@ class GenerativeClient {
   explicit GenerativeClient(Options options, MediaGenerator generator);
 
   util::Status PumpUntilComplete(std::uint32_t stream_id, const PumpFn& pump);
+  /// FetchPage body; FetchPage itself wraps this to emit exactly one
+  /// wide-event journal record and one fetch.latency observation per
+  /// completed fetch, success or failure.
+  util::Result<PageFetch> FetchPageInner(const std::string& path,
+                                         const PumpFn& pump,
+                                         obs::ScopedSpan& span);
   void DrainEvents();
   /// Parse the page body in `fetch`, run generation/asset-fetch/upscale,
   /// and fill in the final DOM and statistics.
@@ -146,6 +153,10 @@ class GenerativeClient {
     obs::Counter* items_generated;
     obs::Histogram* page_bytes;
     obs::Histogram* asset_bytes;
+    /// End-to-end FetchPage latency on the tracer clock (modeled
+    /// seconds).  The SLO engine's stock fetch-latency objective and the
+    /// /metrics exemplars both hang off this series.
+    obs::Histogram* fetch_latency;
   };
   Instruments instruments_;
 };

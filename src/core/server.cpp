@@ -5,6 +5,7 @@
 #include "compress/swz.hpp"
 #include "html/parser.hpp"
 #include "obs/expose.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -157,10 +158,17 @@ void GenerativeServer::AccountResponse(ResponseKind kind,
                                        const Response& response) {
   ++stats_.requests;
   instruments_.requests->Add();
+  // Exemplar context: AccountResponse always runs inside the
+  // server.request span, so the thread's current span names the
+  // distributed trace this response belongs to (invalid → untraced).
+  obs::Tracer& tracer = obs::Tracer::Default();
+  const obs::SpanContext context = tracer.ContextOf(tracer.CurrentSpan());
   switch (kind) {
     case ResponseKind::kPage:
       stats_.page_bytes_sent += response.body.size();
-      instruments_.page_bytes->Observe(static_cast<double>(response.body.size()));
+      instruments_.page_bytes->Observe(static_cast<double>(response.body.size()),
+                                       context.trace_id,
+                                       tracer.clock().NowNanos());
       break;
     case ResponseKind::kAsset:
       stats_.asset_bytes_sent += response.body.size();
@@ -206,21 +214,27 @@ Result<Response> GenerativeServer::HandleRequest(const Request& request,
   // Self-hosted telemetry plane: the server exposes its own registry over
   // the same HTTP/2 stack it serves pages on.  Routed before the content
   // store so stores cannot shadow the exposition paths.
-  if (request.path == "/metrics" || request.path == "/debug/vars") {
+  if (request.path == "/metrics" || request.path == "/debug/vars" ||
+      request.path == "/debug/journal") {
     *kind = ResponseKind::kTelemetry;
     ++stats_.telemetry_requests;
     instruments_.telemetry_requests->Add();
-    const obs::RegistrySnapshot snapshot = obs::Registry::Default().Snapshot();
     Response response;
     std::string body;
     if (request.path == "/metrics") {
       response.SetHeader("content-type", obs::kPrometheusContentType);
-      body = obs::RenderPrometheusText(snapshot);
-    } else {
+      body = obs::RenderPrometheusText(obs::Registry::Default().Snapshot());
+    } else if (request.path == "/debug/vars") {
       response.SetHeader("content-type", "application/json");
       body = obs::RenderDebugVarsJson(
-          snapshot, static_cast<std::int64_t>(
-                        obs::Tracer::Default().clock().NowNanos()));
+          obs::Registry::Default().Snapshot(),
+          static_cast<std::int64_t>(
+              obs::Tracer::Default().clock().NowNanos()));
+    } else {
+      // The process-wide wide-event journal, one JSON object per fetch
+      // plus a journal_summary trailer.
+      response.SetHeader("content-type", "application/jsonl");
+      body = obs::RenderJournalJsonLines(obs::Journal::Default());
     }
     response.body.assign(body.begin(), body.end());
     return response;

@@ -181,10 +181,15 @@ void Connection::EndStreamSpan(std::uint32_t stream_id) {
   auto it = stream_spans_.find(stream_id);
   if (it == stream_spans_.end()) return;
   obs::Tracer& tracer = obs::Tracer::Default();
+  // Exemplar: the stream's latency bucket remembers which distributed
+  // trace put it there (context read before EndSpan, while the span is
+  // certainly live).
+  const obs::SpanContext context = tracer.ContextOf(it->second.span);
   tracer.EndSpan(it->second.span);
   const std::uint64_t now = tracer.clock().NowNanos();
   instruments_.stream_seconds->Observe(
-      static_cast<double>(now - it->second.opened_nanos) * 1e-9);
+      static_cast<double>(now - it->second.opened_nanos) * 1e-9,
+      context.trace_id, now);
   stream_spans_.erase(it);
 }
 

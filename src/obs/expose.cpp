@@ -35,6 +35,22 @@ void AppendTypeLine(std::string& out, const std::string& series,
   out += '\n';
 }
 
+/// OpenMetrics exemplar suffix for one bucket sample:
+///   ` # {trace_id="<16 hex>"} <value> <timestamp seconds>`
+/// Appended only when the bucket holds a traced observation; the plain
+/// Prometheus 0.0.4 line stays unchanged otherwise, so parsers that
+/// ignore everything after `#` keep working.
+void AppendExemplarSuffix(std::string& out, const HistogramExemplar& ex) {
+  if (ex.trace_id == 0) return;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " # {trace_id=\"%016" PRIx64 "\"} ",
+                ex.trace_id);
+  out += buf;
+  out += FormatDouble(ex.value);
+  out += ' ';
+  out += FormatDouble(static_cast<double>(ex.timestamp_nanos) / 1e9);
+}
+
 }  // namespace
 
 std::string RenderPrometheusText(const RegistrySnapshot& snapshot) {
@@ -64,12 +80,21 @@ std::string RenderPrometheusText(const RegistrySnapshot& snapshot) {
       out += series;
       out += "_bucket{le=\"";
       out += FormatDouble(hist.bounds[i]);
-      std::snprintf(buf, sizeof(buf), "\"} %" PRIu64 "\n", cumulative);
+      std::snprintf(buf, sizeof(buf), "\"} %" PRIu64, cumulative);
       out += buf;
+      if (i < hist.exemplars.size()) {
+        AppendExemplarSuffix(out, hist.exemplars[i]);
+      }
+      out += '\n';
     }
     out += series;
-    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %zu\n", hist.count);
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %zu", hist.count);
     out += buf;
+    if (!hist.exemplars.empty() &&
+        hist.exemplars.size() == hist.counts.size()) {
+      AppendExemplarSuffix(out, hist.exemplars.back());
+    }
+    out += '\n';
     out += series;
     out += "_sum ";
     out += FormatDouble(hist.sum);

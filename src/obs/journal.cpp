@@ -1,0 +1,123 @@
+#include "obs/journal.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "json/json.hpp"
+
+namespace sww::obs {
+
+namespace {
+
+std::string TraceIdHex(std::uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, trace_id);
+  return buf;
+}
+
+}  // namespace
+
+Journal& Journal::Default() {
+  static Journal* journal = new Journal();  // never destroyed: handles
+  return *journal;                          // outlive static teardown
+}
+
+Journal::Journal(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_ < 64 ? capacity_ : 64);
+}
+
+void Journal::Record(JournalRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<JournalRecord> Journal::Records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JournalRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Journal::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t Journal::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - ring_.size();
+}
+
+void Journal::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string RenderJournalJsonLines(const std::vector<JournalRecord>& records,
+                                   std::uint64_t total_recorded,
+                                   std::uint64_t dropped,
+                                   std::size_t capacity) {
+  std::string out;
+  for (const JournalRecord& record : records) {
+    json::Object line;
+    line["kind"] = json::Value(record.kind);
+    line["trace_id"] = json::Value(TraceIdHex(record.trace_id));
+    line["path"] = json::Value(record.path);
+    line["timestamp_nanos"] =
+        json::Value(static_cast<std::int64_t>(record.timestamp_nanos));
+    line["mode"] = json::Value(record.mode);
+    line["device"] = json::Value(record.device);
+    line["outcome"] = json::Value(record.outcome);
+    line["cache"] = json::Value(record.cache);
+    line["coalesced"] = json::Value(record.coalesced);
+    line["total_seconds"] = json::Value(record.total_seconds);
+    line["wire_seconds"] = json::Value(record.wire_seconds);
+    line["generation_seconds"] = json::Value(record.generation_seconds);
+    line["upscale_seconds"] = json::Value(record.upscale_seconds);
+    line["page_bytes"] =
+        json::Value(static_cast<std::int64_t>(record.page_bytes));
+    line["asset_bytes"] =
+        json::Value(static_cast<std::int64_t>(record.asset_bytes));
+    line["wire_bytes_sent"] =
+        json::Value(static_cast<std::int64_t>(record.wire_bytes_sent));
+    line["wire_bytes_received"] =
+        json::Value(static_cast<std::int64_t>(record.wire_bytes_received));
+    line["frames_sent"] =
+        json::Value(static_cast<std::int64_t>(record.frames_sent));
+    line["frames_received"] =
+        json::Value(static_cast<std::int64_t>(record.frames_received));
+    line["energy_joules"] = json::Value(record.energy_joules);
+    out += json::Value(std::move(line)).Dump();
+    out += '\n';
+  }
+  json::Object summary;
+  summary["kind"] = json::Value("journal_summary");
+  summary["records"] = json::Value(static_cast<std::int64_t>(records.size()));
+  summary["total_recorded"] =
+      json::Value(static_cast<std::int64_t>(total_recorded));
+  summary["dropped"] = json::Value(static_cast<std::int64_t>(dropped));
+  summary["capacity"] = json::Value(static_cast<std::int64_t>(capacity));
+  out += json::Value(std::move(summary)).Dump();
+  out += '\n';
+  return out;
+}
+
+std::string RenderJournalJsonLines(const Journal& journal) {
+  return RenderJournalJsonLines(journal.Records(), journal.total_recorded(),
+                                journal.dropped(), journal.capacity());
+}
+
+}  // namespace sww::obs

@@ -1,0 +1,122 @@
+// journal.hpp — the wide-event request journal.
+//
+// Aggregates (registry.hpp) answer "what is p99?"; the flight recorder
+// (flight.hpp) answers "which frames crossed the wire?".  Neither answers
+// the tail-attribution question: *which fetch* pushed p99 where it is.
+// The journal does: every completed fetch emits exactly one wide event —
+// one record carrying the whole per-fetch trade-off surface the paper
+// argues about (latency phases, bytes on the wire, modeled energy, cache
+// state, device profile) keyed by the same `sww-trace` trace id that
+// names the distributed trace and the histogram exemplars.  Bad
+// percentile → exemplar trace id → journal record → flight-recorder
+// frames, with no joins across log formats.
+//
+// Storage follows the ConnectionTap discipline: a bounded
+// overwrite-oldest ring behind a mutex, with total/dropped counters that
+// survive overwrite, and a Clear() that empties but never invalidates
+// the handle.  Emitters (the generative client, the CDN edge) record
+// one event per fetch — a few hundred bytes at fetch rate, not frame
+// rate — so the mutex is nowhere near any hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sww::obs {
+
+/// One completed fetch as a single structured record.  Fields that do
+/// not apply to a role stay at their zero values (an edge serve has no
+/// asset bytes; a prompt-cache hit has no wire frames).
+struct JournalRecord {
+  /// Role that completed the fetch: "page_fetch" (client) or "edge".
+  std::string kind;
+  /// Trace id from the sww-trace header; 0 when the fetch was untraced.
+  std::uint64_t trace_id = 0;
+  /// Page path or content-item id.
+  std::string path;
+  /// Completion time on the modeled clock.
+  std::uint64_t timestamp_nanos = 0;
+  /// Serve/generation mode in effect ("generative", "prompt", ...).
+  std::string mode;
+  /// Energy device profile the cost was modeled on ("" when n/a).
+  std::string device;
+  /// "ok" or the error code string of the failure.
+  std::string outcome;
+  /// Cache state: "hit", "miss", or "none" (no cache consulted).
+  std::string cache;
+  /// Single-flight request coalescing state.  The sharded-edge
+  /// coalescing tier is still a ROADMAP item; the field is part of the
+  /// schema now so records stay comparable once it lands.
+  bool coalesced = false;
+
+  // Phase latencies, in modeled seconds.
+  double total_seconds = 0.0;
+  double wire_seconds = 0.0;        ///< total minus local generation work
+  double generation_seconds = 0.0;  ///< parallel makespan of generation
+  double upscale_seconds = 0.0;
+
+  // Payload and wire volume.
+  std::uint64_t page_bytes = 0;
+  std::uint64_t asset_bytes = 0;
+  std::uint64_t wire_bytes_sent = 0;      ///< connection delta over the fetch
+  std::uint64_t wire_bytes_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+
+  /// Modeled energy for the fetch, in joules.
+  double energy_joules = 0.0;
+};
+
+/// Bounded wide-event ring: overwrite-oldest with drop accounting,
+/// mirroring ConnectionTap.  Thread-safe.
+class Journal {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  /// The process-wide journal every emitter records into by default.
+  /// Never destroyed; handles stay valid across Clear().
+  static Journal& Default();
+
+  explicit Journal(std::size_t capacity = kDefaultCapacity);
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  void Record(JournalRecord record);
+
+  /// Buffered records, oldest first.
+  std::vector<JournalRecord> Records() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Every record ever offered (buffered + overwritten).
+  std::uint64_t total_recorded() const;
+  /// Records lost to ring overwrite.
+  std::uint64_t dropped() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<JournalRecord> ring_;  // grows to capacity_, then wraps
+  std::size_t next_ = 0;             // ring write cursor once full
+  std::uint64_t total_ = 0;
+};
+
+/// JSONL rendering: one compact JSON object per record, oldest first,
+/// then one {"kind":"journal_summary",...} trailer (total/dropped/
+/// capacity — drop accounting survives even when records were
+/// overwritten, and an empty journal still renders a valid document).
+/// Serialized through json::Value, so non-finite phase latencies render
+/// as null, never as bare NaN/Inf tokens.
+std::string RenderJournalJsonLines(const std::vector<JournalRecord>& records,
+                                   std::uint64_t total_recorded,
+                                   std::uint64_t dropped,
+                                   std::size_t capacity);
+
+/// Convenience overload over a live journal.
+std::string RenderJournalJsonLines(const Journal& journal);
+
+}  // namespace sww::obs

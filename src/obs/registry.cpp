@@ -99,6 +99,51 @@ void Histogram::Observe(double value) {
   AtomicUpdateMax(cell.max_bits, value);
 }
 
+void Histogram::Observe(double value, std::uint64_t trace_id,
+                        std::uint64_t timestamp_nanos) {
+  Observe(value);
+  if (trace_id == 0) return;  // untraced: nothing to stamp
+  ExemplarSlot& slot = exemplars_[BucketIndex(value)];
+  std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  if (seq & 1) return;  // another writer mid-flight: best effort, skip
+  if (!slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+    return;
+  }
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.value_bits.store(std::bit_cast<std::uint64_t>(value),
+                        std::memory_order_relaxed);
+  slot.timestamp.store(timestamp_nanos, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+namespace {
+
+/// Seqlock read of one exemplar slot.  Retries while a writer is
+/// mid-flight; a vacant or persistently-contended slot reads as the
+/// zero exemplar (trace_id == 0).
+HistogramExemplar ReadExemplarSlot(
+    const std::atomic<std::uint64_t>& seq,
+    const std::atomic<std::uint64_t>& trace_id,
+    const std::atomic<std::uint64_t>& value_bits,
+    const std::atomic<std::uint64_t>& timestamp) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t before = seq.load(std::memory_order_acquire);
+    if (before & 1) continue;
+    HistogramExemplar exemplar;
+    exemplar.trace_id = trace_id.load(std::memory_order_relaxed);
+    exemplar.value =
+        std::bit_cast<double>(value_bits.load(std::memory_order_relaxed));
+    exemplar.timestamp_nanos = timestamp.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq.load(std::memory_order_relaxed) == before) return exemplar;
+  }
+  return {};
+}
+
+}  // namespace
+
 HistogramSnapshot Histogram::Snapshot() const {
   // The total count is the sum of the buckets (every observation lands in
   // exactly one, underflow and overflow included) — Observe does not pay
@@ -131,8 +176,15 @@ HistogramSnapshot Histogram::Snapshot() const {
     if (merged[i] == 0) continue;
     snapshot.bounds.push_back(BucketUpperBound(i));
     snapshot.counts.push_back(merged[i]);
+    const ExemplarSlot& slot = exemplars_[i];
+    snapshot.exemplars.push_back(ReadExemplarSlot(
+        slot.seq, slot.trace_id, slot.value_bits, slot.timestamp));
   }
   snapshot.counts.push_back(merged[kBucketCount - 1]);  // overflow, maybe 0
+  const ExemplarSlot& overflow_slot = exemplars_[kBucketCount - 1];
+  snapshot.exemplars.push_back(
+      ReadExemplarSlot(overflow_slot.seq, overflow_slot.trace_id,
+                       overflow_slot.value_bits, overflow_slot.timestamp));
   if (count > 0) {
     snapshot.mean = sum / static_cast<double>(count);
     snapshot.p50 = HistogramSnapshotQuantile(snapshot, 50.0);
@@ -150,6 +202,15 @@ void Histogram::Reset() {
     cell.sum.store(0.0, std::memory_order_relaxed);
     cell.min_bits.store(kPosInfBits, std::memory_order_relaxed);
     cell.max_bits.store(kNegInfBits, std::memory_order_relaxed);
+  }
+  // Exemplars reset with the buckets (a fresh run must not inherit the
+  // previous run's trace ids).  Callers are quiescent, so plain stores
+  // back to the stable even state are enough.
+  for (ExemplarSlot& slot : exemplars_) {
+    slot.trace_id.store(0, std::memory_order_relaxed);
+    slot.value_bits.store(0, std::memory_order_relaxed);
+    slot.timestamp.store(0, std::memory_order_relaxed);
+    slot.seq.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -170,20 +231,48 @@ double HistogramSnapshotQuantile(const HistogramSnapshot& snapshot, double q) {
   return snapshot.max;
 }
 
+namespace {
+
+/// Deterministic "newest exemplar wins" combine: later timestamp takes
+/// the slot; equal timestamps tie-break on the larger trace id so the
+/// merge result never depends on part order.
+void KeepNewestExemplar(HistogramExemplar* into,
+                        const HistogramExemplar& candidate) {
+  if (candidate.trace_id == 0) return;
+  if (into->trace_id == 0 ||
+      candidate.timestamp_nanos > into->timestamp_nanos ||
+      (candidate.timestamp_nanos == into->timestamp_nanos &&
+       candidate.trace_id > into->trace_id)) {
+    *into = candidate;
+  }
+}
+
+}  // namespace
+
 HistogramSnapshot MergeHistogramSnapshots(
     const std::vector<HistogramSnapshot>& parts) {
   // Grid upper bounds are exact doubles, so a map keyed on them re-aligns
   // buckets across snapshots without tolerance games.
   std::map<double, std::uint64_t> buckets;
+  std::map<double, HistogramExemplar> bucket_exemplars;
   HistogramSnapshot merged;
   std::uint64_t overflow = 0;
+  HistogramExemplar overflow_exemplar;
   merged.min = std::numeric_limits<double>::infinity();
   merged.max = -std::numeric_limits<double>::infinity();
   for (const HistogramSnapshot& part : parts) {
     for (std::size_t i = 0; i < part.bounds.size(); ++i) {
       buckets[part.bounds[i]] += part.counts[i];
+      if (i < part.exemplars.size()) {
+        KeepNewestExemplar(&bucket_exemplars[part.bounds[i]],
+                           part.exemplars[i]);
+      }
     }
     if (!part.counts.empty()) overflow += part.counts.back();
+    if (!part.exemplars.empty() &&
+        part.exemplars.size() == part.counts.size()) {
+      KeepNewestExemplar(&overflow_exemplar, part.exemplars.back());
+    }
     merged.count += part.count;
     merged.sum += part.sum;
     if (part.count > 0) {
@@ -194,8 +283,10 @@ HistogramSnapshot MergeHistogramSnapshots(
   for (const auto& [upper, n] : buckets) {
     merged.bounds.push_back(upper);
     merged.counts.push_back(n);
+    merged.exemplars.push_back(bucket_exemplars[upper]);
   }
   merged.counts.push_back(overflow);
+  merged.exemplars.push_back(overflow_exemplar);
   if (merged.count > 0) {
     merged.mean = merged.sum / static_cast<double>(merged.count);
     merged.p50 = HistogramSnapshotQuantile(merged, 50.0);

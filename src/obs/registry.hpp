@@ -88,6 +88,15 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// A recent traced observation retained by one histogram bucket: which
+/// fetch (trace id), what value, and when.  `trace_id == 0` means the
+/// bucket has no exemplar (untraced observations never overwrite one).
+struct HistogramExemplar {
+  std::uint64_t trace_id = 0;
+  double value = 0.0;
+  std::uint64_t timestamp_nanos = 0;
+};
+
 /// Point-in-time view of one histogram.  `bounds` lists the upper bounds
 /// of the *occupied* buckets of the fixed log-linear grid (empty grid
 /// buckets are compressed away), in increasing order; the grid itself is
@@ -99,6 +108,10 @@ struct HistogramSnapshot {
   std::vector<double> bounds;
   /// counts.size() == bounds.size() + 1 (overflow bucket last).
   std::vector<std::uint64_t> counts;
+  /// Per-bucket exemplars, parallel to `counts` (overflow last).  Either
+  /// empty (no exemplar support in the producer) or counts.size() long;
+  /// entries with trace_id == 0 are vacant.
+  std::vector<HistogramExemplar> exemplars;
   std::size_t count = 0;
   double sum = 0.0;
   double min = 0.0;
@@ -144,6 +157,14 @@ class Histogram {
   Histogram();
 
   void Observe(double value);
+  /// Traced observation: record `value` as usual AND stamp the bucket's
+  /// exemplar slot with (trace_id, value, timestamp).  The slot is a
+  /// per-bucket seqlock shared by all cells — writers try-lock and skip
+  /// on contention (an exemplar is "a recent traced observation", not an
+  /// exact register), so the hot path never blocks.  trace_id 0 is
+  /// treated as untraced and degrades to plain Observe.
+  void Observe(double value, std::uint64_t trace_id,
+               std::uint64_t timestamp_nanos);
   HistogramSnapshot Snapshot() const;
   /// Zero every bucket.  Like Counter::Reset, callers must be quiescent.
   void Reset();
@@ -170,7 +191,20 @@ class Histogram {
   };
   static constexpr std::size_t kCells = 8;
 
+  /// One seqlock per grid bucket, shared across cells (exemplar writes
+  /// are rare — one per traced fetch — so sharing costs nothing while
+  /// keeping "the newest exemplar for this bucket" a single slot).  Even
+  /// seq = stable; a writer CASes it odd, stores the fields, then bumps
+  /// it even again.  Writers that lose the CAS skip: best effort.
+  struct ExemplarSlot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> value_bits{0};
+    std::atomic<std::uint64_t> timestamp{0};
+  };
+
   std::array<Cell, kCells> cells_;
+  std::array<ExemplarSlot, kBucketCount> exemplars_;
 };
 
 /// Quantile estimate (q in [0, 100]) from a snapshot's bucket counts:

@@ -1,0 +1,248 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace sww::obs {
+
+namespace {
+
+using util::Error;
+using util::ErrorCode;
+
+std::string FormatCompactDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+/// Cumulative per-bound counts (plus overflow) of one snapshot, for
+/// exact subtraction on the shared grid.
+struct BucketTotals {
+  std::map<double, std::uint64_t> by_bound;
+  std::uint64_t overflow = 0;
+  std::uint64_t count = 0;
+};
+
+BucketTotals TotalsOf(const HistogramSnapshot& snapshot) {
+  BucketTotals totals;
+  for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
+    totals.by_bound[snapshot.bounds[i]] += snapshot.counts[i];
+  }
+  if (!snapshot.counts.empty()) totals.overflow = snapshot.counts.back();
+  totals.count = snapshot.count;
+  return totals;
+}
+
+}  // namespace
+
+SloEngine::SloEngine(std::vector<SloObjective> objectives)
+    : objectives_(std::move(objectives)) {}
+
+void SloEngine::Ingest(std::string_view series,
+                       const HistogramSnapshot& snapshot,
+                       std::uint64_t now_nanos) {
+  auto it = history_.find(series);
+  if (it == history_.end()) {
+    it = history_.emplace(std::string(series), std::vector<TimedSnapshot>())
+             .first;
+  }
+  it->second.push_back(TimedSnapshot{now_nanos, snapshot});
+}
+
+std::vector<SloEvaluation> SloEngine::Evaluate(std::uint64_t now_nanos) const {
+  std::vector<SloEvaluation> evaluations;
+  evaluations.reserve(objectives_.size());
+  for (const SloObjective& objective : objectives_) {
+    SloEvaluation eval;
+    eval.objective = objective;
+    eval.fast.window_seconds = objective.fast_window_seconds;
+    eval.fast.alert = objective.fast_burn_alert;
+    eval.slow.window_seconds = objective.slow_window_seconds;
+    eval.slow.alert = objective.slow_burn_alert;
+    const auto it = history_.find(objective.series);
+    if (it != history_.end() && !it->second.empty()) {
+      eval.have_series = true;
+      const std::vector<TimedSnapshot>& history = it->second;
+      const TimedSnapshot& newest = history.back();
+      eval.observations = newest.snapshot.count;
+      eval.quantile_value =
+          HistogramSnapshotQuantile(newest.snapshot, objective.quantile);
+      eval.quantile_ok = eval.observations == 0 ||
+                         eval.quantile_value <= objective.threshold;
+      const BucketTotals now_totals = TotalsOf(newest.snapshot);
+      for (SloWindowEval* window : {&eval.fast, &eval.slow}) {
+        const double window_nanos = window->window_seconds * 1e9;
+        const std::uint64_t window_start =
+            static_cast<double>(now_nanos) > window_nanos
+                ? now_nanos - static_cast<std::uint64_t>(window_nanos)
+                : 0;
+        // Baseline: the newest *earlier* sample at or before the window
+        // start.  The newest sample itself never serves as its own
+        // baseline, and with no eligible sample the baseline is the
+        // implicit empty snapshot — the window clamps to all history.
+        const TimedSnapshot* baseline = nullptr;
+        for (std::size_t i = 0; i + 1 < history.size(); ++i) {
+          if (history[i].nanos <= window_start) baseline = &history[i];
+        }
+        window->clamped = baseline == nullptr;
+        BucketTotals base;
+        if (baseline != nullptr) base = TotalsOf(baseline->snapshot);
+        std::uint64_t total = now_totals.count >= base.count
+                                  ? now_totals.count - base.count
+                                  : 0;
+        std::uint64_t bad = 0;
+        for (const auto& [upper, n] : now_totals.by_bound) {
+          if (upper <= objective.threshold) continue;
+          const auto base_it = base.by_bound.find(upper);
+          const std::uint64_t before =
+              base_it != base.by_bound.end() ? base_it->second : 0;
+          bad += n >= before ? n - before : 0;
+        }
+        bad += now_totals.overflow >= base.overflow
+                   ? now_totals.overflow - base.overflow
+                   : 0;
+        window->total = total;
+        window->bad = std::min(bad, total);
+        if (total > 0) {
+          window->bad_fraction = static_cast<double>(window->bad) /
+                                 static_cast<double>(total);
+          const double budget = 1.0 - objective.target;
+          window->burn_rate =
+              budget > 0.0 ? window->bad_fraction / budget : 0.0;
+        }
+        window->alerting = window->burn_rate > window->alert;
+      }
+      eval.burning = eval.fast.alerting && eval.slow.alerting;
+    }
+    evaluations.push_back(std::move(eval));
+  }
+  return evaluations;
+}
+
+std::vector<SloObjective> DefaultSloObjectives() {
+  // Thresholds are modeled-clock seconds, sized so the deterministic
+  // in-tree runs (whose generation phases advance the manual clock by
+  // tens of seconds) pass with headroom while a genuine tail blowup —
+  // or an injected one — burns.
+  std::vector<SloObjective> objectives;
+  {
+    SloObjective fetch;
+    fetch.name = "fetch-latency-p99";
+    fetch.series = "fetch.latency";
+    fetch.quantile = 99.0;
+    fetch.threshold = 600.0;
+    fetch.target = 0.99;
+    objectives.push_back(std::move(fetch));
+  }
+  {
+    SloObjective stream;
+    stream.name = "stream-latency-p99";
+    stream.series = "http2.stream_seconds";
+    stream.quantile = 99.0;
+    stream.threshold = 600.0;
+    stream.target = 0.99;
+    objectives.push_back(std::move(stream));
+  }
+  return objectives;
+}
+
+util::Result<SloObjective> ParseSloObjectiveSpec(std::string_view spec) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    fields.emplace_back(spec.substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (fields.size() < 4 || fields.size() > 5) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "objective spec must be name,series,quantile,threshold"
+                 "[,target]: " +
+                     std::string(spec));
+  }
+  SloObjective objective;
+  objective.name = fields[0];
+  objective.series = fields[1];
+  objective.quantile = std::strtod(fields[2].c_str(), nullptr);
+  objective.threshold = std::strtod(fields[3].c_str(), nullptr);
+  if (fields.size() == 5) {
+    objective.target = std::strtod(fields[4].c_str(), nullptr);
+  }
+  if (objective.name.empty() || objective.series.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "objective spec needs a name and a series: " +
+                     std::string(spec));
+  }
+  if (!(objective.quantile >= 0.0 && objective.quantile <= 100.0)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "objective quantile must be in [0, 100]: " + fields[2]);
+  }
+  if (!(objective.target > 0.0 && objective.target < 1.0)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "objective target must be in (0, 1): " +
+                     (fields.size() == 5 ? fields[4] : std::string()));
+  }
+  return objective;
+}
+
+std::string RenderSloReport(const std::vector<SloEvaluation>& evaluations) {
+  std::string out;
+  char line[256];
+  out += "SLO REPORT\n";
+  out += "==========\n";
+  std::size_t burning = 0;
+  for (const SloEvaluation& eval : evaluations) {
+    out += '\n';
+    out += "objective " + eval.objective.name + "\n";
+    std::snprintf(line, sizeof(line),
+                  "  series       %s · p%s <= %s s · target %s%% good\n",
+                  eval.objective.series.c_str(),
+                  FormatCompactDouble(eval.objective.quantile).c_str(),
+                  FormatCompactDouble(eval.objective.threshold).c_str(),
+                  FormatCompactDouble(eval.objective.target * 100.0).c_str());
+    out += line;
+    if (!eval.have_series) {
+      out += "  status       NO DATA\n";
+      continue;
+    }
+    std::snprintf(
+        line, sizeof(line), "  quantile     p%s = %s s over %llu obs · %s\n",
+        FormatCompactDouble(eval.objective.quantile).c_str(),
+        FormatCompactDouble(eval.quantile_value).c_str(),
+        static_cast<unsigned long long>(eval.observations),
+        eval.quantile_ok ? "ok" : "VIOLATED");
+    out += line;
+    const struct {
+      const char* label;
+      const SloWindowEval& window;
+    } windows[] = {{"fast window", eval.fast}, {"slow window", eval.slow}};
+    for (const auto& [label, window] : windows) {
+      std::snprintf(
+          line, sizeof(line),
+          "  %s  %s s%s: total %llu · bad %llu · burn %sx · alert > %sx · "
+          "%s\n",
+          label, FormatCompactDouble(window.window_seconds).c_str(),
+          window.clamped ? " (clamped)" : "",
+          static_cast<unsigned long long>(window.total),
+          static_cast<unsigned long long>(window.bad),
+          FormatCompactDouble(window.burn_rate).c_str(),
+          FormatCompactDouble(window.alert).c_str(),
+          window.alerting ? "ALERTING" : "ok");
+      out += line;
+    }
+    out += std::string("  status       ") +
+           (eval.burning ? "BURNING" : "OK") + "\n";
+    if (eval.burning) ++burning;
+  }
+  std::snprintf(line, sizeof(line),
+                "\noverall: %s · %zu of %zu objectives burning\n",
+                burning == 0 ? "OK" : "BURNING", burning, evaluations.size());
+  out += line;
+  return out;
+}
+
+}  // namespace sww::obs

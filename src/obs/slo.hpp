@@ -1,0 +1,114 @@
+// slo.hpp — declarative latency objectives and multi-window burn rates.
+//
+// An SLO here is "quantile of a histogram series stays under a
+// threshold, with at least `target` of observations good" — e.g.
+// `fetch.latency p99 < 120 s, 99% good`.  The engine evaluates error-
+// budget burn the way the multi-window alerting literature prescribes:
+// a *fast* window (default 5 minutes) that reacts quickly and a *slow*
+// window (default 1 hour) that filters blips; an objective is *burning*
+// only when BOTH windows exceed their burn-rate alerts.  Burn rate is
+// bad_fraction / (1 - target): 1x burns the budget exactly at the
+// period boundary, 100x burns a 99% budget with every event bad.
+//
+// Windows are computed by *subtracting cumulative histogram snapshots*:
+// the engine ingests timestamped snapshots (modeled clock) and takes
+// the bucket-count delta between the newest sample and the newest
+// sample at or before now − window.  When history is shorter than the
+// window the delta clamps to everything seen (reported as `clamped`) —
+// a single-snapshot run evaluates its whole lifetime in both windows,
+// which is what makes `slo.report.txt` deterministic for sww_inspect.
+//
+// A bucket counts as *bad* when its upper bound exceeds the threshold
+// (conservative: a bucket straddling the threshold is all-bad), and the
+// +Inf overflow bucket is always bad.  Deterministic given the counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/error.hpp"
+
+namespace sww::obs {
+
+/// One declarative objective over one registry histogram series.
+struct SloObjective {
+  std::string name;          ///< report label, e.g. "fetch-latency-p99"
+  std::string series;        ///< registry instrument, e.g. "fetch.latency"
+  double quantile = 99.0;    ///< p-quantile the report prints (0..100)
+  double threshold = 0.0;    ///< good event: observation <= threshold
+  double target = 0.99;      ///< fraction of events that must be good
+  double fast_window_seconds = 300.0;
+  double slow_window_seconds = 3600.0;
+  /// Burn-rate alert per window; both must trip for `burning`.  14.4x
+  /// is the classic "2% of a 30-day budget in one hour" page threshold.
+  double fast_burn_alert = 14.4;
+  double slow_burn_alert = 14.4;
+};
+
+/// Burn-rate evaluation of one window.
+struct SloWindowEval {
+  double window_seconds = 0.0;
+  bool clamped = false;  ///< history shorter than the window
+  std::uint64_t total = 0;
+  std::uint64_t bad = 0;
+  double bad_fraction = 0.0;
+  double burn_rate = 0.0;
+  double alert = 0.0;
+  bool alerting = false;
+};
+
+/// Full evaluation of one objective at one instant.
+struct SloEvaluation {
+  SloObjective objective;
+  bool have_series = false;  ///< any snapshot ingested for the series
+  std::uint64_t observations = 0;   ///< cumulative count at evaluation
+  double quantile_value = 0.0;      ///< p{quantile} of the newest snapshot
+  bool quantile_ok = true;          ///< quantile_value <= threshold
+  SloWindowEval fast;
+  SloWindowEval slow;
+  bool burning = false;  ///< fast AND slow windows alerting
+};
+
+/// Ingests timestamped cumulative snapshots per series and evaluates
+/// the objectives.  Not thread-safe; callers own the scrape loop.
+class SloEngine {
+ public:
+  explicit SloEngine(std::vector<SloObjective> objectives);
+
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+
+  /// Record one cumulative snapshot of `series` taken at `now_nanos`
+  /// (modeled clock).  Samples must arrive in non-decreasing time order.
+  void Ingest(std::string_view series, const HistogramSnapshot& snapshot,
+              std::uint64_t now_nanos);
+
+  /// Evaluate every objective at `now_nanos`.  Deterministic.
+  std::vector<SloEvaluation> Evaluate(std::uint64_t now_nanos) const;
+
+ private:
+  struct TimedSnapshot {
+    std::uint64_t nanos = 0;
+    HistogramSnapshot snapshot;
+  };
+
+  std::vector<SloObjective> objectives_;
+  std::map<std::string, std::vector<TimedSnapshot>, std::less<>> history_;
+};
+
+/// The stock objectives the repo's own tools evaluate: end-to-end fetch
+/// latency and per-stream wire latency, both p99 on the modeled clock.
+std::vector<SloObjective> DefaultSloObjectives();
+
+/// Parse a gate override spec "name,series,quantile,threshold[,target]"
+/// (e.g. "burn,fetch.latency,99,1e-9,0.99") into an objective with the
+/// default windows and alerts.
+util::Result<SloObjective> ParseSloObjectiveSpec(std::string_view spec);
+
+/// Deterministic text report (`slo.report.txt`).
+std::string RenderSloReport(const std::vector<SloEvaluation>& evaluations);
+
+}  // namespace sww::obs

@@ -216,5 +216,161 @@ TEST(HistogramMerge, DisjointStreamsMergeToTheUnion) {
   EXPECT_DOUBLE_EQ(none.max, 0.0);
 }
 
+// Find the exemplar whose bucket covers `value`, or the overflow slot.
+const HistogramExemplar* ExemplarFor(const HistogramSnapshot& snapshot,
+                                     double value) {
+  if (snapshot.exemplars.size() != snapshot.counts.size()) return nullptr;
+  for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
+    if (value <= snapshot.bounds[i]) return &snapshot.exemplars[i];
+  }
+  return &snapshot.exemplars.back();
+}
+
+TEST(HistogramExemplars, TracedObserveRetainsNewestObservationPerBucket) {
+  Histogram hist;
+  hist.Observe(1.0, /*trace_id=*/0xaaa, /*timestamp_nanos=*/10);
+  hist.Observe(1.0, /*trace_id=*/0xbbb, /*timestamp_nanos=*/20);
+  hist.Observe(1000.0, /*trace_id=*/0xccc, /*timestamp_nanos=*/15);
+  hist.Observe(2.0 * Histogram::kMaxValue, /*trace_id=*/0xddd,
+               /*timestamp_nanos=*/30);
+  // An untraced observation counts but never claims an exemplar slot.
+  hist.Observe(1000.0);
+  hist.Observe(1000.0, /*trace_id=*/0, /*timestamp_nanos=*/99);
+
+  const HistogramSnapshot snapshot = hist.Snapshot();
+  ASSERT_EQ(snapshot.exemplars.size(), snapshot.counts.size());
+  const HistogramExemplar* near_one = ExemplarFor(snapshot, 1.0);
+  ASSERT_NE(near_one, nullptr);
+  EXPECT_EQ(near_one->trace_id, 0xbbbu);  // latest uncontended write wins
+  EXPECT_EQ(near_one->timestamp_nanos, 20u);
+  EXPECT_DOUBLE_EQ(near_one->value, 1.0);
+  const HistogramExemplar* near_thousand = ExemplarFor(snapshot, 1000.0);
+  ASSERT_NE(near_thousand, nullptr);
+  EXPECT_EQ(near_thousand->trace_id, 0xcccu);
+  EXPECT_EQ(near_thousand->timestamp_nanos, 15u);
+  // Overflow observations land in the +Inf exemplar slot (snapshot back).
+  EXPECT_EQ(snapshot.exemplars.back().trace_id, 0xdddu);
+}
+
+TEST(HistogramExemplars, MergeKeepsNewestPerBucketInAnyPartOrder) {
+  Histogram a;
+  Histogram b;
+  a.Observe(5.0, /*trace_id=*/0x1, /*timestamp_nanos=*/100);
+  b.Observe(5.0, /*trace_id=*/0x2, /*timestamp_nanos=*/200);
+  a.Observe(2.0 * Histogram::kMaxValue, /*trace_id=*/0x3,
+            /*timestamp_nanos=*/300);
+  b.Observe(2.0 * Histogram::kMaxValue, /*trace_id=*/0x4,
+            /*timestamp_nanos=*/250);
+  const HistogramSnapshot sa = a.Snapshot();
+  const HistogramSnapshot sb = b.Snapshot();
+
+  const HistogramSnapshot forward = MergeHistogramSnapshots({sa, sb});
+  const HistogramSnapshot backward = MergeHistogramSnapshots({sb, sa});
+  for (const HistogramSnapshot& merged : {forward, backward}) {
+    const HistogramExemplar* near_five = ExemplarFor(merged, 5.0);
+    ASSERT_NE(near_five, nullptr);
+    EXPECT_EQ(near_five->trace_id, 0x2u);  // newest timestamp wins
+    EXPECT_EQ(merged.exemplars.back().trace_id, 0x3u);
+  }
+
+  // Equal timestamps: the larger trace id wins, so the merge stays a
+  // deterministic function of the part *set*, not the part order.
+  Histogram c;
+  Histogram d;
+  c.Observe(7.0, /*trace_id=*/0x10, /*timestamp_nanos=*/500);
+  d.Observe(7.0, /*trace_id=*/0x20, /*timestamp_nanos=*/500);
+  const HistogramSnapshot tie1 =
+      MergeHistogramSnapshots({c.Snapshot(), d.Snapshot()});
+  const HistogramSnapshot tie2 =
+      MergeHistogramSnapshots({d.Snapshot(), c.Snapshot()});
+  const HistogramExemplar* t1 = ExemplarFor(tie1, 7.0);
+  const HistogramExemplar* t2 = ExemplarFor(tie2, 7.0);
+  ASSERT_NE(t1, nullptr);
+  ASSERT_NE(t2, nullptr);
+  EXPECT_EQ(t1->trace_id, 0x20u);
+  EXPECT_EQ(t2->trace_id, 0x20u);
+
+  // Parts without exemplars merge counts but contribute no exemplars.
+  HistogramSnapshot bare = sa;
+  bare.exemplars.clear();
+  const HistogramSnapshot with_bare = MergeHistogramSnapshots({bare, sb});
+  const HistogramExemplar* only_b = ExemplarFor(with_bare, 5.0);
+  ASSERT_NE(only_b, nullptr);
+  EXPECT_EQ(only_b->trace_id, 0x2u);
+}
+
+TEST(HistogramExemplars, RegistryResetClearsSlotsAndTheyRepopulate) {
+  Registry registry;
+  Histogram& hist = registry.GetHistogram("exemplar.reset");
+  hist.Observe(3.0, /*trace_id=*/0xabc, /*timestamp_nanos=*/42);
+  const HistogramSnapshot before = hist.Snapshot();
+  ASSERT_EQ(ExemplarFor(before, 3.0)->trace_id, 0xabcu);
+
+  registry.Reset();
+  const HistogramSnapshot cleared = hist.Snapshot();
+  EXPECT_EQ(cleared.count, 0u);
+  for (const HistogramExemplar& exemplar : cleared.exemplars) {
+    EXPECT_EQ(exemplar.trace_id, 0u);  // a fresh run inherits no traces
+  }
+
+  // The seqlock slots stay usable after the wipe.
+  hist.Observe(3.0, /*trace_id=*/0xdef, /*timestamp_nanos=*/43);
+  const HistogramSnapshot after = hist.Snapshot();
+  const HistogramExemplar* repopulated = ExemplarFor(after, 3.0);
+  ASSERT_NE(repopulated, nullptr);
+  EXPECT_EQ(repopulated->trace_id, 0xdefu);
+  EXPECT_EQ(repopulated->timestamp_nanos, 43u);
+}
+
+TEST(HistogramExemplars, ConcurrentTracedObservesStayCoherent) {
+  // Bucket counts must replay serially regardless of exemplar traffic,
+  // and every exemplar a snapshot reads must be untorn: its value must
+  // belong to the bucket whose slot reported it, and its trace id must
+  // be one a writer actually wrote with that value.
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // value encodes (thread, i) so a torn slot is detectable.
+        const double value = 1.0 + static_cast<double>(t % 4);
+        const std::uint64_t trace_id =
+            (static_cast<std::uint64_t>(t) << 32) | (i + 1);
+        hist.Observe(value, trace_id, trace_id);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  Histogram serial;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.Observe(1.0 + static_cast<double>(t % 4));
+    }
+  }
+  const HistogramSnapshot concurrent = hist.Snapshot();
+  const HistogramSnapshot expected = serial.Snapshot();
+  EXPECT_EQ(concurrent.counts, expected.counts);
+  EXPECT_EQ(concurrent.count, expected.count);
+
+  ASSERT_EQ(concurrent.exemplars.size(), concurrent.counts.size());
+  for (std::size_t i = 0; i < concurrent.bounds.size(); ++i) {
+    const HistogramExemplar& exemplar = concurrent.exemplars[i];
+    if (exemplar.trace_id == 0) continue;
+    // Untorn: the exemplar's value lands in the bucket that held it...
+    EXPECT_EQ(Histogram::BucketIndex(exemplar.value),
+              Histogram::BucketIndex(
+                  std::nextafter(concurrent.bounds[i], 0.0)));
+    // ...and trace id / timestamp / value are one writer's consistent
+    // triple: the id encodes the thread whose value was written.
+    const auto thread = static_cast<int>(exemplar.trace_id >> 32);
+    EXPECT_DOUBLE_EQ(exemplar.value, 1.0 + static_cast<double>(thread % 4));
+    EXPECT_EQ(exemplar.timestamp_nanos, exemplar.trace_id);
+  }
+}
+
 }  // namespace
 }  // namespace sww::obs

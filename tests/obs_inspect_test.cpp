@@ -38,6 +38,8 @@ TEST(InspectRun, TwoRunsProduceByteIdenticalArtifacts) {
   EXPECT_EQ(first.value().frames_text, second.value().frames_text);
   EXPECT_EQ(first.value().trace_json, second.value().trace_json);
   EXPECT_EQ(first.value().metrics_jsonl, second.value().metrics_jsonl);
+  EXPECT_EQ(first.value().journal_jsonl, second.value().journal_jsonl);
+  EXPECT_EQ(first.value().slo_report, second.value().slo_report);
 }
 
 TEST(InspectRun, ReportCoversTheWholeRun) {
@@ -73,6 +75,28 @@ TEST(InspectRun, ReportMatchesCheckedInGolden) {
          "is intentional, regenerate with: sww_inspect --out-dir tests/golden";
 }
 
+TEST(InspectRun, JournalAndSloMatchCheckedInGoldens) {
+  const std::string journal_golden =
+      Slurp(std::string(SWW_GOLDEN_DIR) + "/run.journal.jsonl");
+  const std::string slo_golden =
+      Slurp(std::string(SWW_GOLDEN_DIR) + "/slo.report.txt");
+  ASSERT_FALSE(journal_golden.empty()) << "golden file missing";
+  ASSERT_FALSE(slo_golden.empty()) << "golden file missing";
+  auto result = RunInspect({});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_EQ(result.value().journal_jsonl, journal_golden)
+      << "journal drifted from tests/golden/run.journal.jsonl; if the "
+         "change is intentional, regenerate with: sww_inspect --out-dir "
+         "tests/golden";
+  EXPECT_EQ(result.value().slo_report, slo_golden)
+      << "SLO report drifted from tests/golden/slo.report.txt; if the "
+         "change is intentional, regenerate with: sww_inspect --out-dir "
+         "tests/golden";
+  // No journal records may have been lost to ring overwrite — dropped
+  // wide events would make the golden a partial view.
+  EXPECT_EQ(result.value().journal_dropped, 0u);
+}
+
 TEST(InspectRun, ArtifactsWriteToDisk) {
   auto result = RunInspect({});
   ASSERT_TRUE(result.ok()) << result.error().ToString();
@@ -80,7 +104,8 @@ TEST(InspectRun, ArtifactsWriteToDisk) {
   ASSERT_TRUE(WriteInspectArtifacts(result.value(), dir).ok());
   for (const char* name : {"run.report.txt", "run.report.jsonl",
                            "run.frames.jsonl", "run.trace.json",
-                           "run.metrics.jsonl"}) {
+                           "run.metrics.jsonl", "run.journal.jsonl",
+                           "slo.report.txt"}) {
     const std::string path = dir + "/" + name;
     EXPECT_FALSE(Slurp(path).empty()) << path;
     std::remove(path.c_str());

@@ -1,0 +1,172 @@
+// obs_journal_test — the wide-event request journal:
+//   * ring discipline mirrors ConnectionTap: overwrite-oldest, capacity
+//     bound, total/dropped counters that survive overwrite, Clear()
+//     empties without invalidating the handle;
+//   * JSONL rendering is deterministic (std::map key order), carries
+//     every schema field, and ends in a journal_summary trailer;
+//   * non-finite phase latencies serialize as JSON null, never as bare
+//     NaN/Inf tokens (the src/json hardening), and the document stays
+//     parseable by the repo's own parser;
+//   * the end-to-end contract: one LocalSession page fetch emits exactly
+//     one record whose trace id round-trips to the fetch.latency
+//     histogram exemplar.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/page_builder.hpp"
+#include "core/session.hpp"
+#include "json/json.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace sww::obs {
+namespace {
+
+JournalRecord MakeRecord(std::uint64_t trace_id) {
+  JournalRecord record;
+  record.kind = "page_fetch";
+  record.trace_id = trace_id;
+  record.path = "/";
+  record.mode = "generative";
+  record.outcome = "ok";
+  record.cache = "miss";
+  record.total_seconds = 1.5;
+  return record;
+}
+
+TEST(Journal, RingOverwritesOldestAndCountsDrops) {
+  Journal journal(/*capacity=*/3);
+  for (std::uint64_t i = 1; i <= 5; ++i) journal.Record(MakeRecord(i));
+  EXPECT_EQ(journal.total_recorded(), 5u);
+  EXPECT_EQ(journal.dropped(), 2u);
+  const std::vector<JournalRecord> records = journal.Records();
+  ASSERT_EQ(records.size(), 3u);
+  // Oldest first, with the two oldest overwritten.
+  EXPECT_EQ(records[0].trace_id, 3u);
+  EXPECT_EQ(records[1].trace_id, 4u);
+  EXPECT_EQ(records[2].trace_id, 5u);
+
+  journal.Clear();
+  EXPECT_EQ(journal.total_recorded(), 0u);
+  EXPECT_EQ(journal.dropped(), 0u);
+  EXPECT_TRUE(journal.Records().empty());
+  journal.Record(MakeRecord(9));
+  EXPECT_EQ(journal.Records().size(), 1u);
+}
+
+TEST(Journal, JsonLinesCarrySchemaAndSummaryTrailer) {
+  Journal journal(/*capacity=*/4);
+  JournalRecord record = MakeRecord(0xabcdef);
+  record.device = "laptop";
+  record.wire_bytes_sent = 69;
+  record.frames_received = 2;
+  record.energy_joules = 197.5;
+  journal.Record(record);
+  const std::string jsonl = RenderJournalJsonLines(journal);
+
+  // Two lines: the record and the summary trailer, each valid JSON.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    lines.push_back(jsonl.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  auto parsed = json::Parse(lines[0]);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  const json::Value& doc = parsed.value();
+  EXPECT_EQ(doc.GetString("kind"), "page_fetch");
+  EXPECT_EQ(doc.GetString("trace_id"), "0000000000abcdef");
+  EXPECT_EQ(doc.GetString("path"), "/");
+  EXPECT_EQ(doc.GetString("outcome"), "ok");
+  EXPECT_EQ(doc.GetString("cache"), "miss");
+  EXPECT_EQ(doc.GetInt("wire_bytes_sent"), 69);
+  EXPECT_EQ(doc.GetInt("frames_received"), 2);
+  EXPECT_DOUBLE_EQ(doc.GetNumber("total_seconds"), 1.5);
+  EXPECT_DOUBLE_EQ(doc.GetNumber("energy_joules"), 197.5);
+  auto trailer = json::Parse(lines[1]);
+  ASSERT_TRUE(trailer.ok());
+  EXPECT_EQ(trailer.value().GetString("kind"), "journal_summary");
+  EXPECT_EQ(trailer.value().GetInt("records"), 1);
+  EXPECT_EQ(trailer.value().GetInt("total_recorded"), 1);
+  EXPECT_EQ(trailer.value().GetInt("dropped"), 0);
+  EXPECT_EQ(trailer.value().GetInt("capacity"), 4);
+
+  // Determinism: rendering twice is byte-identical.
+  EXPECT_EQ(jsonl, RenderJournalJsonLines(journal));
+}
+
+TEST(Journal, NonFinitePhaseLatenciesRenderAsNull) {
+  // A buggy clock or a 0/0 phase split must not poison the JSONL: the
+  // json serializer renders non-finite doubles as null (src/json), and
+  // the document must stay machine-parseable.
+  JournalRecord record = MakeRecord(1);
+  record.total_seconds = std::numeric_limits<double>::quiet_NaN();
+  record.wire_seconds = std::numeric_limits<double>::infinity();
+  record.generation_seconds = -std::numeric_limits<double>::infinity();
+  const std::string jsonl = RenderJournalJsonLines(
+      {record}, /*total_recorded=*/1, /*dropped=*/0, /*capacity=*/8);
+  // Bare non-finite tokens (":nan", ":inf", ":-inf") would break every
+  // JSON consumer; the field name timestamp_nanos is the only "nan".
+  EXPECT_EQ(jsonl.find(":nan"), std::string::npos);
+  EXPECT_EQ(jsonl.find(":inf"), std::string::npos);
+  EXPECT_EQ(jsonl.find(":-inf"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"total_seconds\":null"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"wire_seconds\":null"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"generation_seconds\":null"), std::string::npos);
+
+  const std::string first_line = jsonl.substr(0, jsonl.find('\n'));
+  auto parsed = json::Parse(first_line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToString();
+  EXPECT_TRUE(parsed.value().Get("total_seconds")->is_null());
+}
+
+TEST(Journal, OnePageFetchEmitsExactlyOneRecordWithExemplarTraceId) {
+  Tracer& tracer = Tracer::Default();
+  ManualClock clock;
+  tracer.SetClock(&clock);
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  Registry::Default().Reset();
+  Journal::Default().Clear();
+
+  core::ContentStore store;
+  ASSERT_TRUE(store.AddPage("/", core::MakeGoldfishPage()).ok());
+  auto session = core::LocalSession::Start(&store, {});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->FetchPage("/").ok());
+
+  const std::vector<JournalRecord> records = Journal::Default().Records();
+  ASSERT_EQ(records.size(), 1u);
+  const JournalRecord& record = records[0];
+  EXPECT_EQ(record.kind, "page_fetch");
+  EXPECT_EQ(record.path, "/");
+  EXPECT_EQ(record.outcome, "ok");
+  EXPECT_NE(record.trace_id, 0u);
+  EXPECT_GT(record.total_seconds, 0.0);
+  EXPECT_GT(record.page_bytes, 0u);
+  EXPECT_GT(record.wire_bytes_sent, 0u);
+
+  // The same trace id is the fetch.latency exemplar /metrics would show.
+  const RegistrySnapshot snapshot = Registry::Default().Snapshot();
+  auto it = snapshot.histograms.find("fetch.latency");
+  ASSERT_NE(it, snapshot.histograms.end());
+  EXPECT_EQ(it->second.count, 1u);
+  bool found = false;
+  for (const HistogramExemplar& exemplar : it->second.exemplars) {
+    if (exemplar.trace_id == record.trace_id) found = true;
+  }
+  EXPECT_TRUE(found);
+
+  tracer.SetClock(nullptr);
+}
+
+}  // namespace
+}  // namespace sww::obs

@@ -1,0 +1,180 @@
+// obs_slo_test — the SLO burn-rate engine:
+//   * burn math: burn = bad_fraction / (1 - target); a bucket is bad
+//     when its upper bound exceeds the threshold, +Inf is always bad;
+//   * multi-window semantics: windows subtract the newest baseline
+//     snapshot at/before now − window, the newest sample is never its
+//     own baseline, and missing history clamps to whole-run burn;
+//   * `burning` requires BOTH windows alerting;
+//   * ParseSloObjectiveSpec accepts name,series,quantile,threshold
+//     [,target] and rejects malformed specs;
+//   * RenderSloReport is a deterministic function of the evaluations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/slo.hpp"
+
+namespace sww::obs {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+SloObjective TightObjective(double threshold) {
+  SloObjective objective;
+  objective.name = "test";
+  objective.series = "test.latency";
+  objective.quantile = 99.0;
+  objective.threshold = threshold;
+  objective.target = 0.99;  // 1% budget: all-bad burns at 100x
+  return objective;
+}
+
+HistogramSnapshot SnapshotOf(const std::vector<double>& values) {
+  Histogram hist;
+  for (double value : values) hist.Observe(value);
+  return hist.Snapshot();
+}
+
+TEST(SloEngine, SingleSnapshotClampsBothWindowsToWholeRunBurn) {
+  // 2 good (0.001 s), 2 bad (10 s) against a 1 s threshold: bad fraction
+  // 0.5 on a 1% budget burns at 50x — over the 14.4x alert in both
+  // windows, so the objective is burning.
+  SloEngine engine({TightObjective(1.0)});
+  engine.Ingest("test.latency", SnapshotOf({0.001, 0.001, 10.0, 10.0}),
+                /*now_nanos=*/0);
+  const std::vector<SloEvaluation> evals = engine.Evaluate(/*now_nanos=*/0);
+  ASSERT_EQ(evals.size(), 1u);
+  const SloEvaluation& eval = evals[0];
+  EXPECT_TRUE(eval.have_series);
+  EXPECT_EQ(eval.observations, 4u);
+  EXPECT_FALSE(eval.quantile_ok);  // p99 sits in the 10 s bucket
+  for (const SloWindowEval* window : {&eval.fast, &eval.slow}) {
+    EXPECT_TRUE(window->clamped);
+    EXPECT_EQ(window->total, 4u);
+    EXPECT_EQ(window->bad, 2u);
+    EXPECT_DOUBLE_EQ(window->bad_fraction, 0.5);
+    EXPECT_NEAR(window->burn_rate, 50.0, 1e-9);  // 0.5 / (1 - 0.99)
+    EXPECT_TRUE(window->alerting);
+  }
+  EXPECT_TRUE(eval.burning);
+}
+
+TEST(SloEngine, AllGoodObservationsDoNotBurn) {
+  SloEngine engine({TightObjective(1.0)});
+  engine.Ingest("test.latency", SnapshotOf({0.001, 0.01, 0.1}), 0);
+  const SloEvaluation eval = engine.Evaluate(0)[0];
+  EXPECT_TRUE(eval.quantile_ok);
+  EXPECT_EQ(eval.fast.bad, 0u);
+  EXPECT_DOUBLE_EQ(eval.fast.burn_rate, 0.0);
+  EXPECT_FALSE(eval.burning);
+}
+
+TEST(SloEngine, OverflowBucketIsAlwaysBad) {
+  // An observation past the grid's top lands in +Inf — bad under any
+  // finite threshold, however generous.
+  SloEngine engine({TightObjective(1e12)});
+  engine.Ingest("test.latency",
+                SnapshotOf({0.5, 2.0 * Histogram::kMaxValue}), 0);
+  const SloEvaluation eval = engine.Evaluate(0)[0];
+  EXPECT_EQ(eval.fast.total, 2u);
+  EXPECT_EQ(eval.fast.bad, 1u);
+}
+
+TEST(SloEngine, WindowSubtractsNewestEligibleBaseline) {
+  // Cumulative history: 100 good at t=0, then 100 good + 100 bad at
+  // t=100 s, then nothing new by t=3600 s.  At now=3600 s the fast
+  // (300 s) window starts at 3300 s: both earlier samples are eligible
+  // baselines and the *newest eligible* (t=100 s) wins, so the fast
+  // delta is empty — the burst is old news.  The slow (3600 s) window
+  // starts at 0 s, where only the t=0 sample is eligible, exposing the
+  // 100 bad.
+  Histogram hist;
+  for (int i = 0; i < 100; ++i) hist.Observe(0.001);
+  const HistogramSnapshot at_zero = hist.Snapshot();
+  for (int i = 0; i < 100; ++i) hist.Observe(10.0);
+  const HistogramSnapshot after_burst = hist.Snapshot();
+
+  SloEngine engine({TightObjective(1.0)});
+  engine.Ingest("test.latency", at_zero, 0);
+  engine.Ingest("test.latency", after_burst, 100 * kSecond);
+  engine.Ingest("test.latency", after_burst, 3600 * kSecond);
+  const SloEvaluation eval = engine.Evaluate(3600 * kSecond)[0];
+
+  EXPECT_FALSE(eval.fast.clamped);
+  EXPECT_EQ(eval.fast.total, 0u);
+  EXPECT_EQ(eval.fast.bad, 0u);
+  EXPECT_FALSE(eval.fast.alerting);
+
+  EXPECT_FALSE(eval.slow.clamped);
+  EXPECT_EQ(eval.slow.total, 100u);
+  EXPECT_EQ(eval.slow.bad, 100u);
+  EXPECT_NEAR(eval.slow.burn_rate, 100.0, 1e-9);
+  EXPECT_TRUE(eval.slow.alerting);
+
+  // One window alerting is not enough: burning needs both.
+  EXPECT_FALSE(eval.burning);
+}
+
+TEST(SloEngine, NewestSampleIsNeverItsOwnBaseline) {
+  // A single sample whose timestamp predates the window start must
+  // still clamp (evaluate whole-run burn), not subtract itself to an
+  // empty, trivially-passing window.
+  SloEngine engine({TightObjective(1.0)});
+  engine.Ingest("test.latency", SnapshotOf({10.0, 10.0}), 0);
+  const SloEvaluation eval = engine.Evaluate(7200 * kSecond)[0];
+  EXPECT_TRUE(eval.fast.clamped);
+  EXPECT_EQ(eval.fast.total, 2u);
+  EXPECT_EQ(eval.fast.bad, 2u);
+  EXPECT_TRUE(eval.burning);
+}
+
+TEST(SloEngine, MissingSeriesReportsNoData) {
+  SloEngine engine({TightObjective(1.0)});
+  const SloEvaluation eval = engine.Evaluate(0)[0];
+  EXPECT_FALSE(eval.have_series);
+  EXPECT_FALSE(eval.burning);
+  const std::string report = RenderSloReport({eval});
+  EXPECT_NE(report.find("NO DATA"), std::string::npos);
+}
+
+TEST(SloObjectiveSpec, ParsesAndValidates) {
+  auto parsed = ParseSloObjectiveSpec("burn,fetch.latency,99,1e-9,0.999");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().name, "burn");
+  EXPECT_EQ(parsed.value().series, "fetch.latency");
+  EXPECT_DOUBLE_EQ(parsed.value().quantile, 99.0);
+  EXPECT_DOUBLE_EQ(parsed.value().threshold, 1e-9);
+  EXPECT_DOUBLE_EQ(parsed.value().target, 0.999);
+  // Defaults fill the windows and alerts.
+  EXPECT_DOUBLE_EQ(parsed.value().fast_window_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(parsed.value().slow_burn_alert, 14.4);
+
+  auto four_fields = ParseSloObjectiveSpec("a,b,50,2.5");
+  ASSERT_TRUE(four_fields.ok());
+  EXPECT_DOUBLE_EQ(four_fields.value().target, 0.99);
+
+  EXPECT_FALSE(ParseSloObjectiveSpec("too,few,fields").ok());
+  EXPECT_FALSE(ParseSloObjectiveSpec("a,b,c,d,e,f").ok());
+  EXPECT_FALSE(ParseSloObjectiveSpec(",missing-name,99,1").ok());
+  EXPECT_FALSE(ParseSloObjectiveSpec("a,b,150,1").ok());    // quantile > 100
+  EXPECT_FALSE(ParseSloObjectiveSpec("a,b,99,1,1.5").ok()); // target ≥ 1
+}
+
+TEST(SloReport, DeterministicForIdenticalInput) {
+  SloEngine engine(DefaultSloObjectives());
+  engine.Ingest("fetch.latency", SnapshotOf({1.0, 2.0, 3.0}), 0);
+  const std::string first = RenderSloReport(engine.Evaluate(0));
+  const std::string second = RenderSloReport(engine.Evaluate(0));
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("SLO REPORT"), std::string::npos);
+  EXPECT_NE(first.find("objective fetch-latency-p99"), std::string::npos);
+  EXPECT_NE(first.find("overall: OK"), std::string::npos);
+  // The second stock objective has no ingested series.
+  EXPECT_NE(first.find("NO DATA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sww::obs

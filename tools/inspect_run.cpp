@@ -14,7 +14,9 @@
 #include "obs/clock.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
+#include "obs/journal.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "tools/top.hpp"
 
@@ -74,6 +76,7 @@ Result<InspectResult> RunInspect(const InspectOptions& options) {
   obs::Registry::Default().Reset();
   obs::FlightRecorder& recorder = obs::FlightRecorder::Default();
   recorder.Clear();
+  obs::Journal::Default().Clear();
 
   InspectResult result;
   {
@@ -125,7 +128,7 @@ Result<InspectResult> RunInspect(const InspectOptions& options) {
     // zeroes but never removes instruments, so scraping before a phase
     // first registers its series would make run N+1's exposition differ
     // from run N's.)
-    for (const char* path : {"/metrics", "/debug/vars"}) {
+    for (const char* path : {"/metrics", "/debug/vars", "/debug/journal"}) {
       auto raw = session.value()->client().FetchRaw(path, session.value()->Pump());
       if (!raw.ok()) {
         tracer.SetClock(nullptr);
@@ -134,8 +137,10 @@ Result<InspectResult> RunInspect(const InspectOptions& options) {
       std::string body(raw.value().body.begin(), raw.value().body.end());
       if (std::string_view(path) == "/metrics") {
         result.metrics_prom = std::move(body);
-      } else {
+      } else if (std::string_view(path) == "/debug/vars") {
         result.debug_vars_json = std::move(body);
+      } else {
+        result.journal_jsonl = std::move(body);
       }
     }
     auto top_sample = ParsePrometheusText(result.metrics_prom);
@@ -146,6 +151,7 @@ Result<InspectResult> RunInspect(const InspectOptions& options) {
     result.top_text = RenderTopTable(MergeSamples({top_sample.value()}),
                                      /*source_count=*/1);
   }
+  result.journal_dropped = obs::Journal::Default().dropped();
 
   // --- analyze + render --------------------------------------------------
   const std::vector<obs::Span> spans = tracer.FinishedSpans();
@@ -158,6 +164,19 @@ Result<InspectResult> RunInspect(const InspectOptions& options) {
   result.frames_text = obs::RenderFramesText(taps);
   result.trace_json = obs::ExportChromeTrace(spans, "sww_inspect");
   result.metrics_jsonl = obs::ExportJsonLines(snapshot);
+
+  // --- SLO burn-rate report ----------------------------------------------
+  // One cumulative snapshot at run-end: both windows clamp to whole-run
+  // burn, which under the ManualClock is byte-reproducible.
+  obs::SloEngine engine{obs::DefaultSloObjectives()};
+  const std::uint64_t now_nanos = tracer.clock().NowNanos();
+  for (const obs::SloObjective& objective : engine.objectives()) {
+    if (auto it = snapshot.histograms.find(objective.series);
+        it != snapshot.histograms.end()) {
+      engine.Ingest(objective.series, it->second, now_nanos);
+    }
+  }
+  result.slo_report = obs::RenderSloReport(engine.Evaluate(now_nanos));
 
   tracer.SetClock(nullptr);
   return result;
@@ -180,6 +199,8 @@ Status WriteInspectArtifacts(const InspectResult& result,
       {"run.metrics.prom", &result.metrics_prom},
       {"run.debug_vars.json", &result.debug_vars_json},
       {"run.top.txt", &result.top_text},
+      {"run.journal.jsonl", &result.journal_jsonl},
+      {"slo.report.txt", &result.slo_report},
   };
   for (const Artifact& artifact : artifacts) {
     if (Status status =

@@ -9,6 +9,7 @@
 // which is what lets CI diff the report against a checked-in golden.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "obs/report.hpp"
@@ -36,6 +37,9 @@ struct InspectResult {
   std::string metrics_prom;     ///< run.metrics.prom (GET /metrics body)
   std::string debug_vars_json;  ///< run.debug_vars.json (GET /debug/vars)
   std::string top_text;         ///< run.top.txt (sww_top --once rendering)
+  std::string journal_jsonl;    ///< run.journal.jsonl (GET /debug/journal)
+  std::string slo_report;       ///< slo.report.txt (SLO burn-rate report)
+  std::uint64_t journal_dropped = 0;  ///< wide events lost to ring overwrite
 };
 
 /// Run the instrumented session.  Resets the process-wide tracer,

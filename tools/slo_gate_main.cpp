@@ -1,0 +1,146 @@
+// slo_gate — the CI burn-rate check: load a metrics artifact (Prometheus
+// text or registry JSONL), evaluate the SLO objectives against it, print
+// the report, and exit non-zero when any objective is burning.
+//
+// Usage: slo_gate [--prom FILE]... [--jsonl FILE]...
+//                 [--objective name,series,quantile,threshold[,target]]...
+//                 [--report FILE]
+//
+// With no --objective flags the stock objectives (DefaultSloObjectives)
+// apply.  The artifact carries one cumulative snapshot per series, so
+// both burn windows clamp to whole-run burn — the gate answers "did this
+// run burn error budget", which is the right question for a CI artifact.
+// CI injects a failing case by passing an --objective with a threshold
+// below every observed latency (burn 100x >> 14.4x alert).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/expose.hpp"
+#include "obs/export.hpp"
+#include "obs/slo.hpp"
+#include "tools/top.hpp"
+
+int main(int argc, char** argv) {
+  using sww::obs::SloObjective;
+  std::vector<std::string> prom_files;
+  std::vector<std::string> jsonl_files;
+  std::vector<SloObjective> objectives;
+  std::string report_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--prom") {
+      const char* value = next("--prom");
+      if (value == nullptr) return 2;
+      prom_files.emplace_back(value);
+    } else if (arg == "--jsonl") {
+      const char* value = next("--jsonl");
+      if (value == nullptr) return 2;
+      jsonl_files.emplace_back(value);
+    } else if (arg == "--objective") {
+      const char* value = next("--objective");
+      if (value == nullptr) return 2;
+      auto parsed = sww::obs::ParseSloObjectiveSpec(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.error().ToString().c_str());
+        return 2;
+      }
+      objectives.push_back(std::move(parsed.value()));
+    } else if (arg == "--report") {
+      const char* value = next("--report");
+      if (value == nullptr) return 2;
+      report_file = value;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: slo_gate [--prom FILE]... [--jsonl FILE]...\n"
+          "                [--objective name,series,q,threshold[,target]]...\n"
+          "                [--report FILE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (prom_files.empty() && jsonl_files.empty()) {
+    std::fprintf(stderr, "no metrics input: give --prom or --jsonl\n");
+    return 2;
+  }
+  if (objectives.empty()) objectives = sww::obs::DefaultSloObjectives();
+
+  std::vector<sww::tools::MetricsSample> samples;
+  for (const std::string& file : prom_files) {
+    auto contents = sww::obs::ReadTextFile(file);
+    if (!contents.ok()) {
+      std::fprintf(stderr, "%s\n", contents.error().ToString().c_str());
+      return 2;
+    }
+    auto sample = sww::tools::ParsePrometheusText(contents.value());
+    if (!sample.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   sample.error().ToString().c_str());
+      return 2;
+    }
+    samples.push_back(std::move(sample.value()));
+  }
+  for (const std::string& file : jsonl_files) {
+    auto contents = sww::obs::ReadTextFile(file);
+    if (!contents.ok()) {
+      std::fprintf(stderr, "%s\n", contents.error().ToString().c_str());
+      return 2;
+    }
+    auto sample = sww::tools::ParseMetricsJsonl(contents.value());
+    if (!sample.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   sample.error().ToString().c_str());
+      return 2;
+    }
+    samples.push_back(std::move(sample.value()));
+  }
+  const sww::tools::MetricsSample merged = sww::tools::MergeSamples(samples);
+
+  // The artifact stores series under their Prometheus names; objectives
+  // name registry series.  Normalize through the same mapping.
+  sww::obs::SloEngine engine{std::move(objectives)};
+  for (const SloObjective& objective : engine.objectives()) {
+    auto it =
+        merged.histograms.find(sww::obs::PrometheusSeriesName(objective.series));
+    if (it == merged.histograms.end()) continue;
+    engine.Ingest(objective.series, it->second, /*now_nanos=*/0);
+  }
+  const std::vector<sww::obs::SloEvaluation> evaluations =
+      engine.Evaluate(/*now_nanos=*/0);
+  const std::string report = sww::obs::RenderSloReport(evaluations);
+  std::fputs(report.c_str(), stdout);
+  if (!report_file.empty()) {
+    if (auto status = sww::obs::WriteTextFile(report_file, report);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.error().ToString().c_str());
+      return 2;
+    }
+  }
+
+  bool burning = false;
+  bool missing = false;
+  for (const sww::obs::SloEvaluation& evaluation : evaluations) {
+    if (evaluation.burning) burning = true;
+    if (!evaluation.have_series) missing = true;
+  }
+  if (missing) {
+    std::fprintf(stderr, "slo_gate: an objective's series is absent from the "
+                         "metrics input\n");
+    return 2;
+  }
+  if (burning) {
+    std::fprintf(stderr, "slo_gate: FAIL — error budget burning\n");
+    return 1;
+  }
+  std::fprintf(stderr, "slo_gate: ok\n");
+  return 0;
+}

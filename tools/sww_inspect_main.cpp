@@ -6,9 +6,15 @@
 //   run.metrics.jsonl  registry snapshot
 //
 // Usage: sww_inspect [--out-dir DIR] [--wall-clock] [--print-frames]
+//                    [--allow-drops]
 //
 // Deterministic by default (ManualClock from zero): running twice yields
 // byte-identical artifacts.  --wall-clock switches to real time.
+//
+// Exits non-zero when the flight-recorder or journal rings overwrote
+// records mid-run — dropped telemetry means the artifacts are partial, and
+// CI should notice rather than golden-diff a truncated view.  Pass
+// --allow-drops to downgrade that to a warning.
 #include <cstdio>
 #include <string>
 
@@ -18,6 +24,7 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   sww::tools::InspectOptions options;
   bool print_frames = false;
+  bool allow_drops = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out-dir" && i + 1 < argc) {
@@ -26,10 +33,12 @@ int main(int argc, char** argv) {
       options.wall_clock = true;
     } else if (arg == "--print-frames") {
       print_frames = true;
+    } else if (arg == "--allow-drops") {
+      allow_drops = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: sww_inspect [--out-dir DIR] [--wall-clock] "
-          "[--print-frames]\n");
+          "[--print-frames] [--allow-drops]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -52,5 +61,16 @@ int main(int argc, char** argv) {
   std::fputs(result.value().report_text.c_str(), stdout);
   if (print_frames) std::fputs(result.value().frames_text.c_str(), stdout);
   std::printf("artifacts written to %s\n", out_dir.c_str());
+  const std::uint64_t frame_drops = result.value().report.frames_dropped;
+  const std::uint64_t journal_drops = result.value().journal_dropped;
+  if (frame_drops > 0 || journal_drops > 0) {
+    std::fprintf(stderr,
+                 "telemetry rings overwrote records: %llu frames, %llu "
+                 "journal events%s\n",
+                 static_cast<unsigned long long>(frame_drops),
+                 static_cast<unsigned long long>(journal_drops),
+                 allow_drops ? " (--allow-drops: continuing)" : "");
+    if (!allow_drops) return 3;
+  }
   return 0;
 }

@@ -25,6 +25,8 @@ namespace {
 struct HistogramBuild {
   std::vector<double> bounds;
   std::vector<std::uint64_t> cumulative;
+  std::vector<obs::HistogramExemplar> exemplars;  ///< parallel to bounds
+  obs::HistogramExemplar overflow_exemplar;       ///< from the +Inf line
   std::uint64_t count = 0;
   double sum = 0.0;
   bool have_count = false;
@@ -44,10 +46,16 @@ obs::HistogramSnapshot FinalizeHistogram(const HistogramBuild& build) {
     snapshot.bounds.push_back(build.bounds[i]);
     snapshot.counts.push_back(n);
   }
+  for (std::size_t i = 0; i < build.bounds.size(); ++i) {
+    snapshot.exemplars.push_back(
+        i < build.exemplars.size() ? build.exemplars[i]
+                                   : obs::HistogramExemplar{});
+  }
   const std::uint64_t overflow = build.count >= previous
                                      ? build.count - previous
                                      : 0;  // +Inf bucket
   snapshot.counts.push_back(overflow);
+  snapshot.exemplars.push_back(build.overflow_exemplar);
   snapshot.count = static_cast<std::size_t>(build.count);
   snapshot.sum = build.sum;
   for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
@@ -104,12 +112,41 @@ Result<MetricsSample> ParsePrometheusText(std::string_view text) {
           std::string(rest.substr(space + 1));
       continue;
     }
-    // Sample line: <name>[{labels}] <value>
-    const std::size_t brace = line.find('{');
-    const std::size_t space = line.find(' ');
+    // Sample line: <name>[{labels}] <value>[ # {trace_id="..."} v ts]
+    // The OpenMetrics exemplar suffix, when present, is split off first so
+    // the value parse below never grabs the exemplar timestamp.
+    std::string_view body = line;
+    obs::HistogramExemplar exemplar;
+    if (const std::size_t marker = line.find(" # ");
+        marker != std::string_view::npos) {
+      const std::string_view suffix = line.substr(marker + 3);
+      constexpr std::string_view kTraceLabel = "{trace_id=\"";
+      if (suffix.substr(0, kTraceLabel.size()) != kTraceLabel) {
+        return fail("malformed exemplar");
+      }
+      const std::size_t id_start = kTraceLabel.size();
+      const std::size_t id_end = suffix.find('"', id_start);
+      if (id_end == std::string_view::npos ||
+          suffix.substr(id_end, 3) != "\"} ") {
+        return fail("malformed exemplar");
+      }
+      const std::string id_text(suffix.substr(id_start, id_end - id_start));
+      exemplar.trace_id = std::strtoull(id_text.c_str(), nullptr, 16);
+      const std::string tail(suffix.substr(id_end + 3));
+      char* after_value = nullptr;
+      exemplar.value = std::strtod(tail.c_str(), &after_value);
+      if (after_value == nullptr || *after_value != ' ') {
+        return fail("exemplar without timestamp");
+      }
+      exemplar.timestamp_nanos = static_cast<std::uint64_t>(
+          std::strtod(after_value + 1, nullptr) * 1e9);
+      body = line.substr(0, marker);
+    }
+    const std::size_t brace = body.find('{');
+    const std::size_t space = body.find(' ');
     if (space == std::string_view::npos) return fail("no value");
-    const std::string name(line.substr(0, std::min(brace, space)));
-    const std::string value_text(line.substr(line.rfind(' ') + 1));
+    const std::string name(body.substr(0, std::min(brace, space)));
+    const std::string value_text(body.substr(body.rfind(' ') + 1));
     if (auto it = types.find(name); it != types.end()) {
       if (it->second == "counter") {
         sample.counters[name] =
@@ -144,9 +181,11 @@ Result<MetricsSample> ParsePrometheusText(std::string_view text) {
       if (le_text == "+Inf") {
         build.count = cumulative;
         build.have_count = true;
+        build.overflow_exemplar = exemplar;
       } else {
         build.bounds.push_back(std::strtod(le_text.c_str(), nullptr));
         build.cumulative.push_back(cumulative);
+        build.exemplars.push_back(exemplar);
       }
       continue;
     }
@@ -255,8 +294,44 @@ MetricsSample MergeSamples(const std::vector<MetricsSample>& samples) {
   return merged;
 }
 
+util::Result<QuantileSpec> ParseQuantileToken(std::string_view token) {
+  if (token.size() < 2 || (token[0] != 'p' && token[0] != 'P')) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "quantile token must look like p50/p99/p999: " +
+                     std::string(token));
+  }
+  const std::string_view digits = token.substr(1);
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Error(ErrorCode::kInvalidArgument,
+                   "quantile token must be digits after 'p': " +
+                       std::string(token));
+    }
+  }
+  // Convention: first two digits are the integer part, the rest the
+  // fraction — p50 = 50, p999 = 99.9, p9999 = 99.99.
+  std::string text(digits.substr(0, 2));
+  if (digits.size() > 2) {
+    text += '.';
+    text += digits.substr(2);
+  }
+  QuantileSpec spec;
+  spec.q = std::strtod(text.c_str(), nullptr);
+  if (!(spec.q >= 0.0 && spec.q <= 100.0)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "quantile out of range: " + std::string(token));
+  }
+  spec.label = "P" + std::string(digits);
+  return spec;
+}
+
+std::vector<QuantileSpec> DefaultQuantiles() {
+  return {{50.0, "P50"}, {95.0, "P95"}, {99.0, "P99"}};
+}
+
 std::string RenderTopTable(const MetricsSample& merged,
-                           std::size_t source_count) {
+                           std::size_t source_count,
+                           const std::vector<QuantileSpec>& quantiles) {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
@@ -267,13 +342,38 @@ std::string RenderTopTable(const MetricsSample& merged,
                 merged.histograms.size());
   out += line;
   if (!merged.histograms.empty()) {
-    std::snprintf(line, sizeof(line), "\n%-44s %10s %10s %10s %10s %10s\n",
-                  "HISTOGRAM", "COUNT", "P50", "P95", "P99", "MAX");
+    std::snprintf(line, sizeof(line), "\n%-44s %10s", "HISTOGRAM", "COUNT");
+    out += line;
+    for (const QuantileSpec& spec : quantiles) {
+      std::snprintf(line, sizeof(line), " %10s", spec.label.c_str());
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), " %10s %16s\n", "MAX", "EXEMPLAR");
     out += line;
     for (const auto& [name, h] : merged.histograms) {
-      std::snprintf(line, sizeof(line),
-                    "%-44s %10zu %10.4g %10.4g %10.4g %10.4g\n", name.c_str(),
-                    h.count, h.p50, h.p95, h.p99, h.max);
+      std::snprintf(line, sizeof(line), "%-44s %10zu", name.c_str(), h.count);
+      out += line;
+      for (const QuantileSpec& spec : quantiles) {
+        std::snprintf(line, sizeof(line), " %10.4g",
+                      obs::HistogramSnapshotQuantile(h, spec.q));
+        out += line;
+      }
+      // The tail exemplar: the newest traced observation in the highest
+      // occupied bucket — the trace id to pull from the journal when the
+      // tail looks wrong.
+      std::string exemplar_text = "-";
+      for (std::size_t i = h.exemplars.size(); i-- > 0;) {
+        if (h.exemplars[i].trace_id != 0) {
+          char id[17];
+          std::snprintf(id, sizeof(id), "%016llx",
+                        static_cast<unsigned long long>(
+                            h.exemplars[i].trace_id));
+          exemplar_text = id;
+          break;
+        }
+      }
+      std::snprintf(line, sizeof(line), " %10.4g %16s\n", h.max,
+                    exemplar_text.c_str());
       out += line;
     }
   }
@@ -294,10 +394,31 @@ std::string RenderTopTable(const MetricsSample& merged,
       out += line;
     }
   }
+  // Burn-rate report over the stock objectives, for whichever of their
+  // series this merged sample carries.  A single sample gives the engine
+  // one cumulative snapshot: both windows clamp to whole-run burn, which
+  // is exactly the liveness question "is this run burning error budget".
+  obs::SloEngine engine{obs::DefaultSloObjectives()};
+  bool any_series = false;
+  for (const obs::SloObjective& objective : engine.objectives()) {
+    auto it = merged.histograms.find(obs::PrometheusSeriesName(objective.series));
+    if (it == merged.histograms.end()) continue;
+    engine.Ingest(objective.series, it->second, /*now_nanos=*/0);
+    any_series = true;
+  }
+  if (any_series) {
+    out += '\n';
+    out += obs::RenderSloReport(engine.Evaluate(/*now_nanos=*/0));
+  }
   return out;
 }
 
-Result<MetricsSample> ScrapeOnce(std::uint16_t port, const std::string& path) {
+std::string RenderTopTable(const MetricsSample& merged,
+                           std::size_t source_count) {
+  return RenderTopTable(merged, source_count, DefaultQuantiles());
+}
+
+Result<std::string> FetchBodyOnce(std::uint16_t port, const std::string& path) {
   auto transport = net::TcpConnect(port);
   if (!transport.ok()) return transport.error();
   auto client = core::GenerativeClient::Create({});
@@ -321,9 +442,13 @@ Result<MetricsSample> ScrapeOnce(std::uint16_t port, const std::string& path) {
                      std::to_string(response.value().status));
   }
   const util::Bytes& body = response.value().body;
-  auto sample = ParsePrometheusText(
-      std::string_view(reinterpret_cast<const char*>(body.data()),
-                       body.size()));
+  return std::string(reinterpret_cast<const char*>(body.data()), body.size());
+}
+
+Result<MetricsSample> ScrapeOnce(std::uint16_t port, const std::string& path) {
+  auto body = FetchBodyOnce(port, path);
+  if (!body.ok()) return body.error();
+  auto sample = ParsePrometheusText(body.value());
   if (!sample.ok()) return sample.error();
   sample.value().source = "127.0.0.1:" + std::to_string(port) + path;
   return sample;
@@ -334,8 +459,29 @@ namespace {
 void PrintTopUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--once] [--interval-ms N] [--endpoint PORT]...\n"
-               "          [--prom FILE]... [--jsonl FILE]...\n",
+               "          [--prom FILE]... [--jsonl FILE]...\n"
+               "          [--quantiles p50,p95,p99,p999] [--fetch PORT PATH]\n",
                argv0);
+}
+
+/// Split a `--quantiles` value ("p50,p95,p999") into column specs.
+util::Result<std::vector<QuantileSpec>> ParseQuantileList(
+    std::string_view list) {
+  std::vector<QuantileSpec> specs;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t end = list.find(',', start);
+    if (end == std::string_view::npos) end = list.size();
+    auto spec = ParseQuantileToken(list.substr(start, end - start));
+    if (!spec.ok()) return spec.error();
+    specs.push_back(std::move(spec.value()));
+    if (end == list.size()) break;
+    start = end + 1;
+  }
+  if (specs.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "--quantiles list is empty");
+  }
+  return specs;
 }
 
 }  // namespace
@@ -343,6 +489,7 @@ void PrintTopUsage(const char* argv0) {
 int RunTopMain(int argc, char** argv) {
   bool once = false;
   int interval_ms = 1000;
+  std::vector<QuantileSpec> quantiles = DefaultQuantiles();
   std::vector<std::uint16_t> endpoints;
   std::vector<std::string> prom_files;
   std::vector<std::string> jsonl_files;
@@ -373,6 +520,31 @@ int RunTopMain(int argc, char** argv) {
       const char* value = next("--jsonl");
       if (value == nullptr) return 2;
       jsonl_files.emplace_back(value);
+    } else if (arg == "--quantiles") {
+      const char* value = next("--quantiles");
+      if (value == nullptr) return 2;
+      auto parsed = ParseQuantileList(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.error().ToString().c_str());
+        return 2;
+      }
+      quantiles = std::move(parsed.value());
+    } else if (arg == "--fetch") {
+      // One-shot raw GET: print the body and exit.  This is how CI pulls
+      // /debug/journal from a live server without another HTTP client.
+      const char* port_text = next("--fetch");
+      if (port_text == nullptr) return 2;
+      const char* path = next("--fetch");
+      if (path == nullptr) return 2;
+      auto body = FetchBodyOnce(
+          static_cast<std::uint16_t>(std::atoi(port_text)), path);
+      if (!body.ok()) {
+        std::fprintf(stderr, "fetch %s: %s\n", path,
+                     body.error().ToString().c_str());
+        return 1;
+      }
+      std::fputs(body.value().c_str(), stdout);
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       PrintTopUsage(argv[0]);
       return 0;
@@ -430,7 +602,7 @@ int RunTopMain(int argc, char** argv) {
       samples.push_back(std::move(sample.value()));
     }
     const std::string table =
-        RenderTopTable(MergeSamples(samples), samples.size());
+        RenderTopTable(MergeSamples(samples), samples.size(), quantiles);
     if (once) {
       std::fputs(table.c_str(), stdout);
       return 0;

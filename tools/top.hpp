@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "util/error.hpp"
 
 namespace sww::tools {
@@ -37,9 +38,25 @@ struct MetricsSample {
 /// Histograms are rebuilt from their cumulative `_bucket{le="..."}` lines;
 /// min/max are not carried by the format, so they are reconstructed from
 /// the occupied bucket extents (quantiles stay within the grid's bucket
-/// error).  Unknown or malformed lines are an error — a scrape that does
-/// not round-trip should fail loudly.
+/// error).  OpenMetrics exemplar suffixes (` # {trace_id="..."} v ts`) on
+/// bucket lines are parsed into the snapshot's exemplars.  Unknown or
+/// malformed lines are an error — a scrape that does not round-trip
+/// should fail loudly.
 util::Result<MetricsSample> ParsePrometheusText(std::string_view text);
+
+/// One quantile column of the top table: the value (0..100) plus its
+/// header label ("P99", "P999").
+struct QuantileSpec {
+  double q = 0.0;
+  std::string label;
+};
+
+/// Parse one `--quantiles` token ("p50", "p99", "p999" = 99.9, "p9999" =
+/// 99.99): the first two digits are the integer part, the rest fraction.
+util::Result<QuantileSpec> ParseQuantileToken(std::string_view token);
+
+/// The default table columns: p50, p95, p99.
+std::vector<QuantileSpec> DefaultQuantiles();
 
 /// Parse a JSON-lines registry snapshot (the ExportJsonLines output, one
 /// instrument object per line).  Instrument names are normalized through
@@ -50,9 +67,16 @@ util::Result<MetricsSample> ParseMetricsJsonl(std::string_view text);
 /// merge exactly on the shared grid (obs::MergeHistogramSnapshots).
 MetricsSample MergeSamples(const std::vector<MetricsSample>& samples);
 
-/// Render the aggregated table: a histogram section (count/mean/p50/p95/
-/// p99/max), a ratio/gauge section, and a counter section, each sorted by
-/// series name.  Deterministic for deterministic input.
+/// Render the aggregated table: a histogram section (count, one column
+/// per requested quantile, max, and the newest tail exemplar trace id
+/// when one is present), a ratio/gauge section, a counter section, and —
+/// when any stock SLO objective's series is present — the SLO burn-rate
+/// report.  Each section is sorted by series name; deterministic for
+/// deterministic input.
+std::string RenderTopTable(const MetricsSample& merged,
+                           std::size_t source_count,
+                           const std::vector<QuantileSpec>& quantiles);
+/// Default-quantile convenience overload.
 std::string RenderTopTable(const MetricsSample& merged,
                            std::size_t source_count);
 
@@ -61,9 +85,15 @@ std::string RenderTopTable(const MetricsSample& merged,
 util::Result<MetricsSample> ScrapeOnce(std::uint16_t port,
                                        const std::string& path = "/metrics");
 
+/// GET `path` from a live server on 127.0.0.1:`port` and return the raw
+/// body (the `--fetch` mode CI uses to pull /debug/journal).
+util::Result<std::string> FetchBodyOnce(std::uint16_t port,
+                                        const std::string& path);
+
 /// The sww_top entry point:
-///   sww_top [--once] [--interval-ms N] [--endpoint PORT]...
-///           [--prom FILE]... [--jsonl FILE]...
+///   sww_top [--once] [--interval-ms N] [--quantiles p50,p95,p99,p999]
+///           [--endpoint PORT]... [--prom FILE]... [--jsonl FILE]...
+///           [--fetch PORT PATH]
 /// Returns the process exit code.
 int RunTopMain(int argc, char** argv);
 
