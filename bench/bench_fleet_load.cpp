@@ -1,0 +1,73 @@
+// fleet_load — the open-loop workload engine as a modeled benchmark.
+//
+// Runs the builtin "smoke" scenario (and its stalled twin) through
+// load::RunScenario and lands the headline numbers — tail quantiles,
+// goodput, hit ratio, energy per page, journal drops — in BENCH_sww.json
+// as exact-gated modeled metrics.  The engine is deterministic by
+// contract, so any drift here is a real behaviour change in the serving
+// or energy model, not noise.  The one structural assertion is the
+// coordinated-omission check: injecting a stall window into the same
+// arrival stream must inflate the recorded p99.
+#include <cstdio>
+
+#include "load/engine.hpp"
+#include "load/spec.hpp"
+#include "obs/bench.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+void fleet_load(sww::obs::bench::State& state) {
+  std::printf("fleet workload engine (open-loop, virtual clock)\n\n");
+
+  auto smoke_spec = sww::load::FindBuiltinScenario("smoke");
+  auto stall_spec = sww::load::FindBuiltinScenario("smoke-stall");
+  state.Check(smoke_spec.ok() && stall_spec.ok(),
+              "builtin smoke scenarios must exist");
+  if (!smoke_spec.ok() || !stall_spec.ok()) return;
+
+  auto smoke = sww::load::RunScenario(smoke_spec.value());
+  auto stall = sww::load::RunScenario(stall_spec.value());
+  state.Check(smoke.ok() && stall.ok(), "scenario runs must succeed");
+  if (!smoke.ok() || !stall.ok()) return;
+  const sww::load::ScenarioResult& s = smoke.value();
+  const sww::load::ScenarioResult& t = stall.value();
+
+  const double smoke_p99 = sww::obs::HistogramSnapshotQuantile(s.latency, 99.0);
+  const double stall_p99 = sww::obs::HistogramSnapshotQuantile(t.latency, 99.0);
+
+  state.Modeled("smoke_requests", static_cast<double>(s.requests));
+  state.Modeled("smoke_errors", static_cast<double>(s.errors));
+  state.Modeled("smoke_latency_p50_seconds",
+                sww::obs::HistogramSnapshotQuantile(s.latency, 50.0));
+  state.Modeled("smoke_latency_p99_seconds", smoke_p99);
+  state.Modeled("smoke_latency_p999_seconds",
+                sww::obs::HistogramSnapshotQuantile(s.latency, 99.9));
+  state.Modeled("smoke_goodput_rps", s.goodput_rps);
+  state.Modeled("smoke_edge_hit_ratio",
+                s.edge_requests == 0
+                    ? 0.0
+                    : static_cast<double>(s.edge_hits) /
+                          static_cast<double>(s.edge_requests));
+  state.Modeled("smoke_energy_j_per_page", s.energy_joules_per_page);
+  state.Modeled("smoke_gco2e_per_page", s.gco2e_per_page);
+  state.Modeled("smoke_journal_dropped",
+                static_cast<double>(s.journal_dropped));
+  state.Modeled("stall_latency_p99_seconds", stall_p99);
+  state.Modeled("stall_queue_wait_p99_seconds",
+                sww::obs::HistogramSnapshotQuantile(t.queue_wait, 99.0));
+
+  // Coordinated omission: same arrivals, one 6 s stall window — the
+  // recorded tail must absorb the queueing, not the arrival stream.
+  state.Check(stall_p99 > smoke_p99,
+              "stall window must inflate the recorded p99");
+
+  std::printf("smoke:       %llu requests, p99 %.4f s, goodput %.2f req/s\n",
+              static_cast<unsigned long long>(s.requests), smoke_p99,
+              s.goodput_rps);
+  std::printf("smoke-stall: p99 %.4f s (coordinated-omission-free tail)\n",
+              stall_p99);
+}
+SWW_BENCHMARK(fleet_load);
+
+}  // namespace

@@ -64,7 +64,10 @@ std::uint64_t Catalog::TotalPromptModeBytes() const {
 }
 
 std::size_t Catalog::SampleRequest(util::Rng& rng) const {
-  const double u = rng.NextDouble();
+  return SampleRequestUniform(rng.NextDouble());
+}
+
+std::size_t Catalog::SampleRequestUniform(double u) const {
   auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
   if (it == cumulative_.end()) return items_.size() - 1;
   return static_cast<std::size_t>(it - cumulative_.begin());

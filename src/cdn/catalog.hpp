@@ -52,6 +52,11 @@ class Catalog {
   /// Draw a request (item index) from the Zipf popularity distribution.
   std::size_t SampleRequest(util::Rng& rng) const;
 
+  /// Same inversion for a caller-supplied uniform u in [0, 1) — the load
+  /// engine draws its uniforms statelessly (counter-based), so the page
+  /// picked for arrival i is independent of evaluation order.
+  std::size_t SampleRequestUniform(double u) const;
+
  private:
   std::vector<CatalogItem> items_;
   std::vector<double> cumulative_;  // popularity CDF for sampling

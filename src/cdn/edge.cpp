@@ -4,6 +4,15 @@
 
 namespace sww::cdn {
 
+std::string_view EdgeModeName(EdgeMode mode) {
+  switch (mode) {
+    case EdgeMode::kContentMode: return "content";
+    case EdgeMode::kPromptMode: return "prompt";
+    case EdgeMode::kPromptPassthrough: return "prompt-passthrough";
+  }
+  return "unknown";
+}
+
 EdgeNode::EdgeNode(EdgeMode mode, std::uint64_t storage_budget_bytes,
                    const genai::ImageModelSpec& image_model,
                    const genai::TextModelSpec& text_model)
@@ -92,17 +101,21 @@ void EdgeNode::ServeRequest(const CatalogItem& item) {
   ServeInternal(item, /*span=*/nullptr);
 }
 
+ServeOutcome EdgeNode::Serve(const CatalogItem& item) {
+  return ServeInternal(item, /*span=*/nullptr);
+}
+
 void EdgeNode::ServeRequest(const CatalogItem& item,
                             const obs::SpanContext& context) {
   obs::ScopedSpan span("edge.request", "cdn", context);
   span.SetProcess("edge");
   span.AddAttribute("item_id", std::to_string(item.id));
-  span.AddAttribute("mode",
-                    mode_ == EdgeMode::kPromptMode ? "prompt" : "content");
+  span.AddAttribute("mode", std::string(EdgeModeName(mode_)));
   ServeInternal(item, &span);
 }
 
-void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
+ServeOutcome EdgeNode::ServeInternal(const CatalogItem& item,
+                                     obs::ScopedSpan* span) {
   obs::Tracer& tracer = obs::Tracer::Default();
   const std::uint64_t start_nanos = tracer.clock().NowNanos();
   double generation_seconds = 0.0;
@@ -142,10 +155,16 @@ void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
       origin.AddAttribute("bytes", std::to_string(origin_bytes));
     }
   }
-  // Users always receive materialized content ("loses data transmission
-  // benefits" — the edge-to-user hop carries full bytes in prompt mode).
-  bytes_to_users_.fetch_add(item.content_bytes, std::memory_order_relaxed);
-  instruments_.bytes_to_users->Add(item.content_bytes);
+  // Content and prompt modes send materialized content ("loses data
+  // transmission benefits" — the edge-to-user hop carries full bytes in
+  // prompt mode).  Passthrough ships the prompt itself for non-unique
+  // items: the client regenerates, so the wire carries only metadata.
+  const std::uint64_t user_bytes =
+      (mode_ == EdgeMode::kPromptPassthrough && !item.unique)
+          ? item.prompt_bytes
+          : item.content_bytes;
+  bytes_to_users_.fetch_add(user_bytes, std::memory_order_relaxed);
+  instruments_.bytes_to_users->Add(user_bytes);
   // Prompt mode materializes on every user request for non-unique items.
   // The cost model runs outside the structure lock: concurrent requests
   // only serialize on the LRU bookkeeping above.
@@ -175,7 +194,7 @@ void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
       span != nullptr ? tracer.ContextOf(span->id()).trace_id : 0;
   record.path = "item:" + std::to_string(item.id);
   record.timestamp_nanos = end_nanos;
-  record.mode = mode_ == EdgeMode::kPromptMode ? "prompt" : "content";
+  record.mode = std::string(EdgeModeName(mode_));
   record.device = energy::Workstation().name;
   record.outcome = "ok";
   record.cache = hit ? "hit" : "miss";
@@ -185,10 +204,18 @@ void EdgeNode::ServeInternal(const CatalogItem& item, obs::ScopedSpan* span) {
                             ? record.total_seconds - generation_seconds
                             : 0.0;
   record.page_bytes = item.content_bytes;
-  record.wire_bytes_sent = item.content_bytes;
+  record.wire_bytes_sent = user_bytes;
   record.wire_bytes_received = origin_bytes_fetched;
   record.energy_joules = generation_energy_wh * 3600.0;
   obs::Journal::Default().Record(std::move(record));
+
+  ServeOutcome outcome;
+  outcome.hit = hit;
+  outcome.bytes_to_user = user_bytes;
+  outcome.bytes_from_origin = origin_bytes_fetched;
+  outcome.generation_seconds = generation_seconds;
+  outcome.generation_energy_wh = generation_energy_wh;
+  return outcome;
 }
 
 EdgeStats EdgeNode::stats() const {

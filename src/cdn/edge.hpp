@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 
 #include "cdn/catalog.hpp"
@@ -34,7 +35,28 @@
 
 namespace sww::cdn {
 
-enum class EdgeMode { kContentMode, kPromptMode };
+enum class EdgeMode {
+  kContentMode,
+  kPromptMode,
+  /// Full SWW: the edge caches prompts AND ships prompts — generation
+  /// happens on the client device, so the edge pays neither generation
+  /// time nor content-byte transmission for non-unique items.  Unique
+  /// items are still cached and shipped as content in this mode.
+  kPromptPassthrough,
+};
+
+/// Short mode label used in span attributes, journal records and reports.
+std::string_view EdgeModeName(EdgeMode mode);
+
+/// What one serve cost — returned to callers (the load engine) that model
+/// the downstream wire and client legs themselves.
+struct ServeOutcome {
+  bool hit = false;
+  std::uint64_t bytes_to_user = 0;      ///< what the edge put on the wire
+  std::uint64_t bytes_from_origin = 0;  ///< miss traffic
+  double generation_seconds = 0.0;      ///< edge-side materialization
+  double generation_energy_wh = 0.0;
+};
 
 /// Per-node snapshot; mirrored into the process-wide obs::Registry under
 /// cdn.edge.* (summed across nodes and modes).
@@ -67,6 +89,11 @@ class EdgeNode {
   /// Serve one request; updates stats and cache state.  Thread-safe.
   void ServeRequest(const CatalogItem& item);
 
+  /// Serve one request and report what it cost.  Same effects as
+  /// ServeRequest; the returned outcome lets a simulation layer carry the
+  /// per-request numbers into its own latency/energy model.  Thread-safe.
+  ServeOutcome Serve(const CatalogItem& item);
+
   /// Serve one request carrying a trace context propagated from the
   /// requesting user/client (the sww-trace header, obs/trace.hpp): the
   /// edge's "edge.request" span — and on a miss its "edge.origin_fetch"
@@ -86,7 +113,7 @@ class EdgeNode {
  private:
   /// Shared serve path; `span` (nullable) receives hit/miss and cost
   /// attributes and gates the origin_fetch child span.
-  void ServeInternal(const CatalogItem& item, obs::ScopedSpan* span);
+  ServeOutcome ServeInternal(const CatalogItem& item, obs::ScopedSpan* span);
   /// Bytes this item occupies in this edge's cache.
   std::size_t CachedSize(const CatalogItem& item) const;
   /// Touch-or-insert under the structure lock; returns whether it was a

@@ -1,0 +1,102 @@
+// engine.hpp — the deterministic open-loop fleet workload engine.
+//
+// RunScenario replays a ScenarioSpec against the in-process CDN edge on a
+// virtual clock and reports coordinated-omission-free latency, goodput
+// and energy.  Two passes:
+//
+//   1. *Precompute* (parallel, stateless): for every arrival index i the
+//      engine derives — via counter-based draws keyed by (seed, i) — the
+//      arrival instant, the client class, the page, the user, the network
+//      jitter and the failure flag.  Any thread can compute any index;
+//      the population is bit-identical across thread counts.
+//
+//   2. *Simulate* (sequential discrete-event pass): arrivals feed a
+//      G/G/c service station (`server_concurrency` slots).  Service
+//      start is max(arrival, earliest free slot), pushed out of any
+//      stall window; service time is the calibrated per-request overhead
+//      plus edge-side generation; the edge cache is consulted per
+//      request; the wire and client-generation legs complete the
+//      latency.  Because arrival times never depend on completions, a
+//      stalled or saturated server piles queueing delay into the
+//      recorded distribution — p99 inflates instead of the arrival
+//      stream silently thinning (the coordinated-omission bug in
+//      closed-loop harnesses).
+//
+// Every request flows through the observability spine: one
+// obs::Journal record per request, exemplared per-scenario latency
+// histograms (`load.<name>.latency`, `load.<name>.queue_wait`),
+// goodput/error/energy counters, and an obs::SloEngine burn evaluation
+// over the run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "load/spec.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "obs/slo.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sww::load {
+
+struct EngineOptions {
+  /// Pool for the precompute pass; nullptr uses ThreadPool::Shared().
+  util::ThreadPool* pool = nullptr;
+  /// Registry receiving the load.<name>.* series; nullptr uses
+  /// Registry::Default().
+  obs::Registry* registry = nullptr;
+  /// Journal receiving one record per request; nullptr uses
+  /// Journal::Default().
+  obs::Journal* journal = nullptr;
+};
+
+/// Everything one scenario run produced.  Histograms are private
+/// snapshots (isolated per run); the same observations are mirrored into
+/// the registry series for /metrics and sww_top.
+struct ScenarioResult {
+  ScenarioSpec spec;
+
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  /// Client prompt-cache revisit hits (client-generative mode only):
+  /// same user, same page — regenerated on-device, nothing on the wire.
+  std::uint64_t client_cache_hits = 0;
+  std::uint64_t edge_requests = 0;
+  std::uint64_t edge_hits = 0;
+  /// Single-flight coalescing is a ROADMAP item; reported now (always 0)
+  /// so report columns stay stable when it lands.
+  std::uint64_t coalesced = 0;
+  std::uint64_t delivered_bytes = 0;  ///< edge→client wire bytes, ok only
+
+  double duration_seconds = 0.0;      ///< the spec's virtual duration
+  double makespan_seconds = 0.0;      ///< last completion instant
+  double goodput_rps = 0.0;           ///< ok requests / duration
+  double goodput_mbps = 0.0;          ///< delivered bits / duration
+
+  obs::HistogramSnapshot latency;     ///< arrival → completion, errors incl.
+  obs::HistogramSnapshot queue_wait;  ///< arrival → service start, ok only
+
+  double server_overhead_seconds = 0.0;  ///< effective (calibrated) value
+  double total_energy_wh = 0.0;
+  double energy_joules_per_page = 0.0;
+  double gco2e_per_page = 0.0;
+
+  std::uint64_t journal_recorded = 0;  ///< records this run offered
+  std::uint64_t journal_dropped = 0;   ///< of those, lost to ring overwrite
+
+  std::vector<obs::SloEvaluation> slo;
+};
+
+/// Measure the fixed per-request server+protocol cost from one real
+/// in-process LocalSession page fetch on the modeled clock (the journal
+/// wire phase of a goldfish-page fetch).  Deterministic.
+util::Result<double> CalibrateServerOverheadSeconds();
+
+/// Run one scenario.  Deterministic for a given spec: repeated runs and
+/// different pool sizes produce identical results, byte for byte.
+util::Result<ScenarioResult> RunScenario(const ScenarioSpec& spec,
+                                         const EngineOptions& options = {});
+
+}  // namespace sww::load

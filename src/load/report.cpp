@@ -1,0 +1,113 @@
+#include "load/report.hpp"
+
+#include <cstdio>
+
+namespace sww::load {
+
+namespace {
+
+double Ratio(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+void Append(std::string& out, const char* text) { out += text; }
+
+}  // namespace
+
+std::string RenderScenarioReport(const ScenarioResult& result) {
+  const ScenarioSpec& spec = result.spec;
+  std::string out;
+  char line[256];
+
+  std::snprintf(line, sizeof(line), "scenario %s  (seed %llu, %s)\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(spec.seed),
+                std::string(ServeModeName(spec.serve_mode)).c_str());
+  Append(out, line);
+  std::snprintf(line, sizeof(line),
+                "  duration        %10.3f s virtual   makespan %10.3f s\n",
+                result.duration_seconds, result.makespan_seconds);
+  Append(out, line);
+  std::snprintf(
+      line, sizeof(line),
+      "  requests        %10llu   errors %llu (%.2f%%)   coalesced %llu\n",
+      static_cast<unsigned long long>(result.requests),
+      static_cast<unsigned long long>(result.errors),
+      100.0 * Ratio(result.errors, result.requests),
+      static_cast<unsigned long long>(result.coalesced));
+  Append(out, line);
+  std::snprintf(line, sizeof(line),
+                "  goodput         %10.3f req/s     %10.4f Mbps\n",
+                result.goodput_rps, result.goodput_mbps);
+  Append(out, line);
+
+  const obs::HistogramSnapshot& lat = result.latency;
+  std::snprintf(line, sizeof(line),
+                "  latency p50     %10.4f s   p95 %10.4f s\n",
+                obs::HistogramSnapshotQuantile(lat, 50.0),
+                obs::HistogramSnapshotQuantile(lat, 95.0));
+  Append(out, line);
+  std::snprintf(line, sizeof(line),
+                "  latency p99     %10.4f s   p999 %9.4f s   max %9.4f s\n",
+                obs::HistogramSnapshotQuantile(lat, 99.0),
+                obs::HistogramSnapshotQuantile(lat, 99.9), lat.max);
+  Append(out, line);
+  std::snprintf(line, sizeof(line),
+                "  queue wait p50  %10.4f s   p99 %10.4f s   max %9.4f s\n",
+                obs::HistogramSnapshotQuantile(result.queue_wait, 50.0),
+                obs::HistogramSnapshotQuantile(result.queue_wait, 99.0),
+                result.queue_wait.max);
+  Append(out, line);
+
+  std::snprintf(line, sizeof(line),
+                "  edge            %10llu serves    hit ratio %.4f\n",
+                static_cast<unsigned long long>(result.edge_requests),
+                Ratio(result.edge_hits, result.edge_requests));
+  Append(out, line);
+  std::snprintf(
+      line, sizeof(line),
+      "  client cache    %10llu hits      hit ratio %.4f   coalesce %.4f\n",
+      static_cast<unsigned long long>(result.client_cache_hits),
+      Ratio(result.client_cache_hits, result.requests),
+      Ratio(result.coalesced, result.requests));
+  Append(out, line);
+  std::snprintf(line, sizeof(line),
+                "  delivered       %10llu bytes     server overhead %.6f s\n",
+                static_cast<unsigned long long>(result.delivered_bytes),
+                result.server_overhead_seconds);
+  Append(out, line);
+  std::snprintf(line, sizeof(line),
+                "  energy          %10.4f Wh        %10.4f J/page   "
+                "%.6f gCO2e/page\n",
+                result.total_energy_wh, result.energy_joules_per_page,
+                result.gco2e_per_page);
+  Append(out, line);
+  std::snprintf(line, sizeof(line),
+                "  journal         %10llu records   dropped %llu\n",
+                static_cast<unsigned long long>(result.journal_recorded),
+                static_cast<unsigned long long>(result.journal_dropped));
+  Append(out, line);
+
+  for (const obs::SloEvaluation& eval : result.slo) {
+    std::snprintf(
+        line, sizeof(line),
+        "  slo %-28s p%.0f %.4f s vs %.3f s  burn fast %.2fx slow %.2fx  %s\n",
+        eval.objective.name.c_str(), eval.objective.quantile,
+        eval.quantile_value, eval.objective.threshold, eval.fast.burn_rate,
+        eval.slow.burn_rate, eval.burning ? "BURNING" : "ok");
+    Append(out, line);
+  }
+  return out;
+}
+
+std::string RenderLoadReport(const std::vector<ScenarioResult>& results) {
+  std::string out = "sww_load fleet report\n";
+  for (const ScenarioResult& result : results) {
+    out += '\n';
+    out += RenderScenarioReport(result);
+  }
+  return out;
+}
+
+}  // namespace sww::load

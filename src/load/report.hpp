@@ -1,0 +1,23 @@
+// report.hpp — deterministic per-scenario text reports (`load.report.txt`).
+//
+// The rendering is byte-stable for a given ScenarioResult: fixed-width
+// snprintf formatting, no locale, no pointers, no wall-clock — the CI
+// fleet-smoke job diffs the output against a golden file, and the
+// determinism acceptance test diffs two independent runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "load/engine.hpp"
+
+namespace sww::load {
+
+/// One scenario's report block.
+std::string RenderScenarioReport(const ScenarioResult& result);
+
+/// Concatenated blocks for a multi-scenario run, separated by blank
+/// lines, with a one-line header naming the engine.
+std::string RenderLoadReport(const std::vector<ScenarioResult>& results);
+
+}  // namespace sww::load

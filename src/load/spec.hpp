@@ -1,0 +1,121 @@
+// spec.hpp — declarative fleet-workload scenarios.
+//
+// A scenario is *data*, not code: population size, client-class mix,
+// arrival curve, catalog shape, serve mode, server capacity and fault
+// windows, all in one struct that parses from JSON and renders back.
+// Later scaling PRs (epoll server, sharded edge, agent mode) add
+// scenarios — JSON files or builtin entries — instead of new harnesses,
+// and every scenario automatically gets the same coordinated-omission-
+// free measurement and per-scenario observability series.
+//
+// The spec grammar is documented in docs/performance.md ("Fleet
+// workload"); keep the two in sync.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdn/catalog.hpp"
+#include "json/json.hpp"
+#include "load/samplers.hpp"
+#include "util/error.hpp"
+
+namespace sww::load {
+
+/// How pages travel from edge to client — the paper's trade-off axis.
+enum class ServeMode {
+  /// Today's web: the edge caches and ships materialized content bytes.
+  kTraditional,
+  /// The paper's intermediate CDN design: edges cache prompts and
+  /// materialize per request on workstation-class hardware.
+  kEdgeGenerative,
+  /// Full SWW: edges cache and ship prompt bytes; the *client device*
+  /// generates (device profile from the client class).
+  kClientGenerative,
+};
+
+std::string_view ServeModeName(ServeMode mode);
+util::Result<ServeMode> ParseServeMode(std::string_view name);
+
+/// One slice of the client population: how common it is, what hardware it
+/// generates on, and what network it sits behind.
+struct ClientClass {
+  std::string name = "default";
+  double weight = 1.0;
+  /// energy::DeviceProfile selector: "laptop" or "workstation".
+  std::string device = "laptop";
+  double rtt_ms = 20.0;
+  double bandwidth_mbps = 100.0;
+  /// Fraction of segments lost (net::reliable_link-style loss class):
+  /// inflates transfer time by 1/(1-loss) and the handshake by
+  /// retransmission round trips.
+  double loss_rate = 0.0;
+  /// Fraction of requests that fail outright (timeout after
+  /// error_timeout_seconds; excluded from goodput, counted as bad).
+  double error_rate = 0.0;
+};
+
+/// A server fault window: no request may *start* service inside it.
+/// Queued arrivals pile up and drain afterwards — the coordinated-
+/// omission check rides on this (arrivals keep their scheduled times, so
+/// the pile-up lands in the latency distribution).
+struct StallWindow {
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";  ///< [a-z0-9_-]+: names metric series
+  std::uint64_t seed = 1;
+  double duration_seconds = 60.0;
+  /// Distinct simulated users; drives client prompt-cache revisit hits.
+  std::uint64_t population = 1000;
+
+  ArrivalCurve arrivals;
+  cdn::CatalogOptions catalog;
+  ServeMode serve_mode = ServeMode::kClientGenerative;
+  std::vector<ClientClass> classes;
+
+  std::uint64_t edge_storage_budget_bytes = 16ull << 20;
+  /// Concurrent server-side serve slots (the G/G/c service stations).
+  int server_concurrency = 8;
+  /// Fixed per-request server+protocol cost when not calibrating.
+  double server_overhead_seconds = 0.002;
+  /// Calibrate the overhead from one real in-process LocalSession page
+  /// fetch (its journal wire_seconds) instead of the constant above.
+  bool calibrate_overhead = false;
+  std::vector<StallWindow> stalls;
+  double error_timeout_seconds = 10.0;
+
+  // Per-scenario SLO objective over load.<name>.latency.
+  double slo_threshold_seconds = 30.0;
+  double slo_target = 0.99;
+  /// Cumulative snapshots fed to the burn-rate engine over the run.
+  int slo_ingest_points = 16;
+};
+
+/// Validate invariants JSON parsing cannot express (positive duration,
+/// nonempty classes, metric-safe name, windows inside the run...).
+util::Status ValidateScenarioSpec(const ScenarioSpec& spec);
+
+/// Parse one scenario object.  Unknown keys are an error — a typo in a
+/// scenario file must not silently fall back to defaults.
+util::Result<ScenarioSpec> ParseScenarioSpec(const json::Value& doc);
+/// Parse a JSON text holding one scenario object or an array of them.
+util::Result<std::vector<ScenarioSpec>> ParseScenarioSpecText(
+    std::string_view text);
+
+/// Render back to JSON (round-trips through ParseScenarioSpec).
+json::Value ScenarioSpecToJson(const ScenarioSpec& spec);
+
+/// The stock scenarios: "smoke" (small fixed-seed CI scenario),
+/// "smoke-stall" (smoke plus a mid-run stall window),
+/// "flash-crowd" (burst over an edge-generative fleet),
+/// "diurnal-mixed" (sinusoidal day over a mixed population), and
+/// "lossy-cellular" (constrained lossy clients, client-generative).
+std::vector<ScenarioSpec> BuiltinScenarios();
+util::Result<ScenarioSpec> FindBuiltinScenario(std::string_view name);
+
+}  // namespace sww::load

@@ -44,6 +44,12 @@ class ManualClock final : public Clock {
   void AdvanceNanos(std::uint64_t delta) {
     nanos_.fetch_add(delta, std::memory_order_relaxed);
   }
+  /// Jump to an absolute instant — the load engine replays a precomputed
+  /// virtual-time schedule, so it positions the clock per event rather
+  /// than accumulating deltas.  Callers own monotonicity.
+  void SetNanos(std::uint64_t nanos) {
+    nanos_.store(nanos, std::memory_order_relaxed);
+  }
   void AdvanceSeconds(double seconds) {
     if (seconds <= 0.0) return;
     AdvanceNanos(static_cast<std::uint64_t>(seconds * 1e9));

@@ -2,9 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "json/json.hpp"
+#include "obs/registry.hpp"
 
 namespace sww::obs {
 
@@ -16,11 +18,35 @@ std::string TraceIdHex(std::uint64_t trace_id) {
   return buf;
 }
 
+/// Registry mirrors of the journal's drop accounting.  Cached once: the
+/// registry never destroys instruments, and Record is called per fetch.
+Counter& RecordedTotalCounter() {
+  static Counter& counter =
+      Registry::Default().GetCounter("journal.recorded_total");
+  return counter;
+}
+
+Counter& DroppedTotalCounter() {
+  static Counter& counter =
+      Registry::Default().GetCounter("journal.dropped_total");
+  return counter;
+}
+
+std::size_t DefaultCapacityFromEnv() {
+  const char* env = std::getenv("SWW_JOURNAL_CAPACITY");
+  if (env == nullptr || *env == '\0') return Journal::kDefaultCapacity;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return Journal::kDefaultCapacity;
+  return static_cast<std::size_t>(parsed);
+}
+
 }  // namespace
 
 Journal& Journal::Default() {
-  static Journal* journal = new Journal();  // never destroyed: handles
-  return *journal;                          // outlive static teardown
+  static Journal* journal =
+      new Journal(DefaultCapacityFromEnv());  // never destroyed: handles
+  return *journal;                            // outlive static teardown
 }
 
 Journal::Journal(std::size_t capacity) : capacity_(capacity) {
@@ -28,25 +54,59 @@ Journal::Journal(std::size_t capacity) : capacity_(capacity) {
 }
 
 void Journal::Record(JournalRecord record) {
+  RecordedTotalCounter().Add();
+  // Touch the dropped mirror so the series exists (at 0) from the first
+  // record on — dashboards alert on its rate, which needs a baseline.
+  DroppedTotalCounter().Add(0);
   std::lock_guard<std::mutex> lock(mutex_);
   ++total_;
-  if (capacity_ == 0) return;
+  if (capacity_ == 0) {
+    DroppedTotalCounter().Add();
+    return;
+  }
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
     return;
   }
   ring_[next_] = std::move(record);
   next_ = (next_ + 1) % capacity_;
+  DroppedTotalCounter().Add();
 }
 
-std::vector<JournalRecord> Journal::Records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::vector<JournalRecord> Journal::OrderedLocked() const {
   std::vector<JournalRecord> out;
   out.reserve(ring_.size());
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(next_ + i) % ring_.size()]);
   }
   return out;
+}
+
+std::vector<JournalRecord> Journal::Records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return OrderedLocked();
+}
+
+void Journal::SetCapacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity == capacity_) return;
+  std::vector<JournalRecord> ordered = OrderedLocked();
+  if (ordered.size() > capacity) {
+    const std::size_t evicted = ordered.size() - capacity;
+    ordered.erase(ordered.begin(),
+                  ordered.begin() + static_cast<std::ptrdiff_t>(evicted));
+    DroppedTotalCounter().Add(evicted);  // dropped() grows by the same
+  }
+  ring_ = std::move(ordered);
+  // Oldest-first layout: index 0 is both the oldest record and the next
+  // overwrite target once the ring is full again.
+  next_ = 0;
+  capacity_ = capacity;
+}
+
+std::size_t Journal::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
 }
 
 std::uint64_t Journal::total_recorded() const {

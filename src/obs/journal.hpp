@@ -72,12 +72,20 @@ struct JournalRecord {
 
 /// Bounded wide-event ring: overwrite-oldest with drop accounting,
 /// mirroring ConnectionTap.  Thread-safe.
+///
+/// Offered and dropped records also mirror into Registry::Default() as
+/// the `journal.recorded_total` / `journal.dropped_total` counters, so
+/// ring overflow is visible in /metrics and sww_top — not just in the
+/// JSONL trailer of a journal export.
 class Journal {
  public:
   static constexpr std::size_t kDefaultCapacity = 8192;
 
   /// The process-wide journal every emitter records into by default.
-  /// Never destroyed; handles stay valid across Clear().
+  /// Never destroyed; handles stay valid across Clear().  The initial
+  /// capacity honors the SWW_JOURNAL_CAPACITY environment variable
+  /// (fleet-scale load runs overflow the 8192 default instantly); unset
+  /// or unparsable values fall back to kDefaultCapacity.
   static Journal& Default();
 
   explicit Journal(std::size_t capacity = kDefaultCapacity);
@@ -89,7 +97,11 @@ class Journal {
   /// Buffered records, oldest first.
   std::vector<JournalRecord> Records() const;
 
-  std::size_t capacity() const { return capacity_; }
+  /// Resize the ring in place.  Shrinking keeps the newest `capacity`
+  /// records; the evicted oldest ones count as dropped.
+  void SetCapacity(std::size_t capacity);
+
+  std::size_t capacity() const;
   /// Every record ever offered (buffered + overwritten).
   std::uint64_t total_recorded() const;
   /// Records lost to ring overwrite.
@@ -98,6 +110,10 @@ class Journal {
   void Clear();
 
  private:
+  /// Collapse the wrapped ring into oldest-first order.  Caller holds
+  /// mutex_.
+  std::vector<JournalRecord> OrderedLocked() const;
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::vector<JournalRecord> ring_;  // grows to capacity_, then wraps

@@ -1,0 +1,194 @@
+// End-to-end tests for the open-loop workload engine: determinism across
+// runs and pool sizes (the acceptance criterion — byte-identical
+// reports), the coordinated-omission contract (a stall window inflates
+// the recorded tail), journaling, SLO evaluation, and the per-scenario
+// registry series.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "load/engine.hpp"
+#include "load/report.hpp"
+#include "load/spec.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sww::load {
+namespace {
+
+/// Run `spec` against fresh, private observability sinks so runs do not
+/// bleed series or journal records into each other.
+struct IsolatedRun {
+  obs::Registry registry;
+  obs::Journal journal{1 << 16};
+  util::Result<ScenarioResult> result;
+
+  IsolatedRun(const ScenarioSpec& spec, util::ThreadPool* pool = nullptr)
+      : result(util::Error(util::ErrorCode::kInternal, "unset")) {
+    EngineOptions options;
+    options.pool = pool;
+    options.registry = &registry;
+    options.journal = &journal;
+    result = RunScenario(spec, options);
+  }
+};
+
+TEST(LoadEngine, SmokeScenarioIsDeterministicAcrossRunsAndPools) {
+  const ScenarioSpec spec = FindBuiltinScenario("smoke").value();
+
+  IsolatedRun reference(spec);
+  ASSERT_TRUE(reference.result.ok()) << reference.result.error().ToString();
+  const std::string reference_report =
+      RenderScenarioReport(reference.result.value());
+  EXPECT_FALSE(reference_report.empty());
+
+  // Repeated run: byte-identical report.
+  {
+    IsolatedRun repeat(spec);
+    ASSERT_TRUE(repeat.result.ok());
+    EXPECT_EQ(RenderScenarioReport(repeat.result.value()), reference_report);
+  }
+  // Different pool sizes: the precompute pass is stateless, so the
+  // report must not depend on who computed which arrival.
+  for (int threads : {1, 2, 8}) {
+    util::ThreadPool pool(threads);
+    IsolatedRun run(spec, &pool);
+    ASSERT_TRUE(run.result.ok()) << "pool size " << threads;
+    EXPECT_EQ(RenderScenarioReport(run.result.value()), reference_report)
+        << "pool size " << threads;
+  }
+}
+
+TEST(LoadEngine, SmokeScenarioShape) {
+  const ScenarioSpec spec = FindBuiltinScenario("smoke").value();
+  IsolatedRun run(spec);
+  ASSERT_TRUE(run.result.ok());
+  const ScenarioResult& result = run.result.value();
+
+  // ~6 rps over 60 s of virtual time.
+  EXPECT_EQ(result.requests, 360u);
+  EXPECT_EQ(result.latency.count, result.requests);
+  EXPECT_GT(result.goodput_rps, 0.0);
+  EXPECT_GT(result.delivered_bytes, 0u);
+  EXPECT_GT(result.edge_requests, 0u);
+  EXPECT_GT(result.edge_hits, 0u);
+  EXPECT_GT(result.total_energy_wh, 0.0);
+  EXPECT_GT(result.energy_joules_per_page, 0.0);
+  EXPECT_GT(result.gco2e_per_page, 0.0);
+  // Calibrated overhead is deterministic and strictly positive.
+  EXPECT_GT(result.server_overhead_seconds, 0.0);
+
+  // One SLO objective over load.smoke.latency, evaluated at run end.
+  ASSERT_FALSE(result.slo.empty());
+  EXPECT_EQ(result.slo.front().objective.series, "load.smoke.latency");
+}
+
+TEST(LoadEngine, StallWindowInflatesRecordedTail) {
+  // The coordinated-omission check: identical arrival stream, one 6 s
+  // stall — the tail must absorb the queueing delay.
+  const ScenarioSpec smoke = FindBuiltinScenario("smoke").value();
+  const ScenarioSpec stalled = FindBuiltinScenario("smoke-stall").value();
+
+  IsolatedRun smoke_run(smoke);
+  IsolatedRun stalled_run(stalled);
+  ASSERT_TRUE(smoke_run.result.ok());
+  ASSERT_TRUE(stalled_run.result.ok());
+  const ScenarioResult& a = smoke_run.result.value();
+  const ScenarioResult& b = stalled_run.result.value();
+
+  // Same open-loop arrivals: the request count cannot thin out.
+  EXPECT_EQ(a.requests, b.requests);
+  const double p99_smoke = obs::HistogramSnapshotQuantile(a.latency, 99.0);
+  const double p99_stall = obs::HistogramSnapshotQuantile(b.latency, 99.0);
+  EXPECT_GT(p99_stall, p99_smoke * 2.0)
+      << "stall did not land in the latency distribution";
+  EXPECT_GT(obs::HistogramSnapshotQuantile(b.queue_wait, 99.0),
+            obs::HistogramSnapshotQuantile(a.queue_wait, 99.0));
+}
+
+TEST(LoadEngine, JournalsOneLoadRecordPerRequest) {
+  const ScenarioSpec spec = FindBuiltinScenario("smoke").value();
+  IsolatedRun run(spec);
+  ASSERT_TRUE(run.result.ok());
+  const ScenarioResult& result = run.result.value();
+
+  std::uint64_t load_records = 0;
+  for (const obs::JournalRecord& record : run.journal.Records()) {
+    if (record.kind == "load") ++load_records;
+  }
+  EXPECT_EQ(load_records, result.requests);
+  EXPECT_EQ(result.journal_dropped, 0u);
+  EXPECT_GE(result.journal_recorded, result.requests);
+}
+
+TEST(LoadEngine, RegistrySeriesCarryTheRun) {
+  const ScenarioSpec spec = FindBuiltinScenario("smoke").value();
+  IsolatedRun run(spec);
+  ASSERT_TRUE(run.result.ok());
+  const ScenarioResult& result = run.result.value();
+
+  EXPECT_EQ(run.registry.GetCounter("load.smoke.requests").value(),
+            result.requests);
+  EXPECT_EQ(run.registry.GetCounter("load.smoke.errors").value(),
+            result.errors);
+  const obs::HistogramSnapshot latency =
+      run.registry.GetHistogram("load.smoke.latency").Snapshot();
+  EXPECT_EQ(latency.count, result.requests);
+  // The registry histogram mirrors the private snapshot exactly.
+  EXPECT_DOUBLE_EQ(obs::HistogramSnapshotQuantile(latency, 99.0),
+                   obs::HistogramSnapshotQuantile(result.latency, 99.0));
+}
+
+TEST(LoadEngine, ClientGenerativeModeUsesClientCache) {
+  // diurnal-mixed is client-generative with a revisit-heavy population;
+  // its client prompt cache must see hits and its latency tail sits at
+  // device-generation scale.
+  ScenarioSpec spec = FindBuiltinScenario("diurnal-mixed").value();
+  spec.duration_seconds = 300.0;  // trim for test runtime
+  IsolatedRun run(spec);
+  ASSERT_TRUE(run.result.ok());
+  const ScenarioResult& result = run.result.value();
+  EXPECT_GT(result.requests, 0u);
+  EXPECT_GT(result.client_cache_hits, 0u);
+}
+
+TEST(LoadEngine, SmokeReportMatchesCheckedInGolden) {
+  // The same artifact CI regenerates and diffs (fleet-smoke job); a
+  // drift here means the modeled numbers changed, not a flake.
+  std::ifstream in(std::string(SWW_GOLDEN_DIR) + "/load.report.txt");
+  ASSERT_TRUE(in.good()) << "golden file missing";
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  const std::string golden = slurp.str();
+  ASSERT_FALSE(golden.empty());
+
+  // Default options, like the tool: the edge journals into
+  // Journal::Default(), so the report's journal line counts one "load"
+  // record plus one "edge" record per request only when the engine
+  // shares that sink.  Deltas are computed across the run, so prior
+  // records in this process do not shift the count.
+  auto result = RunScenario(FindBuiltinScenario("smoke").value());
+  ASSERT_TRUE(result.ok());
+  const std::string report = RenderLoadReport({result.value()});
+  EXPECT_EQ(report, golden)
+      << "report drifted from tests/golden/load.report.txt; if the change "
+         "is intentional, regenerate with: sww_load --scenario smoke "
+         "--out-dir tests/golden";
+}
+
+TEST(LoadEngine, InvalidSpecIsRejected) {
+  ScenarioSpec spec = FindBuiltinScenario("smoke").value();
+  spec.name = "not a metric name";
+  EngineOptions options;
+  obs::Registry registry;
+  obs::Journal journal;
+  options.registry = &registry;
+  options.journal = &journal;
+  EXPECT_FALSE(RunScenario(spec, options).ok());
+}
+
+}  // namespace
+}  // namespace sww::load

@@ -1,0 +1,122 @@
+// Scenario-spec grammar tests: JSON round-trip, unknown-key rejection,
+// and the validation invariants the parser cannot express.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+#include "load/spec.hpp"
+
+namespace sww::load {
+namespace {
+
+TEST(LoadSpec, ServeModeNamesRoundTrip) {
+  for (ServeMode mode : {ServeMode::kTraditional, ServeMode::kEdgeGenerative,
+                         ServeMode::kClientGenerative}) {
+    auto parsed = ParseServeMode(ServeModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), mode);
+  }
+  EXPECT_FALSE(ParseServeMode("zeppelin").ok());
+}
+
+TEST(LoadSpec, BuiltinScenariosAllValidate) {
+  const std::vector<ScenarioSpec> builtins = BuiltinScenarios();
+  ASSERT_GE(builtins.size(), 5u);
+  for (const ScenarioSpec& spec : builtins) {
+    EXPECT_TRUE(ValidateScenarioSpec(spec).ok()) << spec.name;
+  }
+  EXPECT_TRUE(FindBuiltinScenario("smoke").ok());
+  EXPECT_TRUE(FindBuiltinScenario("flash-crowd").ok());
+  EXPECT_FALSE(FindBuiltinScenario("no-such-scenario").ok());
+}
+
+TEST(LoadSpec, BuiltinScenariosRoundTripThroughJson) {
+  // Render → parse → render must be a fixed point: the JSON grammar
+  // covers every field the engine consumes.
+  for (const ScenarioSpec& spec : BuiltinScenarios()) {
+    const json::Value rendered = ScenarioSpecToJson(spec);
+    auto parsed = ParseScenarioSpec(rendered);
+    ASSERT_TRUE(parsed.ok()) << spec.name << ": "
+                             << parsed.error().ToString();
+    EXPECT_EQ(ScenarioSpecToJson(parsed.value()).Dump(), rendered.Dump())
+        << spec.name;
+  }
+}
+
+TEST(LoadSpec, ParseTextAcceptsObjectAndArray) {
+  auto single = ParseScenarioSpecText(
+      R"({"name":"one","seed":9,"duration_seconds":5,"population":10,)"
+      R"("classes":[{"name":"c","weight":1,"device":"laptop"}]})");
+  ASSERT_TRUE(single.ok()) << single.error().ToString();
+  ASSERT_EQ(single.value().size(), 1u);
+  EXPECT_EQ(single.value()[0].name, "one");
+  EXPECT_EQ(single.value()[0].seed, 9u);
+
+  auto many = ParseScenarioSpecText(
+      R"([{"name":"a","classes":[{"name":"c"}]},)"
+      R"({"name":"b","classes":[{"name":"c"}]}])");
+  ASSERT_TRUE(many.ok()) << many.error().ToString();
+  ASSERT_EQ(many.value().size(), 2u);
+  EXPECT_EQ(many.value()[0].name, "a");
+  EXPECT_EQ(many.value()[1].name, "b");
+}
+
+TEST(LoadSpec, UnknownKeysAreRejected) {
+  auto top_level = ParseScenarioSpecText(
+      R"({"name":"x","classes":[{"name":"c"}],"durations_seconds":5})");
+  EXPECT_FALSE(top_level.ok());
+  auto in_catalog = ParseScenarioSpecText(
+      R"({"name":"x","classes":[{"name":"c"}],"catalog":{"item":3}})");
+  EXPECT_FALSE(in_catalog.ok());
+  auto in_class = ParseScenarioSpecText(
+      R"({"name":"x","classes":[{"name":"c","rtt_msec":1}]})");
+  EXPECT_FALSE(in_class.ok());
+}
+
+TEST(LoadSpec, ValidationRejectsBrokenSpecs) {
+  ScenarioSpec good = FindBuiltinScenario("smoke").value();
+  EXPECT_TRUE(ValidateScenarioSpec(good).ok());
+
+  {
+    ScenarioSpec spec = good;
+    spec.name = "Has Spaces";  // metric series names must be [a-z0-9_-]+
+    EXPECT_FALSE(ValidateScenarioSpec(spec).ok());
+  }
+  {
+    ScenarioSpec spec = good;
+    spec.duration_seconds = 0.0;
+    EXPECT_FALSE(ValidateScenarioSpec(spec).ok());
+  }
+  {
+    ScenarioSpec spec = good;
+    spec.classes.clear();
+    EXPECT_FALSE(ValidateScenarioSpec(spec).ok());
+  }
+  {
+    ScenarioSpec spec = good;
+    spec.classes[0].device = "mainframe";
+    EXPECT_FALSE(ValidateScenarioSpec(spec).ok());
+  }
+  {
+    ScenarioSpec spec = good;
+    spec.classes[0].loss_rate = 1.0;  // would divide wire time by zero
+    EXPECT_FALSE(ValidateScenarioSpec(spec).ok());
+  }
+  {
+    ScenarioSpec spec = good;
+    spec.stalls.push_back({spec.duration_seconds + 10.0, 5.0});
+    EXPECT_FALSE(ValidateScenarioSpec(spec).ok());
+  }
+  {
+    ScenarioSpec spec = good;
+    spec.arrivals.diurnal_amplitude = 1.5;  // rate would go negative
+    EXPECT_FALSE(ValidateScenarioSpec(spec).ok());
+  }
+  {
+    ScenarioSpec spec = good;
+    spec.slo_target = 1.5;
+    EXPECT_FALSE(ValidateScenarioSpec(spec).ok());
+  }
+}
+
+}  // namespace
+}  // namespace sww::load

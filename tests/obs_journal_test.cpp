@@ -59,6 +59,47 @@ TEST(Journal, RingOverwritesOldestAndCountsDrops) {
   EXPECT_EQ(journal.Records().size(), 1u);
 }
 
+TEST(Journal, SetCapacityShrinkKeepsNewestAndCountsEvictions) {
+  Journal journal(/*capacity=*/8);
+  for (std::uint64_t i = 1; i <= 6; ++i) journal.Record(MakeRecord(i));
+  journal.SetCapacity(2);
+  EXPECT_EQ(journal.capacity(), 2u);
+  const std::vector<JournalRecord> records = journal.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].trace_id, 5u);
+  EXPECT_EQ(records[1].trace_id, 6u);
+  EXPECT_EQ(journal.dropped(), 4u);  // the four evicted oldest
+
+  // Growing back opens room without touching the survivors.
+  journal.SetCapacity(4);
+  journal.Record(MakeRecord(7));
+  journal.Record(MakeRecord(8));
+  const std::vector<JournalRecord> grown = journal.Records();
+  ASSERT_EQ(grown.size(), 4u);
+  EXPECT_EQ(grown[0].trace_id, 5u);
+  EXPECT_EQ(grown[3].trace_id, 8u);
+  EXPECT_EQ(journal.dropped(), 4u);
+}
+
+TEST(Journal, RecordedAndDroppedMirrorIntoRegistryCounters) {
+  // journal.recorded_total / journal.dropped_total are process-wide
+  // Registry::Default() counters (the /metrics view of ring overflow),
+  // so assert on deltas: other tests in this binary record too.
+  Counter& recorded =
+      Registry::Default().GetCounter("journal.recorded_total");
+  Counter& dropped = Registry::Default().GetCounter("journal.dropped_total");
+  const std::uint64_t recorded_before = recorded.value();
+  const std::uint64_t dropped_before = dropped.value();
+
+  Journal journal(/*capacity=*/2);
+  for (std::uint64_t i = 1; i <= 5; ++i) journal.Record(MakeRecord(i));
+  EXPECT_EQ(recorded.value() - recorded_before, 5u);
+  EXPECT_EQ(dropped.value() - dropped_before, 3u);
+
+  journal.SetCapacity(1);  // evicts one more buffered record
+  EXPECT_EQ(dropped.value() - dropped_before, 4u);
+}
+
 TEST(Journal, JsonLinesCarrySchemaAndSummaryTrailer) {
   Journal journal(/*capacity=*/4);
   JournalRecord record = MakeRecord(0xabcdef);

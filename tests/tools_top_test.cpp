@@ -114,5 +114,49 @@ TEST(RenderTopTable, CustomQuantilesExemplarColumnAndSloSection) {
             std::string::npos);
 }
 
+TEST(RenderTopTable, MultiSourceAddsLegendAndPerSourceColumns) {
+  MetricsSample a;
+  a.source = "127.0.0.1:9100/metrics";
+  a.counters["sww_requests_total"] = 30;
+  a.gauges["sww_hit_ratio"] = 0.25;
+  MetricsSample b;
+  b.source = "127.0.0.1:9101/metrics";
+  b.counters["sww_requests_total"] = 12;
+  b.counters["sww_only_here_total"] = 7;
+  b.gauges["sww_hit_ratio"] = 0.75;
+
+  // One source: byte-identical to the merged single-sample render — the
+  // run.top.txt golden must not notice the overload exists.
+  const std::vector<QuantileSpec> quantiles = DefaultQuantiles();
+  EXPECT_EQ(RenderTopTable({a}, quantiles),
+            RenderTopTable(MergeSamples({a}), 1, quantiles));
+
+  const std::string table = RenderTopTable({a, b}, quantiles);
+  // Legend maps the S-columns back to the scrape targets.
+  EXPECT_NE(table.find("S1 = 127.0.0.1:9100/metrics"), std::string::npos);
+  EXPECT_NE(table.find("S2 = 127.0.0.1:9101/metrics"), std::string::npos);
+  // Counters: merged total plus one column per source.
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  const std::size_t row = table.find("sww_requests_total");
+  ASSERT_NE(row, std::string::npos);
+  const std::string line = table.substr(row, table.find('\n', row) - row);
+  EXPECT_NE(line.find("42"), std::string::npos);  // merged
+  EXPECT_NE(line.find("30"), std::string::npos);  // S1
+  EXPECT_NE(line.find("12"), std::string::npos);  // S2
+  // A series one source does not carry renders "-" in its column.
+  const std::size_t only = table.find("sww_only_here_total");
+  ASSERT_NE(only, std::string::npos);
+  const std::string only_line =
+      table.substr(only, table.find('\n', only) - only);
+  EXPECT_NE(only_line.find("-"), std::string::npos);
+  // Gauges get per-source columns too.
+  const std::size_t gauge = table.find("sww_hit_ratio");
+  ASSERT_NE(gauge, std::string::npos);
+  const std::string gauge_line =
+      table.substr(gauge, table.find('\n', gauge) - gauge);
+  EXPECT_NE(gauge_line.find("0.25"), std::string::npos);
+  EXPECT_NE(gauge_line.find("0.75"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sww::tools

@@ -1,0 +1,49 @@
+// load_run.hpp — the sww_load driver: run fleet workload scenarios and
+// emit their observability artifacts.
+//
+//   sww_load [--scenario NAME]... [--spec FILE.json] [--out-dir DIR]
+//            [--threads N] [--list] [--print-spec NAME]
+//
+// Scenarios come from the builtin set (load::BuiltinScenarios) by name
+// and/or from a JSON spec file (one object or an array; the grammar is
+// documented in docs/performance.md).  With no selection the "smoke"
+// scenario runs.  Artifacts land in --out-dir:
+//
+//   load.report.txt     — per-scenario report (the CI golden)
+//   load.metrics.prom   — Prometheus exposition of the run's registry
+//   load.journal.jsonl  — the wide-event journal (ring-bounded)
+//
+// The run is deterministic: a fixed spec produces byte-identical
+// artifacts across repeated runs and --threads values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "load/engine.hpp"
+#include "util/error.hpp"
+
+namespace sww::tools {
+
+struct LoadOptions {
+  std::vector<std::string> scenario_names;  ///< builtin names to run
+  std::string spec_file;                    ///< JSON spec file (optional)
+  std::string out_dir;                      ///< empty: no artifacts
+  int threads = 0;                          ///< 0: shared pool
+};
+
+struct LoadResult {
+  std::vector<load::ScenarioResult> scenarios;
+  std::string report;          ///< load.report.txt contents
+  std::string metrics_prom;    ///< load.metrics.prom contents
+  std::string journal_jsonl;   ///< load.journal.jsonl contents
+};
+
+/// Run the selected scenarios (resetting the process registry, journal
+/// and tracer first, like RunInspect) and render the artifacts.
+util::Result<LoadResult> RunLoad(const LoadOptions& options);
+
+/// CLI entry point; returns the process exit code.
+int RunLoadMain(int argc, char** argv);
+
+}  // namespace sww::tools

@@ -1,0 +1,5 @@
+#include "tools/load_run.hpp"
+
+int main(int argc, char** argv) {
+  return sww::tools::RunLoadMain(argc, argv);
+}

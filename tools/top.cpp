@@ -418,6 +418,151 @@ std::string RenderTopTable(const MetricsSample& merged,
   return RenderTopTable(merged, source_count, DefaultQuantiles());
 }
 
+std::string RenderTopTable(const std::vector<MetricsSample>& samples,
+                           const std::vector<QuantileSpec>& quantiles) {
+  const MetricsSample merged = MergeSamples(samples);
+  if (samples.size() <= 1) {
+    return RenderTopTable(merged, samples.size(), quantiles);
+  }
+  // Fleet view: the merged table layout widened with one column per
+  // source, so a lopsided member (one host eating the tail, one host
+  // dropping journal records) is visible without re-scraping each
+  // endpoint alone.
+  constexpr std::size_t kMaxSourceColumns = 8;
+  const std::size_t shown = std::min(samples.size(), kMaxSourceColumns);
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "sww_top — %zu sources · %zu counters · %zu gauges · %zu "
+                "histograms\n",
+                samples.size(), merged.counters.size(), merged.gauges.size(),
+                merged.histograms.size());
+  out += line;
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::snprintf(line, sizeof(line), "  S%zu = %s\n", i + 1,
+                  samples[i].source.c_str());
+    out += line;
+  }
+  if (samples.size() > shown) {
+    std::snprintf(line, sizeof(line),
+                  "  ... %zu more sources folded into the totals\n",
+                  samples.size() - shown);
+    out += line;
+  }
+  auto source_headers = [&](const char* suffix) {
+    for (std::size_t i = 0; i < shown; ++i) {
+      char label[16];
+      std::snprintf(label, sizeof(label), "S%zu%s", i + 1, suffix);
+      std::snprintf(line, sizeof(line), " %10s", label);
+      out += line;
+    }
+  };
+  if (!merged.histograms.empty()) {
+    std::snprintf(line, sizeof(line), "\n%-44s %10s", "HISTOGRAM", "COUNT");
+    out += line;
+    for (const QuantileSpec& spec : quantiles) {
+      std::snprintf(line, sizeof(line), " %10s", spec.label.c_str());
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), " %10s", "MAX");
+    out += line;
+    source_headers(".CNT");
+    std::snprintf(line, sizeof(line), " %16s\n", "EXEMPLAR");
+    out += line;
+    for (const auto& [name, h] : merged.histograms) {
+      std::snprintf(line, sizeof(line), "%-44s %10zu", name.c_str(), h.count);
+      out += line;
+      for (const QuantileSpec& spec : quantiles) {
+        std::snprintf(line, sizeof(line), " %10.4g",
+                      obs::HistogramSnapshotQuantile(h, spec.q));
+        out += line;
+      }
+      std::snprintf(line, sizeof(line), " %10.4g", h.max);
+      out += line;
+      for (std::size_t i = 0; i < shown; ++i) {
+        auto it = samples[i].histograms.find(name);
+        if (it == samples[i].histograms.end()) {
+          std::snprintf(line, sizeof(line), " %10s", "-");
+        } else {
+          std::snprintf(line, sizeof(line), " %10zu", it->second.count);
+        }
+        out += line;
+      }
+      std::string exemplar_text = "-";
+      for (std::size_t i = h.exemplars.size(); i-- > 0;) {
+        if (h.exemplars[i].trace_id != 0) {
+          char id[17];
+          std::snprintf(id, sizeof(id), "%016llx",
+                        static_cast<unsigned long long>(
+                            h.exemplars[i].trace_id));
+          exemplar_text = id;
+          break;
+        }
+      }
+      std::snprintf(line, sizeof(line), " %16s\n", exemplar_text.c_str());
+      out += line;
+    }
+  }
+  if (!merged.gauges.empty()) {
+    std::snprintf(line, sizeof(line), "\n%-44s %10s", "GAUGE", "TOTAL");
+    out += line;
+    source_headers("");
+    out += '\n';
+    for (const auto& [name, value] : merged.gauges) {
+      std::snprintf(line, sizeof(line), "%-44s %10.6g", name.c_str(), value);
+      out += line;
+      for (std::size_t i = 0; i < shown; ++i) {
+        auto it = samples[i].gauges.find(name);
+        if (it == samples[i].gauges.end()) {
+          std::snprintf(line, sizeof(line), " %10s", "-");
+        } else {
+          std::snprintf(line, sizeof(line), " %10.6g", it->second);
+        }
+        out += line;
+      }
+      out += '\n';
+    }
+  }
+  if (!merged.counters.empty()) {
+    std::snprintf(line, sizeof(line), "\n%-44s %10s", "COUNTER", "TOTAL");
+    out += line;
+    source_headers("");
+    out += '\n';
+    for (const auto& [name, value] : merged.counters) {
+      std::snprintf(line, sizeof(line), "%-44s %10llu", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+      for (std::size_t i = 0; i < shown; ++i) {
+        auto it = samples[i].counters.find(name);
+        if (it == samples[i].counters.end()) {
+          std::snprintf(line, sizeof(line), " %10s", "-");
+        } else {
+          std::snprintf(line, sizeof(line), " %10llu",
+                        static_cast<unsigned long long>(it->second));
+        }
+        out += line;
+      }
+      out += '\n';
+    }
+  }
+  // Same whole-run burn evaluation as the single-sample table, over the
+  // merged series.
+  obs::SloEngine engine{obs::DefaultSloObjectives()};
+  bool any_series = false;
+  for (const obs::SloObjective& objective : engine.objectives()) {
+    auto it =
+        merged.histograms.find(obs::PrometheusSeriesName(objective.series));
+    if (it == merged.histograms.end()) continue;
+    engine.Ingest(objective.series, it->second, /*now_nanos=*/0);
+    any_series = true;
+  }
+  if (any_series) {
+    out += '\n';
+    out += obs::RenderSloReport(engine.Evaluate(/*now_nanos=*/0));
+  }
+  return out;
+}
+
 Result<std::string> FetchBodyOnce(std::uint16_t port, const std::string& path) {
   auto transport = net::TcpConnect(port);
   if (!transport.ok()) return transport.error();
@@ -601,8 +746,7 @@ int RunTopMain(int argc, char** argv) {
       }
       samples.push_back(std::move(sample.value()));
     }
-    const std::string table =
-        RenderTopTable(MergeSamples(samples), samples.size(), quantiles);
+    const std::string table = RenderTopTable(samples, quantiles);
     if (once) {
       std::fputs(table.c_str(), stdout);
       return 0;

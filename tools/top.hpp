@@ -80,6 +80,17 @@ std::string RenderTopTable(const MetricsSample& merged,
 std::string RenderTopTable(const MetricsSample& merged,
                            std::size_t source_count);
 
+/// Multi-source render.  With zero or one sample this is byte-identical
+/// to the merged single-sample table above (so goldens over one source
+/// are unaffected).  With more, the header grows a source legend
+/// (S1 = <source>, ...) and every section gains one value column per
+/// source next to the merged total: per-source counts for histograms,
+/// per-source values for gauges and counters ("-" where a source does
+/// not carry the series).  At most eight sources get columns; the rest
+/// still fold into the merged totals.
+std::string RenderTopTable(const std::vector<MetricsSample>& samples,
+                           const std::vector<QuantileSpec>& quantiles);
+
 /// GET `path` from a live server on 127.0.0.1:`port` over the repo's own
 /// HTTP/2 stack and parse the body as a Prometheus exposition.
 util::Result<MetricsSample> ScrapeOnce(std::uint16_t port,
