@@ -1,16 +1,13 @@
 // tcp_demo — the generative server and client as two genuinely separate
-// endpoints over loopback TCP: the server thread accepts a connection and
-// pumps its HTTP/2 engine; the client connects, negotiates
+// endpoints over loopback TCP: a ReactorHost (epoll event-loop server)
+// accepts the connection and pumps its HTTP/2 engine by readiness
+// events; the client connects through LoopbackSession, negotiates
 // SETTINGS_GEN_ABILITY, fetches the travel blog, and generates locally.
-#include <atomic>
-#include <chrono>
 #include <cstdio>
-#include <thread>
 
 #include "core/page_builder.hpp"
+#include "core/reactor_host.hpp"
 #include "core/session.hpp"
-#include "net/pump.hpp"
-#include "net/tcp.hpp"
 
 int main() {
   using namespace sww;
@@ -25,66 +22,24 @@ int main() {
     store.AddAsset(path, util::Bytes(25000, 0x33), "image/x-portable-pixmap");
   }
 
-  auto listener = net::TcpListener::Bind(0);
-  if (!listener.ok()) {
-    std::fprintf(stderr, "bind: %s\n", listener.error().ToString().c_str());
+  core::ReactorHost::Options options;
+  options.server.shards = 1;
+  auto host = core::ReactorHost::Start(&store, std::move(options));
+  if (!host.ok()) {
+    std::fprintf(stderr, "start: %s\n", host.error().ToString().c_str());
     return 1;
   }
-  const std::uint16_t port = listener.value()->port();
+  const std::uint16_t port = host.value()->port();
   std::printf("server listening on 127.0.0.1:%u\n", port);
 
-  std::atomic<bool> server_failed{false};
-  std::thread server_thread([&] {
-    auto transport = listener.value()->Accept(5000);
-    if (!transport.ok()) {
-      server_failed = true;
-      return;
-    }
-    auto server = core::GenerativeServer::Create(&store, {});
-    if (!server.ok()) {
-      server_failed = true;
-      return;
-    }
-    server.value()->StartHandshake();
-    for (int i = 0; i < 100000; ++i) {
-      auto pumped =
-          net::PumpOnce(server.value()->connection(), *transport.value());
-      if (!pumped.ok() || pumped.value().peer_closed) break;
-      if (!server.value()->ProcessEvents().ok()) break;
-      if (!pumped.value().made_progress) {
-        std::this_thread::sleep_for(std::chrono::microseconds(200));
-      }
-    }
-    std::printf("[server] served %llu requests (%llu generative pages)\n",
-                static_cast<unsigned long long>(server.value()->stats().requests),
-                static_cast<unsigned long long>(
-                    server.value()->stats().pages_served_generative));
-  });
-
-  auto transport = net::TcpConnect(port);
-  if (!transport.ok()) {
-    std::fprintf(stderr, "connect: %s\n", transport.error().ToString().c_str());
-    server_thread.join();
+  auto session = core::LoopbackSession::Connect(port);
+  if (!session.ok()) {
+    std::fprintf(stderr, "connect: %s\n", session.error().ToString().c_str());
     return 1;
   }
-  auto client = core::GenerativeClient::Create({});
-  if (!client.ok()) {
-    std::fprintf(stderr, "client: %s\n", client.error().ToString().c_str());
-    server_thread.join();
-    return 1;
-  }
-  client.value()->StartHandshake();
-  auto pump = [&]() -> util::Status {
-    auto pumped = net::PumpOnce(client.value()->connection(), *transport.value());
-    if (!pumped.ok()) return pumped.error();
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
-    return util::Status::Ok();
-  };
-  auto fetch = client.value()->FetchPage("/blog", pump);
+  auto fetch = session.value()->FetchPage("/blog");
   if (!fetch.ok()) {
     std::fprintf(stderr, "fetch: %s\n", fetch.error().ToString().c_str());
-    transport.value()->Close();
-    server_thread.join();
     return 1;
   }
   std::printf("[client] mode=%s; %zu items generated on-device; wire bytes: "
@@ -94,7 +49,12 @@ int main() {
               static_cast<unsigned long long>(fetch.value().asset_bytes),
               fetch.value().generation_seconds,
               fetch.value().generation_energy_wh);
-  transport.value()->Close();
-  server_thread.join();
-  return server_failed ? 1 : 0;
+  session.value()->Close();
+  host.value()->Shutdown();
+  const auto stats = host.value()->server().ShardStatsSnapshot();
+  std::uint64_t served = 0;
+  for (const auto& shard : stats) served += shard.accepted;
+  std::printf("[server] %llu connections served across %zu shards\n",
+              static_cast<unsigned long long>(served), stats.size());
+  return 0;
 }

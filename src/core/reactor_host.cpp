@@ -1,0 +1,65 @@
+#include "core/reactor_host.hpp"
+
+#include <utility>
+
+namespace sww::core {
+
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+/// One accepted connection: a GenerativeServer behind the ReactorApp
+/// seam.  Lives and dies on its shard thread.
+class GenerativeServerApp final : public net::ReactorApp {
+ public:
+  explicit GenerativeServerApp(std::unique_ptr<GenerativeServer> server)
+      : server_(std::move(server)) {}
+
+  http2::Connection& connection() override { return server_->connection(); }
+  void OnConnected() override { server_->StartHandshake(); }
+  util::Status OnEvents() override { return server_->ProcessEvents(); }
+
+  const GenerativeServer& server() const { return *server_; }
+
+ private:
+  std::unique_ptr<GenerativeServer> server_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ReactorHost>> ReactorHost::Start(
+    const ContentStore* store, Options options) {
+  if (store == nullptr) {
+    return Error(ErrorCode::kInvalidArgument, "reactor host needs a store");
+  }
+  // Fail fast on bad per-connection options (model files, policy) instead
+  // of rejecting every connection at accept time.
+  if (auto probe = GenerativeServer::Create(store, options.per_connection);
+      !probe.ok()) {
+    return probe.error();
+  }
+  auto host = std::unique_ptr<ReactorHost>(new ReactorHost());
+  net::ReactorServer::Options server_options = options.server;
+  const GenerativeServer::Options per_connection = options.per_connection;
+  server_options.on_close = nullptr;
+  if (options.on_connection_close) {
+    auto user_close = options.on_connection_close;
+    server_options.on_close = [user_close](net::ReactorApp& app) {
+      user_close(static_cast<GenerativeServerApp&>(app).server());
+    };
+  }
+  auto factory = [store, per_connection]() -> std::unique_ptr<net::ReactorApp> {
+    auto server = GenerativeServer::Create(store, per_connection);
+    if (!server.ok()) return nullptr;  // ReactorServer drops the socket
+    return std::make_unique<GenerativeServerApp>(std::move(server).value());
+  };
+  auto server = net::ReactorServer::Start(std::move(factory),
+                                          std::move(server_options));
+  if (!server.ok()) return server.error();
+  host->server_ = std::move(server).value();
+  return host;
+}
+
+}  // namespace sww::core

@@ -1,0 +1,49 @@
+// reactor_host.hpp — GenerativeServer on the epoll reactor.
+//
+// Adapts the core:: application protocol onto net::ReactorServer: each
+// accepted connection gets its own GenerativeServer (sharing the
+// ContentStore), driven entirely by readiness events on the owning
+// shard.  This is the serving path of `sww_serve` and the C10K bench;
+// LocalSession remains the deterministic in-process harness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/content_store.hpp"
+#include "core/server.hpp"
+#include "net/reactor_server.hpp"
+#include "util/error.hpp"
+
+namespace sww::core {
+
+class ReactorHost {
+ public:
+  struct Options {
+    /// Transport-tier knobs (port, shards, timeouts, backpressure).
+    net::ReactorServer::Options server;
+    /// Application options stamped onto every accepted connection.
+    GenerativeServer::Options per_connection;
+    /// Called on the owning shard thread as a connection closes, with
+    /// the final per-connection server state (stats etc).
+    std::function<void(const GenerativeServer&)> on_connection_close;
+  };
+
+  /// Bind and start serving `store` on all shards.
+  static util::Result<std::unique_ptr<ReactorHost>> Start(
+      const ContentStore* store, Options options);
+
+  std::uint16_t port() const { return server_->port(); }
+  net::ReactorServer& server() { return *server_; }
+  const net::ReactorServer& server() const { return *server_; }
+
+  /// Graceful GOAWAY + drain; idempotent (destructor calls it).
+  void Shutdown() { server_->Shutdown(); }
+
+ private:
+  ReactorHost() = default;
+  std::unique_ptr<net::ReactorServer> server_;
+};
+
+}  // namespace sww::core

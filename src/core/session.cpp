@@ -1,7 +1,15 @@
 #include "core/session.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "net/pump.hpp"
+#include "net/tcp.hpp"
+
 namespace sww::core {
 
+using util::Error;
+using util::ErrorCode;
 using util::Result;
 using util::Status;
 
@@ -64,6 +72,73 @@ GenerativeClient::PumpFn LocalSession::Pump() {
 
 Result<PageFetch> LocalSession::FetchPage(const std::string& path) {
   return client_->FetchPage(path, Pump());
+}
+
+Result<std::unique_ptr<LoopbackSession>> LoopbackSession::Connect(
+    std::uint16_t port) {
+  return Connect(port, Options{});
+}
+
+Result<std::unique_ptr<LoopbackSession>> LoopbackSession::Connect(
+    std::uint16_t port, Options options) {
+  auto transport = net::TcpConnect(port, options.connect_timeout_ms);
+  if (!transport.ok()) return transport.error();
+  auto client = GenerativeClient::Create(options.client);
+  if (!client.ok()) return client.error();
+  auto session = std::unique_ptr<LoopbackSession>(
+      new LoopbackSession(std::move(client).value(),
+                          std::move(transport).value(), std::move(options)));
+  session->client_->StartHandshake();
+  // Drive the handshake against the live server under the pump deadline.
+  const auto pump = session->Pump();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(session->options_.pump_timeout_ms);
+  while (!(session->client_->connection().remote_settings_received() &&
+           session->client_->connection().local_settings_acked())) {
+    if (Status status = pump(); !status.ok()) return status.error();
+    if (std::chrono::steady_clock::now() > deadline) {
+      return Error(ErrorCode::kIo, "SETTINGS handshake timed out");
+    }
+  }
+  return session;
+}
+
+GenerativeClient::PumpFn LoopbackSession::Pump() {
+  // Shared progress deadline across calls: FetchPage's pump loop calls
+  // this many times, and each no-progress round sleeps briefly instead
+  // of spinning the wire.
+  auto last_progress = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::now());
+  return [this, last_progress]() -> Status {
+    auto result = net::PumpOnce(client_->connection(), *transport_);
+    if (!result.ok()) return result.error();
+    const auto now = std::chrono::steady_clock::now();
+    if (result.value().made_progress) {
+      *last_progress = now;
+      return Status::Ok();
+    }
+    if (result.value().peer_closed) {
+      return Error(ErrorCode::kClosed, "server closed the connection");
+    }
+    if (now - *last_progress >
+        std::chrono::milliseconds(options_.pump_timeout_ms)) {
+      return Error(ErrorCode::kIo, "pump made no progress before deadline");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return Status::Ok();
+  };
+}
+
+Result<PageFetch> LoopbackSession::FetchPage(const std::string& path) {
+  return client_->FetchPage(path, Pump());
+}
+
+Result<Response> LoopbackSession::FetchRaw(const std::string& path) {
+  return client_->FetchRaw(path, Pump());
+}
+
+void LoopbackSession::Close() {
+  if (transport_) transport_->Close();
 }
 
 }  // namespace sww::core

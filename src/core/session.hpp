@@ -1,15 +1,22 @@
-// session.hpp — in-process client/server harness.
+// session.hpp — client/server session harnesses.
 //
-// Wires a GenerativeClient and a GenerativeServer back-to-back with a
-// deterministic byte shuttle (no sockets, no threads) — the workhorse for
-// tests, benchmarks and the quickstart example.  The TCP examples build
-// the same parts over net::TcpTransport instead.
+// LocalSession wires a GenerativeClient and a GenerativeServer
+// back-to-back with a deterministic byte shuttle (no sockets, no
+// threads) — the workhorse for tests, benchmarks and the quickstart
+// example, and the only harness that runs under ManualClock.
+//
+// LoopbackSession is the client side of a real TCP connection to a live
+// server (normally a core::ReactorHost): it dials 127.0.0.1, runs the
+// SETTINGS handshake, and exposes the same FetchPage/FetchRaw surface
+// with a socket-backed pump.  Used by sww_top's scraper, the live load
+// mode, and the TCP integration tests.
 #pragma once
 
 #include <memory>
 
 #include "core/client.hpp"
 #include "core/server.hpp"
+#include "net/transport.hpp"
 
 namespace sww::core {
 
@@ -44,6 +51,47 @@ class LocalSession {
 
   std::unique_ptr<GenerativeClient> client_;
   std::unique_ptr<GenerativeServer> server_;
+};
+
+class LoopbackSession {
+ public:
+  struct Options {
+    GenerativeClient::Options client;
+    /// Dial deadline (surfaces ECONNREFUSED/ETIMEDOUT from TcpConnect).
+    int connect_timeout_ms = 5000;
+    /// Give up a fetch when the socket makes no progress for this long.
+    int pump_timeout_ms = 10'000;
+  };
+
+  /// Dial 127.0.0.1:`port` and run the preface + SETTINGS exchange to
+  /// completion against the live server.
+  static util::Result<std::unique_ptr<LoopbackSession>> Connect(
+      std::uint16_t port);
+  static util::Result<std::unique_ptr<LoopbackSession>> Connect(
+      std::uint16_t port, Options options);
+
+  GenerativeClient& client() { return *client_; }
+
+  /// Socket-backed pump: one PumpOnce over the transport; yields the CPU
+  /// briefly when the wire is idle, errors after pump_timeout_ms of no
+  /// progress.
+  GenerativeClient::PumpFn Pump();
+
+  util::Result<PageFetch> FetchPage(const std::string& path);
+  util::Result<Response> FetchRaw(const std::string& path);
+
+  void Close();
+
+ private:
+  LoopbackSession(std::unique_ptr<GenerativeClient> client,
+                  std::unique_ptr<net::Transport> transport, Options options)
+      : client_(std::move(client)),
+        transport_(std::move(transport)),
+        options_(std::move(options)) {}
+
+  std::unique_ptr<GenerativeClient> client_;
+  std::unique_ptr<net::Transport> transport_;
+  Options options_;
 };
 
 }  // namespace sww::core

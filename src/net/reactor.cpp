@@ -1,0 +1,205 @@
+#include "net/reactor.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/registry.hpp"
+
+namespace sww::net {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+namespace {
+
+std::uint64_t SteadyNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::Counter& ReactorWakeups() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.reactor.wakeups");
+  return counter;
+}
+obs::Counter& ReactorTimersFired() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.reactor.timers_fired");
+  return counter;
+}
+obs::Histogram& ReactorReadyEvents() {
+  static obs::Histogram& histogram =
+      obs::Registry::Default().GetHistogram("net.reactor.ready_events");
+  return histogram;
+}
+
+constexpr int kMaxEventsPerWait = 256;
+
+}  // namespace
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    init_status_ =
+        Error(ErrorCode::kIo, std::string("epoll_create1: ") + ::strerror(errno));
+    return;
+  }
+  event_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (event_fd_ < 0) {
+    init_status_ =
+        Error(ErrorCode::kIo, std::string("eventfd: ") + ::strerror(errno));
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return;
+  }
+  struct epoll_event ev;
+  ::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;  // level-triggered on purpose: never lose a kick
+  ev.data.fd = event_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) < 0) {
+    init_status_ =
+        Error(ErrorCode::kIo, std::string("epoll_ctl(eventfd): ") + ::strerror(errno));
+    ::close(event_fd_);
+    ::close(epoll_fd_);
+    event_fd_ = epoll_fd_ = -1;
+    return;
+  }
+  wheel_origin_nanos_ = SteadyNanos();
+}
+
+Reactor::~Reactor() {
+  if (event_fd_ >= 0) ::close(event_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status Reactor::Register(int fd, std::uint32_t interest, EventFn callback) {
+  if (!ok()) return init_status_;
+  struct epoll_event ev;
+  ::memset(&ev, 0, sizeof(ev));
+  ev.events = interest | EPOLLET;
+  ev.data.fd = fd;
+  const bool known = callbacks_.count(fd) > 0;
+  const int op = known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (::epoll_ctl(epoll_fd_, op, fd, &ev) < 0) {
+    return Error(ErrorCode::kIo,
+                 std::string("epoll_ctl(add): ") + ::strerror(errno));
+  }
+  callbacks_[fd] = std::move(callback);
+  return Status::Ok();
+}
+
+Status Reactor::Deregister(int fd) {
+  if (!ok()) return init_status_;
+  if (callbacks_.erase(fd) == 0) {
+    return Error(ErrorCode::kNotFound, "fd not registered");
+  }
+  // The fd may already be closed (kernel auto-removed it) — that is fine.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  return Status::Ok();
+}
+
+TimerWheel::TimerId Reactor::ScheduleTimer(std::uint64_t delay_nanos,
+                                           std::function<void()> callback) {
+  return wheel_.Schedule(delay_nanos, std::move(callback));
+}
+
+bool Reactor::CancelTimer(TimerWheel::TimerId id) { return wheel_.Cancel(id); }
+
+void Reactor::Kick() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+}
+
+void Reactor::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  Kick();
+}
+
+void Reactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stop_requested_ = true;
+  }
+  Kick();
+}
+
+std::size_t Reactor::PollOnce(int max_wait_ms) {
+  if (!ok()) return 0;
+  // The epoll timeout is bounded by the wheel's next possible deadline so
+  // timers fire within one tick of schedule even when no fd goes ready.
+  int timeout_ms = max_wait_ms;
+  if (auto delay = wheel_.NextDeadlineDelayNanos(); delay.has_value()) {
+    const std::uint64_t ms = (*delay + 999'999) / 1'000'000;
+    const int wheel_ms = static_cast<int>(std::min<std::uint64_t>(ms, 60'000));
+    timeout_ms = timeout_ms < 0 ? wheel_ms : std::min(timeout_ms, wheel_ms);
+  }
+  struct epoll_event events[kMaxEventsPerWait];
+  int n = ::epoll_wait(epoll_fd_, events, kMaxEventsPerWait, timeout_ms);
+  if (n < 0) n = 0;  // EINTR: fall through to timers + posts
+  ReactorWakeups().Add();
+  std::size_t dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == event_fd_) {
+      std::uint64_t drain = 0;
+      [[maybe_unused]] ssize_t r = ::read(event_fd_, &drain, sizeof(drain));
+      continue;
+    }
+    // Look up at dispatch time: an earlier callback in this batch may
+    // have deregistered this fd — then the event is stale, skip it.
+    auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    // Copy the handler so the callback may safely Deregister itself
+    // (erasing the map entry) while running.
+    EventFn handler = it->second;
+    handler(events[i].events);
+    ++dispatched;
+  }
+  ReactorReadyEvents().Observe(static_cast<double>(dispatched));
+  const std::size_t fired = wheel_.Advance(SteadyNanos() - wheel_origin_nanos_);
+  if (fired > 0) ReactorTimersFired().Add(fired);
+  // Posted tasks run last so they observe the effects of this iteration.
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+  return dispatched;
+}
+
+void Reactor::Run() {
+  while (true) {
+    bool stop = false;
+    std::vector<std::function<void()>> tasks;
+    {
+      std::lock_guard<std::mutex> lock(post_mutex_);
+      if (stop_requested_) {
+        stop_requested_ = false;
+        stop = true;
+        // A graceful stop still honors work posted before it: drain the
+        // queue so Post-then-Stop from another thread never drops tasks.
+        tasks.swap(posted_);
+      }
+    }
+    if (stop) {
+      for (auto& task : tasks) task();
+      return;
+    }
+    PollOnce(-1);
+  }
+}
+
+}  // namespace sww::net

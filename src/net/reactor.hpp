@@ -1,0 +1,93 @@
+// reactor.hpp — edge-triggered epoll event loop with a timer wheel.
+//
+// One Reactor is one thread's event loop: it owns an epoll instance, an
+// eventfd for cross-thread wakeup, and a hierarchical TimerWheel.  Fds
+// are registered edge-triggered (EPOLLET is forced onto every interest
+// mask), so the kernel reports each readiness *transition* exactly once
+// and callbacks must drain until EAGAIN — the discipline the rest of
+// net:: (TcpTransport::Read, WriteQueue) is built around.
+//
+// Threading contract: Register/Deregister/ScheduleTimer/CancelTimer/
+// PollOnce are loop-thread-only.  Post() and Stop() are thread-safe —
+// they enqueue through a mutex and kick the eventfd, and the posted work
+// runs on the loop thread.  This is the "one reactor per core, no
+// cross-core handoff" shape: anything another thread wants done to a
+// connection is Posted to the shard that owns it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/timer_wheel.hpp"
+#include "util/error.hpp"
+
+namespace sww::net {
+
+class Reactor {
+ public:
+  /// Callback invoked with the ready epoll event mask (EPOLLIN | EPOLLOUT
+  /// | EPOLLRDHUP | EPOLLERR | EPOLLHUP bits).  May Register/Deregister
+  /// any fd, including its own.
+  using EventFn = std::function<void(std::uint32_t events)>;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// False when epoll/eventfd creation failed at construction; every
+  /// subsequent call surfaces the stored error.
+  bool ok() const { return init_status_.ok(); }
+  const util::Status& init_status() const { return init_status_; }
+
+  /// Watch `fd` for `interest` (EPOLLIN/EPOLLOUT/EPOLLRDHUP...).  EPOLLET
+  /// is always added.  The fd is not owned; Deregister before closing it.
+  util::Status Register(int fd, std::uint32_t interest, EventFn callback);
+  util::Status Deregister(int fd);
+
+  /// Arm a timer on the reactor's wheel (fires on the loop thread from
+  /// inside PollOnce).  Loop-thread-only, like Register.
+  TimerWheel::TimerId ScheduleTimer(std::uint64_t delay_nanos,
+                                    std::function<void()> callback);
+  bool CancelTimer(TimerWheel::TimerId id);
+
+  /// One loop iteration: wait for readiness (bounded by `max_wait_ms` and
+  /// the wheel's next deadline), dispatch event callbacks, advance the
+  /// wheel, run posted tasks.  Returns the number of fd events
+  /// dispatched (timers and posts excluded).
+  std::size_t PollOnce(int max_wait_ms = -1);
+
+  /// PollOnce until Stop().  Clears the stop flag on exit so the loop can
+  /// be restarted.
+  void Run();
+  /// Thread-safe: ask a running Run() to return after its current
+  /// iteration.
+  void Stop();
+
+  /// Thread-safe: run `fn` on the loop thread during its next iteration.
+  void Post(std::function<void()> fn);
+
+  std::size_t registered_count() const { return callbacks_.size(); }
+  TimerWheel& wheel() { return wheel_; }
+
+ private:
+  void Kick();  // signal the eventfd
+
+  util::Status init_status_;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  TimerWheel wheel_;
+  std::uint64_t wheel_origin_nanos_ = 0;  // steady-clock epoch of wheel t=0
+
+  std::unordered_map<int, EventFn> callbacks_;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+  bool stop_requested_ = false;  // guarded by post_mutex_
+};
+
+}  // namespace sww::net

@@ -1,8 +1,9 @@
 // tcp.hpp — loopback TCP transport (POSIX sockets).
 //
-// Used by the examples and integration tests to run the generative server
-// and client as genuinely separate endpoints over the kernel's TCP stack.
-// Non-blocking sockets; Read drains whatever the kernel has buffered.
+// Used by the examples, integration tests, and the epoll reactor to run
+// the generative server and client as genuinely separate endpoints over
+// the kernel's TCP stack.  Sockets are always non-blocking; Read drains
+// whatever the kernel has buffered, Write honors a caller-set deadline.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +14,23 @@
 #include "util/error.hpp"
 
 namespace sww::net {
+
+/// Per-socket tuning applied to every connected stream socket — accepted
+/// or dialed — in exactly one place (ApplySocketTuning), so a knob added
+/// here reaches both directions of the loopback automatically.
+struct SocketTuning {
+  /// Disable Nagle.  The HTTP/2 layer already batches frames into one
+  /// arena flush, so coalescing in the kernel only adds latency.
+  bool tcp_nodelay = true;
+  /// SO_RCVBUF / SO_SNDBUF hints; 0 leaves the kernel default.  Hints,
+  /// not guarantees: Linux doubles the requested value for bookkeeping
+  /// and clamps to /proc/sys/net/core limits.
+  int recv_buffer_bytes = 0;
+  int send_buffer_bytes = 0;
+};
+
+/// Apply `tuning` to a connected (or about-to-connect) stream socket.
+util::Status ApplySocketTuning(int fd, const SocketTuning& tuning);
 
 class TcpTransport final : public Transport {
  public:
@@ -28,8 +46,17 @@ class TcpTransport final : public Transport {
   void Close() override;
   bool closed() const override { return fd_ < 0; }
 
+  int fd() const { return fd_; }
+
+  /// Deadline for Write to drain its buffer when the socket stays
+  /// unwritable (stalled reader).  Exceeding it surfaces ETIMEDOUT as a
+  /// util::Status error instead of blocking forever.  -1 waits forever.
+  void set_write_timeout_ms(int ms) { write_timeout_ms_ = ms; }
+  int write_timeout_ms() const { return write_timeout_ms_; }
+
  private:
   int fd_;
+  int write_timeout_ms_ = 5000;
 };
 
 /// Listening socket bound to 127.0.0.1.  Port 0 picks a free port.
@@ -42,6 +69,15 @@ class TcpListener {
     /// SO_REUSEADDR before bind, so restarting a soak on a fixed port
     /// does not fight TIME_WAIT.
     bool reuse_addr = true;
+    /// SO_REUSEPORT before bind: several listeners share one port and
+    /// the kernel load-balances incoming connections across them — the
+    /// sharded-accept primitive the reactor server is built on.
+    bool reuse_port = false;
+    /// Make the listening fd itself non-blocking (reactor accept loops
+    /// drain until EAGAIN instead of parking in poll()).
+    bool non_blocking = false;
+    /// Tuning stamped onto every socket this listener accepts.
+    SocketTuning tuning;
   };
 
   ~TcpListener();
@@ -53,17 +89,30 @@ class TcpListener {
       std::uint16_t port, const Options& options);
 
   std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+  const Options& options() const { return options_; }
 
   /// Accept one connection, blocking up to `timeout_ms` (-1 = forever).
   util::Result<std::unique_ptr<Transport>> Accept(int timeout_ms = -1);
 
+  /// Non-blocking accept for reactor loops: returns a connected,
+  /// non-blocking, tuned fd; -1 when no connection is pending (EAGAIN —
+  /// not an error, just an empty queue); Error on real failures.
+  util::Result<int> AcceptFd();
+
  private:
-  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  TcpListener(int fd, std::uint16_t port, Options options)
+      : fd_(fd), port_(port), options_(std::move(options)) {}
   int fd_;
   std::uint16_t port_;
+  Options options_;
 };
 
-/// Connect to 127.0.0.1:port.
-util::Result<std::unique_ptr<Transport>> TcpConnect(std::uint16_t port);
+/// Connect to 127.0.0.1:port with a deadline.  The connect is issued
+/// non-blocking and awaited up to `timeout_ms`; refusal and timeout come
+/// back as errors (ECONNREFUSED / ETIMEDOUT in the message) instead of
+/// blocking the caller in the kernel.
+util::Result<std::unique_ptr<Transport>> TcpConnect(std::uint16_t port,
+                                                    int timeout_ms = 5000);
 
 }  // namespace sww::net

@@ -1,0 +1,189 @@
+#include "net/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace sww::net {
+
+namespace {
+constexpr std::size_t kWheelSlots =
+    static_cast<std::size_t>(TimerWheel::kLevels) * TimerWheel::kSlotsPerLevel;
+constexpr std::uint64_t kBitsPerLevel = 8;  // log2(kSlotsPerLevel)
+constexpr std::uint64_t kLevelMask = TimerWheel::kSlotsPerLevel - 1;
+
+// Highest deadline (in ticks-from-now) each level can hold.
+constexpr std::uint64_t LevelSpanTicks(int level) {
+  return 1ULL << (kBitsPerLevel * static_cast<std::uint64_t>(level + 1));
+}
+}  // namespace
+
+TimerWheel::TimerWheel(std::uint64_t tick_nanos)
+    : tick_nanos_(tick_nanos == 0 ? 1 : tick_nanos),
+      slots_(kWheelSlots, -1) {}
+
+std::int32_t TimerWheel::AllocateEntry() {
+  if (!free_list_.empty()) {
+    std::int32_t index = free_list_.back();
+    free_list_.pop_back();
+    return index;
+  }
+  pool_.emplace_back();
+  return static_cast<std::int32_t>(pool_.size() - 1);
+}
+
+void TimerWheel::LinkIntoWheel(std::int32_t index) {
+  Timer& timer = pool_[static_cast<std::size_t>(index)];
+  const std::uint64_t delta =
+      timer.deadline_ticks > current_tick_ ? timer.deadline_ticks - current_tick_
+                                           : 1;
+  int level = 0;
+  while (level < kLevels - 1 && delta >= LevelSpanTicks(level)) ++level;
+  // Slot index within the level comes from that level's digit of the
+  // absolute deadline, so cascades land timers in the right lower slot.
+  const std::uint64_t digit =
+      (timer.deadline_ticks >> (kBitsPerLevel * static_cast<std::uint64_t>(level))) &
+      kLevelMask;
+  const std::size_t slot =
+      static_cast<std::size_t>(level) * kSlotsPerLevel + static_cast<std::size_t>(digit);
+  timer.slot = static_cast<std::int32_t>(slot);
+  timer.prev = -1;
+  timer.next = slots_[slot];
+  if (timer.next >= 0) pool_[static_cast<std::size_t>(timer.next)].prev = index;
+  slots_[slot] = index;
+}
+
+void TimerWheel::Unlink(std::int32_t index) {
+  Timer& timer = pool_[static_cast<std::size_t>(index)];
+  if (timer.slot < 0) return;
+  if (timer.prev >= 0) {
+    pool_[static_cast<std::size_t>(timer.prev)].next = timer.next;
+  } else {
+    slots_[static_cast<std::size_t>(timer.slot)] = timer.next;
+  }
+  if (timer.next >= 0) pool_[static_cast<std::size_t>(timer.next)].prev = timer.prev;
+  timer.prev = timer.next = -1;
+  timer.slot = -1;
+}
+
+void TimerWheel::Release(std::int32_t index) {
+  Timer& timer = pool_[static_cast<std::size_t>(index)];
+  timer.callback = nullptr;
+  timer.id = kInvalidTimer;
+  free_list_.push_back(index);
+}
+
+std::int32_t TimerWheel::DetachSlot(std::size_t slot) {
+  std::int32_t head = slots_[slot];
+  slots_[slot] = -1;
+  for (std::int32_t it = head; it >= 0;
+       it = pool_[static_cast<std::size_t>(it)].next) {
+    pool_[static_cast<std::size_t>(it)].slot = -1;
+  }
+  return head;
+}
+
+TimerWheel::TimerId TimerWheel::Schedule(std::uint64_t delay_nanos,
+                                         std::function<void()> callback) {
+  const std::int32_t index = AllocateEntry();
+  Timer& timer = pool_[static_cast<std::size_t>(index)];
+  // Round the deadline up so a timer never fires early, and push zero
+  // delays one tick out: "due now" still waits for the next Advance.
+  std::uint64_t delay_ticks = (delay_nanos + tick_nanos_ - 1) / tick_nanos_;
+  if (delay_ticks == 0) delay_ticks = 1;
+  timer.deadline_ticks = current_tick_ + delay_ticks;
+  timer.id = next_id_++;
+  timer.callback = std::move(callback);
+  LinkIntoWheel(index);
+  live_.emplace_back(timer.id, index);
+  ++armed_;
+  return timer.id;
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  if (id == kInvalidTimer) return false;
+  auto it = std::find_if(live_.begin(), live_.end(),
+                         [id](const auto& entry) { return entry.first == id; });
+  if (it == live_.end()) return false;
+  const std::int32_t index = it->second;
+  live_.erase(it);
+  Unlink(index);
+  Release(index);
+  --armed_;
+  return true;
+}
+
+std::size_t TimerWheel::Advance(std::uint64_t now_nanos) {
+  const std::uint64_t target_tick = now_nanos / tick_nanos_;
+  if (target_tick <= current_tick_) return 0;
+  std::size_t fired = 0;
+  while (current_tick_ < target_tick) {
+    // With nothing armed there is no slot work — jump straight to now.
+    if (armed_ == 0) {
+      current_tick_ = target_tick;
+      break;
+    }
+    ++current_tick_;
+    const std::size_t level0_slot =
+        static_cast<std::size_t>(current_tick_ & kLevelMask);
+    // On wrap of a level's digit, cascade the next level's current slot
+    // down: its timers re-link one level lower (or fire next loop).
+    for (int level = 1; level < kLevels; ++level) {
+      const std::uint64_t digit_below =
+          (current_tick_ >> (kBitsPerLevel * static_cast<std::uint64_t>(level - 1))) &
+          kLevelMask;
+      if (digit_below != 0) break;
+      const std::uint64_t digit =
+          (current_tick_ >> (kBitsPerLevel * static_cast<std::uint64_t>(level))) &
+          kLevelMask;
+      const std::size_t slot =
+          static_cast<std::size_t>(level) * kSlotsPerLevel +
+          static_cast<std::size_t>(digit);
+      std::int32_t chain = DetachSlot(slot);
+      while (chain >= 0) {
+        const std::int32_t next = pool_[static_cast<std::size_t>(chain)].next;
+        pool_[static_cast<std::size_t>(chain)].prev = -1;
+        pool_[static_cast<std::size_t>(chain)].next = -1;
+        LinkIntoWheel(chain);
+        chain = next;
+      }
+    }
+    std::int32_t due = DetachSlot(level0_slot);
+    while (due >= 0) {
+      const std::int32_t next = pool_[static_cast<std::size_t>(due)].next;
+      Timer& timer = pool_[static_cast<std::size_t>(due)];
+      timer.prev = timer.next = -1;
+      const TimerId id = timer.id;
+      std::function<void()> callback = std::move(timer.callback);
+      auto it = std::find_if(
+          live_.begin(), live_.end(),
+          [id](const auto& entry) { return entry.first == id; });
+      if (it != live_.end()) live_.erase(it);
+      Release(due);
+      --armed_;
+      ++fired;
+      if (callback) callback();  // may Schedule/Cancel; pool indices stay valid
+      due = next;
+    }
+  }
+  return fired;
+}
+
+std::optional<std::uint64_t> TimerWheel::NextDeadlineDelayNanos() const {
+  if (armed_ == 0) return std::nullopt;
+  // Level 0 holds exact deadlines: scan forward from the current digit.
+  const std::uint64_t level0_digit = current_tick_ & kLevelMask;
+  for (std::uint64_t step = 1; step <= kSlotsPerLevel; ++step) {
+    const std::size_t slot =
+        static_cast<std::size_t>((level0_digit + step) & kLevelMask);
+    if (slots_[slot] >= 0) return step * tick_nanos_;
+    // Past the wrap point, level-1 cascades could land earlier timers
+    // into level 0; the wrap boundary is the conservative bound.
+    if (((level0_digit + step) & kLevelMask) == 0 && armed_ > 0) {
+      return step * tick_nanos_;
+    }
+  }
+  // Level 0 empty: the next cascade boundary is a safe lower bound.
+  const std::uint64_t to_boundary = kSlotsPerLevel - level0_digit;
+  return to_boundary * tick_nanos_;
+}
+
+}  // namespace sww::net

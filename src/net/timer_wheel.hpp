@@ -1,0 +1,98 @@
+// timer_wheel.hpp — hierarchical timer wheel for the epoll reactor.
+//
+// The reactor needs thousands of coarse connection timers (idle timeout,
+// SETTINGS ack deadline, GOAWAY drain) whose common fate is cancellation:
+// almost every armed timer is disarmed by normal traffic before it fires.
+// A heap pays O(log n) per arm/disarm and keeps dead entries around; the
+// classic hierarchical wheel (Varghese & Lauck) makes both O(1) — a timer
+// lives in exactly one slot, scheduling is two shifts and a mask, and
+// cancellation unlinks it from an intrusive doubly-linked list.
+//
+// Four levels of 256 slots over a caller-chosen tick (default 1 ms) cover
+// ~1 ms .. ~50 days.  Time is explicit: the owner calls Advance(now) and
+// due callbacks fire inline, so the wheel itself is deterministic and unit
+// tests drive it with synthetic clocks — no sleeping, no flakiness.
+// Single-threaded by design: each reactor shard owns one wheel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace sww::net {
+
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  static constexpr int kLevels = 4;
+  static constexpr std::size_t kSlotsPerLevel = 256;  // 8 bits per level
+
+  /// `tick_nanos` is the finest granularity (and the firing slop bound).
+  explicit TimerWheel(std::uint64_t tick_nanos = 1'000'000);
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arm a timer `delay_nanos` from the wheel's current time.  The
+  /// callback fires inside a future Advance() once the deadline passes.
+  /// Returns an id for Cancel; ids are never reused.
+  TimerId Schedule(std::uint64_t delay_nanos, std::function<void()> callback);
+
+  /// Disarm.  Returns false when the id already fired or was cancelled.
+  bool Cancel(TimerId id);
+
+  /// Move time forward to `now_nanos` (monotonic; moving backwards is a
+  /// no-op) and fire everything that came due.  Returns the number of
+  /// callbacks fired.  Callbacks may Schedule/Cancel freely; a timer
+  /// scheduled during Advance with zero delay fires on the *next* tick,
+  /// never recursively within the same call.
+  std::size_t Advance(std::uint64_t now_nanos);
+
+  /// Nanoseconds from the wheel's current time until the next timer can
+  /// possibly fire — the reactor's poll timeout.  Returns nullopt when
+  /// nothing is armed.  The bound is conservative (never later than the
+  /// true deadline): when the soonest work is a higher-level cascade, the
+  /// cascade boundary is returned and the caller simply advances again.
+  std::optional<std::uint64_t> NextDeadlineDelayNanos() const;
+
+  std::size_t armed_count() const { return armed_; }
+  std::uint64_t tick_nanos() const { return tick_nanos_; }
+  std::uint64_t now_nanos() const { return current_tick_ * tick_nanos_; }
+
+ private:
+  struct Timer {
+    std::uint64_t deadline_ticks = 0;
+    TimerId id = kInvalidTimer;      // kInvalidTimer marks a free pool entry
+    std::function<void()> callback;
+    // Intrusive doubly-linked slot list (indices into pool_, -1 = none).
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
+    std::int32_t slot = -1;          // kLevels*kSlotsPerLevel-encoded, -1 = unlinked
+  };
+
+  std::int32_t AllocateEntry();
+  void LinkIntoWheel(std::int32_t index);
+  void Unlink(std::int32_t index);
+  void Release(std::int32_t index);
+  /// Pop every timer in `slot` into a detached chain (returned head).
+  std::int32_t DetachSlot(std::size_t slot);
+
+  std::uint64_t tick_nanos_;
+  std::uint64_t current_tick_ = 0;
+  TimerId next_id_ = 1;
+  std::size_t armed_ = 0;
+
+  // Slot heads, level-major: slot l*kSlotsPerLevel + s.
+  std::vector<std::int32_t> slots_;
+  std::vector<Timer> pool_;
+  std::vector<std::int32_t> free_list_;
+  // Live id → pool index (ids are dense and short-lived; a sorted flat
+  // map would also do, but the wheel is not the hot path's hot path).
+  std::vector<std::pair<TimerId, std::int32_t>> live_;
+};
+
+}  // namespace sww::net

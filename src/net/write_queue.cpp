@@ -1,0 +1,161 @@
+#include "net/write_queue.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/uio.h>
+
+#include "obs/registry.hpp"
+
+namespace sww::net {
+
+using util::Error;
+using util::ErrorCode;
+using util::Status;
+
+namespace {
+
+obs::Counter& WritevCalls() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.reactor.writev_calls");
+  return counter;
+}
+obs::Counter& WritevBytes() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.reactor.writev_bytes");
+  return counter;
+}
+obs::Counter& PartialWrites() {
+  static obs::Counter& counter =
+      obs::Registry::Default().GetCounter("net.reactor.partial_writes");
+  return counter;
+}
+obs::Histogram& WritevBatchBytes() {
+  static obs::Histogram& histogram =
+      obs::Registry::Default().GetHistogram("net.reactor.writev_batch_bytes");
+  return histogram;
+}
+/// Aggregate staged backlog across every live WriteQueue (each instance
+/// adds its delta, so the gauge is the fleet-wide number).
+obs::Gauge& BacklogGauge() {
+  static obs::Gauge& gauge =
+      obs::Registry::Default().GetGauge("net.reactor.backlog_bytes");
+  return gauge;
+}
+
+}  // namespace
+
+WriteQueue::WriteQueue() : WriteQueue(Options()) {}
+
+WriteQueue::WriteQueue(Options options) : options_(std::move(options)) {
+  if (options_.low_watermark_bytes >= options_.max_backlog_bytes) {
+    options_.low_watermark_bytes = options_.max_backlog_bytes / 2;
+  }
+}
+
+WriteQueue::~WriteQueue() {
+  if (gauge_contribution_ != 0.0) BacklogGauge().Add(-gauge_contribution_);
+}
+
+void WriteQueue::SetBacklogGauge() {
+  const double now = static_cast<double>(backlog_bytes());
+  if (now != gauge_contribution_) {
+    BacklogGauge().Add(now - gauge_contribution_);
+    gauge_contribution_ = now;
+  }
+}
+
+void WriteQueue::StageBytes(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return;
+  // Compact the consumed prefix away before growing: steady state keeps
+  // one warm buffer instead of creeping toward 2× the high-water mark.
+  if (staged_head_ > 0 && staged_.size() + size > staged_.capacity()) {
+    staged_.erase(staged_.begin(),
+                  staged_.begin() + static_cast<std::ptrdiff_t>(staged_head_));
+    staged_head_ = 0;
+  }
+  if (staged_.size() + size > staged_.capacity()) ++allocations_;
+  staged_.insert(staged_.end(), data, data + size);
+}
+
+Status WriteQueue::Flush(int fd, http2::Connection& connection) {
+  const util::BytesView fresh = connection.OutputView();
+  while (true) {
+    struct iovec iov[2];
+    int iov_count = 0;
+    const std::size_t staged_len = staged_.size() - staged_head_;
+    if (staged_len > 0) {
+      iov[iov_count].iov_base = staged_.data() + staged_head_;
+      iov[iov_count].iov_len = staged_len;
+      ++iov_count;
+    }
+    // Fresh bytes ride in the same syscall but are consumed strictly
+    // after the staged residue, preserving the wire order of frames.
+    const std::size_t fresh_remaining = fresh.size();
+    if (fresh_remaining > 0) {
+      iov[iov_count].iov_base =
+          const_cast<std::uint8_t*>(fresh.data());
+      iov[iov_count].iov_len = fresh_remaining;
+      ++iov_count;
+    }
+    if (iov_count == 0) {
+      blocked_ = false;
+      SetBacklogGauge();
+      return Status::Ok();
+    }
+    long n;
+    if (options_.writev_fn) {
+      n = options_.writev_fn(fd, iov, iov_count);
+    } else {
+      n = ::writev(fd, iov, iov_count);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Stage everything unsent and wait for the EPOLLOUT edge.
+        StageBytes(fresh.data(), fresh.size());
+        connection.ClearOutput();
+        blocked_ = true;
+        SetBacklogGauge();
+        return Status::Ok();
+      }
+      connection.ClearOutput();
+      SetBacklogGauge();
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Error(ErrorCode::kClosed,
+                     std::string("writev: ") + ::strerror(errno));
+      }
+      return Error(ErrorCode::kIo, std::string("writev: ") + ::strerror(errno));
+    }
+    WritevCalls().Add();
+    WritevBytes().Add(static_cast<std::uint64_t>(n));
+    WritevBatchBytes().Observe(static_cast<double>(n));
+    std::size_t written = static_cast<std::size_t>(n);
+    // Consume the staged segment first (it went first in the iovec).
+    const std::size_t from_stage = std::min(written, staged_len);
+    staged_head_ += from_stage;
+    written -= from_stage;
+    if (staged_head_ == staged_.size()) {
+      staged_.clear();  // keeps capacity: the warm buffer
+      staged_head_ = 0;
+    }
+    if (from_stage == staged_len && written >= fresh_remaining) {
+      // Everything out the door.
+      connection.ClearOutput();
+      blocked_ = false;
+      SetBacklogGauge();
+      return Status::Ok();
+    }
+    // Short write: the kernel took what fit, so the send buffer is full —
+    // the unsent fresh tail moves to the stage (arena reusable
+    // immediately) and we wait for the next EPOLLOUT edge like an
+    // explicit EAGAIN.
+    PartialWrites().Add();
+    StageBytes(fresh.data() + written, fresh_remaining - written);
+    connection.ClearOutput();
+    blocked_ = true;
+    SetBacklogGauge();
+    return Status::Ok();
+  }
+}
+
+}  // namespace sww::net

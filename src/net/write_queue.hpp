@@ -1,0 +1,87 @@
+// write_queue.hpp — readiness-driven scatter-gather writer.
+//
+// Bridges the sans-IO http2::Connection output arena to a non-blocking
+// socket.  Each Flush gathers two segments into one writev: the staged
+// remainder of earlier short writes first (ordering!), then the
+// connection's fresh OutputView.  Whatever the kernel declines is staged
+// — the arena is always Cleared after a flush, so the 0-allocation
+// steady state of the PR 5 output path survives: the staging buffer
+// grows to its high-water mark once and is reused forever (allocations()
+// counts every growth, and the bench gates it at 0 in steady state).
+//
+// Backpressure: backlog_bytes() is the staged residue a stalled peer has
+// refused.  Past Options::max_backlog_bytes the owner should stop
+// reading from this connection (stop producing responses) until the
+// backlog drains below the low watermark — the reactor server wires
+// exactly that, bounding per-connection memory under any peer behavior.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "http2/connection.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+struct iovec;
+
+namespace sww::net {
+
+class WriteQueue {
+ public:
+  /// Injectable syscall for tests: same contract as ::writev (returns
+  /// bytes written, or -1 with errno EAGAIN/EPIPE/...).
+  using WritevFn = std::function<long(int fd, const struct iovec* iov, int n)>;
+
+  struct Options {
+    /// Stop-reading threshold for the staged backlog.
+    std::size_t max_backlog_bytes = 1 << 20;
+    /// Resume-reading threshold (must be < max); defaults to half.
+    std::size_t low_watermark_bytes = 1 << 19;
+    /// Test seam; nullptr uses ::writev.
+    WritevFn writev_fn;
+  };
+
+  WriteQueue();  // default Options
+  explicit WriteQueue(Options options);
+
+  WriteQueue(const WriteQueue&) = delete;
+  WriteQueue& operator=(const WriteQueue&) = delete;
+  ~WriteQueue();
+
+  /// Write staged residue + connection output to `fd`.  Always leaves the
+  /// connection's arena cleared (unsent bytes move to the stage).  On
+  /// EAGAIN sets blocked() and returns OK — the owner waits for EPOLLOUT.
+  /// EPIPE/ECONNRESET surface as kClosed, other failures as kIo.
+  util::Status Flush(int fd, http2::Connection& connection);
+
+  /// True after an EAGAIN: the socket buffer is full, wait for the next
+  /// EPOLLOUT edge before flushing again (Flush clears it on progress).
+  bool blocked() const { return blocked_; }
+
+  /// Unsent bytes held in the stage (excludes anything still in the
+  /// connection arena).
+  std::size_t backlog_bytes() const { return staged_.size() - staged_head_; }
+  bool over_limit() const { return backlog_bytes() >= options_.max_backlog_bytes; }
+  bool below_low_watermark() const {
+    return backlog_bytes() <= options_.low_watermark_bytes;
+  }
+  bool empty() const { return backlog_bytes() == 0; }
+
+  /// Times the staging buffer had to grow.  Steady state: 0.
+  std::uint64_t allocations() const { return allocations_; }
+
+ private:
+  void StageBytes(const std::uint8_t* data, std::size_t size);
+  void SetBacklogGauge();
+
+  Options options_;
+  util::Bytes staged_;
+  std::size_t staged_head_ = 0;  // consumed prefix; reset when drained
+  bool blocked_ = false;
+  std::uint64_t allocations_ = 0;
+  double gauge_contribution_ = 0.0;  // what we last added to the global gauge
+};
+
+}  // namespace sww::net

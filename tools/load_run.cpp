@@ -1,12 +1,18 @@
 #include "tools/load_run.hpp"
 
+#include <sys/resource.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <memory>
 #include <string_view>
+
+#include "core/session.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
 
 #include "load/report.hpp"
 #include "load/spec.hpp"
@@ -42,7 +48,77 @@ Status EnsureDirectory(const std::string& path) {
   return Status::Ok();
 }
 
+/// Raise the fd soft limit so a large --hold herd fits client-side.
+void RaiseFdLimit(rlim_t want) {
+  struct rlimit limit;
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur >= want) return;
+  limit.rlim_cur = std::min(want, limit.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &limit);
+}
+
 }  // namespace
+
+Result<LiveLoadResult> RunLiveLoad(const LoadOptions& options) {
+  if (options.live_port <= 0 || options.live_port > 65535) {
+    return util::Error(util::ErrorCode::kInvalidArgument,
+                       "--live-port must be a TCP port");
+  }
+  const auto port = static_cast<std::uint16_t>(options.live_port);
+  RaiseFdLimit(static_cast<rlim_t>(options.hold) + 512);
+
+  LiveLoadResult result;
+
+  // Idle herd: raw TCP connections that never speak HTTP/2 — they only
+  // occupy the server's epoll interest set while the burst runs.
+  std::vector<std::unique_ptr<net::Transport>> herd;
+  herd.reserve(static_cast<std::size_t>(std::max(options.hold, 0)));
+  for (int i = 0; i < options.hold; ++i) {
+    auto transport = net::TcpConnect(port);
+    if (!transport.ok()) return transport.error();
+    herd.push_back(std::move(transport).value());
+    ++result.held;
+  }
+
+  // Burst: one persistent session, sequential fetches through the live
+  // scatter-gather write path.
+  if (options.burst > 0) {
+    auto session = core::LoopbackSession::Connect(port);
+    if (!session.ok()) return session.error();
+    for (int i = 0; i < options.burst; ++i) {
+      auto fetch = session.value()->FetchPage("/");
+      if (!fetch.ok()) continue;
+      ++result.burst_ok;
+      if (result.serve_mode.empty()) result.serve_mode = fetch.value().mode;
+    }
+    session.value()->Close();
+  }
+  herd.clear();
+
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "live reactor load\n"
+                "=================\n"
+                "held connections : %d / %d\n"
+                "burst requests   : %d / %d ok\n"
+                "serve mode       : %s\n",
+                result.held, options.hold, result.burst_ok, options.burst,
+                result.serve_mode.empty() ? "(none)"
+                                          : result.serve_mode.c_str());
+  result.report = buffer;
+
+  if (!options.out_dir.empty()) {
+    if (Status status = EnsureDirectory(options.out_dir); !status.ok()) {
+      return status.error();
+    }
+    if (Status status = obs::WriteTextFile(options.out_dir + "/live.report.txt",
+                                           result.report);
+        !status.ok()) {
+      return status.error();
+    }
+  }
+  return result;
+}
 
 Result<LoadResult> RunLoad(const LoadOptions& options) {
   std::vector<load::ScenarioSpec> specs;
@@ -140,6 +216,18 @@ int RunLoadMain(int argc, char** argv) {
       const char* value = next_value("--threads");
       if (value == nullptr) return 2;
       options.threads = std::atoi(value);
+    } else if (arg == "--live-port") {
+      const char* value = next_value("--live-port");
+      if (value == nullptr) return 2;
+      options.live_port = std::atoi(value);
+    } else if (arg == "--hold") {
+      const char* value = next_value("--hold");
+      if (value == nullptr) return 2;
+      options.hold = std::atoi(value);
+    } else if (arg == "--burst") {
+      const char* value = next_value("--burst");
+      if (value == nullptr) return 2;
+      options.burst = std::atoi(value);
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--print-spec") {
@@ -150,7 +238,8 @@ int RunLoadMain(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: sww_load [--scenario NAME]... [--spec FILE]\n"
                    "                [--out-dir DIR] [--threads N]\n"
-                   "                [--list] [--print-spec NAME]\n");
+                   "                [--list] [--print-spec NAME]\n"
+                   "                [--live-port P --hold N --burst M]\n");
       return 2;
     }
   }
@@ -170,6 +259,16 @@ int RunLoadMain(int argc, char** argv) {
     }
     std::printf("%s\n",
                 load::ScenarioSpecToJson(spec.value()).DumpPretty().c_str());
+    return 0;
+  }
+
+  if (options.live_port != 0) {
+    auto live = RunLiveLoad(options);
+    if (!live.ok()) {
+      std::fprintf(stderr, "sww_load: %s\n", live.error().ToString().c_str());
+      return 1;
+    }
+    std::fputs(live.value().report.c_str(), stdout);
     return 0;
   }
 

@@ -3,6 +3,7 @@
 //
 //   sww_load [--scenario NAME]... [--spec FILE.json] [--out-dir DIR]
 //            [--threads N] [--list] [--print-spec NAME]
+//   sww_load --live-port P [--hold N] [--burst M] [--out-dir DIR]
 //
 // Scenarios come from the builtin set (load::BuiltinScenarios) by name
 // and/or from a JSON spec file (one object or an array; the grammar is
@@ -30,7 +31,25 @@ struct LoadOptions {
   std::string spec_file;                    ///< JSON spec file (optional)
   std::string out_dir;                      ///< empty: no artifacts
   int threads = 0;                          ///< 0: shared pool
+  // Live mode (--live-port): instead of the virtual-clock engine, dial a
+  // running reactor server over real sockets — hold `hold` idle TCP
+  // connections, then push `burst` page fetches through one persistent
+  // HTTP/2 session.  Produces live.report.txt (counts only, so the
+  // artifact is deterministic and CI can diff it against a golden).
+  int live_port = 0;                        ///< 0: modeled engine mode
+  int hold = 0;                             ///< idle connections to hold
+  int burst = 0;                            ///< page fetches to push
 };
+
+struct LiveLoadResult {
+  int held = 0;             ///< connections successfully dialed and held
+  int burst_ok = 0;         ///< successful page fetches
+  std::string serve_mode;   ///< x-sww-mode of the first fetch
+  std::string report;       ///< live.report.txt contents
+};
+
+/// Live mode: exercise a running reactor server through real sockets.
+util::Result<LiveLoadResult> RunLiveLoad(const LoadOptions& options);
 
 struct LoadResult {
   std::vector<load::ScenarioResult> scenarios;

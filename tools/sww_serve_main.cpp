@@ -1,24 +1,29 @@
-// sww_serve — a minimal self-hosted GenerativeServer over loopback TCP,
-// mainly so CI (and humans) can point sww_top or curl-alikes at a live
-// /metrics endpoint.  Serves the goldfish page at "/" plus the telemetry
-// routes; accepts one connection at a time and exits after
-// --max-connections connections (0 = run until killed).
+// sww_serve — a self-hosted GenerativeServer over loopback TCP, mainly
+// so CI (and humans) can point sww_top, sww_load --live, or curl-alikes
+// at a live /metrics endpoint.  Serves the goldfish page at "/" plus the
+// telemetry routes.
+//
+// Runs on the epoll reactor: --shards SO_REUSEPORT accept shards, each
+// an event loop holding thousands of concurrent connections.  Exits
+// after --max-connections connections have *closed* (0 = run until
+// killed), preserving the old one-at-a-time semantics for CI scrapes.
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string_view>
-#include <thread>
 
 #include "core/page_builder.hpp"
-#include "core/session.hpp"
-#include "net/pump.hpp"
-#include "net/tcp.hpp"
+#include "core/reactor_host.hpp"
 
 int main(int argc, char** argv) {
   using namespace sww;
 
   std::uint16_t port = 0;
   int max_connections = 0;
+  int shards = 1;
+  std::uint64_t idle_timeout_ms = 60'000;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -36,11 +41,22 @@ int main(int argc, char** argv) {
       const char* value = next("--max-connections");
       if (value == nullptr) return 2;
       max_connections = std::atoi(value);
+    } else if (arg == "--shards") {
+      const char* value = next("--shards");
+      if (value == nullptr) return 2;
+      shards = std::atoi(value);
+    } else if (arg == "--idle-timeout-ms") {
+      const char* value = next("--idle-timeout-ms");
+      if (value == nullptr) return 2;
+      idle_timeout_ms = static_cast<std::uint64_t>(std::atoll(value));
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--port N] [--max-connections N]\n"
-                   "  --port 0 picks a free port (printed on stdout)\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--port N] [--max-connections N] [--shards N]\n"
+          "          [--idle-timeout-ms N]\n"
+          "  --port 0 picks a free port (printed on stdout)\n"
+          "  --shards N runs N SO_REUSEPORT accept shards (default 1)\n",
+          argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
@@ -52,43 +68,43 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto listener = net::TcpListener::Bind(port);
-  if (!listener.ok()) {
-    std::fprintf(stderr, "bind: %s\n", listener.error().ToString().c_str());
+  std::mutex mutex;
+  std::condition_variable all_closed;
+  int closed = 0;
+
+  core::ReactorHost::Options options;
+  options.server.port = port;
+  options.server.shards = shards;
+  options.server.idle_timeout_ms = idle_timeout_ms;
+  options.on_connection_close = [&](const core::GenerativeServer& server) {
+    int index;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      index = ++closed;
+    }
+    std::printf("connection %d closed (%llu requests served)\n", index,
+                static_cast<unsigned long long>(server.stats().requests));
+    std::fflush(stdout);
+    all_closed.notify_all();
+  };
+
+  auto host = core::ReactorHost::Start(&store, std::move(options));
+  if (!host.ok()) {
+    std::fprintf(stderr, "start: %s\n", host.error().ToString().c_str());
     return 1;
   }
-  std::printf("listening 127.0.0.1:%u\n", listener.value()->port());
+  std::printf("listening 127.0.0.1:%u\n", host.value()->port());
   std::fflush(stdout);
 
-  int served = 0;
-  while (max_connections == 0 || served < max_connections) {
-    auto transport = listener.value()->Accept(30000);
-    if (!transport.ok()) {
-      std::fprintf(stderr, "accept: %s\n",
-                   transport.error().ToString().c_str());
-      return 1;
-    }
-    auto server = core::GenerativeServer::Create(&store, {});
-    if (!server.ok()) {
-      std::fprintf(stderr, "server: %s\n", server.error().ToString().c_str());
-      return 1;
-    }
-    server.value()->StartHandshake();
-    for (int round = 0; round < 1000000; ++round) {
-      auto pumped =
-          net::PumpOnce(server.value()->connection(), *transport.value());
-      if (!pumped.ok() || pumped.value().peer_closed) break;
-      if (auto status = server.value()->ProcessEvents(); !status.ok()) break;
-      if (!pumped.value().made_progress) {
-        std::this_thread::sleep_for(std::chrono::microseconds(200));
-      }
-    }
-    transport.value()->Close();
-    ++served;
-    std::printf("connection %d closed (%llu requests served)\n", served,
-                static_cast<unsigned long long>(
-                    server.value()->stats().requests));
-    std::fflush(stdout);
+  if (max_connections == 0) {
+    // Run until killed.
+    std::unique_lock<std::mutex> lock(mutex);
+    all_closed.wait(lock, [] { return false; });
   }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    all_closed.wait(lock, [&] { return closed >= max_connections; });
+  }
+  host.value()->Shutdown();
   return 0;
 }

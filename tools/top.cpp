@@ -6,10 +6,8 @@
 #include <cstdlib>
 #include <thread>
 
-#include "core/client.hpp"
+#include "core/session.hpp"
 #include "json/json.hpp"
-#include "net/pump.hpp"
-#include "net/tcp.hpp"
 #include "obs/expose.hpp"
 #include "obs/export.hpp"
 
@@ -564,22 +562,10 @@ std::string RenderTopTable(const std::vector<MetricsSample>& samples,
 }
 
 Result<std::string> FetchBodyOnce(std::uint16_t port, const std::string& path) {
-  auto transport = net::TcpConnect(port);
-  if (!transport.ok()) return transport.error();
-  auto client = core::GenerativeClient::Create({});
-  if (!client.ok()) return client.error();
-  client.value()->StartHandshake();
-  auto pump = [&]() -> util::Status {
-    auto pumped =
-        net::PumpOnce(client.value()->connection(), *transport.value());
-    if (!pumped.ok()) return pumped.error();
-    if (!pumped.value().made_progress) {
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    }
-    return util::Status::Ok();
-  };
-  auto response = client.value()->FetchRaw(path, pump);
-  transport.value()->Close();
+  auto session = core::LoopbackSession::Connect(port);
+  if (!session.ok()) return session.error();
+  auto response = session.value()->FetchRaw(path);
+  session.value()->Close();
   if (!response.ok()) return response.error();
   if (response.value().status != 200) {
     return Error(ErrorCode::kInvalidArgument,
