@@ -64,7 +64,7 @@ Reactor::Reactor() {
   struct epoll_event ev;
   ::memset(&ev, 0, sizeof(ev));
   ev.events = EPOLLIN;  // level-triggered on purpose: never lose a kick
-  ev.data.fd = event_fd_;
+  ev.data.u64 = static_cast<std::uint32_t>(event_fd_);  // gen 0: never stale
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) < 0) {
     init_status_ =
         Error(ErrorCode::kIo, std::string("epoll_ctl(eventfd): ") + ::strerror(errno));
@@ -83,17 +83,24 @@ Reactor::~Reactor() {
 
 Status Reactor::Register(int fd, std::uint32_t interest, EventFn callback) {
   if (!ok()) return init_status_;
+  auto it = callbacks_.find(fd);
+  const bool known = it != callbacks_.end();
+  // A fresh registration gets a new generation so stale events queued for
+  // a previous owner of this fd are dropped at dispatch.  Re-registering
+  // a live fd (interest change) keeps its generation: pending events are
+  // for the same socket and must not be lost.
+  const std::uint32_t gen = known ? it->second.gen : next_gen_++;
   struct epoll_event ev;
   ::memset(&ev, 0, sizeof(ev));
   ev.events = interest | EPOLLET;
-  ev.data.fd = fd;
-  const bool known = callbacks_.count(fd) > 0;
+  ev.data.u64 = (static_cast<std::uint64_t>(gen) << 32) |
+                static_cast<std::uint32_t>(fd);
   const int op = known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
   if (::epoll_ctl(epoll_fd_, op, fd, &ev) < 0) {
     return Error(ErrorCode::kIo,
                  std::string("epoll_ctl(add): ") + ::strerror(errno));
   }
-  callbacks_[fd] = std::move(callback);
+  callbacks_[fd] = Registration{gen, std::move(callback)};
   return Status::Ok();
 }
 
@@ -151,19 +158,22 @@ std::size_t Reactor::PollOnce(int max_wait_ms) {
   ReactorWakeups().Add();
   std::size_t dispatched = 0;
   for (int i = 0; i < n; ++i) {
-    const int fd = events[i].data.fd;
+    const std::uint64_t tag = events[i].data.u64;
+    const int fd = static_cast<int>(tag & 0xffffffffu);
+    const std::uint32_t gen = static_cast<std::uint32_t>(tag >> 32);
     if (fd == event_fd_) {
       std::uint64_t drain = 0;
       [[maybe_unused]] ssize_t r = ::read(event_fd_, &drain, sizeof(drain));
       continue;
     }
     // Look up at dispatch time: an earlier callback in this batch may
-    // have deregistered this fd — then the event is stale, skip it.
+    // have deregistered this fd (stale event, skip) — or deregistered it
+    // AND an accept reused the fd number, which the generation catches.
     auto it = callbacks_.find(fd);
-    if (it == callbacks_.end()) continue;
+    if (it == callbacks_.end() || it->second.gen != gen) continue;
     // Copy the handler so the callback may safely Deregister itself
     // (erasing the map entry) while running.
-    EventFn handler = it->second;
+    EventFn handler = it->second.fn;
     handler(events[i].events);
     ++dispatched;
   }

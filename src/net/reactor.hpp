@@ -83,7 +83,16 @@ class Reactor {
   TimerWheel wheel_;
   std::uint64_t wheel_origin_nanos_ = 0;  // steady-clock epoch of wheel t=0
 
-  std::unordered_map<int, EventFn> callbacks_;
+  // Each registration carries a generation tag, packed next to the fd in
+  // epoll_data.  Within one epoll_wait batch an earlier callback can close
+  // fd N and an accept can reuse it; the stale queued event then carries
+  // the old generation and is dropped instead of hitting the new owner.
+  struct Registration {
+    std::uint32_t gen = 0;
+    EventFn fn;
+  };
+  std::unordered_map<int, Registration> callbacks_;
+  std::uint32_t next_gen_ = 1;
 
   std::mutex post_mutex_;
   std::vector<std::function<void()>> posted_;

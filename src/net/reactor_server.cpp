@@ -56,6 +56,7 @@ obs::Counter& GoawayDrainCloses() {
 }
 
 constexpr std::uint64_t kMillion = 1'000'000;
+constexpr std::uint64_t kAcceptRetryMillis = 50;  // fd-exhaustion re-poll cadence
 
 }  // namespace
 
@@ -68,6 +69,7 @@ struct ReactorServer::Connection {
   std::uint64_t last_activity_nanos = 0;  // wheel time of last inbound byte
   bool paused_reads = false;   // backpressure: backlog over the limit
   bool readable_pending = false;  // an ET read edge arrived while paused
+  bool hup_pending = false;    // peer half-closed while paused: close on resume
 
   explicit Connection(WriteQueue::Options writer_options)
       : writer(std::move(writer_options)) {}
@@ -80,6 +82,7 @@ struct ReactorServer::Shard {
   Reactor reactor;
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
   bool shutting_down = false;
+  bool accept_retry_armed = false;  // one fd-exhaustion retry timer at a time
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> closed{0};
   std::atomic<std::uint64_t> active{0};
@@ -173,7 +176,20 @@ void ReactorServer::HandleAccept(Shard& shard) {
   while (true) {
     if (shard.shutting_down) return;
     auto accepted = shard.listener->AcceptFd();
-    if (!accepted.ok()) return;  // transient accept failure; next edge retries
+    if (!accepted.ok()) {
+      // Descriptor exhaustion leaves the queue full, and an edge-triggered
+      // listener gets no new edge until another SYN arrives — pending
+      // peers would sit unaccepted.  Poll again on a timer instead.
+      if (accepted.error().code == ErrorCode::kResourceExhausted &&
+          !shard.accept_retry_armed) {
+        shard.accept_retry_armed = true;
+        shard.reactor.ScheduleTimer(kAcceptRetryMillis * kMillion, [&shard] {
+          shard.accept_retry_armed = false;
+          if (!shard.shutting_down) HandleAccept(shard);
+        });
+      }
+      return;  // other failures: next edge retries
+    }
     const int fd = accepted.value();
     if (fd < 0) return;  // queue empty
     auto conn = std::make_unique<Connection>(WriteQueue::Options{
@@ -314,12 +330,19 @@ void ReactorServer::HandleConnEvent(Shard& shard, int fd,
         conn.readable_pending = false;
         DrainReadable(shard, conn);
         if (shard.conns.find(fd) == shard.conns.end()) return;
+        // The peer half-closed while we were backpressured: its final
+        // bytes are drained now, and no further read edge will come.
+        if (conn.hup_pending) {
+          CloseConnection(shard, fd);
+          return;
+        }
       }
     }
   }
   if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) {
     if (conn.paused_reads) {
       conn.readable_pending = true;
+      if (events & (EPOLLRDHUP | EPOLLHUP)) conn.hup_pending = true;
     } else {
       DrainReadable(shard, conn);
       if (shard.conns.find(fd) == shard.conns.end()) return;
@@ -358,10 +381,18 @@ void ReactorServer::BeginShutdown(Shard& shard) {
   if (shard.shutting_down) return;
   shard.shutting_down = true;
   (void)shard.reactor.Deregister(shard.listener->fd());
-  for (auto& [fd, conn] : shard.conns) {
-    conn->app->connection().SendGoaway(http2::ErrorCode::kNoError,
-                                       "server shutdown");
-    FlushOutput(shard, *conn);
+  // Snapshot the fds first: a failed flush (peer already reset) closes the
+  // connection, which erases from shard.conns — iterating the map directly
+  // while that happens would invalidate the loop.
+  std::vector<int> fds;
+  fds.reserve(shard.conns.size());
+  for (const auto& [fd, conn] : shard.conns) fds.push_back(fd);
+  for (int fd : fds) {
+    auto it = shard.conns.find(fd);
+    if (it == shard.conns.end()) continue;
+    it->second->app->connection().SendGoaway(http2::ErrorCode::kNoError,
+                                             "server shutdown");
+    FlushOutput(shard, *it->second);
   }
   if (shard.conns.empty()) {
     shard.reactor.Stop();

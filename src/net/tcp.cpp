@@ -241,18 +241,29 @@ Result<std::unique_ptr<Transport>> TcpListener::Accept(int timeout_ms) {
 }
 
 Result<int> TcpListener::AcceptFd() {
-  const int client = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK);
-  if (client < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
-    if (errno == EINTR) return -1;
-    return Error(ErrorCode::kIo, std::string("accept: ") + ::strerror(errno));
+  while (true) {
+    const int client = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (client < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+      // A connection died in the queue (or a signal landed): the queue
+      // behind it may still hold live peers — keep draining.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) continue;
+      // Out of descriptors/buffers: the queue is intact; retrying after
+      // resources free up can succeed, so tell the caller which it is.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        return Error(ErrorCode::kResourceExhausted,
+                     std::string("accept: ") + ::strerror(errno));
+      }
+      return Error(ErrorCode::kIo, std::string("accept: ") + ::strerror(errno));
+    }
+    if (auto status = ApplySocketTuning(client, options_.tuning); !status.ok()) {
+      ::close(client);
+      return status.error();
+    }
+    TcpAccepts().Add();
+    return client;
   }
-  if (auto status = ApplySocketTuning(client, options_.tuning); !status.ok()) {
-    ::close(client);
-    return status.error();
-  }
-  TcpAccepts().Add();
-  return client;
 }
 
 Result<std::unique_ptr<Transport>> TcpConnect(std::uint16_t port,

@@ -14,6 +14,11 @@ constexpr std::uint64_t kLevelMask = TimerWheel::kSlotsPerLevel - 1;
 constexpr std::uint64_t LevelSpanTicks(int level) {
   return 1ULL << (kBitsPerLevel * static_cast<std::uint64_t>(level + 1));
 }
+
+// Sentinel slot for entries in Advance()'s detached due-chain: still
+// reachable through the chain's next pointers, so Cancel() must disarm
+// them in place instead of releasing (double-free otherwise).
+constexpr std::int32_t kFiringSlot = -2;
 }  // namespace
 
 TimerWheel::TimerWheel(std::uint64_t tick_nanos)
@@ -68,15 +73,16 @@ void TimerWheel::Release(std::int32_t index) {
   Timer& timer = pool_[static_cast<std::size_t>(index)];
   timer.callback = nullptr;
   timer.id = kInvalidTimer;
+  timer.slot = -1;
   free_list_.push_back(index);
 }
 
-std::int32_t TimerWheel::DetachSlot(std::size_t slot) {
+std::int32_t TimerWheel::DetachSlot(std::size_t slot, std::int32_t mark) {
   std::int32_t head = slots_[slot];
   slots_[slot] = -1;
   for (std::int32_t it = head; it >= 0;
        it = pool_[static_cast<std::size_t>(it)].next) {
-    pool_[static_cast<std::size_t>(it)].slot = -1;
+    pool_[static_cast<std::size_t>(it)].slot = mark;
   }
   return head;
 }
@@ -105,6 +111,16 @@ bool TimerWheel::Cancel(TimerId id) {
   if (it == live_.end()) return false;
   const std::int32_t index = it->second;
   live_.erase(it);
+  Timer& timer = pool_[static_cast<std::size_t>(index)];
+  if (timer.slot == kFiringSlot) {
+    // Cancelled by a sibling's callback while sitting in the due-chain of
+    // a running Advance(): the chain still reaches this entry via its
+    // next pointer, so only disarm here — Advance returns it to the pool.
+    timer.callback = nullptr;
+    timer.id = kInvalidTimer;
+    --armed_;
+    return true;
+  }
   Unlink(index);
   Release(index);
   --armed_;
@@ -146,11 +162,19 @@ std::size_t TimerWheel::Advance(std::uint64_t now_nanos) {
         chain = next;
       }
     }
-    std::int32_t due = DetachSlot(level0_slot);
+    std::int32_t due = DetachSlot(level0_slot, kFiringSlot);
     while (due >= 0) {
       const std::int32_t next = pool_[static_cast<std::size_t>(due)].next;
       Timer& timer = pool_[static_cast<std::size_t>(due)];
       timer.prev = timer.next = -1;
+      if (timer.id == kInvalidTimer) {
+        // Disarmed by Cancel() while in this firing chain (armed_ already
+        // dropped there): just return the entry to the pool.
+        timer.slot = -1;
+        free_list_.push_back(due);
+        due = next;
+        continue;
+      }
       const TimerId id = timer.id;
       std::function<void()> callback = std::move(timer.callback);
       auto it = std::find_if(

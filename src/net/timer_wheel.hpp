@@ -71,15 +71,18 @@ class TimerWheel {
     // Intrusive doubly-linked slot list (indices into pool_, -1 = none).
     std::int32_t prev = -1;
     std::int32_t next = -1;
-    std::int32_t slot = -1;          // kLevels*kSlotsPerLevel-encoded, -1 = unlinked
+    std::int32_t slot = -1;          // level*kSlotsPerLevel-encoded; -1 = unlinked,
+                                     // -2 = detached due-chain of a running Advance
   };
 
   std::int32_t AllocateEntry();
   void LinkIntoWheel(std::int32_t index);
   void Unlink(std::int32_t index);
   void Release(std::int32_t index);
-  /// Pop every timer in `slot` into a detached chain (returned head).
-  std::int32_t DetachSlot(std::size_t slot);
+  /// Pop every timer in `slot` into a detached chain (returned head),
+  /// stamping each entry's slot with `mark` (-1 for cascades that relink
+  /// immediately, the firing sentinel for due-chains that run callbacks).
+  std::int32_t DetachSlot(std::size_t slot, std::int32_t mark = -1);
 
   std::uint64_t tick_nanos_;
   std::uint64_t current_tick_ = 0;

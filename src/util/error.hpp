@@ -31,6 +31,7 @@ enum class ErrorCode : std::uint8_t {
   kIo,               ///< transport I/O failure
   kInvalidArgument,  ///< caller passed an out-of-domain value
   kInternal,         ///< invariant violation that we chose to surface softly
+  kResourceExhausted,  ///< out of fds/buffers/memory — retry may succeed later
 };
 
 /// Human-readable name of an ErrorCode, for logs and test failure messages.
@@ -49,6 +50,7 @@ constexpr const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kIo: return "io";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }

@@ -70,6 +70,57 @@ TEST(TimerWheel, CancelPreventsFiring) {
   EXPECT_EQ(wheel.armed_count(), 0u);
 }
 
+TEST(TimerWheel, CallbackCancelsSiblingInSameDueChain) {
+  TimerWheel wheel;
+  // Two timers due on the same tick, each cancelling the other: whichever
+  // fires first leaves a cancelled sibling sitting in Advance()'s detached
+  // due-chain.  That entry must be disarmed in place, not released twice.
+  int fired = 0;
+  TimerWheel::TimerId a = TimerWheel::kInvalidTimer;
+  TimerWheel::TimerId b = TimerWheel::kInvalidTimer;
+  a = wheel.Schedule(2 * kMs, [&] {
+    ++fired;
+    EXPECT_TRUE(wheel.Cancel(b));
+  });
+  b = wheel.Schedule(2 * kMs, [&] {
+    ++fired;
+    EXPECT_TRUE(wheel.Cancel(a));
+  });
+  EXPECT_EQ(wheel.Advance(5 * kMs), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.armed_count(), 0u);  // double decrement would underflow
+  // Pool integrity: the cancelled entry went back to the free list exactly
+  // once, so two fresh timers get distinct entries and both fire.
+  int c_fired = 0;
+  int d_fired = 0;
+  const auto c = wheel.Schedule(1 * kMs, [&] { ++c_fired; });
+  const auto d = wheel.Schedule(1 * kMs, [&] { ++d_fired; });
+  EXPECT_NE(c, d);
+  EXPECT_EQ(wheel.Advance(10 * kMs), 2u);
+  EXPECT_EQ(c_fired, 1);
+  EXPECT_EQ(d_fired, 1);
+  EXPECT_EQ(wheel.armed_count(), 0u);
+}
+
+TEST(TimerWheel, CancelSiblingThenScheduleDoesNotAliasChainEntry) {
+  TimerWheel wheel;
+  // The firing callback cancels a chain sibling and immediately schedules
+  // a new timer: the new timer must not be handed the sibling's pool entry
+  // (still reachable via the due-chain) or its callback would be clobbered.
+  bool victim_fired = false;
+  bool replacement_fired = false;
+  TimerWheel::TimerId victim = TimerWheel::kInvalidTimer;
+  victim = wheel.Schedule(2 * kMs, [&] { victim_fired = true; });
+  wheel.Schedule(2 * kMs, [&] {
+    EXPECT_TRUE(wheel.Cancel(victim));
+    wheel.Schedule(1 * kMs, [&] { replacement_fired = true; });
+  });
+  wheel.Advance(10 * kMs);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_TRUE(replacement_fired);
+  EXPECT_EQ(wheel.armed_count(), 0u);
+}
+
 TEST(TimerWheel, ManyTimersFireInDeadlineOrder) {
   TimerWheel wheel;
   std::vector<int> order;
@@ -566,6 +617,42 @@ TEST(ReactorServer, GracefulShutdownSendsGoaway) {
   session.value()->Close();
   shutdown_thread.join();
   EXPECT_TRUE(goaway);
+}
+
+TEST(ReactorServer, ShutdownWithResetPeersStaysSafe) {
+  core::ReactorHost::Options options;
+  options.server.shards = 1;
+  auto host = core::ReactorHost::Start(&GoldfishStore(), std::move(options));
+  ASSERT_TRUE(host.ok());
+  // Connect several raw clients, then RST them all (SO_LINGER 0) right
+  // before Shutdown: BeginShutdown's GOAWAY flush hits dead sockets and
+  // closes connections mid-walk, which must not upset its iteration.
+  constexpr int kClients = 8;
+  std::vector<std::unique_ptr<Transport>> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    auto client = TcpConnect(host.value()->port());
+    ASSERT_TRUE(client.ok()) << client.error().ToString();
+    clients.push_back(std::move(client).value());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (host.value()->server().total_accepted() <
+             static_cast<std::uint64_t>(kClients) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& client : clients) {
+    auto* tcp = static_cast<TcpTransport*>(client.get());
+    struct linger hard_reset{1, 0};
+    ASSERT_EQ(::setsockopt(tcp->fd(), SOL_SOCKET, SO_LINGER, &hard_reset,
+                           sizeof(hard_reset)),
+              0);
+  }
+  clients.clear();  // close → RST on every connection
+  host.value()->Shutdown();
+  EXPECT_EQ(host.value()->server().total_closed(),
+            host.value()->server().total_accepted());
 }
 
 TEST(ReactorServer, HoldsManyIdleConnections) {
